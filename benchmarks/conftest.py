@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (figure, worked example, or
+equation), asserts its *shape* (who wins, orderings, crossovers — the
+reproduction contract from DESIGN.md), and prints the series/rows so a run
+of ``pytest benchmarks/ --benchmark-only`` doubles as "regenerate all
+figures".  pytest-benchmark times the regeneration itself.
+"""
+
+from __future__ import annotations
+
+
+def emit(result) -> None:
+    """Print an ExperimentResult report under the benchmark's own header."""
+    print()
+    print(result.render())

@@ -1,0 +1,35 @@
+"""Benchmark ``ablation_*``: the DESIGN.md design-choice ablations."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import ablations
+
+
+def test_ablation_priority(benchmark):
+    result = benchmark(ablations.run_priority, cycles=100, seed=0)
+    emit(result)
+    rows = {row[0]: row for row in result.tables["discipline"][1]}
+    label, random_ = rows["label"], rows["random"]
+    # Acceptance is discipline-independent (the analytic model never sees it).
+    assert abs(label[1] - random_[1]) < 0.03
+    # Fairness is not: label priority spreads deliveries more unevenly.
+    assert label[3] > random_[3]
+
+
+def test_ablation_wire_policy(benchmark):
+    result = benchmark(ablations.run_wire_policy, trials=150, seed=0)
+    emit(result)
+    trials, identical = result.tables["acceptance equivalence"][1][0]
+    # Work conservation: the two wire policies accept identical sets.
+    assert identical == trials
+
+
+def test_ablation_schedule(benchmark):
+    result = benchmark(ablations.run_schedules, runs=12, seed=0)
+    emit(result)
+    rows = result.tables["cycles to drain a random permutation"][1]
+    means = [row[1] for row in rows]
+    # Random permutations wash out the schedule choice (Section 5.1's
+    # equivalence remark): all three means within 15% of each other.
+    assert max(means) / min(means) < 1.15

@@ -1,0 +1,30 @@
+"""Benchmark ``fault_tolerance``: multipath reliability (extension of Theorem 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fault_tolerance
+
+
+def test_fault_tolerance(benchmark):
+    result = benchmark(fault_tolerance.run, draws=6, seed=0)
+    emit(result)
+    rows = {row[0]: row[1:] for row in result.tables["mean pair connectivity"][1]}
+    delta = rows["delta EDN(4,4,1,2), 1 path"]
+    four = rows["EDN(4,2,2,2), 4 paths"]
+    sixteen = rows["EDN(8,2,4,2), 16 paths"]
+
+    # Healthy networks are fully connected.
+    assert delta[0] == four[0] == sixteen[0] == 1.0
+
+    # Capacity buys graceful degradation at every nonzero failure rate.
+    for k in range(1, len(delta)):
+        assert sixteen[k] >= four[k] >= delta[k]
+        assert sixteen[k] > delta[k]
+
+    # The single-path delta collapses fast: at f = 0.3 most pairs are dead.
+    assert delta[-1] < 0.6
+    # The 16-path EDN shrugs off the same damage.
+    assert sixteen[-1] > 0.85

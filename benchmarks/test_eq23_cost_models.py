@@ -1,0 +1,37 @@
+"""Benchmark ``eq2_eq3``: cost equations, dilation comparison, cost/performance."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import costs
+
+
+def test_eq2_eq3_closed_forms(benchmark):
+    result = benchmark(costs.run)
+    emit(result)
+    rows = result.tables["cost verification"][1]
+    assert len(rows) == len(costs.SWEEP)
+    for row in rows:
+        assert row[3] is True, f"Eq. 2 mismatch on {row[0]}"
+        assert row[5] is True, f"Eq. 3 mismatch on {row[0]}"
+
+
+def test_dilated_delta_wire_comparison(benchmark):
+    result = benchmark(costs.run_dilation_comparison)
+    emit(result)
+    for row in result.tables["interstage wires per input port"][1]:
+        # Section 1: the dilated delta pays d (= c = 4) wires per port where
+        # the EDN pays one.
+        assert row[-1] == pytest.approx(4.0)
+
+
+def test_cost_performance_positioning(benchmark):
+    result = benchmark(costs.run_cost_performance)
+    emit(result)
+    crossbar, edn, delta = result.tables["1024-terminal networks, PA(1)"][1]
+    # Section 6: crossbar-like performance at delta-like cost.
+    assert crossbar[2] > edn[2] > delta[2]              # performance ordering
+    assert delta[1] <= edn[1] < crossbar[1] / 5         # cost ordering
+    assert edn[2] > 0.8 * crossbar[2]                   # "similar performance"

@@ -1,0 +1,32 @@
+"""Benchmark ``admissibility``: one-pass routable permutations (extension)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import extensions
+
+
+def test_ext_admissibility(benchmark):
+    # Exhaustive 8! censuses inside: one benchmark round is plenty.
+    result = benchmark.pedantic(
+        extensions.run_admissibility,
+        kwargs=dict(samples=300, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    rows = {row[0]: row for row in result.tables["admissible fraction"][1]}
+
+    delta = rows["delta EDN(2,2,1,3), 8x8"][1]
+    multi = rows["EDN(4,2,2,2), 8x8"][1]
+    single_stage = rows["EDN(8,2,4,1), 8x8"][1]
+
+    # Exhaustive 8x8 censuses: delta admits exactly 2^12/8! of permutations;
+    # capacity enlarges the set; the l=1 member admits everything (Lemma 2).
+    assert abs(delta - 4096 / 40320) < 1e-12
+    assert multi > delta
+    assert single_stage == 1.0
+
+    # At MasPar scale a random permutation essentially never one-passes:
+    # Section 5's drain model exists for a reason.
+    assert rows["EDN(64,16,4,2), 1024x1024"][1] < 0.05

@@ -1,0 +1,36 @@
+"""Benchmark ``buffered``: packet-switched EDN throughput/latency (extension)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.analysis import acceptance_probability
+from repro.core.config import EDNParams
+from repro.experiments import extensions
+
+
+def test_ext_buffered(benchmark):
+    # The buffered simulator is a pure-Python queueing loop: run one
+    # benchmark round rather than pytest-benchmark's default calibration.
+    result = benchmark.pedantic(
+        extensions.run_buffered,
+        kwargs=dict(rates=(0.5, 1.0), depths=(1, 4), cycles=250, warmup=80),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    rows = result.tables["throughput & latency"][1]
+    by_key = {(row[0], row[1]): row for row in rows}
+    pa1 = acceptance_probability(EDNParams(16, 4, 4, 2), 1.0)
+
+    # Single buffering saturates *near* the bufferless PA(1) — slightly
+    # below it, because head-of-line blocking idles wires that circuit
+    # switching would have reallocated.  Deeper FIFOs push past PA(1).
+    assert abs(by_key[(1, 1.0)][2] - pa1) < 0.05
+    assert by_key[(4, 1.0)][2] > pa1
+    assert by_key[(4, 1.0)][2] > by_key[(1, 1.0)][2]
+
+    # Deeper buffers pay in latency at saturation.
+    assert by_key[(4, 1.0)][3] > by_key[(1, 1.0)][3]
+
+    # Light load flows freely regardless of depth.
+    assert abs(by_key[(1, 0.5)][2] - 0.5) < 0.1

@@ -1,0 +1,31 @@
+"""Benchmark ``fig11``: effect of resubmitting rejected requests (Figure 11)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig11_resubmission
+
+
+def test_fig11_resubmission(benchmark):
+    result = benchmark(fig11_resubmission.run)
+    emit(result)
+
+    for a, b, c in fig11_resubmission.FAMILIES:
+        ignored = dict(result.series[f"EDN({a},{b},{c},*) ignored"])
+        resubmitted = dict(result.series[f"EDN({a},{b},{c},*) resubmitted"])
+        # Paper shape 1: resubmission strictly lowers acceptance everywhere.
+        for x, pa in ignored.items():
+            assert resubmitted[x] < pa
+        # Paper shape 2: the gap grows with network size.
+        xs = sorted(ignored)
+        gaps = [ignored[x] - resubmitted[x] for x in xs]
+        assert gaps[-1] > gaps[0]
+
+    # Paper shape 3: the 16-I/O-switch family dominates the 4-I/O family at
+    # matched sizes (4^l*4 == 2^(2l+1)*2).
+    big = dict(result.series["EDN(16,4,4,*) resubmitted"])
+    small = dict(result.series["EDN(4,2,2,*) resubmitted"])
+    matched = sorted(set(big) & set(small))
+    assert matched
+    for x in matched:
+        assert big[x] > small[x]

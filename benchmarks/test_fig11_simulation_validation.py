@@ -1,0 +1,20 @@
+"""Benchmark ``fig11_sim``: MIMD cycle simulation vs the Markov model."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig11_resubmission
+
+
+def test_fig11_simulation_validation(benchmark):
+    result = benchmark(
+        fig11_resubmission.run_simulation_validation, cycles=800, warmup=200
+    )
+    emit(result)
+    for row in result.tables["model vs simulation"][1]:
+        _net, pa_model, pa_sim, qa_model, qa_sim, rp_model, rp_sim = row
+        assert abs(pa_sim - pa_model) < 0.06
+        assert abs(qa_sim - qa_model) < 0.06
+        assert abs(rp_sim - rp_model) < 0.06
+        # Direction of the resubmission effect: r' inflated above r = 0.5.
+        assert rp_sim > 0.5

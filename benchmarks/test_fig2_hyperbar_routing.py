@@ -1,0 +1,14 @@
+"""Benchmark ``fig2``: the paper's H(8->4x2) routing example (Figure 2)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig2_hyperbar
+
+
+def test_fig2_hyperbar_routing(benchmark):
+    result = benchmark(fig2_hyperbar.run)
+    emit(result)
+    rows = {row[0]: row for row in result.tables["comparison"][1]}
+    assert rows["discarded inputs"][1] == rows["discarded inputs"][2] == "[5, 7]"
+    assert rows["accepted count"][1] == rows["accepted count"][2] == 6

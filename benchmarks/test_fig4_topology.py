@@ -1,0 +1,21 @@
+"""Benchmark ``fig4``: structure of EDN(16,4,4,2) (Figures 3-4)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4_topology
+
+
+def test_fig4_topology(benchmark):
+    result = benchmark(fig4_topology.run)
+    emit(result)
+    invariants = {row[0]: row[1] for row in result.tables["invariants"][1]}
+    # Figure 4: 64 in / 64 out, 2 hyperbar columns of 4 switches, 16 4x4 crossbars.
+    assert invariants["inputs"] == 64
+    assert invariants["outputs"] == 64
+    assert invariants["paths per pair (c^l)"] == 16
+    stage_rows = result.tables["stages"][1]
+    assert [row[2] for row in stage_rows] == [4, 4, 16]
+    # Eq. 2 / Eq. 3 agree with enumeration.
+    assert invariants["crosspoints (Eq. 2)"] == invariants["crosspoints (enumerated)"]
+    assert invariants["wires (Eq. 3)"] == invariants["wires (enumerated)"]

@@ -1,0 +1,24 @@
+"""Benchmark ``fig5_6``: identity permutation and retirement order (Figures 5-6)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig6_identity
+
+
+def test_fig6_identity_permutation(benchmark):
+    result = benchmark(fig6_identity.run, cycles=20, seed=0)
+    emit(result)
+    rows = {
+        row[0]: row
+        for row in result.tables["structured permutations (messages delivered of 1024)"][1]
+    }
+    # Figure 5: identity collapses to 64/1024 under canonical retirement.
+    assert rows["identity"][1] == 64
+    # Figure 6: reversed retirement + fixup routes it completely and correctly.
+    assert rows["identity"][2] == 1024
+    assert rows["identity"][3] is True
+    # "These networks will perform identically in the average case."
+    random_rows = result.tables["random permutations (average case)"][1]
+    canonical, modified = random_rows[0][1], random_rows[1][1]
+    assert abs(canonical - modified) < 0.03

@@ -1,0 +1,30 @@
+"""Benchmark ``fig7_mc``/``fig8_mc``: Monte-Carlo validation of Eq. 4's curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig7_families
+
+
+@pytest.mark.parametrize("io_size", [8, 16])
+def test_fig7_montecarlo_validation(benchmark, io_size):
+    result = benchmark(
+        fig7_families.run_montecarlo_validation,
+        io_size,
+        max_inputs=2048,
+        cycles=40,
+        seed=0,
+    )
+    emit(result)
+    rows = result.tables["Eq.4 vs simulation"][1]
+    assert rows
+    for _net, _inputs, analytic, simulated, gap in rows:
+        # The analytic curve must track simulation closely...
+        assert abs(gap) < 0.08
+        assert 0.0 < simulated <= 1.0
+    # ... and its independence approximation biases it optimistic on the
+    # deeper (multi-stage) members overall.
+    deep = [row for row in rows if row[1] > io_size]
+    assert sum(row[4] for row in deep) > 0.0

@@ -1,0 +1,37 @@
+"""Benchmark ``fig7``: PA(1) vs size for the 8-I/O hyperbar families (Figure 7)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig7_families
+
+
+def test_fig7_pa_families_8(benchmark):
+    result = benchmark(fig7_families.run, 8)
+    emit(result)
+
+    families = ["EDN(8,2,4,*)", "EDN(8,4,2,*)", "EDN(8,8,1,*)"]
+    curves = {name: dict(result.series[name]) for name in families}
+    crossbar = dict(result.series["Full Crossbar"])
+
+    # Paper shape 1: curves reach the ~10^6-input scale of the figure.
+    assert max(max(c) for c in curves.values()) > 2.5e5
+
+    # Paper shape 2: the delta family (c=1) "performs the worse"; capacity
+    # helps; the crossbar bounds everything (beyond the one-switch size,
+    # where the c=1 member IS the crossbar).
+    shared = set.intersection(*(set(c) for c in curves.values()))
+    checked = 0
+    for x in sorted(shared):
+        if x <= 8:
+            continue
+        assert crossbar[x] >= curves["EDN(8,2,4,*)"][x]
+        assert curves["EDN(8,2,4,*)"][x] > curves["EDN(8,4,2,*)"][x]
+        assert curves["EDN(8,4,2,*)"][x] > curves["EDN(8,8,1,*)"][x]
+        checked += 1
+    assert checked >= 2
+
+    # Paper shape 3: crossbar flattens near 1 - 1/e while the delta keeps falling.
+    assert crossbar[max(crossbar)] > 0.63
+    delta_ys = [y for _, y in sorted(curves["EDN(8,8,1,*)"].items())]
+    assert delta_ys[-1] < 0.3

@@ -1,0 +1,40 @@
+"""Benchmark ``fig8``: PA(1) vs size for the 16-I/O hyperbar families (Figure 8)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig7_families
+
+
+def test_fig8_pa_families_16(benchmark):
+    result = benchmark(fig7_families.run, 16)
+    emit(result)
+
+    families = ["EDN(16,2,8,*)", "EDN(16,4,4,*)", "EDN(16,8,2,*)", "EDN(16,16,1,*)"]
+    curves = {name: dict(result.series[name]) for name in families}
+
+    # Capacity ordering within the family (beyond the one-switch size).
+    shared = set.intersection(*(set(c) for c in curves.values()))
+    checked = 0
+    for x in sorted(shared):
+        if x <= 16:
+            continue
+        assert (
+            curves["EDN(16,2,8,*)"][x]
+            > curves["EDN(16,4,4,*)"][x]
+            > curves["EDN(16,8,2,*)"][x]
+            > curves["EDN(16,16,1,*)"][x]
+        )
+        checked += 1
+    assert checked >= 1
+
+    # Figure 8 vs Figure 7: 16-I/O switches beat 8-I/O at matched size and
+    # capacity (the c = 2 members share sizes 128, 8192, 524288).
+    fig7 = fig7_families.run(8)
+    seven = dict(fig7.series["EDN(8,4,2,*)"])
+    sixteen = curves["EDN(16,8,2,*)"]
+    matched = sorted(set(seven) & set(sixteen))
+    assert matched
+    for x in matched:
+        if x > 16:
+            assert sixteen[x] > seven[x]

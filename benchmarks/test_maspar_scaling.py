@@ -1,0 +1,33 @@
+"""Benchmark ``scaling``: the MasPar router family from 1K to 256K PEs."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import scaling
+
+
+def test_maspar_scaling(benchmark):
+    result = benchmark(scaling.run)
+    emit(result)
+    rows = result.tables["family scaling"][1]
+    assert [row[1] for row in rows] == [1_024, 16_384, 262_144]
+
+    pa = [row[3] for row in rows]
+    drain = [row[4] for row in rows]
+    per_port = [row[6] for row in rows]
+
+    # PA decays gently with depth; the 16K point is the paper's .544.
+    assert pa[0] > pa[1] > pa[2]
+    assert pa[1] == pytest.approx(0.544, abs=5e-4)
+    assert pa[0] - pa[2] < 0.2
+
+    # Drain time grows by a few cycles per 16x size step, not by factors.
+    assert drain[0] < drain[1] < drain[2]
+    assert drain[2] < 2.0 * drain[0]
+
+    # Cost per port grows by exactly one hyperbar's share (b*c = 64
+    # crosspoints) per added stage — logarithmic in machine size.
+    assert per_port[1] - per_port[0] == pytest.approx(64.0)
+    assert per_port[2] - per_port[1] == pytest.approx(64.0)

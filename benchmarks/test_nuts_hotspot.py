@@ -1,0 +1,29 @@
+"""Benchmark ``nuts``: multipath vs hot-spot (NUTS) traffic (Section 1's claim)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import hotspot
+
+
+def test_nuts_hotspot(benchmark):
+    result = benchmark(hotspot.run, hot_fractions=(0.0, 0.05, 0.1, 0.2), cycles=50, seed=0)
+    emit(result)
+    rows = {row[0]: row[1:] for row in result.tables["PA vs hot fraction"][1]}
+    crossbar = rows[f"crossbar {hotspot.SIZE}"]
+    delta = rows["delta EDN(16,16,1,2), 1 path"]
+    multi64 = rows["EDN(16,4,4,3), 64 paths"]
+    multi16 = rows["EDN(32,8,4,2), 16 paths"]
+
+    # Everyone degrades as the hot spot grows (output contention is universal).
+    for series in (crossbar, delta, multi64, multi16):
+        assert series[-1] < series[0]
+
+    # The paper's claim: multipath absorbs NUTS better.  Measure each
+    # network's internal blocking (its excess loss over the crossbar, which
+    # only suffers output contention) at the strongest hot spot.
+    delta_excess = crossbar[-1] - delta[-1]
+    multi16_excess = crossbar[-1] - multi16[-1]
+    multi64_excess = crossbar[-1] - multi64[-1]
+    assert delta_excess > multi16_excess
+    assert delta_excess > multi64_excess

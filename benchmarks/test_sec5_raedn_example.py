@@ -1,0 +1,22 @@
+"""Benchmark ``sec5_example``: the RA-EDN(16,4,2,16) worked example (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import sec5_raedn
+
+
+def test_sec5_raedn_example(benchmark):
+    result = benchmark(sec5_raedn.run)
+    emit(result)
+    rows = {row[0]: row for row in result.tables["drain model"][1]}
+    # Paper numbers: PA(1) = .544, J = 5, T ≈ 34.41 network cycles.
+    assert rows["PA(1)"][2] == pytest.approx(0.544, abs=5e-4)
+    assert rows["tail cycles J"][2] == 5
+    assert rows["expected total T"][2] == pytest.approx(34.41, abs=0.1)
+    # The drain rates fall fast: after one cycle fewer than half remain.
+    tail = [y for _, y in sorted(result.series["tail leftover rate r_j"])]
+    assert tail[0] < 0.5
+    assert tail[-1] * 1024 < 1.0

@@ -1,0 +1,18 @@
+"""Benchmark ``sec5_sim``: cycle-accurate drain of the MasPar router vs the model."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import sec5_raedn
+
+
+def test_sec5_simulation_validation(benchmark):
+    result = benchmark(sec5_raedn.run_simulation, runs=3, seed=42)
+    emit(result)
+    rows = {row[0]: row for row in result.tables["model vs simulation"][1]}
+    model, simulated = rows["cycles to drain"][1], rows["cycles to drain"][2]
+    # Shape: the q/PA(1) head phase dominates; simulation exceeds the
+    # analytic mean (straggling cluster queues) but stays within ~2x.
+    assert model < simulated < 2.0 * model
+    # Hard floor: q = 16 cycles is unbeatable.
+    assert simulated >= 16

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fault tolerance from multipath, and the rearrangeable alternatives.
+
+Two extensions on top of the paper:
+
+1. **Graceful degradation.** Theorem 2's ``c^l`` alternate paths mean an
+   EDN bucket only disconnects when *all* ``c`` of its wires die.  This
+   example injects random wire failures into equal-size 16x16 networks and
+   watches the single-path delta collapse while the 16-path EDN barely
+   notices.
+
+2. **The globally-controlled foil.** The classical answer to blocking is a
+   rearrangeable fabric — Beneš or Clos — which routes *every* permutation
+   conflict-free, but only after computing a global switch setting (the
+   looping algorithm / matching decomposition).  We route the very identity
+   permutation that collapses the MasPar-size EDN (Figure 5) through a
+   1024-terminal Beneš in one pass, then compare crosspoint budgets.
+
+Run: ``python examples/fault_tolerant_routing.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EDNParams, connectivity_under_faults, random_faults
+from repro.baselines import BenesNetwork, ClosNetwork
+from repro.core.cost import crossbar_crosspoint_cost, crosspoint_cost
+from repro.viz import format_table
+
+LADDER = (
+    ("delta EDN(4,4,1,2), 1 path", EDNParams(4, 4, 1, 2)),
+    ("EDN(4,2,2,2), 4 paths", EDNParams(4, 2, 2, 2)),
+    ("EDN(8,2,4,2), 16 paths", EDNParams(8, 2, 4, 2)),
+)
+RATES = (0.0, 0.1, 0.2, 0.3)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Wire-failure injection. -------------------------------------------
+    rows = []
+    for label, params in LADDER:
+        row = [label]
+        for rate in RATES:
+            total = sum(
+                connectivity_under_faults(params, random_faults(params, rate, rng))
+                for _ in range(8)
+            )
+            row.append(total / 8)
+        rows.append(row)
+    print(
+        format_table(
+            ["network"] + [f"f={rate:g}" for rate in RATES],
+            rows,
+            title="pair connectivity under random wire failures (16x16)",
+        )
+    )
+    print()
+    print("reading: a bucket dies only when all c wires do (~f^c), so capacity "
+          "buys reliability superlinearly — the delta has no spare wire anywhere.")
+    print()
+
+    # 2. Rearrangeable fabrics route what blocks the EDN. --------------------
+    n = 1024
+    benes = BenesNetwork(n)
+    identity = list(range(n))
+    settings = benes.route_permutation(identity)
+    print(f"Benes({n}): identity permutation routed conflict-free "
+          f"({'verified' if benes.verify(settings, identity) else 'FAILED'}) "
+          f"in one pass across {benes.num_stages} stages")
+
+    clos = ClosNetwork(n=32, r=32)           # 1024 terminals, rearrangeable
+    routes = clos.route_permutation(identity)
+    print(f"{clos!r}: identity routed "
+          f"({'verified' if clos.verify(routes, identity) else 'FAILED'}) "
+          f"through {clos.n} middle crossbars")
+    print()
+
+    edn = EDNParams(64, 16, 4, 2)
+    print(
+        format_table(
+            ["fabric", "crosspoints", "permutation guarantee", "control"],
+            [
+                ["EDN(64,16,4,2)", crosspoint_cost(edn),
+                 "statistical (PAp ~ 0.81/pass)", "local digit tags"],
+                [f"Benes({n})", benes.crosspoints,
+                 "every permutation, 1 pass", "global looping algorithm"],
+                ["Clos(32,32,32)", clos.crosspoints,
+                 "every permutation, 1 pass", "global matching decomposition"],
+                [f"crossbar {n}", crossbar_crosspoint_cost(n),
+                 "every permutation, 1 pass", "per-output arbitration"],
+            ],
+            title="1024-terminal fabrics",
+        )
+    )
+    print()
+    print("reading: the Benes is cheapest but needs offline global control — "
+          "useless for the data-dependent communication the paper's SIMD "
+          "machines face; the EDN trades a statistical guarantee for local, "
+          "single-cycle control.  (This comparison extends the paper; it cites "
+          "the Clos/Benes lineage as related work [5, 7, 31].)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Hot spots (NUTS) and why multipath matters — Section 1's motivation, live.
+
+Offers increasingly hot traffic to four equal-size 256x256 networks:
+the single-path delta, two multipath EDNs (16 and 64 paths), and the
+crossbar.  The crossbar's losses are pure output contention — unavoidable
+at any topology; each network's *excess* loss over the crossbar is its
+internal blocking.  Watch the delta's excess blow up around the hot output
+("tree saturation") while the EDNs' multipath absorbs most of it.
+
+Run: ``python examples/hotspot_multipath.py``
+"""
+
+from __future__ import annotations
+
+from repro.baselines import CrossbarNetwork
+from repro.core.config import EDNParams
+from repro.sim import HotspotTraffic, VectorizedEDN, measure_acceptance
+from repro.viz import Series, format_table, render_plot
+
+SIZE = 256
+HOT_FRACTIONS = (0.0, 0.02, 0.05, 0.1, 0.2, 0.3)
+
+
+def main() -> None:
+    networks = [
+        ("delta (1 path)", VectorizedEDN(EDNParams(16, 16, 1, 2))),
+        ("EDN 16 paths", VectorizedEDN(EDNParams(32, 8, 4, 2))),
+        ("EDN 64 paths", VectorizedEDN(EDNParams(16, 4, 4, 3))),
+        ("crossbar", CrossbarNetwork(SIZE)),
+    ]
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for name, router in networks:
+        points = []
+        for hot in HOT_FRACTIONS:
+            traffic = HotspotTraffic(SIZE, SIZE, hot_fraction=hot)
+            measured = measure_acceptance(router, traffic, cycles=80, seed=3)
+            points.append((hot, measured.point))
+        curves[name] = points
+
+    rows = [[name] + [pa for _, pa in pts] for name, pts in curves.items()]
+    print(
+        format_table(
+            ["network"] + [f"hot={h:g}" for h in HOT_FRACTIONS],
+            rows,
+            title=f"PA under hot-spot traffic, {SIZE}x{SIZE} networks",
+        )
+    )
+    print()
+
+    print(
+        render_plot(
+            [Series.from_pairs(name, pts) for name, pts in curves.items()],
+            width=64,
+            height=16,
+            log_x=False,
+            title="acceptance vs hot-spot fraction",
+            x_label="hot fraction",
+        )
+    )
+    print()
+
+    crossbar = dict(curves["crossbar"])
+    print("internal blocking (excess loss over the crossbar):")
+    for name in ("delta (1 path)", "EDN 16 paths", "EDN 64 paths"):
+        series = dict(curves[name])
+        worst = max(HOT_FRACTIONS)
+        print(f"  {name:16s} baseline {crossbar[0.0] - series[0.0]:.3f}   "
+              f"at hot={worst:g}: {crossbar[worst] - series[worst]:.3f}")
+    print()
+    print("reading: output contention (the crossbar row) eventually dominates "
+          "everyone, but the delta pays an extra internal-blocking tax that the "
+          "multipath EDNs largely avoid — the paper's NUTS argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline legacy editable installs (``pip install -e . --no-use-pep517``).
+
+All real metadata lives in ``pyproject.toml``; this file exists only because
+the build environment has no ``wheel`` package and no network access, which
+rules out the PEP 517 editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Baseline networks the paper compares EDNs against (or builds upon).
+
+* :mod:`repro.baselines.crossbar_network` — the full crossbar (performance
+  upper bound, cost strawman; Figures 7-8's reference curve);
+* :mod:`repro.baselines.delta` — Patel's delta network (the ``c = 1`` EDN,
+  the cost baseline whose performance "fell off rapidly with network
+  size");
+* :mod:`repro.baselines.dilated` — d-dilated deltas (multipath via link
+  replication; ``d`` times the EDN's wires, Section 1);
+* :mod:`repro.baselines.omega` — Lawrie's omega network (a delta with an
+  input shuffle; exercises Corollary 1);
+* :mod:`repro.baselines.benes` — the rearrangeable Beneš network with the
+  looping algorithm (the globally-controlled foil from reference [31]);
+* :mod:`repro.baselines.clos` — three-stage Clos networks with
+  matching-decomposition routing (references [7], [31]).
+"""
+
+from repro.baselines.benes import BenesNetwork
+from repro.baselines.clos import ClosNetwork, ClosRoute
+from repro.baselines.crossbar_network import CrossbarCycleResult, CrossbarNetwork
+from repro.baselines.delta import DeltaNetwork
+from repro.baselines.dilated import DilatedDelta
+from repro.baselines.omega import OmegaNetwork
+
+__all__ = [
+    "CrossbarNetwork",
+    "CrossbarCycleResult",
+    "DeltaNetwork",
+    "DilatedDelta",
+    "OmegaNetwork",
+    "BenesNetwork",
+    "ClosNetwork",
+    "ClosRoute",
+]

@@ -1,0 +1,168 @@
+"""Beneš rearrangeable network with the classical looping algorithm.
+
+The paper's restricted-access discussion builds on Youssef, Alleyne &
+Scherson [31], which studies clusters over crossbar, **Clos and Beneš**
+fabrics, and its Benes-control references ([15], [16] — Lee, Lenfant).
+The Beneš network ``B(n)`` on ``N = 2^n`` terminals is the non-blocking
+counterpoint to the EDN: ``2n - 1`` stages of 2x2 switches (a baseline
+butterfly back to back with its mirror) that can realize *every*
+permutation in a single conflict-free pass — at the price of global,
+offline switch control (the looping algorithm below) instead of the EDN's
+local digit routing.
+
+Construction used here (recursive): outer input column of N/2 2x2
+switches, two half-size Beneš sub-networks (top/bottom), outer output
+column.  Input switch ``i`` feeds sub-network 0/1 through its upper/lower
+output; symmetric on the output side.  The looping algorithm 2-colours the
+constraint cycles so paired terminals (sharing a switch) never use the
+same sub-network.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.labels import ilog2, is_power_of_two
+
+__all__ = ["BenesNetwork"]
+
+
+class BenesNetwork:
+    """An ``N x N`` Beneš network controlled by the looping algorithm.
+
+    >>> net = BenesNetwork(8)
+    >>> net.num_stages
+    5
+    >>> settings = net.route_permutation([3, 7, 0, 1, 5, 2, 6, 4])
+    >>> net.verify(settings, [3, 7, 0, 1, 5, 2, 6, 4])
+    True
+    """
+
+    def __init__(self, n: int):
+        if not is_power_of_two(n) or n < 2:
+            raise ConfigurationError(f"Benes size must be a power of two >= 2, got {n}")
+        self.n = n
+        self.order = ilog2(n)
+
+    @property
+    def num_stages(self) -> int:
+        """``2*log2(N) - 1`` switch columns."""
+        return 2 * self.order - 1
+
+    @property
+    def num_switches(self) -> int:
+        """``(N/2) * (2*log2(N) - 1)`` 2x2 switches."""
+        return (self.n // 2) * self.num_stages
+
+    @property
+    def crosspoints(self) -> int:
+        """4 crosspoints per 2x2 switch."""
+        return 4 * self.num_switches
+
+    # ------------------------------------------------------------------
+
+    def route_permutation(self, permutation: Sequence[int]) -> list[list[bool]]:
+        """Compute switch settings realizing ``permutation`` conflict-free.
+
+        Returns ``settings[stage][switch]`` with ``True`` = crossed,
+        ``False`` = straight, for the flattened ``2*log2(N) - 1`` stages.
+        Raises if the input is not a permutation.
+        """
+        perm = list(permutation)
+        if sorted(perm) != list(range(self.n)):
+            raise ConfigurationError(f"not a permutation of 0..{self.n - 1}")
+        return self._route(perm)
+
+    def _route(self, perm: list[int]) -> list[list[bool]]:
+        n = len(perm)
+        if n == 2:
+            return [[perm[0] == 1]]
+
+        half = n // 2
+        # Looping algorithm: 2-colour the constraint graph.  Terminals 2i
+        # and 2i+1 share an input switch (must split across sub-networks);
+        # likewise destinations 2j and 2j+1 share an output switch.
+        sub_of_input = [-1] * n
+
+        inverse = [0] * n
+        for i, dest in enumerate(perm):
+            inverse[dest] = i
+
+        for start in range(n):
+            if sub_of_input[start] != -1:
+                continue
+            current, colour = start, 0
+            while sub_of_input[current] == -1:
+                sub_of_input[current] = colour
+                partner_out = perm[current] ^ 1          # shares the output switch
+                partner_in = inverse[partner_out]        # must take the other colour
+                sub_of_input[partner_in] = 1 - colour
+                current = partner_in ^ 1                 # shares an input switch
+                colour = sub_of_input[partner_in] ^ 1    # so it takes the opposite
+
+        input_settings = []
+        output_settings = []
+        sub_perms: list[list[int]] = [[0] * half, [0] * half]
+        for switch in range(half):
+            upper, lower = 2 * switch, 2 * switch + 1
+            crossed = sub_of_input[upper] == 1
+            input_settings.append(crossed)
+            # Sub-network s receives, from this switch, the terminal routed
+            # to sub s; it enters sub s at position `switch`.
+            for terminal in (upper, lower):
+                sub = sub_of_input[terminal]
+                dest = perm[terminal]
+                sub_perms[sub][switch] = dest // 2
+            # Output column: destination pair (2j, 2j+1); the one arriving
+            # from sub-network 0 exits the upper sub port.
+        for out_switch in range(half):
+            upper_dest, lower_dest = 2 * out_switch, 2 * out_switch + 1
+            # The source of upper_dest sits in sub-network sub_of_input[...]
+            crossed = sub_of_input[inverse[upper_dest]] == 1
+            output_settings.append(crossed)
+
+        top = self._route(sub_perms[0])
+        bottom = self._route(sub_perms[1])
+        middle = [
+            top_stage + bottom_stage for top_stage, bottom_stage in zip(top, bottom)
+        ]
+        return [input_settings] + middle + [output_settings]
+
+    # ------------------------------------------------------------------
+
+    def verify(self, settings: list[list[bool]], permutation: Sequence[int]) -> bool:
+        """Trace every terminal through ``settings``; True iff it realizes ``permutation``."""
+        trace = self._trace(settings)
+        return all(trace[i] == dest for i, dest in enumerate(permutation))
+
+    def _trace(self, settings: list[list[bool]]) -> list[int]:
+        """Where each input terminal lands under ``settings``."""
+        if self.n == 2:
+            crossed = settings[0][0]
+            return [1, 0] if crossed else [0, 1]
+
+        half = self.n // 2
+        input_settings, output_settings = settings[0], settings[-1]
+        middle = settings[1:-1]
+        top_settings = [stage[: len(stage) // 2] for stage in middle]
+        bottom_settings = [stage[len(stage) // 2 :] for stage in middle]
+
+        sub_net = BenesNetwork(half)
+        top_trace = sub_net._trace(top_settings)
+        bottom_trace = sub_net._trace(bottom_settings)
+
+        out = [0] * self.n
+        for terminal in range(self.n):
+            switch, port = divmod(terminal, 2)
+            crossed = input_settings[switch]
+            sub = port ^ 1 if crossed else port
+            landed = top_trace[switch] if sub == 0 else bottom_trace[switch]
+            # landed = output switch index within the outer output column.
+            out_crossed = output_settings[landed]
+            exit_port = sub ^ 1 if out_crossed else sub
+            out[terminal] = 2 * landed + exit_port
+        return out
+
+    def __repr__(self) -> str:
+        return f"BenesNetwork({self.n}x{self.n}, {self.num_stages} stages)"

@@ -1,0 +1,173 @@
+"""Three-stage Clos network with rearrangeable permutation routing.
+
+The other classical fabric of the paper's restricted-access lineage
+(reference [31] studies clusters over crossbar, Clos and Beneš networks,
+and reference [7] is Clos's original paper).  A ``C(n, m, r)`` Clos network
+has ``r`` input switches of shape ``n x m``, ``m`` middle ``r x r``
+crossbars, and ``r`` output switches of shape ``m x n``; it serves
+``N = n * r`` terminals and is *rearrangeable* for ``m >= n``
+(Slepian–Duguid): any permutation routes conflict-free given global
+control.
+
+Routing decomposes the permutation's demand multigraph between input and
+output switches (an ``n``-regular bipartite multigraph) into ``n`` perfect
+matchings — König's edge-colouring theorem guarantees they exist — and
+assigns matching ``k`` to middle switch ``k``.  The matchings are found
+with Kuhn's augmenting-path algorithm, no external graph library.
+
+Like the Beneš baseline, this is the paper's conceptual foil: one
+conflict-free pass for any permutation, but only with offline global
+computation, versus the EDN's local digit control plus statistical
+blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["ClosNetwork", "ClosRoute"]
+
+
+@dataclass(frozen=True)
+class ClosRoute:
+    """The circuit for one message: input switch -> middle switch -> output switch."""
+
+    source: int
+    destination: int
+    input_switch: int
+    middle_switch: int
+    output_switch: int
+
+
+class ClosNetwork:
+    """A rearrangeable ``C(n, m, r)`` Clos network (``m >= n``).
+
+    >>> net = ClosNetwork(n=3, r=4)      # 12 terminals, m defaults to n
+    >>> routes = net.route_permutation([4, 1, 8, 0, 11, 2, 7, 10, 3, 6, 9, 5])
+    >>> net.verify(routes, [4, 1, 8, 0, 11, 2, 7, 10, 3, 6, 9, 5])
+    True
+    """
+
+    def __init__(self, n: int, r: int, m: int | None = None):
+        if n < 1 or r < 1:
+            raise ConfigurationError("Clos parameters n, r must be positive")
+        if m is None:
+            m = n
+        if m < n:
+            raise ConfigurationError(
+                f"m={m} < n={n}: below the Slepian-Duguid rearrangeability bound"
+            )
+        self.n = n
+        self.r = r
+        self.m = m
+
+    @property
+    def num_terminals(self) -> int:
+        return self.n * self.r
+
+    @property
+    def crosspoints(self) -> int:
+        """``r*(n*m) + m*(r*r) + r*(m*n)`` crosspoint switches."""
+        return 2 * self.r * self.n * self.m + self.m * self.r * self.r
+
+    @property
+    def is_strictly_nonblocking(self) -> bool:
+        """Clos's 1953 condition: ``m >= 2n - 1``."""
+        return self.m >= 2 * self.n - 1
+
+    # ------------------------------------------------------------------
+
+    def route_permutation(self, permutation: Sequence[int]) -> list[ClosRoute]:
+        """Conflict-free middle-switch assignment for a full permutation."""
+        perm = list(permutation)
+        if sorted(perm) != list(range(self.num_terminals)):
+            raise ConfigurationError(f"not a permutation of 0..{self.num_terminals - 1}")
+
+        # Demand multigraph: one edge (input switch, output switch) per message.
+        demands: list[list[int]] = [[] for _ in range(self.r)]  # terminals per in-switch
+        for source in range(self.num_terminals):
+            demands[source // self.n].append(source)
+
+        remaining = {s: perm[s] for s in range(self.num_terminals)}
+        routes: dict[int, ClosRoute] = {}
+        for middle in range(self.n):
+            matching = self._perfect_matching(remaining)
+            for in_switch, source in matching.items():
+                dest = remaining.pop(source)
+                routes[source] = ClosRoute(
+                    source=source,
+                    destination=dest,
+                    input_switch=in_switch,
+                    middle_switch=middle,
+                    output_switch=dest // self.n,
+                )
+        if remaining:
+            raise ConfigurationError("internal error: demands left after n matchings")
+        return [routes[s] for s in range(self.num_terminals)]
+
+    def _perfect_matching(self, remaining: dict[int, int]) -> dict[int, int]:
+        """One message per input switch such that output switches are distinct.
+
+        Kuhn's augmenting-path algorithm on the bipartite graph whose left
+        vertices are input switches and right vertices output switches,
+        with an edge per undelivered message.  The demand graph stays
+        regular as matchings are peeled off, so a perfect matching always
+        exists (Hall/König).
+        Returns ``{input_switch: chosen source}``.
+        """
+        adjacency: list[list[tuple[int, int]]] = [[] for _ in range(self.r)]
+        for source, dest in remaining.items():
+            adjacency[source // self.n].append((dest // self.n, source))
+
+        match_right: dict[int, tuple[int, int]] = {}  # out switch -> (in switch, source)
+
+        def try_assign(in_switch: int, visited: set[int]) -> bool:
+            for out_switch, source in adjacency[in_switch]:
+                if out_switch in visited:
+                    continue
+                visited.add(out_switch)
+                if out_switch not in match_right or try_assign(
+                    match_right[out_switch][0], visited
+                ):
+                    match_right[out_switch] = (in_switch, source)
+                    return True
+            return False
+
+        for in_switch in range(self.r):
+            if not try_assign(in_switch, set()):
+                raise ConfigurationError(
+                    "no perfect matching - demands are not a partial permutation"
+                )
+        return {in_switch: source for in_switch, source in match_right.values()}
+
+    # ------------------------------------------------------------------
+
+    def verify(self, routes: list[ClosRoute], permutation: Sequence[int]) -> bool:
+        """Check the routes realize ``permutation`` without link conflicts."""
+        perm = list(permutation)
+        if len(routes) != self.num_terminals:
+            return False
+        used_up: set[tuple[int, int]] = set()    # (input switch, middle)
+        used_down: set[tuple[int, int]] = set()  # (middle, output switch)
+        for route in routes:
+            if perm[route.source] != route.destination:
+                return False
+            if route.input_switch != route.source // self.n:
+                return False
+            if route.output_switch != route.destination // self.n:
+                return False
+            if not 0 <= route.middle_switch < self.m:
+                return False
+            up = (route.input_switch, route.middle_switch)
+            down = (route.middle_switch, route.output_switch)
+            if up in used_up or down in used_down:
+                return False  # two circuits on one physical link
+            used_up.add(up)
+            used_down.add(down)
+        return True
+
+    def __repr__(self) -> str:
+        return f"ClosNetwork(n={self.n}, m={self.m}, r={self.r}: {self.num_terminals} terminals)"

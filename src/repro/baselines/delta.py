@@ -1,0 +1,86 @@
+"""Patel's delta network baseline (the paper's reference [21]).
+
+A delta network ``a^l x b^l`` is ``l`` stages of ``a x b`` crossbars with
+digit-controlled routing and a *unique* path between every input/output
+pair — exactly the ``c = 1`` degenerate EDN (paper, after Theorem 2).  The
+paper's whole pitch is that EDNs keep delta-like cost while recovering
+crossbar-like performance, so the delta is the baseline every benchmark
+compares against.
+
+Implemented two ways, both pinned together in the test suite:
+
+* structurally, as ``EDN(a, b, 1, l)`` via the shared engines;
+* analytically, via Patel's recursion ``r_{i+1} = 1 - (1 - r_i/b)^a``
+  (:func:`repro.core.analysis.delta_acceptance`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.analysis import delta_acceptance
+from repro.core.config import EDNParams
+from repro.core.cost import crosspoint_cost, wire_cost
+from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
+
+__all__ = ["DeltaNetwork"]
+
+
+class DeltaNetwork:
+    """An ``a^l x b^l`` delta network built from ``a x b`` crossbars.
+
+    >>> import numpy as np
+    >>> net = DeltaNetwork(2, 2, 3)     # an 8x8 delta from 2x2 crossbars
+    >>> net.n_inputs
+    8
+    >>> res = net.route(np.array([5, -1, -1, -1, -1, -1, -1, -1]))
+    >>> res.num_delivered, int(res.output[0])   # a lone message always lands
+    (1, 5)
+    """
+
+    def __init__(self, a: int, b: int, l: int, *, priority: str = "label"):
+        self.params = EDNParams(a, b, 1, l)
+        self._engine = VectorizedEDN(self.params, priority=priority)
+
+    @property
+    def a(self) -> int:
+        return self.params.a
+
+    @property
+    def b(self) -> int:
+        return self.params.b
+
+    @property
+    def l(self) -> int:
+        return self.params.l
+
+    @property
+    def n_inputs(self) -> int:
+        return self.params.num_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.params.num_outputs
+
+    def route(
+        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> VectorCycleResult:
+        """Route one cycle of demands through the unique-path network."""
+        return self._engine.route(dests, rng)
+
+    def analytic_acceptance(self, r: float) -> float:
+        """Patel's ``PA(r)`` recursion for this network."""
+        return delta_acceptance(self.params.a, self.params.b, self.params.l, r)
+
+    def crosspoints(self) -> int:
+        """Crosspoint cost (``c = 1`` specialization of Eq. 2)."""
+        return crosspoint_cost(self.params)
+
+    def wires(self) -> int:
+        """Wire cost (``c = 1`` specialization of Eq. 3)."""
+        return wire_cost(self.params)
+
+    def __repr__(self) -> str:
+        return f"DeltaNetwork({self.a}x{self.b} switches, l={self.l})"

@@ -1,0 +1,120 @@
+"""d-dilated delta networks (the paper's references [28, 29]).
+
+A *d-dilated* delta network replaces every link of an ``a x b`` delta with
+``d`` parallel wires: stage-1 switches become ``H(a -> b x d)`` and deeper
+stages ``H(a*d -> b x d)``.  Dilation, like EDN capacity, provides
+multipath; the paper's Section 1 objection is purely structural:
+
+    "the number of wires between stages in a d-dilated network is d times
+    the number of wires of the equivalent stage of an EDN with the same
+    number of inputs, resulting in a much less space efficient network."
+
+This module implements the dilated network's wire/crosspoint accounting and
+its analytic acceptance (same hyperbar ``E(r)`` machinery as the EDN, with
+the conventional assumption that all messages surviving to an output bundle
+are delivered — each output terminal is a ``d``-wire port).  The
+``eq2_eq3`` benchmark reproduces the d-times-the-wires comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import expected_accepted
+from repro.core.exceptions import ConfigurationError
+from repro.core.labels import is_power_of_two
+
+__all__ = ["DilatedDelta"]
+
+
+@dataclass(frozen=True)
+class DilatedDelta:
+    """Structural and analytic model of a d-dilated ``a^l x b^l`` delta.
+
+    Attributes: ``a`` x ``b`` the underlying switch shape, ``l`` stages,
+    ``d`` the dilation factor.  Inputs are single wires (``a^l`` of them);
+    every internal bundle and every output port is ``d`` wires wide.
+    """
+
+    a: int
+    b: int
+    l: int
+    d: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("a", self.a), ("b", self.b), ("d", self.d)):
+            if not is_power_of_two(value):
+                raise ConfigurationError(f"dilated-delta parameter {name}={value} must be a power of two")
+        if self.l < 1:
+            raise ConfigurationError(f"need at least one stage, got l={self.l}")
+
+    @property
+    def n_inputs(self) -> int:
+        return self.a**self.l
+
+    @property
+    def n_outputs(self) -> int:
+        """Output *ports*; each port is a bundle of ``d`` wires."""
+        return self.b**self.l
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def switches_in_stage(self, i: int) -> int:
+        """Switch count of stage ``i`` (same as the underlying delta)."""
+        if not 1 <= i <= self.l:
+            raise ConfigurationError(f"stage {i} out of range 1..{self.l}")
+        return self.a ** (self.l - i) * self.b ** (i - 1)
+
+    def wires_after_stage(self, i: int) -> int:
+        """Wires leaving stage ``i``: ``a^(l-i) * b^i`` bundles of ``d``."""
+        if not 0 <= i <= self.l:
+            raise ConfigurationError(f"stage {i} out of range 0..{self.l}")
+        if i == 0:
+            return self.n_inputs  # inputs are single wires
+        return self.a ** (self.l - i) * self.b**i * self.d
+
+    def wire_cost(self) -> int:
+        """Total wires: inputs + interstage bundles + output bundles.
+
+        The interstage boundaries (``i = 1..l-1``) each carry ``d`` times
+        the wires of the underlying delta; the ``i = l`` term is the output
+        bundles.
+        """
+        total = self.n_inputs
+        for i in range(1, self.l + 1):
+            total += self.wires_after_stage(i)
+        return total
+
+    def crosspoint_cost(self) -> int:
+        """Crosspoints: stage 1 is ``H(a -> b x d)``, deeper stages ``H(ad -> b x d)``."""
+        total = self.switches_in_stage(1) * self.a * self.b * self.d
+        for i in range(2, self.l + 1):
+            total += self.switches_in_stage(i) * (self.a * self.d) * self.b * self.d
+        return total
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+
+    def analytic_acceptance(self, r: float) -> float:
+        """``PA(r)`` via the hyperbar chain.
+
+        Stage 1 sees per-wire rate ``r`` on ``a`` inputs; stage ``i > 1``
+        sees the attenuated rate on ``a*d`` inputs.  Survivors of stage
+        ``l`` are delivered (each output is a ``d``-wide port, so there is
+        no final contention step beyond the bundle capacity already
+        applied).
+        """
+        if r == 0.0:
+            return 1.0
+        rate = expected_accepted(self.a, self.b, self.d, r) / self.d
+        for _ in range(self.l - 1):
+            rate = expected_accepted(self.a * self.d, self.b, self.d, rate) / self.d
+        delivered = self.b**self.l * self.d * rate
+        generated = self.n_inputs * r
+        return delivered / generated
+
+    def __str__(self) -> str:
+        return f"DilatedDelta(a={self.a}, b={self.b}, l={self.l}, d={self.d})"

@@ -1,0 +1,81 @@
+"""Lawrie's Omega network (the paper's reference [14]).
+
+The omega network on ``N = 2^n`` terminals is ``n`` stages of ``2 x 2``
+switches, each stage preceded by a perfect shuffle of the wires — including
+a shuffle *before* the first stage, which is where it differs structurally
+from our delta construction (whose inputs feed stage 1 directly).  Patel
+showed omega is a delta network; here we realize it as the ``EDN(2,2,1,n)``
+engine composed with an input shuffle, which doubles as a working example
+of the paper's Corollary 1: permuting the inputs of an EDN changes which
+source owns a path but never destroys connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.analysis import delta_acceptance
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.labels import ilog2, is_power_of_two
+from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
+
+__all__ = ["OmegaNetwork"]
+
+IDLE = -1
+
+
+class OmegaNetwork:
+    """An ``N x N`` omega network (perfect shuffle + 2x2 switches).
+
+    >>> import numpy as np
+    >>> net = OmegaNetwork(8)
+    >>> res = net.route(np.array([6, -1, -1, -1, -1, -1, -1, -1]))
+    >>> res.num_delivered, int(res.output[0])
+    (1, 6)
+    """
+
+    def __init__(self, n: int, *, priority: str = "label"):
+        if not is_power_of_two(n) or n < 2:
+            raise ConfigurationError(f"omega size must be a power of two >= 2, got {n}")
+        self.n = n
+        self.stages = ilog2(n)
+        self.params = EDNParams(2, 2, 1, self.stages)
+        self._engine = VectorizedEDN(self.params, priority=priority)
+        # Input shuffle: source s enters the switch column on wire shuffle(s)
+        # (one-bit left rotation of the n-bit label).
+        idx = np.arange(n, dtype=np.int64)
+        self._shuffle = (((idx << 1) | (idx >> (self.stages - 1))) & (n - 1)).astype(np.int64)
+
+    @property
+    def n_inputs(self) -> int:
+        return self.n
+
+    @property
+    def n_outputs(self) -> int:
+        return self.n
+
+    def route(
+        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> VectorCycleResult:
+        """Route one cycle; semantics match the vectorized EDN result."""
+        dests = np.asarray(dests, dtype=np.int64)
+        if dests.shape != (self.n,):
+            raise ConfigurationError(f"expected demand vector of shape ({self.n},)")
+        shuffled = np.full(self.n, IDLE, dtype=np.int64)
+        shuffled[self._shuffle] = dests
+        inner = self._engine.route(shuffled, rng)
+        # Re-index outcomes back to original source labels.
+        return VectorCycleResult(
+            output=inner.output[self._shuffle],
+            blocked_stage=inner.blocked_stage[self._shuffle],
+        )
+
+    def analytic_acceptance(self, r: float) -> float:
+        """Patel's delta recursion with ``a = b = 2`` (input shuffles don't matter)."""
+        return delta_acceptance(2, 2, self.stages, r)
+
+    def __repr__(self) -> str:
+        return f"OmegaNetwork({self.n}x{self.n}, {self.stages} stages)"

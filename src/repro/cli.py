@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the library's main entry points without writing
+code:
+
+* ``describe A B C L`` — structure, costs and key metrics of an EDN;
+* ``pa A B C L [-r RATE]`` — analytic acceptance (Eq. 4/5) plus an optional
+  Monte-Carlo check;
+* ``experiment ID ...`` — regenerate paper figures (see ``experiment --list``);
+* ``maspar`` — the Section 5 MasPar MP-1 drain, model and simulation;
+* ``mimd A B C L -r RATE`` — Section 4 resubmission analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.analysis import acceptance_probability, permutation_acceptance
+from repro.core.config import EDNParams
+from repro.core.cost import cost_report
+from repro.viz.ascii_art import render_network
+from repro.viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Expanded Delta Networks (Alleyne & Scherson 1992) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="structure and costs of an EDN(a,b,c,l)")
+    for name in ("a", "b", "c", "l"):
+        describe.add_argument(name, type=int)
+
+    pa = sub.add_parser("pa", help="acceptance probability of an EDN(a,b,c,l)")
+    for name in ("a", "b", "c", "l"):
+        pa.add_argument(name, type=int)
+    pa.add_argument("-r", "--rate", type=float, default=1.0, help="request rate (default 1.0)")
+    pa.add_argument(
+        "--simulate", type=int, metavar="CYCLES", default=0,
+        help="also Monte-Carlo measure over CYCLES cycles",
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate paper figures")
+    experiment.add_argument("ids", nargs="*", help="experiment IDs (empty = all)")
+    experiment.add_argument("--list", action="store_true", help="list available IDs")
+
+    sub.add_parser("maspar", help="Section 5: MasPar MP-1 drain model + simulation")
+
+    mimd = sub.add_parser("mimd", help="Section 4: resubmission Markov analysis")
+    for name in ("a", "b", "c", "l"):
+        mimd.add_argument(name, type=int)
+    mimd.add_argument("-r", "--rate", type=float, default=0.5)
+
+    return parser
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    params = EDNParams(args.a, args.b, args.c, args.l)
+    print(render_network(params))
+    report = cost_report(params)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["crosspoints (Eq. 2)", report["crosspoints"]],
+                ["wires (Eq. 3)", report["wires"]],
+                ["crossbar-equivalent crosspoints", report["crossbar_equivalent_crosspoints"]],
+                ["cost ratio vs crossbar", report["cost_ratio_vs_crossbar"]],
+                ["PA(1) (Eq. 4)", acceptance_probability(params, 1.0)],
+                ["PAp(1) (Eq. 5)", permutation_acceptance(params, 1.0)],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_pa(args: argparse.Namespace) -> int:
+    params = EDNParams(args.a, args.b, args.c, args.l)
+    print(f"{params}: PA({args.rate:g}) = {acceptance_probability(params, args.rate):.6f}  "
+          f"PAp({args.rate:g}) = {permutation_acceptance(params, args.rate):.6f}")
+    if args.simulate:
+        from repro.sim.montecarlo import measure_acceptance
+        from repro.sim.traffic import UniformTraffic
+        from repro.sim.vectorized import VectorizedEDN
+
+        measurement = measure_acceptance(
+            VectorizedEDN(params),
+            UniformTraffic(params.num_inputs, params.num_outputs, args.rate),
+            cycles=args.simulate,
+            seed=0,
+        )
+        print(f"simulated over {args.simulate} cycles: {measurement.acceptance}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS, main as run_all
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    unknown = [i for i in args.ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; try --list", file=sys.stderr)
+        return 2
+    run_all(args.ids or None)
+    return 0
+
+
+def _cmd_maspar(_args: argparse.Namespace) -> int:
+    from repro.experiments.sec5_raedn import run, run_simulation
+
+    print(run().render())
+    print()
+    print(run_simulation(runs=3, seed=42).render())
+    return 0
+
+
+def _cmd_mimd(args: argparse.Namespace) -> int:
+    from repro.mimd.markov import edn_resubmission
+
+    params = EDNParams(args.a, args.b, args.c, args.l)
+    solution = edn_resubmission(params, args.rate)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["PA (rejects ignored)", acceptance_probability(params, args.rate)],
+                ["PA' (resubmitted)", solution.pa_resubmit],
+                ["effective rate r'", solution.effective_rate],
+                ["q_active (efficiency)", solution.q_active],
+                ["q_waiting", solution.q_waiting],
+                ["bandwidth/input/cycle", solution.bandwidth_per_input],
+            ],
+            title=f"{params} at r = {args.rate:g} (Eqs. 7-11)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "pa": _cmd_pa,
+    "experiment": _cmd_experiment,
+    "maspar": _cmd_maspar,
+    "mimd": _cmd_mimd,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: normal CLI etiquette.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Core EDN machinery: switches, topology, routing, costs, and analytic models.
+
+This subpackage implements the paper's primary contribution — the Expanded
+Delta Network — end to end:
+
+* :mod:`repro.core.labels` / :mod:`repro.core.permutations` — mixed-radix
+  labels and the gamma interstage permutation family (Definition 3);
+* :mod:`repro.core.hyperbar` / :mod:`repro.core.crossbar` — the switch
+  models (Definition 1);
+* :mod:`repro.core.config` / :mod:`repro.core.topology` — network shape and
+  wiring (Definition 2, Eq. 1);
+* :mod:`repro.core.tags` — destination tags and digit retirement
+  (Lemma 1, Corollary 2);
+* :mod:`repro.core.network` — the reference circuit-switched router;
+* :mod:`repro.core.paths` — multipath enumeration (Theorems 1-2);
+* :mod:`repro.core.cost` — crosspoint and wire costs (Eqs. 2-3);
+* :mod:`repro.core.analysis` — acceptance-probability models (Eqs. 4-5).
+"""
+
+from repro.core.analysis import (
+    acceptance_probability,
+    crossbar_acceptance,
+    delta_acceptance,
+    expected_accepted,
+    expected_bandwidth,
+    permutation_acceptance,
+    stage_rates,
+)
+from repro.core.config import EDNParams, family_members, hyperbar_family
+from repro.core.cost import (
+    cost_report,
+    crosspoint_cost,
+    crosspoint_cost_closed_form,
+    wire_cost,
+    wire_cost_closed_form,
+)
+from repro.core.crossbar import Crossbar
+from repro.core.faults import (
+    FaultSet,
+    FaultyEDNetwork,
+    WireFault,
+    connectivity_under_faults,
+    random_faults,
+)
+from repro.core.multipass import MultipassResult, route_permutation_multipass
+from repro.core.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    EDNError,
+    LabelError,
+    RoutingError,
+    ScheduleError,
+)
+from repro.core.hyperbar import Hyperbar, SwitchResult
+from repro.core.network import CycleResult, EDNetwork, Message, MessageOutcome
+from repro.core.paths import Path, count_paths, enumerate_paths, verify_full_access
+from repro.core.permutations import Permutation, gamma, gamma_permutation
+from repro.core.tags import DestinationTag, RetirementOrder
+from repro.core.topology import EDNTopology
+
+__all__ = [
+    # configuration & structure
+    "EDNParams",
+    "EDNTopology",
+    "hyperbar_family",
+    "family_members",
+    # switches
+    "Hyperbar",
+    "Crossbar",
+    "SwitchResult",
+    # routing
+    "EDNetwork",
+    "Message",
+    "MessageOutcome",
+    "CycleResult",
+    "DestinationTag",
+    "RetirementOrder",
+    # permutations & paths
+    "Permutation",
+    "gamma",
+    "gamma_permutation",
+    "Path",
+    "enumerate_paths",
+    "count_paths",
+    "verify_full_access",
+    # cost
+    "crosspoint_cost",
+    "crosspoint_cost_closed_form",
+    "wire_cost",
+    "wire_cost_closed_form",
+    "cost_report",
+    # analysis
+    "acceptance_probability",
+    "permutation_acceptance",
+    "expected_accepted",
+    "expected_bandwidth",
+    "stage_rates",
+    "crossbar_acceptance",
+    "delta_acceptance",
+    # faults & multipass extensions
+    "WireFault",
+    "FaultSet",
+    "FaultyEDNetwork",
+    "random_faults",
+    "connectivity_under_faults",
+    "MultipassResult",
+    "route_permutation_multipass",
+    # errors
+    "EDNError",
+    "ConfigurationError",
+    "LabelError",
+    "RoutingError",
+    "ScheduleError",
+    "ConvergenceError",
+]

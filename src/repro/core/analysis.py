@@ -1,0 +1,177 @@
+"""Analytic performance model of EDNs (paper, Section 3.2, Eqs. 4-5).
+
+The model follows Patel's classic independence approximation, generalized
+to hyperbars.  Under uniform independent destinations (Theorem 3 shows the
+uniformity propagates stage to stage):
+
+* a bucket of an ``H(a -> b x c)`` hyperbar facing per-input request rate
+  ``r`` sees ``n ~ Binomial(a, r/b)`` requests and grants ``min(n, c)``;
+  the *expected grants per bucket* are
+
+      ``E(r) = sum_n min(n, c) * P[n]  =  a*(r/b) - sum_{n>c} (n - c) * P[n]``;
+
+* the per-wire rate entering the next stage is ``r' = E(r) / c``, giving
+  the recursion ``r_{i+1} = E(r_i) / c`` with ``r_0 = r``;
+* the final ``c x c`` crossbar delivers a request on a given output with
+  probability ``r_final = 1 - (1 - r_l / c)^c``;
+* the probability of acceptance is the delivered/generated ratio
+
+      ``PA(r) = (b c / a)^l * r_final / r``            (Eq. 4).
+
+For *permutation* traffic Lemma 2 proves the last hyperbar stage and the
+crossbar stage never block, so only stages ``1 .. l-1`` attenuate:
+
+      ``PAp(r) = (b c / a)^(l-1) * r_{l-1} / r``       (Eq. 5).
+
+Everything here is closed-form arithmetic — no simulation — and is
+validated against Monte-Carlo simulation in the test suite and the
+``fig7_mc`` benchmark.
+"""
+
+from __future__ import annotations
+
+from math import comb, expm1, log1p
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "expected_accepted",
+    "bucket_load_pmf",
+    "stage_rates",
+    "acceptance_probability",
+    "permutation_acceptance",
+    "expected_bandwidth",
+    "crossbar_acceptance",
+    "delta_acceptance",
+]
+
+
+def bucket_load_pmf(a: int, b: int, r: float) -> list[float]:
+    """P[n requests address one bucket], ``n = 0..a`` (binomial ``(a, r/b)``)."""
+    if not 0.0 <= r <= 1.0:
+        raise ConfigurationError(f"request rate must lie in [0, 1], got {r}")
+    p = r / b
+    q = 1.0 - p
+    return [comb(a, n) * p**n * q ** (a - n) for n in range(a + 1)]
+
+
+def expected_accepted(a: int, b: int, c: int, r: float) -> float:
+    """``E(r)``: expected requests granted per bucket of ``H(a -> b x c)``.
+
+    Uses the identity ``E[min(n, c)] = E[n] - E[(n - c)^+]
+    = a*p - sum_{n>c} (n - c) P[n]`` with ``p = r/b``.  Unlike the naive
+    ``c - sum_{n<c} (c-n) P[n]`` form, this stays exact down to
+    ``r -> 0`` (where ``E ~ a*r/b`` must survive, not cancel to zero) —
+    the recursion of Eq. 4 feeds on exactly those tiny rates.
+    """
+    if not 0.0 <= r <= 1.0:
+        raise ConfigurationError(f"request rate must lie in [0, 1], got {r}")
+    if c > a:
+        raise ConfigurationError(f"bucket capacity c={c} cannot exceed inputs a={a}")
+    p = r / b
+    q = 1.0 - p
+    if q == 0.0:
+        # r/b == 1 (only possible when b == 1 and r == 1): all a requests hit
+        # the single bucket, so exactly min(a, c) = c are granted.
+        return float(c)
+    # Walk the binomial pmf incrementally: P[n+1] = P[n] * (a-n)/(n+1) * p/q.
+    overflow = 0.0
+    pmf_n = q**a
+    for n in range(a):
+        if n > c:
+            overflow += (n - c) * pmf_n
+        pmf_n *= (a - n) / (n + 1) * (p / q)
+    overflow += (a - c) * pmf_n if a > c else 0.0
+    return a * p - overflow
+
+
+def stage_rates(params: EDNParams, r: float, *, stages: int | None = None) -> list[float]:
+    """Per-wire request rates ``[r_0, r_1, ..., r_stages]`` through the hyperbar stages.
+
+    ``r_0 = r`` is the offered rate; ``r_i`` is the rate on each wire
+    leaving hyperbar stage ``i``.  ``stages`` defaults to ``l`` (all
+    hyperbar stages).
+    """
+    if stages is None:
+        stages = params.l
+    if not 0 <= stages <= params.l:
+        raise ConfigurationError(f"stages must lie in 0..{params.l}, got {stages}")
+    rates = [r]
+    for _ in range(stages):
+        rates.append(expected_accepted(params.a, params.b, params.c, rates[-1]) / params.c)
+    return rates
+
+
+def acceptance_probability(params: EDNParams, r: float) -> float:
+    """``PA(r)`` — Eq. 4: expected fraction of generated requests delivered.
+
+    ``PA(0)`` is defined by continuity as 1 (an infinitesimal load is never
+    blocked).
+    """
+    if r == 0.0:
+        return 1.0
+    r_l = stage_rates(params, r)[-1]
+    scale = (params.b * params.c / params.a) ** params.l
+    if r_l >= params.c:
+        return scale / r  # saturated crossbar inputs (r_l/c == 1)
+    # 1 - (1 - r_l/c)^c, computed without cancellation at tiny rates.
+    r_final = -expm1(params.c * log1p(-r_l / params.c))
+    return scale * r_final / r
+
+
+def permutation_acceptance(params: EDNParams, r: float = 1.0) -> float:
+    """``PAp(r)`` — Eq. 5: acceptance when the offered requests form a (partial) permutation.
+
+    Lemma 2 removes blocking from the last hyperbar stage and the crossbar
+    stage; for ``l = 1`` the whole network is conflict-free and
+    ``PAp = 1``.
+    """
+    if r == 0.0:
+        return 1.0
+    r_prev = stage_rates(params, r, stages=params.l - 1)[-1]
+    scale = (params.b * params.c / params.a) ** (params.l - 1)
+    return scale * r_prev / r
+
+
+def expected_bandwidth(params: EDNParams, r: float) -> float:
+    """Expected requests delivered per cycle: ``num_inputs * r * PA(r)``."""
+    return params.num_inputs * r * acceptance_probability(params, r)
+
+
+def crossbar_acceptance(n: int, r: float) -> float:
+    """``PA`` of a full ``n x n`` crossbar under uniform traffic.
+
+    Each output is requested by at least one of the ``n`` inputs with
+    probability ``1 - (1 - r/n)^n``; dividing expected deliveries by
+    expected requests gives ``PA = (1 - (1 - r/n)^n) / r``.  This is the
+    reference curve of Figures 7-8 (``-> (1 - e^-r) / r`` as ``n`` grows).
+    """
+    if n < 1:
+        raise ConfigurationError(f"crossbar size must be positive, got {n}")
+    if r == 0.0:
+        return 1.0
+    if not 0.0 < r <= 1.0:
+        raise ConfigurationError(f"request rate must lie in [0, 1], got {r}")
+    if r == n:  # only n = 1, r = 1: log1p(-1) would blow up
+        return 1.0
+    # -expm1(n*log1p(-r/n)) == 1 - (1 - r/n)^n without cancellation at small r.
+    return -expm1(n * log1p(-r / n)) / r
+
+
+def delta_acceptance(a: int, b: int, l: int, r: float) -> float:
+    """``PA`` of Patel's ``a^l x b^l`` delta network (the ``c = 1`` EDN).
+
+    Patel's recursion: ``r_{i+1} = 1 - (1 - r_i / b)^a``.  Provided as an
+    independent implementation so tests can pin
+    ``acceptance_probability(EDN(a, b, 1, l), r)`` against it.
+    """
+    if r == 0.0:
+        return 1.0
+    rate = r
+    for _ in range(l):
+        if rate >= b:
+            rate = 1.0
+        else:
+            rate = -expm1(a * log1p(-rate / b))  # 1 - (1 - rate/b)^a, stably
+    return (b / a) ** l * rate / r

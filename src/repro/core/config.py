@@ -1,0 +1,218 @@
+"""Parameterization of Expanded Delta Networks.
+
+An ``EDN(a, b, c, l)`` (paper, Definition 2) is an ``l + 1``-stage network:
+stages ``1..l`` are ``H(a -> b x c)`` hyperbar switches and stage ``l + 1``
+is a column of ``c x c`` crossbars.  This module centralizes parameter
+validation and all the derived size arithmetic the paper states in
+Section 2:
+
+* the network has ``(a/c)^l * c`` inputs and ``b^l * c`` outputs;
+* the output of stage ``i`` carries ``(a/c)^(l-i) * b^i * c`` wires;
+* stage ``i`` contains ``(a/c)^(l-i) * b^(i-1)`` hyperbars and the final
+  stage contains ``b^l`` crossbars.
+
+It also exposes the two special cases the paper highlights (Theorem 2's
+corollary cases): ``EDN(a, b, 1, 1)`` is an ``a x b`` crossbar and
+``EDN(a, b, 1, l)`` is an ``a^l x b^l`` delta network, plus generators for
+the switch *families* plotted in Figures 7 and 8 (all EDNs whose hyperbar
+has a fixed number of input and output terminals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.labels import ilog2, is_power_of_two
+
+__all__ = ["EDNParams", "hyperbar_family", "family_members"]
+
+
+@dataclass(frozen=True)
+class EDNParams:
+    """Validated parameters of an ``EDN(a, b, c, l)``.
+
+    Attributes
+    ----------
+    a:
+        Inputs per hyperbar switch.
+    b:
+        Output buckets per hyperbar switch (the routing radix).
+    c:
+        Bucket capacity — wires per bucket, and the size of the final-stage
+        crossbars.  ``c = 1`` degenerates to Patel's delta network.
+    l:
+        Number of hyperbar stages.  The network has ``l + 1`` stages total.
+    """
+
+    a: int
+    b: int
+    c: int
+    l: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("a", self.a), ("b", self.b), ("c", self.c)):
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"EDN parameter {name}={value} must be a positive power of two "
+                    "(paper, Section 2)"
+                )
+        if self.l < 1:
+            raise ConfigurationError(f"EDN needs at least one hyperbar stage, got l={self.l}")
+        if self.c > self.a:
+            raise ConfigurationError(
+                f"bucket capacity c={self.c} cannot exceed hyperbar inputs a={self.a}"
+            )
+        if self.b < 2 and not (self.b == 1 and self.c == 1):
+            # b = 1 means a single bucket: the switch performs no routing at
+            # all and the destination tag has zero-width digits.  The paper
+            # never instantiates it; we reject it except in the degenerate
+            # 1x1 case, which is harmless.
+            raise ConfigurationError("hyperbars need at least b=2 output buckets")
+
+    # ------------------------------------------------------------------
+    # Size arithmetic (paper, Section 2)
+    # ------------------------------------------------------------------
+
+    @property
+    def fan_in(self) -> int:
+        """``a / c``: distinct hyperbars feeding each stage-level digit."""
+        return self.a // self.c
+
+    @property
+    def num_inputs(self) -> int:
+        """``(a/c)^l * c`` input terminals."""
+        return self.fan_in**self.l * self.c
+
+    @property
+    def num_outputs(self) -> int:
+        """``b^l * c`` output terminals."""
+        return self.b**self.l * self.c
+
+    def wires_after_stage(self, i: int) -> int:
+        """Wires leaving stage ``i`` (``i = 0`` means the network inputs).
+
+        ``W_i = (a/c)^(l-i) * b^i * c`` for ``0 <= i <= l``; the crossbar
+        stage preserves width so ``W_{l+1} = W_l = b^l * c``.
+        """
+        if not 0 <= i <= self.l + 1:
+            raise ConfigurationError(f"stage index {i} out of range 0..{self.l + 1}")
+        if i == self.l + 1:
+            i = self.l
+        return self.fan_in ** (self.l - i) * self.b**i * self.c
+
+    def hyperbars_in_stage(self, i: int) -> int:
+        """Hyperbar switches in stage ``i`` (``1 <= i <= l``)."""
+        if not 1 <= i <= self.l:
+            raise ConfigurationError(f"hyperbar stage index {i} out of range 1..{self.l}")
+        return self.fan_in ** (self.l - i) * self.b ** (i - 1)
+
+    @property
+    def num_crossbars(self) -> int:
+        """``b^l`` crossbars in the final stage."""
+        return self.b**self.l
+
+    @property
+    def total_hyperbars(self) -> int:
+        return sum(self.hyperbars_in_stage(i) for i in range(1, self.l + 1))
+
+    # ------------------------------------------------------------------
+    # Bit widths
+    # ------------------------------------------------------------------
+
+    @property
+    def digit_bits(self) -> int:
+        """Bits retired per hyperbar stage: ``log2(b)``."""
+        return ilog2(self.b)
+
+    @property
+    def capacity_bits(self) -> int:
+        """Bits retired at the crossbar stage: ``log2(c)``."""
+        return ilog2(self.c)
+
+    @property
+    def fan_in_bits(self) -> int:
+        """``log2(a/c)``: the rotation amount of the interstage gamma."""
+        return ilog2(self.fan_in)
+
+    @property
+    def tag_bits(self) -> int:
+        """Total destination-tag width: ``l*log2(b) + log2(c)`` bits."""
+        return self.l * self.digit_bits + self.capacity_bits
+
+    # ------------------------------------------------------------------
+    # Special cases (paper, after Theorem 2)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_crossbar(self) -> bool:
+        """``EDN(a, b, 1, 1)`` is an ``a x b`` crossbar."""
+        return self.c == 1 and self.l == 1
+
+    @property
+    def is_delta(self) -> bool:
+        """``EDN(a, b, 1, l)`` is an ``a^l x b^l`` delta network."""
+        return self.c == 1
+
+    @property
+    def paths_per_pair(self) -> int:
+        """Distinct paths between any input/output pair: ``c^l`` (Theorem 2)."""
+        return self.c**self.l
+
+    @property
+    def hyperbar_io(self) -> tuple[int, int]:
+        """(inputs, outputs) of the constituent hyperbar: ``(a, b*c)``."""
+        return (self.a, self.b * self.c)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"EDN({self.a},{self.b},{self.c},{self.l}): "
+            f"{self.num_inputs} inputs -> {self.num_outputs} outputs, "
+            f"{self.l} hyperbar stage(s) of H({self.a}->{self.b}x{self.c}) "
+            f"+ {self.num_crossbars} {self.c}x{self.c} crossbar(s), "
+            f"{self.paths_per_pair} path(s) per input/output pair"
+        )
+
+    def __str__(self) -> str:
+        return f"EDN({self.a},{self.b},{self.c},{self.l})"
+
+
+def hyperbar_family(io_size: int) -> list[tuple[int, int, int]]:
+    """All ``(a, b, c)`` hyperbar shapes with ``a = b*c = io_size``.
+
+    These are the *families* of Figures 7 and 8: "all families [of] EDNs
+    generated with 8 inputs 8 outputs hyperbars" means every split of the
+    8 outputs into ``b`` buckets of capacity ``c``.  ``b = 1`` (a single
+    bucket, no routing) is excluded; ``c = 1`` is the delta-network member.
+
+    >>> hyperbar_family(8)
+    [(8, 2, 4), (8, 4, 2), (8, 8, 1)]
+    """
+    if not is_power_of_two(io_size):
+        raise ConfigurationError(f"hyperbar I/O size must be a power of two, got {io_size}")
+    shapes = []
+    b = 2
+    while b <= io_size:
+        shapes.append((io_size, b, io_size // b))
+        b *= 2
+    return shapes
+
+
+def family_members(
+    a: int, b: int, c: int, *, max_inputs: int, min_stages: int = 1
+) -> Iterator[EDNParams]:
+    """Yield ``EDN(a, b, c, l)`` for ``l = min_stages, min_stages+1, ...``.
+
+    Stops once the network input count would exceed ``max_inputs``.  This is
+    the sweep the paper plots along the x-axis of Figures 7, 8 and 11
+    (network size from one switch up to ~10^6 terminals).
+    """
+    l = min_stages
+    while True:
+        params = EDNParams(a, b, c, l)
+        if params.num_inputs > max_inputs:
+            return
+        yield params
+        l += 1

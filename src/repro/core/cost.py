@@ -1,0 +1,121 @@
+"""Cost models for EDNs (paper, Section 3.1, Eqs. 2-3).
+
+Two costs are defined:
+
+* **crosspoint cost** ``Cs(a, b, c, l)`` — total crosspoint switches, a
+  proxy for layout area.  An ``a x b`` crossbar costs ``ab``; an
+  ``H(a -> b x c)`` hyperbar costs ``abc``;
+* **wire cost** ``Cw(a, b, c, l)`` — total wires (inputs + every interstage
+  boundary + outputs), a proxy for PC-board area / pins / backplane
+  connections.
+
+Both are provided as the stage-by-stage sums (always exact) and as the
+paper's closed forms, with the geometric-series split on ``a/c = b``.  The
+printed closed form of Eq. 2 for ``a/c = b`` drops a factor of ``c``
+(``l b^{l+1} c`` should be ``l b^{l+1} c^2``; each of the ``l b^{l-1}``
+hyperbars costs ``abc = b^2 c^2``) — the sums here are authoritative and the
+test suite pins the closed forms to structural enumeration over the real
+topology.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EDNParams
+
+__all__ = [
+    "crosspoint_cost",
+    "wire_cost",
+    "crosspoint_cost_closed_form",
+    "wire_cost_closed_form",
+    "crossbar_crosspoint_cost",
+    "delta_crosspoint_cost",
+    "cost_report",
+]
+
+
+def crosspoint_cost(params: EDNParams) -> int:
+    """Exact crosspoint count by summing over stages (Eq. 2's derivation).
+
+    ``sum_{i=1..l} (a/c)^(l-i) b^(i-1) * abc  +  b^l * c^2``.
+    """
+    p = params
+    hyperbar_cost = p.a * p.b * p.c
+    total = sum(p.hyperbars_in_stage(i) for i in range(1, p.l + 1)) * hyperbar_cost
+    total += p.num_crossbars * p.c * p.c
+    return total
+
+
+def crosspoint_cost_closed_form(params: EDNParams) -> int:
+    """Eq. 2 closed form (corrected for the ``a/c = b`` branch, see module doc)."""
+    p = params
+    q, b = p.fan_in, p.b
+    if q != b:
+        series = (q**p.l - b**p.l) // (q - b)
+        return series * p.a * p.b * p.c + b**p.l * p.c**2
+    return p.l * b ** (p.l + 1) * p.c**2 + b**p.l * p.c**2
+
+
+def wire_cost(params: EDNParams) -> int:
+    """Exact wire count: inputs + interstage boundaries + outputs (Eq. 3's sum)."""
+    p = params
+    total = p.num_inputs + p.num_outputs
+    for i in range(1, p.l + 1):
+        total += p.wires_after_stage(i)
+    return total
+
+
+def wire_cost_closed_form(params: EDNParams) -> int:
+    """Eq. 3 closed form.
+
+    ``Cw = [((a/c)^l - b^l) / ((a/c) - b)] bc + (a/c)^l c + b^l c`` for
+    ``a/c != b`` and ``(l + 2) b^l c`` otherwise.
+    """
+    p = params
+    q, b = p.fan_in, p.b
+    if q != b:
+        series = (q**p.l - b**p.l) // (q - b)
+        return series * b * p.c + q**p.l * p.c + b**p.l * p.c
+    return (p.l + 2) * b**p.l * p.c
+
+
+def crossbar_crosspoint_cost(n_inputs: int, n_outputs: int | None = None) -> int:
+    """Cost of a full crossbar: ``n_inputs * n_outputs`` crosspoints."""
+    if n_outputs is None:
+        n_outputs = n_inputs
+    return n_inputs * n_outputs
+
+
+def delta_crosspoint_cost(a: int, b: int, l: int) -> int:
+    """Cost of Patel's ``a^l x b^l`` delta network built from ``a x b`` crossbars.
+
+    This is the ``c = 1`` specialization of Eq. 2 and the baseline the paper
+    compares against in its conclusions.
+    """
+    return crosspoint_cost(EDNParams(a, b, 1, l))
+
+
+def cost_report(params: EDNParams) -> dict:
+    """All cost figures for one network, plus same-size baselines.
+
+    The crossbar baseline is sized ``num_inputs x num_outputs``; the
+    delta baseline is the ``c = 1`` member of the same hyperbar family with
+    matching terminal counts when one exists (``EDN(a', b, 1, l)`` with
+    ``a' = a/c`` has ``(a/c)^l`` inputs — fewer than the EDN — so we report
+    the family delta ``EDN(bc, b, 1, l')`` scaled to at least as many
+    inputs; callers wanting precise comparisons should build their own
+    :class:`EDNParams`).
+    """
+    report = {
+        "params": params,
+        "crosspoints": crosspoint_cost(params),
+        "crosspoints_closed_form": crosspoint_cost_closed_form(params),
+        "wires": wire_cost(params),
+        "wires_closed_form": wire_cost_closed_form(params),
+        "crossbar_equivalent_crosspoints": crossbar_crosspoint_cost(
+            params.num_inputs, params.num_outputs
+        ),
+    }
+    report["cost_ratio_vs_crossbar"] = (
+        report["crosspoints"] / report["crossbar_equivalent_crosspoints"]
+    )
+    return report

@@ -1,0 +1,71 @@
+"""Crossbar switches.
+
+Two roles in the paper:
+
+* the final stage of every ``EDN(a, b, c, l)`` is a column of ``c x c``
+  crossbars (Definition 2), each resolving the last base-``c`` digit ``x``
+  of the destination tag;
+* the full ``N x N`` crossbar is the upper-bound baseline of Figures 7/8.
+
+A crossbar is exactly the degenerate hyperbar ``H(a -> b x 1)``
+(Definition 1), so this class delegates contention resolution to
+:class:`~repro.core.hyperbar.Hyperbar` with unit bucket capacity while
+presenting crossbar-flavoured naming.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hyperbar import Hyperbar, SwitchResult
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """An ``n_inputs x n_outputs`` crossbar: at most one grant per output.
+
+    >>> xbar = Crossbar(4, 4)
+    >>> result = xbar.route([0, 0, 2, 3])
+    >>> result.rejected          # input 1 lost the fight for output 0
+    [1]
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: Optional[int] = None,
+        *,
+        priority: str = "label",
+    ):
+        if n_outputs is None:
+            n_outputs = n_inputs
+        self._switch = Hyperbar(n_inputs, n_outputs, 1, priority=priority)
+
+    @property
+    def n_inputs(self) -> int:
+        return self._switch.a
+
+    @property
+    def n_outputs(self) -> int:
+        return self._switch.b
+
+    @property
+    def crosspoints(self) -> int:
+        """``n_inputs * n_outputs`` crosspoint switches (paper, Section 3.1)."""
+        return self._switch.crosspoints
+
+    def route(
+        self,
+        requests: Sequence[Optional[int]],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SwitchResult:
+        """Resolve one cycle of output requests; see :class:`SwitchResult`."""
+        return self._switch.route(requests, rng=rng)
+
+    def __repr__(self) -> str:
+        return f"Crossbar({self.n_inputs}x{self.n_outputs})"

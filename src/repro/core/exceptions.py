@@ -1,0 +1,51 @@
+"""Exception hierarchy for the EDN reproduction library.
+
+All library errors derive from :class:`EDNError` so that callers can catch
+library-specific failures without masking programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EDNError",
+    "ConfigurationError",
+    "RoutingError",
+    "LabelError",
+    "ScheduleError",
+    "ConvergenceError",
+]
+
+
+class EDNError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(EDNError, ValueError):
+    """A network, switch, or system was parameterized inconsistently.
+
+    Examples: a hyperbar whose bucket count is not a power of two, an EDN
+    whose capacity does not divide its switch input count, or a restricted
+    access system with a non-positive cluster size.
+    """
+
+
+class LabelError(EDNError, ValueError):
+    """A wire label, digit string, or destination tag is out of range."""
+
+
+class RoutingError(EDNError, RuntimeError):
+    """Routing violated a structural invariant of the network.
+
+    This indicates a bug in the library (for example a message arriving at a
+    switch it is not wired to), never ordinary contention; contention is a
+    modelled outcome, reported through result objects rather than raised.
+    """
+
+
+class ScheduleError(EDNError, RuntimeError):
+    """A restricted-access schedule selected an invalid processor."""
+
+
+class ConvergenceError(EDNError, RuntimeError):
+    """A fixed-point iteration failed to converge within its budget."""

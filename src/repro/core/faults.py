@@ -1,0 +1,252 @@
+"""Fault injection and fault-tolerant routing.
+
+The paper's introduction situates EDNs among fault-tolerant multistage
+designs (the extra-stage cube, reference [1]) and Theorem 2's ``c^l``
+multipath is the mechanism: a message needs *one* live wire per bucket
+along its path, so an ``EDN(a,b,c,l)`` tolerates up to ``c - 1`` dead
+wires in every bucket it traverses, where the ``c = 1`` delta dies with
+any single fault on its unique path.  This module makes that concrete:
+
+* :class:`FaultSet` — a set of dead *output wires* (stage, switch, local
+  wire).  Wire faults subsume the interesting switch-level faults: a dead
+  hyperbar is all its output wires dead; a dead interstage link is the
+  wire feeding it dead.
+* :class:`FaultyEDNetwork` — the reference engine's semantics with dead
+  wires masked out of their buckets (an effective per-bucket capacity
+  reduction, non-uniform across the network).
+* :func:`connectivity_under_faults` — exhaustively checks which
+  source/destination pairs remain connected (Theorem 1 under damage).
+* :func:`random_faults` — i.i.d. wire failures for injection studies.
+
+The ``ablation_faults`` benchmark measures delivered traffic and pair
+connectivity as the wire-failure rate grows, for a capacity ladder of
+equal-size networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.network import CycleResult, Message, MessageOutcome
+from repro.core.tags import DestinationTag, RetirementOrder
+from repro.core.topology import EDNTopology
+
+__all__ = [
+    "WireFault",
+    "FaultSet",
+    "random_faults",
+    "FaultyEDNetwork",
+    "connectivity_under_faults",
+]
+
+
+@dataclass(frozen=True, order=True)
+class WireFault:
+    """A dead output wire: ``stage`` (1-indexed; ``l + 1`` = crossbar column),
+    ``switch`` within the stage, ``local_wire`` within the switch."""
+
+    stage: int
+    switch: int
+    local_wire: int
+
+
+class FaultSet:
+    """An immutable collection of wire faults with fast per-switch lookup."""
+
+    def __init__(self, faults: Iterable[WireFault] = ()):
+        self._faults = frozenset(faults)
+        by_switch: dict[tuple[int, int], set[int]] = {}
+        for fault in self._faults:
+            by_switch.setdefault((fault.stage, fault.switch), set()).add(fault.local_wire)
+        self._by_switch = {key: frozenset(wires) for key, wires in by_switch.items()}
+
+    @classmethod
+    def none(cls) -> "FaultSet":
+        return cls()
+
+    def validate(self, params: EDNParams) -> None:
+        """Raise unless every fault names a real wire of ``params``."""
+        for fault in self._faults:
+            if not 1 <= fault.stage <= params.l + 1:
+                raise ConfigurationError(f"{fault} names stage outside 1..{params.l + 1}")
+            if fault.stage <= params.l:
+                switches = params.hyperbars_in_stage(fault.stage)
+                wires = params.b * params.c
+            else:
+                switches = params.num_crossbars
+                wires = params.c
+            if not 0 <= fault.switch < switches:
+                raise ConfigurationError(f"{fault} names switch outside 0..{switches - 1}")
+            if not 0 <= fault.local_wire < wires:
+                raise ConfigurationError(f"{fault} names wire outside 0..{wires - 1}")
+
+    def dead_wires(self, stage: int, switch: int) -> frozenset[int]:
+        """Local output wires of ``switch`` in ``stage`` that are dead."""
+        return self._by_switch.get((stage, switch), frozenset())
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[WireFault]:
+        return iter(sorted(self._faults))
+
+    def __contains__(self, fault: WireFault) -> bool:
+        return fault in self._faults
+
+    def __repr__(self) -> str:
+        return f"FaultSet({len(self._faults)} wire faults)"
+
+
+def random_faults(
+    params: EDNParams, failure_rate: float, rng: np.random.Generator
+) -> FaultSet:
+    """Fail each hyperbar output wire independently with ``failure_rate``.
+
+    Crossbar-stage outputs are the network's terminal pins; they are left
+    alive so that "connectivity" questions stay about the fabric, not about
+    a destination that physically ceased to exist.
+    """
+    if not 0.0 <= failure_rate <= 1.0:
+        raise ConfigurationError(f"failure rate must lie in [0, 1], got {failure_rate}")
+    faults = []
+    per_switch = params.b * params.c
+    for stage in range(1, params.l + 1):
+        for switch in range(params.hyperbars_in_stage(stage)):
+            dead = np.flatnonzero(rng.random(per_switch) < failure_rate)
+            faults.extend(WireFault(stage, switch, int(w)) for w in dead)
+    return FaultSet(faults)
+
+
+class FaultyEDNetwork:
+    """Reference-engine semantics over a damaged fabric.
+
+    Dead output wires are masked out of their buckets, shrinking the
+    effective bucket capacity at that switch; messages route exactly as in
+    :class:`~repro.core.network.EDNetwork` otherwise (label priority,
+    first-free among *live* wires).  A message whose bucket has no live
+    wire is blocked at that stage, even alone in the network.
+    """
+
+    def __init__(
+        self,
+        params: EDNParams,
+        faults: FaultSet,
+        *,
+        retirement_order: Optional[RetirementOrder] = None,
+    ):
+        faults.validate(params)
+        self.params = params
+        self.faults = faults
+        self.topology = EDNTopology(params)
+        if retirement_order is None:
+            retirement_order = RetirementOrder.canonical(params.l)
+        self.retirement_order = retirement_order
+
+    def route_cycle(self, messages: Iterable[Message]) -> CycleResult:
+        """One circuit-switched cycle over the damaged network."""
+        p = self.params
+        messages = list(messages)
+        seen: set[int] = set()
+        for msg in messages:
+            if not 0 <= msg.source < p.num_inputs:
+                raise LabelError(f"source {msg.source} out of range")
+            if msg.source in seen:
+                raise LabelError(f"two messages share source terminal {msg.source}")
+            seen.add(msg.source)
+            msg.tag.validate(p)
+
+        outcomes = {id(m): MessageOutcome(message=m, delivered=False) for m in messages}
+        inbound: dict[int, Message] = {m.source: m for m in messages}
+
+        for stage in range(1, p.l + 1):
+            inbound = self._hyperbar_stage(stage, inbound, outcomes)
+        self._crossbar_stage(inbound, outcomes)
+        return CycleResult(outcomes=[outcomes[id(m)] for m in messages], params=p)
+
+    def route_destinations(self, destinations: dict[int, int]) -> CycleResult:
+        messages = [
+            Message.to_output(s, d, self.params) for s, d in sorted(destinations.items())
+        ]
+        return self.route_cycle(messages)
+
+    # ------------------------------------------------------------------
+
+    def _hyperbar_stage(
+        self,
+        stage: int,
+        inbound: dict[int, Message],
+        outcomes: dict[int, MessageOutcome],
+    ) -> dict[int, Message]:
+        p = self.params
+        by_switch: dict[int, list[tuple[int, Message]]] = {}
+        for wire, msg in inbound.items():
+            switch, port = self.topology.hyperbar_input_location(stage, wire)
+            by_switch.setdefault(switch, []).append((port, msg))
+
+        outbound: dict[int, Message] = {}
+        for switch, arrivals in sorted(by_switch.items()):
+            dead = self.faults.dead_wires(stage, switch)
+            taken: dict[int, int] = {}  # bucket -> wires granted so far
+            for port, msg in sorted(arrivals):
+                digit = msg.tag.digit_for_stage(stage, self.retirement_order)
+                live = [
+                    k for k in range(p.c) if (digit * p.c + k) not in dead
+                ]
+                index = taken.get(digit, 0)
+                if index < len(live):
+                    taken[digit] = index + 1
+                    local_out = digit * p.c + live[index]
+                    label = self.topology.hyperbar_output_label(stage, switch, local_out)
+                    outcomes[id(msg)].path.append(label)
+                    outbound[self.topology.interstage(stage, label)] = msg
+                else:
+                    outcomes[id(msg)].blocked_stage = stage
+        return outbound
+
+    def _crossbar_stage(
+        self, inbound: dict[int, Message], outcomes: dict[int, MessageOutcome]
+    ) -> None:
+        p = self.params
+        by_switch: dict[int, list[tuple[int, Message]]] = {}
+        for wire, msg in inbound.items():
+            switch, port = self.topology.crossbar_input_location(wire)
+            by_switch.setdefault(switch, []).append((port, msg))
+        for switch, arrivals in sorted(by_switch.items()):
+            dead = self.faults.dead_wires(p.l + 1, switch)
+            granted: set[int] = set()
+            for port, msg in sorted(arrivals):
+                x = msg.tag.x
+                record = outcomes[id(msg)]
+                if x in granted or x in dead:
+                    record.blocked_stage = p.l + 1
+                    continue
+                granted.add(x)
+                terminal = self.topology.crossbar_output_terminal(switch, x)
+                record.path.append(terminal)
+                record.delivered = True
+                record.output = terminal
+
+
+def connectivity_under_faults(params: EDNParams, faults: FaultSet) -> float:
+    """Fraction of (source, destination) pairs still connected.
+
+    A pair is connected when a lone message routes successfully — i.e. at
+    least one of its ``c^l`` paths survives the damage.  Exhaustive; use on
+    small networks.
+    """
+    network = FaultyEDNetwork(params, faults)
+    connected = 0
+    total = params.num_inputs * params.num_outputs
+    for source in range(params.num_inputs):
+        for dest in range(params.num_outputs):
+            tag = DestinationTag.from_output(dest, params)
+            result = network.route_cycle([Message(source=source, tag=tag)])
+            if result.outcomes[0].delivered:
+                connected += 1
+    return connected / total

@@ -1,0 +1,206 @@
+"""The hyperbar switch ``H(a -> b x c)`` (paper, Definition 1).
+
+A hyperbar connects ``a`` inputs to ``b * c`` outputs organized as ``b``
+*output buckets* of ``c`` wires each.  Each input supplies a base-``b``
+control digit naming the bucket it wants; if more than ``c`` inputs request
+one bucket, exactly ``c`` are accepted and the rest are *rejected* (the
+paper's circuit-switched model has no buffering).  ``H(a -> b x 1)`` is an
+ordinary ``a x b`` crossbar.
+
+The paper resolves contention by input label ("assuming that inputs are
+prioritized according to their input label", Figure 2); we implement that
+discipline as the default and a random discipline as an ablation — the
+analytic acceptance model (Section 3.2) is independent of the choice, which
+benchmark ``ablation_priority`` confirms.
+
+Output wires within a bucket are interchangeable ("It does not matter on
+which of the c wires of the output bucket the message is placed",
+Section 2), which is exactly the multipath freedom counted by Theorem 2.
+Two wire-assignment policies are provided: ``first_free`` (deterministic)
+and ``random``; both are work-conserving, so acceptance statistics are
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import is_power_of_two
+
+__all__ = ["Hyperbar", "SwitchResult", "PRIORITY_DISCIPLINES", "WIRE_POLICIES"]
+
+PRIORITY_DISCIPLINES = ("label", "random")
+WIRE_POLICIES = ("first_free", "random")
+
+
+@dataclass
+class SwitchResult:
+    """Outcome of presenting one cycle of requests to a switch.
+
+    Attributes
+    ----------
+    output_sources:
+        One entry per output wire: the input index whose request was granted
+        that wire, or ``None`` for an idle wire.
+    accepted:
+        Mapping from accepted input index to the output wire it was granted.
+    rejected:
+        Input indices whose requests were discarded, in ascending order.
+    bucket_loads:
+        Number of *requests* (not grants) addressed to each bucket.
+    """
+
+    output_sources: list[Optional[int]]
+    accepted: dict[int, int]
+    rejected: list[int]
+    bucket_loads: list[int]
+
+    @property
+    def num_offered(self) -> int:
+        return len(self.accepted) + len(self.rejected)
+
+    @property
+    def num_accepted(self) -> int:
+        return len(self.accepted)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted / offered for this cycle (1.0 when nothing was offered)."""
+        offered = self.num_offered
+        return 1.0 if offered == 0 else self.num_accepted / offered
+
+
+class Hyperbar:
+    """A single ``H(a -> b x c)`` hyperbar switch.
+
+    Parameters
+    ----------
+    a, b, c:
+        Switch shape per Definition 1.  All must be powers of two (the
+        paper's simplifying assumption, retained because the interstage
+        permutation is bit-defined).
+    priority:
+        ``"label"`` (paper default: lower input label wins contention) or
+        ``"random"`` (contenders win with equal probability).
+    wire_policy:
+        ``"first_free"`` (winners take bucket wires in priority order) or
+        ``"random"`` (winners are assigned bucket wires randomly).
+
+    >>> switch = Hyperbar(8, 4, 2)
+    >>> result = switch.route([3, 2, 3, 1, 2, 2, 0, 3])   # paper, Figure 2
+    >>> sorted(result.rejected)
+    [5, 7]
+    """
+
+    def __init__(
+        self,
+        a: int,
+        b: int,
+        c: int,
+        *,
+        priority: str = "label",
+        wire_policy: str = "first_free",
+    ):
+        for name, value in (("a", a), ("b", b), ("c", c)):
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"hyperbar parameter {name}={value} must be a power of two"
+                )
+        if priority not in PRIORITY_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown priority discipline {priority!r}; expected one of {PRIORITY_DISCIPLINES}"
+            )
+        if wire_policy not in WIRE_POLICIES:
+            raise ConfigurationError(
+                f"unknown wire policy {wire_policy!r}; expected one of {WIRE_POLICIES}"
+            )
+        self.a = a
+        self.b = b
+        self.c = c
+        self.priority = priority
+        self.wire_policy = wire_policy
+
+    @property
+    def num_outputs(self) -> int:
+        return self.b * self.c
+
+    @property
+    def crosspoints(self) -> int:
+        """Crosspoint count ``a * b * c`` (paper, Section 3.1)."""
+        return self.a * self.b * self.c
+
+    def output_wires_of_bucket(self, bucket: int) -> range:
+        """Output wire labels belonging to ``bucket``: ``[bucket*c, (bucket+1)*c)``.
+
+        Lemma 1 places a message routed to digit ``d`` on wire ``d*c + K``
+        with ``0 <= K < c``, fixing this labelling.
+        """
+        if not 0 <= bucket < self.b:
+            raise LabelError(f"bucket {bucket} out of range 0..{self.b - 1}")
+        return range(bucket * self.c, (bucket + 1) * self.c)
+
+    def route(
+        self,
+        requests: Sequence[Optional[int]],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SwitchResult:
+        """Resolve one cycle of control digits into grants and rejections.
+
+        ``requests[i]`` is the bucket digit demanded by input ``i`` or
+        ``None`` for an idle input.  Returns a :class:`SwitchResult`.
+        """
+        if len(requests) != self.a:
+            raise LabelError(
+                f"expected {self.a} request slots, got {len(requests)}"
+            )
+        if (self.priority == "random" or self.wire_policy == "random") and rng is None:
+            raise ConfigurationError(
+                "randomized disciplines require an explicit numpy Generator"
+            )
+
+        contenders: list[list[int]] = [[] for _ in range(self.b)]
+        for i, digit in enumerate(requests):
+            if digit is None:
+                continue
+            if not 0 <= digit < self.b:
+                raise LabelError(
+                    f"input {i} requested bucket {digit}, valid range 0..{self.b - 1}"
+                )
+            contenders[digit].append(i)
+
+        output_sources: list[Optional[int]] = [None] * self.num_outputs
+        accepted: dict[int, int] = {}
+        rejected: list[int] = []
+        bucket_loads = [len(group) for group in contenders]
+
+        for bucket, group in enumerate(contenders):
+            if not group:
+                continue
+            if self.priority == "random" and len(group) > self.c:
+                order = list(rng.permutation(len(group)))
+                group = [group[i] for i in order]
+            winners, losers = group[: self.c], group[self.c :]
+            wires = list(self.output_wires_of_bucket(bucket))
+            if self.wire_policy == "random":
+                wires = [wires[i] for i in rng.permutation(self.c)]
+            for winner, wire in zip(winners, wires):
+                accepted[winner] = wire
+                output_sources[wire] = winner
+            rejected.extend(losers)
+
+        rejected.sort()
+        return SwitchResult(
+            output_sources=output_sources,
+            accepted=accepted,
+            rejected=rejected,
+            bucket_loads=bucket_loads,
+        )
+
+    def __repr__(self) -> str:
+        return f"Hyperbar(H({self.a}->{self.b}x{self.c}), priority={self.priority!r})"

@@ -1,0 +1,229 @@
+"""Mixed-radix label arithmetic for wires, switches, and destination tags.
+
+Every object in an Expanded Delta Network — input terminals, wires between
+stages, switch ports, and destination addresses — is identified by an integer
+label whose digit expansion in a *mixed radix* system carries structural
+meaning.  For example, a destination of an ``EDN(a, b, c, l)`` is written
+
+    ``D = d_{l-1} d_{l-2} ... d_0 x``
+
+where each ``d_i`` is a base-``b`` digit and ``x`` is a base-``c`` digit
+(paper, Section 2).  This module provides the digit/bit manipulation
+primitives that the rest of the library is built on.
+
+All radices in the paper are powers of two, which makes every digit a bit
+field; helpers here work for general radices but offer fast-path bit
+operations when radices are powers of two.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.exceptions import ConfigurationError, LabelError
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "digits_from_int",
+    "int_from_digits",
+    "bits_for_radices",
+    "rotate_left",
+    "rotate_right",
+    "reverse_bits",
+    "MixedRadix",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` when ``n`` is a positive integral power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Return ``log2(n)`` for a power of two ``n``; raise otherwise.
+
+    The paper assumes ``a``, ``b``, ``c`` are all powers of two "for
+    simplicity" (Section 2); the same assumption underpins the bit-level
+    interstage permutation, so we enforce it loudly.
+    """
+    if not is_power_of_two(n):
+        raise ConfigurationError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def digits_from_int(value: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """Expand ``value`` into mixed-radix digits, most significant first.
+
+    ``radices`` lists the radix of each digit position, most significant
+    first, mirroring how the paper writes ``D = d_{l-1} ... d_0 x`` (the
+    ``x`` digit is least significant).
+
+    >>> digits_from_int(27, (4, 4, 2))   # 27 = 3*8 + 1*2 + 1
+    (3, 1, 1)
+    """
+    if value < 0:
+        raise LabelError(f"label must be non-negative, got {value}")
+    total = 1
+    for radix in radices:
+        if radix < 1:
+            raise LabelError(f"radices must be >= 1, got {radix}")
+        total *= radix
+    if value >= total:
+        raise LabelError(f"label {value} out of range for radices {tuple(radices)}")
+    digits = []
+    for radix in reversed(radices):
+        digits.append(value % radix)
+        value //= radix
+    return tuple(reversed(digits))
+
+
+def int_from_digits(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Inverse of :func:`digits_from_int`.
+
+    >>> int_from_digits((3, 1, 1), (4, 4, 2))
+    27
+    """
+    if len(digits) != len(radices):
+        raise LabelError(
+            f"digit count {len(digits)} does not match radix count {len(radices)}"
+        )
+    value = 0
+    for digit, radix in zip(digits, radices):
+        if not 0 <= digit < radix:
+            raise LabelError(f"digit {digit} out of range for radix {radix}")
+        value = value * radix + digit
+    return value
+
+
+def bits_for_radices(radices: Sequence[int]) -> int:
+    """Total bit width of a label whose digits have the given radices.
+
+    Every radix must be a power of two.
+    """
+    return sum(ilog2(radix) for radix in radices)
+
+
+def rotate_left(value: int, width: int, k: int) -> int:
+    """Rotate the ``width``-bit string ``value`` left by ``k`` positions.
+
+    The top ``k`` bits wrap around to the bottom.  This is the elementary
+    operation inside the paper's gamma permutation (Definition 3).
+
+    >>> rotate_left(0b1001, 4, 1)
+    3
+    """
+    if width <= 0:
+        if width == 0 and value == 0:
+            return 0
+        raise LabelError(f"width must be positive, got {width}")
+    if not 0 <= value < (1 << width):
+        raise LabelError(f"value {value} does not fit in {width} bits")
+    k %= width
+    if k == 0:
+        return value
+    mask = (1 << width) - 1
+    return ((value << k) | (value >> (width - k))) & mask
+
+
+def rotate_right(value: int, width: int, k: int) -> int:
+    """Rotate the ``width``-bit string ``value`` right by ``k`` positions."""
+    if width == 0 and value == 0:
+        return 0
+    return rotate_left(value, width, width - (k % width) if width else 0)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the ``width``-bit string ``value``.
+
+    Used by structured-permutation traffic (bit-reversal is the classic
+    adversarial pattern for banyan-class networks).
+    """
+    if not 0 <= value < (1 << width):
+        raise LabelError(f"value {value} does not fit in {width} bits")
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+class MixedRadix:
+    """A fixed mixed-radix numbering scheme.
+
+    Wraps a tuple of radices (most significant first) and offers conversions
+    between integers and digit tuples, plus digit-level editing.  Instances
+    are immutable and cheap; the library creates one per tag layout.
+
+    >>> scheme = MixedRadix((4, 4, 2))
+    >>> scheme.to_digits(27)
+    (3, 1, 1)
+    >>> scheme.from_digits((3, 1, 1))
+    27
+    >>> scheme.size
+    32
+    """
+
+    __slots__ = ("_radices", "_size")
+
+    def __init__(self, radices: Sequence[int]):
+        radices = tuple(int(r) for r in radices)
+        if not radices:
+            raise ConfigurationError("a MixedRadix scheme needs at least one digit")
+        size = 1
+        for radix in radices:
+            if radix < 1:
+                raise ConfigurationError(f"radices must be >= 1, got {radix}")
+            size *= radix
+        self._radices = radices
+        self._size = size
+
+    @property
+    def radices(self) -> tuple[int, ...]:
+        """Radix of each digit, most significant first."""
+        return self._radices
+
+    @property
+    def size(self) -> int:
+        """Number of representable values (the product of the radices)."""
+        return self._size
+
+    @property
+    def num_digits(self) -> int:
+        return len(self._radices)
+
+    def to_digits(self, value: int) -> tuple[int, ...]:
+        """Digit expansion of ``value``, most significant first."""
+        return digits_from_int(value, self._radices)
+
+    def from_digits(self, digits: Sequence[int]) -> int:
+        """Integer value of a digit tuple (most significant first)."""
+        return int_from_digits(digits, self._radices)
+
+    def with_digit(self, value: int, position: int, digit: int) -> int:
+        """Return ``value`` with the digit at ``position`` replaced.
+
+        ``position`` indexes digits most-significant-first, matching
+        :meth:`to_digits`.
+        """
+        digits = list(self.to_digits(value))
+        radix = self._radices[position]
+        if not 0 <= digit < radix:
+            raise LabelError(f"digit {digit} out of range for radix {radix}")
+        digits[position] = digit
+        return self.from_digits(digits)
+
+    def digit(self, value: int, position: int) -> int:
+        """Extract the digit at ``position`` (most-significant-first)."""
+        return self.to_digits(value)[position]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MixedRadix):
+            return self._radices == other._radices
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._radices)
+
+    def __repr__(self) -> str:
+        return f"MixedRadix({self._radices!r})"

@@ -1,0 +1,223 @@
+"""Interconnection permutations: the gamma family and friends.
+
+The EDN's interstage wiring is defined by the paper's Definition 3:
+
+    *Permutation* ``gamma_{j,k}(y)`` *is defined on an n-bit label* ``y``
+    *as follows: 1) fix the* ``j`` *least significant bits of the label;
+    2) left cyclic shift by* ``k`` *the remaining* ``n - j`` *bits.*
+
+Special cases called out by the paper:
+
+* ``gamma_{0,1}`` is the perfect shuffle of ``2^n`` labels (Lawrie's omega
+  wiring);
+* ``gamma_{j,log2(q)}`` restricted to ``j = 0`` is Patel's *q-shuffle*;
+* ``gamma_{j,0}`` is the identity.
+
+This module implements the gamma family as pure functions on integers and as
+materialized :class:`Permutation` objects supporting composition, inversion,
+and application to sequences — the latter is what Corollary 2's output
+"fix-up" permutation (Figure 6) needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import ilog2, is_power_of_two, rotate_left, rotate_right
+
+__all__ = [
+    "gamma",
+    "gamma_inverse",
+    "perfect_shuffle",
+    "q_shuffle",
+    "Permutation",
+    "gamma_permutation",
+    "identity_permutation",
+]
+
+
+def gamma(y: int, n_bits: int, j: int, k: int) -> int:
+    """Apply ``gamma_{j,k}`` to the ``n_bits``-bit label ``y``.
+
+    The ``j`` least significant bits of ``y`` stay in place; the upper
+    ``n_bits - j`` bits are rotated left by ``k`` (their top ``k`` bits wrap
+    to the bottom of the upper field).
+
+    >>> gamma(0b101101, 6, 2, 2) == 0b111001  # upper 1011 -> 1110, low bits kept
+    True
+    """
+    if j < 0 or j > n_bits:
+        raise ConfigurationError(f"j must lie in [0, n_bits], got j={j}, n_bits={n_bits}")
+    if not 0 <= y < (1 << n_bits):
+        raise LabelError(f"label {y} does not fit in {n_bits} bits")
+    upper_width = n_bits - j
+    if upper_width == 0:
+        return y
+    low = y & ((1 << j) - 1)
+    upper = y >> j
+    return (rotate_left(upper, upper_width, k) << j) | low
+
+
+def gamma_inverse(z: int, n_bits: int, j: int, k: int) -> int:
+    """Apply the inverse of ``gamma_{j,k}`` (a right rotation of the upper field)."""
+    if j < 0 or j > n_bits:
+        raise ConfigurationError(f"j must lie in [0, n_bits], got j={j}, n_bits={n_bits}")
+    if not 0 <= z < (1 << n_bits):
+        raise LabelError(f"label {z} does not fit in {n_bits} bits")
+    upper_width = n_bits - j
+    if upper_width == 0:
+        return z
+    low = z & ((1 << j) - 1)
+    upper = z >> j
+    return (rotate_right(upper, upper_width, k) << j) | low
+
+
+def perfect_shuffle(y: int, n_labels: int) -> int:
+    """The perfect shuffle of ``n_labels`` labels: ``gamma_{0,1}``.
+
+    Equivalent to the card-shuffle map ``y -> (2y + floor(2y / n)) mod n``
+    for power-of-two ``n``; implemented as a one-bit left rotation.
+    """
+    return gamma(y, ilog2(n_labels), 0, 1)
+
+
+def q_shuffle(y: int, n_labels: int, q: int) -> int:
+    """Patel's q-shuffle of ``n_labels`` labels: ``gamma_{0, log2(q)}``.
+
+    For ``n = q * r`` the q-shuffle is classically written
+    ``S(y) = (q*y + floor(y / r)) mod n``; for power-of-two ``q`` and ``n``
+    this is a ``log2(q)``-bit left rotation, which is the form the EDN
+    wiring uses.
+    """
+    if not is_power_of_two(q):
+        raise ConfigurationError(f"q must be a power of two, got {q}")
+    return gamma(y, ilog2(n_labels), 0, ilog2(q))
+
+
+class Permutation:
+    """An explicit permutation of ``{0, 1, ..., n-1}``.
+
+    The mapping is stored as a tuple ``m`` with ``m[i]`` the image of ``i``.
+    Instances are immutable.  Supports application (callable and on
+    sequences), composition (``p @ q`` applies ``q`` first, then ``p``),
+    inversion, and equality.
+
+    >>> p = Permutation([2, 0, 1])
+    >>> p(0), p(1), p(2)
+    (2, 0, 1)
+    >>> (p.inverse() @ p).is_identity()
+    True
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Iterable[int]):
+        mapping = tuple(int(v) for v in mapping)
+        n = len(mapping)
+        seen = [False] * n
+        for v in mapping:
+            if not 0 <= v < n or seen[v]:
+                raise ConfigurationError(f"not a permutation of 0..{n - 1}: {mapping}")
+            seen[v] = True
+        self._map = mapping
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(range(n))
+
+    @classmethod
+    def from_function(cls, func, n: int) -> "Permutation":
+        """Materialize ``func`` over the domain ``0..n-1``."""
+        return cls(func(i) for i in range(n))
+
+    @property
+    def size(self) -> int:
+        return len(self._map)
+
+    @property
+    def mapping(self) -> tuple[int, ...]:
+        return self._map
+
+    def __call__(self, i: int) -> int:
+        return self._map[i]
+
+    def apply_to(self, items: Sequence) -> list:
+        """Permute a sequence: output slot ``self(i)`` receives ``items[i]``.
+
+        This matches physical wiring semantics: a message on wire ``i``
+        before the permutation appears on wire ``self(i)`` after it.
+        """
+        if len(items) != len(self._map):
+            raise LabelError(
+                f"sequence of length {len(items)} does not match permutation size {len(self._map)}"
+            )
+        out = [None] * len(self._map)
+        for i, item in enumerate(items):
+            out[self._map[i]] = item
+        return out
+
+    def inverse(self) -> "Permutation":
+        inv = [0] * len(self._map)
+        for i, v in enumerate(self._map):
+            inv[v] = i
+        return Permutation(inv)
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        """Composition ``(self @ other)(i) == self(other(i))``."""
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if other.size != self.size:
+            raise ConfigurationError("cannot compose permutations of different sizes")
+        return Permutation(self._map[other._map[i]] for i in range(self.size))
+
+    def is_identity(self) -> bool:
+        return all(v == i for i, v in enumerate(self._map))
+
+    def fixed_points(self) -> list[int]:
+        return [i for i, v in enumerate(self._map) if v == i]
+
+    def cycles(self) -> list[tuple[int, ...]]:
+        """Cycle decomposition (cycles of length >= 2, each starting at its minimum)."""
+        seen = [False] * self.size
+        cycles = []
+        for start in range(self.size):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            nxt = self._map[start]
+            while nxt != start:
+                cycle.append(nxt)
+                seen[nxt] = True
+                nxt = self._map[nxt]
+            if len(cycle) > 1:
+                cycles.append(tuple(cycle))
+        return cycles
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Permutation):
+            return self._map == other._map
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        if self.size <= 16:
+            return f"Permutation({list(self._map)!r})"
+        return f"Permutation(<{self.size} elements>)"
+
+
+def gamma_permutation(n_labels: int, j: int, k: int) -> Permutation:
+    """Materialize ``gamma_{j,k}`` over ``n_labels`` (a power of two) labels."""
+    n_bits = ilog2(n_labels)
+    return Permutation(gamma(y, n_bits, j, k) for y in range(n_labels))
+
+
+def identity_permutation(n_labels: int) -> Permutation:
+    """The identity permutation (``gamma_{j,0}`` for any ``j``)."""
+    return Permutation.identity(n_labels)

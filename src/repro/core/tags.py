@@ -1,0 +1,194 @@
+"""Destination tags and digit retirement (paper, Section 2).
+
+Every message entering an ``EDN(a, b, c, l)`` carries an
+``l*log2(b) + log2(c)``-bit *destination tag*
+
+    ``D = d_{l-1} d_{l-2} ... d_0 x``
+
+with the ``d_i`` base-``b`` digits and ``x`` a base-``c`` digit.  The
+canonical routing algorithm *retires* ``d_{l-i}`` at hyperbar stage ``i``
+and ``x`` at the final crossbar stage (Lemma 1).
+
+Corollary 2 observes that the digits may be retired in any fixed order: a
+message tagged ``D`` then lands on the output whose digit string is the
+reordered tag, so composing the network with the *inverse* of that
+reordering at the outputs restores correctness.  Figure 6 uses exactly this
+trick to make ``EDN(64,16,4,2)`` — which blocks catastrophically on the
+identity permutation — route the identity conflict-free.  The
+:class:`RetirementOrder` class captures the order and constructs the fix-up
+permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import MixedRadix
+from repro.core.permutations import Permutation
+
+__all__ = ["DestinationTag", "RetirementOrder", "tag_scheme"]
+
+
+def tag_scheme(params: EDNParams) -> MixedRadix:
+    """The mixed-radix layout of destination tags: ``l`` base-``b`` digits + one base-``c``."""
+    return MixedRadix((params.b,) * params.l + (params.c,))
+
+
+@dataclass(frozen=True)
+class DestinationTag:
+    """A destination tag ``D = d_{l-1} ... d_0 x``.
+
+    ``digits`` stores the base-``b`` digits most-significant-first
+    (``digits[0]`` is ``d_{l-1}``, ``digits[-1]`` is ``d_0``); ``x`` is the
+    final base-``c`` crossbar digit.
+
+    >>> params = EDNParams(16, 4, 4, 2)
+    >>> tag = DestinationTag.from_output(27, params)
+    >>> tag.digits, tag.x
+    ((1, 2), 3)
+    >>> tag.output(params)
+    27
+    """
+
+    digits: tuple[int, ...]
+    x: int
+
+    @classmethod
+    def from_output(cls, output: int, params: EDNParams) -> "DestinationTag":
+        """Tag that routes (canonically) to output terminal ``output``."""
+        expansion = tag_scheme(params).to_digits(output)
+        return cls(digits=expansion[:-1], x=expansion[-1])
+
+    def output(self, params: EDNParams) -> int:
+        """The output terminal this tag names (canonical retirement)."""
+        return tag_scheme(params).from_digits(self.digits + (self.x,))
+
+    def validate(self, params: EDNParams) -> None:
+        """Raise :class:`LabelError` unless the tag fits ``params``."""
+        if len(self.digits) != params.l:
+            raise LabelError(
+                f"tag has {len(self.digits)} routing digits, network needs {params.l}"
+            )
+        for i, digit in enumerate(self.digits):
+            if not 0 <= digit < params.b:
+                raise LabelError(f"digit {i} = {digit} out of range for base {params.b}")
+        if not 0 <= self.x < params.c:
+            raise LabelError(f"crossbar digit {self.x} out of range for base {params.c}")
+
+    def digit_for_stage(self, stage: int, order: "RetirementOrder | None" = None) -> int:
+        """The base-``b`` digit consumed at hyperbar stage ``stage`` (1-indexed).
+
+        Canonically stage ``i`` retires ``d_{l-i}``, i.e. ``digits[i-1]``;
+        a :class:`RetirementOrder` redirects the lookup.
+        """
+        l = len(self.digits)
+        if not 1 <= stage <= l:
+            raise LabelError(f"stage {stage} out of range 1..{l}")
+        if order is None:
+            return self.digits[stage - 1]
+        return self.digits[order.position_for_stage(stage)]
+
+    def __str__(self) -> str:
+        body = "".join(str(d) for d in self.digits)
+        return f"D={body}|x={self.x}"
+
+
+class RetirementOrder:
+    """A fixed order in which the ``l`` routing digits are retired.
+
+    ``order[i]`` is the index (into the most-significant-first ``digits``
+    tuple) of the digit consumed at hyperbar stage ``i + 1``.  The canonical
+    order is ``(0, 1, ..., l-1)``: stage 1 retires ``d_{l-1}``.
+
+    Corollary 2: routing tag ``D`` with order ``order`` delivers the message
+    to the output whose digit string is ``digits`` permuted by the order;
+    :meth:`fixup_permutation` returns the output relabelling that maps each
+    landing terminal back to the intended one, realizing Figure 6's extra
+    stage.
+    """
+
+    def __init__(self, order: Sequence[int]):
+        order = tuple(int(i) for i in order)
+        if sorted(order) != list(range(len(order))):
+            raise ConfigurationError(
+                f"retirement order must be a permutation of 0..{len(order) - 1}, got {order}"
+            )
+        self._order = order
+
+    @classmethod
+    def canonical(cls, l: int) -> "RetirementOrder":
+        return cls(range(l))
+
+    @classmethod
+    def reversed_order(cls, l: int) -> "RetirementOrder":
+        """Retire the *least* significant base-``b`` digit first.
+
+        This is the order that lets Figure 6's modified ``EDN(64,16,4,2)``
+        route the identity permutation: consecutive sources entering one
+        hyperbar then spread across buckets instead of piling into one.
+        """
+        return cls(range(l - 1, -1, -1))
+
+    @property
+    def order(self) -> tuple[int, ...]:
+        return self._order
+
+    @property
+    def l(self) -> int:
+        return len(self._order)
+
+    def is_canonical(self) -> bool:
+        return all(v == i for i, v in enumerate(self._order))
+
+    def position_for_stage(self, stage: int) -> int:
+        """Digit index retired at hyperbar stage ``stage`` (1-indexed)."""
+        if not 1 <= stage <= len(self._order):
+            raise LabelError(f"stage {stage} out of range 1..{len(self._order)}")
+        return self._order[stage - 1]
+
+    def landing_output(self, tag: DestinationTag, params: EDNParams) -> int:
+        """Output terminal where a tag actually lands under this order.
+
+        The network structurally interprets the digit consumed at stage
+        ``i`` as digit ``d_{l-i}`` of the landing address, so the landing
+        digit string is ``digits`` read in retirement order.
+        """
+        landed = tuple(tag.digits[idx] for idx in self._order)
+        return tag_scheme(params).from_digits(landed + (tag.x,))
+
+    def fixup_permutation(self, params: EDNParams) -> Permutation:
+        """Output relabelling restoring canonical destinations (Corollary 2).
+
+        For every tag ``D``, ``fixup(landing_output(D)) == D.output()``.
+        Wiring this permutation after the network (Figure 6's "inverse
+        permutation" stage) makes non-canonical retirement transparent.
+        """
+        if self.l != params.l:
+            raise ConfigurationError(
+                f"order covers {self.l} digits but network has l={params.l} stages"
+            )
+        scheme = tag_scheme(params)
+        inverse = [0] * self.l
+        for stage_pos, digit_idx in enumerate(self._order):
+            inverse[digit_idx] = stage_pos
+        mapping = []
+        for landed_value in range(params.num_outputs):
+            expansion = scheme.to_digits(landed_value)
+            landed_digits, x = expansion[:-1], expansion[-1]
+            intended = tuple(landed_digits[inverse[j]] for j in range(self.l))
+            mapping.append(scheme.from_digits(intended + (x,)))
+        return Permutation(mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RetirementOrder):
+            return self._order == other._order
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._order)
+
+    def __repr__(self) -> str:
+        return f"RetirementOrder({list(self._order)!r})"

@@ -1,0 +1,188 @@
+"""Structural wiring of an ``EDN(a, b, c, l)`` (paper, Definition 2 + Eq. 1).
+
+The network is ``l`` columns of ``H(a -> b x c)`` hyperbars followed by one
+column of ``c x c`` crossbars.  Wires at every stage boundary are labelled
+``0, 1, 2, ...`` top to bottom, switches likewise (paper, Section 2).
+
+Wiring rules, as used by Lemma 1's algebra and verified in the test suite by
+end-to-end routing:
+
+* network input ``s`` feeds hyperbar ``floor(s / a)`` of stage 1 at local
+  port ``s mod a`` (direct connection);
+* output ``y`` of hyperbar stage ``i`` (``1 <= i < l``) connects to input
+  ``gamma_{log2(c), log2(a/c)}(y)`` of stage ``i + 1`` — fix the low
+  ``log2(c)`` bits, rotate the rest left by ``log2(a/c)`` (Eq. 1 /
+  Definition 3);
+* output ``y`` of the last hyperbar stage feeds crossbar ``floor(y / c)``
+  directly: "at the l-th stage, each of the ``b^l`` buckets are sent
+  directly to a ``c x c`` crossbar";
+* crossbar ``k`` drives output terminals ``k*c .. k*c + c - 1``.
+
+The class is purely structural — no routing state — so one instance can be
+shared by any number of simulations.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import ilog2
+from repro.core.permutations import gamma, gamma_inverse
+
+__all__ = ["EDNTopology"]
+
+
+class EDNTopology:
+    """Wiring arithmetic for one ``EDN(a, b, c, l)``.
+
+    >>> topo = EDNTopology(EDNParams(16, 4, 4, 2))
+    >>> topo.params.num_inputs, topo.params.num_outputs
+    (64, 64)
+    """
+
+    def __init__(self, params: EDNParams):
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Stage geometry
+    # ------------------------------------------------------------------
+
+    def wire_bits(self, i: int) -> int:
+        """Bit width of wire labels leaving stage ``i`` (0 = network inputs)."""
+        return ilog2(self.params.wires_after_stage(i))
+
+    def input_location(self, source: int) -> tuple[int, int]:
+        """(hyperbar index, local port) fed by network input terminal ``source``."""
+        p = self.params
+        if not 0 <= source < p.num_inputs:
+            raise LabelError(f"input terminal {source} out of range 0..{p.num_inputs - 1}")
+        return source // p.a, source % p.a
+
+    def hyperbar_input_location(self, i: int, wire: int) -> tuple[int, int]:
+        """(switch, local port) of input ``wire`` at hyperbar stage ``i``."""
+        p = self.params
+        width = p.wires_after_stage(i - 1)
+        if not 0 <= wire < width:
+            raise LabelError(f"wire {wire} out of range 0..{width - 1} at stage {i} input")
+        return wire // p.a, wire % p.a
+
+    def hyperbar_output_label(self, i: int, switch: int, local_output: int) -> int:
+        """Global label of ``local_output`` of ``switch`` in hyperbar stage ``i``."""
+        p = self.params
+        if not 0 <= switch < p.hyperbars_in_stage(i):
+            raise LabelError(f"switch {switch} out of range in stage {i}")
+        per_switch = p.b * p.c
+        if not 0 <= local_output < per_switch:
+            raise LabelError(f"local output {local_output} out of range 0..{per_switch - 1}")
+        return switch * per_switch + local_output
+
+    def crossbar_input_location(self, wire: int) -> tuple[int, int]:
+        """(crossbar index, local port) of final-stage input ``wire``.
+
+        The last hyperbar stage's buckets feed the crossbars directly.
+        """
+        p = self.params
+        width = p.wires_after_stage(p.l)
+        if not 0 <= wire < width:
+            raise LabelError(f"wire {wire} out of range 0..{width - 1} at crossbar input")
+        return wire // p.c, wire % p.c
+
+    def crossbar_output_terminal(self, crossbar: int, local_output: int) -> int:
+        """Network output terminal driven by ``local_output`` of ``crossbar``."""
+        p = self.params
+        if not 0 <= crossbar < p.num_crossbars:
+            raise LabelError(f"crossbar {crossbar} out of range 0..{p.num_crossbars - 1}")
+        if not 0 <= local_output < p.c:
+            raise LabelError(f"local output {local_output} out of range 0..{p.c - 1}")
+        return crossbar * p.c + local_output
+
+    # ------------------------------------------------------------------
+    # Interstage permutation (Eq. 1)
+    # ------------------------------------------------------------------
+
+    def interstage(self, i: int, y: int) -> int:
+        """Stage-``i`` output wire ``y`` -> stage-``i+1`` input wire.
+
+        Applies ``gamma_{log2(c), log2(a/c)}`` between consecutive hyperbar
+        stages (``1 <= i < l``) and the identity from the last hyperbar
+        stage into the crossbars (``i = l``).
+        """
+        p = self.params
+        if not 1 <= i <= p.l:
+            raise ConfigurationError(f"interstage index {i} out of range 1..{p.l}")
+        width = p.wires_after_stage(i)
+        if not 0 <= y < width:
+            raise LabelError(f"wire {y} out of range 0..{width - 1} after stage {i}")
+        if i == p.l:
+            return y
+        return gamma(y, ilog2(width), p.capacity_bits, p.fan_in_bits)
+
+    def interstage_inverse(self, i: int, z: int) -> int:
+        """Stage-``i+1`` input wire ``z`` -> the stage-``i`` output wire feeding it."""
+        p = self.params
+        if not 1 <= i <= p.l:
+            raise ConfigurationError(f"interstage index {i} out of range 1..{p.l}")
+        width = p.wires_after_stage(i)
+        if not 0 <= z < width:
+            raise LabelError(f"wire {z} out of range 0..{width - 1} before stage {i + 1}")
+        if i == p.l:
+            return z
+        return gamma_inverse(z, ilog2(width), p.capacity_bits, p.fan_in_bits)
+
+    # ------------------------------------------------------------------
+    # Structural counts (used by the cost model and its tests)
+    # ------------------------------------------------------------------
+
+    def count_crosspoints(self) -> int:
+        """Total crosspoints by explicit enumeration over every switch."""
+        p = self.params
+        per_hyperbar = p.a * p.b * p.c
+        per_crossbar = p.c * p.c
+        total = 0
+        for i in range(1, p.l + 1):
+            total += p.hyperbars_in_stage(i) * per_hyperbar
+        total += p.num_crossbars * per_crossbar
+        return total
+
+    def count_wires(self) -> int:
+        """Total wires: network inputs + every stage boundary + network outputs.
+
+        Matches Eq. 3's accounting: interstage wires for ``i = 1..l`` (the
+        ``i = l`` boundary is the hyperbar->crossbar link) plus one wire per
+        input terminal and one per output terminal.
+        """
+        p = self.params
+        total = p.num_inputs + p.num_outputs
+        for i in range(1, p.l + 1):
+            total += p.wires_after_stage(i)
+        return total
+
+    def stage_summary(self) -> list[dict]:
+        """Per-stage structural facts, handy for rendering and tests."""
+        p = self.params
+        rows = []
+        for i in range(1, p.l + 1):
+            rows.append(
+                {
+                    "stage": i,
+                    "kind": "hyperbar",
+                    "switches": p.hyperbars_in_stage(i),
+                    "switch_shape": f"H({p.a}->{p.b}x{p.c})",
+                    "wires_in": p.wires_after_stage(i - 1),
+                    "wires_out": p.wires_after_stage(i),
+                }
+            )
+        rows.append(
+            {
+                "stage": p.l + 1,
+                "kind": "crossbar",
+                "switches": p.num_crossbars,
+                "switch_shape": f"{p.c}x{p.c}",
+                "wires_in": p.wires_after_stage(p.l),
+                "wires_out": p.num_outputs,
+            }
+        )
+        return rows
+
+    def __repr__(self) -> str:
+        return f"EDNTopology({self.params})"

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper figure/table.
+
+See DESIGN.md's experiment index for the ID ↔ figure mapping and
+:mod:`repro.experiments.registry` for programmatic access.  Each module's
+``run`` returns an :class:`~repro.experiments.base.ExperimentResult`
+carrying the same series/rows the paper reports.
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

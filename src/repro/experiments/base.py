@@ -1,0 +1,97 @@
+"""Common result container for paper-figure experiments.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` producing
+the same rows/series the paper reports, plus shape assertions the
+benchmarks rely on.  Results render to plain text (tables + ASCII curves)
+and carry machine-readable data so EXPERIMENTS.md numbers stay auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.viz.curves import Series, render_plot
+from repro.viz.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+def _csv_quote(value: str) -> str:
+    """Minimal CSV field quoting (commas/quotes/newlines)."""
+    if any(ch in value for ch in ',"\n'):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable identifier matching DESIGN.md's experiment index
+        (``fig7``, ``sec5_example``, ...).
+    title:
+        Human-readable headline.
+    series:
+        Named curves, each a list of ``(x, y)`` pairs — the figure data.
+    tables:
+        Named tables as ``(headers, rows)`` pairs.
+    notes:
+        Free-form observations (paper-vs-measured commentary).
+    """
+
+    experiment_id: str
+    title: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    tables: dict[str, tuple[list[str], list[list[object]]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series_y(self, name: str) -> list[float]:
+        """The y-values of one series, in x order."""
+        return [y for _, y in sorted(self.series[name])]
+
+    def series_csv(self) -> str:
+        """All series as CSV (columns: series, x, y) for external plotting."""
+        lines = ["series,x,y"]
+        for name in sorted(self.series):
+            for x, y in sorted(self.series[name]):
+                lines.append(f"{_csv_quote(name)},{x!r},{y!r}")
+        return "\n".join(lines) + "\n"
+
+    def table_csv(self, name: str) -> str:
+        """One named table as CSV."""
+        headers, rows = self.tables[name]
+        lines = [",".join(_csv_quote(str(h)) for h in headers)]
+        for row in rows:
+            lines.append(",".join(_csv_quote(str(cell)) for cell in row))
+        return "\n".join(lines) + "\n"
+
+    def render(self, *, plot: bool = True, width: int = 72, height: int = 18) -> str:
+        """Full text report: title, tables, optional ASCII plot, notes."""
+        chunks = [self.title, "=" * len(self.title)]
+        for name, (headers, rows) in self.tables.items():
+            chunks.append("")
+            chunks.append(format_table(headers, rows, title=name))
+        if plot and self.series:
+            drawable = {n: pts for n, pts in self.series.items() if len(pts) >= 1}
+            if drawable:
+                xs = [x for pts in drawable.values() for x, _ in pts]
+                # Log x-axis only when meaningful: strictly positive values
+                # spanning more than a decade (the paper's size sweeps).
+                log_x = min(xs) > 0 and max(xs) / min(xs) > 10
+                chunks.append("")
+                chunks.append(
+                    render_plot(
+                        [Series.from_pairs(n, pts) for n, pts in drawable.items()],
+                        width=width,
+                        height=height,
+                        log_x=log_x,
+                        title=f"[{self.experiment_id}]",
+                    )
+                )
+        if self.notes:
+            chunks.append("")
+            chunks.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(chunks)

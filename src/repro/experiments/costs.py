@@ -1,0 +1,178 @@
+"""Experiment ``eq2_eq3``: cost models (Section 3.1) and the dilation comparison.
+
+Regenerates the paper's cost accounting:
+
+* Eq. 2 (crosspoints) and Eq. 3 (wires) closed forms vs brute-force
+  enumeration over the constructed topology, across a parameter sweep
+  including both the ``a/c != b`` and ``a/c = b`` branches;
+* the crossbar/delta limiting cases;
+* cost-vs-performance positioning (Section 6's claim: crossbar-like
+  performance at delta-like cost);
+* Section 1's dilation remark: a d-dilated delta spends ``d`` times the
+  interstage wires of the square EDN with the same number of inputs and
+  the same multiplicity (``d = c``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.dilated import DilatedDelta
+from repro.core.analysis import acceptance_probability, crossbar_acceptance, delta_acceptance
+from repro.core.config import EDNParams
+from repro.core.cost import (
+    crossbar_crosspoint_cost,
+    crosspoint_cost,
+    crosspoint_cost_closed_form,
+    wire_cost,
+    wire_cost_closed_form,
+)
+from repro.core.topology import EDNTopology
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["SWEEP", "run", "run_dilation_comparison", "run_cost_performance"]
+
+#: Sweep covering both closed-form branches and the degenerate cases.
+SWEEP = (
+    (16, 4, 4, 2),   # a/c = b (the Figure 4 network)
+    (64, 16, 4, 2),  # a/c = b (the MasPar network)
+    (8, 2, 4, 3),    # a/c < b? (a/c=2, b=2) -> equal branch
+    (8, 4, 2, 3),    # a/c = 4 = b -> equal branch
+    (16, 8, 2, 2),   # a/c = 8 = b
+    (16, 2, 8, 2),   # a/c = 2 = b
+    (8, 8, 1, 3),    # delta: a/c = 8 = b
+    (4, 2, 1, 4),    # delta with a/c=4 != b=2
+    (16, 4, 2, 3),   # a/c = 8 != b = 4
+    (2, 2, 1, 1),    # 2x2 crossbar limit
+)
+
+
+def run() -> ExperimentResult:
+    """Closed forms vs structural enumeration across the sweep."""
+    result = ExperimentResult(
+        experiment_id="eq2_eq3",
+        title="Eqs. 2-3: crosspoint and wire costs, closed form vs enumeration",
+    )
+    rows = []
+    for cfg in SWEEP:
+        params = EDNParams(*cfg)
+        topo = EDNTopology(params)
+        cs_sum, cs_closed, cs_enum = (
+            crosspoint_cost(params),
+            crosspoint_cost_closed_form(params),
+            topo.count_crosspoints(),
+        )
+        cw_sum, cw_closed, cw_enum = (
+            wire_cost(params),
+            wire_cost_closed_form(params),
+            topo.count_wires(),
+        )
+        rows.append(
+            [
+                str(params),
+                params.num_inputs,
+                cs_closed,
+                cs_sum == cs_closed == cs_enum,
+                cw_closed,
+                cw_sum == cw_closed == cw_enum,
+            ]
+        )
+    result.tables["cost verification"] = (
+        ["network", "inputs", "crosspoints", "Eq.2 ok", "wires", "Eq.3 ok"],
+        rows,
+    )
+    return result
+
+
+def run_dilation_comparison(*, l_values: tuple[int, ...] = (2, 3, 4)) -> ExperimentResult:
+    """Section 1's wire claim: c-dilated delta vs same-size EDN.
+
+    Compares the square EDN(bc, b, c, l) against the c-dilated b x b delta
+    with the same ``b^l * c``-ish terminal scale: per interstage boundary
+    the EDN carries ``b^l * c`` wires while the dilated delta carries
+    ``c * b^l * c``-equivalent bundles for matched *port* counts — i.e. the
+    dilated network spends ``d = c`` times the wires for the same
+    multiplicity.
+    """
+    result = ExperimentResult(
+        experiment_id="eq2_eq3_dilated",
+        title="Dilated delta vs EDN: interstage wires at equal multiplicity",
+    )
+    rows = []
+    b, c = 4, 4
+    for l in l_values:
+        edn = EDNParams(b * c, b, c, l)  # square: a/c = b
+        dilated = DilatedDelta(a=b, b=b, l=l, d=c)
+        # Same number of input *ports* requires comparing per-boundary wires
+        # normalized by port count.
+        edn_per_port = edn.wires_after_stage(1) / edn.num_inputs
+        dilated_per_port = dilated.wires_after_stage(1) / dilated.n_inputs
+        rows.append(
+            [
+                f"l={l}",
+                edn.num_inputs,
+                dilated.n_inputs,
+                edn.wires_after_stage(1),
+                dilated.wires_after_stage(1),
+                edn_per_port,
+                dilated_per_port,
+                dilated_per_port / edn_per_port,
+            ]
+        )
+    result.tables["interstage wires per input port"] = (
+        [
+            "depth",
+            "EDN inputs",
+            "dilated inputs",
+            "EDN stage wires",
+            "dilated stage wires",
+            "EDN wires/port",
+            "dilated wires/port",
+            "ratio (paper: d)",
+        ],
+        rows,
+    )
+    result.notes.append(
+        "the square EDN keeps one wire per port at every boundary; the d-dilated "
+        "delta spends d per port — Section 1's 'much less space efficient'"
+    )
+    return result
+
+
+def run_cost_performance(*, rate: float = 1.0) -> ExperimentResult:
+    """Section 6's positioning: EDN ≈ crossbar performance at ≈ delta cost.
+
+    For matched 1024-terminal networks, report PA(rate) and crosspoints for
+    the full crossbar, the MasPar EDN, and the same-size delta.
+    """
+    result = ExperimentResult(
+        experiment_id="cost_performance",
+        title="Cost vs performance at 1024 terminals (Section 6)",
+    )
+    edn = EDNParams(64, 16, 4, 2)     # 1024 x 1024
+    delta = EDNParams(32, 32, 1, 2)   # 1024 x 1024 delta of 32x32 crossbars
+    n = edn.num_inputs
+    rows = [
+        [
+            "full crossbar",
+            crossbar_crosspoint_cost(n),
+            crossbar_acceptance(n, rate),
+        ],
+        [
+            str(edn),
+            crosspoint_cost(edn),
+            acceptance_probability(edn, rate),
+        ],
+        [
+            str(delta),
+            crosspoint_cost(delta),
+            delta_acceptance(32, 32, 2, rate),
+        ],
+    ]
+    result.tables[f"1024-terminal networks, PA({rate:g})"] = (
+        ["network", "crosspoints", "PA"],
+        rows,
+    )
+    result.notes.append(
+        "expected: EDN within a few points of the crossbar's PA at a small "
+        "multiple of the delta's crosspoints and far below the crossbar's"
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Experiment ``fig2``: the paper's H(8 -> 4 x 2) routing example (Figure 2).
+
+The paper routes eight inputs with control digits ``3,2,3,1,2,2,0,3``
+through a hyperbar with four buckets of capacity two and observes that,
+under input-label priority, "inputs 5 and 7 are discarded": bucket 2
+already holds inputs 1 and 4 when input 5 arrives, and bucket 3 holds
+inputs 0 and 2 when input 7 arrives.
+"""
+
+from __future__ import annotations
+
+from repro.core.hyperbar import Hyperbar
+from repro.experiments.base import ExperimentResult
+from repro.viz.ascii_art import render_hyperbar_routing
+
+__all__ = ["PAPER_DIGITS", "PAPER_DISCARDS", "run"]
+
+#: Control digits read off the paper's Figure 2, top to bottom.
+PAPER_DIGITS = [3, 2, 3, 1, 2, 2, 0, 3]
+
+#: The inputs Figure 2 shows being discarded.
+PAPER_DISCARDS = [5, 7]
+
+
+def run() -> ExperimentResult:
+    """Route the Figure 2 example and compare discards with the paper."""
+    switch = Hyperbar(8, 4, 2, priority="label")
+    outcome = switch.route(PAPER_DIGITS)
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="Figure 2: H(8->4x2) hyperbar routing example",
+    )
+    rows = []
+    for i, digit in enumerate(PAPER_DIGITS):
+        if i in outcome.accepted:
+            wire = outcome.accepted[i]
+            fate = f"bucket {wire // 2} wire {wire % 2}"
+        else:
+            fate = "discarded"
+        rows.append([i, digit, fate])
+    result.tables["routing"] = (["input", "digit", "fate"], rows)
+    result.tables["comparison"] = (
+        ["quantity", "paper", "measured"],
+        [
+            ["discarded inputs", str(PAPER_DISCARDS), str(outcome.rejected)],
+            ["accepted count", 8 - len(PAPER_DISCARDS), outcome.num_accepted],
+        ],
+    )
+    result.notes.append(render_hyperbar_routing(8, 4, 2, PAPER_DIGITS, outcome))
+    result.notes.append(
+        "match" if outcome.rejected == PAPER_DISCARDS else "MISMATCH with the paper"
+    )
+    return result

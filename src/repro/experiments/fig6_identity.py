@@ -1,0 +1,80 @@
+"""Experiment ``fig5_6``: identity permutation on EDN(64,16,4,2) (Figures 5-6).
+
+Figure 5's ``EDN(64,16,4,2)`` "is incapable of performing the identity
+permutation in one pass": all 64 sources entering one first-stage hyperbar
+share their most significant destination digit, so they pile into a single
+capacity-4 bucket and only ``16 switches x 4 = 64`` of 1024 messages
+survive.  Figure 6 modifies the network to retire the tag digits in the
+opposite order and appends the inverse of that digit re-arrangement at the
+outputs (Corollary 2), after which the identity routes conflict-free.
+
+The paper also remarks the two networks "perform identically in the
+average case, while very differently for specific permutations"; this
+experiment measures both retirement orders under random permutations and a
+battery of structured ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EDNParams
+from repro.core.tags import RetirementOrder
+from repro.experiments.base import ExperimentResult
+from repro.sim.montecarlo import measure_acceptance
+from repro.sim.rng import make_rng
+from repro.sim.traffic import PermutationTraffic, structured_permutation
+from repro.sim.vectorized import VectorizedEDN
+
+__all__ = ["run"]
+
+STRUCTURED = ("identity", "reversal", "bit_reversal", "shuffle", "transpose", "butterfly")
+
+
+def run(*, cycles: int = 40, seed: int = 0) -> ExperimentResult:
+    """Compare canonical vs reversed digit retirement on EDN(64,16,4,2)."""
+    params = EDNParams(64, 16, 4, 2)
+    canonical = VectorizedEDN(params)
+    reversed_order = RetirementOrder.reversed_order(params.l)
+    modified = VectorizedEDN(params, retirement_order=reversed_order)
+    fixup = reversed_order.fixup_permutation(params)
+    rng = make_rng(seed)
+
+    result = ExperimentResult(
+        experiment_id="fig5_6",
+        title="Figures 5-6: identity permutation and digit-retirement order on EDN(64,16,4,2)",
+    )
+
+    rows = []
+    for name in STRUCTURED:
+        pattern = structured_permutation(name, params.num_inputs)
+        dests = pattern.generate(rng)
+        delivered_canonical = canonical.route(dests).num_delivered
+        modified_result = modified.route(dests)
+        delivered_modified = modified_result.num_delivered
+        # Verify the fix-up stage restores intended destinations.
+        landed = modified_result.output
+        fixed_ok = all(
+            fixup(int(landed[s])) == int(dests[s])
+            for s in range(params.num_inputs)
+            if modified_result.blocked_stage[s] == 0
+        )
+        rows.append([name, delivered_canonical, delivered_modified, fixed_ok])
+    result.tables["structured permutations (messages delivered of 1024)"] = (
+        ["pattern", "canonical order", "reversed order + fixup", "fixup correct"],
+        rows,
+    )
+
+    traffic = PermutationTraffic(params.num_inputs, params.num_outputs)
+    average_canonical = measure_acceptance(canonical, traffic, cycles=cycles, seed=seed)
+    average_modified = measure_acceptance(modified, traffic, cycles=cycles, seed=seed)
+    result.tables["random permutations (average case)"] = (
+        ["network", "measured PAp"],
+        [
+            ["canonical retirement", average_canonical.point],
+            ["reversed retirement", average_modified.point],
+        ],
+    )
+    result.notes.append(
+        "paper: identity blocks to 64/1024 canonically, routes fully under the modified "
+        "order; both orders perform identically on random permutations"
+    )
+    return result

@@ -1,0 +1,81 @@
+"""Registry mapping experiment IDs to their runners.
+
+One entry per row of DESIGN.md's experiment index.  ``run_experiment``
+executes by ID with default budgets; ``main`` (also the
+``python -m repro.experiments.registry`` entry point) runs everything and
+prints the reports — the closest thing to "regenerate all figures".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    costs,
+    extensions,
+    fault_tolerance,
+    fig2_hyperbar,
+    fig4_topology,
+    fig6_identity,
+    fig7_families,
+    fig11_resubmission,
+    hotspot,
+    scaling,
+    sec5_raedn,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig2": fig2_hyperbar.run,
+    "fig4": fig4_topology.run,
+    "fig5_6": fig6_identity.run,
+    "fig7": lambda: fig7_families.run(8),
+    "fig8": lambda: fig7_families.run(16),
+    "fig7_mc": lambda: fig7_families.run_montecarlo_validation(8),
+    "fig8_mc": lambda: fig7_families.run_montecarlo_validation(16),
+    "fig11": fig11_resubmission.run,
+    "fig11_sim": fig11_resubmission.run_simulation_validation,
+    "sec5_example": sec5_raedn.run,
+    "sec5_sim": sec5_raedn.run_simulation,
+    "eq2_eq3": costs.run,
+    "eq2_eq3_dilated": costs.run_dilation_comparison,
+    "cost_performance": costs.run_cost_performance,
+    "nuts": hotspot.run,
+    "ablation_priority": ablations.run_priority,
+    "ablation_wire_policy": ablations.run_wire_policy,
+    "ablation_schedule": ablations.run_schedules,
+    "fault_tolerance": fault_tolerance.run,
+    "scaling": scaling.run,
+    "buffered": extensions.run_buffered,
+    "admissibility": extensions.run_admissibility,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by its DESIGN.md ID."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def main(ids: list[str] | None = None) -> None:
+    """Run the requested (default: all) experiments and print their reports."""
+    for experiment_id in ids if ids is not None else sorted(EXPERIMENTS):
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+        print("-" * 78)
+        print()
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1:] or None)

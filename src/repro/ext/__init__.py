@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's model.
+
+The paper's analysis is strictly circuit-switched and bufferless ("It is
+assumed that the network is circuit-switched, and so there are no buffers
+or queues in the network", Section 3.2).  This subpackage explores the
+era's standard follow-ups on top of the same topology:
+
+* :mod:`repro.ext.buffered` — synchronous packet switching with per-wire
+  FIFO buffers and back-pressure (Dias & Jump / Jenq style), measuring
+  throughput and latency where the paper measures acceptance;
+* :mod:`repro.ext.admissibility` — exhaustive censuses of which
+  permutations route conflict-free in a single pass, quantifying how
+  capacity enlarges the admissible set (Lemma 2's combinatorial shadow).
+"""
+
+from repro.ext.admissibility import admissible_fraction, is_admissible
+from repro.ext.buffered import BufferedEDN, BufferedMetrics
+
+__all__ = [
+    "BufferedEDN",
+    "BufferedMetrics",
+    "is_admissible",
+    "admissible_fraction",
+]

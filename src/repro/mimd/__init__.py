@@ -1,0 +1,32 @@
+"""Section 4: EDNs in MIMD shared-memory multiprocessors.
+
+* :mod:`repro.mimd.markov` — the Active/Waiting Markov model of request
+  resubmission (Eqs. 7-11, Figure 10);
+* :mod:`repro.mimd.processor` / :mod:`repro.mimd.memory` — processor and
+  memory-module state for the cycle simulator;
+* :mod:`repro.mimd.system` — the processor-memory system simulator
+  (Figure 9) validating the analytic model.
+"""
+
+from repro.mimd.markov import (
+    ResubmissionSolution,
+    edn_resubmission,
+    effective_rate,
+    solve_resubmission,
+    steady_state_probabilities,
+)
+from repro.mimd.memory import MemoryBank
+from repro.mimd.processor import ProcessorArray
+from repro.mimd.system import MIMDMetrics, MIMDSystem
+
+__all__ = [
+    "ResubmissionSolution",
+    "solve_resubmission",
+    "edn_resubmission",
+    "effective_rate",
+    "steady_state_probabilities",
+    "ProcessorArray",
+    "MemoryBank",
+    "MIMDSystem",
+    "MIMDMetrics",
+]

@@ -1,0 +1,158 @@
+"""Markov model of request resubmission in MIMD systems (paper, Section 4).
+
+In a shared-memory multiprocessor, a processor whose request is rejected
+does not give up — it resubmits next cycle and stalls until served.  The
+paper models each processor as a two-state Markov chain (Figure 10):
+**Active** (issues a fresh request with probability ``r``) and **Waiting**
+(resubmits with probability 1).  With ``PA'(r)`` the steady-state network
+acceptance,
+
+* ``qA = PA' / (r + PA' - r*PA')``, ``qW = r(1 - PA') / (r + PA' - r*PA')``
+  (Eq. 7),
+* the effective offered rate is ``r' = r*qA + qW = r / (r + PA' - r*PA')``
+  (Eq. 8),
+* self-consistency ``PA'(r) = PA(r')`` (Eq. 9) is solved by the fixed-point
+  iteration ``PA'_{n+1} = PA(r / (r + PA'_n - r*PA'_n))`` from
+  ``PA'_0 = PA(r)`` (Eq. 10, the Hwang & Briggs method).
+
+The system *efficiency* (Eq. 11) compares against an ideal memory that
+always satisfies requests: it is the steady-state probability ``qA`` that a
+processor is doing useful work.
+
+All functions are generic in the network: they take any ``pa`` callable
+(EDN Eq. 4, crossbar, delta, ...), so one model serves every topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.analysis import acceptance_probability
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, ConvergenceError
+
+__all__ = [
+    "ResubmissionSolution",
+    "effective_rate",
+    "steady_state_probabilities",
+    "solve_resubmission",
+    "edn_resubmission",
+]
+
+
+@dataclass(frozen=True)
+class ResubmissionSolution:
+    """Converged steady state of the resubmission Markov chain.
+
+    Attributes
+    ----------
+    r:
+        Fresh-request probability of an active processor.
+    pa_resubmit:
+        ``PA'(r)`` — acceptance seen at the (inflated) steady-state load.
+    effective_rate:
+        ``r'`` — the per-input offered rate including resubmissions.
+    q_active, q_waiting:
+        Steady-state processor state probabilities (sum to 1).
+    efficiency:
+        ``qA``: utilization relative to an ideal always-satisfying memory
+        (Eq. 11).
+    iterations:
+        Fixed-point steps used.
+    """
+
+    r: float
+    pa_resubmit: float
+    effective_rate: float
+    q_active: float
+    q_waiting: float
+    iterations: int
+
+    @property
+    def efficiency(self) -> float:
+        return self.q_active
+
+    @property
+    def bandwidth_per_input(self) -> float:
+        """Delivered requests per input per cycle: ``r' * PA'``."""
+        return self.effective_rate * self.pa_resubmit
+
+    @property
+    def expected_wait(self) -> float:
+        """Expected total cycles a request spends until served: ``1 / PA'``.
+
+        A request succeeds each cycle with probability ``PA'`` independently
+        (the chain's memoryless retry), so its service time is geometric;
+        the *waiting* portion beyond the first attempt is ``1/PA' - 1``.
+        """
+        return 1.0 / self.pa_resubmit
+
+
+def effective_rate(r: float, pa_prime: float) -> float:
+    """Eq. 8: offered rate once rejected requests are resubmitted.
+
+    Always >= ``r``: waiting processors request deterministically.
+    """
+    denominator = r + pa_prime - r * pa_prime
+    if denominator <= 0.0:
+        raise ConfigurationError(f"degenerate Markov chain (r={r}, PA'={pa_prime})")
+    return r / denominator
+
+
+def steady_state_probabilities(r: float, pa_prime: float) -> tuple[float, float]:
+    """Eq. 7: ``(qA, qW)`` of the Active/Waiting chain (Figure 10).
+
+    Balance: ``qA * r * (1 - PA') = qW * PA'`` with ``qA + qW = 1``.
+    """
+    denominator = r + pa_prime - r * pa_prime
+    if denominator <= 0.0:
+        raise ConfigurationError(f"degenerate Markov chain (r={r}, PA'={pa_prime})")
+    q_active = pa_prime / denominator
+    q_waiting = r * (1.0 - pa_prime) / denominator
+    return q_active, q_waiting
+
+
+def solve_resubmission(
+    pa: Callable[[float], float],
+    r: float,
+    *,
+    tolerance: float = 1e-12,
+    max_iterations: int = 10_000,
+) -> ResubmissionSolution:
+    """Solve Eq. 9 by the fixed-point iteration of Eq. 10.
+
+    ``pa`` maps an offered rate in [0, 1] to an acceptance probability;
+    the iteration starts from ``PA'_0 = PA(r)`` as the paper prescribes.
+    Raises :class:`ConvergenceError` if the tolerance is not met.
+    """
+    if not 0.0 <= r <= 1.0:
+        raise ConfigurationError(f"request rate must lie in [0, 1], got {r}")
+    if r == 0.0:
+        return ResubmissionSolution(
+            r=0.0, pa_resubmit=1.0, effective_rate=0.0, q_active=1.0, q_waiting=0.0, iterations=0
+        )
+    pa_prime = pa(r)
+    for iteration in range(1, max_iterations + 1):
+        updated = pa(effective_rate(r, pa_prime))
+        if abs(updated - pa_prime) <= tolerance:
+            pa_prime = updated
+            q_active, q_waiting = steady_state_probabilities(r, pa_prime)
+            return ResubmissionSolution(
+                r=r,
+                pa_resubmit=pa_prime,
+                effective_rate=effective_rate(r, pa_prime),
+                q_active=q_active,
+                q_waiting=q_waiting,
+                iterations=iteration,
+            )
+        pa_prime = updated
+    raise ConvergenceError(
+        f"resubmission fixed point did not converge within {max_iterations} iterations "
+        f"(r={r}, last PA'={pa_prime})"
+    )
+
+
+def edn_resubmission(params: EDNParams, r: float, **kwargs) -> ResubmissionSolution:
+    """Convenience: solve the resubmission model for an EDN via Eq. 4."""
+    return solve_resubmission(lambda rate: acceptance_probability(params, rate), r, **kwargs)

@@ -1,0 +1,75 @@
+"""Memory modules for the MIMD processor-memory system (Figure 9).
+
+The paper's base model treats a memory module as always ready: an accepted
+request is served within the cycle.  This module adds the bookkeeping a
+real study needs — per-module access counts for load-imbalance analysis —
+and an optional multi-cycle service-time extension: a module busy serving a
+previous request turns away new arrivals (they count as rejected, exactly
+as if the network had blocked them), modelling DRAM banks slower than the
+interconnect clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["MemoryBank"]
+
+
+class MemoryBank:
+    """``m`` memory modules with optional service latency.
+
+    Parameters
+    ----------
+    m:
+        Module count (== network outputs).
+    service_cycles:
+        Cycles a module is occupied per served request.  The paper's model
+        is ``1`` (always ready); larger values enable the memory-bottleneck
+        ablation.
+    """
+
+    def __init__(self, m: int, *, service_cycles: int = 1):
+        if m < 1:
+            raise ConfigurationError("need a positive module count")
+        if service_cycles < 1:
+            raise ConfigurationError(f"service_cycles must be >= 1, got {service_cycles}")
+        self.m = m
+        self.service_cycles = service_cycles
+        self.busy_until = np.zeros(m, dtype=np.int64)
+        self.accesses = np.zeros(m, dtype=np.int64)
+        self.turned_away = np.zeros(m, dtype=np.int64)
+
+    def admit(self, modules: np.ndarray, cycle: int) -> np.ndarray:
+        """Admit network-accepted requests to their modules.
+
+        ``modules`` lists the target module of each network-delivered
+        request this cycle (at most one per module — the network guarantees
+        that).  Returns a boolean mask: True where the module was free and
+        the request is truly served.  With ``service_cycles == 1`` every
+        entry is True.
+        """
+        modules = np.asarray(modules, dtype=np.int64)
+        if modules.size and (modules.min() < 0 or modules.max() >= self.m):
+            raise ConfigurationError("module index out of range")
+        if self.service_cycles == 1:
+            served = np.ones(modules.size, dtype=bool)
+        else:
+            served = self.busy_until[modules] <= cycle
+            self.busy_until[modules[served]] = cycle + self.service_cycles
+        np.add.at(self.accesses, modules[served], 1)
+        np.add.at(self.turned_away, modules[~served], 1)
+        return served
+
+    @property
+    def total_served(self) -> int:
+        return int(self.accesses.sum())
+
+    def load_imbalance(self) -> float:
+        """Max/mean access ratio (1.0 = perfectly balanced)."""
+        if self.total_served == 0:
+            return 1.0
+        mean = self.accesses.mean()
+        return float(self.accesses.max() / mean) if mean > 0 else 1.0

@@ -1,0 +1,104 @@
+"""Processor-side state for the MIMD cycle simulator.
+
+Section 4 models each processor as Active (thinking; issues a fresh memory
+request with probability ``r`` per cycle) or Waiting (stalled on a rejected
+request, which it resubmits every cycle until served).  For simulations of
+thousands of processors the states live in numpy arrays; this module wraps
+them behind a small, explicit API so the system simulator reads like the
+paper's description.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["ProcessorArray", "ACTIVE", "WAITING"]
+
+ACTIVE = 0
+WAITING = 1
+_NO_REQUEST = -1
+
+
+class ProcessorArray:
+    """State of ``n`` processors sharing one memory through the network.
+
+    Parameters
+    ----------
+    n:
+        Processor count (== network inputs).
+    n_modules:
+        Memory module count (== network outputs).
+    request_rate:
+        Probability an Active processor issues a request each cycle.
+    redraw_on_retry:
+        If True, a Waiting processor redraws a fresh uniform destination on
+        every resubmission — the paper's analytic assumption ("resubmitted
+        requests along with the new requests address the memory modules
+        uniformly").  If False (default), it retries the *same* module,
+        which is what real programs do; comparing the two quantifies how
+        much the uniformity assumption matters (``fig11_sim`` benchmark).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        n_modules: int,
+        request_rate: float,
+        *,
+        redraw_on_retry: bool = False,
+    ):
+        if n < 1 or n_modules < 1:
+            raise ConfigurationError("need positive processor and module counts")
+        if not 0.0 <= request_rate <= 1.0:
+            raise ConfigurationError(f"request rate must lie in [0, 1], got {request_rate}")
+        self.n = n
+        self.n_modules = n_modules
+        self.request_rate = request_rate
+        self.redraw_on_retry = redraw_on_retry
+        self.state = np.full(n, ACTIVE, dtype=np.int8)
+        self.pending = np.full(n, _NO_REQUEST, dtype=np.int64)
+        self.wait_cycles = np.zeros(n, dtype=np.int64)
+
+    def issue_requests(self, rng: np.random.Generator) -> np.ndarray:
+        """Build this cycle's demand vector (``-1`` = no request).
+
+        Active processors toss an ``r``-coin and draw uniform destinations;
+        Waiting processors resubmit (same module, or redrawn when
+        ``redraw_on_retry``).
+        """
+        dests = np.full(self.n, _NO_REQUEST, dtype=np.int64)
+        active = self.state == ACTIVE
+        issuing = active & (rng.random(self.n) < self.request_rate)
+        dests[issuing] = rng.integers(0, self.n_modules, size=int(issuing.sum()))
+        waiting = self.state == WAITING
+        if self.redraw_on_retry:
+            dests[waiting] = rng.integers(0, self.n_modules, size=int(waiting.sum()))
+        else:
+            dests[waiting] = self.pending[waiting]
+        self.pending = dests
+        return dests
+
+    def absorb_outcomes(self, delivered_mask: np.ndarray) -> None:
+        """Advance processor states given which requests were delivered.
+
+        Delivered → Active next cycle; rejected → Waiting (wait counter
+        grows); processors that issued nothing stay Active.
+        """
+        requested = self.pending != _NO_REQUEST
+        served = requested & delivered_mask
+        rejected = requested & ~delivered_mask
+        self.state[served] = ACTIVE
+        self.wait_cycles[served] = 0
+        self.state[rejected] = WAITING
+        self.wait_cycles[rejected] += 1
+        self.pending[served] = _NO_REQUEST
+
+    @property
+    def fraction_active(self) -> float:
+        return float((self.state == ACTIVE).mean())
+
+    @property
+    def fraction_waiting(self) -> float:
+        return float((self.state == WAITING).mean())

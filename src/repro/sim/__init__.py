@@ -1,0 +1,61 @@
+"""Simulation substrate: kernel, RNG streams, statistics, traffic, Monte-Carlo.
+
+* :mod:`repro.sim.engine` — discrete-event kernel and cycle driver;
+* :mod:`repro.sim.rng` — reproducible independent random streams;
+* :mod:`repro.sim.stats` — online statistics and confidence intervals;
+* :mod:`repro.sim.traffic` — workload generators (uniform, permutation,
+  hot-spot/NUTS, structured patterns);
+* :mod:`repro.sim.vectorized` — numpy EDN router for large networks;
+* :mod:`repro.sim.montecarlo` — acceptance-probability measurement.
+"""
+
+from repro.sim.engine import CycleDriver, EventHandle, Simulator
+from repro.sim.montecarlo import (
+    AcceptanceMeasurement,
+    ReferenceRouterAdapter,
+    measure_acceptance,
+)
+from repro.sim.rng import make_rng, spawn, stream_for
+from repro.sim.stats import (
+    Interval,
+    RatioStats,
+    RunningStats,
+    batch_means,
+    proportion_ci,
+)
+from repro.sim.traffic import (
+    STRUCTURED_PATTERNS,
+    FixedPattern,
+    HotspotTraffic,
+    PermutationTraffic,
+    TrafficGenerator,
+    UniformTraffic,
+    structured_permutation,
+)
+from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "CycleDriver",
+    "make_rng",
+    "spawn",
+    "stream_for",
+    "RunningStats",
+    "RatioStats",
+    "Interval",
+    "batch_means",
+    "proportion_ci",
+    "TrafficGenerator",
+    "UniformTraffic",
+    "PermutationTraffic",
+    "FixedPattern",
+    "HotspotTraffic",
+    "structured_permutation",
+    "STRUCTURED_PATTERNS",
+    "VectorizedEDN",
+    "VectorCycleResult",
+    "measure_acceptance",
+    "AcceptanceMeasurement",
+    "ReferenceRouterAdapter",
+]

@@ -1,0 +1,142 @@
+"""Monte-Carlo measurement harnesses.
+
+Estimates the paper's performance metrics by repeated cycle simulation and
+reports them with confidence intervals, so tests and benchmarks can make
+statistically honest comparisons against the analytic models (Eqs. 4-5).
+
+The harness is router-agnostic: anything exposing ``n_inputs``,
+``n_outputs`` and ``route(dests, rng) -> result`` with ``num_offered`` /
+``num_delivered`` works, which lets the same code drive the vectorized EDN,
+the reference EDN (via an adapter), and the baseline networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.core.config import EDNParams
+from repro.core.network import EDNetwork
+from repro.core.tags import RetirementOrder
+from repro.sim.rng import make_rng
+from repro.sim.stats import Interval, RatioStats
+from repro.sim.traffic import TrafficGenerator
+
+__all__ = [
+    "CycleRouter",
+    "AcceptanceMeasurement",
+    "measure_acceptance",
+    "ReferenceRouterAdapter",
+]
+
+
+class CycleRouter(Protocol):
+    """Protocol every measurable router satisfies."""
+
+    @property
+    def n_inputs(self) -> int: ...
+
+    @property
+    def n_outputs(self) -> int: ...
+
+    def route(self, dests: np.ndarray, rng: Optional[np.random.Generator]) -> object: ...
+
+
+@dataclass
+class AcceptanceMeasurement:
+    """Result of a Monte-Carlo acceptance run.
+
+    ``acceptance`` is the ratio-of-sums estimator of ``PA`` (matching the
+    paper's expected-delivered / expected-generated definition) with a
+    delta-method confidence interval; ``blocked_by_stage`` aggregates where
+    requests died across all cycles.
+    """
+
+    cycles: int
+    offered: int
+    delivered: int
+    acceptance: Interval
+    blocked_by_stage: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def point(self) -> float:
+        return self.acceptance.point
+
+
+def measure_acceptance(
+    router: CycleRouter,
+    traffic: TrafficGenerator,
+    *,
+    cycles: int = 100,
+    seed: int | None = 0,
+    confidence: float = 0.95,
+) -> AcceptanceMeasurement:
+    """Estimate the probability of acceptance of ``router`` under ``traffic``.
+
+    Each cycle draws a fresh demand vector (the paper's assumption 3:
+    blocked requests are ignored and do not affect later cycles) and routes
+    it; acceptance is accumulated as a ratio of sums.
+    """
+    if traffic.n_inputs != router.n_inputs:
+        raise ValueError(
+            f"traffic generates {traffic.n_inputs} inputs, router has {router.n_inputs}"
+        )
+    rng = make_rng(seed)
+    ratio = RatioStats()
+    offered_total = 0
+    delivered_total = 0
+    blocked: dict[int, int] = {}
+    for _ in range(cycles):
+        dests = traffic.generate(rng)
+        result = router.route(dests, rng)
+        ratio.push(result.num_delivered, result.num_offered)
+        offered_total += result.num_offered
+        delivered_total += result.num_delivered
+        histogram = getattr(result, "blocked_stage_histogram", None)
+        if histogram is not None:
+            for stage, count in histogram().items():
+                blocked[stage] = blocked.get(stage, 0) + count
+    return AcceptanceMeasurement(
+        cycles=cycles,
+        offered=offered_total,
+        delivered=delivered_total,
+        acceptance=ratio.confidence_interval(confidence),
+        blocked_by_stage=dict(sorted(blocked.items())),
+    )
+
+
+class ReferenceRouterAdapter:
+    """Expose :class:`~repro.core.network.EDNetwork` through the router protocol.
+
+    Used by equivalence tests; for performance work prefer
+    :class:`~repro.sim.vectorized.VectorizedEDN` directly.
+    """
+
+    def __init__(self, network: EDNetwork):
+        self.network = network
+
+    @classmethod
+    def build(
+        cls,
+        params: EDNParams,
+        *,
+        priority: str = "label",
+        retirement_order: Optional[RetirementOrder] = None,
+    ) -> "ReferenceRouterAdapter":
+        return cls(
+            EDNetwork(params, priority=priority, retirement_order=retirement_order)
+        )
+
+    @property
+    def n_inputs(self) -> int:
+        return self.network.params.num_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.network.params.num_outputs
+
+    def route(self, dests: np.ndarray, rng: Optional[np.random.Generator] = None):
+        demands = {int(s): int(d) for s, d in enumerate(dests) if d >= 0}
+        return self.network.route_destinations(demands, rng=rng)

@@ -1,0 +1,203 @@
+"""Statistics collection for simulation output analysis.
+
+Small, dependency-light estimators used by the Monte-Carlo harnesses:
+
+* :class:`RunningStats` — Welford's online mean/variance with Student-t
+  confidence intervals;
+* :class:`RatioStats` — ratio-of-sums estimator (e.g. accepted/offered
+  across cycles, which is *not* the mean of per-cycle ratios);
+* :func:`batch_means` — batch-means variance reduction for autocorrelated
+  cycle series (the MIMD resubmission simulator produces such series:
+  a blocked processor's state couples consecutive cycles);
+* :func:`proportion_ci` — Wilson score interval for raw proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from collections.abc import Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["RunningStats", "RatioStats", "batch_means", "proportion_ci", "Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A symmetric or asymmetric confidence interval ``[low, high]`` around ``point``."""
+
+    point: float
+    low: float
+    high: float
+
+    @property
+    def halfwidth(self) -> float:
+        return max(self.point - self.low, self.high - self.point)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.point:.6g} [{self.low:.6g}, {self.high:.6g}]"
+
+
+class RunningStats:
+    """Welford online accumulator: numerically stable mean and variance.
+
+    >>> acc = RunningStats()
+    >>> for v in (1.0, 2.0, 3.0): acc.push(v)
+    >>> acc.mean, acc.variance
+    (2.0, 1.0)
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def push(self, value: float) -> None:
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.push(value)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``n - 1`` denominator)."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        return sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def confidence_interval(self, confidence: float = 0.95) -> Interval:
+        """Student-t interval for the mean."""
+        if self._n < 2:
+            return Interval(self.mean, float("-inf"), float("inf"))
+        t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=self._n - 1)
+        half = t * self.std / sqrt(self._n)
+        return Interval(self._mean, self._mean - half, self._mean + half)
+
+
+class RunningStatsError(ValueError):
+    """Raised on queries against an empty accumulator."""
+
+
+class RatioStats:
+    """Ratio-of-sums estimator with a jackknife-free normal approximation.
+
+    Accumulates (numerator, denominator) pairs per cycle — e.g. (accepted,
+    offered) — and estimates ``sum(num) / sum(den)`` with a delta-method
+    standard error.  This matches the paper's definition of ``PA`` as "the
+    ratio of the expected number of requests satisfied per cycle to the
+    expected number of requests generated per cycle".
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self) -> None:
+        self._pairs: list[tuple[float, float]] = []
+
+    def push(self, numerator: float, denominator: float) -> None:
+        self._pairs.append((float(numerator), float(denominator)))
+
+    @property
+    def n(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def ratio(self) -> float:
+        total_num = sum(num for num, _ in self._pairs)
+        total_den = sum(den for _, den in self._pairs)
+        if total_den == 0:
+            return 1.0
+        return total_num / total_den
+
+    def confidence_interval(self, confidence: float = 0.95) -> Interval:
+        """Delta-method interval on the ratio of means."""
+        n = len(self._pairs)
+        point = self.ratio
+        if n < 2:
+            return Interval(point, float("-inf"), float("inf"))
+        mean_den = sum(den for _, den in self._pairs) / n
+        if mean_den == 0:
+            return Interval(point, point, point)
+        # Variance of the per-cycle residuals num_i - ratio * den_i.
+        residuals = [num - point * den for num, den in self._pairs]
+        mean_res = sum(residuals) / n
+        var_res = sum((res - mean_res) ** 2 for res in residuals) / (n - 1)
+        se = sqrt(var_res / n) / mean_den
+        t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+        return Interval(point, point - t * se, point + t * se)
+
+
+def batch_means(series: Sequence[float], n_batches: int = 20) -> RunningStats:
+    """Collapse an autocorrelated series into ``n_batches`` batch means.
+
+    Standard output-analysis technique: consecutive cycles of a stateful
+    simulation are correlated, so per-cycle t-intervals are too narrow;
+    means over long batches are approximately independent.  Leftover
+    observations (when the length is not divisible) are dropped from the
+    final partial batch.
+    """
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    batch_size = len(series) // n_batches
+    if batch_size < 1:
+        raise ValueError(
+            f"series of length {len(series)} too short for {n_batches} batches"
+        )
+    acc = RunningStats()
+    for k in range(n_batches):
+        chunk = series[k * batch_size : (k + 1) * batch_size]
+        acc.push(sum(chunk) / len(chunk))
+    return acc
+
+
+def proportion_ci(successes: int, trials: int, confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    z = _scipy_stats.norm.ppf(0.5 + confidence / 2.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    half = (z / denom) * sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    return Interval(phat, max(0.0, center - half), min(1.0, center + half))

@@ -1,0 +1,227 @@
+"""Vectorized (numpy) EDN routing engine for Monte-Carlo work at scale.
+
+Implements exactly the same cycle semantics as the reference engine in
+:mod:`repro.core.network` — label-priority contention, first-free wire
+assignment, gamma interstage wiring — but processes a whole cycle with
+array operations, handling networks of 10^5+ terminals at interactive
+speed.  An integration test pins every per-message outcome of this engine
+against the reference engine on randomized cycles.
+
+Algorithm per hyperbar stage: live wires are sorted (stably) by
+``(switch, bucket)``; the rank of each request within its bucket group
+decides acceptance (``rank < c``) and, for winners, the bucket wire taken
+(first-free ⇒ wire offset = rank).  Stable sorting by wire label realizes
+the paper's input-label priority; the ``random`` discipline lex-sorts on a
+random sub-key first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import ilog2
+from repro.core.tags import RetirementOrder
+
+__all__ = ["VectorizedEDN", "VectorCycleResult"]
+
+IDLE = -1
+
+
+@dataclass
+class VectorCycleResult:
+    """Per-input outcome arrays for one vectorized cycle.
+
+    ``output[s]`` is the output terminal reached by source ``s`` (or ``-1``
+    if idle/blocked); ``blocked_stage[s]`` is ``0`` for delivered messages,
+    the 1-indexed blocking stage otherwise, and ``-1`` for idle inputs.
+    """
+
+    output: np.ndarray
+    blocked_stage: np.ndarray
+
+    @property
+    def num_offered(self) -> int:
+        return int((self.blocked_stage != IDLE).sum())
+
+    @property
+    def num_delivered(self) -> int:
+        return int((self.blocked_stage == 0).sum())
+
+    @property
+    def acceptance_ratio(self) -> float:
+        offered = self.num_offered
+        return 1.0 if offered == 0 else self.num_delivered / offered
+
+    def blocked_stage_histogram(self) -> dict[int, int]:
+        """Stage index -> number of requests discarded there."""
+        stages = self.blocked_stage[self.blocked_stage > 0]
+        values, counts = np.unique(stages, return_counts=True)
+        return {int(v): int(n) for v, n in zip(values, counts)}
+
+
+class VectorizedEDN:
+    """Array-based ``EDN(a, b, c, l)`` router.
+
+    Parameters mirror :class:`repro.core.network.EDNetwork`; the wire
+    policy is fixed to ``first_free`` (the policies are acceptance-
+    equivalent — see the hyperbar module docs — and first-free is the
+    vectorizable one).
+
+    >>> import numpy as np
+    >>> net = VectorizedEDN(EDNParams(16, 4, 4, 2))
+    >>> res = net.route(np.arange(64) % 64)
+    >>> res.num_delivered == 64   # identity-ish pattern, fully delivered?
+    False
+    """
+
+    def __init__(
+        self,
+        params: EDNParams,
+        *,
+        priority: str = "label",
+        retirement_order: Optional[RetirementOrder] = None,
+    ):
+        if priority not in ("label", "random"):
+            raise ConfigurationError(f"unknown priority discipline {priority!r}")
+        self.params = params
+        self.priority = priority
+        if retirement_order is None:
+            retirement_order = RetirementOrder.canonical(params.l)
+        elif retirement_order.l != params.l:
+            raise ConfigurationError(
+                f"retirement order covers {retirement_order.l} digits, network has l={params.l}"
+            )
+        self.retirement_order = retirement_order
+        p = params
+        # Per-stage tag shifts: stage i consumes digit index order[i-1]
+        # (0 = most significant), located at bit offset
+        # c_bits + (l - 1 - index) * b_bits of the destination label.
+        self._stage_shifts = [
+            p.capacity_bits + (p.l - 1 - retirement_order.position_for_stage(i)) * p.digit_bits
+            for i in range(1, p.l + 1)
+        ]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.params.num_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.params.num_outputs
+
+    # ------------------------------------------------------------------
+
+    def route(
+        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> VectorCycleResult:
+        """Route one cycle of demands (``dests[s]`` = output terminal or ``-1``)."""
+        p = self.params
+        dests = np.asarray(dests, dtype=np.int64)
+        if dests.shape != (p.num_inputs,):
+            raise LabelError(
+                f"expected demand vector of shape ({p.num_inputs},), got {dests.shape}"
+            )
+        live0 = dests != IDLE
+        if live0.any():
+            lo, hi = int(dests[live0].min()), int(dests[live0].max())
+            if lo < 0 or hi >= p.num_outputs:
+                raise LabelError("demand vector contains out-of-range destinations")
+        if self.priority == "random" and rng is None:
+            raise ConfigurationError("random priority requires an explicit numpy Generator")
+
+        output = np.full(p.num_inputs, IDLE, dtype=np.int64)
+        blocked_stage = np.full(p.num_inputs, IDLE, dtype=np.int64)
+        blocked_stage[live0] = 0  # provisional: delivered unless marked
+
+        # Live frontier: parallel arrays (wire label, source id).
+        wires = np.flatnonzero(live0).astype(np.int64)
+        sources = wires.copy()
+
+        for stage in range(1, p.l + 1):
+            if wires.size == 0:
+                break
+            switch = wires // p.a
+            digit = (dests[sources] >> self._stage_shifts[stage - 1]) & (p.b - 1)
+            key = switch * p.b + digit
+            accept_mask, rank = self._resolve(key, wires, p.c, rng)
+            losers = sources[~accept_mask]
+            blocked_stage[losers] = stage
+            sources = sources[accept_mask]
+            y = switch[accept_mask] * (p.b * p.c) + digit[accept_mask] * p.c + rank
+            if stage < p.l:
+                wires = self._gamma_vec(y, ilog2(p.wires_after_stage(stage)))
+            else:
+                wires = y  # buckets feed the crossbars directly
+
+        if wires.size:
+            switch = wires // p.c
+            x = dests[sources] & (p.c - 1)
+            key = switch * p.c + x
+            accept_mask, _rank = self._resolve(key, wires, 1, rng)
+            losers = sources[~accept_mask]
+            blocked_stage[losers] = p.l + 1
+            winners = sources[accept_mask]
+            output[winners] = key[accept_mask]
+
+        return VectorCycleResult(output=output, blocked_stage=blocked_stage)
+
+    # ------------------------------------------------------------------
+
+    def _resolve(
+        self,
+        key: np.ndarray,
+        wires: np.ndarray,
+        capacity: int,
+        rng: Optional[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Group requests by ``key`` and grant the first ``capacity`` per group.
+
+        ``wires`` supplies the contention tie-breaker under label priority:
+        the paper prioritizes contenders by switch-local input line, i.e. by
+        wire label (the frontier arrays are ordered by source, which ceases
+        to match wire order after the first interstage permutation).
+
+        Returns ``(accept_mask, winner_ranks)`` where ``accept_mask`` aligns
+        with ``key`` and ``winner_ranks`` lists, for accepted requests in
+        ``key`` order, their 0-based rank within the group (the bucket wire
+        offset under the first-free policy).
+        """
+        n = key.size
+        if self.priority == "label":
+            order = np.lexsort((wires, key))
+        else:
+            order = np.lexsort((rng.permutation(n), key))
+        sorted_key = key[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=new_group[1:])
+        group_ids = np.cumsum(new_group) - 1
+        group_starts = np.flatnonzero(new_group)
+        rank_sorted = np.arange(n) - group_starts[group_ids]
+        accept_sorted = rank_sorted < capacity
+
+        accept_mask = np.zeros(n, dtype=bool)
+        accept_mask[order[accept_sorted]] = True
+        # Ranks arranged to align with key[accept_mask] (i.e. original order).
+        rank_by_pos = np.empty(n, dtype=np.int64)
+        rank_by_pos[order] = rank_sorted
+        return accept_mask, rank_by_pos[accept_mask]
+
+    def _gamma_vec(self, y: np.ndarray, n_bits: int) -> np.ndarray:
+        """Vectorized ``gamma_{log2(c), log2(a/c)}`` on ``n_bits``-bit labels."""
+        p = self.params
+        j, k = p.capacity_bits, p.fan_in_bits
+        upper_width = n_bits - j
+        if upper_width == 0 or k % upper_width == 0:
+            return y
+        shift = k % upper_width
+        low = y & ((1 << j) - 1)
+        upper = y >> j
+        mask = (1 << upper_width) - 1
+        rotated = ((upper << shift) | (upper >> (upper_width - shift))) & mask
+        return (rotated << j) | low

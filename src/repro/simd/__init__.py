@@ -1,0 +1,38 @@
+"""Section 5: EDNs as restricted-access routers in SIMD machines.
+
+* :mod:`repro.simd.ra_edn` — the RA-EDN system abstraction (clusters of
+  PEs sharing network ports, Figure 12);
+* :mod:`repro.simd.schedule` — per-cluster message schedules (the paper's
+  random schedule plus deterministic ablations);
+* :mod:`repro.simd.analytic` — the expected permutation-routing time model
+  (``T = q/PA(1) + J``);
+* :mod:`repro.simd.simulator` — the cycle-accurate drain simulator;
+* :mod:`repro.simd.maspar` — the MasPar MP-1 router configuration.
+"""
+
+from repro.simd.analytic import DrainModel, expected_permutation_time
+from repro.simd.maspar import MASPAR_MP1_PES, maspar_family, maspar_mp1
+from repro.simd.ra_edn import RAEDNSystem
+from repro.simd.schedule import (
+    LowestIndexSchedule,
+    RandomSchedule,
+    RoundRobinSchedule,
+    Schedule,
+)
+from repro.simd.simulator import PermutationRun, PermutationTimeStats, RAEDNSimulator
+
+__all__ = [
+    "RAEDNSystem",
+    "Schedule",
+    "RandomSchedule",
+    "RoundRobinSchedule",
+    "LowestIndexSchedule",
+    "DrainModel",
+    "expected_permutation_time",
+    "RAEDNSimulator",
+    "PermutationRun",
+    "PermutationTimeStats",
+    "maspar_mp1",
+    "maspar_family",
+    "MASPAR_MP1_PES",
+]

@@ -1,0 +1,92 @@
+"""Restricted Access EDN systems (paper, Section 5.1, Figure 12).
+
+Massively parallel SIMD machines pack many processing elements (PEs) per
+chip, but pin limits mean only a subset can reach the router at once.  The
+*RA-EDN* abstraction: ``p`` clusters of ``q`` PEs each; cluster ``i`` owns
+exactly one network input port ``I_i`` and one output port ``O_i`` of an
+``EDN(bc, b, c, l)`` (square: ``p = b^l * c`` ports).  Every PE carries a
+global 2-digit label ``xy`` — PE ``y`` of cluster ``x`` — with decimal
+label ``x*q + y``.  (The paper prints ``xp + y``, a typo: ``x`` ranges over
+``p`` clusters and ``y`` over ``q`` locals, so the mixed-radix value is
+``x*q + y``; the worked example is unaffected.)
+
+Routing a permutation ``f`` of all ``N = p*q`` PEs takes at least ``q``
+network cycles (one message per cluster per cycle); Section 5's analytic
+drain model and the cycle simulator live in :mod:`repro.simd.analytic` and
+:mod:`repro.simd.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+
+__all__ = ["RAEDNSystem"]
+
+
+@dataclass(frozen=True)
+class RAEDNSystem:
+    """Parameters of an ``RA-EDN(b, c, l, q)`` system.
+
+    ``b, c, l`` shape the square interconnection network ``EDN(bc, b, c, l)``
+    with ``p = b^l * c`` ports; ``q`` is the cluster size (PEs per port).
+    The MasPar MP-1 with 16K PEs is ``RA-EDN(16, 4, 2, 16)`` (paper,
+    Section 6).
+    """
+
+    b: int
+    c: int
+    l: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ConfigurationError(f"cluster size must be positive, got q={self.q}")
+        # Network validity (powers of two etc.) is enforced by EDNParams.
+        _ = self.network_params
+
+    @property
+    def network_params(self) -> EDNParams:
+        """The square ``EDN(bc, b, c, l)`` connecting the cluster ports."""
+        return EDNParams(self.b * self.c, self.b, self.c, self.l)
+
+    @property
+    def num_ports(self) -> int:
+        """``p = b^l * c`` cluster ports (network inputs == outputs)."""
+        return self.b**self.l * self.c
+
+    @property
+    def num_pes(self) -> int:
+        """``N = p * q`` processing elements."""
+        return self.num_ports * self.q
+
+    # ------------------------------------------------------------------
+    # PE labelling
+    # ------------------------------------------------------------------
+
+    def pe_label(self, cluster: int, local: int) -> int:
+        """Global decimal label of PE ``local`` in ``cluster``: ``cluster*q + local``."""
+        if not 0 <= cluster < self.num_ports:
+            raise LabelError(f"cluster {cluster} out of range 0..{self.num_ports - 1}")
+        if not 0 <= local < self.q:
+            raise LabelError(f"local PE index {local} out of range 0..{self.q - 1}")
+        return cluster * self.q + local
+
+    def pe_location(self, label: int) -> tuple[int, int]:
+        """Inverse of :meth:`pe_label`: ``(cluster, local)`` of a global label."""
+        if not 0 <= label < self.num_pes:
+            raise LabelError(f"PE label {label} out of range 0..{self.num_pes - 1}")
+        return divmod(label, self.q)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"RA-EDN({self.b},{self.c},{self.l},{self.q}): "
+            f"{self.num_ports} clusters x {self.q} PEs = {self.num_pes} PEs "
+            f"over {self.network_params}"
+        )
+
+    def __str__(self) -> str:
+        return f"RA-EDN({self.b},{self.c},{self.l},{self.q})"

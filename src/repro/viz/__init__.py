@@ -1,0 +1,14 @@
+"""Text rendering: network diagrams, ASCII curve plots, and result tables."""
+
+from repro.viz.ascii_art import render_hyperbar_routing, render_network
+from repro.viz.curves import Series, render_plot
+from repro.viz.tables import format_number, format_table
+
+__all__ = [
+    "render_network",
+    "render_hyperbar_routing",
+    "Series",
+    "render_plot",
+    "format_table",
+    "format_number",
+]

@@ -1,0 +1,87 @@
+"""ASCII renderings of network structure (the paper's Figures 1, 3, 4).
+
+Produces block-diagram summaries of an EDN — stage columns, switch shapes,
+wire counts, and the interstage permutation — plus a crosspoint-level
+drawing of a single hyperbar routing example (Figure 2 style), used by the
+quickstart example and the ``fig2``/``fig4`` benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EDNParams
+from repro.core.hyperbar import SwitchResult
+from repro.core.topology import EDNTopology
+from repro.viz.tables import format_table
+
+__all__ = ["render_network", "render_hyperbar_routing"]
+
+
+def render_network(params: EDNParams) -> str:
+    """A stage-by-stage block diagram of ``EDN(a, b, c, l)``.
+
+    >>> text = render_network(EDNParams(16, 4, 4, 2))
+    >>> "Stage 1" in text and "4x4" in text
+    True
+    """
+    topo = EDNTopology(params)
+    lines = [params.describe(), ""]
+    rows = []
+    for info in topo.stage_summary():
+        rows.append(
+            [
+                f"Stage {info['stage']}",
+                info["kind"],
+                info["switches"],
+                info["switch_shape"],
+                info["wires_in"],
+                info["wires_out"],
+            ]
+        )
+    lines.append(
+        format_table(
+            ["stage", "kind", "switches", "shape", "wires in", "wires out"], rows
+        )
+    )
+    lines.append("")
+    lines.append(
+        "interstage wiring: gamma(j=log2(c)={}, k=log2(a/c)={}) between hyperbar stages; "
+        "buckets feed the crossbars directly".format(params.capacity_bits, params.fan_in_bits)
+    )
+    lines.append(
+        f"destination tags: {params.l} base-{params.b} digit(s) + one base-{params.c} digit "
+        f"({params.tag_bits} bits)"
+    )
+    return "\n".join(lines)
+
+
+def render_hyperbar_routing(
+    a: int, b: int, c: int, requests: list, result: SwitchResult
+) -> str:
+    """Figure-2-style drawing of one hyperbar cycle.
+
+    Shows each input line with its control digit and fate, and each output
+    bucket with the inputs granted its wires.
+    """
+    lines = [f"H({a}->{b}x{c}) hyperbar routing", ""]
+    for i, digit in enumerate(requests):
+        if digit is None:
+            fate = "(idle)"
+        elif i in result.accepted:
+            wire = result.accepted[i]
+            fate = f"-> bucket {wire // c}, wire {wire % c}"
+        else:
+            fate = "-> DISCARDED (bucket full)"
+        label = "-" if digit is None else str(digit)
+        lines.append(f"  input {i}:  d={label:>2}  {fate}")
+    lines.append("")
+    for bucket in range(b):
+        occupants = [
+            str(result.output_sources[bucket * c + k])
+            for k in range(c)
+            if result.output_sources[bucket * c + k] is not None
+        ]
+        load = result.bucket_loads[bucket]
+        status = ", ".join(occupants) if occupants else "empty"
+        note = f"  ({load} requested)" if load > len(occupants) else ""
+        lines.append(f"  bucket {bucket} [capacity {c}]: inputs {status}{note}")
+    return "\n".join(lines)

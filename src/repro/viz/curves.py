@@ -1,0 +1,109 @@
+"""ASCII curve plots — the offline stand-in for the paper's figures.
+
+Figures 7, 8 and 11 of the paper are semi-log plots of acceptance
+probability against network size.  With no plotting stack available, this
+module renders multi-series line charts as monospace text (log-x support
+included), which the experiment harness prints and EXPERIMENTS.md records.
+Series data is also returned in machine-readable form so absolute values
+stay checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log10
+from collections.abc import Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["Series", "render_plot"]
+
+_MARKERS = "*+ox#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: ``points`` is a sequence of (x, y) pairs."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def from_pairs(cls, label: str, pairs: Sequence[tuple[float, float]]) -> "Series":
+        return cls(label=label, points=tuple((float(x), float(y)) for x, y in pairs))
+
+
+def render_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    y_range: tuple[float, float] | None = None,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII chart with a legend.
+
+    Points are snapped to a ``width x height`` character grid; later series
+    overwrite earlier ones where they collide (legend order shows
+    precedence).  ``log_x`` plots ``log10(x)`` positions, matching the
+    paper's semi-log axes.
+    """
+    if not series or any(not s.points for s in series):
+        raise ConfigurationError("every series needs at least one point")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+
+    def x_pos(x: float) -> float:
+        if log_x:
+            if x <= 0:
+                raise ConfigurationError("log-x plots need positive x values")
+            return log10(x)
+        return x
+
+    xs = [x_pos(x) for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_min, x_max = min(xs), max(xs)
+    if y_range is None:
+        y_min, y_max = min(ys), max(ys)
+    else:
+        y_min, y_max = y_range
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s, marker in zip(series, _MARKERS):
+        for x, y in s.points:
+            col = round((x_pos(x) - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            if 0 <= col < width and 0 <= row < height:
+                grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3f}"
+    bottom_label = f"{y_min:.3f}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_chars)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left = f"{10 ** x_min:.0f}" if log_x else f"{x_min:g}"
+    right = f"{10 ** x_max:.0f}" if log_x else f"{x_max:g}"
+    axis = left + " " * (width - len(left) - len(right)) + right
+    lines.append(" " * (margin + 1) + axis)
+    suffix = "  (log scale)" if log_x else ""
+    lines.append(" " * (margin + 1) + f"{x_label}{suffix}")
+    for s, marker in zip(series, _MARKERS):
+        lines.append(f"  {marker} {s.label}")
+    if y_label:
+        lines.append(f"  y: {y_label}")
+    return "\n".join(lines)

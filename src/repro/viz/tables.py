@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints paper-style result tables without any plotting
+dependency; this module owns the column alignment and number formatting so
+every experiment reports consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value: object, *, precision: int = 4) -> str:
+    """Render a cell: floats to ``precision`` significant decimals, rest via str."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.{precision}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["n", "PA"], [[8, 0.75], [64, 0.5437]]))
+    n   PA
+    --  ------
+    8   0.7500
+    64  0.5437
+    """
+    cells = [[format_number(v, precision=precision) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells)) if cells else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Tests for the Beneš network and the looping algorithm."""
+
+from __future__ import annotations
+
+from itertools import permutations as iter_permutations
+
+import numpy as np
+import pytest
+
+from repro.baselines.benes import BenesNetwork
+from repro.core.exceptions import ConfigurationError
+
+
+class TestStructure:
+    def test_stage_count(self):
+        assert BenesNetwork(2).num_stages == 1
+        assert BenesNetwork(8).num_stages == 5
+        assert BenesNetwork(64).num_stages == 11
+
+    def test_switch_count(self):
+        assert BenesNetwork(8).num_switches == 4 * 5
+
+    def test_crosspoints(self):
+        assert BenesNetwork(8).crosspoints == 4 * 4 * 5
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BenesNetwork(6)
+        with pytest.raises(ConfigurationError):
+            BenesNetwork(1)
+
+
+class TestRearrangeability:
+    """Slepian-Duguid in action: every permutation in one conflict-free pass."""
+
+    def test_base_case(self):
+        net = BenesNetwork(2)
+        assert net.verify(net.route_permutation([0, 1]), [0, 1])
+        assert net.verify(net.route_permutation([1, 0]), [1, 0])
+
+    def test_exhaustive_n4(self):
+        net = BenesNetwork(4)
+        for perm in iter_permutations(range(4)):
+            settings = net.route_permutation(list(perm))
+            assert net.verify(settings, list(perm)), perm
+
+    def test_exhaustive_n8_sample_plus_structured(self):
+        net = BenesNetwork(8)
+        patterns = [
+            list(range(8)),                    # identity
+            list(range(7, -1, -1)),            # reversal
+            [int(f"{i:03b}"[::-1], 2) for i in range(8)],   # bit reversal
+            [3, 7, 0, 1, 5, 2, 6, 4],
+        ]
+        for perm in patterns:
+            assert net.verify(net.route_permutation(perm), perm), perm
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 128])
+    def test_random_permutations(self, n, rng):
+        net = BenesNetwork(n)
+        for _ in range(10):
+            perm = list(rng.permutation(n))
+            assert net.verify(net.route_permutation(perm), perm)
+
+    def test_settings_shape(self):
+        net = BenesNetwork(16)
+        settings = net.route_permutation(list(range(16)))
+        assert len(settings) == net.num_stages
+        assert all(len(stage) == 8 for stage in settings)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            BenesNetwork(4).route_permutation([0, 0, 1, 2])
+
+    def test_verify_rejects_wrong_settings(self):
+        net = BenesNetwork(8)
+        perm = [3, 7, 0, 1, 5, 2, 6, 4]
+        settings = net.route_permutation(perm)
+        settings[0][0] = not settings[0][0]
+        assert not net.verify(settings, perm)
+
+
+class TestVersusEDN:
+    def test_benes_routes_what_blocks_the_edn(self, rng):
+        # The contrast the paper's Section 5 lives on: the identity that
+        # collapses EDN(64,16,4,2) to 64/1024 routes perfectly on a Benes
+        # of the same size (at the cost of global offline control).
+        net = BenesNetwork(1024)
+        perm = list(range(1024))
+        assert net.verify(net.route_permutation(perm), perm)
+
+    def test_benes_cost_comparable_to_edn(self):
+        # A 1024-terminal Benes costs ~4*512*19 crosspoints: the same order
+        # as the EDN's 135K, far below the crossbar's 1M.
+        benes = BenesNetwork(1024).crosspoints
+        assert 10_000 < benes < 200_000

@@ -1,0 +1,94 @@
+"""Tests for the Clos network and matching-decomposition routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.clos import ClosNetwork
+from repro.core.exceptions import ConfigurationError
+
+
+class TestStructure:
+    def test_terminals(self):
+        assert ClosNetwork(n=4, r=8).num_terminals == 32
+
+    def test_m_defaults_to_n(self):
+        assert ClosNetwork(n=4, r=8).m == 4
+
+    def test_rejects_m_below_n(self):
+        with pytest.raises(ConfigurationError):
+            ClosNetwork(n=4, r=8, m=3)
+
+    def test_strict_nonblocking_condition(self):
+        assert ClosNetwork(n=4, r=8, m=7).is_strictly_nonblocking
+        assert not ClosNetwork(n=4, r=8, m=6).is_strictly_nonblocking
+
+    def test_crosspoints(self):
+        net = ClosNetwork(n=2, r=4, m=3)
+        assert net.crosspoints == 2 * 4 * 2 * 3 + 3 * 16
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ClosNetwork(n=0, r=4)
+
+
+class TestRearrangeableRouting:
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4), (3, 4), (4, 8), (8, 8)])
+    def test_random_permutations(self, shape, rng):
+        n, r = shape
+        net = ClosNetwork(n=n, r=r)
+        for _ in range(8):
+            perm = list(rng.permutation(net.num_terminals))
+            routes = net.route_permutation(perm)
+            assert net.verify(routes, perm)
+
+    def test_identity(self):
+        net = ClosNetwork(n=4, r=4)
+        perm = list(range(16))
+        assert net.verify(net.route_permutation(perm), perm)
+
+    def test_reversal(self):
+        net = ClosNetwork(n=4, r=4)
+        perm = list(range(15, -1, -1))
+        assert net.verify(net.route_permutation(perm), perm)
+
+    def test_extra_middle_switches_unused_but_legal(self, rng):
+        net = ClosNetwork(n=3, r=4, m=5)
+        perm = list(rng.permutation(12))
+        routes = net.route_permutation(perm)
+        assert net.verify(routes, perm)
+        # Only n matchings are needed; middle switches beyond n stay idle.
+        used = {route.middle_switch for route in routes}
+        assert used <= set(range(3))
+
+    def test_middle_switch_load_balanced(self, rng):
+        # Each middle switch carries exactly r circuits (one per in-switch).
+        net = ClosNetwork(n=4, r=8)
+        routes = net.route_permutation(list(rng.permutation(32)))
+        loads: dict[int, int] = {}
+        for route in routes:
+            loads[route.middle_switch] = loads.get(route.middle_switch, 0) + 1
+        assert all(load == 8 for load in loads.values())
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            ClosNetwork(n=2, r=2).route_permutation([0, 0, 1, 2])
+
+    def test_verify_catches_link_conflict(self, rng):
+        net = ClosNetwork(n=2, r=2)
+        perm = list(rng.permutation(4))
+        routes = net.route_permutation(perm)
+        # Force two circuits from one input switch onto one middle switch.
+        clash = [
+            r if r.source != 1 else type(r)(
+                source=r.source,
+                destination=r.destination,
+                input_switch=r.input_switch,
+                middle_switch=routes[0].middle_switch,
+                output_switch=r.output_switch,
+            )
+            for r in routes
+        ]
+        if clash[0].input_switch == clash[1].input_switch:
+            assert not net.verify(clash, perm)

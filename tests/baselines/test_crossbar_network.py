@@ -1,0 +1,82 @@
+"""Unit tests for the full crossbar baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.crossbar_network import CrossbarNetwork
+from repro.core.analysis import crossbar_acceptance
+from repro.core.exceptions import ConfigurationError, LabelError
+
+
+class TestRouting:
+    def test_permutation_routes_in_one_cycle(self, rng):
+        net = CrossbarNetwork(64)
+        perm = rng.permutation(64)
+        result = net.route(perm)
+        assert result.num_delivered == 64
+        assert np.array_equal(result.output, perm)
+
+    def test_output_contention_single_winner(self):
+        net = CrossbarNetwork(8)
+        result = net.route(np.array([3, 3, 1, -1, 0, 5, 5, 5]))
+        assert result.num_delivered == 4
+        assert result.output[0] == 3 and result.blocked_stage[1] == 1
+
+    def test_label_priority(self):
+        net = CrossbarNetwork(4)
+        result = net.route(np.array([2, 2, 2, 2]))
+        assert result.blocked_stage[0] == 0
+        assert (result.blocked_stage[1:] == 1).all()
+
+    def test_random_priority_varies(self, rng):
+        net = CrossbarNetwork(4, priority="random")
+        winners = set()
+        for _ in range(50):
+            result = net.route(np.array([2, 2, 2, 2]), rng)
+            winners.add(int(np.flatnonzero(result.blocked_stage == 0)[0]))
+        assert len(winners) > 1
+
+    def test_random_priority_needs_rng(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarNetwork(4, priority="random").route(np.zeros(4, dtype=np.int64))
+
+    def test_idle_inputs(self):
+        net = CrossbarNetwork(4)
+        result = net.route(np.array([-1, -1, -1, -1]))
+        assert result.num_offered == 0
+        assert result.acceptance_ratio == 1.0
+
+    def test_validates_shape_and_range(self):
+        net = CrossbarNetwork(4)
+        with pytest.raises(LabelError):
+            net.route(np.zeros(3, dtype=np.int64))
+        with pytest.raises(LabelError):
+            net.route(np.array([0, 1, 2, 4]))
+
+    def test_histogram(self):
+        net = CrossbarNetwork(4)
+        result = net.route(np.array([0, 0, 0, 1]))
+        assert result.blocked_stage_histogram() == {1: 2}
+
+
+class TestAnalytic:
+    def test_measured_matches_closed_form(self, rng):
+        net = CrossbarNetwork(32)
+        delivered = offered = 0
+        for _ in range(300):
+            dests = rng.integers(0, 32, size=32)
+            result = net.route(dests)
+            delivered += result.num_delivered
+            offered += result.num_offered
+        assert delivered / offered == pytest.approx(crossbar_acceptance(32, 1.0), abs=0.02)
+
+    def test_analytic_helper(self):
+        assert CrossbarNetwork(16).analytic_acceptance(1.0) == pytest.approx(
+            crossbar_acceptance(16, 1.0)
+        )
+
+    def test_analytic_requires_square(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarNetwork(8, 16).analytic_acceptance(1.0)

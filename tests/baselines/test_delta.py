@@ -1,0 +1,72 @@
+"""Unit tests for the Patel delta network baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.delta import DeltaNetwork
+from repro.core.analysis import acceptance_probability, delta_acceptance
+from repro.core.config import EDNParams
+from repro.core.cost import crosspoint_cost, wire_cost
+
+
+class TestStructure:
+    def test_sizes(self):
+        net = DeltaNetwork(4, 4, 3)
+        assert net.n_inputs == 64 and net.n_outputs == 64
+        assert net.a == 4 and net.b == 4 and net.l == 3
+
+    def test_is_c1_edn(self):
+        assert DeltaNetwork(4, 4, 2).params == EDNParams(4, 4, 1, 2)
+
+    def test_costs_match_edn_specialization(self):
+        net = DeltaNetwork(8, 8, 2)
+        assert net.crosspoints() == crosspoint_cost(EDNParams(8, 8, 1, 2))
+        assert net.wires() == wire_cost(EDNParams(8, 8, 1, 2))
+
+
+class TestRouting:
+    def test_lone_message_lands(self, rng):
+        net = DeltaNetwork(2, 2, 4)
+        for _ in range(10):
+            src = int(rng.integers(16))
+            dst = int(rng.integers(16))
+            dests = np.full(16, -1, dtype=np.int64)
+            dests[src] = dst
+            result = net.route(dests)
+            assert result.output[src] == dst
+
+    def test_unique_path_blocking(self):
+        # Two messages sharing any internal link must conflict: send both to
+        # the same output from different sources; exactly one delivered.
+        net = DeltaNetwork(2, 2, 3)
+        dests = np.full(8, -1, dtype=np.int64)
+        dests[0] = 5
+        dests[1] = 5
+        result = net.route(dests)
+        assert result.num_delivered == 1
+
+    def test_measured_acceptance_tracks_patel(self, rng):
+        net = DeltaNetwork(4, 4, 2)
+        delivered = offered = 0
+        for _ in range(200):
+            dests = rng.integers(0, 16, size=16)
+            result = net.route(dests)
+            delivered += result.num_delivered
+            offered += result.num_offered
+        analytic = net.analytic_acceptance(1.0)
+        assert delivered / offered == pytest.approx(analytic, abs=0.06)
+
+
+class TestAnalytic:
+    def test_matches_edn_formula(self):
+        for r in (0.3, 0.7, 1.0):
+            assert DeltaNetwork(4, 4, 3).analytic_acceptance(r) == pytest.approx(
+                acceptance_probability(EDNParams(4, 4, 1, 3), r)
+            )
+
+    def test_helper_consistency(self):
+        assert DeltaNetwork(8, 8, 2).analytic_acceptance(1.0) == pytest.approx(
+            delta_acceptance(8, 8, 2, 1.0)
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for the d-dilated delta baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dilated import DilatedDelta
+from repro.core.analysis import delta_acceptance
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+
+
+class TestStructure:
+    def test_terminal_counts(self):
+        net = DilatedDelta(a=4, b=4, l=3, d=2)
+        assert net.n_inputs == 64
+        assert net.n_outputs == 64
+
+    def test_switch_counts_match_underlying_delta(self):
+        net = DilatedDelta(a=4, b=4, l=2, d=4)
+        plain = EDNParams(4, 4, 1, 2)
+        for i in (1, 2):
+            assert net.switches_in_stage(i) == plain.hyperbars_in_stage(i)
+
+    def test_interstage_bundles_are_d_wide(self):
+        net = DilatedDelta(a=4, b=4, l=3, d=2)
+        plain = EDNParams(4, 4, 1, 3)
+        for i in (1, 2, 3):
+            assert net.wires_after_stage(i) == 2 * plain.wires_after_stage(i)
+
+    def test_inputs_are_single_wires(self):
+        net = DilatedDelta(a=4, b=4, l=3, d=2)
+        assert net.wires_after_stage(0) == net.n_inputs
+
+    def test_dilation_1_wire_cost_matches_delta(self):
+        # A 1-dilated delta is a plain delta.  The EDN(c=1) form appends a
+        # layer of trivial 1x1 crossbars, adding one more b^l-wire boundary
+        # to Eq. 3's count; net of that layer the two censuses agree.
+        net = DilatedDelta(a=8, b=8, l=2, d=1)
+        from repro.core.cost import wire_cost
+
+        edn = EDNParams(8, 8, 1, 2)
+        assert net.wire_cost() == wire_cost(edn) - edn.num_outputs
+
+    def test_paper_wire_claim_vs_square_edn(self):
+        # Section 1: d-dilated delta uses d x the interstage wires of the
+        # matched EDN, normalized per input port.
+        for d in (2, 4):
+            for l in (2, 3):
+                edn = EDNParams(4 * d, 4, d, l)         # square EDN, c = d
+                dilated = DilatedDelta(a=4, b=4, l=l, d=d)
+                edn_per_port = edn.wires_after_stage(1) / edn.num_inputs
+                dilated_per_port = dilated.wires_after_stage(1) / dilated.n_inputs
+                assert dilated_per_port / edn_per_port == pytest.approx(d)
+
+    def test_crosspoints_grow_quadratically_with_d(self):
+        base = DilatedDelta(a=4, b=4, l=3, d=1).crosspoint_cost()
+        doubled = DilatedDelta(a=4, b=4, l=3, d=2).crosspoint_cost()
+        assert doubled > 2 * base  # internal stages scale ~d^2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DilatedDelta(a=3, b=4, l=2, d=2)
+        with pytest.raises(ConfigurationError):
+            DilatedDelta(a=4, b=4, l=0, d=2)
+        with pytest.raises(ConfigurationError):
+            DilatedDelta(a=4, b=4, l=2, d=3)
+
+
+class TestPerformance:
+    def test_dilation_1_matches_patel(self):
+        net = DilatedDelta(a=4, b=4, l=3, d=1)
+        for r in (0.3, 1.0):
+            assert net.analytic_acceptance(r) == pytest.approx(delta_acceptance(4, 4, 3, r))
+
+    def test_dilation_improves_acceptance(self):
+        plain = DilatedDelta(a=4, b=4, l=4, d=1)
+        dilated = DilatedDelta(a=4, b=4, l=4, d=4)
+        assert dilated.analytic_acceptance(1.0) > plain.analytic_acceptance(1.0)
+
+    def test_zero_rate(self):
+        assert DilatedDelta(a=4, b=4, l=2, d=2).analytic_acceptance(0.0) == 1.0
+
+    def test_bounds(self):
+        pa = DilatedDelta(a=8, b=8, l=3, d=2).analytic_acceptance(1.0)
+        assert 0.0 < pa <= 1.0

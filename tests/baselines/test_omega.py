@@ -1,0 +1,68 @@
+"""Unit tests for the omega network baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.omega import OmegaNetwork
+from repro.core.analysis import delta_acceptance
+from repro.core.exceptions import ConfigurationError
+
+
+class TestStructure:
+    def test_stage_count(self):
+        assert OmegaNetwork(16).stages == 4
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            OmegaNetwork(12)
+        with pytest.raises(ConfigurationError):
+            OmegaNetwork(1)
+
+
+class TestRouting:
+    def test_every_pair_connects(self):
+        # Corollary 1: the input shuffle cannot break full access.
+        net = OmegaNetwork(16)
+        for src in range(16):
+            for dst in range(16):
+                dests = np.full(16, -1, dtype=np.int64)
+                dests[src] = dst
+                result = net.route(dests)
+                assert result.output[src] == dst
+                assert result.blocked_stage[src] == 0
+
+    def test_shuffle_preserves_message_count(self, rng):
+        net = OmegaNetwork(32)
+        dests = rng.integers(0, 32, size=32)
+        result = net.route(dests)
+        assert result.num_offered == 32
+        delivered_outputs = result.output[result.blocked_stage == 0]
+        assert len(np.unique(delivered_outputs)) == result.num_delivered
+
+    def test_idle_inputs_stay_idle(self):
+        net = OmegaNetwork(8)
+        dests = np.full(8, -1, dtype=np.int64)
+        result = net.route(dests)
+        assert (result.blocked_stage == -1).all()
+
+    def test_validates_shape(self):
+        with pytest.raises(ConfigurationError):
+            OmegaNetwork(8).route(np.zeros(4, dtype=np.int64))
+
+    def test_measured_acceptance_tracks_delta_formula(self, rng):
+        net = OmegaNetwork(64)
+        delivered = offered = 0
+        for _ in range(200):
+            result = net.route(rng.integers(0, 64, size=64))
+            delivered += result.num_delivered
+            offered += result.num_offered
+        assert delivered / offered == pytest.approx(net.analytic_acceptance(1.0), abs=0.05)
+
+
+class TestAnalytic:
+    def test_matches_delta_2_2(self):
+        assert OmegaNetwork(64).analytic_acceptance(1.0) == pytest.approx(
+            delta_acceptance(2, 2, 6, 1.0)
+        )

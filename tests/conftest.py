@@ -1,0 +1,51 @@
+"""Shared fixtures for the EDN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EDNParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; per-test isolation via a fixed seed."""
+    return np.random.default_rng(12345)
+
+
+#: Small networks that are exhaustively checkable.
+SMALL_CONFIGS = [
+    (4, 2, 2, 1),
+    (4, 2, 2, 2),
+    (8, 2, 4, 2),
+    (8, 4, 2, 2),
+    (8, 8, 1, 2),
+    (16, 4, 4, 2),
+    (2, 2, 1, 3),
+    (16, 2, 8, 1),
+]
+
+#: Larger networks exercised by sampling.
+BIG_CONFIGS = [
+    (64, 16, 4, 2),   # the MasPar MP-1 router network
+    (16, 8, 2, 3),
+    (8, 4, 2, 4),
+    (16, 16, 1, 3),
+]
+
+
+@pytest.fixture(params=SMALL_CONFIGS, ids=lambda cfg: f"EDN{cfg}")
+def small_params(request) -> EDNParams:
+    return EDNParams(*request.param)
+
+
+@pytest.fixture(params=BIG_CONFIGS, ids=lambda cfg: f"EDN{cfg}")
+def big_params(request) -> EDNParams:
+    return EDNParams(*request.param)
+
+
+@pytest.fixture
+def maspar_params() -> EDNParams:
+    """The EDN(64,16,4,2) backing the paper's Section 5 example."""
+    return EDNParams(64, 16, 4, 2)

@@ -1,0 +1,185 @@
+"""Unit tests for the analytic performance model (Eqs. 4-5)."""
+
+from __future__ import annotations
+
+from math import comb, exp
+
+import pytest
+
+from repro.core.analysis import (
+    acceptance_probability,
+    bucket_load_pmf,
+    crossbar_acceptance,
+    delta_acceptance,
+    expected_accepted,
+    expected_bandwidth,
+    permutation_acceptance,
+    stage_rates,
+)
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+
+
+class TestExpectedAccepted:
+    @pytest.mark.parametrize("shape", [(8, 2, 4), (8, 4, 2), (16, 4, 4), (64, 16, 4), (8, 8, 1)])
+    @pytest.mark.parametrize("r", [0.05, 0.3, 0.7, 1.0])
+    def test_matches_direct_binomial_sum(self, shape, r):
+        a, b, c = shape
+        direct = sum(min(n, c) * p for n, p in enumerate(bucket_load_pmf(a, b, r)))
+        assert expected_accepted(a, b, c, r) == pytest.approx(direct, abs=1e-12)
+
+    def test_zero_rate(self):
+        assert expected_accepted(8, 4, 2, 0.0) == 0.0
+
+    def test_monotone_in_rate(self):
+        values = [expected_accepted(8, 4, 2, r / 10) for r in range(11)]
+        assert values == sorted(values)
+
+    def test_bounded_by_capacity(self):
+        assert expected_accepted(64, 2, 4, 1.0) <= 4.0
+
+    def test_saturating_single_bucket(self):
+        # b = 1, r = 1: all a requests hit the bucket, exactly c granted.
+        assert expected_accepted(8, 1, 2, 1.0) == pytest.approx(2.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            expected_accepted(8, 4, 2, 1.5)
+
+    def test_rejects_capacity_above_inputs(self):
+        with pytest.raises(ConfigurationError):
+            expected_accepted(2, 2, 4, 0.5)
+
+    def test_pmf_sums_to_one(self):
+        pmf = bucket_load_pmf(16, 4, 0.7)
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_pmf_matches_comb(self):
+        pmf = bucket_load_pmf(4, 2, 1.0)
+        for n, value in enumerate(pmf):
+            assert value == pytest.approx(comb(4, n) * 0.5**4)
+
+
+class TestStageRates:
+    def test_starts_with_offered_rate(self):
+        p = EDNParams(16, 4, 4, 2)
+        assert stage_rates(p, 0.8)[0] == 0.8
+
+    def test_length(self):
+        p = EDNParams(16, 4, 4, 3)
+        assert len(stage_rates(p, 1.0)) == 4
+
+    def test_rates_never_increase_when_nonexpanding(self):
+        # For b*c == a each stage can only attenuate the rate.
+        p = EDNParams(16, 4, 4, 3)
+        rates = stage_rates(p, 1.0)
+        assert all(r2 <= r1 + 1e-12 for r1, r2 in zip(rates, rates[1:]))
+
+    def test_partial_stages(self):
+        p = EDNParams(16, 4, 4, 3)
+        assert stage_rates(p, 1.0, stages=1) == stage_rates(p, 1.0)[:2]
+
+    def test_stage_bound_check(self):
+        with pytest.raises(ConfigurationError):
+            stage_rates(EDNParams(16, 4, 4, 2), 1.0, stages=3)
+
+
+class TestAcceptanceProbability:
+    def test_paper_value_maspar(self, maspar_params):
+        # Section 5: PA(1) = .544 for EDN(64,16,4,2).
+        assert acceptance_probability(maspar_params, 1.0) == pytest.approx(0.544, abs=5e-4)
+
+    def test_bounds(self, small_params):
+        for r in (0.1, 0.5, 1.0):
+            pa = acceptance_probability(small_params, r)
+            assert 0.0 < pa <= 1.0
+
+    def test_continuity_at_zero(self, small_params):
+        assert acceptance_probability(small_params, 0.0) == 1.0
+        assert acceptance_probability(small_params, 1e-9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_decreasing_in_rate(self, small_params):
+        values = [acceptance_probability(small_params, r / 10) for r in range(1, 11)]
+        assert all(v2 <= v1 + 1e-12 for v1, v2 in zip(values, values[1:]))
+
+    def test_decreasing_in_depth(self):
+        # Adding stages can only hurt under uniform traffic.
+        values = [acceptance_probability(EDNParams(16, 4, 4, l), 1.0) for l in range(1, 6)]
+        assert all(v2 < v1 for v1, v2 in zip(values, values[1:]))
+
+    def test_capacity_helps(self):
+        # Figure 7's family ordering at l = 2 (equal terminals not required;
+        # the claim is per-family behaviour at matched switch I/O).
+        delta = acceptance_probability(EDNParams(8, 8, 1, 2), 1.0)
+        mid = acceptance_probability(EDNParams(8, 4, 2, 2), 1.0)
+        high = acceptance_probability(EDNParams(8, 2, 4, 2), 1.0)
+        assert delta < mid < high
+
+    def test_bandwidth(self):
+        p = EDNParams(16, 4, 4, 2)
+        assert expected_bandwidth(p, 1.0) == pytest.approx(
+            p.num_inputs * acceptance_probability(p, 1.0)
+        )
+
+
+class TestPermutationAcceptance:
+    def test_single_stage_is_conflict_free(self):
+        # Lemma 2 with l = 1: the whole network is the "last two stages".
+        assert permutation_acceptance(EDNParams(16, 4, 4, 1), 1.0) == 1.0
+
+    def test_beats_uniform_acceptance(self, small_params):
+        # Removing final-stage blocking can only help.
+        pap = permutation_acceptance(small_params, 1.0)
+        pa = acceptance_probability(small_params, 1.0)
+        assert pap >= pa - 1e-12
+
+    def test_bounds(self, small_params):
+        for r in (0.2, 1.0):
+            assert 0.0 < permutation_acceptance(small_params, r) <= 1.0
+
+    def test_zero_rate(self, small_params):
+        assert permutation_acceptance(small_params, 0.0) == 1.0
+
+
+class TestCrossbarAcceptance:
+    def test_formula(self):
+        assert crossbar_acceptance(4, 1.0) == pytest.approx(1 - (3 / 4) ** 4)
+
+    def test_limit_is_one_minus_inverse_e(self):
+        assert crossbar_acceptance(10**6, 1.0) == pytest.approx(1 - exp(-1), abs=1e-5)
+
+    def test_low_rate_limit(self):
+        assert crossbar_acceptance(64, 1e-9) == pytest.approx(1.0, abs=1e-6)
+        assert crossbar_acceptance(64, 0.0) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            crossbar_acceptance(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            crossbar_acceptance(8, 1.5)
+
+    def test_single_input_never_blocked(self):
+        assert crossbar_acceptance(1, 1.0) == pytest.approx(1.0)
+
+
+class TestDeltaAcceptance:
+    @pytest.mark.parametrize("cfg", [(2, 2, 3), (4, 4, 2), (8, 8, 2), (16, 16, 1)])
+    @pytest.mark.parametrize("r", [0.2, 0.7, 1.0])
+    def test_matches_edn_with_c_1(self, cfg, r):
+        a, b, l = cfg
+        assert delta_acceptance(a, b, l, r) == pytest.approx(
+            acceptance_probability(EDNParams(a, b, 1, l), r), abs=1e-12
+        )
+
+    def test_patel_single_stage_equals_crossbar(self):
+        # One stage of an a x b "delta" is just an a x b crossbar.
+        assert delta_acceptance(8, 8, 1, 1.0) == pytest.approx(crossbar_acceptance(8, 1.0))
+
+    def test_zero_rate(self):
+        assert delta_acceptance(4, 4, 3, 0.0) == 1.0
+
+    def test_falls_off_with_depth_faster_than_edn(self):
+        # The paper's headline: delta performance falls off rapidly; EDN holds up.
+        delta_deep = delta_acceptance(8, 8, 5, 1.0)           # 32K-terminal delta
+        edn_deep = acceptance_probability(EDNParams(8, 2, 4, 15), 1.0)  # 131K-terminal EDN
+        assert edn_deep > delta_deep

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_describe_args(self):
+        args = build_parser().parse_args(["describe", "16", "4", "4", "2"])
+        assert (args.a, args.b, args.c, args.l) == (16, 4, 4, 2)
+
+    def test_pa_defaults(self):
+        args = build_parser().parse_args(["pa", "16", "4", "4", "2"])
+        assert args.rate == 1.0 and args.simulate == 0
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe", "16", "4", "4", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "EDN(16,4,4,2)" in out
+        assert "crosspoints (Eq. 2)" in out
+        assert "2,304" in out
+
+    def test_pa(self, capsys):
+        assert main(["pa", "64", "16", "4", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PA(1) = 0.543738" in out
+
+    def test_pa_with_simulation(self, capsys):
+        assert main(["pa", "16", "4", "4", "2", "--simulate", "20"]) == 0
+        assert "simulated over 20 cycles" in capsys.readouterr().out
+
+    def test_pa_custom_rate(self, capsys):
+        assert main(["pa", "16", "4", "4", "2", "-r", "0.5"]) == 0
+        assert "PA(0.5)" in capsys.readouterr().out
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "sec5_example" in out
+
+    def test_experiment_run_one(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_mimd(self, capsys):
+        assert main(["mimd", "16", "4", "4", "2", "-r", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "PA' (resubmitted)" in out
+        assert "0.76" in out

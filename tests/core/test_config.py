@@ -1,0 +1,146 @@
+"""Unit tests for EDN parameter validation and size arithmetic (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EDNParams, family_members, hyperbar_family
+from repro.core.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            EDNParams(6, 2, 2, 1)
+        with pytest.raises(ConfigurationError):
+            EDNParams(8, 3, 2, 1)
+        with pytest.raises(ConfigurationError):
+            EDNParams(8, 2, 3, 1)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ConfigurationError):
+            EDNParams(8, 4, 2, 0)
+
+    def test_rejects_capacity_above_inputs(self):
+        with pytest.raises(ConfigurationError):
+            EDNParams(4, 2, 8, 1)
+
+    def test_rejects_single_bucket(self):
+        with pytest.raises(ConfigurationError):
+            EDNParams(8, 1, 8, 1)
+
+    def test_accepts_trivial_1x1(self):
+        EDNParams(1, 1, 1, 1)
+
+
+class TestSizeArithmetic:
+    """The formulas stated in Section 2 of the paper."""
+
+    def test_terminal_counts(self, small_params):
+        p = small_params
+        assert p.num_inputs == (p.a // p.c) ** p.l * p.c
+        assert p.num_outputs == p.b**p.l * p.c
+
+    def test_wires_after_stage_formula(self, small_params):
+        p = small_params
+        for i in range(p.l + 1):
+            assert p.wires_after_stage(i) == (p.a // p.c) ** (p.l - i) * p.b**i * p.c
+
+    def test_crossbar_stage_preserves_width(self, small_params):
+        p = small_params
+        assert p.wires_after_stage(p.l + 1) == p.wires_after_stage(p.l)
+
+    def test_hyperbars_per_stage_formula(self, small_params):
+        p = small_params
+        for i in range(1, p.l + 1):
+            assert p.hyperbars_in_stage(i) == (p.a // p.c) ** (p.l - i) * p.b ** (i - 1)
+
+    def test_stage_widths_consistent_with_switch_counts(self, small_params):
+        # Wires entering stage i == hyperbars * a; leaving == hyperbars * b * c.
+        p = small_params
+        for i in range(1, p.l + 1):
+            assert p.wires_after_stage(i - 1) == p.hyperbars_in_stage(i) * p.a
+            assert p.wires_after_stage(i) == p.hyperbars_in_stage(i) * p.b * p.c
+
+    def test_crossbar_count(self, small_params):
+        p = small_params
+        assert p.num_crossbars == p.b**p.l
+        assert p.wires_after_stage(p.l) == p.num_crossbars * p.c
+
+    def test_stage_index_bounds(self):
+        p = EDNParams(8, 4, 2, 2)
+        with pytest.raises(ConfigurationError):
+            p.wires_after_stage(-1)
+        with pytest.raises(ConfigurationError):
+            p.wires_after_stage(4)
+        with pytest.raises(ConfigurationError):
+            p.hyperbars_in_stage(0)
+        with pytest.raises(ConfigurationError):
+            p.hyperbars_in_stage(3)
+
+    def test_maspar_network_sizes(self, maspar_params):
+        # The EDN(64,16,4,2) of Section 5: 1024 ports each way.
+        assert maspar_params.num_inputs == 1024
+        assert maspar_params.num_outputs == 1024
+        assert maspar_params.num_crossbars == 256
+        # Figure 5 draws 16 switches per hyperbar column (S0..S15).
+        assert maspar_params.hyperbars_in_stage(1) == 16
+        assert maspar_params.hyperbars_in_stage(2) == 16
+
+    def test_tag_bits(self):
+        p = EDNParams(64, 16, 4, 2)
+        assert p.tag_bits == 2 * 4 + 2
+
+
+class TestSpecialCases:
+    """Crossbar and delta degeneracies (after Theorem 2)."""
+
+    def test_crossbar_case(self):
+        p = EDNParams(8, 4, 1, 1)
+        assert p.is_crossbar and p.is_delta
+        assert p.num_inputs == 8 and p.num_outputs == 4
+        assert p.paths_per_pair == 1
+
+    def test_delta_case(self):
+        p = EDNParams(4, 4, 1, 3)
+        assert p.is_delta and not p.is_crossbar
+        assert p.num_inputs == 64 and p.num_outputs == 64
+        assert p.paths_per_pair == 1
+
+    def test_multipath_count_theorem2(self, small_params):
+        assert small_params.paths_per_pair == small_params.c**small_params.l
+
+    def test_hyperbar_io(self):
+        assert EDNParams(16, 4, 4, 2).hyperbar_io == (16, 16)
+
+    def test_describe_mentions_shape(self):
+        text = EDNParams(16, 4, 4, 2).describe()
+        assert "64 inputs" in text and "16 path(s)" in text
+
+
+class TestFamilies:
+    def test_hyperbar_family_8(self):
+        assert hyperbar_family(8) == [(8, 2, 4), (8, 4, 2), (8, 8, 1)]
+
+    def test_hyperbar_family_16(self):
+        assert hyperbar_family(16) == [
+            (16, 2, 8),
+            (16, 4, 4),
+            (16, 8, 2),
+            (16, 16, 1),
+        ]
+
+    def test_family_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            hyperbar_family(12)
+
+    def test_family_members_bounded(self):
+        members = list(family_members(8, 2, 4, max_inputs=100))
+        assert members
+        assert all(m.num_inputs <= 100 for m in members)
+        assert [m.l for m in members] == list(range(1, len(members) + 1))
+
+    def test_family_members_monotone_sizes(self):
+        sizes = [m.num_inputs for m in family_members(8, 4, 2, max_inputs=10_000)]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)

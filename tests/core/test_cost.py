@@ -1,0 +1,103 @@
+"""Unit tests for the cost models (Section 3.1, Eqs. 2-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.cost import (
+    cost_report,
+    crossbar_crosspoint_cost,
+    crosspoint_cost,
+    crosspoint_cost_closed_form,
+    delta_crosspoint_cost,
+    wire_cost,
+    wire_cost_closed_form,
+)
+from repro.core.topology import EDNTopology
+
+ALL_CONFIGS = [
+    (16, 4, 4, 2),
+    (64, 16, 4, 2),
+    (8, 2, 4, 3),
+    (8, 4, 2, 3),
+    (8, 8, 1, 3),
+    (16, 2, 8, 2),
+    (4, 2, 1, 4),   # a/c = 4 != b = 2 branch
+    (16, 4, 2, 3),  # a/c = 8 != b = 4 branch
+    (2, 2, 1, 1),
+    (4, 2, 2, 5),
+]
+
+
+@pytest.mark.parametrize("cfg", ALL_CONFIGS, ids=lambda c: f"EDN{c}")
+class TestClosedFormsMatchEnumeration:
+    def test_crosspoints(self, cfg):
+        params = EDNParams(*cfg)
+        enumerated = EDNTopology(params).count_crosspoints()
+        assert crosspoint_cost(params) == enumerated
+        assert crosspoint_cost_closed_form(params) == enumerated
+
+    def test_wires(self, cfg):
+        params = EDNParams(*cfg)
+        enumerated = EDNTopology(params).count_wires()
+        assert wire_cost(params) == enumerated
+        assert wire_cost_closed_form(params) == enumerated
+
+
+class TestLimitingCases:
+    def test_crossbar_case_cost(self):
+        # EDN(a,b,1,1) is an a x b crossbar plus b trivial 1x1 "crossbars".
+        p = EDNParams(8, 4, 1, 1)
+        assert crosspoint_cost(p) == 8 * 4 + 4
+
+    def test_equal_branch_wire_closed_form(self):
+        # a/c = b: Cw = (l+2) b^l c.
+        p = EDNParams(16, 4, 4, 3)
+        assert wire_cost_closed_form(p) == (3 + 2) * 4**3 * 4
+
+    def test_delta_cost_helper(self):
+        assert delta_crosspoint_cost(4, 4, 3) == crosspoint_cost(EDNParams(4, 4, 1, 3))
+
+    def test_crossbar_helper(self):
+        assert crossbar_crosspoint_cost(32) == 1024
+        assert crossbar_crosspoint_cost(8, 16) == 128
+
+
+class TestPaperClaims:
+    def test_edn_cheaper_than_crossbar_at_scale(self):
+        # Section 6: EDN cost approximates the delta's, far below the crossbar.
+        p = EDNParams(64, 16, 4, 2)   # 1024x1024
+        crossbar = crossbar_crosspoint_cost(p.num_inputs, p.num_outputs)
+        assert crosspoint_cost(p) < crossbar / 7  # 135K vs 1M crosspoints
+
+    def test_edn_cost_within_small_factor_of_delta(self):
+        edn = EDNParams(64, 16, 4, 2)        # 1024 terminals, c = 4
+        delta = EDNParams(32, 32, 1, 2)      # 1024 terminals, c = 1
+        ratio = crosspoint_cost(edn) / crosspoint_cost(delta)
+        assert 1.0 <= ratio <= 16.0
+
+    def test_cost_grows_with_capacity(self):
+        # Within the 16-I/O family at equal terminal count scale.
+        low = EDNParams(16, 16, 1, 2)
+        high = EDNParams(64, 16, 4, 2)
+        assert crosspoint_cost(high) > crosspoint_cost(low)
+
+    def test_paper_eq2_equal_branch_correction(self):
+        # DESIGN.md note 5: the sum form is authoritative; verify the
+        # corrected closed form term-by-term for a/c = b.
+        p = EDNParams(16, 4, 4, 2)
+        expected = p.l * p.b ** (p.l + 1) * p.c**2 + p.b**p.l * p.c**2
+        assert crosspoint_cost_closed_form(p) == expected
+
+
+class TestCostReport:
+    def test_report_fields(self):
+        report = cost_report(EDNParams(16, 4, 4, 2))
+        assert report["crosspoints"] == report["crosspoints_closed_form"]
+        assert report["wires"] == report["wires_closed_form"]
+        assert 0 < report["cost_ratio_vs_crossbar"] <= 2.0
+
+    def test_report_crossbar_equivalent(self):
+        report = cost_report(EDNParams(64, 16, 4, 2))
+        assert report["crossbar_equivalent_crosspoints"] == 1024 * 1024

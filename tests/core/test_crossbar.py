@@ -1,0 +1,49 @@
+"""Unit tests for the crossbar switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crossbar import Crossbar
+from repro.core.exceptions import LabelError
+
+
+class TestCrossbar:
+    def test_square_default(self):
+        xbar = Crossbar(4)
+        assert xbar.n_inputs == 4 and xbar.n_outputs == 4
+
+    def test_rectangular(self):
+        xbar = Crossbar(4, 8)
+        assert xbar.n_outputs == 8
+
+    def test_crosspoints(self):
+        assert Crossbar(4, 8).crosspoints == 32
+
+    def test_permutation_routes_fully(self):
+        result = Crossbar(4).route([2, 0, 3, 1])
+        assert result.rejected == []
+        assert {s: w for s, w in result.accepted.items()} == {0: 2, 1: 0, 2: 3, 3: 1}
+
+    def test_output_contention_one_winner(self):
+        result = Crossbar(4).route([0, 0, 2, 3])
+        assert result.rejected == [1]
+
+    def test_label_priority(self):
+        result = Crossbar(4).route([1, 1, 1, 1])
+        assert sorted(result.accepted) == [0]
+
+    def test_idle_inputs(self):
+        result = Crossbar(4).route([None, 2, None, None])
+        assert result.accepted == {1: 2}
+
+    def test_rejects_out_of_range_output(self):
+        with pytest.raises(LabelError):
+            Crossbar(4).route([4, None, None, None])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(LabelError):
+            Crossbar(4).route([0, 1])
+
+    def test_repr_mentions_shape(self):
+        assert "4x8" in repr(Crossbar(4, 8))

@@ -1,0 +1,160 @@
+"""Fault-injection tests: multipath fault tolerance (Theorem 2 in practice)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import (
+    FaultSet,
+    FaultyEDNetwork,
+    WireFault,
+    connectivity_under_faults,
+    random_faults,
+)
+from repro.core.network import Message
+
+
+class TestFaultSet:
+    def test_empty(self):
+        faults = FaultSet.none()
+        assert len(faults) == 0
+        assert faults.dead_wires(1, 0) == frozenset()
+
+    def test_lookup(self):
+        faults = FaultSet([WireFault(1, 0, 3), WireFault(1, 0, 5), WireFault(2, 1, 0)])
+        assert faults.dead_wires(1, 0) == {3, 5}
+        assert faults.dead_wires(2, 1) == {0}
+        assert faults.dead_wires(1, 1) == frozenset()
+
+    def test_contains_and_iter(self):
+        fault = WireFault(1, 0, 3)
+        faults = FaultSet([fault])
+        assert fault in faults
+        assert list(faults) == [fault]
+
+    def test_validation(self):
+        p = EDNParams(16, 4, 4, 2)
+        FaultSet([WireFault(1, 3, 15)]).validate(p)          # last wire, last switch
+        FaultSet([WireFault(3, 15, 3)]).validate(p)          # crossbar stage
+        with pytest.raises(ConfigurationError):
+            FaultSet([WireFault(4, 0, 0)]).validate(p)       # no stage 4
+        with pytest.raises(ConfigurationError):
+            FaultSet([WireFault(1, 4, 0)]).validate(p)       # only 4 hyperbars
+        with pytest.raises(ConfigurationError):
+            FaultSet([WireFault(1, 0, 16)]).validate(p)      # only 16 wires
+        with pytest.raises(ConfigurationError):
+            FaultSet([WireFault(3, 0, 4)]).validate(p)       # crossbar has c wires
+
+    def test_random_faults_rate(self, rng):
+        p = EDNParams(16, 4, 4, 2)
+        faults = random_faults(p, 0.25, rng)
+        total_wires = sum(
+            p.hyperbars_in_stage(i) * p.b * p.c for i in range(1, p.l + 1)
+        )
+        assert 0.1 * total_wires < len(faults) < 0.4 * total_wires
+
+    def test_random_faults_spare_crossbar_outputs(self, rng):
+        p = EDNParams(16, 4, 4, 2)
+        faults = random_faults(p, 0.5, rng)
+        assert all(fault.stage <= p.l for fault in faults)
+
+    def test_random_faults_rejects_bad_rate(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_faults(EDNParams(16, 4, 4, 2), 1.5, rng)
+
+
+class TestFaultFreeEquivalence:
+    def test_matches_healthy_network(self, small_params, rng):
+        from repro.core.network import EDNetwork
+
+        healthy = EDNetwork(small_params)
+        faulty = FaultyEDNetwork(small_params, FaultSet.none())
+        demands = {
+            s: int(rng.integers(small_params.num_outputs))
+            for s in range(small_params.num_inputs)
+        }
+        a = healthy.route_destinations(demands)
+        b = faulty.route_destinations(demands)
+        for oa, ob in zip(a.outcomes, b.outcomes):
+            assert oa.delivered == ob.delivered
+            assert oa.output == ob.output
+            assert oa.blocked_stage == ob.blocked_stage
+
+
+class TestMultipathTolerance:
+    """c - 1 dead wires per bucket leave every pair connected; c kill some."""
+
+    def test_single_wire_fault_harmless_when_c_over_1(self):
+        p = EDNParams(16, 4, 4, 2)
+        faults = FaultSet([WireFault(1, 0, 0)])
+        assert connectivity_under_faults(p, faults) == 1.0
+
+    def test_c_minus_1_faults_per_bucket_harmless(self):
+        p = EDNParams(8, 2, 4, 2)   # c = 4: kill 3 of 4 wires in one bucket
+        faults = FaultSet([WireFault(1, 0, k) for k in range(3)])
+        assert connectivity_under_faults(p, faults) == 1.0
+
+    def test_full_bucket_fault_disconnects_exactly_its_pairs(self):
+        # Kill ALL wires of bucket 0 in stage-1 switch 0 of EDN(16,4,4,2):
+        # sources 0..15 lose all paths to destinations with d_{l-1} = 0
+        # (outputs 0..15); all other pairs survive.
+        p = EDNParams(16, 4, 4, 2)
+        faults = FaultSet([WireFault(1, 0, k) for k in range(p.c)])
+        network = FaultyEDNetwork(p, faults)
+        for source in range(p.num_inputs):
+            for dest in range(0, p.num_outputs, 3):
+                outcome = network.route_cycle(
+                    [Message.to_output(source, dest, p)]
+                ).outcomes[0]
+                should_fail = source < 16 and dest < 16
+                assert outcome.delivered == (not should_fail)
+
+    def test_delta_dies_with_any_path_fault(self):
+        # c = 1: one dead wire severs every pair routed through it.
+        p = EDNParams(8, 8, 1, 2)
+        faults = FaultSet([WireFault(1, 0, 0)])
+        connectivity = connectivity_under_faults(p, faults)
+        assert connectivity < 1.0
+
+    def test_edn_beats_delta_under_equal_damage(self, rng):
+        # Same relative wire-failure rate on equal-size networks: the
+        # multipath EDN keeps more pairs connected.
+        edn = EDNParams(8, 2, 4, 2)      # 16x16, c^l = 16 paths
+        delta = EDNParams(4, 4, 1, 2)    # 16x16, single path
+        rate = 0.15
+        edn_conn = connectivity_under_faults(edn, random_faults(edn, rate, rng))
+        delta_conn = connectivity_under_faults(delta, random_faults(delta, rate, rng))
+        assert edn_conn > delta_conn
+
+    def test_crossbar_stage_fault_kills_one_output(self):
+        p = EDNParams(16, 4, 4, 2)
+        faults = FaultSet([WireFault(3, 0, 1)])   # crossbar 0, local wire 1 = output 1
+        network = FaultyEDNetwork(p, faults)
+        ok = network.route_cycle([Message.to_output(0, 2, p)]).outcomes[0]
+        dead = network.route_cycle([Message.to_output(0, 1, p)]).outcomes[0]
+        assert ok.delivered
+        assert not dead.delivered
+        assert dead.blocked_stage == 3
+
+
+class TestDamagedContention:
+    def test_dead_wires_reduce_bucket_capacity(self):
+        # Four messages into bucket 0 (outputs 0 and 1) of an H(8->4x2)
+        # stage: healthy capacity 2 delivers two (distinct crossbar exits);
+        # with one dead bucket wire only one survives.
+        from repro.core.network import EDNetwork
+
+        p = EDNParams(8, 4, 2, 1)
+        demands = {0: 0, 1: 1, 2: 0, 3: 1}
+        healthy = EDNetwork(p).route_destinations(demands)
+        assert healthy.num_delivered == 2
+        faults = FaultSet([WireFault(1, 0, 0)])   # bucket 0, wire 0 dead
+        damaged = FaultyEDNetwork(p, faults).route_destinations(demands)
+        assert damaged.num_delivered == 1
+
+    def test_validation_happens_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            FaultyEDNetwork(EDNParams(16, 4, 4, 2), FaultSet([WireFault(9, 0, 0)]))

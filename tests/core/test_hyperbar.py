@@ -1,0 +1,168 @@
+"""Unit tests for the hyperbar switch (Definition 1, Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.hyperbar import Hyperbar
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Hyperbar(6, 2, 2)
+        with pytest.raises(ConfigurationError):
+            Hyperbar(8, 3, 2)
+        with pytest.raises(ConfigurationError):
+            Hyperbar(8, 2, 3)
+
+    def test_rejects_unknown_priority(self):
+        with pytest.raises(ConfigurationError):
+            Hyperbar(8, 4, 2, priority="fifo")
+
+    def test_rejects_unknown_wire_policy(self):
+        with pytest.raises(ConfigurationError):
+            Hyperbar(8, 4, 2, wire_policy="round_robin")
+
+    def test_crosspoint_count(self):
+        assert Hyperbar(8, 4, 2).crosspoints == 8 * 4 * 2
+
+    def test_num_outputs(self):
+        assert Hyperbar(8, 4, 2).num_outputs == 8
+
+    def test_bucket_wire_ranges(self):
+        switch = Hyperbar(8, 4, 2)
+        assert list(switch.output_wires_of_bucket(0)) == [0, 1]
+        assert list(switch.output_wires_of_bucket(3)) == [6, 7]
+
+    def test_bucket_range_check(self):
+        with pytest.raises(LabelError):
+            Hyperbar(8, 4, 2).output_wires_of_bucket(4)
+
+
+class TestPaperFigure2:
+    """The paper's worked example: H(8->4x2), digits 3,2,3,1,2,2,0,3."""
+
+    DIGITS = [3, 2, 3, 1, 2, 2, 0, 3]
+
+    def test_discards_inputs_5_and_7(self):
+        result = Hyperbar(8, 4, 2).route(self.DIGITS)
+        assert result.rejected == [5, 7]
+
+    def test_accepts_the_other_six(self):
+        result = Hyperbar(8, 4, 2).route(self.DIGITS)
+        assert sorted(result.accepted) == [0, 1, 2, 3, 4, 6]
+
+    def test_winners_land_in_their_buckets(self):
+        switch = Hyperbar(8, 4, 2)
+        result = switch.route(self.DIGITS)
+        for source, wire in result.accepted.items():
+            assert wire in switch.output_wires_of_bucket(self.DIGITS[source])
+
+    def test_bucket_loads(self):
+        result = Hyperbar(8, 4, 2).route(self.DIGITS)
+        assert result.bucket_loads == [1, 1, 3, 3]
+
+
+class TestRouting:
+    def test_idle_inputs_ignored(self):
+        result = Hyperbar(8, 4, 2).route([None] * 8)
+        assert result.num_offered == 0
+        assert result.acceptance_ratio == 1.0
+
+    def test_no_contention_all_accepted(self):
+        result = Hyperbar(8, 4, 2).route([0, 0, 1, 1, 2, 2, 3, 3])
+        assert result.rejected == []
+        assert result.num_accepted == 8
+
+    def test_capacity_enforced_exactly(self):
+        # All 8 inputs demand bucket 0 (capacity 2): exactly 2 accepted.
+        result = Hyperbar(8, 4, 2).route([0] * 8)
+        assert result.num_accepted == 2
+        assert sorted(result.accepted) == [0, 1]  # label priority
+        assert result.rejected == [2, 3, 4, 5, 6, 7]
+
+    def test_label_priority_wins_lowest(self):
+        result = Hyperbar(4, 2, 1).route([1, 1, 1, 1])
+        assert sorted(result.accepted) == [0]
+
+    def test_output_sources_consistent_with_accepted(self):
+        result = Hyperbar(8, 4, 2).route([3, 2, 3, 1, 2, 2, 0, 3])
+        for source, wire in result.accepted.items():
+            assert result.output_sources[wire] == source
+        occupied = [w for w, s in enumerate(result.output_sources) if s is not None]
+        assert sorted(occupied) == sorted(result.accepted.values())
+
+    def test_first_free_fills_wires_in_order(self):
+        result = Hyperbar(8, 4, 2).route([1, 1, None, None, None, None, None, None])
+        assert result.accepted == {0: 2, 1: 3}
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(LabelError):
+            Hyperbar(8, 4, 2).route([0] * 7)
+
+    def test_rejects_digit_out_of_range(self):
+        with pytest.raises(LabelError):
+            Hyperbar(8, 4, 2).route([4] + [None] * 7)
+
+    def test_acceptance_ratio(self):
+        result = Hyperbar(8, 4, 2).route([0] * 8)
+        assert result.acceptance_ratio == pytest.approx(0.25)
+
+
+class TestRandomDisciplines:
+    def test_random_priority_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            Hyperbar(8, 4, 2, priority="random").route([0] * 8)
+
+    def test_random_wire_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            Hyperbar(8, 4, 2, wire_policy="random").route([0] * 8)
+
+    def test_random_priority_accepts_capacity_many(self, rng):
+        result = Hyperbar(8, 4, 2, priority="random").route([0] * 8, rng=rng)
+        assert result.num_accepted == 2
+
+    def test_random_priority_varies_winners(self, rng):
+        switch = Hyperbar(8, 4, 2, priority="random")
+        winner_sets = {
+            frozenset(switch.route([0] * 8, rng=rng).accepted) for _ in range(50)
+        }
+        assert len(winner_sets) > 1  # not always inputs {0, 1}
+
+    def test_random_priority_uniform_ish(self, rng):
+        # Over many trials every input should win sometimes.
+        switch = Hyperbar(4, 2, 1, priority="random")
+        wins = {i: 0 for i in range(4)}
+        for _ in range(400):
+            result = switch.route([0, 0, 0, 0], rng=rng)
+            wins[next(iter(result.accepted))] += 1
+        assert all(count > 0 for count in wins.values())
+
+    def test_random_wire_policy_same_acceptance(self, rng):
+        digits = [3, 2, 3, 1, 2, 2, 0, 3]
+        fixed = Hyperbar(8, 4, 2).route(digits)
+        randomized = Hyperbar(8, 4, 2, wire_policy="random").route(digits, rng=rng)
+        assert set(fixed.accepted) == set(randomized.accepted)
+        assert fixed.rejected == randomized.rejected
+
+    def test_random_wire_stays_in_bucket(self, rng):
+        switch = Hyperbar(8, 4, 2, wire_policy="random")
+        for _ in range(20):
+            result = switch.route([2] * 8, rng=rng)
+            for source, wire in result.accepted.items():
+                assert wire in switch.output_wires_of_bucket(2)
+
+
+class TestDegenerateCrossbar:
+    """H(a -> b x 1) must behave as an a x b crossbar."""
+
+    def test_one_grant_per_output(self):
+        result = Hyperbar(4, 4, 1).route([2, 2, 2, 2])
+        assert result.num_accepted == 1
+
+    def test_distinct_outputs_all_granted(self):
+        result = Hyperbar(4, 4, 1).route([0, 1, 2, 3])
+        assert result.num_accepted == 4

@@ -1,0 +1,155 @@
+"""Unit tests for mixed-radix label arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import (
+    MixedRadix,
+    bits_for_radices,
+    digits_from_int,
+    ilog2,
+    int_from_digits,
+    is_power_of_two,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_rejects_non_powers(self):
+        for n in (0, -1, -8, 3, 6, 12, 100):
+            assert not is_power_of_two(n)
+
+    def test_ilog2_roundtrip(self):
+        for k in range(16):
+            assert ilog2(1 << k) == k
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            ilog2(6)
+
+    def test_ilog2_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ilog2(0)
+
+
+class TestDigitConversion:
+    def test_known_expansion(self):
+        assert digits_from_int(27, (4, 4, 2)) == (3, 1, 1)
+
+    def test_roundtrip_mixed_radices(self):
+        radices = (4, 16, 2, 8)
+        size = 4 * 16 * 2 * 8
+        for value in range(0, size, 7):
+            digits = digits_from_int(value, radices)
+            assert int_from_digits(digits, radices) == value
+
+    def test_most_significant_first(self):
+        # 3 * 16 + 2 * 4 + 1 with radices (4, 4, 4) reads MSB-first.
+        assert digits_from_int(3 * 16 + 2 * 4 + 1, (4, 4, 4)) == (3, 2, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(LabelError):
+            digits_from_int(-1, (4, 4))
+
+    def test_rejects_overflow(self):
+        with pytest.raises(LabelError):
+            digits_from_int(16, (4, 4))
+        digits_from_int(15, (4, 4))  # boundary fits
+
+    def test_rejects_digit_out_of_range(self):
+        with pytest.raises(LabelError):
+            int_from_digits((4, 0), (4, 4))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(LabelError):
+            int_from_digits((1, 2, 3), (4, 4))
+
+    def test_bits_for_radices(self):
+        assert bits_for_radices((16, 16, 4)) == 4 + 4 + 2
+
+    def test_bits_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            bits_for_radices((16, 3))
+
+
+class TestRotations:
+    def test_rotate_left_wraps_top_bits(self):
+        assert rotate_left(0b1001, 4, 1) == 0b0011
+
+    def test_rotate_right_inverse_of_left(self):
+        for value in range(64):
+            for k in range(7):
+                assert rotate_right(rotate_left(value, 6, k), 6, k) == value
+
+    def test_full_rotation_is_identity(self):
+        for value in range(32):
+            assert rotate_left(value, 5, 5) == value
+
+    def test_rotation_reduces_modulo_width(self):
+        assert rotate_left(0b101, 3, 4) == rotate_left(0b101, 3, 1)
+
+    def test_rejects_value_too_wide(self):
+        with pytest.raises(LabelError):
+            rotate_left(16, 4, 1)
+
+    def test_zero_width_zero_value(self):
+        assert rotate_left(0, 0, 3) == 0
+        assert rotate_right(0, 0, 3) == 0
+
+    def test_reverse_bits(self):
+        assert reverse_bits(0b1101, 4) == 0b1011
+
+    def test_reverse_bits_involution(self):
+        for value in range(256):
+            assert reverse_bits(reverse_bits(value, 8), 8) == value
+
+    def test_reverse_rejects_too_wide(self):
+        with pytest.raises(LabelError):
+            reverse_bits(256, 8)
+
+
+class TestMixedRadix:
+    def test_size(self):
+        assert MixedRadix((4, 4, 2)).size == 32
+
+    def test_roundtrip(self):
+        scheme = MixedRadix((16, 16, 4))
+        for value in range(0, scheme.size, 13):
+            assert scheme.from_digits(scheme.to_digits(value)) == value
+
+    def test_with_digit(self):
+        scheme = MixedRadix((4, 4, 2))
+        assert scheme.with_digit(0, 0, 3) == 3 * 8
+
+    def test_with_digit_rejects_out_of_range(self):
+        with pytest.raises(LabelError):
+            MixedRadix((4, 4)).with_digit(0, 1, 4)
+
+    def test_digit_extraction(self):
+        scheme = MixedRadix((4, 4, 2))
+        assert scheme.digit(27, 0) == 3
+        assert scheme.digit(27, 2) == 1
+
+    def test_equality_and_hash(self):
+        assert MixedRadix((4, 2)) == MixedRadix((4, 2))
+        assert MixedRadix((4, 2)) != MixedRadix((2, 4))
+        assert hash(MixedRadix((4, 2))) == hash(MixedRadix((4, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            MixedRadix(())
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ConfigurationError):
+            MixedRadix((4, 0))
+
+    def test_num_digits(self):
+        assert MixedRadix((2, 2, 2, 2)).num_digits == 4

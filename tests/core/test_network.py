@@ -1,0 +1,176 @@
+"""Unit tests for the reference circuit-switched routing engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.network import EDNetwork, Message
+from repro.core.tags import DestinationTag, RetirementOrder
+
+
+class TestSingleMessage:
+    """Lemma 1 / Theorem 1: a lone message always reaches its destination."""
+
+    def test_every_pair_connects(self, small_params):
+        net = EDNetwork(small_params)
+        step_in = max(1, small_params.num_inputs // 8)
+        step_out = max(1, small_params.num_outputs // 8)
+        for source in range(0, small_params.num_inputs, step_in):
+            for dest in range(0, small_params.num_outputs, step_out):
+                result = net.route_cycle([Message.to_output(source, dest, small_params)])
+                outcome = result.outcomes[0]
+                assert outcome.delivered
+                assert outcome.output == dest
+
+    def test_sampled_pairs_on_big_networks(self, big_params, rng):
+        net = EDNetwork(big_params)
+        for _ in range(25):
+            source = int(rng.integers(big_params.num_inputs))
+            dest = int(rng.integers(big_params.num_outputs))
+            result = net.route_cycle([Message.to_output(source, dest, big_params)])
+            assert result.outcomes[0].delivered
+            assert result.outcomes[0].output == dest
+
+    def test_path_length_is_l_plus_1(self, small_params):
+        net = EDNetwork(small_params)
+        result = net.route_cycle([Message.to_output(0, 0, small_params)])
+        assert len(result.outcomes[0].path) == small_params.l + 1
+
+    def test_path_final_entry_is_output(self, small_params):
+        net = EDNetwork(small_params)
+        dest = small_params.num_outputs - 1
+        result = net.route_cycle([Message.to_output(0, dest, small_params)])
+        assert result.outcomes[0].path[-1] == dest
+
+
+class TestContention:
+    def test_all_to_one_output_delivers_exactly_one(self, small_params):
+        net = EDNetwork(small_params)
+        result = net.route_destinations({s: 0 for s in range(small_params.num_inputs)})
+        assert result.num_delivered == 1
+        delivered = result.delivered[0]
+        assert delivered.output == 0
+
+    def test_blocked_messages_report_a_stage(self, small_params):
+        net = EDNetwork(small_params)
+        result = net.route_destinations({s: 0 for s in range(small_params.num_inputs)})
+        for outcome in result.blocked:
+            assert 1 <= outcome.blocked_stage <= small_params.l + 1
+            assert outcome.output is None
+
+    def test_acceptance_ratio(self):
+        p = EDNParams(4, 2, 2, 1)
+        net = EDNetwork(p)
+        result = net.route_destinations({0: 0, 1: 0, 2: 0, 3: 0})
+        assert result.acceptance_ratio == pytest.approx(1 / 4)
+
+    def test_output_map_consistent(self, small_params):
+        net = EDNetwork(small_params)
+        demands = {s: (s * 5) % small_params.num_outputs for s in range(small_params.num_inputs)}
+        result = net.route_destinations(demands)
+        for output, message in result.output_map().items():
+            assert message.tag.output(small_params) == output
+
+    def test_no_output_double_delivery(self, small_params, rng):
+        net = EDNetwork(small_params)
+        demands = {
+            s: int(rng.integers(small_params.num_outputs))
+            for s in range(small_params.num_inputs)
+        }
+        result = net.route_destinations(demands)
+        outputs = [o.output for o in result.delivered]
+        assert len(outputs) == len(set(outputs))
+
+    def test_blocked_stage_histogram_sums(self, small_params, rng):
+        net = EDNetwork(small_params)
+        demands = {
+            s: int(rng.integers(small_params.num_outputs))
+            for s in range(small_params.num_inputs)
+        }
+        result = net.route_destinations(demands)
+        histogram = result.blocked_stage_histogram()
+        assert sum(histogram.values()) == len(result.blocked)
+
+
+class TestInputValidation:
+    def test_duplicate_source_rejected(self):
+        p = EDNParams(16, 4, 4, 2)
+        net = EDNetwork(p)
+        messages = [Message.to_output(3, 0, p), Message.to_output(3, 1, p)]
+        with pytest.raises(LabelError):
+            net.route_cycle(messages)
+
+    def test_source_out_of_range(self):
+        p = EDNParams(16, 4, 4, 2)
+        net = EDNetwork(p)
+        with pytest.raises(LabelError):
+            net.route_cycle([Message.to_output(64, 0, p)])
+
+    def test_bad_tag_rejected(self):
+        p = EDNParams(16, 4, 4, 2)
+        net = EDNetwork(p)
+        with pytest.raises(LabelError):
+            net.route_cycle([Message(source=0, tag=DestinationTag((9, 0), 0))])
+
+    def test_retirement_order_must_match_l(self):
+        with pytest.raises(ConfigurationError):
+            EDNetwork(EDNParams(16, 4, 4, 2), retirement_order=RetirementOrder.canonical(3))
+
+    def test_route_destinations_accepts_sequence(self):
+        p = EDNParams(16, 4, 4, 2)
+        net = EDNetwork(p)
+        dests = [None] * p.num_inputs
+        dests[5] = 40
+        result = net.route_destinations(dests)
+        assert result.num_offered == 1
+        assert result.delivered[0].output == 40
+
+
+class TestRetirementOrders:
+    """Corollary 2 at the network level (Figures 5-6)."""
+
+    def test_identity_blocks_canonically_on_maspar_net(self, maspar_params):
+        net = EDNetwork(maspar_params)
+        result = net.route_destinations({s: s for s in range(maspar_params.num_inputs)})
+        # 16 first-stage hyperbars x capacity 4 = 64 survivors.
+        assert result.num_delivered == 64
+
+    def test_identity_routes_fully_under_reversed_order(self, maspar_params):
+        order = RetirementOrder.reversed_order(maspar_params.l)
+        net = EDNetwork(maspar_params, retirement_order=order)
+        result = net.route_destinations({s: s for s in range(maspar_params.num_inputs)})
+        assert result.num_delivered == maspar_params.num_inputs
+
+    def test_fixup_restores_destinations(self, maspar_params):
+        order = RetirementOrder.reversed_order(maspar_params.l)
+        net = EDNetwork(maspar_params, retirement_order=order)
+        fixup = order.fixup_permutation(maspar_params)
+        result = net.route_destinations({s: s for s in range(maspar_params.num_inputs)})
+        for outcome in result.delivered:
+            assert fixup(outcome.output) == outcome.message.tag.output(maspar_params)
+
+    def test_single_message_lands_on_landing_output(self, small_params):
+        if small_params.l < 2:
+            pytest.skip("needs at least two digits to reorder")
+        order = RetirementOrder.reversed_order(small_params.l)
+        net = EDNetwork(small_params, retirement_order=order)
+        tag = DestinationTag.from_output(small_params.num_outputs - 1, small_params)
+        result = net.route_cycle([Message(source=0, tag=tag)])
+        assert result.outcomes[0].output == order.landing_output(tag, small_params)
+
+
+class TestRandomPriority:
+    def test_requires_rng(self):
+        p = EDNParams(4, 2, 2, 1)
+        net = EDNetwork(p, priority="random")
+        with pytest.raises(ConfigurationError):
+            net.route_destinations({0: 0, 1: 0, 2: 0, 3: 0})
+
+    def test_runs_with_rng(self, rng):
+        p = EDNParams(4, 2, 2, 1)
+        net = EDNetwork(p, priority="random")
+        result = net.route_destinations({0: 0, 1: 0, 2: 0, 3: 0}, rng=rng)
+        assert result.num_delivered == 1

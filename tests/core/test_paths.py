@@ -1,0 +1,99 @@
+"""Unit tests for path enumeration (Theorems 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import LabelError
+from repro.core.paths import count_paths, enumerate_paths, verify_full_access
+from repro.core.tags import DestinationTag, RetirementOrder
+from repro.core.topology import EDNTopology
+
+
+class TestTheorem2:
+    """Exactly c^l distinct paths between every pair."""
+
+    def test_path_count_small(self, small_params):
+        topo = EDNTopology(small_params)
+        tag = DestinationTag.from_output(small_params.num_outputs - 1, small_params)
+        assert count_paths(topo, 0, tag) == small_params.paths_per_pair
+
+    def test_path_count_several_pairs(self, small_params, rng):
+        topo = EDNTopology(small_params)
+        for _ in range(5):
+            source = int(rng.integers(small_params.num_inputs))
+            dest = int(rng.integers(small_params.num_outputs))
+            tag = DestinationTag.from_output(dest, small_params)
+            assert count_paths(topo, source, tag) == small_params.paths_per_pair
+
+    def test_delta_has_unique_path(self):
+        p = EDNParams(4, 4, 1, 3)
+        topo = EDNTopology(p)
+        tag = DestinationTag.from_output(17, p)
+        assert count_paths(topo, 9, tag) == 1
+
+    def test_paths_are_distinct(self, small_params):
+        topo = EDNTopology(small_params)
+        tag = DestinationTag.from_output(0, small_params)
+        paths = list(enumerate_paths(topo, 0, tag))
+        assert len({p.stage_outputs for p in paths}) == len(paths)
+
+
+class TestTheorem1:
+    """All paths land on the tag's destination; full access holds."""
+
+    def test_every_path_reaches_destination(self, small_params, rng):
+        topo = EDNTopology(small_params)
+        for _ in range(5):
+            source = int(rng.integers(small_params.num_inputs))
+            dest = int(rng.integers(small_params.num_outputs))
+            tag = DestinationTag.from_output(dest, small_params)
+            for path in enumerate_paths(topo, source, tag):
+                assert path.destination == dest
+                assert path.source == source
+
+    def test_path_lengths(self, small_params):
+        topo = EDNTopology(small_params)
+        tag = DestinationTag.from_output(0, small_params)
+        for path in enumerate_paths(topo, 0, tag):
+            assert len(path.stage_outputs) == small_params.l + 1
+
+    @pytest.mark.parametrize(
+        "cfg", [(4, 2, 2, 1), (4, 2, 2, 2), (8, 4, 2, 2), (2, 2, 1, 3), (8, 2, 4, 1)]
+    )
+    def test_verify_full_access_exhaustive(self, cfg):
+        assert verify_full_access(EDNParams(*cfg))
+
+
+class TestRetirementOrderPaths:
+    def test_paths_follow_reordered_digits(self):
+        p = EDNParams(16, 4, 4, 2)
+        topo = EDNTopology(p)
+        order = RetirementOrder.reversed_order(2)
+        tag = DestinationTag.from_output(27, p)
+        landing = order.landing_output(tag, p)
+        for path in enumerate_paths(topo, 0, tag, retirement_order=order):
+            assert path.destination == landing
+
+    def test_path_count_independent_of_order(self):
+        p = EDNParams(16, 4, 4, 2)
+        topo = EDNTopology(p)
+        order = RetirementOrder.reversed_order(2)
+        tag = DestinationTag.from_output(27, p)
+        assert count_paths(topo, 5, tag, retirement_order=order) == p.paths_per_pair
+
+
+class TestValidation:
+    def test_source_out_of_range(self):
+        p = EDNParams(16, 4, 4, 2)
+        topo = EDNTopology(p)
+        tag = DestinationTag.from_output(0, p)
+        with pytest.raises(LabelError):
+            list(enumerate_paths(topo, p.num_inputs, tag))
+
+    def test_invalid_tag(self):
+        p = EDNParams(16, 4, 4, 2)
+        topo = EDNTopology(p)
+        with pytest.raises(LabelError):
+            list(enumerate_paths(topo, 0, DestinationTag((4, 0), 0)))

@@ -1,0 +1,159 @@
+"""Unit tests for the gamma permutation family and Permutation objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.permutations import (
+    Permutation,
+    gamma,
+    gamma_inverse,
+    gamma_permutation,
+    identity_permutation,
+    perfect_shuffle,
+    q_shuffle,
+)
+
+
+class TestGammaFunction:
+    def test_fixes_low_bits(self):
+        for y in range(64):
+            z = gamma(y, 6, 2, 1)
+            assert z & 0b11 == y & 0b11
+
+    def test_rotates_upper_field(self):
+        # upper field of 0b1011_01 (j=2) is 1011; rotl by 2 -> 1110.
+        assert gamma(0b101101, 6, 2, 2) == 0b111001
+
+    def test_gamma_zero_shift_is_identity(self):
+        for y in range(32):
+            assert gamma(y, 5, 3, 0) == y
+
+    def test_gamma_j_equals_n_is_identity(self):
+        for y in range(16):
+            assert gamma(y, 4, 4, 3) == y
+
+    def test_bijection(self):
+        images = {gamma(y, 6, 2, 2) for y in range(64)}
+        assert images == set(range(64))
+
+    def test_inverse_roundtrip(self):
+        for n_bits in (4, 6, 8):
+            for j in range(n_bits + 1):
+                for k in range(4):
+                    for y in range(1 << n_bits):
+                        z = gamma(y, n_bits, j, k)
+                        assert gamma_inverse(z, n_bits, j, k) == y
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(LabelError):
+            gamma(16, 4, 0, 1)
+
+    def test_rejects_bad_j(self):
+        with pytest.raises(ConfigurationError):
+            gamma(0, 4, 5, 1)
+        with pytest.raises(ConfigurationError):
+            gamma_inverse(0, 4, -1, 1)
+
+
+class TestNamedShuffles:
+    def test_perfect_shuffle_is_gamma_0_1(self):
+        # The paper: gamma_{0,1} is the well-known shuffle of 2^n labels.
+        for y in range(16):
+            assert perfect_shuffle(y, 16) == gamma(y, 4, 0, 1)
+
+    def test_perfect_shuffle_classic_formula(self):
+        # Card-deck shuffle: y -> 2y mod (n-1)-ish; check the interleave property:
+        # first half goes to even positions.
+        n = 16
+        for y in range(n // 2):
+            assert perfect_shuffle(y, n) == 2 * y
+
+    def test_q_shuffle_matches_patel_formula(self):
+        # q-shuffle of n=q*r objects: S(y) = (q*y + floor(y/r)) mod n for y < n.
+        n, q = 32, 4
+        r = n // q
+        for y in range(n):
+            expected = (q * y + y // r) % n
+            assert q_shuffle(y, n, q) == expected
+
+    def test_q_shuffle_with_q_1_is_identity(self):
+        for y in range(16):
+            assert q_shuffle(y, 16, 1) == y
+
+    def test_q_shuffle_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            q_shuffle(0, 16, 3)
+
+
+class TestPermutationClass:
+    def test_identity(self):
+        p = Permutation.identity(8)
+        assert p.is_identity()
+        assert p.fixed_points() == list(range(8))
+
+    def test_apply_to_moves_items(self):
+        p = Permutation([2, 0, 1])
+        assert p.apply_to(["a", "b", "c"]) == ["b", "c", "a"]
+
+    def test_apply_to_rejects_length_mismatch(self):
+        with pytest.raises(LabelError):
+            Permutation([1, 0]).apply_to([1, 2, 3])
+
+    def test_inverse(self):
+        p = Permutation([2, 0, 3, 1])
+        assert (p.inverse() @ p).is_identity()
+        assert (p @ p.inverse()).is_identity()
+
+    def test_composition_order(self):
+        p = Permutation([1, 2, 0])
+        q = Permutation([0, 2, 1])
+        assert (p @ q)(1) == p(q(1))
+
+    def test_composition_rejects_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Permutation([0, 1]) @ Permutation([0, 1, 2])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ConfigurationError):
+            Permutation([0, 3])
+
+    def test_cycles(self):
+        p = Permutation([1, 0, 2, 4, 3])
+        assert p.cycles() == [(0, 1), (3, 4)]
+
+    def test_cycles_of_identity_empty(self):
+        assert Permutation.identity(5).cycles() == []
+
+    def test_equality_and_hash(self):
+        assert Permutation([1, 0]) == Permutation([1, 0])
+        assert hash(Permutation([1, 0])) == hash(Permutation([1, 0]))
+        assert Permutation([1, 0]) != Permutation([0, 1])
+
+    def test_from_function(self):
+        p = Permutation.from_function(lambda i: (i + 1) % 4, 4)
+        assert p.mapping == (1, 2, 3, 0)
+
+    def test_len(self):
+        assert len(Permutation.identity(7)) == 7
+
+
+class TestMaterializedGamma:
+    def test_gamma_permutation_is_bijection(self):
+        p = gamma_permutation(64, 2, 2)
+        assert sorted(p.mapping) == list(range(64))
+
+    def test_matches_pointwise_gamma(self):
+        p = gamma_permutation(32, 1, 2)
+        for y in range(32):
+            assert p(y) == gamma(y, 5, 1, 2)
+
+    def test_identity_permutation(self):
+        assert identity_permutation(16).is_identity()
+
+    def test_gamma_permutation_inverse_composes(self):
+        p = gamma_permutation(64, 2, 2)
+        assert (p.inverse() @ p).is_identity()

@@ -1,0 +1,127 @@
+"""Unit tests for destination tags and digit retirement (Lemma 1, Corollary 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.tags import DestinationTag, RetirementOrder, tag_scheme
+
+
+class TestDestinationTag:
+    def test_from_output_roundtrip(self, small_params):
+        for output in range(small_params.num_outputs):
+            tag = DestinationTag.from_output(output, small_params)
+            assert tag.output(small_params) == output
+
+    def test_known_expansion(self):
+        p = EDNParams(16, 4, 4, 2)
+        tag = DestinationTag.from_output(27, p)
+        assert tag.digits == (1, 2)
+        assert tag.x == 3
+
+    def test_digit_for_stage_canonical(self):
+        p = EDNParams(16, 4, 4, 2)
+        tag = DestinationTag.from_output(27, p)
+        # Stage 1 retires the most significant digit d_{l-1}.
+        assert tag.digit_for_stage(1) == 1
+        assert tag.digit_for_stage(2) == 2
+
+    def test_digit_for_stage_bounds(self):
+        p = EDNParams(16, 4, 4, 2)
+        tag = DestinationTag.from_output(0, p)
+        with pytest.raises(LabelError):
+            tag.digit_for_stage(0)
+        with pytest.raises(LabelError):
+            tag.digit_for_stage(3)
+
+    def test_validate_passes_for_matching_params(self):
+        p = EDNParams(16, 4, 4, 2)
+        DestinationTag((3, 0), 2).validate(p)
+
+    def test_validate_rejects_wrong_digit_count(self):
+        p = EDNParams(16, 4, 4, 2)
+        with pytest.raises(LabelError):
+            DestinationTag((3,), 2).validate(p)
+
+    def test_validate_rejects_digit_range(self):
+        p = EDNParams(16, 4, 4, 2)
+        with pytest.raises(LabelError):
+            DestinationTag((4, 0), 2).validate(p)
+        with pytest.raises(LabelError):
+            DestinationTag((0, 0), 4).validate(p)
+
+    def test_str_format(self):
+        assert str(DestinationTag((1, 2), 3)) == "D=12|x=3"
+
+    def test_tag_scheme_size(self):
+        assert tag_scheme(EDNParams(16, 4, 4, 2)).size == 64
+
+
+class TestRetirementOrder:
+    def test_canonical(self):
+        order = RetirementOrder.canonical(3)
+        assert order.order == (0, 1, 2)
+        assert order.is_canonical()
+
+    def test_reversed(self):
+        order = RetirementOrder.reversed_order(3)
+        assert order.order == (2, 1, 0)
+        assert not order.is_canonical()
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            RetirementOrder((0, 0, 1))
+        with pytest.raises(ConfigurationError):
+            RetirementOrder((1, 2))
+
+    def test_position_for_stage(self):
+        order = RetirementOrder((2, 0, 1))
+        assert order.position_for_stage(1) == 2
+        assert order.position_for_stage(3) == 1
+        with pytest.raises(LabelError):
+            order.position_for_stage(4)
+
+    def test_landing_output_canonical_is_identity(self, small_params):
+        order = RetirementOrder.canonical(small_params.l)
+        for output in range(0, small_params.num_outputs, 3):
+            tag = DestinationTag.from_output(output, small_params)
+            assert order.landing_output(tag, small_params) == output
+
+    def test_landing_output_swapped_digits(self):
+        p = EDNParams(64, 16, 4, 2)
+        order = RetirementOrder((1, 0))
+        tag = DestinationTag((3, 7), 2)   # D = (3,7)|2
+        landed = order.landing_output(tag, p)
+        assert landed == DestinationTag((7, 3), 2).output(p)
+
+    def test_fixup_restores_every_destination(self, small_params):
+        # Corollary 2: fixup(landing(D)) == D for all tags.
+        p = small_params
+        for order_tuple in _orders_for(p.l):
+            order = RetirementOrder(order_tuple)
+            fixup = order.fixup_permutation(p)
+            for output in range(p.num_outputs):
+                tag = DestinationTag.from_output(output, p)
+                assert fixup(order.landing_output(tag, p)) == output
+
+    def test_fixup_of_canonical_is_identity(self, small_params):
+        order = RetirementOrder.canonical(small_params.l)
+        assert order.fixup_permutation(small_params).is_identity()
+
+    def test_fixup_rejects_mismatched_l(self):
+        with pytest.raises(ConfigurationError):
+            RetirementOrder.canonical(3).fixup_permutation(EDNParams(16, 4, 4, 2))
+
+    def test_equality(self):
+        assert RetirementOrder((1, 0)) == RetirementOrder((1, 0))
+        assert RetirementOrder((1, 0)) != RetirementOrder((0, 1))
+
+
+def _orders_for(l: int) -> list[tuple[int, ...]]:
+    """A small set of digit orders: canonical, reversed, and one rotation."""
+    canonical = tuple(range(l))
+    reversed_ = tuple(reversed(canonical))
+    rotated = canonical[1:] + canonical[:1]
+    return list({canonical, reversed_, rotated})

@@ -1,0 +1,131 @@
+"""Unit tests for EDN topology wiring (Definition 2, Eq. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.topology import EDNTopology
+
+
+class TestLocations:
+    def test_input_location(self):
+        topo = EDNTopology(EDNParams(16, 4, 4, 2))
+        assert topo.input_location(0) == (0, 0)
+        assert topo.input_location(17) == (1, 1)
+        assert topo.input_location(63) == (3, 15)
+
+    def test_input_location_range(self):
+        topo = EDNTopology(EDNParams(16, 4, 4, 2))
+        with pytest.raises(LabelError):
+            topo.input_location(64)
+
+    def test_hyperbar_input_location(self):
+        topo = EDNTopology(EDNParams(16, 4, 4, 2))
+        assert topo.hyperbar_input_location(1, 20) == (1, 4)
+
+    def test_hyperbar_output_label_roundtrip(self, small_params):
+        topo = EDNTopology(small_params)
+        p = small_params
+        for i in range(1, p.l + 1):
+            per_switch = p.b * p.c
+            for switch in range(p.hyperbars_in_stage(i)):
+                for local in range(per_switch):
+                    label = topo.hyperbar_output_label(i, switch, local)
+                    assert label == switch * per_switch + local
+
+    def test_crossbar_locations(self):
+        topo = EDNTopology(EDNParams(16, 4, 4, 2))
+        assert topo.crossbar_input_location(0) == (0, 0)
+        assert topo.crossbar_input_location(63) == (15, 3)
+        assert topo.crossbar_output_terminal(15, 3) == 63
+
+    def test_crossbar_bounds(self):
+        topo = EDNTopology(EDNParams(16, 4, 4, 2))
+        with pytest.raises(LabelError):
+            topo.crossbar_output_terminal(16, 0)
+        with pytest.raises(LabelError):
+            topo.crossbar_output_terminal(0, 4)
+
+
+class TestInterstage:
+    def test_bijection_between_every_pair_of_stages(self, small_params):
+        topo = EDNTopology(small_params)
+        for i in range(1, small_params.l + 1):
+            width = small_params.wires_after_stage(i)
+            images = {topo.interstage(i, y) for y in range(width)}
+            assert images == set(range(width))
+
+    def test_inverse_roundtrip(self, small_params):
+        topo = EDNTopology(small_params)
+        for i in range(1, small_params.l + 1):
+            width = small_params.wires_after_stage(i)
+            for y in range(width):
+                assert topo.interstage_inverse(i, topo.interstage(i, y)) == y
+
+    def test_fixes_capacity_bits(self, small_params):
+        # Eq. 1's gamma fixes the low log2(c) bits (the wire-within-bucket).
+        topo = EDNTopology(small_params)
+        mask = small_params.c - 1
+        for i in range(1, small_params.l):
+            width = small_params.wires_after_stage(i)
+            for y in range(0, width, 3):
+                assert topo.interstage(i, y) & mask == y & mask
+
+    def test_last_stage_feeds_crossbars_directly(self, small_params):
+        # "each of the b^l buckets are sent directly to a c x c crossbar".
+        topo = EDNTopology(small_params)
+        width = small_params.wires_after_stage(small_params.l)
+        for y in range(width):
+            assert topo.interstage(small_params.l, y) == y
+
+    def test_lemma1_stage1_to_stage2_algebra(self):
+        # Verify Eq. 1 against Lemma 1's explicit expansion for EDN(16,4,4,2):
+        # L1 = ((s1)b + d1)c + K1 maps to ((d1)(a/c) + s1)c + K1.
+        p = EDNParams(16, 4, 4, 2)
+        topo = EDNTopology(p)
+        a_over_c, b, c = p.fan_in, p.b, p.c
+        for s1 in range(a_over_c):
+            for d1 in range(b):
+                for k1 in range(c):
+                    y = (s1 * b + d1) * c + k1
+                    expected = (d1 * a_over_c + s1) * c + k1
+                    assert topo.interstage(1, y) == expected
+
+    def test_interstage_index_bounds(self):
+        topo = EDNTopology(EDNParams(16, 4, 4, 2))
+        with pytest.raises(ConfigurationError):
+            topo.interstage(0, 0)
+        with pytest.raises(ConfigurationError):
+            topo.interstage(3, 0)
+        with pytest.raises(LabelError):
+            topo.interstage(1, 10_000)
+
+
+class TestStructuralCounts:
+    def test_crosspoints_match_switch_census(self, small_params):
+        topo = EDNTopology(small_params)
+        p = small_params
+        expected = (
+            sum(p.hyperbars_in_stage(i) for i in range(1, p.l + 1)) * p.a * p.b * p.c
+            + p.num_crossbars * p.c * p.c
+        )
+        assert topo.count_crosspoints() == expected
+
+    def test_wire_census(self, small_params):
+        topo = EDNTopology(small_params)
+        p = small_params
+        expected = p.num_inputs + p.num_outputs
+        for i in range(1, p.l + 1):
+            expected += p.wires_after_stage(i)
+        assert topo.count_wires() == expected
+
+    def test_stage_summary_shape(self):
+        p = EDNParams(16, 4, 4, 2)
+        summary = EDNTopology(p).stage_summary()
+        assert len(summary) == p.l + 1
+        assert summary[0]["kind"] == "hyperbar"
+        assert summary[-1]["kind"] == "crossbar"
+        assert summary[-1]["switches"] == 16
+        assert summary[0]["wires_in"] == 64

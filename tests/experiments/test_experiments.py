@@ -1,0 +1,229 @@
+"""Tests for the experiment harness: every paper figure regenerates with the right shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import costs, fig2_hyperbar, fig4_topology, fig6_identity
+from repro.experiments import fig7_families, fig11_resubmission, hotspot, sec5_raedn
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestFig2:
+    def test_reproduces_paper_discards(self):
+        result = fig2_hyperbar.run()
+        rows = {row[0]: row for row in result.tables["comparison"][1]}
+        paper, measured = rows["discarded inputs"][1], rows["discarded inputs"][2]
+        assert paper == measured == str(fig2_hyperbar.PAPER_DISCARDS)
+
+    def test_notes_say_match(self):
+        result = fig2_hyperbar.run()
+        assert result.notes[-1] == "match"
+
+
+class TestFig4:
+    def test_invariants_consistent(self):
+        result = fig4_topology.run()
+        rows = dict((row[0], row[1]) for row in result.tables["invariants"][1])
+        assert rows["crosspoints (sum)"] == rows["crosspoints (Eq. 2)"] == rows["crosspoints (enumerated)"]
+        assert rows["wires (sum)"] == rows["wires (Eq. 3)"] == rows["wires (enumerated)"]
+        assert rows["inputs"] == 64 and rows["outputs"] == 64
+
+
+class TestFig5_6:
+    def test_identity_blocks_then_routes(self):
+        result = fig6_identity.run(cycles=10, seed=0)
+        headers, rows = result.tables["structured permutations (messages delivered of 1024)"]
+        by_name = {row[0]: row for row in rows}
+        identity = by_name["identity"]
+        assert identity[1] == 64        # canonical order blocks to 64
+        assert identity[2] == 1024      # reversed order routes fully
+        assert identity[3] is True      # fixup restores destinations
+
+    def test_average_case_similar_across_orders(self):
+        result = fig6_identity.run(cycles=30, seed=1)
+        rows = result.tables["random permutations (average case)"][1]
+        canonical, modified = rows[0][1], rows[1][1]
+        assert canonical == pytest.approx(modified, abs=0.03)
+
+
+class TestFig7Fig8:
+    def test_fig7_orderings_hold_beyond_smallest_size(self):
+        result = fig7_families.run(8, max_inputs=300_000)
+        families = ["EDN(8,2,4,*)", "EDN(8,4,2,*)", "EDN(8,8,1,*)"]
+        curves = {name: dict(result.series[name]) for name in families}
+        crossbar = dict(result.series["Full Crossbar"])
+        shared = set.intersection(*(set(c) for c in curves.values()))
+        for x in shared:
+            if x <= 8:
+                continue  # at one-switch scale the c=1 member IS a crossbar
+            assert crossbar[x] >= curves["EDN(8,2,4,*)"][x]
+            assert curves["EDN(8,2,4,*)"][x] > curves["EDN(8,4,2,*)"][x]
+            assert curves["EDN(8,4,2,*)"][x] > curves["EDN(8,8,1,*)"][x]
+
+    def test_fig8_beats_fig7_at_matched_size(self):
+        # The matched-capacity (c = 2) members share sizes at 128, 8192, ...
+        # (4^(3k) * 2 == 8^(2k) * 2); bigger switches should win there.
+        fig7 = fig7_families.run(8, max_inputs=600_000)
+        fig8 = fig7_families.run(16, max_inputs=600_000)
+        seven = dict(fig7.series["EDN(8,4,2,*)"])
+        sixteen = dict(fig8.series["EDN(16,8,2,*)"])
+        shared = sorted(set(seven) & set(sixteen))
+        assert shared, "families share no sizes - pairing bug"
+        for x in shared:
+            if x <= 16:
+                continue
+            assert sixteen[x] > seven[x]
+
+    def test_curves_fall_with_size(self):
+        result = fig7_families.run(8, max_inputs=100_000)
+        for name, points in result.series.items():
+            ys = [y for _, y in sorted(points)]
+            if name == "Full Crossbar":
+                continue
+            assert all(y2 <= y1 + 1e-9 for y1, y2 in zip(ys[1:], ys[2:]))
+
+    def test_montecarlo_validation_gap_small(self):
+        result = fig7_families.run_montecarlo_validation(
+            8, max_inputs=1024, cycles=40, seed=0
+        )
+        rows = result.tables["Eq.4 vs simulation"][1]
+        for row in rows:
+            gap = row[4]
+            assert abs(gap) < 0.08
+
+
+class TestFig11:
+    def test_resubmission_below_ignored_everywhere(self):
+        result = fig11_resubmission.run(max_inputs=80_000)
+        for a, b, c in fig11_resubmission.FAMILIES:
+            ignored = dict(result.series[f"EDN({a},{b},{c},*) ignored"])
+            resubmitted = dict(result.series[f"EDN({a},{b},{c},*) resubmitted"])
+            for x in ignored:
+                assert resubmitted[x] < ignored[x]
+
+    def test_gap_grows_with_size(self):
+        result = fig11_resubmission.run(max_inputs=300_000)
+        ignored = sorted(result.series["EDN(16,4,4,*) ignored"])
+        resubmitted = dict(result.series["EDN(16,4,4,*) resubmitted"])
+        gaps = [pa - resubmitted[x] for x, pa in ignored]
+        assert gaps[-1] > gaps[0]
+
+    def test_simulation_validation_tracks_model(self):
+        result = fig11_resubmission.run_simulation_validation(cycles=600, warmup=150)
+        for row in result.tables["model vs simulation"][1]:
+            _net, pa_model, pa_sim, qa_model, qa_sim, rp_model, rp_sim = row
+            assert pa_sim == pytest.approx(pa_model, abs=0.06)
+            assert qa_sim == pytest.approx(qa_model, abs=0.06)
+            assert rp_sim == pytest.approx(rp_model, abs=0.06)
+
+
+class TestSec5:
+    def test_paper_numbers(self):
+        result = sec5_raedn.run()
+        rows = {row[0]: row for row in result.tables["drain model"][1]}
+        assert rows["PA(1)"][2] == pytest.approx(0.544, abs=5e-4)
+        assert rows["tail cycles J"][2] == 5
+        assert rows["expected total T"][2] == pytest.approx(34.41, abs=0.1)
+
+    def test_simulation_same_ballpark(self):
+        from repro.simd.ra_edn import RAEDNSystem
+
+        system = RAEDNSystem(4, 2, 2, 8)
+        result = sec5_raedn.run_simulation(system, runs=5, seed=0)
+        rows = {row[0]: row for row in result.tables["model vs simulation"][1]}
+        model, simulated = rows["cycles to drain"][1], rows["cycles to drain"][2]
+        assert 0.8 * model < simulated < 2.0 * model
+
+
+class TestCosts:
+    def test_all_sweep_rows_verify(self):
+        result = costs.run()
+        for row in result.tables["cost verification"][1]:
+            assert row[3] is True and row[5] is True
+
+    def test_dilation_ratio_is_d(self):
+        result = costs.run_dilation_comparison()
+        for row in result.tables["interstage wires per input port"][1]:
+            assert row[-1] == pytest.approx(4.0)   # d = c = 4
+
+    def test_cost_performance_positioning(self):
+        result = costs.run_cost_performance()
+        rows = result.tables["1024-terminal networks, PA(1)"][1]
+        crossbar, edn, delta = rows
+        assert edn[1] < crossbar[1] / 5         # EDN far cheaper than crossbar
+        assert edn[2] > delta[2]                # EDN outperforms delta
+        assert crossbar[2] > edn[2]             # crossbar still the bound
+
+
+class TestHotspot:
+    def test_multipath_degrades_less(self):
+        result = hotspot.run(hot_fractions=(0.0, 0.1), cycles=40, seed=0)
+        rows = {row[0]: row[1:] for row in result.tables["PA vs hot fraction"][1]}
+        crossbar = rows[f"crossbar {hotspot.SIZE}"]
+        delta = rows["delta EDN(16,16,1,2), 1 path"]
+        multi = rows["EDN(16,4,4,3), 64 paths"]
+        # Excess loss over the crossbar (pure internal blocking).
+        delta_excess = (crossbar[1] - delta[1])
+        multi_excess = (crossbar[1] - multi[1])
+        assert delta_excess > multi_excess
+
+
+class TestFaultTolerance:
+    def test_capacity_ladder_ordering(self):
+        from repro.experiments import fault_tolerance
+
+        result = fault_tolerance.run(failure_rates=(0.0, 0.1, 0.3), draws=4, seed=0)
+        rows = {row[0]: row[1:] for row in result.tables["mean pair connectivity"][1]}
+        delta = rows["delta EDN(4,4,1,2), 1 path"]
+        sixteen = rows["EDN(8,2,4,2), 16 paths"]
+        assert delta[0] == sixteen[0] == 1.0
+        assert sixteen[-1] > delta[-1]
+
+
+class TestScaling:
+    def test_family_table(self):
+        from repro.experiments import scaling
+
+        result = scaling.run()
+        rows = result.tables["family scaling"][1]
+        assert [row[1] for row in rows] == [1_024, 16_384, 262_144]
+        pa = [row[3] for row in rows]
+        assert pa[0] > pa[1] > pa[2]
+        assert pa[1] == pytest.approx(0.544, abs=5e-4)
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        expected = {
+            "fig2", "fig4", "fig5_6", "fig7", "fig8", "fig7_mc", "fig8_mc",
+            "fig11", "fig11_sim", "sec5_example", "sec5_sim", "eq2_eq3",
+            "eq2_eq3_dilated", "cost_performance", "nuts",
+            "ablation_priority", "ablation_wire_policy", "ablation_schedule",
+            "fault_tolerance", "scaling", "buffered", "admissibility",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_render_smoke(self):
+        text = run_experiment("fig2").render()
+        assert "Figure 2" in text
+
+    def test_series_csv_export(self):
+        result = run_experiment("sec5_example")
+        csv = result.series_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert len(lines) == 1 + len(result.series["tail leftover rate r_j"])
+        assert all(line.count(",") >= 2 for line in lines[1:])
+
+    def test_table_csv_export(self):
+        result = run_experiment("fig2")
+        csv = result.table_csv("comparison")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "quantity,paper,measured"
+        # The discard list contains commas and must be quoted.
+        assert '"[5, 7]"' in csv

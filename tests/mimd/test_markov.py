@@ -1,0 +1,150 @@
+"""Unit tests for the resubmission Markov model (Eqs. 7-11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import acceptance_probability, crossbar_acceptance
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError, ConvergenceError
+from repro.mimd.markov import (
+    edn_resubmission,
+    effective_rate,
+    solve_resubmission,
+    steady_state_probabilities,
+)
+
+
+class TestSteadyStateAlgebra:
+    def test_probabilities_sum_to_one(self):
+        for r in (0.1, 0.5, 0.9):
+            for pa in (0.3, 0.7, 1.0):
+                q_active, q_waiting = steady_state_probabilities(r, pa)
+                assert q_active + q_waiting == pytest.approx(1.0)
+
+    def test_perfect_network_never_waits(self):
+        q_active, q_waiting = steady_state_probabilities(0.5, 1.0)
+        assert q_active == pytest.approx(1.0)
+        assert q_waiting == pytest.approx(0.0)
+
+    def test_balance_equation(self):
+        # qA * r * (1 - PA') == qW * PA' (Figure 10's flow balance).
+        r, pa = 0.6, 0.55
+        q_active, q_waiting = steady_state_probabilities(r, pa)
+        assert q_active * r * (1 - pa) == pytest.approx(q_waiting * pa)
+
+    def test_effective_rate_formula(self):
+        # Eq. 8: r' = r*qA + qW.
+        r, pa = 0.4, 0.6
+        q_active, q_waiting = steady_state_probabilities(r, pa)
+        assert effective_rate(r, pa) == pytest.approx(r * q_active + q_waiting)
+
+    def test_effective_rate_at_least_r(self):
+        for r in (0.1, 0.5, 1.0):
+            for pa in (0.2, 0.6, 1.0):
+                assert effective_rate(r, pa) >= r - 1e-12
+
+    def test_effective_rate_bounded_by_one(self):
+        for r in (0.1, 0.5, 1.0):
+            for pa in (0.2, 0.6, 1.0):
+                assert effective_rate(r, pa) <= 1.0 + 1e-12
+
+    def test_degenerate_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_rate(0.0, 0.0)
+
+
+class TestFixedPoint:
+    def test_converges_for_edns(self):
+        for cfg in [(16, 4, 4, 2), (4, 2, 2, 3), (8, 8, 1, 3)]:
+            solution = edn_resubmission(EDNParams(*cfg), 0.5)
+            assert solution.iterations < 1000
+            assert 0.0 < solution.pa_resubmit <= 1.0
+
+    def test_self_consistency(self):
+        # At convergence PA' == PA(r') (Eq. 9).
+        p = EDNParams(16, 4, 4, 2)
+        solution = edn_resubmission(p, 0.5)
+        assert solution.pa_resubmit == pytest.approx(
+            acceptance_probability(p, solution.effective_rate), abs=1e-9
+        )
+
+    def test_resubmission_lowers_acceptance(self):
+        p = EDNParams(16, 4, 4, 3)
+        solution = edn_resubmission(p, 0.5)
+        assert solution.pa_resubmit < acceptance_probability(p, 0.5)
+
+    def test_zero_rate_trivial(self):
+        solution = edn_resubmission(EDNParams(16, 4, 4, 2), 0.0)
+        assert solution.pa_resubmit == 1.0
+        assert solution.q_active == 1.0
+        assert solution.iterations == 0
+
+    def test_rate_one_saturates(self):
+        solution = edn_resubmission(EDNParams(16, 4, 4, 2), 1.0)
+        assert solution.effective_rate == pytest.approx(1.0)
+
+    def test_generic_network_callable(self):
+        # The solver accepts any PA function, e.g. a crossbar.
+        solution = solve_resubmission(lambda r: crossbar_acceptance(64, r), 0.5)
+        assert 0.0 < solution.pa_resubmit < 1.0
+        assert solution.effective_rate > 0.5
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            solve_resubmission(lambda r: 1.0, 1.5)
+
+    def test_convergence_error_on_budget(self):
+        # An adversarial oscillating "PA" cannot converge in 2 iterations.
+        flip = {"value": 0.2}
+
+        def oscillating(_r: float) -> float:
+            flip["value"] = 1.0 - flip["value"]
+            return flip["value"]
+
+        with pytest.raises(ConvergenceError):
+            solve_resubmission(oscillating, 0.5, max_iterations=2)
+
+
+class TestSolutionProperties:
+    def test_efficiency_equals_q_active(self):
+        solution = edn_resubmission(EDNParams(16, 4, 4, 2), 0.5)
+        assert solution.efficiency == solution.q_active
+
+    def test_bandwidth_per_input(self):
+        solution = edn_resubmission(EDNParams(16, 4, 4, 2), 0.5)
+        assert solution.bandwidth_per_input == pytest.approx(
+            solution.effective_rate * solution.pa_resubmit
+        )
+
+    def test_expected_wait_is_geometric_mean(self):
+        solution = edn_resubmission(EDNParams(16, 4, 4, 2), 0.5)
+        assert solution.expected_wait == pytest.approx(1.0 / solution.pa_resubmit)
+        assert solution.expected_wait >= 1.0
+
+    def test_expected_wait_grows_with_load(self):
+        p = EDNParams(16, 4, 4, 3)
+        light = edn_resubmission(p, 0.1)
+        heavy = edn_resubmission(p, 1.0)
+        assert heavy.expected_wait > light.expected_wait
+
+    def test_deeper_networks_less_efficient(self):
+        shallow = edn_resubmission(EDNParams(16, 4, 4, 1), 0.5)
+        deep = edn_resubmission(EDNParams(16, 4, 4, 5), 0.5)
+        assert deep.efficiency < shallow.efficiency
+
+    def test_figure11_orderings(self):
+        # Resubmitted PA' below ignored PA for both plotted families, and —
+        # at matched network size (the figure's x-axis) — the 16-I/O-switch
+        # family above the 4-I/O-switch family.  EDN(16,4,4,l) has 4^l * 4
+        # inputs == EDN(4,2,2,2l+1)'s 2^(2l+1) * 2.
+        for l in (2, 3, 4):
+            big = EDNParams(16, 4, 4, l)
+            small = EDNParams(4, 2, 2, 2 * l + 1)
+            assert big.num_inputs == small.num_inputs
+            assert edn_resubmission(big, 0.5).pa_resubmit < acceptance_probability(big, 0.5)
+            assert edn_resubmission(small, 0.5).pa_resubmit < acceptance_probability(small, 0.5)
+            assert (
+                edn_resubmission(big, 0.5).pa_resubmit
+                > edn_resubmission(small, 0.5).pa_resubmit
+            )

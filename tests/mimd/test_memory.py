@@ -1,0 +1,64 @@
+"""Unit tests for memory-module bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.mimd.memory import MemoryBank
+
+
+class TestSingleCycleService:
+    def test_always_serves(self):
+        bank = MemoryBank(8)
+        served = bank.admit(np.array([0, 3, 7]), cycle=0)
+        assert served.all()
+        assert bank.total_served == 3
+
+    def test_access_counts(self):
+        bank = MemoryBank(4)
+        bank.admit(np.array([1]), cycle=0)
+        bank.admit(np.array([1]), cycle=1)
+        bank.admit(np.array([2]), cycle=2)
+        assert bank.accesses.tolist() == [0, 2, 1, 0]
+
+    def test_load_imbalance(self):
+        bank = MemoryBank(2)
+        bank.admit(np.array([0]), cycle=0)
+        bank.admit(np.array([0]), cycle=1)
+        bank.admit(np.array([1]), cycle=2)
+        assert bank.load_imbalance() == pytest.approx(2 / 1.5)
+
+    def test_imbalance_of_empty_bank(self):
+        assert MemoryBank(4).load_imbalance() == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBank(4).admit(np.array([4]), cycle=0)
+
+
+class TestServiceLatency:
+    def test_busy_module_turns_requests_away(self):
+        bank = MemoryBank(2, service_cycles=3)
+        assert bank.admit(np.array([0]), cycle=0).all()
+        assert not bank.admit(np.array([0]), cycle=1).any()
+        assert not bank.admit(np.array([0]), cycle=2).any()
+        assert bank.admit(np.array([0]), cycle=3).all()
+
+    def test_other_modules_unaffected(self):
+        bank = MemoryBank(2, service_cycles=5)
+        bank.admit(np.array([0]), cycle=0)
+        assert bank.admit(np.array([1]), cycle=1).all()
+
+    def test_turned_away_counted(self):
+        bank = MemoryBank(2, service_cycles=2)
+        bank.admit(np.array([0]), cycle=0)
+        bank.admit(np.array([0]), cycle=1)
+        assert bank.turned_away[0] == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBank(0)
+        with pytest.raises(ConfigurationError):
+            MemoryBank(4, service_cycles=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the processor state array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.mimd.processor import ACTIVE, WAITING, ProcessorArray
+
+
+class TestIssueRequests:
+    def test_all_start_active(self):
+        procs = ProcessorArray(16, 8, request_rate=1.0)
+        assert procs.fraction_active == 1.0
+
+    def test_full_rate_everyone_issues(self, rng):
+        procs = ProcessorArray(64, 8, request_rate=1.0)
+        dests = procs.issue_requests(rng)
+        assert (dests >= 0).all()
+
+    def test_zero_rate_nobody_issues(self, rng):
+        procs = ProcessorArray(64, 8, request_rate=0.0)
+        assert (procs.issue_requests(rng) == -1).all()
+
+    def test_waiting_processors_always_resubmit(self, rng):
+        procs = ProcessorArray(8, 4, request_rate=0.0)
+        procs.state[:] = WAITING
+        procs.pending[:] = 3
+        dests = procs.issue_requests(rng)
+        assert (dests == 3).all()
+
+    def test_redraw_on_retry_changes_destination_sometimes(self, rng):
+        procs = ProcessorArray(256, 64, request_rate=0.0, redraw_on_retry=True)
+        procs.state[:] = WAITING
+        procs.pending[:] = 0
+        dests = procs.issue_requests(rng)
+        assert (dests >= 0).all()
+        assert (dests != 0).any()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorArray(0, 4, 0.5)
+        with pytest.raises(ConfigurationError):
+            ProcessorArray(4, 4, 1.5)
+
+
+class TestAbsorbOutcomes:
+    def test_served_return_to_active(self, rng):
+        procs = ProcessorArray(4, 4, request_rate=1.0)
+        procs.issue_requests(rng)
+        procs.absorb_outcomes(np.array([True, True, True, True]))
+        assert procs.fraction_active == 1.0
+        assert (procs.wait_cycles == 0).all()
+
+    def test_rejected_become_waiting(self, rng):
+        procs = ProcessorArray(4, 4, request_rate=1.0)
+        procs.issue_requests(rng)
+        procs.absorb_outcomes(np.array([False, True, False, True]))
+        assert procs.state[0] == WAITING
+        assert procs.state[1] == ACTIVE
+        assert procs.wait_cycles[0] == 1
+
+    def test_wait_cycles_accumulate(self, rng):
+        procs = ProcessorArray(2, 4, request_rate=1.0)
+        for expected in (1, 2, 3):
+            procs.issue_requests(rng)
+            procs.absorb_outcomes(np.array([False, False]))
+            assert (procs.wait_cycles == expected).all()
+
+    def test_idle_processors_unaffected(self, rng):
+        procs = ProcessorArray(4, 4, request_rate=0.0)
+        procs.issue_requests(rng)
+        procs.absorb_outcomes(np.zeros(4, dtype=bool))
+        assert procs.fraction_active == 1.0
+
+    def test_pending_cleared_on_service(self, rng):
+        procs = ProcessorArray(4, 4, request_rate=1.0)
+        procs.issue_requests(rng)
+        procs.absorb_outcomes(np.ones(4, dtype=bool))
+        assert (procs.pending == -1).all()

@@ -1,0 +1,105 @@
+"""Integration tests for the MIMD processor-memory simulator (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import acceptance_probability
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.mimd.markov import edn_resubmission
+from repro.mimd.system import MIMDSystem
+
+
+class TestIgnorePolicy:
+    def test_tracks_eq4(self):
+        # With rejects ignored the measured acceptance is Section 3's PA.
+        p = EDNParams(16, 4, 4, 2)
+        system = MIMDSystem(p, request_rate=0.5, policy="ignore")
+        metrics = system.run(cycles=800, warmup=50, seed=0)
+        analytic = acceptance_probability(p, 0.5)
+        assert metrics.acceptance.point == pytest.approx(analytic, abs=0.05)
+
+    def test_offered_rate_stays_near_r(self):
+        p = EDNParams(16, 4, 4, 2)
+        system = MIMDSystem(p, request_rate=0.5, policy="ignore")
+        metrics = system.run(cycles=400, seed=1)
+        assert metrics.offered_rate == pytest.approx(0.5, abs=0.03)
+
+    def test_utilization_is_full(self):
+        # Ignored rejects never stall processors.
+        p = EDNParams(16, 4, 4, 2)
+        metrics = MIMDSystem(p, 0.5, policy="ignore").run(cycles=200, seed=2)
+        assert metrics.utilization.point == pytest.approx(1.0)
+
+
+class TestResubmitPolicy:
+    def test_acceptance_tracks_markov_model(self):
+        p = EDNParams(16, 4, 4, 2)
+        system = MIMDSystem(p, 0.5, policy="resubmit", redraw_on_retry=True)
+        metrics = system.run(cycles=1500, warmup=300, seed=3)
+        solution = edn_resubmission(p, 0.5)
+        assert metrics.acceptance.point == pytest.approx(solution.pa_resubmit, abs=0.05)
+
+    def test_utilization_tracks_q_active(self):
+        p = EDNParams(16, 4, 4, 2)
+        system = MIMDSystem(p, 0.5, policy="resubmit", redraw_on_retry=True)
+        metrics = system.run(cycles=1500, warmup=300, seed=4)
+        solution = edn_resubmission(p, 0.5)
+        assert metrics.utilization.point == pytest.approx(solution.q_active, abs=0.05)
+
+    def test_offered_rate_inflates_above_r(self):
+        p = EDNParams(16, 4, 4, 3)
+        system = MIMDSystem(p, 0.5, policy="resubmit")
+        metrics = system.run(cycles=600, warmup=100, seed=5)
+        assert metrics.offered_rate > 0.5
+
+    def test_resubmission_hurts_acceptance(self):
+        p = EDNParams(16, 4, 4, 2)
+        ignore = MIMDSystem(p, 0.5, policy="ignore").run(cycles=600, warmup=100, seed=6)
+        resubmit = MIMDSystem(p, 0.5, policy="resubmit").run(cycles=600, warmup=100, seed=6)
+        assert resubmit.acceptance.point < ignore.acceptance.point
+
+    def test_sticky_retry_close_to_redraw(self):
+        # The paper assumes retries re-randomize; real retries stick to one
+        # module.  Both should land in the same neighbourhood under uniform
+        # traffic (destinations were uniform to begin with).
+        p = EDNParams(16, 4, 4, 2)
+        sticky = MIMDSystem(p, 0.5, policy="resubmit", redraw_on_retry=False).run(
+            cycles=800, warmup=200, seed=7
+        )
+        redraw = MIMDSystem(p, 0.5, policy="resubmit", redraw_on_retry=True).run(
+            cycles=800, warmup=200, seed=7
+        )
+        assert sticky.acceptance.point == pytest.approx(redraw.acceptance.point, abs=0.05)
+
+    def test_mean_wait_positive_under_contention(self):
+        p = EDNParams(16, 4, 4, 2)
+        metrics = MIMDSystem(p, 1.0, policy="resubmit").run(cycles=300, warmup=50, seed=8)
+        assert metrics.mean_wait > 0.0
+
+
+class TestMemoryBottleneck:
+    def test_slow_memory_reduces_bandwidth(self):
+        p = EDNParams(16, 4, 4, 2)
+        fast = MIMDSystem(p, 0.8, service_cycles=1).run(cycles=400, warmup=100, seed=9)
+        slow = MIMDSystem(p, 0.8, service_cycles=4).run(cycles=400, warmup=100, seed=9)
+        assert slow.bandwidth < fast.bandwidth
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            MIMDSystem(EDNParams(16, 4, 4, 2), 0.5, policy="retry_later")
+
+    def test_needs_positive_cycles(self):
+        system = MIMDSystem(EDNParams(16, 4, 4, 2), 0.5)
+        with pytest.raises(ConfigurationError):
+            system.run(cycles=0)
+
+    def test_metrics_fields_populated(self):
+        metrics = MIMDSystem(EDNParams(16, 4, 4, 2), 0.5).run(cycles=100, warmup=10, seed=10)
+        assert metrics.cycles == 100
+        assert metrics.warmup == 10
+        assert metrics.bandwidth >= 0.0
+        assert metrics.load_imbalance >= 1.0

@@ -1,0 +1,161 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import CycleDriver, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda s: log.append("late"))
+        sim.schedule(1.0, lambda s: log.append("early"))
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda s, i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda s: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first(s):
+            log.append(("first", s.now))
+            s.schedule(1.0, lambda s2: log.append(("second", s2.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda s: log.append("cancelled"))
+        sim.schedule(2.0, lambda s: log.append("kept"))
+        handle.cancel()
+        sim.run()
+        assert log == ["kept"]
+        assert handle.cancelled
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestRunBounds:
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda s, t=t: log.append(t))
+        sim.run(until=2.5)
+        assert log == [1.0, 2.0]
+        assert sim.now == 2.5
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        log = []
+        for t in (1.0, 3.0):
+            sim.schedule(t, lambda s, t=t: log.append(t))
+        sim.run(until=2.0)
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(1.0, lambda s, i=i: log.append(i))
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        log = []
+        handle = sim.every(1.0, lambda s: log.append(s.now))
+        sim.run(until=4.5)
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        handle.cancel()
+
+    def test_cancel_stops_future_firings(self):
+        sim = Simulator()
+        log = []
+        handle = sim.every(1.0, lambda s: log.append(s.now))
+        sim.run(until=2.5)
+        handle.cancel()
+        sim.run(until=10.0)
+        assert log == [1.0, 2.0]
+
+    def test_custom_start(self):
+        sim = Simulator()
+        log = []
+        sim.every(2.0, lambda s: log.append(s.now), start=0.5)
+        sim.run(until=5.0)
+        assert log == [0.5, 2.5, 4.5]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0.0, lambda s: None)
+
+
+class TestCycleDriver:
+    def test_runs_fixed_cycles(self):
+        driver = CycleDriver()
+        seen = []
+        executed = driver.run(lambda i: seen.append(i) or True, max_cycles=5)
+        assert executed == 5
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_body_can_stop_early(self):
+        driver = CycleDriver()
+        seen = []
+        executed = driver.run(lambda i: seen.append(i) or i < 2, max_cycles=10)
+        assert executed == 3
+        assert seen == [0, 1, 2]
+
+    def test_time_advances_per_cycle(self):
+        driver = CycleDriver(period=2.0)
+        driver.run(lambda i: True, max_cycles=3)
+        assert driver.now == pytest.approx(4.0)

@@ -1,0 +1,104 @@
+"""Unit tests for the Monte-Carlo acceptance harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.crossbar_network import CrossbarNetwork
+from repro.core.analysis import acceptance_probability, crossbar_acceptance
+from repro.core.config import EDNParams
+from repro.core.network import EDNetwork
+from repro.sim.montecarlo import ReferenceRouterAdapter, measure_acceptance
+from repro.sim.traffic import PermutationTraffic, UniformTraffic
+from repro.sim.vectorized import VectorizedEDN
+
+
+class TestMeasureAcceptance:
+    def test_tracks_analytic_within_tolerance(self):
+        p = EDNParams(16, 4, 4, 2)
+        measurement = measure_acceptance(
+            VectorizedEDN(p), UniformTraffic(64, 64, 1.0), cycles=300, seed=1
+        )
+        analytic = acceptance_probability(p, 1.0)
+        # Eq. 4 runs a few percent optimistic (independence approximation).
+        assert measurement.point == pytest.approx(analytic, abs=0.05)
+        assert measurement.point < analytic
+
+    def test_crossbar_matches_closed_form(self):
+        # The crossbar has no internal stages, so Eq. 4's approximation is
+        # exact and simulation must agree tightly.
+        n = 64
+        measurement = measure_acceptance(
+            CrossbarNetwork(n), UniformTraffic(n, n, 1.0), cycles=400, seed=2
+        )
+        assert measurement.point == pytest.approx(crossbar_acceptance(n, 1.0), abs=0.02)
+
+    def test_reproducible_with_seed(self):
+        p = EDNParams(16, 4, 4, 2)
+        a = measure_acceptance(VectorizedEDN(p), UniformTraffic(64, 64, 1.0), cycles=30, seed=9)
+        b = measure_acceptance(VectorizedEDN(p), UniformTraffic(64, 64, 1.0), cycles=30, seed=9)
+        assert a.point == b.point
+        assert a.blocked_by_stage == b.blocked_by_stage
+
+    def test_counts_are_consistent(self):
+        p = EDNParams(16, 4, 4, 2)
+        measurement = measure_acceptance(
+            VectorizedEDN(p), UniformTraffic(64, 64, 0.5), cycles=50, seed=0
+        )
+        assert measurement.delivered <= measurement.offered
+        blocked = sum(measurement.blocked_by_stage.values())
+        assert measurement.offered - measurement.delivered == blocked
+
+    def test_interval_brackets_point(self):
+        p = EDNParams(16, 4, 4, 2)
+        measurement = measure_acceptance(
+            VectorizedEDN(p), UniformTraffic(64, 64, 1.0), cycles=60, seed=0
+        )
+        assert measurement.acceptance.low <= measurement.point <= measurement.acceptance.high
+
+    def test_size_mismatch_rejected(self):
+        p = EDNParams(16, 4, 4, 2)
+        with pytest.raises(ValueError):
+            measure_acceptance(VectorizedEDN(p), UniformTraffic(32, 64, 1.0), cycles=5)
+
+
+class TestReferenceAdapter:
+    def test_adapter_measures_like_vectorized(self):
+        p = EDNParams(8, 4, 2, 2)
+        traffic = UniformTraffic(p.num_inputs, p.num_outputs, 1.0)
+        ref = measure_acceptance(
+            ReferenceRouterAdapter(EDNetwork(p)), traffic, cycles=40, seed=3
+        )
+        vec = measure_acceptance(VectorizedEDN(p), traffic, cycles=40, seed=3)
+        assert ref.point == pytest.approx(vec.point, abs=1e-12)
+
+    def test_adapter_exposes_sizes(self):
+        p = EDNParams(8, 4, 2, 2)
+        adapter = ReferenceRouterAdapter.build(p)
+        assert adapter.n_inputs == p.num_inputs
+        assert adapter.n_outputs == p.num_outputs
+
+
+class TestPermutationTrafficAcceptance:
+    def test_lemma2_no_blocking_in_last_two_stages(self):
+        # Under permutation traffic the last hyperbar stage and the
+        # crossbars never discard (Lemma 2).
+        p = EDNParams(16, 4, 4, 3)
+        measurement = measure_acceptance(
+            VectorizedEDN(p),
+            PermutationTraffic(p.num_inputs, p.num_outputs),
+            cycles=60,
+            seed=4,
+        )
+        assert p.l not in measurement.blocked_by_stage
+        assert p.l + 1 not in measurement.blocked_by_stage
+
+    def test_single_stage_permutation_never_blocks(self):
+        p = EDNParams(16, 4, 4, 1)
+        measurement = measure_acceptance(
+            VectorizedEDN(p),
+            PermutationTraffic(p.num_inputs, p.num_outputs),
+            cycles=40,
+            seed=5,
+        )
+        assert measurement.point == 1.0

@@ -1,0 +1,45 @@
+"""Unit tests for reproducible RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import make_rng, spawn, stream_for
+
+
+class TestMakeRng:
+    def test_seeded_reproducible(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 1 << 30, size=8)
+        draws_b = make_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+
+class TestSpawn:
+    def test_streams_are_reproducible(self):
+        first = [g.integers(1 << 30) for g in spawn(42, 3)]
+        second = [g.integers(1 << 30) for g in spawn(42, 3)]
+        assert first == second
+
+    def test_streams_are_distinct(self):
+        draws = [g.integers(0, 1 << 30, size=4).tolist() for g in spawn(42, 4)]
+        assert len({tuple(d) for d in draws}) == 4
+
+
+class TestStreamFor:
+    def test_same_name_same_stream(self):
+        a = stream_for(1, "mimd", "traffic").integers(1 << 30)
+        b = stream_for(1, "mimd", "traffic").integers(1 << 30)
+        assert a == b
+
+    def test_different_names_independent(self):
+        a = stream_for(1, "mimd", "traffic").integers(0, 1 << 30, size=8)
+        b = stream_for(1, "mimd", "switch").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_stream(self):
+        a = stream_for(1, "x").integers(0, 1 << 30, size=8)
+        b = stream_for(2, "x").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,70 @@
+"""Unit tests for the Section 5 drain-time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import acceptance_probability
+from repro.simd.analytic import expected_permutation_time
+from repro.simd.maspar import maspar_mp1
+from repro.simd.ra_edn import RAEDNSystem
+
+
+class TestPaperExample:
+    """RA-EDN(16,4,2,16): PA(1)=.544, J=5, T≈34.41 (paper, Section 5)."""
+
+    def test_pa_full_load(self):
+        model = expected_permutation_time(maspar_mp1())
+        assert model.pa_full_load == pytest.approx(0.544, abs=5e-4)
+
+    def test_tail_cycles(self):
+        assert expected_permutation_time(maspar_mp1()).tail_cycles == 5
+
+    def test_expected_total(self):
+        model = expected_permutation_time(maspar_mp1())
+        # The paper prints 34.41 using the rounded .544; exact PA gives 34.43.
+        assert model.expected_cycles == pytest.approx(34.41, abs=0.1)
+
+    def test_head_cycles(self):
+        model = expected_permutation_time(maspar_mp1())
+        assert model.head_cycles == pytest.approx(16 / model.pa_full_load)
+
+
+class TestDrainRecursion:
+    def test_rates_strictly_decrease(self):
+        model = expected_permutation_time(maspar_mp1())
+        rates = (1.0,) + model.tail_rates
+        assert all(r2 < r1 for r1, r2 in zip(rates, rates[1:]))
+
+    def test_recursion_matches_definition(self):
+        system = maspar_mp1()
+        model = expected_permutation_time(system)
+        params = system.network_params
+        rate = 1.0
+        for expected in model.tail_rates:
+            rate = (1.0 - acceptance_probability(params, rate)) * rate
+            assert rate == pytest.approx(expected)
+
+    def test_terminates_below_one_message(self):
+        system = maspar_mp1()
+        model = expected_permutation_time(system)
+        assert model.tail_rates[-1] * system.num_ports < 1.0
+        if len(model.tail_rates) > 1:
+            assert model.tail_rates[-2] * system.num_ports >= 1.0
+
+
+class TestScaling:
+    def test_time_grows_with_cluster_size(self):
+        small_q = expected_permutation_time(RAEDNSystem(4, 2, 2, 4))
+        big_q = expected_permutation_time(RAEDNSystem(4, 2, 2, 32))
+        assert big_q.expected_cycles > small_q.expected_cycles
+
+    def test_head_scales_linearly_in_q(self):
+        base = expected_permutation_time(RAEDNSystem(4, 2, 2, 8))
+        double = expected_permutation_time(RAEDNSystem(4, 2, 2, 16))
+        assert double.head_cycles == pytest.approx(2 * base.head_cycles)
+
+    def test_deeper_network_needs_more_cycles(self):
+        shallow = expected_permutation_time(RAEDNSystem(4, 2, 1, 8))
+        deep = expected_permutation_time(RAEDNSystem(4, 2, 4, 8))
+        assert deep.expected_cycles > shallow.expected_cycles

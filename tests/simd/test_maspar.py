@@ -1,0 +1,42 @@
+"""Unit tests for the MasPar MP-1 configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.simd.maspar import MASPAR_MP1_PES, maspar_family, maspar_mp1
+
+
+class TestMasparMP1:
+    def test_documented_configuration(self):
+        system = maspar_mp1()
+        assert (system.b, system.c, system.l, system.q) == (16, 4, 2, 16)
+
+    def test_16k_pes(self):
+        assert maspar_mp1().num_pes == MASPAR_MP1_PES == 16_384
+
+    def test_network_is_edn_64_16_4_2(self):
+        params = maspar_mp1().network_params
+        assert (params.a, params.b, params.c, params.l) == (64, 16, 4, 2)
+
+    def test_1024_router_ports(self):
+        assert maspar_mp1().num_ports == 1024
+
+
+class TestFamily:
+    def test_family_members(self):
+        assert maspar_family(1_024).l == 1
+        assert maspar_family(16_384).l == 2
+        assert maspar_family(262_144).l == 3
+
+    def test_family_sizes_consistent(self):
+        for n_pes in (1_024, 16_384, 262_144):
+            assert maspar_family(n_pes).num_pes == n_pes
+
+    def test_16k_member_is_the_mp1(self):
+        assert maspar_family(16_384) == maspar_mp1()
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            maspar_family(4_096)

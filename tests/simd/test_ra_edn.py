@@ -1,0 +1,60 @@
+"""Unit tests for the RA-EDN system abstraction (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.simd.ra_edn import RAEDNSystem
+
+
+class TestShape:
+    def test_maspar_dimensions(self):
+        system = RAEDNSystem(16, 4, 2, 16)
+        assert system.num_ports == 1024
+        assert system.num_pes == 16_384
+        assert str(system.network_params) == "EDN(64,16,4,2)"
+
+    def test_network_is_square(self):
+        system = RAEDNSystem(4, 2, 3, 8)
+        params = system.network_params
+        assert params.num_inputs == params.num_outputs == system.num_ports
+
+    def test_rejects_bad_cluster_size(self):
+        with pytest.raises(ConfigurationError):
+            RAEDNSystem(4, 2, 2, 0)
+
+    def test_rejects_invalid_network(self):
+        with pytest.raises(ConfigurationError):
+            RAEDNSystem(3, 2, 2, 4)   # b not a power of two
+
+    def test_describe(self):
+        text = RAEDNSystem(16, 4, 2, 16).describe()
+        assert "1024 clusters" in text and "16384 PEs" in text
+
+
+class TestLabelling:
+    def test_label_roundtrip(self):
+        system = RAEDNSystem(4, 2, 2, 8)
+        for cluster in range(0, system.num_ports, 3):
+            for local in range(system.q):
+                label = system.pe_label(cluster, local)
+                assert system.pe_location(label) == (cluster, local)
+
+    def test_labels_are_dense(self):
+        system = RAEDNSystem(4, 2, 1, 4)
+        labels = {
+            system.pe_label(cluster, local)
+            for cluster in range(system.num_ports)
+            for local in range(system.q)
+        }
+        assert labels == set(range(system.num_pes))
+
+    def test_label_bounds(self):
+        system = RAEDNSystem(4, 2, 1, 4)
+        with pytest.raises(LabelError):
+            system.pe_label(system.num_ports, 0)
+        with pytest.raises(LabelError):
+            system.pe_label(0, system.q)
+        with pytest.raises(LabelError):
+            system.pe_location(system.num_pes)

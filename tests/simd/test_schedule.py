@@ -1,0 +1,77 @@
+"""Unit tests for cluster schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ScheduleError
+from repro.simd.schedule import (
+    NO_SELECTION,
+    LowestIndexSchedule,
+    RandomSchedule,
+    RoundRobinSchedule,
+)
+
+ALL_SCHEDULES = [RandomSchedule, RoundRobinSchedule, LowestIndexSchedule]
+
+
+@pytest.mark.parametrize("schedule_cls", ALL_SCHEDULES)
+class TestScheduleContract:
+    def test_selects_only_pending(self, schedule_cls, rng):
+        pending = np.array([[True, False, True], [False, False, True], [False, False, False]])
+        choice = schedule_cls().select(pending, rng)
+        for cluster, local in enumerate(choice):
+            if local == NO_SELECTION:
+                assert not pending[cluster].any()
+            else:
+                assert pending[cluster, local]
+
+    def test_empty_clusters_get_no_selection(self, schedule_cls, rng):
+        pending = np.zeros((4, 3), dtype=bool)
+        choice = schedule_cls().select(pending, rng)
+        assert (choice == NO_SELECTION).all()
+
+    def test_full_clusters_always_select(self, schedule_cls, rng):
+        pending = np.ones((5, 4), dtype=bool)
+        choice = schedule_cls().select(pending, rng)
+        assert (choice >= 0).all()
+
+    def test_validates_shape(self, schedule_cls, rng):
+        with pytest.raises(ScheduleError):
+            schedule_cls().select(np.ones(4, dtype=bool), rng)
+        with pytest.raises(ScheduleError):
+            schedule_cls().select(np.ones((2, 2), dtype=np.int64), rng)
+
+
+class TestRandomSchedule:
+    def test_uniform_over_pending(self, rng):
+        pending = np.array([[True, True, True, True]])
+        counts = np.zeros(4)
+        schedule = RandomSchedule()
+        for _ in range(2000):
+            counts[schedule.select(pending, rng)[0]] += 1
+        # Expected 500 per PE, sd ~19: a 400..600 window is ~5 sigma.
+        assert counts.min() > 400
+        assert counts.max() < 600
+
+
+class TestRoundRobin:
+    def test_cycles_through_pes(self, rng):
+        pending = np.ones((1, 3), dtype=bool)
+        schedule = RoundRobinSchedule()
+        picks = [schedule.select(pending, rng)[0] for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_delivered(self, rng):
+        pending = np.array([[True, False, True]])
+        schedule = RoundRobinSchedule()
+        picks = [schedule.select(pending, rng)[0] for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+
+class TestLowestIndex:
+    def test_always_picks_first_pending(self, rng):
+        pending = np.array([[False, True, True], [True, True, False]])
+        choice = LowestIndexSchedule().select(pending, rng)
+        assert choice.tolist() == [1, 0]

@@ -1,0 +1,90 @@
+"""Integration tests for the RA-EDN permutation-routing simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.simd.analytic import expected_permutation_time
+from repro.simd.ra_edn import RAEDNSystem
+from repro.simd.schedule import LowestIndexSchedule, RoundRobinSchedule
+from repro.simd.simulator import RAEDNSimulator
+
+
+SMALL = RAEDNSystem(4, 2, 1, 4)    # 8 ports x 4 PEs = 32 messages
+MEDIUM = RAEDNSystem(4, 2, 2, 8)   # 32 ports x 8 PEs = 256 messages
+
+
+class TestCorrectness:
+    def test_every_message_delivered(self):
+        run = RAEDNSimulator(SMALL).route_permutation(seed=0)
+        assert run.total_delivered == SMALL.num_pes
+
+    def test_takes_at_least_q_cycles(self):
+        # One message per cluster per cycle: q is a hard lower bound.
+        run = RAEDNSimulator(MEDIUM).route_permutation(seed=1)
+        assert run.cycles >= MEDIUM.q
+
+    def test_identity_permutation_drains(self):
+        run = RAEDNSimulator(SMALL).route_permutation(
+            permutation=np.arange(SMALL.num_pes), seed=2
+        )
+        assert run.total_delivered == SMALL.num_pes
+
+    def test_explicit_permutation_validated(self):
+        sim = RAEDNSimulator(SMALL)
+        with pytest.raises(ConfigurationError):
+            sim.route_permutation(permutation=np.zeros(SMALL.num_pes, dtype=np.int64))
+
+    def test_deliveries_per_cycle_bounded_by_ports(self):
+        run = RAEDNSimulator(MEDIUM).route_permutation(seed=3)
+        assert max(run.delivered_per_cycle) <= MEDIUM.num_ports
+
+    def test_reproducible(self):
+        a = RAEDNSimulator(MEDIUM).route_permutation(seed=7)
+        b = RAEDNSimulator(MEDIUM).route_permutation(seed=7)
+        assert a.cycles == b.cycles
+        assert a.delivered_per_cycle == b.delivered_per_cycle
+
+    def test_max_cycles_guard(self):
+        sim = RAEDNSimulator(SMALL)
+        with pytest.raises(ConfigurationError):
+            sim.route_permutation(seed=0, max_cycles=2)
+
+
+class TestAgainstModel:
+    def test_simulated_time_in_model_ballpark(self):
+        # The analytic model ignores cluster-queue stragglers and runs low;
+        # simulation should land between 0.9x and 2x the model.
+        model = expected_permutation_time(MEDIUM)
+        stats = RAEDNSimulator(MEDIUM).measure(runs=10, seed=4)
+        assert 0.9 * model.expected_cycles < stats.mean_cycles < 2.0 * model.expected_cycles
+
+    def test_head_phase_is_fully_loaded(self):
+        # During the first ~q cycles every cluster still offers a message,
+        # so per-cycle deliveries hover near p * PA(1).
+        system = MEDIUM
+        model = expected_permutation_time(system)
+        run = RAEDNSimulator(system).route_permutation(seed=5)
+        head = run.delivered_per_cycle[: system.q // 2]
+        expected = system.num_ports * model.pa_full_load
+        assert np.mean(head) == pytest.approx(expected, rel=0.25)
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("schedule_cls", [RoundRobinSchedule, LowestIndexSchedule])
+    def test_alternative_schedules_drain(self, schedule_cls):
+        sim = RAEDNSimulator(SMALL, schedule=schedule_cls())
+        run = sim.route_permutation(seed=6)
+        assert run.total_delivered == SMALL.num_pes
+
+    def test_measure_aggregates(self):
+        stats = RAEDNSimulator(SMALL).measure(runs=5, seed=8)
+        assert stats.runs == 5
+        assert stats.cycles.n == 5
+        assert stats.mean_cycles >= SMALL.q
+
+    def test_measure_needs_positive_runs(self):
+        with pytest.raises(ConfigurationError):
+            RAEDNSimulator(SMALL).measure(runs=0)

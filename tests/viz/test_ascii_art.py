@@ -1,0 +1,47 @@
+"""Unit tests for network/switch ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.core.config import EDNParams
+from repro.core.hyperbar import Hyperbar
+from repro.viz.ascii_art import render_hyperbar_routing, render_network
+
+
+class TestRenderNetwork:
+    def test_mentions_every_stage(self):
+        text = render_network(EDNParams(16, 4, 4, 2))
+        assert "Stage 1" in text and "Stage 2" in text and "Stage 3" in text
+
+    def test_mentions_switch_shapes(self):
+        text = render_network(EDNParams(16, 4, 4, 2))
+        assert "H(16->4x4)" in text and "4x4" in text
+
+    def test_mentions_gamma_parameters(self):
+        text = render_network(EDNParams(64, 16, 4, 2))
+        assert "gamma(j=log2(c)=2, k=log2(a/c)=4)" in text
+
+    def test_tag_layout_line(self):
+        text = render_network(EDNParams(16, 4, 4, 2))
+        assert "2 base-4 digit(s)" in text
+
+
+class TestRenderHyperbarRouting:
+    def test_figure2_rendering(self):
+        digits = [3, 2, 3, 1, 2, 2, 0, 3]
+        result = Hyperbar(8, 4, 2).route(digits)
+        text = render_hyperbar_routing(8, 4, 2, digits, result)
+        assert "DISCARDED" in text
+        assert "input 5" in text and "input 7" in text
+        assert "bucket 0" in text and "bucket 3" in text
+
+    def test_idle_inputs_marked(self):
+        digits = [None, 1, None, 0]
+        result = Hyperbar(4, 2, 2).route(digits)
+        text = render_hyperbar_routing(4, 2, 2, digits, result)
+        assert "(idle)" in text
+
+    def test_overload_annotated(self):
+        digits = [0, 0, 0, 0]
+        result = Hyperbar(4, 2, 1).route(digits)
+        text = render_hyperbar_routing(4, 2, 1, digits, result)
+        assert "(4 requested)" in text

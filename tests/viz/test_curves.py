@@ -1,0 +1,66 @@
+"""Unit tests for ASCII curve plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.viz.curves import Series, render_plot
+
+
+def _series(label="PA", points=((8, 0.66), (64, 0.5), (4096, 0.4))):
+    return Series.from_pairs(label, points)
+
+
+class TestRenderPlot:
+    def test_contains_markers_and_legend(self):
+        text = render_plot([_series()], width=40, height=10)
+        assert "*" in text
+        assert "PA" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = render_plot(
+            [_series("one"), _series("two", ((8, 0.1), (64, 0.2), (4096, 0.3)))],
+            width=40,
+            height=10,
+        )
+        assert "* one" in text and "+ two" in text
+
+    def test_title_rendered(self):
+        text = render_plot([_series()], title="Figure 7", width=40, height=8)
+        assert text.splitlines()[0] == "Figure 7"
+
+    def test_log_axis_labels(self):
+        text = render_plot([_series()], width=40, height=8, log_x=True)
+        assert "log scale" in text
+
+    def test_linear_axis(self):
+        text = render_plot(
+            [Series.from_pairs("lin", [(0, 0.0), (5, 1.0)])],
+            width=30,
+            height=6,
+            log_x=False,
+        )
+        assert "log scale" not in text
+
+    def test_y_range_override(self):
+        text = render_plot([_series()], width=30, height=6, y_range=(0.0, 1.0))
+        assert "1.000" in text and "0.000" in text
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ConfigurationError):
+            render_plot([Series.from_pairs("void", [])])
+
+    def test_rejects_nonpositive_x_on_log_axis(self):
+        with pytest.raises(ConfigurationError):
+            render_plot([Series.from_pairs("bad", [(0, 1.0)])], log_x=True)
+
+    def test_rejects_too_many_series(self):
+        many = [Series.from_pairs(f"s{i}", [(1, i)]) for i in range(9)]
+        with pytest.raises(ConfigurationError):
+            render_plot(many)
+
+    def test_grid_dimensions(self):
+        text = render_plot([_series()], width=40, height=10)
+        plot_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_lines) == 10

@@ -1,0 +1,50 @@
+"""Unit tests for table rendering."""
+
+from __future__ import annotations
+
+from repro.viz.tables import format_number, format_table
+
+
+class TestFormatNumber:
+    def test_integers_group_thousands(self):
+        assert format_number(1048576) == "1,048,576"
+
+    def test_floats_use_precision(self):
+        assert format_number(0.54373, precision=3) == "0.544"
+
+    def test_integral_floats_render_as_ints(self):
+        assert format_number(5.0) == "5"
+
+    def test_strings_pass_through(self):
+        assert format_number("EDN(8,4,2,3)") == "EDN(8,4,2,3)"
+
+    def test_bools_not_treated_as_ints(self):
+        assert format_number(True) == "True"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["n", "PA"], [[8, 0.75], [64, 0.5437]])
+        lines = text.splitlines()
+        assert lines[0].startswith("n")
+        # Columns line up: every "PA"-column cell starts at the same offset.
+        offset = lines[0].index("PA")
+        assert lines[2][offset:].startswith("0.7500")
+        assert lines[3][offset:].startswith("0.5437")
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Costs")
+        assert text.splitlines()[0] == "Costs"
+        assert text.splitlines()[1] == "====="
+
+    def test_empty_rows(self):
+        text = format_table(["col1", "col2"], [])
+        assert "col1" in text
+
+    def test_column_count_preserved(self):
+        text = format_table(["x", "y", "z"], [[1, 2, 3]])
+        header = text.splitlines()[0]
+        assert header.split() == ["x", "y", "z"]
