@@ -1,0 +1,118 @@
+"""Perf smoke harness: batched vs per-cycle Monte-Carlo wall-clock.
+
+Times ``measure_acceptance`` over the same workload through the per-cycle
+engine (:class:`~repro.sim.vectorized.VectorizedEDN`, ``batch=1``) and the
+batched engine (:class:`~repro.sim.batched.BatchedEDN`, auto chunking) at
+``N`` in {1024, 4096, 16384} (the ``EDN(16,4,4,l)`` family for
+``l`` in {4, 5, 6}), then writes ``BENCH_batched_routing.json`` at the
+repository root so later PRs can track the perf trajectory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Exits non-zero if the N=4096 point falls below the 5x speedup floor this
+optimization was merged under (the recorded acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import EDNParams
+from repro.sim.batched import BatchedEDN
+from repro.sim.montecarlo import measure_acceptance
+from repro.sim.traffic import UniformTraffic
+from repro.sim.vectorized import VectorizedEDN
+
+#: EDN(16,4,4,l) has (16/4)^l * 4 inputs: l = 4, 5, 6 -> 1K, 4K, 16K.
+SIZES = {1_024: 4, 4_096: 5, 16_384: 6}
+CYCLES = 200
+SEED = 0
+REPEATS = 3
+SPEEDUP_FLOOR = 5.0  # acceptance criterion, enforced at N = 4096
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batched_routing.json"
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(output: Path = OUTPUT) -> dict:
+    results = []
+    for n_inputs, stages in SIZES.items():
+        params = EDNParams(16, 4, 4, stages)
+        assert params.num_inputs == n_inputs
+        traffic = UniformTraffic(n_inputs, n_inputs, 1.0)
+        per_cycle_s, per_cycle = _best_of(
+            REPEATS,
+            lambda: measure_acceptance(
+                VectorizedEDN(params), traffic, cycles=CYCLES, seed=SEED, batch=1
+            ),
+        )
+        batched_engine = BatchedEDN(params)
+        batched_s, batched = _best_of(
+            REPEATS,
+            lambda: measure_acceptance(
+                batched_engine, traffic, cycles=CYCLES, seed=SEED
+            ),
+        )
+        entry = {
+            "network": str(params),
+            "n_inputs": n_inputs,
+            "cycles": CYCLES,
+            "per_cycle_seconds": round(per_cycle_s, 4),
+            "batched_seconds": round(batched_s, 4),
+            "speedup": round(per_cycle_s / batched_s, 2),
+            "chunk": batched_engine.preferred_batch(),
+            "pa_per_cycle": round(per_cycle.point, 6),
+            "pa_batched": round(batched.point, 6),
+        }
+        results.append(entry)
+        print(
+            f"N={n_inputs:>6}: per-cycle {per_cycle_s:.3f}s  "
+            f"batched {batched_s:.3f}s  speedup {entry['speedup']:.1f}x"
+        )
+
+    report = {
+        "benchmark": "batched_routing",
+        "workload": f"measure_acceptance, uniform traffic r=1.0, {CYCLES} cycles, seed {SEED}",
+        "engines": {
+            "per_cycle": "VectorizedEDN via measure_acceptance(batch=1)",
+            "batched": "BatchedEDN via measure_acceptance(batch=auto)",
+        },
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
+def main() -> int:
+    report = run()
+    at_4096 = next(r for r in report["results"] if r["n_inputs"] == 4_096)
+    if at_4096["speedup"] < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: N=4096 speedup {at_4096['speedup']:.1f}x "
+            f"below the {SPEEDUP_FLOOR:.0f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

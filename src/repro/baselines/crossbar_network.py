@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.analysis import crossbar_acceptance
 from repro.core.exceptions import ConfigurationError, LabelError
+from repro.sim.batched import validate_demand_matrix
 
 __all__ = ["CrossbarNetwork", "CrossbarCycleResult"]
 
@@ -27,10 +28,26 @@ IDLE = -1
 
 @dataclass
 class CrossbarCycleResult:
-    """Outcome arrays matching the vectorized-EDN result protocol."""
+    """Outcome arrays matching the vectorized-EDN result protocol.
+
+    Holds one cycle (1-D arrays, from :meth:`CrossbarNetwork.route`) or a
+    whole batch (2-D ``(batch, n)`` arrays, from
+    :meth:`CrossbarNetwork.route_batch`); the aggregate counters sum over
+    whatever is held.
+    """
 
     output: np.ndarray
     blocked_stage: np.ndarray  # 0 delivered, 1 blocked at the (only) stage, -1 idle
+
+    @property
+    def offered_per_cycle(self) -> np.ndarray:
+        """Requests offered per cycle (batched results only)."""
+        return (self.blocked_stage != IDLE).sum(axis=-1)
+
+    @property
+    def delivered_per_cycle(self) -> np.ndarray:
+        """Requests delivered per cycle (batched results only)."""
+        return (self.blocked_stage == 0).sum(axis=-1)
 
     @property
     def num_offered(self) -> int:
@@ -109,6 +126,52 @@ class CrossbarNetwork:
             blocked_stage[winners] = 0
             blocked_stage[losers] = 1
         return CrossbarCycleResult(output=output, blocked_stage=blocked_stage)
+
+    def route_batch(
+        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> CrossbarCycleResult:
+        """Route a ``(batch, n_inputs)`` demand matrix of independent cycles.
+
+        Returns a :class:`CrossbarCycleResult` whose arrays are
+        ``(batch, n_inputs)``-shaped, matching the
+        :class:`~repro.sim.batched.BatchedEDN` result protocol (including
+        ``offered_per_cycle`` / ``delivered_per_cycle``).  Cycle ``i``
+        resolves exactly like ``route(dests[i])``: the output index is
+        folded into the contention key with a per-cycle offset, so one
+        sort settles every cycle's output contention at once.
+        """
+        dests, flat, live = validate_demand_matrix(
+            dests, self.n_inputs, self.n_outputs
+        )
+        batch, n = dests.shape
+        if self.priority == "random" and rng is None:
+            raise ConfigurationError("random priority requires an explicit numpy Generator")
+
+        output = np.full(batch * n, IDLE, dtype=np.int64)
+        blocked_stage = np.full(batch * n, IDLE, dtype=np.int64)
+        idx = np.flatnonzero(live)
+        if idx.size:
+            key = (idx // n) * self.n_outputs + flat[idx]
+            if self.priority == "label":
+                # Live entries are already in (cycle, input-label) order, so
+                # a stable sort on the composite key alone realizes label
+                # priority within every (cycle, output) group.
+                order = np.argsort(key, kind="stable")
+            else:
+                order = np.lexsort((rng.permutation(idx.size), key))
+            sorted_key = key[order]
+            first = np.empty(idx.size, dtype=bool)
+            first[0] = True
+            np.not_equal(sorted_key[1:], sorted_key[:-1], out=first[1:])
+            winners = idx[order[first]]
+            losers = idx[order[~first]]
+            output[winners] = flat[winners]
+            blocked_stage[winners] = 0
+            blocked_stage[losers] = 1
+        return CrossbarCycleResult(
+            output=output.reshape(batch, n),
+            blocked_stage=blocked_stage.reshape(batch, n),
+        )
 
     def analytic_acceptance(self, r: float) -> float:
         """``PA(r)`` for the square case (requires ``n_inputs == n_outputs``)."""

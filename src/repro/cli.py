@@ -44,12 +44,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulate", type=int, metavar="CYCLES", default=0,
         help="also Monte-Carlo measure over CYCLES cycles",
     )
+    pa.add_argument(
+        "--batch", type=int, default=None, metavar="CYCLES",
+        help="cycles routed per batched chunk (default: auto; 1 = per-cycle engine)",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate paper figures")
     experiment.add_argument("ids", nargs="*", help="experiment IDs (empty = all)")
     experiment.add_argument("--list", action="store_true", help="list available IDs")
+    experiment.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="fan Monte-Carlo grids out over N processes (default: 1)",
+    )
+    experiment.add_argument(
+        "--batch", type=int, default=None, metavar="CYCLES",
+        help="cycles per batched-routing chunk for Monte-Carlo experiments",
+    )
 
-    sub.add_parser("maspar", help="Section 5: MasPar MP-1 drain model + simulation")
+    maspar = sub.add_parser("maspar", help="Section 5: MasPar MP-1 drain model + simulation")
+    maspar.add_argument(
+        "--runs", type=int, default=3, help="random permutations to drain (default 3)"
+    )
+    maspar.add_argument(
+        "--batch", type=int, default=None, metavar="RUNS",
+        help="drain RUNS permutations side-by-side on the batched engine",
+    )
 
     mimd = sub.add_parser("mimd", help="Section 4: resubmission Markov analysis")
     for name in ("a", "b", "c", "l"):
@@ -85,15 +104,16 @@ def _cmd_pa(args: argparse.Namespace) -> int:
     print(f"{params}: PA({args.rate:g}) = {acceptance_probability(params, args.rate):.6f}  "
           f"PAp({args.rate:g}) = {permutation_acceptance(params, args.rate):.6f}")
     if args.simulate:
+        from repro.sim.batched import BatchedEDN
         from repro.sim.montecarlo import measure_acceptance
         from repro.sim.traffic import UniformTraffic
-        from repro.sim.vectorized import VectorizedEDN
 
         measurement = measure_acceptance(
-            VectorizedEDN(params),
+            BatchedEDN(params),
             UniformTraffic(params.num_inputs, params.num_outputs, args.rate),
             cycles=args.simulate,
             seed=0,
+            batch=args.batch,
         )
         print(f"simulated over {args.simulate} cycles: {measurement.acceptance}")
     return 0
@@ -110,16 +130,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment id(s): {unknown}; try --list", file=sys.stderr)
         return 2
-    run_all(args.ids or None)
+    run_all(args.ids or None, jobs=args.jobs, batch=args.batch)
     return 0
 
 
-def _cmd_maspar(_args: argparse.Namespace) -> int:
+def _cmd_maspar(args: argparse.Namespace) -> int:
     from repro.experiments.sec5_raedn import run, run_simulation
 
     print(run().render())
     print()
-    print(run_simulation(runs=3, seed=42).render())
+    print(run_simulation(runs=args.runs, seed=42, drain_batch=args.batch).render())
     return 0
 
 

@@ -7,5 +7,6 @@ carrying the same series/rows the paper reports.
 """
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import ParallelSweep
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "ParallelSweep"]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.analysis import acceptance_probability
 from repro.core.config import EDNParams, family_members
 from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import ParallelSweep
 from repro.mimd.markov import edn_resubmission
 from repro.mimd.system import MIMDSystem
 
@@ -67,6 +68,29 @@ def run(*, rate: float = 0.5, max_inputs: int = DEFAULT_MAX_INPUTS) -> Experimen
     return result
 
 
+def _mimd_row(task, _seed_key) -> list[object]:
+    """One network's model-vs-simulation row (ParallelSweep worker).
+
+    The MIMD simulator's cycle loop is stateful (resubmission couples
+    cycles), so each network keeps its historical integer seed; the sweep
+    only fans the *networks* out across processes.
+    """
+    cfg, rate, cycles, warmup, seed = task
+    params = EDNParams(*cfg)
+    solution = edn_resubmission(params, rate)
+    system = MIMDSystem(params, rate, policy="resubmit", redraw_on_retry=True)
+    metrics = system.run(cycles=cycles, warmup=warmup, seed=seed)
+    return [
+        str(params),
+        solution.pa_resubmit,
+        metrics.acceptance.point,
+        solution.q_active,
+        metrics.utilization.point,
+        solution.effective_rate,
+        metrics.offered_rate,
+    ]
+
+
 def run_simulation_validation(
     *,
     rate: float = 0.5,
@@ -74,29 +98,15 @@ def run_simulation_validation(
     cycles: int = 1500,
     warmup: int = 300,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
     """MIMD cycle simulation vs the Markov model on selected networks."""
     result = ExperimentResult(
         experiment_id="fig11_sim",
         title=f"MIMD simulator vs Markov resubmission model (r={rate:g})",
     )
-    rows = []
-    for cfg in configs:
-        params = EDNParams(*cfg)
-        solution = edn_resubmission(params, rate)
-        system = MIMDSystem(params, rate, policy="resubmit", redraw_on_retry=True)
-        metrics = system.run(cycles=cycles, warmup=warmup, seed=seed)
-        rows.append(
-            [
-                str(params),
-                solution.pa_resubmit,
-                metrics.acceptance.point,
-                solution.q_active,
-                metrics.utilization.point,
-                solution.effective_rate,
-                metrics.offered_rate,
-            ]
-        )
+    tasks = [(cfg, rate, cycles, warmup, seed) for cfg in configs]
+    rows = ParallelSweep(jobs).map_seeded(_mimd_row, tasks, seed)
     result.tables["model vs simulation"] = (
         [
             "network",

@@ -20,9 +20,10 @@ from __future__ import annotations
 from repro.baselines.crossbar_network import CrossbarNetwork
 from repro.core.config import EDNParams
 from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import ParallelSweep
+from repro.sim.batched import BatchedEDN
 from repro.sim.montecarlo import measure_acceptance
 from repro.sim.traffic import HotspotTraffic
-from repro.sim.vectorized import VectorizedEDN
 
 __all__ = ["LADDER", "run"]
 
@@ -36,34 +37,54 @@ LADDER = (
 SIZE = 256
 
 
+def _nuts_cell(task, seed_key) -> float:
+    """One (router, hot fraction) grid cell (ParallelSweep worker)."""
+    shape, hot, rate, cycles, batch = task
+    router = BatchedEDN(EDNParams(*shape)) if shape else CrossbarNetwork(SIZE)
+    traffic = HotspotTraffic(SIZE, SIZE, rate=rate, hot_fraction=hot)
+    return measure_acceptance(
+        router, traffic, cycles=cycles, seed=seed_key, batch=batch
+    ).point
+
+
 def run(
     *,
     hot_fractions: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2),
     rate: float = 1.0,
     cycles: int = 60,
     seed: int = 0,
+    batch: int | None = None,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
-    """Measure acceptance vs hot-spot fraction on the 256-terminal ladder."""
-    routers: list[tuple[str, object]] = []
+    """Measure acceptance vs hot-spot fraction on the 256-terminal ladder.
+
+    The (network x hot fraction) grid fans out over ``jobs`` processes;
+    every cell routes batched chunks of ``batch`` cycles under its own
+    positionally spawned child of ``seed``, so the table is identical at
+    any job count.
+    """
+    labels = []
     for label, params in LADDER:
         if params.num_inputs != SIZE or params.num_outputs != SIZE:
             raise AssertionError(f"ladder member {params} is not {SIZE}x{SIZE}")
-        routers.append((label, VectorizedEDN(params)))
-    routers.append((f"crossbar {SIZE}", CrossbarNetwork(SIZE)))
+        labels.append((label, (params.a, params.b, params.c, params.l)))
+    labels.append((f"crossbar {SIZE}", None))
 
     result = ExperimentResult(
         experiment_id="nuts",
         title="Hot-spot (NUTS) degradation vs path multiplicity, 256-terminal networks",
     )
+    tasks = [
+        (shape, hot, rate, cycles, batch)
+        for _label, shape in labels
+        for hot in hot_fractions
+    ]
+    points = ParallelSweep(jobs).map_seeded(_nuts_cell, tasks, seed)
     rows = []
-    for label, router in routers:
-        points = []
-        for hot in hot_fractions:
-            traffic = HotspotTraffic(SIZE, SIZE, rate=rate, hot_fraction=hot)
-            measured = measure_acceptance(router, traffic, cycles=cycles, seed=seed)
-            points.append((hot, measured.point))
-        result.series[label] = points
-        rows.append([label] + [pa for _, pa in points])
+    for row_index, (label, _shape) in enumerate(labels):
+        cells = points[row_index * len(hot_fractions) : (row_index + 1) * len(hot_fractions)]
+        result.series[label] = list(zip(hot_fractions, cells))
+        rows.append([label] + list(cells))
     result.tables["PA vs hot fraction"] = (
         ["network"] + [f"hot={h:g}" for h in hot_fractions],
         rows,

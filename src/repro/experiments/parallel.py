@@ -1,0 +1,87 @@
+"""Deterministic multiprocessing fan-out for experiment grids.
+
+The paper's figures are grids of independent Monte-Carlo points (family
+member x size, network x hot fraction, ...).  :class:`ParallelSweep` maps a
+worker over such a grid across processes while keeping results exactly
+reproducible:
+
+* child seeds are spawned *positionally* from the master seed
+  (``SeedSequence(seed).spawn(n)[i]`` for item ``i`` — see
+  :mod:`repro.sim.rng`), so item ``i`` sees the same stream regardless of
+  job count, scheduling order, or whether multiprocessing is used at all;
+* results are returned in item order.
+
+Workers must be module-level callables (picklability is what the fork/
+spawn boundary requires); ``jobs=1`` short-circuits to an in-process loop,
+which is also the fallback wherever a pool cannot be created.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from typing import Optional
+
+from repro.sim.rng import SeedLike, spawn_keys
+
+__all__ = ["ParallelSweep"]
+
+
+def _call_seeded(payload):
+    """Top-level pool target: unpack ``(fn, item, seed_key)`` and call."""
+    fn, item, key = payload
+    return fn(item, key)
+
+
+def _call_plain(payload):
+    """Top-level pool target: unpack ``(fn, item)`` and call."""
+    fn, item = payload
+    return fn(item)
+
+
+class ParallelSweep:
+    """Map experiment workers over a grid, optionally across processes.
+
+    ``jobs=None`` uses every available core; ``jobs=1`` runs inline (no
+    pool, no pickling — the default for tests and small grids).
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def resolved_jobs(self, n_items: int) -> int:
+        """Worker processes that would actually be used for ``n_items``."""
+        limit = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        return max(1, min(limit, n_items))
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """``[fn(item) for item in items]``, fanned out across processes."""
+        return self._run(_call_plain, [(fn, item) for item in items])
+
+    def map_seeded(self, fn: Callable, items: Sequence, seed: SeedLike) -> list:
+        """``[fn(item, child_seed_i) for i, item in enumerate(items)]``.
+
+        Child seeds are spawned positionally from ``seed``; pass each to
+        :func:`repro.sim.rng.make_rng` (or on to a ``seed=`` parameter)
+        inside the worker.
+        """
+        keys = spawn_keys(seed, len(items))
+        return self._run(
+            _call_seeded, [(fn, item, key) for item, key in zip(items, keys)]
+        )
+
+    def _run(self, target: Callable, payloads: list) -> list:
+        jobs = self.resolved_jobs(len(payloads))
+        if jobs == 1 or len(payloads) <= 1:
+            return [target(payload) for payload in payloads]
+        # fork shares the loaded numpy/scipy state with zero import cost;
+        # fall back to the platform default where fork is unavailable.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(target, payloads, chunksize=1)

@@ -4,11 +4,19 @@ One entry per row of DESIGN.md's experiment index.  ``run_experiment``
 executes by ID with default budgets; ``main`` (also the
 ``python -m repro.experiments.registry`` entry point) runs everything and
 prints the reports — the closest thing to "regenerate all figures".
+
+Runners that support them accept ``jobs`` (ParallelSweep process fan-out)
+and ``batch`` (cycles per batched-routing chunk); ``run_experiment``
+forwards whichever of these each runner's signature declares, so the CLI's
+``--jobs``/``--batch`` apply wherever they are meaningful and are ignored
+where they are not.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import inspect
+from functools import partial
+from typing import Callable, Optional
 
 from repro.experiments import (
     ablations,
@@ -28,14 +36,14 @@ from repro.experiments.base import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
-EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig2": fig2_hyperbar.run,
     "fig4": fig4_topology.run,
     "fig5_6": fig6_identity.run,
-    "fig7": lambda: fig7_families.run(8),
-    "fig8": lambda: fig7_families.run(16),
-    "fig7_mc": lambda: fig7_families.run_montecarlo_validation(8),
-    "fig8_mc": lambda: fig7_families.run_montecarlo_validation(16),
+    "fig7": partial(fig7_families.run, 8),
+    "fig8": partial(fig7_families.run, 16),
+    "fig7_mc": partial(fig7_families.run_montecarlo_validation, 8),
+    "fig8_mc": partial(fig7_families.run_montecarlo_validation, 16),
     "fig11": fig11_resubmission.run,
     "fig11_sim": fig11_resubmission.run_simulation_validation,
     "sec5_example": sec5_raedn.run,
@@ -54,21 +62,48 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by its DESIGN.md ID."""
+def _supported_overrides(runner: Callable, **overrides) -> dict:
+    """The subset of non-None ``overrides`` the runner's signature accepts."""
+    parameters = inspect.signature(runner).parameters
+    accepts_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    return {
+        name: value
+        for name, value in overrides.items()
+        if value is not None and (accepts_kwargs or name in parameters)
+    }
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment by its DESIGN.md ID.
+
+    ``jobs`` and ``batch`` are forwarded to runners that declare them
+    (Monte-Carlo grids); analytic experiments silently ignore them.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner()
+    return runner(**_supported_overrides(runner, jobs=jobs, batch=batch))
 
 
-def main(ids: list[str] | None = None) -> None:
+def main(
+    ids: list[str] | None = None,
+    *,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
+) -> None:
     """Run the requested (default: all) experiments and print their reports."""
     for experiment_id in ids if ids is not None else sorted(EXPERIMENTS):
-        result = run_experiment(experiment_id)
+        result = run_experiment(experiment_id, jobs=jobs, batch=batch)
         print(result.render())
         print()
         print("-" * 78)

@@ -28,20 +28,20 @@ FAMILY_SIZES = (1_024, 16_384, 262_144)
 
 
 def run() -> ExperimentResult:
-    """Scale the MP-1 router family and tabulate performance + cost."""
+    """Scale the MP-1 router family and tabulate performance + cost.
+
+    Purely analytic (three closed-form rows), so it takes no ``jobs``
+    fan-out — process setup would cost more than the work.
+    """
     result = ExperimentResult(
         experiment_id="scaling",
         title="MasPar router family scaling: RA-EDN(16,4,l,16) for l = 1..3",
     )
     rows = []
-    pa_points = []
-    time_points = []
     for n_pes in FAMILY_SIZES:
         system = maspar_family(n_pes)
         params = system.network_params
         model = expected_permutation_time(system)
-        pa_points.append((float(n_pes), model.pa_full_load))
-        time_points.append((float(n_pes), model.expected_cycles))
         rows.append(
             [
                 str(system),
@@ -54,8 +54,8 @@ def run() -> ExperimentResult:
                 wire_cost(params),
             ]
         )
-    result.series["PA(1)"] = pa_points
-    result.series["expected drain cycles"] = time_points
+    result.series["PA(1)"] = [(float(row[1]), row[3]) for row in rows]
+    result.series["expected drain cycles"] = [(float(row[1]), row[4]) for row in rows]
     result.tables["family scaling"] = (
         [
             "system",

@@ -57,13 +57,26 @@ def run(system: RAEDNSystem | None = None) -> ExperimentResult:
 
 
 def run_simulation(
-    system: RAEDNSystem | None = None, *, runs: int = 5, seed: int = 42
+    system: RAEDNSystem | None = None,
+    *,
+    runs: int = 5,
+    seed: int = 42,
+    drain_batch: int | None = None,
 ) -> ExperimentResult:
-    """Drain random permutations on the cycle simulator vs the model."""
+    """Drain random permutations on the cycle simulator vs the model.
+
+    ``drain_batch`` > 1 drains that many permutations side by side on the
+    batched engine (see :meth:`~repro.simd.simulator.RAEDNSimulator.measure`);
+    the default keeps the historical one-at-a-time path.  (Deliberately
+    *not* named ``batch``: the registry's ``--batch`` override means
+    cycles-per-chunk for Monte-Carlo acceptance grids, which is a
+    different knob — side-by-side draining changes the RNG layout and
+    belongs to ``repro maspar --batch``.)
+    """
     if system is None:
         system = maspar_mp1()
     model = expected_permutation_time(system)
-    stats = RAEDNSimulator(system).measure(runs=runs, seed=seed)
+    stats = RAEDNSimulator(system).measure(runs=runs, seed=seed, batch=drain_batch)
     result = ExperimentResult(
         experiment_id="sec5_sim",
         title=f"Section 5 simulation: {system} drains a random permutation",

@@ -4,18 +4,46 @@
 * :mod:`repro.sim.rng` — reproducible independent random streams;
 * :mod:`repro.sim.stats` — online statistics and confidence intervals;
 * :mod:`repro.sim.traffic` — workload generators (uniform, permutation,
-  hot-spot/NUTS, structured patterns);
-* :mod:`repro.sim.vectorized` — numpy EDN router for large networks;
-* :mod:`repro.sim.montecarlo` — acceptance-probability measurement.
+  hot-spot/NUTS, structured patterns), single-cycle or batched;
+* :mod:`repro.sim.vectorized` — numpy EDN router, one cycle per call;
+* :mod:`repro.sim.batched` — numpy EDN router over ``(batch, N)`` demand
+  matrices: many independent cycles per call, bit-identical per message to
+  the single-cycle engine;
+* :mod:`repro.sim.montecarlo` — acceptance-probability measurement,
+  routed in batched chunks wherever the router supports it.
+
+Batched-engine semantics
+------------------------
+``BatchedEDN.route_batch`` treats each row of a ``(batch, N)`` demand
+matrix as one independent network cycle (the paper's assumption 3: blocked
+requests do not couple cycles), so a Monte-Carlo estimate over ``k``
+cycles is one or a few engine calls instead of ``k``.  Under the default
+label priority contention is resolved sort-free from packed per-bucket
+occupancy counters; under random priority the cycle index is folded into
+the contention sort key so one batch-wide argsort resolves every cycle.
+Per-message outcomes equal ``VectorizedEDN.route`` row for row.
+
+Measured wall-clock per Monte-Carlo point (uniform traffic at full load,
+200 cycles, ``EDN(16,4,4,l)``, recorded by ``benchmarks/perf_smoke.py``
+into ``BENCH_batched_routing.json``):
+
+===========  ==============  ============  ========
+``N``        per-cycle path  batched path  speedup
+===========  ==============  ============  ========
+1,024        0.122 s         0.014 s       8.8x
+4,096        0.409 s         0.063 s       6.5x
+16,384       1.730 s         0.332 s       5.2x
+===========  ==============  ============  ========
 """
 
+from repro.sim.batched import BatchAcceptanceCounts, BatchCycleResult, BatchedEDN
 from repro.sim.engine import CycleDriver, EventHandle, Simulator
 from repro.sim.montecarlo import (
     AcceptanceMeasurement,
     ReferenceRouterAdapter,
     measure_acceptance,
 )
-from repro.sim.rng import make_rng, spawn, stream_for
+from repro.sim.rng import make_rng, spawn, spawn_keys, stream_for
 from repro.sim.stats import (
     Interval,
     RatioStats,
@@ -40,7 +68,11 @@ __all__ = [
     "CycleDriver",
     "make_rng",
     "spawn",
+    "spawn_keys",
     "stream_for",
+    "BatchedEDN",
+    "BatchCycleResult",
+    "BatchAcceptanceCounts",
     "RunningStats",
     "RatioStats",
     "Interval",

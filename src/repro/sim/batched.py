@@ -1,0 +1,681 @@
+"""Batched (multi-cycle) EDN routing engine.
+
+:class:`~repro.sim.vectorized.VectorizedEDN` removes the per-*wire* Python
+loop; this module removes the per-*cycle* one.  A Monte-Carlo estimate
+needs thousands of independent routed cycles, and driving ``route`` from a
+Python loop leaves interpreter overhead, numpy dispatch, and many small
+sorts — not array math — dominating wall-clock time.  :class:`BatchedEDN`
+routes a whole ``(batch, N)`` demand matrix in one pass of array
+operations per stage.
+
+Two resolution strategies implement identical semantics:
+
+* **label priority** (the paper's default) is resolved *densely and
+  sort-free*: the frontier is kept as per-wire arrays of shape
+  ``(batch, wires)``, and the rank of each request within its
+  ``(cycle, switch, bucket)`` contention group — which under label
+  priority is just the count of lower-labelled same-bucket requests on the
+  same switch — falls out of a cumulative sum of bucket one-hots along the
+  switch axis.  All arrays use narrow dtypes (``int32`` frontier, ``int8``
+  counters), so a whole chunk of cycles costs a few streaming passes.
+* **random priority** folds the batch (cycle) index into the contention
+  sort key with per-batch offsets, so the single-cycle engine's
+  grouped-rank trick works unchanged across cycles in one big ``argsort``.
+
+Semantics are *bit-identical* to :class:`VectorizedEDN` per message: for
+every cycle ``i`` of the batch, ``route_batch(dests)[i]`` equals
+``VectorizedEDN.route(dests[i])`` under label priority, and under random
+priority too when each cycle is given its own generator (pass a sequence
+of per-cycle generators; the engine then draws each cycle's tie-break keys
+from its own stream exactly as the single-cycle engine would).  The
+cross-engine equivalence test pins this on randomized batches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, LabelError
+from repro.core.labels import ilog2
+from repro.sim.vectorized import IDLE, VectorCycleResult, VectorizedEDN
+
+__all__ = [
+    "BatchedEDN",
+    "BatchCycleResult",
+    "BatchAcceptanceCounts",
+    "validate_demand_matrix",
+]
+
+#: Random-priority streams: one generator for the whole batch, or one per cycle.
+BatchRng = Union[np.random.Generator, Sequence[np.random.Generator], None]
+
+
+def validate_demand_matrix(
+    dests: np.ndarray, n_inputs: int, n_outputs: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate a ``(batch, n_inputs)`` demand matrix for batched routing.
+
+    Shared by every batched router (:class:`BatchedEDN` and the batched
+    crossbar baseline) so the accepted input contract cannot drift between
+    engines.  Returns ``(dests, flat, live0)``: the matrix as contiguous
+    ``int64``, its flat view, and the flat liveness mask.
+    """
+    dests = np.ascontiguousarray(dests, dtype=np.int64)
+    if dests.ndim != 2 or dests.shape[1] != n_inputs:
+        raise LabelError(
+            f"expected demand matrix of shape (batch, {n_inputs}), "
+            f"got {dests.shape}"
+        )
+    flat = dests.reshape(-1)
+    live0 = flat != IDLE
+    if live0.any():
+        lo, hi = int(flat[live0].min()), int(flat[live0].max())
+        if lo < 0 or hi >= n_outputs:
+            raise LabelError("demand matrix contains out-of-range destinations")
+    return dests, flat, live0
+
+
+@dataclass
+class BatchCycleResult:
+    """Per-input outcome arrays for a batch of independent cycles.
+
+    ``output[i, s]`` is the output terminal reached by source ``s`` in
+    cycle ``i`` (``-1`` if idle/blocked); ``blocked_stage[i, s]`` is ``0``
+    for delivered messages, the 1-indexed blocking stage otherwise, and
+    ``-1`` for idle inputs — exactly the per-cycle convention of
+    :class:`~repro.sim.vectorized.VectorCycleResult`, stacked.
+    """
+
+    output: np.ndarray
+    blocked_stage: np.ndarray
+
+    @property
+    def num_cycles(self) -> int:
+        return self.blocked_stage.shape[0]
+
+    @property
+    def offered_per_cycle(self) -> np.ndarray:
+        """Requests offered in each cycle (``int64[batch]``)."""
+        return (self.blocked_stage != IDLE).sum(axis=1)
+
+    @property
+    def delivered_per_cycle(self) -> np.ndarray:
+        """Requests delivered in each cycle (``int64[batch]``)."""
+        return (self.blocked_stage == 0).sum(axis=1)
+
+    @property
+    def num_offered(self) -> int:
+        return int((self.blocked_stage != IDLE).sum())
+
+    @property
+    def num_delivered(self) -> int:
+        return int((self.blocked_stage == 0).sum())
+
+    @property
+    def acceptance_ratio(self) -> float:
+        offered = self.num_offered
+        return 1.0 if offered == 0 else self.num_delivered / offered
+
+    def blocked_stage_histogram(self) -> dict[int, int]:
+        """Stage index -> number of requests discarded there, over all cycles."""
+        # Stage values are small non-negative ints (after shifting the -1
+        # idle marker), so a bincount beats np.unique's sort handily.
+        counts = np.bincount((self.blocked_stage + 1).reshape(-1))
+        return {
+            stage: int(count)
+            for stage, count in enumerate(counts[2:], start=1)
+            if count
+        }
+
+    def cycle(self, i: int) -> VectorCycleResult:
+        """The ``i``-th cycle's outcome as a single-cycle result."""
+        return VectorCycleResult(
+            output=self.output[i], blocked_stage=self.blocked_stage[i]
+        )
+
+
+@dataclass
+class BatchAcceptanceCounts:
+    """Acceptance counters for a batch of cycles, without per-message detail.
+
+    Produced by :meth:`BatchedEDN.route_batch_counts` — everything the
+    Monte-Carlo acceptance harness consumes, at a fraction of the cost of
+    materializing per-message outcome arrays.
+    """
+
+    offered_per_cycle: np.ndarray
+    delivered_per_cycle: np.ndarray
+    blocked_by_stage: dict[int, int]
+
+
+class BatchedEDN(VectorizedEDN):
+    """Array-based ``EDN(a, b, c, l)`` router over batches of cycles.
+
+    Construction mirrors :class:`~repro.sim.vectorized.VectorizedEDN`
+    (whose single-cycle ``route`` it inherits); :meth:`route_batch` routes
+    many independent cycles at once.
+
+    >>> import numpy as np
+    >>> from repro.core.config import EDNParams
+    >>> net = BatchedEDN(EDNParams(16, 4, 4, 2))
+    >>> res = net.route_batch(np.tile(np.arange(64), (3, 1)))
+    >>> res.output.shape
+    (3, 64)
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._gamma_tables: dict = {}
+        self._swbase: dict = {}
+        self._scratch: dict = {}
+
+    def _gamma_table(self, stage: int, dtype) -> np.ndarray:
+        """Cached lookup table of the interstage gamma after ``stage``.
+
+        The gamma is a fixed permutation of the stage's wire labels;
+        gathering through a precomputed table replaces the ~8 elementwise
+        ops of :meth:`VectorizedEDN._gamma_vec` per batch with one.
+        """
+        n_bits = ilog2(self.params.wires_after_stage(stage))
+        key = (n_bits, np.dtype(dtype).str)
+        table = self._gamma_tables.get(key)
+        if table is None:
+            table = self._gamma_vec(
+                np.arange(1 << n_bits, dtype=dtype), n_bits
+            ).astype(dtype)
+            self._gamma_tables[key] = table
+        return table
+
+    def preferred_batch(self) -> int:
+        """Cycles per chunk that keep a stage's working set cache-resident.
+
+        The dense kernels stream ~10 arrays of ``batch * wires`` entries
+        per stage; beyond the L2 cache the scatters dominate, so large
+        networks want *smaller* chunks.  Measured sweet spot: about
+        ``2**17`` frontier entries per chunk, at least 16 cycles.
+        """
+        return max(16, min(64, (1 << 17) // self.params.num_inputs))
+
+    def route_batch(self, dests: np.ndarray, rng: BatchRng = None) -> BatchCycleResult:
+        """Route ``batch`` independent cycles (``dests[i, s]`` = output or ``-1``).
+
+        ``rng`` is only consumed under ``random`` priority.  A single
+        generator draws the tie-break keys for the whole batch (the fast
+        path); a sequence of ``batch`` generators draws each cycle's keys
+        from its own stream, reproducing ``VectorizedEDN.route(dests[i],
+        rng_i)`` bit for bit (used by equivalence tests).
+        """
+        p = self.params
+        dests, flat, live0 = validate_demand_matrix(
+            dests, p.num_inputs, p.num_outputs
+        )
+        batch, n = dests.shape
+
+        if self.priority == "label":
+            output, blocked_stage = self._route_batch_dense(flat, live0, batch)
+        else:
+            output, blocked_stage = self._route_batch_sparse(flat, live0, batch, rng)
+        return BatchCycleResult(
+            output=output.reshape(batch, n),
+            blocked_stage=blocked_stage.reshape(batch, n),
+        )
+
+    # ------------------------------------------------------------------
+    # Dense, sort-free path (label priority)
+    # ------------------------------------------------------------------
+
+    #: Bits per packed bucket counter; holds counts up to a = 64 wires.
+    _LANE_BITS = 8
+    _LANE_MASK = (1 << _LANE_BITS) - 1
+
+    def _scratch_array(self, name: str, size: int, dtype) -> np.ndarray:
+        """A reusable uninitialized work buffer, keyed by role, size, dtype.
+
+        Chunked Monte-Carlo runs call the dense kernels thousands of times
+        with identical shapes; recycling the stage buffers (instead of
+        allocating ~10 arrays per stage) removes most allocator traffic
+        from the hot loop.  Contents are never assumed to survive between
+        stages.
+        """
+        key = (name, size, np.dtype(dtype).char)
+        arr = self._scratch.get(key)
+        if arr is None:
+            arr = np.empty(size, dtype=dtype)
+            self._scratch[key] = arr
+        return arr
+
+    def _switch_base(self, width: int, dtype) -> np.ndarray:
+        """Per-wire ``switch * b * c - 1`` row for one stage width (cached).
+
+        The ``- 1`` pre-folds the conversion of inclusive ranks to 0-based
+        bucket wire offsets, so the bucket-wire computation in the counts
+        kernel is two adds.
+        """
+        p = self.params
+        key = (width, np.dtype(dtype).char)
+        row = self._swbase.get(key)
+        if row is None:
+            switch = np.arange(width, dtype=dtype) >> ilog2(p.a)
+            row = (switch << ilog2(p.b * p.c)) - 1
+            self._swbase[key] = row
+        return row
+
+    def _dense_rank(
+        self,
+        dest: np.ndarray,
+        live: np.ndarray,
+        fan_in: int,
+        digit_bits: int,
+        shift: int,
+        capacity: int,
+    ) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Dense in-bucket ranking for one stage (the sort-free core).
+
+        ``dest`` holds the flat per-wire frontier of one stage (``fan_in``
+        wires per switch, ``-1`` marking dead wires, ``live`` its
+        precomputed liveness); each live wire requests bucket ``(dest >>
+        shift) & (2**digit_bits - 1)`` of its switch, and the first
+        ``capacity`` requests per bucket in wire-label order win.
+        ``digit_bits == 0`` degenerates to a single bucket per switch.
+
+        All buckets of a switch are counted at once: each wire contributes
+        ``1`` to an 8-bit lane selected by its bucket digit inside one
+        packed integer, an inclusive prefix sum along the switch's
+        ``fan_in`` wires accumulates every bucket's running occupancy
+        simultaneously, and shifting the wire's own lane back out yields
+        its 1-based rank — no sorting, no ``radix``-times-wider one-hot
+        tensor.  (Switch shapes that cannot pack — ``radix * 8`` bits
+        beyond an ``int64``, or ``fan_in`` overflowing a lane — take the
+        one-hot fallback.)
+
+        Returns ``(rank_incl, accepted, lane_shift, digit)``: dense
+        1-based in-bucket ranks (junk at dead wires), the dense acceptance
+        mask, and the digit information — ``lane_shift`` (``digit * 8``)
+        on the packed path, an explicit ``digit`` array on the fallback
+        path (the other is ``None``).  All returned arrays alias scratch
+        buffers: consume them before the next ``_dense_rank`` call.
+        """
+        radix = 1 << digit_bits
+        size = dest.size
+        lane_width = radix * self._LANE_BITS
+        # The top lane's running count must stay clear of the sign bit.
+        packable = fan_in <= self._LANE_MASK >> 1
+        if packable and lane_width <= 64:
+            # Fused digit-times-8 extraction: ((dest >> shift) & m) << 3
+            # == (dest >> (shift - 3)) & (m << 3), one temp fewer.
+            mask3 = (radix - 1) << 3
+            lane_shift = self._scratch_array("lane_shift", size, dest.dtype)
+            if shift >= 3:
+                np.right_shift(dest, shift - 3, out=lane_shift)
+            else:
+                np.left_shift(dest, 3 - shift, out=lane_shift)
+            np.bitwise_and(lane_shift, mask3, out=lane_shift)
+            lane_dtype = np.int32 if lane_width <= 32 else np.int64
+            lanes = self._scratch_array("lanes", size, lane_dtype)
+            # dtype= pins the ufunc loop itself to the lane width — with
+            # out= alone the shift would run in the promoted input dtype
+            # (int32) and overflow for high lanes.
+            np.left_shift(live, lane_shift, out=lanes, dtype=lane_dtype, casting="unsafe")
+            # Column-at-a-time prefix sum: one fully vectorized strided add
+            # per wire position beats np.cumsum's per-switch inner loops.
+            view = lanes.reshape(-1, fan_in)
+            for j in range(1, fan_in):
+                view[:, j] += view[:, j - 1]
+            np.right_shift(lanes, lane_shift, out=lanes)
+            np.bitwise_and(lanes, self._LANE_MASK, out=lanes)
+            rank_incl, digit = lanes, None
+        else:
+            digit = (dest >> shift) & (radix - 1) if radix > 1 else np.zeros_like(dest)
+            rank_incl = self._onehot_rank(digit, live, fan_in, radix)
+            lane_shift = None
+        accepted = self._scratch_array("accepted", size, bool)
+        np.less_equal(rank_incl, capacity, out=accepted, casting="unsafe")
+        np.logical_and(accepted, live, out=accepted)
+        return rank_incl, accepted, lane_shift, digit
+
+    @staticmethod
+    def _onehot_rank(
+        digit: np.ndarray, live: np.ndarray, fan_in: int, radix: int
+    ) -> np.ndarray:
+        """Inclusive in-bucket rank via an explicit one-hot tensor.
+
+        Fallback for switch shapes too wide for packed lanes: one boolean
+        channel per bucket, cumulated along the switch axis.  Idle wires
+        are aimed at channel ``radix``, which no real request occupies.
+        """
+        channels = np.where(live, digit, radix).reshape(-1, fan_in)
+        onehot = channels[..., None] == np.arange(radix, dtype=digit.dtype)
+        count_dtype = np.int16 if fan_in > 127 else np.int8
+        cum = np.cumsum(onehot, axis=1, dtype=count_dtype)
+        lookup = np.minimum(channels, radix - 1)[..., None]
+        return np.take_along_axis(cum, lookup.astype(count_dtype), axis=2)[
+            ..., 0
+        ].reshape(-1)
+
+    def _route_batch_dense(
+        self, flat: np.ndarray, live0: np.ndarray, batch: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-message batch routing with dense per-wire frontier arrays.
+
+        The frontier after each stage is represented by two
+        ``(batch * wires,)`` arrays — destination and source id (``-1``
+        marking dead wires) — indexed by ``cycle * wires + wire_label``.
+        Winners take bucket wire ``rank`` (the first-free policy) and
+        scatter through the interstage gamma into the next stage's dense
+        arrays; losers record their blocking stage against their source.
+        """
+        p = self.params
+        n = p.num_inputs
+        total = batch * n
+        # Narrow dtypes keep the streaming passes cheap; fall back to
+        # int64 only at sizes where 32-bit ids could overflow.
+        idx_dtype = np.int32 if total < 2**31 and p.num_outputs < 2**31 else np.int64
+
+        output = np.full(total, IDLE, dtype=np.int64)
+        blocked_stage = np.full(total, IDLE, dtype=np.int64)
+        blocked_stage[live0] = 0  # provisional: delivered unless marked
+
+        dest = flat.astype(idx_dtype)
+        src = np.arange(total, dtype=idx_dtype)
+        src[~live0] = -1
+
+        for stage in range(1, p.l + 1):
+            width = p.wires_after_stage(stage - 1)
+            live = self._scratch_array("live", dest.size, bool)
+            np.greater_equal(dest, 0, out=live)
+            rank_incl, accepted, lane_shift, digit = self._dense_rank(
+                dest, live, p.a, p.digit_bits, self._stage_shifts[stage - 1], p.c
+            )
+            np.logical_xor(live, accepted, out=live)  # live becomes the loser mask
+            blocked_stage[src[np.flatnonzero(live)]] = stage
+            accept_idx = np.flatnonzero(accepted)
+            if accept_idx.size == 0:
+                src = np.zeros(0, dtype=idx_dtype)
+                break
+            accept_idx = accept_idx.astype(idx_dtype)
+            rank = rank_incl[accept_idx].astype(idx_dtype) - 1
+            if digit is None:
+                digit_w = lane_shift[accept_idx] >> 3
+            else:
+                digit_w = digit[accept_idx]
+            switch = (accept_idx & (width - 1)) >> ilog2(p.a)
+            y = (switch << ilog2(p.b * p.c)) + (digit_w << ilog2(p.c)) + rank
+            next_width = p.wires_after_stage(stage)
+            if stage < p.l:
+                y = self._gamma_table(stage, idx_dtype)[y]
+            next_idx = ((accept_idx >> ilog2(width)) << ilog2(next_width)) + y
+            next_dest = np.full(batch * next_width, IDLE, dtype=idx_dtype)
+            next_src = np.full(batch * next_width, -1, dtype=idx_dtype)
+            next_dest[next_idx] = dest[accept_idx]
+            next_src[next_idx] = src[accept_idx]
+            dest, src = next_dest, next_src
+
+        if src.size:
+            width = p.wires_after_stage(p.l)
+            live = self._scratch_array("live", dest.size, bool)
+            np.greater_equal(dest, 0, out=live)
+            _rank, accepted, lane_shift, digit = self._dense_rank(
+                dest, live, p.c, p.capacity_bits, 0, 1
+            )
+            np.logical_xor(live, accepted, out=live)
+            blocked_stage[src[np.flatnonzero(live)]] = p.l + 1
+            accept_idx = np.flatnonzero(accepted)
+            if accept_idx.size:
+                if digit is None:
+                    x = lane_shift[accept_idx] >> 3
+                else:
+                    x = digit[accept_idx]
+                switch = (accept_idx & (width - 1)) >> ilog2(p.c)
+                output[src[accept_idx]] = (switch << ilog2(p.c)) + x
+        return output, blocked_stage
+
+    def route_batch_counts(
+        self, dests: np.ndarray, rng: BatchRng = None
+    ) -> "BatchAcceptanceCounts":
+        """Route a batch but return only acceptance *counts*, maximally fast.
+
+        Monte-Carlo acceptance measurement needs per-cycle offered and
+        delivered counts plus a blocked-stage histogram — not per-message
+        outcomes.  Dropping source attribution lets the whole stage
+        transform stay dense: no winner extraction, no index lists, one
+        scatter per stage (losers and dead wires are parked on a trash
+        slot).  Routing decisions are identical to :meth:`route_batch`,
+        message for message; only the bookkeeping differs.
+
+        Falls back to :meth:`route_batch` under ``random`` priority, where
+        contention is resolved by sort anyway.
+        """
+        if self.priority != "label":
+            result = self.route_batch(dests, rng)  # validates internally
+            return BatchAcceptanceCounts(
+                offered_per_cycle=result.offered_per_cycle,
+                delivered_per_cycle=result.delivered_per_cycle,
+                blocked_by_stage=result.blocked_stage_histogram(),
+            )
+        p = self.params
+        dests, flat, live0 = validate_demand_matrix(
+            dests, p.num_inputs, p.num_outputs
+        )
+        batch, n = dests.shape
+        offered = live0.reshape(batch, n).sum(axis=1)
+        total = batch * n
+        idx_dtype = np.int32 if total < 2**31 and p.num_outputs < 2**31 else np.int64
+
+        dest = flat.astype(idx_dtype)
+        blocked: dict[int, int] = {}
+        alive = int(offered.sum())
+        delivered = np.zeros(batch, dtype=np.int64)
+
+        for stage in range(1, p.l + 1):
+            if alive == 0:
+                break
+            width = p.wires_after_stage(stage - 1)
+            size = batch * width
+            live = self._scratch_array("live", size, bool)
+            np.greater_equal(dest, 0, out=live)
+            rank_incl, accepted, lane_shift, digit = self._dense_rank(
+                dest, live, p.a, p.digit_bits, self._stage_shifts[stage - 1], p.c
+            )
+            surviving = int(accepted.sum())
+            if surviving != alive:
+                blocked[stage] = alive - surviving
+            alive = surviving
+            if alive == 0:
+                break
+            # Bucket wire for everyone (junk at dead/blocked wires):
+            # y = (switch * b * c - 1) + digit * c + rank_incl.
+            y = self._scratch_array("y", size, idx_dtype)
+            cshift = 3 - ilog2(p.c)
+            if digit is None:
+                if cshift >= 0:
+                    np.right_shift(lane_shift, cshift, out=y)
+                else:
+                    np.left_shift(lane_shift, -cshift, out=y)
+            else:
+                np.left_shift(digit, ilog2(p.c), out=y, casting="unsafe")
+            np.add(y, rank_incl, out=y, casting="unsafe")
+            y2 = y.reshape(batch, width)
+            np.add(y2, self._switch_base(width, idx_dtype), out=y2)
+            next_width = p.wires_after_stage(stage)
+            if stage < p.l:
+                # Junk entries may index anywhere in [-1, width + 255]:
+                # clip-mode gathering keeps them harmless until trashed.
+                target = self._scratch_array("target", size, idx_dtype)
+                np.take(self._gamma_table(stage, idx_dtype), y, out=target, mode="clip")
+            else:
+                target = y
+            trash = batch * next_width
+            t2 = target.reshape(batch, width)
+            np.add(
+                t2,
+                np.arange(batch, dtype=idx_dtype)[:, None] << ilog2(next_width),
+                out=t2,
+            )
+            np.logical_not(accepted, out=live)  # live becomes the reject mask
+            target[live] = trash
+            name = "dest_even" if stage % 2 == 0 else "dest_odd"
+            next_dest = self._scratch_array(name, trash + 1, idx_dtype)
+            next_dest.fill(IDLE)
+            next_dest[target] = dest
+            dest = next_dest[:trash]
+
+        if alive:
+            width = p.wires_after_stage(p.l)
+            live = self._scratch_array("live", dest.size, bool)
+            np.greater_equal(dest, 0, out=live)
+            _rank, accepted, _ls, _digit = self._dense_rank(
+                dest, live, p.c, p.capacity_bits, 0, 1
+            )
+            delivered = accepted.reshape(batch, width).sum(axis=1)
+            final = int(delivered.sum())
+            if final != alive:
+                blocked[p.l + 1] = alive - final
+        return BatchAcceptanceCounts(
+            offered_per_cycle=offered,
+            delivered_per_cycle=delivered,
+            blocked_by_stage=dict(sorted(blocked.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # Sparse, sort-based path (random priority)
+    # ------------------------------------------------------------------
+
+    def _route_batch_sparse(
+        self, flat: np.ndarray, live0: np.ndarray, batch: int, rng: BatchRng
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve a whole batch by folding the cycle index into the sort key.
+
+        Random priority needs a random *order* within every contention
+        group, which is inherently a sort; the composite key
+        ``cycle * span + switch * b + digit`` keeps groups from different
+        cycles distinct, so one batch-wide argsort replaces ``batch``
+        per-cycle lexsorts.
+        """
+        p = self.params
+        n = p.num_inputs
+        if rng is None:
+            raise ConfigurationError(
+                "random priority requires a numpy Generator (or one per cycle)"
+            )
+        cycle_rngs: Optional[Sequence[np.random.Generator]] = None
+        if not isinstance(rng, np.random.Generator):
+            cycle_rngs = list(rng)
+            if len(cycle_rngs) != batch:
+                raise ConfigurationError(
+                    f"need one generator per cycle: got {len(cycle_rngs)} "
+                    f"for batch {batch}"
+                )
+
+        output = np.full(batch * n, IDLE, dtype=np.int64)
+        blocked_stage = np.full(batch * n, IDLE, dtype=np.int64)
+        blocked_stage[live0] = 0
+
+        # Live frontier: flat source ids (cycle * n + source), per-cycle wire
+        # labels, and the owning cycle of each request.  Boolean filtering
+        # preserves cycle-major order, so each cycle's sub-sequence always
+        # matches the single-cycle engine's frontier order.
+        sources = np.flatnonzero(live0)
+        cyc = sources // n
+        wires = sources - cyc * n
+
+        for stage in range(1, p.l + 1):
+            if sources.size == 0:
+                break
+            width = p.wires_after_stage(stage - 1)
+            switch = wires // p.a
+            digit = (flat[sources] >> self._stage_shifts[stage - 1]) & (p.b - 1)
+            local_key = switch * p.b + digit
+            span = (width // p.a) * p.b
+            accept_mask, rank = self._resolve_sparse(cyc, local_key, span, cycle_rngs, rng)
+            blocked_stage[sources[~accept_mask]] = stage
+            sources = sources[accept_mask]
+            cyc = cyc[accept_mask]
+            y = switch[accept_mask] * (p.b * p.c) + digit[accept_mask] * p.c + rank
+            if stage < p.l:
+                wires = self._gamma_vec(y, ilog2(p.wires_after_stage(stage)))
+            else:
+                wires = y  # buckets feed the crossbars directly
+
+        if sources.size:
+            switch = wires // p.c
+            x = flat[sources] & (p.c - 1)
+            local_key = switch * p.c + x
+            accept_mask, _rank = self._resolve_sparse(
+                cyc, local_key, p.num_outputs, cycle_rngs, rng, capacity=1
+            )
+            blocked_stage[sources[~accept_mask]] = p.l + 1
+            output[sources[accept_mask]] = local_key[accept_mask]
+        return output, blocked_stage
+
+    def _resolve_sparse(
+        self,
+        cyc: np.ndarray,
+        local_key: np.ndarray,
+        span: int,
+        cycle_rngs: Optional[Sequence[np.random.Generator]],
+        rng: BatchRng,
+        capacity: Optional[int] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch-wide analogue of :meth:`VectorizedEDN._resolve` (random priority).
+
+        ``local_key`` identifies the ``(switch, bucket)`` group *within* a
+        cycle (values in ``[0, span)``); folding in ``cyc`` makes groups
+        globally distinct.  Returns ``(accept_mask, winner_ranks)`` with
+        the same conventions as the single-cycle resolver.
+        """
+        if capacity is None:
+            capacity = self.params.c
+        count = local_key.size
+        if count == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        key = cyc * span + local_key
+        tie = self._random_tiebreak(cyc, count, rng, cycle_rngs)
+        max_combined = (int(cyc[-1]) + 1) * span * count
+        if max_combined < (1 << 62):
+            # (key, tie) pairs are unique, so an unstable argsort of the
+            # combined integer realizes the grouped priority order.
+            order = np.argsort(key * count + tie)
+        else:
+            order = np.lexsort((tie, key))  # overflow fallback: astronomical sizes
+        sorted_key = key[order]
+        new_group = np.empty(count, dtype=bool)
+        new_group[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=new_group[1:])
+        group_ids = np.cumsum(new_group) - 1
+        group_starts = np.flatnonzero(new_group)
+        rank_sorted = np.arange(count) - group_starts[group_ids]
+        accept_sorted = rank_sorted < capacity
+
+        accept_mask = np.zeros(count, dtype=bool)
+        accept_mask[order[accept_sorted]] = True
+        rank_by_pos = np.empty(count, dtype=np.int64)
+        rank_by_pos[order] = rank_sorted
+        return accept_mask, rank_by_pos[accept_mask]
+
+    @staticmethod
+    def _random_tiebreak(
+        cyc: np.ndarray,
+        count: int,
+        rng: BatchRng,
+        cycle_rngs: Optional[Sequence[np.random.Generator]],
+    ) -> np.ndarray:
+        """Random-priority sub-keys, batch-wide or per-cycle.
+
+        With per-cycle generators each cycle's contiguous slice of the
+        frontier receives ``rngs[i].permutation(slice_len)`` — the exact
+        draw (size, order, and position) the single-cycle engine makes, so
+        tie-break decisions match it bit for bit.
+        """
+        if cycle_rngs is None:
+            return rng.permutation(count)
+        tie = np.empty(count, dtype=np.int64)
+        boundaries = np.flatnonzero(np.diff(cyc)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [count]))
+        for start, stop in zip(starts, stops):
+            tie[start:stop] = cycle_rngs[cyc[start]].permutation(stop - start)
+        return tie

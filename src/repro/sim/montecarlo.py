@@ -7,7 +7,17 @@ statistically honest comparisons against the analytic models (Eqs. 4-5).
 The harness is router-agnostic: anything exposing ``n_inputs``,
 ``n_outputs`` and ``route(dests, rng) -> result`` with ``num_offered`` /
 ``num_delivered`` works, which lets the same code drive the vectorized EDN,
-the reference EDN (via an adapter), and the baseline networks.
+the reference EDN (via an adapter), and the baseline networks.  Routers
+that additionally expose ``route_batch(dests, rng)`` (the
+:class:`~repro.sim.batched.BatchedEDN` protocol) are driven in chunks of
+many cycles per call, which removes the per-cycle Python overhead that
+otherwise dominates at large ``N`` — see :mod:`repro.sim.batched` and the
+measured speedups in ``BENCH_batched_routing.json``.
+
+Reproducibility: a fixed ``(seed, batch)`` pair always reproduces a
+measurement exactly.  The per-cycle (``batch=1``) and chunked paths draw
+traffic in different stream orders, so their point estimates differ by
+Monte-Carlo noise while sharing the same distribution.
 """
 
 from __future__ import annotations
@@ -20,16 +30,21 @@ import numpy as np
 from repro.core.config import EDNParams
 from repro.core.network import EDNetwork
 from repro.core.tags import RetirementOrder
-from repro.sim.rng import make_rng
+from repro.sim.rng import SeedLike, make_rng
 from repro.sim.stats import Interval, RatioStats
 from repro.sim.traffic import TrafficGenerator
 
 __all__ = [
     "CycleRouter",
+    "BatchRouter",
     "AcceptanceMeasurement",
     "measure_acceptance",
     "ReferenceRouterAdapter",
+    "DEFAULT_BATCH",
 ]
+
+#: Default chunk size for routers that support batched routing.
+DEFAULT_BATCH = 64
 
 
 class CycleRouter(Protocol):
@@ -42,6 +57,14 @@ class CycleRouter(Protocol):
     def n_outputs(self) -> int: ...
 
     def route(self, dests: np.ndarray, rng: Optional[np.random.Generator]) -> object: ...
+
+
+class BatchRouter(CycleRouter, Protocol):
+    """A router that can additionally route many independent cycles at once."""
+
+    def route_batch(
+        self, dests: np.ndarray, rng: Optional[np.random.Generator]
+    ) -> object: ...
 
 
 @dataclass
@@ -70,34 +93,89 @@ def measure_acceptance(
     traffic: TrafficGenerator,
     *,
     cycles: int = 100,
-    seed: int | None = 0,
+    seed: SeedLike = 0,
     confidence: float = 0.95,
+    batch: int | None = None,
 ) -> AcceptanceMeasurement:
     """Estimate the probability of acceptance of ``router`` under ``traffic``.
 
     Each cycle draws a fresh demand vector (the paper's assumption 3:
     blocked requests are ignored and do not affect later cycles) and routes
     it; acceptance is accumulated as a ratio of sums.
+
+    ``batch`` controls how many cycles are generated and routed per call:
+    ``None`` (the default) picks :data:`DEFAULT_BATCH` when the router
+    exposes ``route_batch`` and falls back to cycle-at-a-time otherwise;
+    pass an explicit chunk size to override.  Routers without
+    ``route_batch`` still accept ``batch > 1`` — traffic is drawn in chunks
+    (so two routers measured at the same ``(seed, batch)`` see identical
+    demands) and routed cycle by cycle.
     """
     if traffic.n_inputs != router.n_inputs:
         raise ValueError(
             f"traffic generates {traffic.n_inputs} inputs, router has {router.n_inputs}"
         )
+    if batch is None:
+        if hasattr(router, "preferred_batch"):
+            batch = router.preferred_batch()
+        elif hasattr(router, "route_batch"):
+            batch = DEFAULT_BATCH
+        else:
+            batch = 1
+    if batch < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch}")
     rng = make_rng(seed)
     ratio = RatioStats()
     offered_total = 0
     delivered_total = 0
     blocked: dict[int, int] = {}
-    for _ in range(cycles):
-        dests = traffic.generate(rng)
-        result = router.route(dests, rng)
-        ratio.push(result.num_delivered, result.num_offered)
-        offered_total += result.num_offered
-        delivered_total += result.num_delivered
+
+    def _absorb_histogram(result: object) -> None:
         histogram = getattr(result, "blocked_stage_histogram", None)
         if histogram is not None:
             for stage, count in histogram().items():
                 blocked[stage] = blocked.get(stage, 0) + count
+
+    if batch == 1:
+        for _ in range(cycles):
+            dests = traffic.generate(rng)
+            result = router.route(dests, rng)
+            ratio.push(result.num_delivered, result.num_offered)
+            offered_total += result.num_offered
+            delivered_total += result.num_delivered
+            _absorb_histogram(result)
+    else:
+        counting = hasattr(router, "route_batch_counts")
+        batched = hasattr(router, "route_batch")
+        remaining = cycles
+        while remaining > 0:
+            chunk = min(batch, remaining)
+            remaining -= chunk
+            dests = traffic.generate_batch(rng, chunk)
+            if counting or batched:
+                if counting:
+                    # Counts-only kernel: identical routing decisions,
+                    # no per-message outcome arrays to materialize.
+                    result = router.route_batch_counts(dests, rng)
+                    for stage, count in result.blocked_by_stage.items():
+                        blocked[stage] = blocked.get(stage, 0) + count
+                else:
+                    result = router.route_batch(dests, rng)
+                    _absorb_histogram(result)
+                offered = result.offered_per_cycle
+                delivered = result.delivered_per_cycle
+                for num, den in zip(delivered.tolist(), offered.tolist()):
+                    ratio.push(num, den)
+                offered_total += int(offered.sum())
+                delivered_total += int(delivered.sum())
+            else:
+                for i in range(chunk):
+                    result = router.route(dests[i], rng)
+                    ratio.push(result.num_delivered, result.num_offered)
+                    offered_total += result.num_offered
+                    delivered_total += result.num_delivered
+                    _absorb_histogram(result)
+
     return AcceptanceMeasurement(
         cycles=cycles,
         offered=offered_total,
@@ -111,7 +189,8 @@ class ReferenceRouterAdapter:
     """Expose :class:`~repro.core.network.EDNetwork` through the router protocol.
 
     Used by equivalence tests; for performance work prefer
-    :class:`~repro.sim.vectorized.VectorizedEDN` directly.
+    :class:`~repro.sim.batched.BatchedEDN` (or
+    :class:`~repro.sim.vectorized.VectorizedEDN`) directly.
     """
 
     def __init__(self, network: EDNetwork):

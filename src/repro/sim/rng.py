@@ -9,24 +9,67 @@ contention discipline, random schedules) takes an explicit
   *statistically independent* streams via ``SeedSequence.spawn`` rather than
   sharing one generator, which keeps results stable when one consumer
   changes how much randomness it draws.
+
+Seed-like values
+----------------
+Every entry point accepts a ``SeedLike`` — ``int`` (a reproducible master
+seed), ``numpy.random.SeedSequence`` (an already-derived spawn point),
+``numpy.random.Generator`` (adopted as-is, or spawned from), or ``None``
+(fresh OS entropy).  The deterministic spawn scheme used throughout the
+batch and sweep APIs is: child ``i`` of ``n`` is
+``SeedSequence(seed).spawn(n)[i]`` — assigned by *position*, so results are
+independent of worker scheduling, chunking, and job count.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "stream_for"]
+__all__ = ["SeedLike", "make_rng", "spawn", "spawn_keys", "stream_for"]
+
+#: Anything the library accepts as a reproducibility seed.
+SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
 
 
-def make_rng(seed: int | np.random.SeedSequence | None = None) -> np.random.Generator:
-    """A fresh PCG64 generator from ``seed`` (None = OS entropy)."""
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """A PCG64 generator from ``seed`` (None = OS entropy).
+
+    An existing :class:`~numpy.random.Generator` is returned unchanged, so
+    callers can thread one stream through layered APIs without re-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
     return np.random.default_rng(seed)
 
 
-def spawn(seed: int | None, n: int) -> list[np.random.Generator]:
-    """``n`` independent generators derived from one master seed."""
-    children = np.random.SeedSequence(seed).spawn(n)
-    return [np.random.default_rng(child) for child in children]
+def spawn(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """``n`` independent generators derived from one master seed.
+
+    Children are assigned by position (see the module docstring), so the
+    ``i``-th stream is identical no matter how many siblings are consumed
+    or in which order.
+    """
+    return [make_rng(key) for key in spawn_keys(seed, n)]
+
+
+def spawn_keys(seed: SeedLike, n: int) -> list:
+    """``n`` independent, *picklable* child seeds from one master seed.
+
+    For ``int``/``SeedSequence``/``None`` seeds the children are
+    ``SeedSequence`` objects; for a ``Generator`` they are spawned child
+    generators (both pickle cleanly, so either can cross a process
+    boundary to a :class:`~repro.experiments.parallel.ParallelSweep`
+    worker).  Feed each child to :func:`make_rng`.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} children")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(n))
+    if isinstance(seed, np.random.SeedSequence):
+        return list(seed.spawn(n))
+    return list(np.random.SeedSequence(seed).spawn(n))
 
 
 def stream_for(seed: int | None, *names: str) -> np.random.Generator:

@@ -45,11 +45,29 @@ class TrafficGenerator:
         """Return this cycle's demands (``int64[n_inputs]``, ``-1`` = idle)."""
         raise NotImplementedError
 
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        """Return ``batch`` cycles of demands at once (``int64[batch, n_inputs]``).
+
+        The base implementation stacks ``batch`` sequential :meth:`generate`
+        calls, so any subclass batches correctly; the built-in generators
+        override it with fully vectorized draws (which consume the stream in
+        a different order than sequential calls — equally distributed, but a
+        chunked measurement is only reproducible for a fixed chunk size).
+        """
+        if batch < 0:
+            raise ConfigurationError(f"batch size must be non-negative, got {batch}")
+        if batch == 0:
+            return np.empty((0, self.n_inputs), dtype=np.int64)
+        return np.stack([self.generate(rng) for _ in range(batch)])
+
     def _apply_rate(self, dests: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
-        """Idle each input independently with probability ``1 - rate``."""
+        """Idle each entry independently with probability ``1 - rate``.
+
+        Works on a single cycle vector or a ``(batch, n_inputs)`` matrix.
+        """
         if rate >= 1.0:
             return dests
-        mask = rng.random(self.n_inputs) < rate
+        mask = rng.random(dests.shape) < rate
         return np.where(mask, dests, IDLE)
 
 
@@ -69,6 +87,12 @@ class UniformTraffic(TrafficGenerator):
 
     def generate(self, rng: np.random.Generator) -> np.ndarray:
         dests = rng.integers(0, self.n_outputs, size=self.n_inputs, dtype=np.int64)
+        return self._apply_rate(dests, self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        dests = rng.integers(
+            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
+        )
         return self._apply_rate(dests, self.rate, rng)
 
 
@@ -94,6 +118,13 @@ class PermutationTraffic(TrafficGenerator):
         dests = rng.permutation(self.n_outputs)[: self.n_inputs].astype(np.int64)
         return self._apply_rate(dests, self.rate, rng)
 
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        outputs = np.broadcast_to(
+            np.arange(self.n_outputs, dtype=np.int64), (batch, self.n_outputs)
+        )
+        dests = rng.permuted(outputs, axis=1)[:, : self.n_inputs]
+        return self._apply_rate(np.ascontiguousarray(dests), self.rate, rng)
+
 
 class FixedPattern(TrafficGenerator):
     """The same destination vector every cycle (e.g. the identity of Figure 5)."""
@@ -108,6 +139,9 @@ class FixedPattern(TrafficGenerator):
 
     def generate(self, rng: np.random.Generator) -> np.ndarray:
         return self.dests.copy()
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        return np.tile(self.dests, (batch, 1))
 
 
 class HotspotTraffic(TrafficGenerator):
@@ -142,6 +176,14 @@ class HotspotTraffic(TrafficGenerator):
     def generate(self, rng: np.random.Generator) -> np.ndarray:
         dests = rng.integers(0, self.n_outputs, size=self.n_inputs, dtype=np.int64)
         hot = rng.random(self.n_inputs) < self.hot_fraction
+        dests[hot] = self.hot_output
+        return self._apply_rate(dests, self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        dests = rng.integers(
+            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
+        )
+        hot = rng.random((batch, self.n_inputs)) < self.hot_fraction
         dests[hot] = self.hot_output
         return self._apply_rate(dests, self.rate, rng)
 

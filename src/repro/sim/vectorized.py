@@ -192,6 +192,10 @@ class VectorizedEDN:
         offset under the first-free policy).
         """
         n = key.size
+        if n == 0:
+            # An all-idle cycle (or a frontier emptied by earlier blocking)
+            # resolves to nothing; new_group[0] below would IndexError.
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
         if self.priority == "label":
             order = np.lexsort((wires, key))
         else:

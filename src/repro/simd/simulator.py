@@ -18,12 +18,14 @@ the quantities the Section 5 worked example predicts analytically
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, ScheduleError
-from repro.sim.rng import make_rng
+from repro.sim.batched import BatchedEDN
+from repro.sim.rng import SeedLike, make_rng, spawn_keys
 from repro.sim.stats import RunningStats
 from repro.sim.vectorized import VectorizedEDN
 from repro.simd.ra_edn import RAEDNSystem
@@ -75,6 +77,8 @@ class RAEDNSimulator:
         self.system = system
         self.schedule = schedule if schedule is not None else RandomSchedule()
         self.network = VectorizedEDN(system.network_params, priority=priority)
+        # Batched sibling for the side-by-side (multi-run) drain path.
+        self.batched_network = BatchedEDN(system.network_params, priority=priority)
 
     def route_permutation(
         self,
@@ -128,17 +132,101 @@ class RAEDNSimulator:
         return PermutationRun(cycles=len(delivered_per_cycle), delivered_per_cycle=delivered_per_cycle)
 
     def measure(
-        self, *, runs: int = 10, seed: int | None = 0, max_cycles: int | None = None
+        self,
+        *,
+        runs: int = 10,
+        seed: SeedLike = 0,
+        max_cycles: int | None = None,
+        batch: int | None = None,
     ) -> PermutationTimeStats:
-        """Drain ``runs`` random permutations; aggregate cycle counts."""
+        """Drain ``runs`` random permutations; aggregate cycle counts.
+
+        ``batch`` selects the engine: ``None`` (default) drains runs one
+        at a time through :meth:`route_permutation` (the historical,
+        seed-stable path); an integer drains up to ``batch`` independent
+        permutations *side by side* through the batched network — each
+        network cycle routes one demand matrix of shape ``(active_runs,
+        ports)``, and a run's row retires as soon as its permutation
+        drains.  Both paths spawn per-run streams positionally from
+        ``seed`` (see :mod:`repro.sim.rng`), so a given ``(seed, batch)``
+        is fully reproducible.
+        """
         if runs < 1:
             raise ConfigurationError("need at least one run")
-        seeds = np.random.SeedSequence(seed).spawn(runs)
         acc = RunningStats()
-        for child in seeds:
-            run = self.route_permutation(seed=child, max_cycles=max_cycles)
-            acc.push(run.cycles)
+        if batch is None:
+            for child in spawn_keys(seed, runs):
+                run = self.route_permutation(seed=child, max_cycles=max_cycles)
+                acc.push(run.cycles)
+        else:
+            if batch < 1:
+                raise ConfigurationError(f"batch must be >= 1, got {batch}")
+            for cycles in self._drain_batched(runs, seed, max_cycles, batch):
+                acc.push(cycles)
         return PermutationTimeStats(runs=runs, cycles=acc)
+
+    def _drain_batched(
+        self, runs: int, seed: SeedLike, max_cycles: int | None, batch: int
+    ) -> np.ndarray:
+        """Cycle counts of ``runs`` random permutations, drained in groups.
+
+        Child streams ``0..runs-1`` draw each run's permutation *and* its
+        schedule choices (mirroring :meth:`route_permutation`'s single
+        stream per run); every run also gets its *own clone* of the
+        schedule, so stateful schedules (round-robin cursors) keep true
+        per-run semantics instead of sharing state across interleaved
+        runs, and ``_check_schedule`` still applies.  Child ``runs``
+        drives network contention under random priority.  Each cycle the
+        active runs' selections stack into one ``(active, ports)`` demand
+        matrix for :meth:`~repro.sim.batched.BatchedEDN.route_batch` —
+        the network, not the scheduling, is the hot loop this batches.
+        """
+        sys = self.system
+        n = sys.num_pes
+        ports, q = sys.num_ports, sys.q
+        if max_cycles is None:
+            max_cycles = 100 * q + 1_000
+        *run_keys, engine_key = spawn_keys(seed, runs + 1)
+        engine_rng = make_rng(engine_key)
+        cycle_counts = np.zeros(runs, dtype=np.int64)
+
+        for start in range(0, runs, batch):
+            group = range(start, min(start + batch, runs))
+            run_rngs = [make_rng(run_keys[i]) for i in group]
+            run_schedules = [copy.deepcopy(self.schedule) for _ in group]
+            perms = np.stack([rng.permutation(n) for rng in run_rngs])
+            dest_cluster = (perms // q).reshape(len(group), ports, q)
+            pending = np.ones((len(group), ports, q), dtype=bool)
+            active = np.arange(len(group))
+            cycle = 0
+            while active.size:
+                cycle += 1
+                if cycle > max_cycles:
+                    raise ConfigurationError(
+                        f"permutation did not drain within {max_cycles} cycles"
+                    )
+                choice = np.stack(
+                    [
+                        run_schedules[run].select(pending[run], run_rngs[run])
+                        for run in active
+                    ]
+                )
+                for row, run in enumerate(active):
+                    self._check_schedule(choice[row], pending[run])
+                run_idx, port_idx = np.nonzero(choice >= 0)
+                demands = np.full((active.size, ports), -1, dtype=np.int64)
+                selected = choice[run_idx, port_idx]
+                demands[run_idx, port_idx] = dest_cluster[
+                    active[run_idx], port_idx, selected
+                ]
+                result = self.batched_network.route_batch(demands, engine_rng)
+                won = result.blocked_stage[run_idx, port_idx] == 0
+                pending[active[run_idx[won]], port_idx[won], selected[won]] = False
+                drained = ~pending[active].any(axis=(1, 2))
+                if drained.any():
+                    cycle_counts[start + active[drained]] = cycle
+                    active = active[~drained]
+        return cycle_counts
 
     @staticmethod
     def _check_schedule(choice: np.ndarray, pending: np.ndarray) -> None:

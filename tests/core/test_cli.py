@@ -60,3 +60,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PA' (resubmitted)" in out
         assert "0.76" in out
+
+
+class TestBatchedOptions:
+    def test_pa_simulate_with_batch(self, capsys):
+        assert main(["pa", "16", "4", "4", "2", "--simulate", "20", "--batch", "5"]) == 0
+        assert "simulated over 20 cycles" in capsys.readouterr().out
+
+    def test_experiment_accepts_jobs_and_batch(self, capsys):
+        assert main(["experiment", "fig7_mc", "--jobs", "2", "--batch", "16"]) == 0
+        assert "Monte-Carlo validation" in capsys.readouterr().out
+
+    def test_experiment_overrides_ignored_by_analytic(self, capsys):
+        assert main(["experiment", "fig2", "--jobs", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_maspar_batched_runs(self, capsys):
+        assert main(["maspar", "--runs", "2", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles to drain" in out

@@ -159,3 +159,89 @@ class TestCycleDriver:
         driver = CycleDriver(period=2.0)
         driver.run(lambda i: True, max_cycles=3)
         assert driver.now == pytest.approx(4.0)
+
+
+class TestPendingCounter:
+    """The live-event counter must track schedule/cancel/fire exactly."""
+
+    @staticmethod
+    def _scan(sim: Simulator) -> int:
+        # Ground truth: un-cancelled entries still sitting in the heap.
+        return sum(1 for entry in sim._heap if not entry.cancelled)
+
+    def test_counts_scheduled_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda s: None) for i in range(5)]
+        assert sim.pending == 5 == self._scan(sim)
+        handles[0].cancel()
+        assert sim.pending == 4 == self._scan(sim)
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 0 == self._scan(sim)
+
+    def test_firing_decrements(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        sim.step()
+        assert sim.pending == 1 == self._scan(sim)
+        sim.run()
+        assert sim.pending == 0 == self._scan(sim)
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.run()
+        handle.cancel()
+        assert sim.pending == 0 == self._scan(sim)
+
+    def test_periodic_keeps_one_pending(self):
+        sim = Simulator()
+        handle = sim.every(1.0, lambda s: None)
+        assert sim.pending == 1 == self._scan(sim)
+        sim.run(until=3.5)
+        assert sim.pending == 1 == self._scan(sim)
+        handle.cancel()
+        assert sim.pending == 0 == self._scan(sim)
+        sim.run()
+        assert sim.pending == 0 == self._scan(sim)
+
+    def test_cancel_periodic_inside_callback(self):
+        sim = Simulator()
+        state = {}
+
+        def body(s):
+            state.setdefault("handle", None)
+            handle = state["outer"]
+            handle.cancel()
+
+        state["outer"] = sim.every(1.0, body)
+        sim.run(until=5.0)
+        assert sim.pending == 0 == self._scan(sim)
+
+    def test_nested_scheduling_tracked(self):
+        sim = Simulator()
+
+        def outer(s):
+            s.schedule(1.0, lambda s2: None)
+            s.schedule(2.0, lambda s2: None)
+
+        sim.schedule(1.0, outer)
+        sim.step()
+        assert sim.pending == 2 == self._scan(sim)
+        sim.run()
+        assert sim.pending == 0 == self._scan(sim)
+
+    def test_pending_is_constant_time(self):
+        # Smoke-check the structural fix: pending must not scan the heap.
+        sim = Simulator()
+        for i in range(1000):
+            sim.schedule(float(i + 1), lambda s: None)
+        import timeit
+
+        per_call = timeit.timeit(lambda: sim.pending, number=1000) / 1000
+        assert per_call < 1e-5  # a heap scan of 1000 entries costs ~1e-4+

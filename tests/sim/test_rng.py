@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
-from repro.sim.rng import make_rng, spawn, stream_for
+from repro.sim.rng import make_rng, spawn, spawn_keys, stream_for
 
 
 class TestMakeRng:
@@ -43,3 +44,44 @@ class TestStreamFor:
         a = stream_for(1, "x").integers(0, 1 << 30, size=8)
         b = stream_for(2, "x").integers(0, 1 << 30, size=8)
         assert not np.array_equal(a, b)
+
+
+class TestSeedLike:
+    def test_make_rng_passes_generator_through(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+    def test_make_rng_accepts_seedsequence(self):
+        seq = np.random.SeedSequence(11)
+        a = make_rng(seq).random(4)
+        b = np.random.default_rng(np.random.SeedSequence(11)).random(4)
+        assert (a == b).all()
+
+    def test_spawn_accepts_all_seed_kinds(self):
+        for seed in (3, np.random.SeedSequence(3), np.random.default_rng(3)):
+            streams = spawn(seed, 3)
+            assert len(streams) == 3
+            draws = {float(stream.random()) for stream in streams}
+            assert len(draws) == 3  # statistically independent children
+
+    def test_spawn_keys_are_positional(self):
+        # Child i must be identical regardless of how many siblings exist.
+        few = spawn_keys(42, 2)
+        many = spawn_keys(42, 6)
+        a = np.random.default_rng(few[1]).random(4)
+        b = np.random.default_rng(many[1]).random(4)
+        assert (a == b).all()
+
+    def test_spawn_keys_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_keys(0, -1)
+
+    def test_spawn_keys_pickle(self):
+        import pickle
+
+        for seed in (1, np.random.default_rng(1)):
+            keys = spawn_keys(seed, 2)
+            clones = pickle.loads(pickle.dumps(keys))
+            a = make_rng(keys[0]).random(3)
+            b = make_rng(clones[0]).random(3)
+            assert (a == b).all()

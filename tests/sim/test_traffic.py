@@ -11,6 +11,7 @@ from repro.sim.traffic import (
     FixedPattern,
     HotspotTraffic,
     PermutationTraffic,
+    TrafficGenerator,
     UniformTraffic,
     structured_permutation,
 )
@@ -154,3 +155,57 @@ class TestStructuredPermutations:
         assert dests[0b1000] == 0b0001
         assert dests[0b0001] == 0b1000
         assert dests[0b1001] == 0b1001
+
+
+class TestGenerateBatch:
+    CASES = [
+        UniformTraffic(32, 64, 0.7),
+        PermutationTraffic(32, 64, 0.8),
+        HotspotTraffic(32, 32, rate=0.9, hot_fraction=0.3),
+        FixedPattern(np.arange(16), 16),
+    ]
+
+    @pytest.mark.parametrize("traffic", CASES, ids=lambda t: type(t).__name__)
+    def test_shape_and_range(self, traffic, rng):
+        batch = traffic.generate_batch(rng, 9)
+        assert batch.shape == (9, traffic.n_inputs)
+        assert batch.dtype == np.int64
+        live = batch[batch != -1]
+        if live.size:
+            assert live.min() >= 0 and live.max() < traffic.n_outputs
+
+    @pytest.mark.parametrize("traffic", CASES, ids=lambda t: type(t).__name__)
+    def test_empty_batch(self, traffic, rng):
+        batch = traffic.generate_batch(rng, 0)
+        assert batch.shape == (0, traffic.n_inputs)
+
+    def test_permutation_rows_are_partial_permutations(self, rng):
+        traffic = PermutationTraffic(32, 32)
+        batch = traffic.generate_batch(rng, 8)
+        for row in batch:
+            assert len(set(row.tolist())) == 32
+
+    def test_fixed_pattern_rows_identical(self, rng):
+        pattern = FixedPattern(np.arange(16)[::-1].copy(), 16)
+        batch = pattern.generate_batch(rng, 4)
+        assert (batch == pattern.dests).all()
+
+    def test_base_class_stacks_generate(self, rng):
+        class Alternating(TrafficGenerator):
+            def __init__(self):
+                super().__init__(4, 4)
+                self._flip = 0
+
+            def generate(self, rng):
+                self._flip ^= 1
+                return np.full(4, self._flip * 3, dtype=np.int64)
+
+        batch = Alternating().generate_batch(rng, 4)
+        assert batch.shape == (4, 4)
+        assert batch[0, 0] != batch[1, 0]  # sequential generate() calls
+
+    def test_batched_rate_thins_like_per_cycle(self, rng):
+        traffic = UniformTraffic(512, 512, rate=0.25)
+        batch = traffic.generate_batch(rng, 40)
+        fraction = (batch != -1).mean()
+        assert 0.2 < fraction < 0.3

@@ -128,3 +128,25 @@ class TestScale:
 
         analytic = acceptance_probability(p, 1.0)
         assert abs(result.acceptance_ratio - analytic) < 0.08
+
+
+class TestAllIdle:
+    """Regression: an all-idle demand vector must route to a clean no-op."""
+
+    def test_all_idle_cycle(self, small_params):
+        net = VectorizedEDN(small_params)
+        result = net.route(np.full(small_params.num_inputs, -1, dtype=np.int64))
+        assert result.num_offered == 0
+        assert result.num_delivered == 0
+        assert result.acceptance_ratio == 1.0
+        assert (result.blocked_stage == -1).all()
+        assert (result.output == -1).all()
+        assert result.blocked_stage_histogram() == {}
+
+    def test_resolve_handles_empty_key_array(self):
+        # new_group[0] = True used to IndexError on an empty frontier.
+        net = VectorizedEDN(EDNParams(16, 4, 4, 2))
+        empty = np.zeros(0, dtype=np.int64)
+        accept, ranks = net._resolve(empty, empty, net.params.c, None)
+        assert accept.shape == (0,)
+        assert ranks.shape == (0,)
