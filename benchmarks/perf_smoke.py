@@ -10,19 +10,27 @@ repository root so later PRs can track the perf trajectory.
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py --backend-matrix
 
-Exits non-zero if the N=4096 point falls below the 5x speedup floor this
-optimization was merged under (the recorded acceptance criterion).
+Default mode exits non-zero if the N=4096 point falls below the 5x speedup
+floor this optimization was merged under (the recorded acceptance
+criterion).  ``--backend-matrix`` instead sweeps every registered
+``repro.api`` backend of the same EDNs and records per-backend wall-clock
+into ``BENCH_backend_matrix.json`` (the reference engine gets a reduced
+cycle budget — it routes per message, in Python — and times are reported
+per cycle so backends stay comparable).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
 import time
 from pathlib import Path
 
+from repro.api import NetworkSpec, available_backends, build_router
 from repro.core.config import EDNParams
 from repro.sim.batched import BatchedEDN
 from repro.sim.montecarlo import measure_acceptance
@@ -36,6 +44,11 @@ SEED = 0
 REPEATS = 3
 SPEEDUP_FLOOR = 5.0  # acceptance criterion, enforced at N = 4096
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batched_routing.json"
+
+MATRIX_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend_matrix.json"
+#: Cycle budgets per backend: the array engines amortize, the per-message
+#: reference engine costs ~10^4 slower per cycle at N=16K.
+MATRIX_CYCLES = {"batched": 200, "vectorized": 200, "reference": 2}
 
 
 def _best_of(repeats: int, fn) -> tuple[float, object]:
@@ -101,7 +114,65 @@ def run(output: Path = OUTPUT) -> dict:
     return report
 
 
-def main() -> int:
+def run_backend_matrix(output: Path = MATRIX_OUTPUT) -> dict:
+    """Time every registered backend of the benchmark EDNs; write JSON.
+
+    Each (network, backend) cell times ``measure_acceptance`` under the
+    backend's cycle budget, best of :data:`REPEATS` (the default mode's
+    noise-suppression methodology); ``seconds_per_cycle`` is the
+    comparable figure, ``seconds`` the recorded best wall-clock.
+    """
+    results = []
+    for n_inputs, stages in SIZES.items():
+        spec = NetworkSpec.edn(16, 4, 4, stages)
+        assert spec.n_inputs == n_inputs
+        traffic = UniformTraffic(n_inputs, n_inputs, 1.0)
+        for backend in available_backends(spec):
+            cycles = MATRIX_CYCLES.get(backend, CYCLES)
+            router = build_router(spec, backend)
+            elapsed, measurement = _best_of(
+                REPEATS,
+                lambda: measure_acceptance(router, traffic, cycles=cycles, seed=SEED),
+            )
+            entry = {
+                "network": str(spec.edn_params),
+                "n_inputs": n_inputs,
+                "backend": backend,
+                "cycles": cycles,
+                "seconds": round(elapsed, 4),
+                "seconds_per_cycle": round(elapsed / cycles, 6),
+                "pa": round(measurement.point, 6),
+            }
+            results.append(entry)
+            print(
+                f"N={n_inputs:>6} {backend:>10}: {elapsed:.3f}s over "
+                f"{cycles} cycles ({entry['seconds_per_cycle']:.6f} s/cycle)"
+            )
+    report = {
+        "benchmark": "backend_matrix",
+        "workload": "measure_acceptance, uniform traffic r=1.0, seed 0",
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--backend-matrix",
+        action="store_true",
+        help="sweep every repro.api backend instead of the batched-vs-per-cycle floor check",
+    )
+    args = parser.parse_args(argv)
+    if args.backend_matrix:
+        run_backend_matrix()
+        return 0
     report = run()
     at_4096 = next(r for r in report["results"] if r["n_inputs"] == 4_096)
     if at_4096["speedup"] < SPEEDUP_FLOOR:

@@ -5,6 +5,10 @@ Networks for Very Large Parallel Computers* (UC Irvine ICS TR #92-02, 1992).
 
 The package is organized as:
 
+* :mod:`repro.api` — the unified facade: :class:`NetworkSpec`/``RunConfig``
+  specs, the batched :class:`Router` protocol, and the string-keyed
+  backend registry (``build_router``, ``measure``) — the canonical way to
+  construct and drive any network here;
 * :mod:`repro.core` — the EDN itself: hyperbar switches, topology, digit
   routing, path enumeration, cost models, and the analytic acceptance
   models (Eqs. 2-5 of the paper);
@@ -33,6 +37,12 @@ Quickstart::
     net = EDNetwork(params)
     result = net.route_destinations({s: (s * 7) % 64 for s in range(64)})
     print("delivered", result.num_delivered, "of", result.num_offered)
+
+Or through the facade (any topology, any engine)::
+
+    from repro.api import NetworkSpec, RunConfig, measure
+
+    print(measure(NetworkSpec.edn(16, 4, 4, 2), RunConfig(cycles=500)).acceptance)
 """
 
 from repro.core import (
@@ -85,8 +95,20 @@ from repro.core import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # Lazy: `repro.api` pulls in every engine and baseline; load it only
+    # when the facade is actually used so `import repro` stays light.
+    if name == "api":
+        import importlib
+
+        return importlib.import_module("repro.api")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "__version__",
+    "api",
     "EDNParams",
     "EDNTopology",
     "EDNetwork",

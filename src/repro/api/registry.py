@@ -1,0 +1,270 @@
+"""String-keyed backend registry and router construction.
+
+A *backend* is a named way of turning a :class:`NetworkSpec` into a
+:class:`Router`.  Backends declare which topology kinds they build and
+which spec features they support; :func:`build_router` resolves a name (or
+``"auto"``) against a spec and instantiates the router.
+
+Registered backends:
+
+=============  =======================================  =================
+name           engine                                   kinds
+=============  =======================================  =================
+``batched``    native ``(batch, N)`` array engines      edn, delta,
+               (:class:`BatchedEDN`, batched omega,     omega, crossbar
+               batched crossbar)
+``vectorized`` per-cycle array engines behind the       edn, delta,
+               automatic batch loop                     omega, crossbar
+``reference``  the per-message reference engine         edn
+               (also the only fault-capable backend)
+``matching``   Clos matching decomposition              clos
+``looping``    Beneš looping algorithm                  benes
+=============  =======================================  =================
+
+``auto`` picks the first supporting backend in :data:`AUTO_PREFERENCE`
+order — batched engines first, the per-cycle loop as fallback — mirroring
+how the Monte-Carlo harness has always dispatched on ``route_batch``
+availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.exceptions import ConfigurationError
+from repro.api.router import (
+    BatchedOmegaRouter,
+    PerCycleRouter,
+    RearrangeableRouter,
+    ReferenceEDNRouter,
+    Router,
+)
+from repro.api.spec import NetworkSpec
+
+__all__ = [
+    "Backend",
+    "BACKENDS",
+    "AUTO_PREFERENCE",
+    "register_backend",
+    "available_backends",
+    "resolve_backend",
+    "build_router",
+]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered way of building routers.
+
+    ``builder`` instantiates a router for a supported spec; ``accepts``
+    refines kind membership with feature checks (faults, disciplines).
+    ``batched`` records whether routing is natively batched (drives
+    ``auto`` preference and lets tooling report engine class).
+    """
+
+    name: str
+    description: str
+    kinds: frozenset[str]
+    batched: bool
+    builder: Callable[[NetworkSpec], Router]
+    accepts: Callable[[NetworkSpec], bool]
+
+    def supports(self, spec: NetworkSpec) -> bool:
+        return spec.kind in self.kinds and self.accepts(spec)
+
+
+#: name -> Backend, in registration order.
+BACKENDS: dict[str, Backend] = {}
+
+#: ``auto`` tries these in order and takes the first that supports the spec.
+AUTO_PREFERENCE = ("batched", "matching", "looping", "vectorized", "reference")
+
+
+def register_backend(
+    name: str,
+    *,
+    description: str,
+    kinds: frozenset[str] | set[str],
+    batched: bool,
+    accepts: Callable[[NetworkSpec], bool] | None = None,
+):
+    """Register ``fn`` as the builder of backend ``name`` (decorator)."""
+
+    def decorate(fn: Callable[[NetworkSpec], Router]):
+        if name in BACKENDS:
+            raise ConfigurationError(f"backend {name!r} already registered")
+        BACKENDS[name] = Backend(
+            name=name,
+            description=description,
+            kinds=frozenset(kinds),
+            batched=batched,
+            builder=fn,
+            accepts=accepts if accepts is not None else (lambda spec: True),
+        )
+        return fn
+
+    return decorate
+
+
+def available_backends(spec: NetworkSpec) -> list[str]:
+    """Backend names able to build ``spec``, ``auto``-preference first."""
+    ordered = list(AUTO_PREFERENCE) + [n for n in BACKENDS if n not in AUTO_PREFERENCE]
+    return [name for name in ordered if name in BACKENDS and BACKENDS[name].supports(spec)]
+
+
+def resolve_backend(spec: NetworkSpec, backend: str = "auto") -> Backend:
+    """The :class:`Backend` that ``backend`` selects for ``spec``.
+
+    ``auto`` walks :data:`AUTO_PREFERENCE`; an explicit name must both
+    exist and support the spec, with the error naming the alternatives.
+    """
+    if backend == "auto":
+        for name in available_backends(spec):
+            return BACKENDS[name]
+        raise ConfigurationError(
+            f"no registered backend supports {spec} with "
+            f"priority={spec.priority!r}, wire_policy={spec.wire_policy!r}, "
+            f"{len(spec.faults)} fault(s); kind {spec.kind!r} is served by "
+            f"{sorted(n for n, b in BACKENDS.items() if spec.kind in b.kinds)}"
+        )
+    try:
+        entry = BACKENDS[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; registered: {sorted(BACKENDS)}"
+        ) from None
+    if not entry.supports(spec):
+        raise ConfigurationError(
+            f"backend {backend!r} does not support {spec} "
+            f"(available: {available_backends(spec)})"
+        )
+    return entry
+
+
+def build_router(spec: NetworkSpec, backend: str = "auto") -> Router:
+    """Construct a router for ``spec`` — the facade's main entry point.
+
+    >>> import numpy as np
+    >>> router = build_router(NetworkSpec.edn(16, 4, 4, 2))
+    >>> router.route_batch(np.tile(np.arange(64), (3, 1))).output.shape
+    (3, 64)
+    """
+    return resolve_backend(spec, backend).builder(spec)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends
+# ----------------------------------------------------------------------
+
+
+def _no_faults(spec: NetworkSpec) -> bool:
+    return not spec.faults
+
+
+def _array_engine_ok(spec: NetworkSpec) -> bool:
+    # Array engines fix first-free wire assignment (acceptance-equivalent).
+    return not spec.faults and spec.wire_policy == "first_free"
+
+
+def _label_only(spec: NetworkSpec) -> bool:
+    # Global control has no contention randomness to randomize.
+    return spec.priority == "label"
+
+
+@register_backend(
+    "batched",
+    description="native (batch, N) array engines — the Monte-Carlo fast path",
+    kinds={"edn", "delta", "omega", "crossbar"},
+    batched=True,
+    accepts=_array_engine_ok,
+)
+def _build_batched(spec: NetworkSpec) -> Router:
+    from repro.baselines.crossbar_network import CrossbarNetwork
+    from repro.sim.batched import BatchedEDN
+
+    if spec.kind in ("edn", "delta"):
+        return BatchedEDN(spec.edn_params, priority=spec.priority)
+    if spec.kind == "omega":
+        return BatchedOmegaRouter(spec.shape[0], priority=spec.priority)
+    return CrossbarNetwork(*spec.shape, priority=spec.priority)
+
+
+@register_backend(
+    "vectorized",
+    description="per-cycle array engines behind the automatic batch loop",
+    kinds={"edn", "delta", "omega", "crossbar"},
+    batched=False,
+    accepts=_array_engine_ok,
+)
+def _build_vectorized(spec: NetworkSpec) -> Router:
+    from repro.baselines.crossbar_network import CrossbarNetwork
+    from repro.baselines.delta import DeltaNetwork
+    from repro.baselines.omega import OmegaNetwork
+    from repro.sim.vectorized import VectorizedEDN
+
+    if spec.kind == "edn":
+        return PerCycleRouter(VectorizedEDN(spec.edn_params, priority=spec.priority))
+    if spec.kind == "delta":
+        a, b, l = spec.shape
+        return PerCycleRouter(DeltaNetwork(a, b, l, priority=spec.priority))
+    if spec.kind == "omega":
+        return PerCycleRouter(OmegaNetwork(spec.shape[0], priority=spec.priority))
+    return PerCycleRouter(CrossbarNetwork(*spec.shape, priority=spec.priority))
+
+
+def _reference_ok(spec: NetworkSpec) -> bool:
+    # FaultyEDNetwork implements the paper's default disciplines only.
+    if spec.faults:
+        return spec.priority == "label" and spec.wire_policy == "first_free"
+    return True
+
+
+@register_backend(
+    "reference",
+    description="per-message reference engine (fault injection, wire policies)",
+    kinds={"edn"},
+    batched=False,
+    accepts=_reference_ok,
+)
+def _build_reference(spec: NetworkSpec) -> Router:
+    from repro.core.faults import FaultSet, FaultyEDNetwork
+    from repro.core.network import EDNetwork
+
+    if spec.faults:
+        return ReferenceEDNRouter(
+            FaultyEDNetwork(spec.edn_params, FaultSet(spec.faults))
+        )
+    return ReferenceEDNRouter(
+        EDNetwork(
+            spec.edn_params, priority=spec.priority, wire_policy=spec.wire_policy
+        )
+    )
+
+
+@register_backend(
+    "matching",
+    description="Clos matching-decomposition global routing",
+    kinds={"clos"},
+    batched=False,
+    accepts=_label_only,
+)
+def _build_clos(spec: NetworkSpec) -> Router:
+    from repro.baselines.clos import ClosNetwork
+
+    n, r = spec.shape[0], spec.shape[1]
+    m = spec.shape[2] if len(spec.shape) == 3 else None
+    return RearrangeableRouter(ClosNetwork(n, r, m))
+
+
+@register_backend(
+    "looping",
+    description="Beneš looping-algorithm global routing",
+    kinds={"benes"},
+    batched=False,
+    accepts=_label_only,
+)
+def _build_benes(spec: NetworkSpec) -> Router:
+    from repro.baselines.benes import BenesNetwork
+
+    return RearrangeableRouter(BenesNetwork(spec.shape[0]))

@@ -1,0 +1,300 @@
+"""Typed specifications: what network to build, how to run it.
+
+Two frozen dataclasses carry everything the facade needs:
+
+* :class:`NetworkSpec` — *what*: a topology kind plus its shape parameters,
+  the contention/wire disciplines, and an optional fault set.  One spec
+  names one concrete network, independent of which engine (backend)
+  eventually routes it.
+* :class:`RunConfig` — *how*: Monte-Carlo budgets (cycles, seed,
+  confidence), execution knobs (process fan-out ``jobs``, cycles per
+  batched chunk ``batch``), and the backend selector.  Unset fields mean
+  "use the consumer's default", so one partially-filled config can thread
+  through layers of APIs without clobbering their local defaults.
+
+Both are hashable and picklable, so they cross
+:class:`~repro.experiments.parallel.ParallelSweep` process boundaries and
+can key caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import WireFault
+from repro.sim.rng import SeedLike
+
+__all__ = ["NetworkSpec", "RunConfig", "TOPOLOGY_KINDS"]
+
+#: kind -> (accepted shape arities, human-readable shape signature).
+TOPOLOGY_KINDS: dict[str, tuple[tuple[int, ...], str]] = {
+    "edn": ((4,), "a,b,c,l"),
+    "delta": ((3,), "a,b,l"),
+    "omega": ((1,), "n"),
+    "crossbar": ((1, 2), "n[,m]"),
+    "clos": ((2, 3), "n,r[,m]"),
+    "benes": ((1,), "n"),
+}
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A topology kind plus everything needed to instantiate it.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`TOPOLOGY_KINDS`: ``edn``, ``delta``, ``omega``,
+        ``crossbar``, ``clos``, ``benes``.
+    shape:
+        The kind's shape parameters in canonical order (see the classmethod
+        constructors, or :data:`TOPOLOGY_KINDS` for the signatures).
+    priority:
+        Contention discipline, ``label`` (default) or ``random``.
+        Globally-controlled kinds (``clos``, ``benes``) resolve output
+        conflicts in label order and accept only ``label``.
+    wire_policy:
+        Bucket-wire assignment for the EDN reference engine
+        (``first_free``/``random``); array engines fix ``first_free``
+        (the policies are acceptance-equivalent).
+    faults:
+        Dead output wires (``edn`` only).  A non-empty fault set selects
+        the fault-capable reference backend under ``backend="auto"``.
+
+    >>> NetworkSpec.edn(16, 4, 4, 2).n_inputs
+    64
+    >>> NetworkSpec.parse("delta:8,8,2").label
+    'delta:8,8,2'
+    """
+
+    kind: str
+    shape: tuple[int, ...]
+    priority: str = "label"
+    wire_policy: str = "first_free"
+    faults: tuple[WireFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ConfigurationError(
+                f"unknown topology kind {self.kind!r}; "
+                f"available: {sorted(TOPOLOGY_KINDS)}"
+            )
+        object.__setattr__(self, "shape", tuple(int(v) for v in self.shape))
+        arities, signature = TOPOLOGY_KINDS[self.kind]
+        if len(self.shape) not in arities:
+            raise ConfigurationError(
+                f"{self.kind} expects shape ({signature}), got {self.shape}"
+            )
+        if self.priority not in ("label", "random"):
+            raise ConfigurationError(f"unknown priority discipline {self.priority!r}")
+        if self.wire_policy not in ("first_free", "random"):
+            raise ConfigurationError(f"unknown wire policy {self.wire_policy!r}")
+        object.__setattr__(self, "faults", tuple(sorted(self.faults)))
+        if self.faults and self.kind != "edn":
+            raise ConfigurationError(f"wire faults only apply to EDNs, not {self.kind}")
+        self._validate_shape()
+
+    def _validate_shape(self) -> None:
+        # Delegate to the builders' own constructors (lazy imports keep this
+        # module light), so a spec accepts a shape iff build_router will:
+        # there is exactly one copy of each topology's validity rules.
+        # Omega is the exception — its constructor materializes a routing
+        # engine and an O(n) shuffle table, too heavy for spec validation —
+        # so its power-of-two rule is restated here.
+        if self.kind in ("edn", "delta"):
+            params = self.edn_params  # EDNParams performs full validation
+            if self.faults:
+                from repro.core.faults import FaultSet
+
+                FaultSet(self.faults).validate(params)
+        elif self.kind == "omega":
+            from repro.core.labels import is_power_of_two
+
+            n = self.shape[0]
+            if not is_power_of_two(n) or n < 2:
+                raise ConfigurationError(
+                    f"omega size must be a power of two >= 2, got {n}"
+                )
+        elif self.kind == "benes":
+            from repro.baselines.benes import BenesNetwork
+
+            BenesNetwork(self.shape[0])
+        elif self.kind == "crossbar":
+            from repro.baselines.crossbar_network import CrossbarNetwork
+
+            CrossbarNetwork(*self.shape)
+        elif self.kind == "clos":
+            from repro.baselines.clos import ClosNetwork
+
+            n, r = self.shape[0], self.shape[1]
+            m = self.shape[2] if len(self.shape) == 3 else None
+            ClosNetwork(n, r, m)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def edn(cls, a: int, b: int, c: int, l: int, **kwargs) -> "NetworkSpec":
+        """An ``EDN(a, b, c, l)`` (paper, Definition 2)."""
+        return cls("edn", (a, b, c, l), **kwargs)
+
+    @classmethod
+    def delta(cls, a: int, b: int, l: int, **kwargs) -> "NetworkSpec":
+        """Patel's ``a^l x b^l`` delta network (the ``c = 1`` EDN)."""
+        return cls("delta", (a, b, l), **kwargs)
+
+    @classmethod
+    def omega(cls, n: int, **kwargs) -> "NetworkSpec":
+        """Lawrie's ``N x N`` omega network (shuffle + 2x2 switches)."""
+        return cls("omega", (n,), **kwargs)
+
+    @classmethod
+    def crossbar(cls, n_inputs: int, n_outputs: Optional[int] = None, **kwargs) -> "NetworkSpec":
+        """A full crossbar (square unless ``n_outputs`` is given)."""
+        shape = (n_inputs,) if n_outputs is None else (n_inputs, n_outputs)
+        return cls("crossbar", shape, **kwargs)
+
+    @classmethod
+    def clos(cls, n: int, r: int, m: Optional[int] = None, **kwargs) -> "NetworkSpec":
+        """A rearrangeable three-stage ``C(n, m, r)`` Clos network."""
+        shape = (n, r) if m is None else (n, r, m)
+        return cls("clos", shape, **kwargs)
+
+    @classmethod
+    def benes(cls, n: int, **kwargs) -> "NetworkSpec":
+        """An ``N x N`` Beneš network under the looping algorithm."""
+        return cls("benes", (n,), **kwargs)
+
+    @classmethod
+    def parse(cls, text: str, **kwargs) -> "NetworkSpec":
+        """Parse a ``kind:p1,p2,...`` spec string (the CLI's ``--topology``).
+
+        >>> NetworkSpec.parse("edn:16,4,4,2").shape
+        (16, 4, 4, 2)
+        """
+        kind, sep, params = text.partition(":")
+        kind = kind.strip().lower()
+        if not sep or not params.strip():
+            raise ConfigurationError(
+                f"cannot parse topology {text!r}: expected KIND:P1,P2,... "
+                f"(kinds: {sorted(TOPOLOGY_KINDS)})"
+            )
+        try:
+            shape = tuple(int(v) for v in params.split(","))
+        except ValueError:
+            raise ConfigurationError(
+                f"cannot parse topology {text!r}: shape must be comma-separated integers"
+            ) from None
+        return cls(kind, shape, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def edn_params(self) -> EDNParams:
+        """The underlying :class:`EDNParams` (``edn`` and ``delta`` kinds)."""
+        if self.kind == "edn":
+            return EDNParams(*self.shape)
+        if self.kind == "delta":
+            a, b, l = self.shape
+            return EDNParams(a, b, 1, l)
+        raise ConfigurationError(f"{self.kind} networks have no EDN parameterization")
+
+    @property
+    def n_inputs(self) -> int:
+        """Input terminals of the specified network."""
+        if self.kind in ("edn", "delta"):
+            return self.edn_params.num_inputs
+        if self.kind in ("omega", "benes"):
+            return self.shape[0]
+        if self.kind == "crossbar":
+            return self.shape[0]
+        return self.shape[0] * self.shape[1]  # clos: n * r terminals
+
+    @property
+    def n_outputs(self) -> int:
+        """Output terminals of the specified network."""
+        if self.kind in ("edn", "delta"):
+            return self.edn_params.num_outputs
+        if self.kind == "crossbar":
+            return self.shape[-1]
+        return self.n_inputs  # omega, benes, clos are square
+
+    @property
+    def label(self) -> str:
+        """The canonical ``kind:p1,p2,...`` string (round-trips through :meth:`parse`)."""
+        return f"{self.kind}:{','.join(str(v) for v in self.shape)}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Execution parameters for measurements and experiment runners.
+
+    Every field except ``backend`` defaults to ``None`` = *unset*: the
+    consumer fills unset fields with its own defaults via :meth:`resolve`,
+    so a config built from CLI flags only overrides what the user actually
+    asked for.
+
+    Attributes
+    ----------
+    cycles:
+        Monte-Carlo cycles per measurement point.
+    seed:
+        Master reproducibility seed (``int``/``SeedSequence``/``Generator``).
+    jobs:
+        Process fan-out for experiment grids (:class:`ParallelSweep`).
+    batch:
+        Cycles routed per batched-engine chunk (``1`` = per-cycle path).
+    backend:
+        Router backend name, or ``auto`` (batched where available,
+        per-cycle fallback) — see :func:`repro.api.build_router`.
+    confidence:
+        Confidence level of reported intervals.
+    """
+
+    cycles: Optional[int] = None
+    seed: SeedLike = None
+    jobs: Optional[int] = None
+    batch: Optional[int] = None
+    backend: str = "auto"
+    confidence: Optional[float] = None
+
+    def override(self, **overrides) -> "RunConfig":
+        """A copy where each non-``None`` override replaces the field.
+
+        The precedence helper for explicit keyword arguments: values the
+        caller actually passed beat whatever the config carries.
+        """
+        self._check_fields(overrides)
+        updates = {name: value for name, value in overrides.items() if value is not None}
+        return replace(self, **updates) if updates else self
+
+    def resolve(self, **defaults) -> "RunConfig":
+        """A copy where each *unset* (``None``) field takes the given default.
+
+        The consumer-defaults helper: ``config.resolve(cycles=60, seed=0)``
+        keeps any value already set on the config and fills the rest.
+        """
+        self._check_fields(defaults)
+        updates = {
+            name: value
+            for name, value in defaults.items()
+            if getattr(self, name) is None
+        }
+        return replace(self, **updates) if updates else self
+
+    def _check_fields(self, names: dict) -> None:
+        valid = {f.name for f in fields(self)}
+        unknown = set(names) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunConfig field(s) {sorted(unknown)}; valid: {sorted(valid)}"
+            )

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.analysis import crossbar_acceptance
 from repro.core.exceptions import ConfigurationError, LabelError
 from repro.sim.batched import validate_demand_matrix
+from repro.sim.rng import SeedLike, as_generator
 
 __all__ = ["CrossbarNetwork", "CrossbarCycleResult"]
 
@@ -81,7 +82,14 @@ class CrossbarNetwork:
     4
     """
 
-    def __init__(self, n_inputs: int, n_outputs: Optional[int] = None, *, priority: str = "label"):
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: Optional[int] = None,
+        *,
+        priority: str = "label",
+        seed: SeedLike = None,
+    ):
         if n_outputs is None:
             n_outputs = n_inputs
         if n_inputs < 1 or n_outputs < 1:
@@ -91,11 +99,16 @@ class CrossbarNetwork:
         self.n_inputs = n_inputs
         self.n_outputs = n_outputs
         self.priority = priority
+        # Default stream for route calls that pass no rng (random priority).
+        self._rng = as_generator(seed)
 
-    def route(
-        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
-    ) -> CrossbarCycleResult:
-        """Grant each contended output to its highest-priority requester."""
+    def route(self, dests: np.ndarray, rng: SeedLike = None) -> CrossbarCycleResult:
+        """Grant each contended output to its highest-priority requester.
+
+        ``rng`` accepts anything seed-like (``int``/``SeedSequence``/
+        ``Generator``); ``None`` falls back to the constructor's ``seed``
+        stream.
+        """
         dests = np.asarray(dests, dtype=np.int64)
         if dests.shape != (self.n_inputs,):
             raise LabelError(f"expected shape ({self.n_inputs},), got {dests.shape}")
@@ -104,8 +117,11 @@ class CrossbarNetwork:
             lo, hi = int(dests[live].min()), int(dests[live].max())
             if lo < 0 or hi >= self.n_outputs:
                 raise LabelError("demand vector contains out-of-range destinations")
+        rng = as_generator(rng) if rng is not None else self._rng
         if self.priority == "random" and rng is None:
-            raise ConfigurationError("random priority requires an explicit numpy Generator")
+            raise ConfigurationError(
+                "random priority requires an rng (constructor seed or route argument)"
+            )
 
         output = np.full(self.n_inputs, IDLE, dtype=np.int64)
         blocked_stage = np.full(self.n_inputs, IDLE, dtype=np.int64)
@@ -128,7 +144,7 @@ class CrossbarNetwork:
         return CrossbarCycleResult(output=output, blocked_stage=blocked_stage)
 
     def route_batch(
-        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
+        self, dests: np.ndarray, rng: SeedLike = None
     ) -> CrossbarCycleResult:
         """Route a ``(batch, n_inputs)`` demand matrix of independent cycles.
 
@@ -144,8 +160,11 @@ class CrossbarNetwork:
             dests, self.n_inputs, self.n_outputs
         )
         batch, n = dests.shape
+        rng = as_generator(rng) if rng is not None else self._rng
         if self.priority == "random" and rng is None:
-            raise ConfigurationError("random priority requires an explicit numpy Generator")
+            raise ConfigurationError(
+                "random priority requires an rng (constructor seed or route argument)"
+            )
 
         output = np.full(batch * n, IDLE, dtype=np.int64)
         blocked_stage = np.full(batch * n, IDLE, dtype=np.int64)

@@ -16,13 +16,12 @@ Implemented two ways, both pinned together in the test suite:
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.analysis import delta_acceptance
 from repro.core.config import EDNParams
 from repro.core.cost import crosspoint_cost, wire_cost
+from repro.sim.rng import SeedLike, as_generator
 from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
 
 __all__ = ["DeltaNetwork"]
@@ -40,9 +39,13 @@ class DeltaNetwork:
     (1, 5)
     """
 
-    def __init__(self, a: int, b: int, l: int, *, priority: str = "label"):
+    def __init__(
+        self, a: int, b: int, l: int, *, priority: str = "label", seed: SeedLike = None
+    ):
         self.params = EDNParams(a, b, 1, l)
         self._engine = VectorizedEDN(self.params, priority=priority)
+        # Default stream for route calls that pass no rng (random priority).
+        self._rng = as_generator(seed)
 
     @property
     def a(self) -> int:
@@ -64,11 +67,15 @@ class DeltaNetwork:
     def n_outputs(self) -> int:
         return self.params.num_outputs
 
-    def route(
-        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
-    ) -> VectorCycleResult:
-        """Route one cycle of demands through the unique-path network."""
-        return self._engine.route(dests, rng)
+    def route(self, dests: np.ndarray, rng: SeedLike = None) -> VectorCycleResult:
+        """Route one cycle of demands through the unique-path network.
+
+        ``rng`` accepts anything seed-like (``int``/``SeedSequence``/
+        ``Generator``); ``None`` falls back to the constructor's ``seed``
+        stream.
+        """
+        generator = as_generator(rng) if rng is not None else self._rng
+        return self._engine.route(dests, generator)
 
     def analytic_acceptance(self, r: float) -> float:
         """Patel's ``PA(r)`` recursion for this network."""

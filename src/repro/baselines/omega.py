@@ -12,14 +12,13 @@ source owns a path but never destroys connectivity.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.analysis import delta_acceptance
 from repro.core.config import EDNParams
 from repro.core.exceptions import ConfigurationError
 from repro.core.labels import ilog2, is_power_of_two
+from repro.sim.rng import SeedLike, as_generator
 from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
 
 __all__ = ["OmegaNetwork"]
@@ -37,13 +36,15 @@ class OmegaNetwork:
     (1, 6)
     """
 
-    def __init__(self, n: int, *, priority: str = "label"):
+    def __init__(self, n: int, *, priority: str = "label", seed: SeedLike = None):
         if not is_power_of_two(n) or n < 2:
             raise ConfigurationError(f"omega size must be a power of two >= 2, got {n}")
         self.n = n
         self.stages = ilog2(n)
         self.params = EDNParams(2, 2, 1, self.stages)
         self._engine = VectorizedEDN(self.params, priority=priority)
+        # Default stream for route calls that pass no rng (random priority).
+        self._rng = as_generator(seed)
         # Input shuffle: source s enters the switch column on wire shuffle(s)
         # (one-bit left rotation of the n-bit label).
         idx = np.arange(n, dtype=np.int64)
@@ -57,16 +58,20 @@ class OmegaNetwork:
     def n_outputs(self) -> int:
         return self.n
 
-    def route(
-        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
-    ) -> VectorCycleResult:
-        """Route one cycle; semantics match the vectorized EDN result."""
+    def route(self, dests: np.ndarray, rng: SeedLike = None) -> VectorCycleResult:
+        """Route one cycle; semantics match the vectorized EDN result.
+
+        ``rng`` accepts anything seed-like (``int``/``SeedSequence``/
+        ``Generator``); ``None`` falls back to the constructor's ``seed``
+        stream.
+        """
         dests = np.asarray(dests, dtype=np.int64)
         if dests.shape != (self.n,):
             raise ConfigurationError(f"expected demand vector of shape ({self.n},)")
         shuffled = np.full(self.n, IDLE, dtype=np.int64)
         shuffled[self._shuffle] = dests
-        inner = self._engine.route(shuffled, rng)
+        generator = as_generator(rng) if rng is not None else self._rng
+        inner = self._engine.route(shuffled, generator)
         # Re-index outcomes back to original source labels.
         return VectorCycleResult(
             output=inner.output[self._shuffle],

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
 Gives a downstream user the library's main entry points without writing
 code:
@@ -6,7 +6,11 @@ code:
 * ``describe A B C L`` — structure, costs and key metrics of an EDN;
 * ``pa A B C L [-r RATE]`` — analytic acceptance (Eq. 4/5) plus an optional
   Monte-Carlo check;
-* ``experiment ID ...`` — regenerate paper figures (see ``experiment --list``);
+* ``route -t KIND:SHAPE ...`` — measure any topology through the
+  :mod:`repro.api` facade; repeat ``-t`` for one-line EDN-vs-delta-vs-
+  crossbar-vs-Clos comparisons, ``--backend`` to pin an engine;
+* ``experiment ID ...`` — regenerate paper figures (see ``experiment
+  --list``); ``--json``/``--csv`` emit machine-readable figure data;
 * ``maspar`` — the Section 5 MasPar MP-1 drain, model and simulation;
 * ``mimd A B C L -r RATE`` — Section 4 resubmission analysis.
 """
@@ -48,6 +52,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=None, metavar="CYCLES",
         help="cycles routed per batched chunk (default: auto; 1 = per-cycle engine)",
     )
+    pa.add_argument(
+        "--backend", default="auto", metavar="NAME",
+        help="router backend for --simulate (default: auto; see `repro route`)",
+    )
+
+    route = sub.add_parser(
+        "route",
+        help="measure acceptance of arbitrary topologies via repro.api",
+        description=(
+            "Monte-Carlo acceptance of one or more topologies under uniform "
+            "traffic.  Topologies are KIND:P1,P2,... specs — e.g. "
+            "edn:16,4,4,2  delta:8,8,2  omega:64  crossbar:64  clos:8,8  "
+            "benes:64 — so cross-network comparisons are one-liners."
+        ),
+    )
+    route.add_argument(
+        "-t", "--topology", action="append", required=True, metavar="KIND:SHAPE",
+        help="topology spec (repeatable; e.g. edn:16,4,4,2, clos:8,8)",
+    )
+    route.add_argument(
+        "--backend", default="auto", metavar="NAME",
+        help="router backend: auto, batched, vectorized, reference, matching, looping",
+    )
+    route.add_argument("-r", "--rate", type=float, default=1.0, help="request rate (default 1.0)")
+    route.add_argument("--cycles", type=int, default=200, help="Monte-Carlo cycles (default 200)")
+    route.add_argument("--seed", type=int, default=0, help="reproducibility seed (default 0)")
+    route.add_argument(
+        "--batch", type=int, default=None, metavar="CYCLES",
+        help="cycles routed per batched chunk (default: auto)",
+    )
+    route.add_argument(
+        "--priority", default="label", choices=["label", "random"],
+        help="contention discipline (default: label)",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate paper figures")
     experiment.add_argument("ids", nargs="*", help="experiment IDs (empty = all)")
@@ -59,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--batch", type=int, default=None, metavar="CYCLES",
         help="cycles per batched-routing chunk for Monte-Carlo experiments",
+    )
+    output = experiment.add_mutually_exclusive_group()
+    output.add_argument(
+        "--json", action="store_true",
+        help="emit results as a JSON array instead of rendered reports",
+    )
+    output.add_argument(
+        "--csv", action="store_true",
+        help="emit series/table CSV instead of rendered reports",
     )
 
     maspar = sub.add_parser("maspar", help="Section 5: MasPar MP-1 drain model + simulation")
@@ -104,23 +151,63 @@ def _cmd_pa(args: argparse.Namespace) -> int:
     print(f"{params}: PA({args.rate:g}) = {acceptance_probability(params, args.rate):.6f}  "
           f"PAp({args.rate:g}) = {permutation_acceptance(params, args.rate):.6f}")
     if args.simulate:
-        from repro.sim.batched import BatchedEDN
-        from repro.sim.montecarlo import measure_acceptance
-        from repro.sim.traffic import UniformTraffic
+        from repro.api import NetworkSpec, RunConfig, measure
 
-        measurement = measure_acceptance(
-            BatchedEDN(params),
-            UniformTraffic(params.num_inputs, params.num_outputs, args.rate),
-            cycles=args.simulate,
-            seed=0,
-            batch=args.batch,
+        measurement = measure(
+            NetworkSpec.edn(args.a, args.b, args.c, args.l),
+            RunConfig(
+                cycles=args.simulate, seed=0, batch=args.batch, backend=args.backend
+            ),
+            rate=args.rate,
         )
         print(f"simulated over {args.simulate} cycles: {measurement.acceptance}")
     return 0
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.api import NetworkSpec, RunConfig, resolve_backend
+    from repro.core.exceptions import EDNError
+    from repro.sim.montecarlo import measure_acceptance
+    from repro.sim.traffic import UniformTraffic
+
+    config = RunConfig(
+        cycles=args.cycles, seed=args.seed, batch=args.batch, backend=args.backend
+    )
+    rows = []
+    for text in args.topology:
+        try:
+            spec = NetworkSpec.parse(text, priority=args.priority)
+            # Resolve once, build once: the displayed backend is the
+            # measured one by construction.
+            backend = resolve_backend(spec, config.backend)
+            router = backend.builder(spec)
+            traffic = UniformTraffic(router.n_inputs, router.n_outputs, args.rate)
+            measurement = measure_acceptance(router, traffic, config=config)
+        except EDNError as exc:
+            print(f"error: {text}: {exc}", file=sys.stderr)
+            return 2
+        interval = measurement.acceptance
+        rows.append(
+            [
+                spec.label,
+                spec.n_inputs,
+                backend.name,
+                f"{interval.point:.6f}",
+                f"[{interval.low:.4f}, {interval.high:.4f}]",
+            ]
+        )
+    print(
+        format_table(
+            ["topology", "inputs", "backend", f"PA({args.rate:g})", "95% CI"],
+            rows,
+            title=f"Monte-Carlo acceptance, {args.cycles} cycles, seed {args.seed}",
+        )
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments.registry import EXPERIMENTS, main as run_all
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
 
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):
@@ -130,7 +217,30 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment id(s): {unknown}; try --list", file=sys.stderr)
         return 2
-    run_all(args.ids or None, jobs=args.jobs, batch=args.batch)
+    ids = args.ids or sorted(EXPERIMENTS)
+    if args.json:
+        # A single JSON array has to buffer; the streaming modes below
+        # keep the historical report-as-it-completes behavior.
+        import json
+
+        results = [
+            run_experiment(experiment_id, jobs=args.jobs, batch=args.batch)
+            for experiment_id in ids
+        ]
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    elif args.csv:
+        for experiment_id in ids:
+            result = run_experiment(experiment_id, jobs=args.jobs, batch=args.batch)
+            if result.series:
+                print(f"# {result.experiment_id}: series")
+                print(result.series_csv(), end="")
+            for name in result.tables:
+                print(f"# {result.experiment_id}: table: {name}")
+                print(result.table_csv(name), end="")
+    else:
+        from repro.experiments.registry import main as run_all
+
+        run_all(args.ids or None, jobs=args.jobs, batch=args.batch)
     return 0
 
 
@@ -168,6 +278,7 @@ def _cmd_mimd(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "describe": _cmd_describe,
     "pa": _cmd_pa,
+    "route": _cmd_route,
     "experiment": _cmd_experiment,
     "maspar": _cmd_maspar,
     "mimd": _cmd_mimd,

@@ -17,8 +17,11 @@ ablated here:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.api.spec import RunConfig
 from repro.core.config import EDNParams
 from repro.core.hyperbar import Hyperbar
 from repro.experiments.base import ExperimentResult
@@ -33,8 +36,16 @@ from repro.simd.simulator import RAEDNSimulator
 __all__ = ["run_priority", "run_wire_policy", "run_schedules", "run"]
 
 
-def run_priority(*, cycles: int = 150, seed: int = 0) -> ExperimentResult:
-    """Label vs random contention priority: acceptance and fairness."""
+def run_priority(
+    *, cycles: int = 150, seed: int = 0, config: Optional[RunConfig] = None
+) -> ExperimentResult:
+    """Label vs random contention priority: acceptance and fairness.
+
+    A :class:`RunConfig` may supply cycles/seed; the explicit keywords act
+    as its defaults.
+    """
+    cfg = (config if config is not None else RunConfig()).resolve(cycles=cycles, seed=seed)
+    cycles, seed = cfg.cycles, cfg.seed
     params = EDNParams(16, 4, 4, 2)
     traffic = UniformTraffic(params.num_inputs, params.num_outputs, 1.0)
     result = ExperimentResult(
@@ -64,12 +75,17 @@ def run_priority(*, cycles: int = 150, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def run_wire_policy(*, trials: int = 200, seed: int = 0) -> ExperimentResult:
+def run_wire_policy(
+    *, trials: int = 200, seed: int = 0, config: Optional[RunConfig] = None
+) -> ExperimentResult:
     """First-free vs random bucket-wire assignment on a single hyperbar.
 
     Work conservation means the accepted *set* is identical whenever the
-    contention order is; only the wire each winner rides differs.
+    contention order is; only the wire each winner rides differs.  A
+    :class:`RunConfig` may supply the seed.
     """
+    if config is not None and config.seed is not None:
+        seed = config.seed
     rng = make_rng(seed)
     first_free = Hyperbar(16, 4, 4, wire_policy="first_free")
     random_wire = Hyperbar(16, 4, 4, wire_policy="random")
@@ -92,8 +108,16 @@ def run_wire_policy(*, trials: int = 200, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def run_schedules(*, runs: int = 15, seed: int = 0) -> ExperimentResult:
-    """Drain-time sensitivity to the cluster schedule on RA-EDN(4,2,2,8)."""
+def run_schedules(
+    *, runs: int = 15, seed: int = 0, config: Optional[RunConfig] = None
+) -> ExperimentResult:
+    """Drain-time sensitivity to the cluster schedule on RA-EDN(4,2,2,8).
+
+    A :class:`RunConfig` may supply the seed (``batch`` is deliberately
+    not forwarded — see :func:`repro.experiments.sec5_raedn.run_simulation`).
+    """
+    if config is not None and config.seed is not None:
+        seed = config.seed
     system = RAEDNSystem(4, 2, 2, 8)
     result = ExperimentResult(
         experiment_id="ablation_schedule",

@@ -8,6 +8,7 @@ and carry machine-readable data so EXPERIMENTS.md numbers stay auditable.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.viz.curves import Series, render_plot
@@ -59,6 +60,40 @@ class ExperimentResult:
             for x, y in sorted(self.series[name]):
                 lines.append(f"{_csv_quote(name)},{x!r},{y!r}")
         return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """The full result as JSON-compatible plain data.
+
+        Series points become ``[x, y]`` pairs in x order; tables become
+        ``{"headers": [...], "rows": [...]}`` with cells stringified only
+        when they are not already JSON-representable numbers/strings.
+        """
+
+        def cell(value: object) -> object:
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                return value
+            return str(value)
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": {
+                name: [[x, y] for x, y in sorted(points)]
+                for name, points in self.series.items()
+            },
+            "tables": {
+                name: {
+                    "headers": [str(h) for h in headers],
+                    "rows": [[cell(v) for v in row] for row in rows],
+                }
+                for name, (headers, rows) in self.tables.items()
+            },
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The full result as a JSON document (machine-readable figure data)."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def table_csv(self, name: str) -> str:
         """One named table as CSV."""

@@ -15,6 +15,9 @@ Regenerates the paper's cost accounting:
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.baselines.dilated import DilatedDelta
 from repro.core.analysis import acceptance_probability, crossbar_acceptance, delta_acceptance
 from repro.core.config import EDNParams
@@ -45,8 +48,13 @@ SWEEP = (
 )
 
 
-def run() -> ExperimentResult:
-    """Closed forms vs structural enumeration across the sweep."""
+def run(*, config: Optional[RunConfig] = None) -> ExperimentResult:
+    """Closed forms vs structural enumeration across the sweep.
+
+    Analytic; ``config`` is accepted for uniform registry dispatch and
+    ignored.
+    """
+    del config
     result = ExperimentResult(
         experiment_id="eq2_eq3",
         title="Eqs. 2-3: crosspoint and wire costs, closed form vs enumeration",
@@ -82,7 +90,9 @@ def run() -> ExperimentResult:
     return result
 
 
-def run_dilation_comparison(*, l_values: tuple[int, ...] = (2, 3, 4)) -> ExperimentResult:
+def run_dilation_comparison(
+    *, l_values: tuple[int, ...] = (2, 3, 4), config: Optional[RunConfig] = None
+) -> ExperimentResult:
     """Section 1's wire claim: c-dilated delta vs same-size EDN.
 
     Compares the square EDN(bc, b, c, l) against the c-dilated b x b delta
@@ -90,8 +100,10 @@ def run_dilation_comparison(*, l_values: tuple[int, ...] = (2, 3, 4)) -> Experim
     the EDN carries ``b^l * c`` wires while the dilated delta carries
     ``c * b^l * c``-equivalent bundles for matched *port* counts — i.e. the
     dilated network spends ``d = c`` times the wires for the same
-    multiplicity.
+    multiplicity.  Analytic; ``config`` is accepted for uniform registry
+    dispatch and ignored.
     """
+    del config
     result = ExperimentResult(
         experiment_id="eq2_eq3_dilated",
         title="Dilated delta vs EDN: interstage wires at equal multiplicity",
@@ -137,12 +149,16 @@ def run_dilation_comparison(*, l_values: tuple[int, ...] = (2, 3, 4)) -> Experim
     return result
 
 
-def run_cost_performance(*, rate: float = 1.0) -> ExperimentResult:
+def run_cost_performance(
+    *, rate: float = 1.0, config: Optional[RunConfig] = None
+) -> ExperimentResult:
     """Section 6's positioning: EDN ≈ crossbar performance at ≈ delta cost.
 
     For matched 1024-terminal networks, report PA(rate) and crosspoints for
-    the full crossbar, the MasPar EDN, and the same-size delta.
+    the full crossbar, the MasPar EDN, and the same-size delta.  Analytic;
+    ``config`` is accepted for uniform registry dispatch and ignored.
     """
+    del config
     result = ExperimentResult(
         experiment_id="cost_performance",
         title="Cost vs performance at 1024 terminals (Section 6)",

@@ -16,6 +16,9 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.core.analysis import acceptance_probability
 from repro.core.config import EDNParams
 from repro.experiments.base import ExperimentResult
@@ -33,8 +36,15 @@ def run_buffered(
     cycles: int = 400,
     warmup: int = 100,
     seed: int = 0,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
-    """Throughput/latency of the buffered EDN(16,4,4,2) vs load and depth."""
+    """Throughput/latency of the buffered EDN(16,4,4,2) vs load and depth.
+
+    A :class:`RunConfig` may supply cycles/seed; the explicit keywords act
+    as its defaults.
+    """
+    cfg = (config if config is not None else RunConfig()).resolve(cycles=cycles, seed=seed)
+    cycles, seed = cfg.cycles, cfg.seed
     params = EDNParams(16, 4, 4, 2)
     result = ExperimentResult(
         experiment_id="buffered",
@@ -64,8 +74,16 @@ def run_buffered(
     return result
 
 
-def run_admissibility(*, samples: int = 600, seed: int = 0) -> ExperimentResult:
-    """One-pass admissible fraction across a capacity ladder."""
+def run_admissibility(
+    *, samples: int = 600, seed: int = 0, config: Optional[RunConfig] = None
+) -> ExperimentResult:
+    """One-pass admissible fraction across a capacity ladder.
+
+    A :class:`RunConfig` may supply the seed; the explicit keyword acts as
+    its default.
+    """
+    if config is not None and config.seed is not None:
+        seed = config.seed
     result = ExperimentResult(
         experiment_id="admissibility",
         title="One-pass permutation admissibility vs capacity (extension)",

@@ -17,6 +17,9 @@ do).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.core.config import EDNParams
 from repro.core.faults import connectivity_under_faults, random_faults
 from repro.experiments.base import ExperimentResult
@@ -37,8 +40,15 @@ def run(
     failure_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3),
     draws: int = 10,
     seed: int = 0,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
-    """Mean pair-connectivity vs wire-failure rate on the capacity ladder."""
+    """Mean pair-connectivity vs wire-failure rate on the capacity ladder.
+
+    A :class:`RunConfig` may supply the seed; the explicit keyword acts as
+    its default.
+    """
+    if config is not None and config.seed is not None:
+        seed = config.seed
     result = ExperimentResult(
         experiment_id="fault_tolerance",
         title="Pair connectivity under random wire failures (16x16 networks)",

@@ -15,6 +15,9 @@ chain's predictions (``PA'``, ``qA``, ``r'``) against measurement.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.core.analysis import acceptance_probability
 from repro.core.config import EDNParams, family_members
 from repro.experiments.base import ExperimentResult
@@ -30,8 +33,18 @@ FAMILIES = ((16, 4, 4), (4, 2, 2))
 DEFAULT_MAX_INPUTS = 1_050_000
 
 
-def run(*, rate: float = 0.5, max_inputs: int = DEFAULT_MAX_INPUTS) -> ExperimentResult:
-    """Regenerate Figure 11's four curves."""
+def run(
+    *,
+    rate: float = 0.5,
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    config: Optional[RunConfig] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 11's four curves.
+
+    Analytic (Markov fixed points); ``config`` is accepted for uniform
+    registry dispatch and ignored.
+    """
+    del config
     result = ExperimentResult(
         experiment_id="fig11",
         title=f"Figure 11: resubmission effect on PA at r={rate:g}",
@@ -99,14 +112,24 @@ def run_simulation_validation(
     warmup: int = 300,
     seed: int = 0,
     jobs: int | None = 1,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
-    """MIMD cycle simulation vs the Markov model on selected networks."""
+    """MIMD cycle simulation vs the Markov model on selected networks.
+
+    A :class:`RunConfig` may supply cycles/seed/jobs; the explicit
+    keywords act as its defaults (``batch`` does not apply — the MIMD
+    loop is stateful, resubmission couples its cycles).
+    """
+    run_cfg = (config if config is not None else RunConfig()).resolve(
+        cycles=cycles, seed=seed, jobs=jobs
+    )
+    cycles, seed = run_cfg.cycles, run_cfg.seed
     result = ExperimentResult(
         experiment_id="fig11_sim",
         title=f"MIMD simulator vs Markov resubmission model (r={rate:g})",
     )
     tasks = [(cfg, rate, cycles, warmup, seed) for cfg in configs]
-    rows = ParallelSweep(jobs).map_seeded(_mimd_row, tasks, seed)
+    rows = ParallelSweep.from_config(run_cfg).map_seeded(_mimd_row, tasks, seed)
     result.tables["model vs simulation"] = (
         [
             "network",

@@ -9,6 +9,10 @@ inputs 0 and 2 when input 7 arrives.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
+
 from repro.core.hyperbar import Hyperbar
 from repro.experiments.base import ExperimentResult
 from repro.viz.ascii_art import render_hyperbar_routing
@@ -22,8 +26,13 @@ PAPER_DIGITS = [3, 2, 3, 1, 2, 2, 0, 3]
 PAPER_DISCARDS = [5, 7]
 
 
-def run() -> ExperimentResult:
-    """Route the Figure 2 example and compare discards with the paper."""
+def run(*, config: Optional[RunConfig] = None) -> ExperimentResult:
+    """Route the Figure 2 example and compare discards with the paper.
+
+    Deterministic; ``config`` is accepted for uniform registry dispatch
+    and ignored.
+    """
+    del config
     switch = Hyperbar(8, 4, 2, priority="label")
     outcome = switch.route(PAPER_DIGITS)
     result = ExperimentResult(

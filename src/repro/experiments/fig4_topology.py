@@ -10,6 +10,10 @@ enumeration.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
+
 from repro.core.config import EDNParams
 from repro.core.cost import (
     crosspoint_cost,
@@ -24,8 +28,15 @@ from repro.viz.ascii_art import render_network
 __all__ = ["run"]
 
 
-def run(params: EDNParams | None = None) -> ExperimentResult:
-    """Summarize the Figure 4 network (or any ``params`` passed in)."""
+def run(
+    params: EDNParams | None = None, *, config: Optional[RunConfig] = None
+) -> ExperimentResult:
+    """Summarize the Figure 4 network (or any ``params`` passed in).
+
+    Structural; ``config`` is accepted for uniform registry dispatch and
+    ignored.
+    """
+    del config
     if params is None:
         params = EDNParams(16, 4, 4, 2)
     topo = EDNTopology(params)

@@ -16,6 +16,10 @@ battery of structured ones.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
+
 from repro.core.config import EDNParams
 from repro.core.tags import RetirementOrder
 from repro.experiments.base import ExperimentResult
@@ -29,8 +33,16 @@ __all__ = ["run"]
 STRUCTURED = ("identity", "reversal", "bit_reversal", "shuffle", "transpose", "butterfly")
 
 
-def run(*, cycles: int = 40, seed: int = 0) -> ExperimentResult:
-    """Compare canonical vs reversed digit retirement on EDN(64,16,4,2)."""
+def run(
+    *, cycles: int = 40, seed: int = 0, config: Optional[RunConfig] = None
+) -> ExperimentResult:
+    """Compare canonical vs reversed digit retirement on EDN(64,16,4,2).
+
+    A :class:`RunConfig` may supply cycles/seed; the explicit keywords act
+    as its defaults.
+    """
+    cfg = (config if config is not None else RunConfig()).resolve(cycles=cycles, seed=seed)
+    cycles, seed = cfg.cycles, cfg.seed
     params = EDNParams(64, 16, 4, 2)
     canonical = VectorizedEDN(params)
     reversed_order = RetirementOrder.reversed_order(params.l)

@@ -17,6 +17,9 @@ capacity.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.baselines.crossbar_network import CrossbarNetwork
 from repro.core.config import EDNParams
 from repro.experiments.base import ExperimentResult
@@ -55,14 +58,20 @@ def run(
     seed: int = 0,
     batch: int | None = None,
     jobs: int | None = 1,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """Measure acceptance vs hot-spot fraction on the 256-terminal ladder.
 
     The (network x hot fraction) grid fans out over ``jobs`` processes;
     every cell routes batched chunks of ``batch`` cycles under its own
     positionally spawned child of ``seed``, so the table is identical at
-    any job count.
+    any job count.  A :class:`RunConfig` may supply cycles/seed/batch/jobs;
+    the explicit keywords act as its defaults.
     """
+    cfg = (config if config is not None else RunConfig()).resolve(
+        cycles=cycles, seed=seed, batch=batch, jobs=jobs
+    )
+    cycles, seed, batch = cfg.cycles, cfg.seed, cfg.batch
     labels = []
     for label, params in LADDER:
         if params.num_inputs != SIZE or params.num_outputs != SIZE:
@@ -79,7 +88,7 @@ def run(
         for _label, shape in labels
         for hot in hot_fractions
     ]
-    points = ParallelSweep(jobs).map_seeded(_nuts_cell, tasks, seed)
+    points = ParallelSweep.from_config(cfg).map_seeded(_nuts_cell, tasks, seed)
     rows = []
     for row_index, (label, _shape) in enumerate(labels):
         cells = points[row_index * len(hot_fractions) : (row_index + 1) * len(hot_fractions)]

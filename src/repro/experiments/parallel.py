@@ -21,9 +21,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections.abc import Callable, Sequence
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.rng import SeedLike, spawn_keys
+
+if TYPE_CHECKING:
+    from repro.api.spec import RunConfig
 
 __all__ = ["ParallelSweep"]
 
@@ -51,6 +54,19 @@ class ParallelSweep:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+
+    @classmethod
+    def from_config(
+        cls, config: "RunConfig | None", *, default_jobs: Optional[int] = 1
+    ) -> "ParallelSweep":
+        """A sweep sized by ``config.jobs`` (``default_jobs`` when unset).
+
+        The experiment-runner convention defaults to ``jobs=1`` (inline,
+        no pool) rather than all-cores, so analytic grids and tests never
+        pay process start-up unless fan-out was requested.
+        """
+        jobs = config.jobs if config is not None and config.jobs is not None else default_jobs
+        return cls(jobs)
 
     def resolved_jobs(self, n_items: int) -> int:
         """Worker processes that would actually be used for ``n_items``."""

@@ -5,19 +5,20 @@ executes by ID with default budgets; ``main`` (also the
 ``python -m repro.experiments.registry`` entry point) runs everything and
 prints the reports — the closest thing to "regenerate all figures".
 
-Runners that support them accept ``jobs`` (ParallelSweep process fan-out)
-and ``batch`` (cycles per batched-routing chunk); ``run_experiment``
-forwards whichever of these each runner's signature declares, so the CLI's
-``--jobs``/``--batch`` apply wherever they are meaningful and are ignored
-where they are not.
+Every registered runner accepts a ``config`` keyword — a
+:class:`repro.api.RunConfig` carrying execution overrides (``jobs``
+process fan-out, ``batch`` cycles per routing chunk, seed/cycle budgets).
+Monte-Carlo runners honor the fields that apply to them; analytic runners
+accept and ignore the config, which keeps dispatch a plain explicit call
+with no signature introspection.
 """
 
 from __future__ import annotations
 
-import inspect
 from functools import partial
 from typing import Callable, Optional
 
+from repro.api.spec import RunConfig
 from repro.experiments import (
     ablations,
     costs,
@@ -62,29 +63,18 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def _supported_overrides(runner: Callable, **overrides) -> dict:
-    """The subset of non-None ``overrides`` the runner's signature accepts."""
-    parameters = inspect.signature(runner).parameters
-    accepts_kwargs = any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
-    )
-    return {
-        name: value
-        for name, value in overrides.items()
-        if value is not None and (accepts_kwargs or name in parameters)
-    }
-
-
 def run_experiment(
     experiment_id: str,
     *,
+    config: Optional[RunConfig] = None,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one experiment by its DESIGN.md ID.
 
-    ``jobs`` and ``batch`` are forwarded to runners that declare them
-    (Monte-Carlo grids); analytic experiments silently ignore them.
+    ``config`` carries the execution overrides; the ``jobs``/``batch``
+    keywords are CLI-flag shims layered on top of it (explicit values win).
+    Analytic experiments ignore whatever does not apply to them.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -92,18 +82,20 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(**_supported_overrides(runner, jobs=jobs, batch=batch))
+    cfg = (config if config is not None else RunConfig()).override(jobs=jobs, batch=batch)
+    return runner(config=cfg)
 
 
 def main(
     ids: list[str] | None = None,
     *,
+    config: Optional[RunConfig] = None,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
 ) -> None:
     """Run the requested (default: all) experiments and print their reports."""
     for experiment_id in ids if ids is not None else sorted(EXPERIMENTS):
-        result = run_experiment(experiment_id, jobs=jobs, batch=batch)
+        result = run_experiment(experiment_id, config=config, jobs=jobs, batch=batch)
         print(result.render())
         print()
         print("-" * 78)

@@ -17,6 +17,9 @@ argument in one table.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.core.cost import crosspoint_cost, wire_cost
 from repro.experiments.base import ExperimentResult
 from repro.simd.analytic import expected_permutation_time
@@ -27,12 +30,14 @@ __all__ = ["FAMILY_SIZES", "run"]
 FAMILY_SIZES = (1_024, 16_384, 262_144)
 
 
-def run() -> ExperimentResult:
+def run(*, config: Optional[RunConfig] = None) -> ExperimentResult:
     """Scale the MP-1 router family and tabulate performance + cost.
 
     Purely analytic (three closed-form rows), so it takes no ``jobs``
-    fan-out — process setup would cost more than the work.
+    fan-out — process setup would cost more than the work; ``config`` is
+    accepted for uniform registry dispatch and ignored.
     """
+    del config
     result = ExperimentResult(
         experiment_id="scaling",
         title="MasPar router family scaling: RA-EDN(16,4,l,16) for l = 1..3",

@@ -15,6 +15,9 @@ phase plus a short tail — holds in simulation.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.spec import RunConfig
 from repro.experiments.base import ExperimentResult
 from repro.simd.analytic import expected_permutation_time
 from repro.simd.maspar import maspar_mp1
@@ -28,8 +31,15 @@ PAPER_J = 5
 PAPER_TIME = 34.41
 
 
-def run(system: RAEDNSystem | None = None) -> ExperimentResult:
-    """Evaluate the Section 5 drain model (defaults to the MP-1 example)."""
+def run(
+    system: RAEDNSystem | None = None, *, config: Optional[RunConfig] = None
+) -> ExperimentResult:
+    """Evaluate the Section 5 drain model (defaults to the MP-1 example).
+
+    Analytic; ``config`` is accepted for uniform registry dispatch and
+    ignored.
+    """
+    del config
     if system is None:
         system = maspar_mp1()
     model = expected_permutation_time(system)
@@ -62,17 +72,21 @@ def run_simulation(
     runs: int = 5,
     seed: int = 42,
     drain_batch: int | None = None,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
     """Drain random permutations on the cycle simulator vs the model.
 
     ``drain_batch`` > 1 drains that many permutations side by side on the
     batched engine (see :meth:`~repro.simd.simulator.RAEDNSimulator.measure`);
     the default keeps the historical one-at-a-time path.  (Deliberately
-    *not* named ``batch``: the registry's ``--batch`` override means
-    cycles-per-chunk for Monte-Carlo acceptance grids, which is a
-    different knob — side-by-side draining changes the RNG layout and
-    belongs to ``repro maspar --batch``.)
+    *not* named ``batch``: ``config.batch`` / the registry's ``--batch``
+    override means cycles-per-chunk for Monte-Carlo acceptance grids,
+    which is a different knob — side-by-side draining changes the RNG
+    layout and belongs to ``repro maspar --batch`` — so only
+    ``config.seed`` is honored here.)
     """
+    if config is not None and config.seed is not None:
+        seed = config.seed
     if system is None:
         system = maspar_mp1()
     model = expected_permutation_time(system)

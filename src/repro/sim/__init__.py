@@ -1,5 +1,13 @@
 """Simulation substrate: kernel, RNG streams, statistics, traffic, Monte-Carlo.
 
+This package supplies the *machinery*; for constructing and driving
+networks, prefer the :mod:`repro.api` facade — ``NetworkSpec`` names any
+topology in the repo, ``build_router`` selects an engine through the
+backend registry (the batched engines below under ``backend="auto"``),
+and ``RunConfig`` threads cycles/seed/jobs/batch through
+:func:`~repro.sim.montecarlo.measure_acceptance` and the experiment
+runners.
+
 * :mod:`repro.sim.engine` — discrete-event kernel and cycle driver;
 * :mod:`repro.sim.rng` — reproducible independent random streams;
 * :mod:`repro.sim.stats` — online statistics and confidence intervals;

@@ -23,7 +23,7 @@ Monte-Carlo noise while sharing the same distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.core.tags import RetirementOrder
 from repro.sim.rng import SeedLike, make_rng
 from repro.sim.stats import Interval, RatioStats
 from repro.sim.traffic import TrafficGenerator
+
+if TYPE_CHECKING:  # avoid a runtime cycle: repro.api.measure imports this module
+    from repro.api.spec import RunConfig
 
 __all__ = [
     "CycleRouter",
@@ -45,6 +48,9 @@ __all__ = [
 
 #: Default chunk size for routers that support batched routing.
 DEFAULT_BATCH = 64
+
+#: Distinguishes "argument not passed" from an explicit ``None`` seed.
+_UNSET = object()
 
 
 class CycleRouter(Protocol):
@@ -92,16 +98,23 @@ def measure_acceptance(
     router: CycleRouter,
     traffic: TrafficGenerator,
     *,
-    cycles: int = 100,
-    seed: SeedLike = 0,
-    confidence: float = 0.95,
+    cycles: int | None = None,
+    seed: SeedLike = _UNSET,
+    confidence: float | None = None,
     batch: int | None = None,
+    config: "RunConfig | None" = None,
 ) -> AcceptanceMeasurement:
     """Estimate the probability of acceptance of ``router`` under ``traffic``.
 
     Each cycle draws a fresh demand vector (the paper's assumption 3:
     blocked requests are ignored and do not affect later cycles) and routes
     it; acceptance is accumulated as a ratio of sums.
+
+    Run parameters can come from a :class:`repro.api.RunConfig` (``config``)
+    or from the individual keywords.  Precedence matches the experiment
+    runners everywhere in the facade: *set* config fields win, keywords act
+    as the defaults for unset fields, and anything still unset falls back
+    to the historical defaults (100 cycles, seed 0, 95% confidence).
 
     ``batch`` controls how many cycles are generated and routed per call:
     ``None`` (the default) picks :data:`DEFAULT_BATCH` when the router
@@ -111,6 +124,16 @@ def measure_acceptance(
     (so two routers measured at the same ``(seed, batch)`` see identical
     demands) and routed cycle by cycle.
     """
+    if config is not None:
+        cycles = config.cycles if config.cycles is not None else cycles
+        confidence = config.confidence if config.confidence is not None else confidence
+        batch = config.batch if config.batch is not None else batch
+        if config.seed is not None:
+            seed = config.seed
+    cycles = 100 if cycles is None else cycles
+    confidence = 0.95 if confidence is None else confidence
+    if seed is _UNSET:
+        seed = 0
     if traffic.n_inputs != router.n_inputs:
         raise ValueError(
             f"traffic generates {traffic.n_inputs} inputs, router has {router.n_inputs}"

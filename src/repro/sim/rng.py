@@ -27,7 +27,7 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "make_rng", "spawn", "spawn_keys", "stream_for"]
+__all__ = ["SeedLike", "as_generator", "make_rng", "spawn", "spawn_keys", "stream_for"]
 
 #: Anything the library accepts as a reproducibility seed.
 SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
@@ -42,6 +42,20 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def as_generator(rng: SeedLike) -> "np.random.Generator | None":
+    """Normalize a seed-like *routing* argument; ``None`` passes through.
+
+    Route methods historically took an optional ``numpy.random.Generator``
+    whose absence means "no randomness needed" — so unlike :func:`make_rng`,
+    ``None`` here stays ``None`` instead of becoming OS entropy.  Ints and
+    ``SeedSequence`` values become deterministic fresh generators, letting
+    callers write ``net.route(dests, rng=42)``.
+    """
+    if rng is None or isinstance(rng, np.random.Generator):
+        return rng
+    return make_rng(rng)
 
 
 def spawn(seed: SeedLike, n: int) -> list[np.random.Generator]:

@@ -20,10 +20,14 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, ScheduleError
+
+if TYPE_CHECKING:
+    from repro.api.spec import RunConfig
 from repro.sim.batched import BatchedEDN
 from repro.sim.rng import SeedLike, make_rng, spawn_keys
 from repro.sim.stats import RunningStats
@@ -32,6 +36,9 @@ from repro.simd.ra_edn import RAEDNSystem
 from repro.simd.schedule import RandomSchedule, Schedule
 
 __all__ = ["PermutationRun", "PermutationTimeStats", "RAEDNSimulator"]
+
+#: Distinguishes "argument not passed" from an explicit ``None`` seed.
+_UNSET = object()
 
 
 @dataclass
@@ -135,9 +142,10 @@ class RAEDNSimulator:
         self,
         *,
         runs: int = 10,
-        seed: SeedLike = 0,
+        seed: SeedLike = _UNSET,
         max_cycles: int | None = None,
         batch: int | None = None,
+        config: "RunConfig | None" = None,
     ) -> PermutationTimeStats:
         """Drain ``runs`` random permutations; aggregate cycle counts.
 
@@ -150,7 +158,18 @@ class RAEDNSimulator:
         drains.  Both paths spawn per-run streams positionally from
         ``seed`` (see :mod:`repro.sim.rng`), so a given ``(seed, batch)``
         is fully reproducible.
+
+        ``seed`` and ``batch`` may also arrive via a
+        :class:`repro.api.RunConfig` (``config``); set config fields win
+        (the facade-wide precedence rule), keywords act as defaults, and
+        an unset seed falls back to the historical default ``0``.
         """
+        if config is not None:
+            batch = config.batch if config.batch is not None else batch
+            if config.seed is not None:
+                seed = config.seed
+        if seed is _UNSET:
+            seed = 0
         if runs < 1:
             raise ConfigurationError("need at least one run")
         acc = RunningStats()

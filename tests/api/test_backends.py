@@ -1,0 +1,245 @@
+"""Cross-backend equivalence: every backend, identical demands, identical outcomes.
+
+The facade's core promise: for any :class:`NetworkSpec`, every registered
+backend routes the *same* shared demand matrices to the *same* per-message
+outcomes as the reference for that topology, bit for bit:
+
+* ``edn``/``delta`` — the per-message reference engine
+  (:class:`~repro.core.network.EDNetwork`) is the ground truth;
+* ``omega`` — ground truth is the reference engine behind the omega input
+  shuffle (recomputed here, independent of the omega module);
+* ``crossbar``/``clos``/``benes`` — ground truth is a 10-line
+  reimplementation of label-priority output contention: rearrangeable
+  fabrics under global control lose messages *only* to output conflicts,
+  which is exactly the crossbar's loss mechanism.
+
+All specs use label priority, which makes every engine deterministic (the
+random-priority batched-vs-vectorized pinning lives in
+``tests/sim/test_batched.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BACKENDS,
+    NetworkSpec,
+    available_backends,
+    build_router,
+    resolve_backend,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import FaultSet, FaultyEDNetwork, WireFault
+from repro.core.network import EDNetwork
+from repro.sim.batched import BatchCycleResult
+from repro.sim.rng import make_rng
+
+IDLE = -1
+BATCH = 6
+
+SPECS = [
+    NetworkSpec.edn(16, 4, 4, 2),
+    NetworkSpec.edn(8, 2, 4, 2),
+    NetworkSpec.edn(4, 2, 2, 3),
+    NetworkSpec.delta(4, 4, 2),
+    NetworkSpec.delta(2, 2, 3),
+    NetworkSpec.omega(16),
+    NetworkSpec.crossbar(32),
+    NetworkSpec.crossbar(16, 8),
+    NetworkSpec.clos(4, 4),
+    NetworkSpec.benes(16),
+]
+
+CASES = [
+    (spec, backend) for spec in SPECS for backend in available_backends(spec)
+]
+
+
+def shared_demands(spec: NetworkSpec, seed: int = 123) -> np.ndarray:
+    """The same (batch, N) matrix every backend of ``spec`` must route."""
+    rng = make_rng(seed)
+    return rng.integers(IDLE, spec.n_outputs, size=(BATCH, spec.n_inputs))
+
+
+def reference_outcomes(spec: NetworkSpec, demands: np.ndarray) -> BatchCycleResult:
+    """Ground-truth outcome arrays, computed without the facade's backends."""
+    if spec.kind in ("edn", "delta"):
+        return _reference_edn(spec.edn_params, demands)
+    if spec.kind == "omega":
+        n = spec.shape[0]
+        stages = int(n).bit_length() - 1
+        idx = np.arange(n, dtype=np.int64)
+        shuffle = ((idx << 1) | (idx >> (stages - 1))) & (n - 1)
+        shuffled = np.full_like(demands, IDLE)
+        shuffled[:, shuffle] = demands
+        from repro.core.config import EDNParams
+
+        inner = _reference_edn(EDNParams(2, 2, 1, stages), shuffled)
+        return BatchCycleResult(
+            output=inner.output[:, shuffle],
+            blocked_stage=inner.blocked_stage[:, shuffle],
+        )
+    # crossbar / clos / benes: label-priority output contention only.
+    output = np.full(demands.shape, IDLE, dtype=np.int64)
+    blocked = np.full(demands.shape, IDLE, dtype=np.int64)
+    for i, row in enumerate(demands):
+        taken: set[int] = set()
+        for s, dest in enumerate(row):
+            if dest == IDLE:
+                continue
+            if int(dest) in taken:
+                blocked[i, s] = 1
+            else:
+                taken.add(int(dest))
+                output[i, s] = dest
+                blocked[i, s] = 0
+    return BatchCycleResult(output=output, blocked_stage=blocked)
+
+
+def _reference_edn(params, demands: np.ndarray) -> BatchCycleResult:
+    network = EDNetwork(params)
+    output = np.full(demands.shape, IDLE, dtype=np.int64)
+    blocked = np.full(demands.shape, IDLE, dtype=np.int64)
+    for i, row in enumerate(demands):
+        result = network.route_destinations(
+            {int(s): int(d) for s, d in enumerate(row) if d != IDLE}
+        )
+        for outcome in result.outcomes:
+            s = outcome.message.source
+            if outcome.delivered:
+                output[i, s] = outcome.output
+                blocked[i, s] = 0
+            else:
+                blocked[i, s] = outcome.blocked_stage
+    return BatchCycleResult(output=output, blocked_stage=blocked)
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize(
+        "spec, backend", CASES, ids=[f"{s.label}-{b}" for s, b in CASES]
+    )
+    def test_route_batch_matches_reference(self, spec, backend):
+        demands = shared_demands(spec)
+        expected = reference_outcomes(spec, demands)
+        result = build_router(spec, backend).route_batch(demands)
+        np.testing.assert_array_equal(result.output, expected.output)
+        np.testing.assert_array_equal(result.blocked_stage, expected.blocked_stage)
+
+    @pytest.mark.parametrize(
+        "spec, backend", CASES, ids=[f"{s.label}-{b}" for s, b in CASES]
+    )
+    def test_route_matches_batch_rows(self, spec, backend):
+        demands = shared_demands(spec)
+        router = build_router(spec, backend)
+        batched = router.route_batch(demands)
+        for i, row in enumerate(demands):
+            single = router.route(row)
+            np.testing.assert_array_equal(single.output, batched.output[i])
+            np.testing.assert_array_equal(single.blocked_stage, batched.blocked_stage[i])
+
+    @pytest.mark.parametrize("spec", SPECS, ids=[s.label for s in SPECS])
+    def test_every_spec_has_a_backend_and_routes(self, spec):
+        router = build_router(spec)  # auto
+        result = router.route_batch(shared_demands(spec))
+        assert result.output.shape == (BATCH, spec.n_inputs)
+        assert result.num_delivered > 0
+
+
+class TestBackendSelection:
+    def test_auto_prefers_batched_engines(self):
+        for spec in (NetworkSpec.edn(16, 4, 4, 2), NetworkSpec.delta(4, 4, 2),
+                     NetworkSpec.omega(16), NetworkSpec.crossbar(32)):
+            assert resolve_backend(spec).name == "batched"
+
+    def test_auto_falls_back_per_kind(self):
+        assert resolve_backend(NetworkSpec.clos(4, 4)).name == "matching"
+        assert resolve_backend(NetworkSpec.benes(16)).name == "looping"
+
+    def test_faults_select_the_reference_engine(self):
+        spec = NetworkSpec.edn(16, 4, 4, 2, faults=(WireFault(1, 0, 0),))
+        assert available_backends(spec) == ["reference"]
+        assert resolve_backend(spec).name == "reference"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            build_router(NetworkSpec.omega(16), "warp")
+
+    def test_unsupported_backend_rejected_with_alternatives(self):
+        with pytest.raises(ConfigurationError, match="does not support"):
+            build_router(NetworkSpec.clos(4, 4), "batched")
+
+    def test_registry_names_are_stable(self):
+        assert set(BACKENDS) == {
+            "batched", "vectorized", "reference", "matching", "looping"
+        }
+
+
+class TestFaultyEquivalence:
+    def test_reference_backend_matches_faulty_network(self):
+        params_spec = NetworkSpec.edn(8, 2, 4, 2)
+        faults = (WireFault(1, 0, 0), WireFault(1, 0, 1), WireFault(2, 1, 3))
+        spec = NetworkSpec.edn(8, 2, 4, 2, faults=faults)
+        demands = shared_demands(params_spec)
+        router = build_router(spec)
+        batched = router.route_batch(demands)
+
+        network = FaultyEDNetwork(spec.edn_params, FaultSet(faults))
+        for i, row in enumerate(demands):
+            result = network.route_destinations(
+                {int(s): int(d) for s, d in enumerate(row) if d != IDLE}
+            )
+            for outcome in result.outcomes:
+                s = outcome.message.source
+                if outcome.delivered:
+                    assert batched.output[i, s] == outcome.output
+                    assert batched.blocked_stage[i, s] == 0
+                else:
+                    assert batched.blocked_stage[i, s] == outcome.blocked_stage
+
+    def test_damage_reduces_throughput(self):
+        intact = build_router(NetworkSpec.edn(8, 2, 4, 2))
+        dead_bucket = tuple(WireFault(1, 0, w) for w in range(8))
+        damaged = build_router(NetworkSpec.edn(8, 2, 4, 2, faults=dead_bucket))
+        demands = shared_demands(NetworkSpec.edn(8, 2, 4, 2))
+        assert (
+            damaged.route_batch(demands).num_delivered
+            < intact.route_batch(demands).num_delivered
+        )
+
+
+class TestRearrangeableSemantics:
+    @pytest.mark.parametrize(
+        "spec", [NetworkSpec.clos(4, 4), NetworkSpec.benes(16)],
+        ids=["clos", "benes"],
+    )
+    def test_full_permutations_never_block(self, spec):
+        rng = make_rng(7)
+        router = build_router(spec)
+        perms = np.stack([rng.permutation(spec.n_inputs) for _ in range(4)])
+        result = router.route_batch(perms)
+        assert result.num_delivered == perms.size
+        np.testing.assert_array_equal(result.output, perms)
+
+    def test_skipping_global_routing_preserves_outcomes(self):
+        from repro.api import RearrangeableRouter
+        from repro.baselines.clos import ClosNetwork
+
+        spec = NetworkSpec.clos(4, 4)
+        demands = shared_demands(spec)
+        full = RearrangeableRouter(ClosNetwork(4, 4)).route_batch(demands)
+        fast = RearrangeableRouter(
+            ClosNetwork(4, 4), run_global_routing=False
+        ).route_batch(demands)
+        np.testing.assert_array_equal(full.output, fast.output)
+        np.testing.assert_array_equal(full.blocked_stage, fast.blocked_stage)
+
+    def test_conflicts_resolve_by_label_priority(self):
+        router = build_router(NetworkSpec.benes(16))
+        demands = np.full(16, IDLE, dtype=np.int64)
+        demands[3] = 5
+        demands[9] = 5
+        result = router.route(demands)
+        assert result.output[3] == 5 and result.blocked_stage[3] == 0
+        assert result.blocked_stage[9] == 1

@@ -1,0 +1,136 @@
+"""NetworkSpec / RunConfig: validation, parsing, precedence semantics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import NetworkSpec, RunConfig, TOPOLOGY_KINDS
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import WireFault
+
+
+class TestNetworkSpecConstruction:
+    def test_edn_sizes(self):
+        spec = NetworkSpec.edn(16, 4, 4, 2)
+        assert (spec.n_inputs, spec.n_outputs) == (64, 64)
+        assert spec.edn_params.paths_per_pair == 16
+
+    def test_delta_maps_to_c1_edn(self):
+        spec = NetworkSpec.delta(8, 8, 2)
+        assert spec.edn_params.c == 1
+        assert (spec.n_inputs, spec.n_outputs) == (64, 64)
+
+    def test_omega_and_benes_square(self):
+        assert NetworkSpec.omega(64).n_outputs == 64
+        assert NetworkSpec.benes(16).n_inputs == 16
+
+    def test_crossbar_rectangular(self):
+        spec = NetworkSpec.crossbar(32, 16)
+        assert (spec.n_inputs, spec.n_outputs) == (32, 16)
+
+    def test_clos_terminals(self):
+        spec = NetworkSpec.clos(4, 8)
+        assert spec.n_inputs == 32
+        assert NetworkSpec.clos(4, 8, 7).shape == (4, 8, 7)
+
+    def test_every_kind_has_a_constructor(self):
+        built = {
+            "edn": NetworkSpec.edn(16, 4, 4, 2),
+            "delta": NetworkSpec.delta(8, 8, 2),
+            "omega": NetworkSpec.omega(8),
+            "crossbar": NetworkSpec.crossbar(8),
+            "clos": NetworkSpec.clos(2, 4),
+            "benes": NetworkSpec.benes(8),
+        }
+        assert set(built) == set(TOPOLOGY_KINDS)
+        for kind, spec in built.items():
+            assert spec.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology kind"):
+            NetworkSpec("hypercube", (16,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ConfigurationError, match="expects shape"):
+            NetworkSpec("edn", (16, 4, 4))
+
+    def test_invalid_shape_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec.edn(15, 4, 4, 2)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            NetworkSpec.omega(12)
+        with pytest.raises(ConfigurationError):
+            NetworkSpec.clos(4, 4, 2)  # m < n
+
+    def test_invalid_disciplines_rejected(self):
+        with pytest.raises(ConfigurationError, match="priority"):
+            NetworkSpec.edn(16, 4, 4, 2, priority="fifo")
+        with pytest.raises(ConfigurationError, match="wire policy"):
+            NetworkSpec.edn(16, 4, 4, 2, wire_policy="last_free")
+
+    def test_faults_only_for_edn(self):
+        fault = WireFault(1, 0, 0)
+        spec = NetworkSpec.edn(16, 4, 4, 2, faults=(fault,))
+        assert spec.faults == (fault,)
+        with pytest.raises(ConfigurationError, match="faults"):
+            NetworkSpec.crossbar(8, faults=(fault,))
+
+    def test_out_of_range_fault_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec.edn(16, 4, 4, 2, faults=(WireFault(9, 0, 0),))
+
+    def test_hashable_and_picklable(self):
+        spec = NetworkSpec.edn(16, 4, 4, 2, faults=(WireFault(1, 0, 0),))
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+        assert spec == pickle.loads(pickle.dumps(spec))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NetworkSpec.omega(8).kind = "edn"
+
+
+class TestNetworkSpecParse:
+    def test_parse_round_trip(self):
+        for text in ("edn:16,4,4,2", "delta:8,8,2", "omega:64",
+                     "crossbar:32,16", "clos:4,8,7", "benes:16"):
+            assert NetworkSpec.parse(text).label == text
+
+    def test_parse_normalizes_case_and_space(self):
+        assert NetworkSpec.parse(" EDN:16,4,4,2").kind == "edn"
+
+    def test_parse_rejects_garbage(self):
+        for text in ("edn", "edn:", "edn:a,b", "16,4,4,2"):
+            with pytest.raises(ConfigurationError):
+                NetworkSpec.parse(text)
+
+
+class TestRunConfig:
+    def test_defaults_unset(self):
+        cfg = RunConfig()
+        assert cfg.cycles is None and cfg.seed is None and cfg.jobs is None
+        assert cfg.batch is None and cfg.confidence is None
+        assert cfg.backend == "auto"
+
+    def test_override_wins_only_when_set(self):
+        cfg = RunConfig(cycles=10, jobs=2)
+        out = cfg.override(cycles=99, jobs=None, batch=8)
+        assert (out.cycles, out.jobs, out.batch) == (99, 2, 8)
+
+    def test_resolve_fills_only_unset(self):
+        cfg = RunConfig(cycles=10)
+        out = cfg.resolve(cycles=60, seed=0, jobs=1)
+        assert (out.cycles, out.seed, out.jobs) == (10, 0, 1)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown RunConfig field"):
+            RunConfig().override(cycle=5)
+        with pytest.raises(ConfigurationError, match="unknown RunConfig field"):
+            RunConfig().resolve(sedd=0)
+
+    def test_frozen_and_picklable(self):
+        cfg = RunConfig(cycles=5, seed=3)
+        with pytest.raises(AttributeError):
+            cfg.cycles = 6
+        assert pickle.loads(pickle.dumps(cfg)) == cfg

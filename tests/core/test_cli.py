@@ -62,6 +62,66 @@ class TestCommands:
         assert "0.76" in out
 
 
+class TestRouteCommand:
+    def test_single_topology(self, capsys):
+        assert main(["route", "-t", "edn:16,4,4,2", "--cycles", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "edn:16,4,4,2" in out
+        assert "batched" in out
+
+    def test_multi_topology_comparison_one_liner(self, capsys):
+        argv = ["route", "--cycles", "10"]
+        for topology in ("edn:16,4,4,2", "delta:8,8,2", "crossbar:64",
+                         "clos:8,8", "benes:64"):
+            argv += ["-t", topology]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for topology, backend in (("delta:8,8,2", "batched"),
+                                  ("clos:8,8", "matching"),
+                                  ("benes:64", "looping")):
+            assert topology in out and backend in out
+
+    def test_explicit_backend(self, capsys):
+        assert main(["route", "-t", "edn:16,4,4,2", "--cycles", "5",
+                     "--backend", "reference"]) == 0
+        assert "reference" in capsys.readouterr().out
+
+    def test_bad_topology_is_an_error(self, capsys):
+        assert main(["route", "-t", "hypercube:16", "--cycles", "5"]) == 2
+        assert "hypercube" in capsys.readouterr().err
+
+    def test_unsupported_backend_is_an_error(self, capsys):
+        assert main(["route", "-t", "clos:8,8", "--backend", "batched"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+
+class TestMachineReadableOutput:
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "fig2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and data[0]["experiment_id"] == "fig2"
+        assert "routing" in data[0]["tables"]
+
+    def test_experiment_json_multiple_ids(self, capsys):
+        import json
+
+        assert main(["experiment", "fig2", "fig4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [entry["experiment_id"] for entry in data] == ["fig2", "fig4"]
+
+    def test_experiment_csv(self, capsys):
+        assert main(["experiment", "fig7", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "# fig7: series" in out
+        assert "series,x,y" in out
+
+    def test_json_and_csv_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig2", "--json", "--csv"])
+
+
 class TestBatchedOptions:
     def test_pa_simulate_with_batch(self, capsys):
         assert main(["pa", "16", "4", "4", "2", "--simulate", "20", "--batch", "5"]) == 0

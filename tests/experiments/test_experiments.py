@@ -193,6 +193,50 @@ class TestScaling:
         assert pa[1] == pytest.approx(0.544, abs=5e-4)
 
 
+class TestRegistryConfigThreading:
+    def test_dispatch_is_explicit_not_introspective(self):
+        import inspect as inspect_module
+        from pathlib import Path
+
+        from repro.experiments import registry
+
+        source = Path(registry.__file__).read_text()
+        assert "import inspect" not in source
+        del inspect_module
+
+    def test_every_runner_accepts_config(self):
+        from repro.api import RunConfig
+
+        for experiment_id in ("fig2", "fig4", "sec5_example", "eq2_eq3",
+                              "eq2_eq3_dilated", "cost_performance", "scaling",
+                              "fig7", "fig8", "fig11"):
+            result = run_experiment(experiment_id, config=RunConfig(jobs=2, batch=8))
+            assert result.experiment_id
+
+    def test_config_overrides_mc_budgets(self):
+        from repro.api import RunConfig
+
+        short = run_experiment("fig7_mc", config=RunConfig(cycles=4, batch=2))
+        assert "Monte-Carlo" in short.title
+        rows = short.tables["Eq.4 vs simulation"][1]
+        assert rows  # one row per family member
+
+    def test_config_and_keyword_paths_agree(self):
+        from repro.api import RunConfig
+        from repro.experiments import fig7_families
+
+        via_kwargs = fig7_families.run_montecarlo_validation(
+            8, max_inputs=64, cycles=5, seed=3
+        )
+        via_config = fig7_families.run_montecarlo_validation(
+            8, max_inputs=64, config=RunConfig(cycles=5, seed=3)
+        )
+        assert (
+            via_kwargs.tables["Eq.4 vs simulation"][1]
+            == via_config.tables["Eq.4 vs simulation"][1]
+        )
+
+
 class TestRegistry:
     def test_all_ids_registered(self):
         expected = {

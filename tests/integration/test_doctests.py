@@ -8,6 +8,9 @@ import importlib
 import pytest
 
 DOCUMENTED_MODULES = [
+    "repro.api.spec",
+    "repro.api.registry",
+    "repro.api.measure",
     "repro.core.labels",
     "repro.core.permutations",
     "repro.core.hyperbar",

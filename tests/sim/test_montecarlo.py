@@ -173,3 +173,43 @@ class TestBatchedMeasurement:
             measure_acceptance(
                 BatchedEDN(p), UniformTraffic(64, 64, 1.0), cycles=5, batch=0
             )
+
+
+class TestRunConfigPrecedence:
+    """The facade-wide rule: set config fields beat keyword arguments."""
+
+    def test_config_fields_win_over_keywords(self):
+        from repro.api.spec import RunConfig
+
+        params = EDNParams(16, 4, 4, 2)
+        traffic = UniformTraffic(64, 64, 1.0)
+        router = BatchedEDN(params)
+        via_config = measure_acceptance(
+            router, traffic, cycles=5, seed=9, config=RunConfig(cycles=30, seed=1)
+        )
+        direct = measure_acceptance(router, traffic, cycles=30, seed=1)
+        assert via_config.cycles == 30
+        assert via_config.point == direct.point
+
+    def test_keywords_fill_unset_config_fields(self):
+        from repro.api.spec import RunConfig
+
+        params = EDNParams(16, 4, 4, 2)
+        traffic = UniformTraffic(64, 64, 1.0)
+        router = BatchedEDN(params)
+        partial = measure_acceptance(
+            router, traffic, cycles=12, seed=4, config=RunConfig(batch=4)
+        )
+        direct = measure_acceptance(router, traffic, cycles=12, seed=4, batch=4)
+        assert partial.cycles == 12
+        assert partial.point == direct.point
+
+    def test_simulator_measure_honors_config(self):
+        from repro.api.spec import RunConfig
+        from repro.simd.ra_edn import RAEDNSystem
+        from repro.simd.simulator import RAEDNSimulator
+
+        simulator = RAEDNSimulator(RAEDNSystem(4, 2, 1, 2))
+        via_config = simulator.measure(runs=3, config=RunConfig(seed=11))
+        direct = simulator.measure(runs=3, seed=11)
+        assert via_config.cycles.mean == direct.cycles.mean
