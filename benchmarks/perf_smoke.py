@@ -11,6 +11,7 @@ Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
     PYTHONPATH=src python benchmarks/perf_smoke.py --backend-matrix
+    PYTHONPATH=src python benchmarks/perf_smoke.py --workload-matrix
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -18,7 +19,11 @@ criterion).  ``--backend-matrix`` instead sweeps every registered
 ``repro.api`` backend of the same EDNs and records per-backend wall-clock
 into ``BENCH_backend_matrix.json`` (the reference engine gets a reduced
 cycle budget — it routes per message, in Python — and times are reported
-per cycle so backends stay comparable).
+per cycle so backends stay comparable).  ``--workload-matrix`` sweeps the
+``workload_matrix`` experiment's topology x traffic grid through the
+batched backend and records per-cell wall-clock and acceptance into
+``BENCH_workload_matrix.json``, asserting every built-in workload keeps
+the fast path (vectorized ``generate_batch``, natively batched router).
 """
 
 from __future__ import annotations
@@ -30,12 +35,12 @@ import sys
 import time
 from pathlib import Path
 
-from repro.api import NetworkSpec, available_backends, build_router
+from repro.api import NetworkSpec, available_backends, build_router, resolve_backend
 from repro.core.config import EDNParams
 from repro.sim.batched import BatchedEDN
 from repro.sim.montecarlo import measure_acceptance
-from repro.sim.traffic import UniformTraffic
 from repro.sim.vectorized import VectorizedEDN
+from repro.workloads import TrafficGenerator, UniformTraffic, make_traffic
 
 #: EDN(16,4,4,l) has (16/4)^l * 4 inputs: l = 4, 5, 6 -> 1K, 4K, 16K.
 SIZES = {1_024: 4, 4_096: 5, 16_384: 6}
@@ -49,6 +54,9 @@ MATRIX_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend_matrix.j
 #: Cycle budgets per backend: the array engines amortize, the per-message
 #: reference engine costs ~10^4 slower per cycle at N=16K.
 MATRIX_CYCLES = {"batched": 200, "vectorized": 200, "reference": 2}
+
+WORKLOAD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_workload_matrix.json"
+WORKLOAD_CYCLES = 200
 
 
 def _best_of(repeats: int, fn) -> tuple[float, object]:
@@ -162,6 +170,68 @@ def run_backend_matrix(output: Path = MATRIX_OUTPUT) -> dict:
     return report
 
 
+def run_workload_matrix(output: Path = WORKLOAD_OUTPUT) -> dict:
+    """Time the topology x traffic grid on the batched backend; write JSON.
+
+    Reuses the grid of :mod:`repro.experiments.workload_matrix` so the
+    recorded numbers describe the registered experiment.  Each cell
+    asserts the fast-path contract this subsystem was merged under:
+    ``auto`` resolves to a natively batched router, and the workload's
+    ``generate_batch`` is an override of the vectorized kind (never the
+    base class's per-cycle stacking loop).
+    """
+    from repro.experiments.workload_matrix import TOPOLOGIES, TRAFFIC
+
+    results = []
+    for topology in TOPOLOGIES:
+        spec = NetworkSpec.parse(topology)
+        backend = resolve_backend(spec, "auto")
+        assert backend.batched, f"auto gave {spec} the non-batched {backend.name}"
+        router = backend.builder(spec)
+        for traffic_text in TRAFFIC:
+            generator = make_traffic(traffic_text, router.n_inputs, router.n_outputs)
+            assert (
+                type(generator).generate_batch is not TrafficGenerator.generate_batch
+            ), f"{traffic_text} fell back to the per-cycle generate loop"
+            elapsed, measurement = _best_of(
+                REPEATS,
+                lambda: measure_acceptance(
+                    router, generator, cycles=WORKLOAD_CYCLES, seed=SEED
+                ),
+            )
+            entry = {
+                "topology": spec.label,
+                "traffic": traffic_text,
+                "backend": backend.name,
+                "generator": type(generator).__name__,
+                "cycles": WORKLOAD_CYCLES,
+                "seconds": round(elapsed, 4),
+                "seconds_per_cycle": round(elapsed / WORKLOAD_CYCLES, 6),
+                "pa": round(measurement.point, 6),
+            }
+            results.append(entry)
+            print(
+                f"{spec.label:>13} x {traffic_text:<36}: {elapsed:.4f}s "
+                f"over {WORKLOAD_CYCLES} cycles  PA={entry['pa']:.4f}"
+            )
+    report = {
+        "benchmark": "workload_matrix",
+        "workload": "measure_acceptance over the repro.experiments.workload_matrix grid, seed 0",
+        "fast_path": (
+            "asserted per cell: natively batched router under backend=auto, "
+            "vectorized generate_batch on every built-in traffic model"
+        ),
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -169,9 +239,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="sweep every repro.api backend instead of the batched-vs-per-cycle floor check",
     )
+    parser.add_argument(
+        "--workload-matrix",
+        action="store_true",
+        help="sweep the workload_matrix topology x traffic grid on the batched backend",
+    )
     args = parser.parse_args(argv)
     if args.backend_matrix:
         run_backend_matrix()
+        return 0
+    if args.workload_matrix:
+        run_workload_matrix()
         return 0
     report = run()
     at_4096 = next(r for r in report["results"] if r["n_inputs"] == 4_096)

@@ -13,8 +13,13 @@ The package is organized as:
   routing, path enumeration, cost models, and the analytic acceptance
   models (Eqs. 2-5 of the paper);
 * :mod:`repro.sim` — simulation substrate: discrete-event kernel, seeded
-  RNG streams, statistics, traffic generators, a vectorized network engine
-  and Monte-Carlo harnesses;
+  RNG streams, statistics, a vectorized network engine and Monte-Carlo
+  harnesses;
+* :mod:`repro.workloads` — the pluggable traffic-model subsystem: the
+  ``TrafficGenerator`` protocol, the built-in models (uniform,
+  permutation, hot-spot/NUTS, bursty, mixture, trace replay, structured
+  permutations), and the string-keyed registry behind ``name[:args]``
+  workload specs (``"hotspot:0.1"``, ``"bitrev"``, ...);
 * :mod:`repro.mimd` — Section 4: shared-memory MIMD systems with request
   resubmission (Markov model + cycle simulator);
 * :mod:`repro.simd` — Section 5: restricted-access EDNs (clusters of PEs
@@ -99,16 +104,18 @@ __version__ = "1.0.0"
 def __getattr__(name: str):
     # Lazy: `repro.api` pulls in every engine and baseline; load it only
     # when the facade is actually used so `import repro` stays light.
-    if name == "api":
+    # `repro.workloads` rides the same hook for symmetry.
+    if name in ("api", "workloads"):
         import importlib
 
-        return importlib.import_module("repro.api")
+        return importlib.import_module(f"repro.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "__version__",
     "api",
+    "workloads",
     "EDNParams",
     "EDNTopology",
     "EDNetwork",

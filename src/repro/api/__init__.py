@@ -30,6 +30,10 @@ Quickstart::
     for s in (spec, NetworkSpec.delta(8, 8, 2), NetworkSpec.crossbar(64),
               NetworkSpec.clos(8, 8), NetworkSpec.benes(64)):
         print(s.label, measure(s, RunConfig(cycles=100, seed=0)).point)
+
+    # ... and across workloads (specs from the repro.workloads registry):
+    for w in ("uniform", "hotspot:0.1", "bitrev", "bursty:on=8,off=24"):
+        print(w, measure(spec, RunConfig(cycles=100, seed=0, traffic=w)).point)
 """
 
 import importlib

@@ -108,7 +108,13 @@ def register_backend(
 
 
 def available_backends(spec: NetworkSpec) -> list[str]:
-    """Backend names able to build ``spec``, ``auto``-preference first."""
+    """Backend names able to build ``spec``, ``auto``-preference first.
+
+    >>> available_backends(NetworkSpec.edn(16, 4, 4, 2))
+    ['batched', 'vectorized', 'reference']
+    >>> available_backends(NetworkSpec.benes(16))
+    ['looping']
+    """
     ordered = list(AUTO_PREFERENCE) + [n for n in BACKENDS if n not in AUTO_PREFERENCE]
     return [name for name in ordered if name in BACKENDS and BACKENDS[name].supports(spec)]
 
@@ -118,6 +124,11 @@ def resolve_backend(spec: NetworkSpec, backend: str = "auto") -> Backend:
 
     ``auto`` walks :data:`AUTO_PREFERENCE`; an explicit name must both
     exist and support the spec, with the error naming the alternatives.
+
+    >>> resolve_backend(NetworkSpec.edn(16, 4, 4, 2)).name
+    'batched'
+    >>> resolve_backend(NetworkSpec.clos(8, 8)).name
+    'matching'
     """
     if backend == "auto":
         for name in available_backends(spec):

@@ -258,6 +258,15 @@ class RunConfig:
         per-cycle fallback) — see :func:`repro.api.build_router`.
     confidence:
         Confidence level of reported intervals.
+    traffic:
+        Workload spec string (``"uniform:0.75"``, ``"hotspot:0.1"``,
+        ``"bitrev"``, ...) naming the demand model — parsed and
+        canonicalized against the :mod:`repro.workloads` registry, sized
+        to the network at measurement time.  Unset means the consumer's
+        default workload (uniform for :func:`repro.api.measure`).
+
+    >>> RunConfig(traffic="bit_reversal").traffic  # aliases canonicalize
+    'bitrev'
     """
 
     cycles: Optional[int] = None
@@ -266,12 +275,29 @@ class RunConfig:
     batch: Optional[int] = None
     backend: str = "auto"
     confidence: Optional[float] = None
+    traffic: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.traffic is not None:
+            # Validate eagerly (typos surface at construction, like
+            # NetworkSpec shapes) and store the canonical spec string so
+            # equal configs hash equal.  Lazy import: repro.api.spec is a
+            # leaf module and workloads is only needed when traffic is set.
+            from repro.workloads.registry import parse_workload
+
+            object.__setattr__(self, "traffic", parse_workload(self.traffic).label)
 
     def override(self, **overrides) -> "RunConfig":
         """A copy where each non-``None`` override replaces the field.
 
         The precedence helper for explicit keyword arguments: values the
         caller actually passed beat whatever the config carries.
+
+        >>> cfg = RunConfig(cycles=100, seed=7)
+        >>> cfg.override(cycles=500, seed=None).cycles   # passed values win
+        500
+        >>> cfg.override(cycles=500, seed=None).seed     # None = not passed
+        7
         """
         self._check_fields(overrides)
         updates = {name: value for name, value in overrides.items() if value is not None}
@@ -282,6 +308,10 @@ class RunConfig:
 
         The consumer-defaults helper: ``config.resolve(cycles=60, seed=0)``
         keeps any value already set on the config and fills the rest.
+
+        >>> resolved = RunConfig(cycles=250).resolve(cycles=60, seed=0)
+        >>> (resolved.cycles, resolved.seed)             # set field kept
+        (250, 0)
         """
         self._check_fields(defaults)
         updates = {

@@ -8,7 +8,11 @@ code:
   Monte-Carlo check;
 * ``route -t KIND:SHAPE ...`` — measure any topology through the
   :mod:`repro.api` facade; repeat ``-t`` for one-line EDN-vs-delta-vs-
-  crossbar-vs-Clos comparisons, ``--backend`` to pin an engine;
+  crossbar-vs-Clos comparisons, ``--backend`` to pin an engine, and
+  repeat ``--traffic`` for per-workload comparisons
+  (``--traffic hotspot:0.1 --traffic bitrev``);
+* ``workloads`` — list the registered traffic models and their spec
+  syntax, or validate one spec (``repro workloads hotspot:0.2``);
 * ``experiment ID ...`` — regenerate paper figures (see ``experiment
   --list``); ``--json``/``--csv`` emit machine-readable figure data;
 * ``maspar`` — the Section 5 MasPar MP-1 drain, model and simulation;
@@ -61,10 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
         "route",
         help="measure acceptance of arbitrary topologies via repro.api",
         description=(
-            "Monte-Carlo acceptance of one or more topologies under uniform "
-            "traffic.  Topologies are KIND:P1,P2,... specs — e.g. "
+            "Monte-Carlo acceptance of one or more topologies under one or "
+            "more workloads.  Topologies are KIND:P1,P2,... specs — e.g. "
             "edn:16,4,4,2  delta:8,8,2  omega:64  crossbar:64  clos:8,8  "
-            "benes:64 — so cross-network comparisons are one-liners."
+            "benes:64 — and workloads are NAME[:ARGS] specs (see `repro "
+            "workloads`), so cross-network and cross-workload comparisons "
+            "are one-liners."
         ),
     )
     route.add_argument(
@@ -75,7 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="auto", metavar="NAME",
         help="router backend: auto, batched, vectorized, reference, matching, looping",
     )
-    route.add_argument("-r", "--rate", type=float, default=1.0, help="request rate (default 1.0)")
+    route.add_argument(
+        "--traffic", action="append", metavar="SPEC", default=None,
+        help="workload spec (repeatable; e.g. hotspot:0.1, bitrev, "
+             "bursty:on=8,off=24; see `repro workloads`; default: uniform "
+             "at the -r rate)",
+    )
+    route.add_argument(
+        "-r", "--rate", type=float, default=1.0,
+        help="request rate of the default uniform workload (default 1.0; "
+             "explicit --traffic specs carry their own rate arguments)",
+    )
     route.add_argument("--cycles", type=int, default=200, help="Monte-Carlo cycles (default 200)")
     route.add_argument("--seed", type=int, default=0, help="reproducibility seed (default 0)")
     route.add_argument(
@@ -85,6 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--priority", default="label", choices=["label", "random"],
         help="contention discipline (default: label)",
+    )
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="list registered traffic models, or validate one spec",
+        description=(
+            "With no arguments (or --list), print the workload registry: "
+            "every traffic model's spec syntax and description.  With a "
+            "SPEC, parse and build it, reporting the canonical form and a "
+            "sample cycle."
+        ),
+    )
+    workloads.add_argument(
+        "spec", nargs="?", metavar="SPEC",
+        help="workload spec to validate (e.g. hotspot:0.2, mixture:uniform@0.7+hotspot:0.1@0.3)",
+    )
+    workloads.add_argument(
+        "--list", action="store_true", help="print the registry (the default action)",
+    )
+    workloads.add_argument(
+        "-n", "--terminals", type=int, default=64, metavar="N",
+        help="terminal count used to build/sample a SPEC (default 64)",
     )
 
     experiment = sub.add_parser("experiment", help="regenerate paper figures")
@@ -97,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--batch", type=int, default=None, metavar="CYCLES",
         help="cycles per batched-routing chunk for Monte-Carlo experiments",
+    )
+    experiment.add_argument(
+        "--traffic", default=None, metavar="SPEC",
+        help="workload spec override for experiments that honor config "
+             "traffic (e.g. workload_matrix; see `repro workloads`)",
     )
     output = experiment.add_mutually_exclusive_group()
     output.add_argument(
@@ -168,39 +211,94 @@ def _cmd_route(args: argparse.Namespace) -> int:
     from repro.api import NetworkSpec, RunConfig, resolve_backend
     from repro.core.exceptions import EDNError
     from repro.sim.montecarlo import measure_acceptance
-    from repro.sim.traffic import UniformTraffic
+    from repro.workloads import parse_workload
 
     config = RunConfig(
         cycles=args.cycles, seed=args.seed, batch=args.batch, backend=args.backend
     )
+    if args.traffic:
+        traffics = args.traffic
+    else:
+        traffics = ["uniform" if args.rate >= 1.0 else f"uniform:{args.rate:g}"]
     rows = []
     for text in args.topology:
         try:
             spec = NetworkSpec.parse(text, priority=args.priority)
             # Resolve once, build once: the displayed backend is the
-            # measured one by construction.
+            # measured one by construction, and one router serves every
+            # workload row (identical seeds -> comparable columns).
             backend = resolve_backend(spec, config.backend)
             router = backend.builder(spec)
-            traffic = UniformTraffic(router.n_inputs, router.n_outputs, args.rate)
-            measurement = measure_acceptance(router, traffic, config=config)
+            for traffic_text in traffics:
+                workload = parse_workload(traffic_text)
+                traffic = workload.build(router.n_inputs, router.n_outputs)
+                measurement = measure_acceptance(router, traffic, config=config)
+                interval = measurement.acceptance
+                rows.append(
+                    [
+                        spec.label,
+                        workload.label,
+                        spec.n_inputs,
+                        backend.name,
+                        f"{interval.point:.6f}",
+                        f"[{interval.low:.4f}, {interval.high:.4f}]",
+                    ]
+                )
         except EDNError as exc:
             print(f"error: {text}: {exc}", file=sys.stderr)
             return 2
-        interval = measurement.acceptance
-        rows.append(
-            [
-                spec.label,
-                spec.n_inputs,
-                backend.name,
-                f"{interval.point:.6f}",
-                f"[{interval.low:.4f}, {interval.high:.4f}]",
-            ]
-        )
     print(
         format_table(
-            ["topology", "inputs", "backend", f"PA({args.rate:g})", "95% CI"],
+            ["topology", "traffic", "inputs", "backend", "PA", "95% CI"],
             rows,
             title=f"Monte-Carlo acceptance, {args.cycles} cycles, seed {args.seed}",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import EDNError
+    from repro.sim.rng import make_rng
+    from repro.workloads import parse_workload, workload_catalog
+
+    if args.spec:
+        try:
+            workload = parse_workload(args.spec)
+            traffic = workload.build(args.terminals, args.terminals)
+            sample = traffic.generate(make_rng(0))
+        except EDNError as exc:
+            print(f"error: {args.spec}: {exc}", file=sys.stderr)
+            return 2
+        preview = ", ".join(str(d) for d in sample[:16])
+        if len(sample) > 16:
+            preview += ", ..."
+        print(
+            format_table(
+                ["property", "value"],
+                [
+                    ["canonical spec", traffic.describe()],
+                    ["model", type(traffic).__name__],
+                    ["terminals", f"{traffic.n_inputs} -> {traffic.n_outputs}"],
+                    ["sample cycle (seed 0)", preview],
+                ],
+                title=f"workload {workload.label}",
+            )
+        )
+        return 0
+    rows = [
+        [
+            entry.name + (f" ({', '.join(entry.aliases)})" if entry.aliases else ""),
+            entry.syntax,
+            entry.summary,
+        ]
+        for entry in workload_catalog()
+    ]
+    print(
+        format_table(
+            ["workload", "spec syntax", "description"],
+            rows,
+            title="Registered traffic models (`--traffic SPEC`, RunConfig(traffic=...))",
         )
     )
     return 0
@@ -224,13 +322,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         import json
 
         results = [
-            run_experiment(experiment_id, jobs=args.jobs, batch=args.batch)
+            run_experiment(
+                experiment_id, jobs=args.jobs, batch=args.batch, traffic=args.traffic
+            )
             for experiment_id in ids
         ]
         print(json.dumps([result.to_dict() for result in results], indent=2))
     elif args.csv:
         for experiment_id in ids:
-            result = run_experiment(experiment_id, jobs=args.jobs, batch=args.batch)
+            result = run_experiment(
+                experiment_id, jobs=args.jobs, batch=args.batch, traffic=args.traffic
+            )
             if result.series:
                 print(f"# {result.experiment_id}: series")
                 print(result.series_csv(), end="")
@@ -240,7 +342,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         from repro.experiments.registry import main as run_all
 
-        run_all(args.ids or None, jobs=args.jobs, batch=args.batch)
+        run_all(args.ids or None, jobs=args.jobs, batch=args.batch, traffic=args.traffic)
     return 0
 
 
@@ -279,6 +381,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "pa": _cmd_pa,
     "route": _cmd_route,
+    "workloads": _cmd_workloads,
     "experiment": _cmd_experiment,
     "maspar": _cmd_maspar,
     "mimd": _cmd_mimd,

@@ -27,7 +27,7 @@ from repro.core.hyperbar import Hyperbar
 from repro.experiments.base import ExperimentResult
 from repro.sim.montecarlo import measure_acceptance
 from repro.sim.rng import make_rng
-from repro.sim.traffic import UniformTraffic
+from repro.workloads import UniformTraffic
 from repro.sim.vectorized import VectorizedEDN
 from repro.simd.ra_edn import RAEDNSystem
 from repro.simd.schedule import LowestIndexSchedule, RandomSchedule, RoundRobinSchedule

@@ -25,7 +25,7 @@ from repro.core.tags import RetirementOrder
 from repro.experiments.base import ExperimentResult
 from repro.sim.montecarlo import measure_acceptance
 from repro.sim.rng import make_rng
-from repro.sim.traffic import PermutationTraffic, structured_permutation
+from repro.workloads import PermutationTraffic, structured_permutation
 from repro.sim.vectorized import VectorizedEDN
 
 __all__ = ["run"]

@@ -26,7 +26,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.parallel import ParallelSweep
 from repro.sim.batched import BatchedEDN
 from repro.sim.montecarlo import measure_acceptance
-from repro.sim.traffic import HotspotTraffic
+from repro.workloads import HotspotTraffic
 
 __all__ = ["LADDER", "run"]
 

@@ -32,6 +32,7 @@ from repro.experiments import (
     hotspot,
     scaling,
     sec5_raedn,
+    workload_matrix,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "scaling": scaling.run,
     "buffered": extensions.run_buffered,
     "admissibility": extensions.run_admissibility,
+    "workload_matrix": workload_matrix.run,
 }
 
 
@@ -69,12 +71,15 @@ def run_experiment(
     config: Optional[RunConfig] = None,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
+    traffic: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by its DESIGN.md ID.
 
-    ``config`` carries the execution overrides; the ``jobs``/``batch``
-    keywords are CLI-flag shims layered on top of it (explicit values win).
-    Analytic experiments ignore whatever does not apply to them.
+    ``config`` carries the execution overrides; the ``jobs``/``batch``/
+    ``traffic`` keywords are CLI-flag shims layered on top of it (explicit
+    values win).  Analytic experiments ignore whatever does not apply to
+    them, and runners whose workload *is* the figure (fig7_mc, nuts, ...)
+    ignore ``traffic`` too — ``workload_matrix`` honors it.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -82,7 +87,9 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    cfg = (config if config is not None else RunConfig()).override(jobs=jobs, batch=batch)
+    cfg = (config if config is not None else RunConfig()).override(
+        jobs=jobs, batch=batch, traffic=traffic
+    )
     return runner(config=cfg)
 
 
@@ -92,10 +99,13 @@ def main(
     config: Optional[RunConfig] = None,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
+    traffic: Optional[str] = None,
 ) -> None:
     """Run the requested (default: all) experiments and print their reports."""
     for experiment_id in ids if ids is not None else sorted(EXPERIMENTS):
-        result = run_experiment(experiment_id, config=config, jobs=jobs, batch=batch)
+        result = run_experiment(
+            experiment_id, config=config, jobs=jobs, batch=batch, traffic=traffic
+        )
         print(result.render())
         print()
         print("-" * 78)

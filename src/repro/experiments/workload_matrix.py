@@ -1,0 +1,132 @@
+"""Experiment ``workload_matrix``: acceptance across topology x traffic.
+
+The paper evaluates EDNs almost entirely under uniform random and random
+permutation loads (Sections 3.2, 3.2.1 and 5); the claim that expansion
+keeps acceptance high "for very large parallel computers" is only
+credible across the workload diversity real machines see.  This
+experiment sweeps the batched-capable 64-terminal topologies against the
+full built-in workload registry — uniform/permutation (the paper's
+regimes), hot-spot (NUTS, reference [13]), the structured permutations
+of the banyan literature (bit reversal, transpose, shuffle, complement,
+tornado), bursty on/off sources, and a foreground/background mixture —
+producing one acceptance table that shows where path multiplicity pays.
+
+Expected shape: the crossbar column bounds everything (only output
+contention); the single-path delta suffers most under structured and
+hot-spot loads (unique paths saturate); the multipath EDN sits in
+between, and under partial-rate loads everyone recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.registry import build_router, resolve_backend
+from repro.api.spec import NetworkSpec, RunConfig
+from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import ParallelSweep
+from repro.sim.montecarlo import measure_acceptance
+from repro.workloads import make_traffic, parse_workload
+
+__all__ = ["TOPOLOGIES", "TRAFFIC", "run"]
+
+#: 64-terminal, batched-backend-capable topologies (comparable columns).
+TOPOLOGIES = (
+    "edn:16,4,4,2",
+    "delta:8,8,2",
+    "omega:64",
+    "crossbar:64",
+)
+
+#: One spec per built-in workload family (64 = 2^6: every pattern applies).
+TRAFFIC = (
+    "uniform",
+    "uniform:0.5",
+    "permutation",
+    "hotspot:0.05",
+    "hotspot:0.2",
+    "bitrev",
+    "transpose",
+    "shuffle",
+    "complement",
+    "tornado",
+    "bursty:on=8,off=24",
+    "mixture:uniform@0.7+hotspot:0.1@0.3",
+)
+
+
+def _matrix_cell(task, seed_key) -> float:
+    """One (topology, traffic) grid cell (ParallelSweep worker)."""
+    topology, traffic, cycles, batch, backend = task
+    spec = NetworkSpec.parse(topology)
+    router = build_router(spec, backend)
+    generator = make_traffic(traffic, router.n_inputs, router.n_outputs)
+    return measure_acceptance(
+        router, generator, cycles=cycles, seed=seed_key, batch=batch
+    ).point
+
+
+def run(
+    *,
+    topologies: tuple[str, ...] = TOPOLOGIES,
+    traffic: tuple[str, ...] = TRAFFIC,
+    cycles: int = 60,
+    seed: int = 0,
+    batch: int | None = None,
+    jobs: int | None = 1,
+    config: Optional[RunConfig] = None,
+) -> ExperimentResult:
+    """Measure acceptance on the topology x traffic grid.
+
+    The grid fans out over ``jobs`` processes; every cell routes batched
+    chunks under its own positionally spawned child of ``seed``, so the
+    table is identical at any job count.  A :class:`RunConfig` may supply
+    cycles/seed/batch/jobs as usual; a set ``config.traffic`` narrows the
+    sweep to that single workload (the CLI's ``experiment --traffic``).
+    """
+    cfg = (config if config is not None else RunConfig()).resolve(
+        cycles=cycles, seed=seed, batch=batch, jobs=jobs
+    )
+    if cfg.traffic is not None:
+        traffic = (cfg.traffic,)
+    workloads = [parse_workload(text) for text in traffic]
+    specs = [NetworkSpec.parse(text) for text in topologies]
+    backends = [resolve_backend(spec, cfg.backend) for spec in specs]
+
+    tasks = [
+        (spec.label, workload.label, cfg.cycles, cfg.batch, cfg.backend)
+        for workload in workloads
+        for spec in specs
+    ]
+    points = ParallelSweep.from_config(cfg).map_seeded(_matrix_cell, tasks, cfg.seed)
+
+    result = ExperimentResult(
+        experiment_id="workload_matrix",
+        title="Acceptance across topology x traffic (the scenario-coverage matrix)",
+    )
+    rows = []
+    for row_index, workload in enumerate(workloads):
+        cells = points[row_index * len(specs) : (row_index + 1) * len(specs)]
+        rows.append([workload.label] + [round(value, 6) for value in cells])
+    result.tables["PA by traffic x topology"] = (
+        ["traffic"] + [spec.label for spec in specs],
+        rows,
+    )
+    result.tables["engines"] = (
+        ["topology", "backend", "natively batched"],
+        [
+            [spec.label, backend.name, backend.batched]
+            for spec, backend in zip(specs, backends)
+        ],
+    )
+    result.notes.append(
+        "the crossbar column isolates unavoidable output contention; each "
+        "network's shortfall against it is internal blocking, largest for "
+        "single-path fabrics under structured/hot-spot loads"
+    )
+    result.notes.append(
+        f"{cfg.cycles} cycles/cell, seed {cfg.seed}; every workload's "
+        "generate_batch is vectorized, so batched backends route whole "
+        "chunks without per-cycle Python loops"
+    )
+    return result

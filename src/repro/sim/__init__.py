@@ -11,8 +11,10 @@ runners.
 * :mod:`repro.sim.engine` — discrete-event kernel and cycle driver;
 * :mod:`repro.sim.rng` — reproducible independent random streams;
 * :mod:`repro.sim.stats` — online statistics and confidence intervals;
-* :mod:`repro.sim.traffic` — workload generators (uniform, permutation,
-  hot-spot/NUTS, structured patterns), single-cycle or batched;
+* :mod:`repro.sim.traffic` — compatibility alias of the traffic models,
+  which live in the :mod:`repro.workloads` subsystem (registry-backed
+  ``name[:args]`` specs: uniform, permutation, hot-spot/NUTS, bursty,
+  mixture, trace replay, structured patterns), single-cycle or batched;
 * :mod:`repro.sim.vectorized` — numpy EDN router, one cycle per call;
 * :mod:`repro.sim.batched` — numpy EDN router over ``(batch, N)`` demand
   matrices: many independent cycles per call, bit-identical per message to
@@ -59,11 +61,14 @@ from repro.sim.stats import (
     batch_means,
     proportion_ci,
 )
-from repro.sim.traffic import (
+from repro.workloads.models import (
     STRUCTURED_PATTERNS,
+    BurstyTraffic,
     FixedPattern,
     HotspotTraffic,
+    MixtureTraffic,
     PermutationTraffic,
+    TraceTraffic,
     TrafficGenerator,
     UniformTraffic,
     structured_permutation,
@@ -91,6 +96,9 @@ __all__ = [
     "PermutationTraffic",
     "FixedPattern",
     "HotspotTraffic",
+    "BurstyTraffic",
+    "MixtureTraffic",
+    "TraceTraffic",
     "structured_permutation",
     "STRUCTURED_PATTERNS",
     "VectorizedEDN",

@@ -32,7 +32,8 @@ from repro.core.network import EDNetwork
 from repro.core.tags import RetirementOrder
 from repro.sim.rng import SeedLike, make_rng
 from repro.sim.stats import Interval, RatioStats
-from repro.sim.traffic import TrafficGenerator
+from repro.workloads.models import TrafficGenerator
+from repro.workloads.registry import TrafficLike, make_traffic
 
 if TYPE_CHECKING:  # avoid a runtime cycle: repro.api.measure imports this module
     from repro.api.spec import RunConfig
@@ -96,7 +97,7 @@ class AcceptanceMeasurement:
 
 def measure_acceptance(
     router: CycleRouter,
-    traffic: TrafficGenerator,
+    traffic: "TrafficLike | None" = None,
     *,
     cycles: int | None = None,
     seed: SeedLike = _UNSET,
@@ -109,6 +110,14 @@ def measure_acceptance(
     Each cycle draws a fresh demand vector (the paper's assumption 3:
     blocked requests are ignored and do not affect later cycles) and routes
     it; acceptance is accumulated as a ratio of sums.
+
+    ``traffic`` is anything :func:`repro.workloads.make_traffic` accepts:
+    a built :class:`~repro.workloads.TrafficGenerator`, a workload spec
+    string (``"hotspot:0.1"``, ``"bitrev"``, ...), or a parsed
+    :class:`~repro.workloads.WorkloadSpec` — specs are sized to the router
+    here.  When ``traffic`` is omitted, a set ``config.traffic`` fills it;
+    failing that, full-rate uniform traffic (the paper's Section 3.2
+    default) is used.
 
     Run parameters can come from a :class:`repro.api.RunConfig` (``config``)
     or from the individual keywords.  Precedence matches the experiment
@@ -130,10 +139,16 @@ def measure_acceptance(
         batch = config.batch if config.batch is not None else batch
         if config.seed is not None:
             seed = config.seed
+        if traffic is None:
+            traffic = config.traffic
     cycles = 100 if cycles is None else cycles
     confidence = 0.95 if confidence is None else confidence
     if seed is _UNSET:
         seed = 0
+    if traffic is None:
+        traffic = "uniform"
+    if not isinstance(traffic, TrafficGenerator):
+        traffic = make_traffic(traffic, router.n_inputs, router.n_outputs)
     if traffic.n_inputs != router.n_inputs:
         raise ValueError(
             f"traffic generates {traffic.n_inputs} inputs, router has {router.n_inputs}"

@@ -1,23 +1,24 @@
-"""Workload generators for network simulation.
+"""Backwards-compatible alias of :mod:`repro.workloads.models`.
 
-Each generator produces one cycle of destination demands as an integer numpy
-array of length ``n_inputs`` where entry ``s`` is the requested output
-terminal of source ``s`` or ``-1`` for an idle input.  The paper's two
-analytic regimes are covered — uniform independent traffic (Section 3.2's
-assumptions) and random permutations (Section 3.2.1 / Section 5) — plus the
-hot-spot ("NUTS", Non-Uniform Traffic Spots, the paper's reference [13])
-and structured-permutation workloads used by the ablation and multipath
-benchmarks.
+The traffic models grew into the pluggable :mod:`repro.workloads`
+subsystem (registry, ``name[:args]`` spec parsing, CLI ``--traffic``);
+this module remains so existing ``repro.sim.traffic`` imports keep
+working.  New code should import from :mod:`repro.workloads`.
 """
 
-from __future__ import annotations
-
-from collections.abc import Callable
-
-import numpy as np
-
-from repro.core.exceptions import ConfigurationError
-from repro.core.labels import ilog2, is_power_of_two, reverse_bits
+from repro.workloads.models import (  # noqa: F401
+    IDLE,
+    STRUCTURED_PATTERNS,
+    BurstyTraffic,
+    FixedPattern,
+    HotspotTraffic,
+    MixtureTraffic,
+    PermutationTraffic,
+    TraceTraffic,
+    TrafficGenerator,
+    UniformTraffic,
+    structured_permutation,
+)
 
 __all__ = [
     "TrafficGenerator",
@@ -25,227 +26,9 @@ __all__ = [
     "PermutationTraffic",
     "FixedPattern",
     "HotspotTraffic",
+    "BurstyTraffic",
+    "MixtureTraffic",
+    "TraceTraffic",
     "structured_permutation",
     "STRUCTURED_PATTERNS",
 ]
-
-IDLE = -1
-
-
-class TrafficGenerator:
-    """Base class: a callable source of per-cycle destination vectors."""
-
-    def __init__(self, n_inputs: int, n_outputs: int):
-        if n_inputs < 1 or n_outputs < 1:
-            raise ConfigurationError("traffic needs positive terminal counts")
-        self.n_inputs = n_inputs
-        self.n_outputs = n_outputs
-
-    def generate(self, rng: np.random.Generator) -> np.ndarray:
-        """Return this cycle's demands (``int64[n_inputs]``, ``-1`` = idle)."""
-        raise NotImplementedError
-
-    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
-        """Return ``batch`` cycles of demands at once (``int64[batch, n_inputs]``).
-
-        The base implementation stacks ``batch`` sequential :meth:`generate`
-        calls, so any subclass batches correctly; the built-in generators
-        override it with fully vectorized draws (which consume the stream in
-        a different order than sequential calls — equally distributed, but a
-        chunked measurement is only reproducible for a fixed chunk size).
-        """
-        if batch < 0:
-            raise ConfigurationError(f"batch size must be non-negative, got {batch}")
-        if batch == 0:
-            return np.empty((0, self.n_inputs), dtype=np.int64)
-        return np.stack([self.generate(rng) for _ in range(batch)])
-
-    def _apply_rate(self, dests: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
-        """Idle each entry independently with probability ``1 - rate``.
-
-        Works on a single cycle vector or a ``(batch, n_inputs)`` matrix.
-        """
-        if rate >= 1.0:
-            return dests
-        mask = rng.random(dests.shape) < rate
-        return np.where(mask, dests, IDLE)
-
-
-class UniformTraffic(TrafficGenerator):
-    """Uniform independent destinations at request rate ``r`` (Section 3.2).
-
-    Every input issues a request with probability ``r``, addressed to an
-    output chosen uniformly and independently — exactly the assumptions
-    under which Eq. 4 is derived.
-    """
-
-    def __init__(self, n_inputs: int, n_outputs: int, rate: float = 1.0):
-        super().__init__(n_inputs, n_outputs)
-        if not 0.0 <= rate <= 1.0:
-            raise ConfigurationError(f"rate must lie in [0, 1], got {rate}")
-        self.rate = rate
-
-    def generate(self, rng: np.random.Generator) -> np.ndarray:
-        dests = rng.integers(0, self.n_outputs, size=self.n_inputs, dtype=np.int64)
-        return self._apply_rate(dests, self.rate, rng)
-
-    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
-        dests = rng.integers(
-            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
-        )
-        return self._apply_rate(dests, self.rate, rng)
-
-
-class PermutationTraffic(TrafficGenerator):
-    """A fresh uniform random (partial) permutation every cycle.
-
-    Requires ``n_inputs <= n_outputs``; each input gets a distinct output.
-    With ``rate < 1`` a random subset of inputs participates, which is the
-    "partial permutation" regime of Eq. 5.
-    """
-
-    def __init__(self, n_inputs: int, n_outputs: int, rate: float = 1.0):
-        super().__init__(n_inputs, n_outputs)
-        if n_inputs > n_outputs:
-            raise ConfigurationError(
-                f"a permutation needs n_inputs <= n_outputs, got {n_inputs} > {n_outputs}"
-            )
-        if not 0.0 <= rate <= 1.0:
-            raise ConfigurationError(f"rate must lie in [0, 1], got {rate}")
-        self.rate = rate
-
-    def generate(self, rng: np.random.Generator) -> np.ndarray:
-        dests = rng.permutation(self.n_outputs)[: self.n_inputs].astype(np.int64)
-        return self._apply_rate(dests, self.rate, rng)
-
-    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
-        outputs = np.broadcast_to(
-            np.arange(self.n_outputs, dtype=np.int64), (batch, self.n_outputs)
-        )
-        dests = rng.permuted(outputs, axis=1)[:, : self.n_inputs]
-        return self._apply_rate(np.ascontiguousarray(dests), self.rate, rng)
-
-
-class FixedPattern(TrafficGenerator):
-    """The same destination vector every cycle (e.g. the identity of Figure 5)."""
-
-    def __init__(self, dests: np.ndarray | list[int], n_outputs: int):
-        dests = np.asarray(dests, dtype=np.int64)
-        super().__init__(len(dests), n_outputs)
-        live = dests[dests != IDLE]
-        if live.size and (live.min() < 0 or live.max() >= n_outputs):
-            raise ConfigurationError("fixed pattern contains out-of-range destinations")
-        self.dests = dests
-
-    def generate(self, rng: np.random.Generator) -> np.ndarray:
-        return self.dests.copy()
-
-    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
-        return np.tile(self.dests, (batch, 1))
-
-
-class HotspotTraffic(TrafficGenerator):
-    """Uniform traffic with a hot output: the classic NUTS stressor.
-
-    With probability ``hot_fraction`` a request targets ``hot_output``;
-    otherwise it is uniform over all outputs.  Multipath networks (``c > 1``)
-    degrade far more gracefully here than single-path deltas, which is the
-    paper's Section 1 motivation for EDNs; the ``nuts`` benchmark
-    quantifies it.
-    """
-
-    def __init__(
-        self,
-        n_inputs: int,
-        n_outputs: int,
-        rate: float = 1.0,
-        hot_fraction: float = 0.1,
-        hot_output: int = 0,
-    ):
-        super().__init__(n_inputs, n_outputs)
-        if not 0.0 <= rate <= 1.0:
-            raise ConfigurationError(f"rate must lie in [0, 1], got {rate}")
-        if not 0.0 <= hot_fraction <= 1.0:
-            raise ConfigurationError(f"hot_fraction must lie in [0, 1], got {hot_fraction}")
-        if not 0 <= hot_output < n_outputs:
-            raise ConfigurationError(f"hot_output {hot_output} out of range")
-        self.rate = rate
-        self.hot_fraction = hot_fraction
-        self.hot_output = hot_output
-
-    def generate(self, rng: np.random.Generator) -> np.ndarray:
-        dests = rng.integers(0, self.n_outputs, size=self.n_inputs, dtype=np.int64)
-        hot = rng.random(self.n_inputs) < self.hot_fraction
-        dests[hot] = self.hot_output
-        return self._apply_rate(dests, self.rate, rng)
-
-    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
-        dests = rng.integers(
-            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
-        )
-        hot = rng.random((batch, self.n_inputs)) < self.hot_fraction
-        dests[hot] = self.hot_output
-        return self._apply_rate(dests, self.rate, rng)
-
-
-def _bit_reversal(n: int) -> np.ndarray:
-    bits = ilog2(n)
-    return np.array([reverse_bits(i, bits) for i in range(n)], dtype=np.int64)
-
-
-def _perfect_shuffle(n: int) -> np.ndarray:
-    bits = ilog2(n)
-    mask = n - 1
-    idx = np.arange(n)
-    return (((idx << 1) | (idx >> (bits - 1))) & mask).astype(np.int64)
-
-
-def _transpose(n: int) -> np.ndarray:
-    """Matrix transpose on the sqrt(n) x sqrt(n) grid (swap label halves)."""
-    bits = ilog2(n)
-    if bits % 2:
-        raise ConfigurationError(f"transpose needs an even number of label bits, n={n}")
-    half = bits // 2
-    low_mask = (1 << half) - 1
-    idx = np.arange(n)
-    return (((idx & low_mask) << half) | (idx >> half)).astype(np.int64)
-
-
-def _butterfly(n: int) -> np.ndarray:
-    """Swap the most and least significant label bits."""
-    bits = ilog2(n)
-    idx = np.arange(n)
-    msb = (idx >> (bits - 1)) & 1
-    lsb = idx & 1
-    cleared = idx & ~((1 << (bits - 1)) | 1)
-    return (cleared | (lsb << (bits - 1)) | msb).astype(np.int64)
-
-
-STRUCTURED_PATTERNS: dict[str, Callable[[int], np.ndarray]] = {
-    "identity": lambda n: np.arange(n, dtype=np.int64),
-    "reversal": lambda n: np.arange(n - 1, -1, -1, dtype=np.int64),
-    "bit_reversal": _bit_reversal,
-    "shuffle": _perfect_shuffle,
-    "transpose": _transpose,
-    "butterfly": _butterfly,
-}
-
-
-def structured_permutation(name: str, n: int) -> FixedPattern:
-    """A named structured permutation over ``n`` (a power of two) terminals.
-
-    Available: ``identity``, ``reversal``, ``bit_reversal``, ``shuffle``,
-    ``transpose`` (even label width only), ``butterfly``.  These are the
-    standard adversarial patterns for banyan-class networks; the paper's
-    Figure 5 discussion ("incapable of performing the identity permutation
-    in one pass") is the ``identity`` entry.
-    """
-    if not is_power_of_two(n):
-        raise ConfigurationError(f"structured permutations need power-of-two size, got {n}")
-    try:
-        builder = STRUCTURED_PATTERNS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown pattern {name!r}; available: {sorted(STRUCTURED_PATTERNS)}"
-        ) from None
-    return FixedPattern(builder(n), n)

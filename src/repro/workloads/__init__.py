@@ -1,0 +1,77 @@
+"""repro.workloads — the pluggable traffic-model subsystem.
+
+The single way every engine and experiment draws demand.  Two halves:
+
+* :mod:`repro.workloads.models` — the :class:`TrafficGenerator` protocol
+  and the built-in models (uniform, permutation, hot-spot, bursty,
+  mixture, trace replay, structured permutations), each with a vectorized
+  ``generate_batch`` so the batched engines stay on their fast path;
+* :mod:`repro.workloads.registry` — string-keyed registration and
+  ``name[:args]`` spec parsing: ``parse_workload`` validates, and
+  ``make_traffic`` binds a spec to a concrete network's terminal counts.
+
+Specs are plain strings, so they thread through
+:class:`repro.api.RunConfig` (``traffic="hotspot:0.1"``), the CLI
+(``repro route --traffic bitrev``), and
+:class:`~repro.experiments.parallel.ParallelSweep` process boundaries
+unchanged.  ``repro workloads`` lists the registry from the command line.
+
+Quickstart::
+
+    from repro.api import NetworkSpec, RunConfig, measure
+    from repro.workloads import make_traffic
+
+    spec = NetworkSpec.edn(16, 4, 4, 2)
+    print(measure(spec, RunConfig(cycles=200, seed=0, traffic="hotspot:0.2")).point)
+
+    gen = make_traffic("mixture:uniform@0.7+hotspot:0.1@0.3", 64, 64)
+    print(gen.describe())               # canonical spec, round-trips via parse
+"""
+
+from repro.workloads.models import (
+    IDLE,
+    STRUCTURED_PATTERNS,
+    BurstyTraffic,
+    FixedPattern,
+    HotspotTraffic,
+    MixtureTraffic,
+    PermutationTraffic,
+    TraceTraffic,
+    TrafficGenerator,
+    UniformTraffic,
+    structured_permutation,
+)
+from repro.workloads.registry import (
+    WORKLOADS,
+    TrafficLike,
+    Workload,
+    WorkloadSpec,
+    available_workloads,
+    make_traffic,
+    parse_workload,
+    register_workload,
+    workload_catalog,
+)
+
+__all__ = [
+    "IDLE",
+    "TrafficGenerator",
+    "UniformTraffic",
+    "PermutationTraffic",
+    "FixedPattern",
+    "HotspotTraffic",
+    "BurstyTraffic",
+    "MixtureTraffic",
+    "TraceTraffic",
+    "structured_permutation",
+    "STRUCTURED_PATTERNS",
+    "Workload",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "TrafficLike",
+    "register_workload",
+    "available_workloads",
+    "workload_catalog",
+    "parse_workload",
+    "make_traffic",
+]

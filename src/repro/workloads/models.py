@@ -1,0 +1,526 @@
+"""Traffic models: the generators behind every workload spec.
+
+Each model produces one cycle of destination demands as an integer numpy
+array of length ``n_inputs`` where entry ``s`` is the requested output
+terminal of source ``s`` or ``-1`` for an idle input.  The paper's two
+analytic regimes are covered — uniform independent traffic (Section 3.2's
+assumptions) and random permutations (Section 3.2.1 / Section 5) — plus
+the hot-spot ("NUTS", Non-Uniform Traffic Spots, the paper's reference
+[13]), structured-permutation, bursty on/off, mixture, and trace-replay
+workloads that the wider interconnection-network literature evaluates on.
+
+Every model implements both the single-cycle :meth:`TrafficGenerator.generate`
+and a *vectorized* :meth:`TrafficGenerator.generate_batch`, so the batched
+routing engines (:mod:`repro.sim.batched`) stay on their fast path: a
+Monte-Carlo chunk is one numpy call, never a per-cycle Python loop.
+
+Models are rarely constructed by hand; the string-spec registry in
+:mod:`repro.workloads.registry` is the canonical front door
+(``make_traffic("hotspot:0.1", 64, 64)``), and every registry-built model
+reports its canonical spec string through :meth:`TrafficGenerator.describe`.
+
+>>> import numpy as np
+>>> gen = UniformTraffic(8, 8, rate=0.75)
+>>> gen.generate(np.random.default_rng(0)).shape
+(8,)
+>>> gen.describe()
+'uniform:0.75'
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.labels import ilog2, is_power_of_two, reverse_bits
+
+__all__ = [
+    "IDLE",
+    "TrafficGenerator",
+    "UniformTraffic",
+    "PermutationTraffic",
+    "FixedPattern",
+    "HotspotTraffic",
+    "BurstyTraffic",
+    "MixtureTraffic",
+    "TraceTraffic",
+    "structured_permutation",
+    "STRUCTURED_PATTERNS",
+]
+
+IDLE = -1
+
+
+class TrafficGenerator:
+    """Base class: a callable source of per-cycle destination vectors."""
+
+    def __init__(self, n_inputs: int, n_outputs: int):
+        if n_inputs < 1 or n_outputs < 1:
+            raise ConfigurationError("traffic needs positive terminal counts")
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        """Return this cycle's demands (``int64[n_inputs]``, ``-1`` = idle)."""
+        raise NotImplementedError
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        """Return ``batch`` cycles of demands at once (``int64[batch, n_inputs]``).
+
+        The base implementation stacks ``batch`` sequential :meth:`generate`
+        calls, so any subclass batches correctly; the built-in generators
+        override it with fully vectorized draws (which consume the stream in
+        a different order than sequential calls — equally distributed, but a
+        chunked measurement is only reproducible for a fixed chunk size).
+        """
+        if batch < 0:
+            raise ConfigurationError(f"batch size must be non-negative, got {batch}")
+        if batch == 0:
+            return np.empty((0, self.n_inputs), dtype=np.int64)
+        return np.stack([self.generate(rng) for _ in range(batch)])
+
+    def describe(self) -> str:
+        """The canonical workload spec string this model round-trips through.
+
+        Every model built by :func:`repro.workloads.registry.make_traffic`
+        returns a string that :func:`~repro.workloads.registry.parse_workload`
+        accepts and that rebuilds an equivalent model.  Hand-constructed
+        generators without a spec form raise :class:`ConfigurationError`.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} has no workload spec form; "
+            "construct it through repro.workloads.make_traffic to get one"
+        )
+
+    def _apply_rate(self, dests: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
+        """Idle each entry independently with probability ``1 - rate``.
+
+        Works on a single cycle vector or a ``(batch, n_inputs)`` matrix.
+        """
+        if rate >= 1.0:
+            return dests
+        mask = rng.random(dests.shape) < rate
+        return np.where(mask, dests, IDLE)
+
+
+def _check_rate(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"rate must lie in [0, 1], got {rate}")
+    return rate
+
+
+def _rate_suffix(rate: float) -> str:
+    return "" if rate >= 1.0 else f",rate={rate:g}"
+
+
+class UniformTraffic(TrafficGenerator):
+    """Uniform independent destinations at request rate ``r`` (Section 3.2).
+
+    Every input issues a request with probability ``r``, addressed to an
+    output chosen uniformly and independently — exactly the assumptions
+    under which Eq. 4 is derived.
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int, rate: float = 1.0):
+        super().__init__(n_inputs, n_outputs)
+        self.rate = _check_rate(rate)
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        dests = rng.integers(0, self.n_outputs, size=self.n_inputs, dtype=np.int64)
+        return self._apply_rate(dests, self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        dests = rng.integers(
+            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
+        )
+        return self._apply_rate(dests, self.rate, rng)
+
+    def describe(self) -> str:
+        return "uniform" if self.rate >= 1.0 else f"uniform:{self.rate:g}"
+
+
+class PermutationTraffic(TrafficGenerator):
+    """A fresh uniform random (partial) permutation every cycle.
+
+    Requires ``n_inputs <= n_outputs``; each input gets a distinct output.
+    With ``rate < 1`` a random subset of inputs participates, which is the
+    "partial permutation" regime of Eq. 5.
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int, rate: float = 1.0):
+        super().__init__(n_inputs, n_outputs)
+        if n_inputs > n_outputs:
+            raise ConfigurationError(
+                f"a permutation needs n_inputs <= n_outputs, got {n_inputs} > {n_outputs}"
+            )
+        self.rate = _check_rate(rate)
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        dests = rng.permutation(self.n_outputs)[: self.n_inputs].astype(np.int64)
+        return self._apply_rate(dests, self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        outputs = np.broadcast_to(
+            np.arange(self.n_outputs, dtype=np.int64), (batch, self.n_outputs)
+        )
+        dests = rng.permuted(outputs, axis=1)[:, : self.n_inputs]
+        return self._apply_rate(np.ascontiguousarray(dests), self.rate, rng)
+
+    def describe(self) -> str:
+        return "permutation" if self.rate >= 1.0 else f"permutation:{self.rate:g}"
+
+
+class FixedPattern(TrafficGenerator):
+    """The same destination vector every cycle (e.g. the identity of Figure 5).
+
+    ``rate < 1`` thins the pattern independently each cycle (a random
+    subset of the pattern's sources fires), which turns any structured
+    permutation into its partial-participation variant.
+    """
+
+    def __init__(
+        self,
+        dests: np.ndarray | list[int],
+        n_outputs: int,
+        rate: float = 1.0,
+        label: Optional[str] = None,
+    ):
+        dests = np.asarray(dests, dtype=np.int64)
+        super().__init__(len(dests), n_outputs)
+        live = dests[dests != IDLE]
+        if live.size and (live.min() < 0 or live.max() >= n_outputs):
+            raise ConfigurationError("fixed pattern contains out-of-range destinations")
+        self.dests = dests
+        self.rate = _check_rate(rate)
+        self.label = label
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        return self._apply_rate(self.dests.copy(), self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        return self._apply_rate(np.tile(self.dests, (batch, 1)), self.rate, rng)
+
+    def describe(self) -> str:
+        if self.label is None:
+            return super().describe()
+        return self.label
+
+
+class HotspotTraffic(TrafficGenerator):
+    """Uniform traffic with a hot output: the classic NUTS stressor.
+
+    With probability ``hot_fraction`` a request targets ``hot_output``;
+    otherwise it is uniform over all outputs.  Multipath networks (``c > 1``)
+    degrade far more gracefully here than single-path deltas, which is the
+    paper's Section 1 motivation for EDNs; the ``nuts`` benchmark
+    quantifies it.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        rate: float = 1.0,
+        hot_fraction: float = 0.1,
+        hot_output: int = 0,
+    ):
+        super().__init__(n_inputs, n_outputs)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ConfigurationError(f"hot_fraction must lie in [0, 1], got {hot_fraction}")
+        if not 0 <= hot_output < n_outputs:
+            raise ConfigurationError(f"hot_output {hot_output} out of range")
+        self.rate = _check_rate(rate)
+        self.hot_fraction = hot_fraction
+        self.hot_output = hot_output
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        dests = rng.integers(0, self.n_outputs, size=self.n_inputs, dtype=np.int64)
+        hot = rng.random(self.n_inputs) < self.hot_fraction
+        dests[hot] = self.hot_output
+        return self._apply_rate(dests, self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        dests = rng.integers(
+            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
+        )
+        hot = rng.random((batch, self.n_inputs)) < self.hot_fraction
+        dests[hot] = self.hot_output
+        return self._apply_rate(dests, self.rate, rng)
+
+    def describe(self) -> str:
+        parts = f"hotspot:{self.hot_fraction:g}"
+        if self.hot_output != 0:
+            parts += f",out={self.hot_output}"
+        return parts + _rate_suffix(self.rate)
+
+
+class BurstyTraffic(TrafficGenerator):
+    """On/off bursts: each source alternates ``on`` busy and ``off`` idle cycles.
+
+    Per batch, every source draws an independent uniform random phase of
+    the ``on + off``-cycle square wave; while *on* it issues uniform random
+    destinations at rate ``rate``, while *off* it is idle.  The marginal
+    offered load is ``rate * on / (on + off)`` — identical to uniform
+    traffic at that rate — but requests arrive temporally clustered, the
+    burst regime under which buffered MINs exhibit tree saturation (the
+    hot-spot literature's companion stressor to NUTS).  Both paths are
+    fully vectorized; the single-cycle path re-draws phases each call, so
+    cycles are only correlated *within* a batched chunk.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        on: int = 8,
+        off: int = 24,
+        rate: float = 1.0,
+    ):
+        super().__init__(n_inputs, n_outputs)
+        if on < 1:
+            raise ConfigurationError(f"burst length `on` must be >= 1, got {on}")
+        if off < 0:
+            raise ConfigurationError(f"idle length `off` must be >= 0, got {off}")
+        self.on = on
+        self.off = off
+        self.rate = _check_rate(rate)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of cycles each source spends in a burst."""
+        return self.on / (self.on + self.off)
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        return self.generate_batch(rng, 1)[0]
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        if batch < 0:
+            raise ConfigurationError(f"batch size must be non-negative, got {batch}")
+        period = self.on + self.off
+        phase = rng.integers(0, period, size=self.n_inputs)
+        ticks = (phase[None, :] + np.arange(batch)[:, None]) % period
+        dests = rng.integers(
+            0, self.n_outputs, size=(batch, self.n_inputs), dtype=np.int64
+        )
+        dests = np.where(ticks < self.on, dests, IDLE)
+        return self._apply_rate(dests, self.rate, rng)
+
+    def describe(self) -> str:
+        return f"bursty:on={self.on},off={self.off}" + _rate_suffix(self.rate)
+
+
+class MixtureTraffic(TrafficGenerator):
+    """Per-request probabilistic mixture of component workloads.
+
+    Each input independently draws its destination from component ``k``
+    with probability ``weight_k`` (weights are normalized), modelling the
+    blended foreground/background loads real machines see — e.g. mostly
+    uniform computation with a hot synchronization variable.  Because the
+    choice is per *input*, permutation components contribute their
+    marginals rather than whole-cycle permutations.
+    """
+
+    def __init__(self, components: Sequence[tuple[TrafficGenerator, float]]):
+        if not components:
+            raise ConfigurationError("a mixture needs at least one component")
+        first = components[0][0]
+        super().__init__(first.n_inputs, first.n_outputs)
+        for gen, weight in components:
+            if (gen.n_inputs, gen.n_outputs) != (self.n_inputs, self.n_outputs):
+                raise ConfigurationError(
+                    "mixture components must share terminal counts: "
+                    f"{gen.n_inputs}x{gen.n_outputs} vs {self.n_inputs}x{self.n_outputs}"
+                )
+            if weight <= 0:
+                raise ConfigurationError(f"mixture weights must be positive, got {weight}")
+        total = float(sum(weight for _, weight in components))
+        self.components = tuple(gen for gen, _ in components)
+        self.weights = tuple(weight / total for _, weight in components)
+        self._cumulative = np.cumsum(self.weights)
+
+    def _select(self, draws: list[np.ndarray], rng: np.random.Generator) -> np.ndarray:
+        stacked = np.stack(draws)
+        pick = np.searchsorted(self._cumulative, rng.random(draws[0].shape), side="right")
+        pick = np.minimum(pick, len(draws) - 1)  # guard the u ~ 1.0 float edge
+        return np.take_along_axis(stacked, pick[None, ...], axis=0)[0]
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        return self._select([gen.generate(rng) for gen in self.components], rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        if batch < 0:
+            raise ConfigurationError(f"batch size must be non-negative, got {batch}")
+        if batch == 0:
+            return np.empty((0, self.n_inputs), dtype=np.int64)
+        return self._select(
+            [gen.generate_batch(rng, batch) for gen in self.components], rng
+        )
+
+    def describe(self) -> str:
+        return "mixture:" + "+".join(
+            f"{gen.describe()}@{weight:g}"
+            for gen, weight in zip(self.components, self.weights)
+        )
+
+
+class TraceTraffic(TrafficGenerator):
+    """Replay a recorded demand trace cyclically, one row per cycle.
+
+    The trace is a ``(cycles, n_inputs)`` integer matrix (``-1`` = idle),
+    typically loaded from a ``.npy`` file via :meth:`from_file` — the
+    bridge for driving the networks with demands captured from real
+    applications or other simulators.  A cursor walks the rows and wraps,
+    so chunked and per-cycle measurements see the identical sequence.
+    """
+
+    def __init__(
+        self,
+        demands: np.ndarray,
+        n_outputs: int,
+        rate: float = 1.0,
+        path: Optional[str] = None,
+    ):
+        demands = np.asarray(demands, dtype=np.int64)
+        if demands.ndim != 2 or demands.shape[0] < 1:
+            raise ConfigurationError(
+                f"a trace must be a (cycles, n_inputs) matrix, got shape {demands.shape}"
+            )
+        super().__init__(demands.shape[1], n_outputs)
+        live = demands[demands != IDLE]
+        if live.size and (live.min() < 0 or live.max() >= n_outputs):
+            raise ConfigurationError("trace contains out-of-range destinations")
+        self.demands = demands
+        self.rate = _check_rate(rate)
+        self.path = path
+        self._cursor = 0
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        *,
+        n_inputs: Optional[int] = None,
+        n_outputs: Optional[int] = None,
+        rate: float = 1.0,
+    ) -> "TraceTraffic":
+        """Load a ``.npy`` trace, checking it fits the target network."""
+        try:
+            demands = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(f"cannot load trace {path!r}: {exc}") from None
+        demands = np.asarray(demands)
+        if demands.ndim == 1:
+            demands = demands[None, :]  # a single recorded cycle
+        if n_inputs is not None and demands.ndim == 2 and demands.shape[1] != n_inputs:
+            raise ConfigurationError(
+                f"trace {path!r} has {demands.shape[1]} inputs, network has {n_inputs}"
+            )
+        if n_outputs is None:
+            n_outputs = int(demands.max()) + 1 if demands.size else 1
+        return cls(demands, n_outputs, rate=rate, path=str(path))
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        row = self.demands[self._cursor].copy()
+        self._cursor = (self._cursor + 1) % len(self.demands)
+        return self._apply_rate(row, self.rate, rng)
+
+    def generate_batch(self, rng: np.random.Generator, batch: int) -> np.ndarray:
+        if batch < 0:
+            raise ConfigurationError(f"batch size must be non-negative, got {batch}")
+        rows = (self._cursor + np.arange(batch)) % len(self.demands)
+        self._cursor = (self._cursor + batch) % len(self.demands)
+        return self._apply_rate(self.demands[rows], self.rate, rng)
+
+    def describe(self) -> str:
+        if self.path is None:
+            return super().describe()
+        return f"trace:{self.path}" + _rate_suffix(self.rate)
+
+
+def _bit_reversal(n: int) -> np.ndarray:
+    bits = ilog2(n)
+    return np.array([reverse_bits(i, bits) for i in range(n)], dtype=np.int64)
+
+
+def _perfect_shuffle(n: int) -> np.ndarray:
+    bits = ilog2(n)
+    mask = n - 1
+    idx = np.arange(n)
+    return (((idx << 1) | (idx >> (bits - 1))) & mask).astype(np.int64)
+
+
+def _transpose(n: int) -> np.ndarray:
+    """Matrix transpose on the sqrt(n) x sqrt(n) grid (swap label halves)."""
+    bits = ilog2(n)
+    if bits % 2:
+        raise ConfigurationError(f"transpose needs an even number of label bits, n={n}")
+    half = bits // 2
+    low_mask = (1 << half) - 1
+    idx = np.arange(n)
+    return (((idx & low_mask) << half) | (idx >> half)).astype(np.int64)
+
+
+def _butterfly(n: int) -> np.ndarray:
+    """Swap the most and least significant label bits."""
+    bits = ilog2(n)
+    idx = np.arange(n)
+    msb = (idx >> (bits - 1)) & 1
+    lsb = idx & 1
+    cleared = idx & ~((1 << (bits - 1)) | 1)
+    return (cleared | (lsb << (bits - 1)) | msb).astype(np.int64)
+
+
+def _complement(n: int) -> np.ndarray:
+    """Invert every label bit (equals ``reversal`` for power-of-two n)."""
+    return (np.arange(n) ^ (n - 1)).astype(np.int64)
+
+
+def _tornado(n: int) -> np.ndarray:
+    """Rotate by ceil(n/2) - 1: the worst-case offset of ring-like fabrics."""
+    offset = (n + 1) // 2 - 1
+    return ((np.arange(n) + offset) % n).astype(np.int64)
+
+
+STRUCTURED_PATTERNS: dict[str, Callable[[int], np.ndarray]] = {
+    "identity": lambda n: np.arange(n, dtype=np.int64),
+    "reversal": lambda n: np.arange(n - 1, -1, -1, dtype=np.int64),
+    "bit_reversal": _bit_reversal,
+    "shuffle": _perfect_shuffle,
+    "transpose": _transpose,
+    "butterfly": _butterfly,
+    "complement": _complement,
+    "tornado": _tornado,
+}
+
+
+def structured_permutation(
+    name: str, n: int, rate: float = 1.0, label: Optional[str] = None
+) -> FixedPattern:
+    """A named structured permutation over ``n`` (a power of two) terminals.
+
+    Available: ``identity``, ``reversal``, ``bit_reversal``, ``shuffle``,
+    ``transpose`` (even label width only), ``butterfly``, ``complement``,
+    ``tornado``.  These are the standard adversarial patterns for
+    banyan-class networks; the paper's Figure 5 discussion ("incapable of
+    performing the identity permutation in one pass") is the ``identity``
+    entry.  ``rate < 1`` yields the pattern's partial variant.
+
+    ``label`` overrides the spec-name stem in :meth:`FixedPattern.describe`
+    (the registry passes its canonical workload name, e.g. ``bitrev`` for
+    the ``bit_reversal`` pattern).
+    """
+    if not is_power_of_two(n):
+        raise ConfigurationError(f"structured permutations need power-of-two size, got {n}")
+    try:
+        builder = STRUCTURED_PATTERNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pattern {name!r}; available: {sorted(STRUCTURED_PATTERNS)}"
+        ) from None
+    stem = label if label is not None else name
+    return FixedPattern(
+        builder(n), n, rate=rate, label=stem if rate >= 1.0 else f"{stem}:{rate:g}"
+    )

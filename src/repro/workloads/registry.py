@@ -1,0 +1,490 @@
+"""String-keyed workload registry and spec parsing.
+
+A *workload* is a named way of turning terminal counts into a
+:class:`~repro.workloads.models.TrafficGenerator`.  Workload specs are
+``name[:args]`` strings — the CLI's ``--traffic`` flag, the ``traffic=``
+field of :class:`repro.api.RunConfig`, and the experiment grids all speak
+them — with comma-separated positional and ``key=value`` arguments:
+
+=============== ====================================== =========================
+spec            model                                  example
+=============== ====================================== =========================
+``uniform``     :class:`UniformTraffic`                ``uniform:0.75``
+``permutation`` :class:`PermutationTraffic`            ``permutation:0.5``
+``hotspot``     :class:`HotspotTraffic`                ``hotspot:0.2,out=3``
+``bursty``      :class:`BurstyTraffic`                 ``bursty:on=8,off=24``
+``mixture``     :class:`MixtureTraffic`                ``mixture:uniform@0.7+hotspot:0.1@0.3``
+``trace``       :class:`TraceTraffic`                  ``trace:demands.npy``
+patterns        :class:`FixedPattern`                  ``bitrev``, ``transpose``,
+                                                       ``shuffle``, ``tornado``, ...
+=============== ====================================== =========================
+
+:func:`parse_workload` validates a spec's syntax without needing a network
+(specs stay plain strings, so they pickle across
+:class:`~repro.experiments.parallel.ParallelSweep` process boundaries and
+hash into :class:`~repro.api.RunConfig`); :func:`make_traffic` binds one to
+a concrete network's terminal counts.  Every registry-built model reports
+its canonical spec through ``describe()``, which re-parses to an
+equivalent model.
+
+>>> parse_workload("hotspot:0.1").label
+'hotspot:0.1'
+>>> make_traffic("bitrev", 16, 16).describe()
+'bitrev'
+>>> parse_workload("bit_reversal").name  # aliases resolve
+'bitrev'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads.models import (
+    BurstyTraffic,
+    HotspotTraffic,
+    MixtureTraffic,
+    PermutationTraffic,
+    TraceTraffic,
+    TrafficGenerator,
+    UniformTraffic,
+    structured_permutation,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "TrafficLike",
+    "register_workload",
+    "available_workloads",
+    "workload_catalog",
+    "parse_workload",
+    "make_traffic",
+]
+
+#: Anything the measurement APIs accept as a traffic source.
+TrafficLike = Union[str, "WorkloadSpec", TrafficGenerator]
+
+
+class _ArgSpec:
+    """Declarative grammar for a workload's comma-separated argument list.
+
+    ``positional`` names the arguments that may be given bare, in order;
+    every argument may also be given as ``key=value``.  Calling the spec
+    parses an argument string into a kwargs dict, raising
+    :class:`ConfigurationError` on unknown keys, duplicates, or bad values
+    — which makes it double as the parse-time syntax check.
+    """
+
+    def __init__(self, positional: tuple[str, ...] = (), **casts: Callable[[str], object]):
+        self.positional = positional
+        self.casts = casts
+
+    def __call__(self, workload: str, argtext: str) -> dict:
+        kwargs: dict[str, object] = {}
+        if not argtext:
+            return kwargs
+        saw_keyword = False
+        for index, token in enumerate(argtext.split(",")):
+            token = token.strip()
+            key, sep, value = token.partition("=")
+            if sep:
+                key, value = key.strip(), value.strip()
+                saw_keyword = True
+            elif saw_keyword:
+                raise ConfigurationError(
+                    f"{workload}: positional argument {token!r} after key=value arguments"
+                )
+            elif index >= len(self.positional):
+                raise ConfigurationError(
+                    f"{workload}: too many positional arguments in {argtext!r} "
+                    f"(positional: {list(self.positional)})"
+                )
+            else:
+                key, value = self.positional[index], token
+            if key not in self.casts:
+                raise ConfigurationError(
+                    f"{workload}: unknown argument {key!r}; accepts {sorted(self.casts)}"
+                )
+            if key in kwargs:
+                raise ConfigurationError(f"{workload}: duplicate argument {key!r}")
+            try:
+                kwargs[key] = self.casts[key](value)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"{workload}: cannot parse argument {key}={value!r}"
+                ) from None
+        return kwargs
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered traffic model.
+
+    ``builder`` turns ``(n_inputs, n_outputs, argtext)`` into a generator;
+    ``check`` syntax-validates ``argtext`` without a network (used by
+    :func:`parse_workload`).  ``summary`` is the one-line description the
+    CLI's ``repro workloads`` listing shows, sourced from the model's
+    docstring.
+    """
+
+    name: str
+    syntax: str
+    summary: str
+    builder: Callable[[int, int, str], TrafficGenerator]
+    check: Callable[[str], None]
+    aliases: tuple[str, ...] = ()
+
+
+#: name -> Workload, in registration order.
+WORKLOADS: dict[str, Workload] = {}
+
+#: alias -> canonical name.
+_ALIASES: dict[str, str] = {}
+
+
+def register_workload(
+    name: str,
+    *,
+    syntax: str,
+    summary: str,
+    aliases: tuple[str, ...] = (),
+    check: Callable[[str], None] | None = None,
+):
+    """Register ``fn`` as the builder of workload ``name`` (decorator)."""
+
+    def decorate(fn: Callable[[int, int, str], TrafficGenerator]):
+        for key in (name, *aliases):
+            if key in WORKLOADS or key in _ALIASES:
+                raise ConfigurationError(f"workload {key!r} already registered")
+        WORKLOADS[name] = Workload(
+            name=name,
+            syntax=syntax,
+            summary=summary,
+            builder=fn,
+            check=check if check is not None else (lambda argtext: None),
+            aliases=tuple(aliases),
+        )
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return fn
+
+    return decorate
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A parsed ``name[:args]`` workload spec — hashable and picklable.
+
+    >>> spec = WorkloadSpec("hotspot", "0.2,out=3")
+    >>> spec.label
+    'hotspot:0.2,out=3'
+    >>> spec.build(8, 8).hot_output
+    3
+    """
+
+    name: str
+    args: str = ""
+
+    @property
+    def label(self) -> str:
+        """The canonical spec string (round-trips through :func:`parse_workload`)."""
+        return f"{self.name}:{self.args}" if self.args else self.name
+
+    def build(self, n_inputs: int, n_outputs: int) -> TrafficGenerator:
+        """Instantiate the model for a concrete network size."""
+        return WORKLOADS[self.name].builder(n_inputs, n_outputs, self.args)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def available_workloads() -> list[str]:
+    """Registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def workload_catalog() -> list[Workload]:
+    """Every registered workload, in registration order (the CLI listing)."""
+    return list(WORKLOADS.values())
+
+
+def parse_workload(text: Union[str, WorkloadSpec]) -> WorkloadSpec:
+    """Parse and syntax-validate a ``name[:args]`` workload spec string.
+
+    Resolves aliases to canonical names and runs the workload's argument
+    checker, but does not bind terminal counts — size-dependent rules
+    (square networks, power-of-two patterns, trace file existence) apply
+    at :meth:`WorkloadSpec.build` time.
+
+    >>> parse_workload("bursty:on=8,off=24").name
+    'bursty'
+    >>> parse_workload("mixture:uniform@0.7+hotspot:0.1@0.3").args
+    'uniform@0.7+hotspot:0.1@0.3'
+    """
+    if isinstance(text, WorkloadSpec):
+        return text
+    name, _sep, args = text.strip().partition(":")
+    name = name.strip().lower()
+    args = args.strip()
+    name = _ALIASES.get(name, name)
+    if name not in WORKLOADS:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {available_workloads()} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    WORKLOADS[name].check(args)
+    return WorkloadSpec(name, args)
+
+
+def make_traffic(spec: TrafficLike, n_inputs: int, n_outputs: int) -> TrafficGenerator:
+    """Turn a workload spec (or an existing generator) into a sized generator.
+
+    The single entry point every measurement layer funnels through:
+    strings and :class:`WorkloadSpec` values are parsed and built for the
+    given terminal counts; an already-built :class:`TrafficGenerator` is
+    size-checked and passed through.
+
+    >>> make_traffic("uniform:0.5", 64, 64).rate
+    0.5
+    """
+    if isinstance(spec, TrafficGenerator):
+        if spec.n_inputs != n_inputs:
+            raise ConfigurationError(
+                f"traffic generates {spec.n_inputs} inputs, network has {n_inputs}"
+            )
+        return spec
+    return parse_workload(spec).build(n_inputs, n_outputs)
+
+
+# ----------------------------------------------------------------------
+# Built-in workloads
+# ----------------------------------------------------------------------
+
+
+def _first_line(obj) -> str:
+    return (obj.__doc__ or "").strip().splitlines()[0]
+
+
+def _checked(argspec: _ArgSpec, name: str) -> Callable[[str], None]:
+    def check(argtext: str) -> None:
+        argspec(name, argtext)
+
+    return check
+
+
+_UNIFORM_ARGS = _ArgSpec(("rate",), rate=float)
+
+
+@register_workload(
+    "uniform",
+    syntax="uniform[:RATE]",
+    summary=_first_line(UniformTraffic),
+    check=_checked(_UNIFORM_ARGS, "uniform"),
+)
+def _build_uniform(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+    return UniformTraffic(n_inputs, n_outputs, **_UNIFORM_ARGS("uniform", argtext))
+
+
+_PERMUTATION_ARGS = _ArgSpec(("rate",), rate=float)
+
+
+@register_workload(
+    "permutation",
+    syntax="permutation[:RATE]",
+    summary=_first_line(PermutationTraffic),
+    aliases=("perm",),
+    check=_checked(_PERMUTATION_ARGS, "permutation"),
+)
+def _build_permutation(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+    return PermutationTraffic(
+        n_inputs, n_outputs, **_PERMUTATION_ARGS("permutation", argtext)
+    )
+
+
+_HOTSPOT_ARGS = _ArgSpec(("frac",), frac=float, out=int, rate=float)
+
+
+@register_workload(
+    "hotspot",
+    syntax="hotspot[:FRAC][,out=K][,rate=R]",
+    summary=_first_line(HotspotTraffic),
+    aliases=("nuts",),
+    check=_checked(_HOTSPOT_ARGS, "hotspot"),
+)
+def _build_hotspot(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+    kwargs = _HOTSPOT_ARGS("hotspot", argtext)
+    return HotspotTraffic(
+        n_inputs,
+        n_outputs,
+        rate=kwargs.get("rate", 1.0),
+        hot_fraction=kwargs.get("frac", 0.1),
+        hot_output=kwargs.get("out", 0),
+    )
+
+
+_BURSTY_ARGS = _ArgSpec(("on", "off"), on=int, off=int, rate=float)
+
+
+@register_workload(
+    "bursty",
+    syntax="bursty[:on=B,off=I][,rate=R]",
+    summary=_first_line(BurstyTraffic),
+    check=_checked(_BURSTY_ARGS, "bursty"),
+)
+def _build_bursty(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+    return BurstyTraffic(n_inputs, n_outputs, **_BURSTY_ARGS("bursty", argtext))
+
+
+#: (workload name, STRUCTURED_PATTERNS key, aliases, one-line summary).
+_PATTERN_WORKLOADS: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
+    (
+        "identity",
+        "identity",
+        (),
+        "The identity permutation s -> s (Figure 5's one-pass blocker).",
+    ),
+    (
+        "reversal",
+        "reversal",
+        (),
+        "Index reversal s -> N-1-s (equals bit-complement for power-of-two N).",
+    ),
+    (
+        "bitrev",
+        "bit_reversal",
+        ("bit_reversal",),
+        "Bit-reversal permutation (FFT data exchange; a banyan worst case).",
+    ),
+    (
+        "shuffle",
+        "shuffle",
+        (),
+        "Perfect shuffle (left label rotation; Lawrie's omega alignment).",
+    ),
+    (
+        "transpose",
+        "transpose",
+        (),
+        "Matrix transpose on the sqrt(N) x sqrt(N) grid (swap label halves).",
+    ),
+    (
+        "butterfly",
+        "butterfly",
+        (),
+        "Butterfly exchange: swap the most and least significant label bits.",
+    ),
+    (
+        "complement",
+        "complement",
+        (),
+        "Bit-complement s -> ~s: every source crosses the whole fabric.",
+    ),
+    (
+        "tornado",
+        "tornado",
+        (),
+        "Tornado rotation s -> s + ceil(N/2) - 1 (adaptive-routing stressor).",
+    ),
+)
+
+_PATTERN_ARGS = _ArgSpec(("rate",), rate=float)
+
+
+def _register_pattern(name: str, key: str, aliases: tuple[str, ...], summary: str) -> None:
+    @register_workload(
+        name,
+        syntax=f"{name}[:RATE]",
+        summary=summary,
+        aliases=aliases,
+        check=_checked(_PATTERN_ARGS, name),
+    )
+    def build(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+        rate = _PATTERN_ARGS(name, argtext).get("rate", 1.0)
+        if n_inputs != n_outputs:
+            raise ConfigurationError(
+                f"{name} needs a square network, got {n_inputs}x{n_outputs}"
+            )
+        return structured_permutation(key, n_outputs, rate=rate, label=name)
+
+
+for _name, _key, _aliases, _summary in _PATTERN_WORKLOADS:
+    _register_pattern(_name, _key, _aliases, _summary)
+
+
+def _split_mixture(argtext: str) -> list[tuple[WorkloadSpec, float]]:
+    if not argtext:
+        raise ConfigurationError(
+            "mixture needs components: mixture:SPEC@WEIGHT+SPEC@WEIGHT+..."
+        )
+    terms = []
+    for term in argtext.split("+"):
+        spec_text, sep, weight_text = term.rpartition("@")
+        if not sep:
+            raise ConfigurationError(
+                f"mixture component {term!r} is not of the form SPEC@WEIGHT"
+            )
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"mixture component {term!r} has a non-numeric weight"
+            ) from None
+        sub = parse_workload(spec_text)
+        if sub.name == "mixture":
+            raise ConfigurationError("mixture components cannot themselves be mixtures")
+        terms.append((sub, weight))
+    return terms
+
+
+def _check_mixture(argtext: str) -> None:
+    _split_mixture(argtext)
+
+
+@register_workload(
+    "mixture",
+    syntax="mixture:SPEC@W+SPEC@W[+...]",
+    summary=_first_line(MixtureTraffic),
+    aliases=("mix",),
+    check=_check_mixture,
+)
+def _build_mixture(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+    return MixtureTraffic(
+        [(sub.build(n_inputs, n_outputs), weight) for sub, weight in _split_mixture(argtext)]
+    )
+
+
+def _split_trace_args(argtext: str) -> tuple[str, float]:
+    # The path may contain anything but a trailing ",rate=" marker, so the
+    # generic comma grammar does not apply here.
+    path, sep, rate_text = argtext.partition(",rate=")
+    if not path:
+        raise ConfigurationError("trace needs a file path: trace:FILE.npy[,rate=R]")
+    rate = 1.0
+    if sep:
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"trace: cannot parse argument rate={rate_text!r}"
+            ) from None
+    return path, rate
+
+
+def _check_trace(argtext: str) -> None:
+    _split_trace_args(argtext)
+
+
+@register_workload(
+    "trace",
+    syntax="trace:FILE.npy[,rate=R]",
+    summary=_first_line(TraceTraffic),
+    check=_check_trace,
+)
+def _build_trace(n_inputs: int, n_outputs: int, argtext: str) -> TrafficGenerator:
+    path, rate = _split_trace_args(argtext)
+    return TraceTraffic.from_file(
+        path, n_inputs=n_inputs, n_outputs=n_outputs, rate=rate
+    )

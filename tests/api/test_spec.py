@@ -134,3 +134,68 @@ class TestRunConfig:
         with pytest.raises(AttributeError):
             cfg.cycles = 6
         assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+class TestRunConfigTraffic:
+    def test_unset_by_default(self):
+        assert RunConfig().traffic is None
+
+    def test_validated_and_canonicalized(self):
+        assert RunConfig(traffic="hotspot:0.1").traffic == "hotspot:0.1"
+        assert RunConfig(traffic="bit_reversal").traffic == "bitrev"
+
+    def test_bad_spec_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            RunConfig(traffic="zipf")
+        with pytest.raises(ConfigurationError, match="unknown argument"):
+            RunConfig(traffic="hotspot:heat=9")
+
+    def test_threads_through_override_and_resolve(self):
+        cfg = RunConfig(cycles=10)
+        assert cfg.override(traffic="uniform:0.5").traffic == "uniform:0.5"
+        assert cfg.resolve(traffic="uniform").traffic == "uniform"
+        assert RunConfig(traffic="tornado").resolve(traffic="uniform").traffic == "tornado"
+
+    def test_hashable_and_picklable_with_traffic(self):
+        cfg = RunConfig(cycles=5, traffic="mixture:uniform@0.7+hotspot:0.1@0.3")
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+        assert cfg in {cfg}
+
+    def test_measure_honors_config_traffic(self):
+        from repro.api import measure
+
+        spec = NetworkSpec.edn(16, 4, 4, 2)
+        hot = measure(spec, RunConfig(cycles=20, seed=0, traffic="hotspot:0.5"))
+        cool = measure(spec, RunConfig(cycles=20, seed=0, traffic="uniform"))
+        assert hot.point < cool.point
+
+    def test_measure_accepts_spec_strings_directly(self):
+        from repro.api import measure
+
+        spec = NetworkSpec.edn(16, 4, 4, 2)
+        m = measure(spec, RunConfig(cycles=10, seed=0), traffic="bitrev")
+        assert m.point == 1.0  # 16 paths/pair route bit reversal cleanly
+
+    def test_explicit_traffic_beats_config_traffic(self):
+        from repro.api import measure
+
+        spec = NetworkSpec.edn(16, 4, 4, 2)
+        cfg = RunConfig(cycles=10, seed=0, traffic="hotspot:0.9")
+        assert measure(spec, cfg, traffic="bitrev").point == 1.0
+
+    def test_rate_with_explicit_workload_rejected(self):
+        from repro.api import measure
+
+        spec = NetworkSpec.edn(16, 4, 4, 2)
+        with pytest.raises(ConfigurationError, match="inside the traffic spec"):
+            measure(spec, RunConfig(cycles=5, traffic="hotspot:0.1"), rate=0.5)
+        with pytest.raises(ConfigurationError, match="inside the traffic spec"):
+            measure(spec, RunConfig(cycles=5), traffic="bitrev", rate=0.5)
+
+    def test_measure_acceptance_accepts_specs(self):
+        from repro.api import build_router
+        from repro.sim.montecarlo import measure_acceptance
+
+        router = build_router(NetworkSpec.edn(16, 4, 4, 2))
+        m = measure_acceptance(router, "identity", cycles=5, seed=0)
+        assert m.point < 1.0  # Figure 5: the identity blocks in one pass

@@ -94,6 +94,61 @@ class TestRouteCommand:
         assert main(["route", "-t", "clos:8,8", "--backend", "batched"]) == 2
         assert "does not support" in capsys.readouterr().err
 
+    def test_multi_traffic_comparison(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--cycles", "20",
+            "--traffic", "hotspot:0.1", "--traffic", "bitrev", "--traffic", "uniform",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("edn:16,4,4,2") == 3  # one row per workload
+        for workload in ("hotspot:0.1", "bitrev", "uniform"):
+            assert workload in out
+
+    def test_traffic_crossed_with_topologies(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "-t", "omega:64", "--cycles", "10",
+            "--traffic", "tornado", "--traffic", "uniform:0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("tornado") == 2 and out.count("uniform:0.5") == 2
+
+    def test_default_traffic_reflects_rate(self, capsys):
+        assert main(["route", "-t", "crossbar:16", "--cycles", "5", "-r", "0.5"]) == 0
+        assert "uniform:0.5" in capsys.readouterr().out
+
+    def test_bad_traffic_is_an_error(self, capsys):
+        assert main(["route", "-t", "edn:16,4,4,2", "--traffic", "zipf"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestWorkloadsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["workloads", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uniform", "hotspot", "bursty", "mixture", "trace", "bitrev"):
+            assert name in out
+        assert "spec syntax" in out
+
+    def test_bare_command_also_lists(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "Registered traffic models" in capsys.readouterr().out
+
+    def test_descriptions_come_from_model_docstrings(self, capsys):
+        from repro.workloads import UniformTraffic
+
+        assert main(["workloads"]) == 0
+        first_line = UniformTraffic.__doc__.strip().splitlines()[0]
+        assert first_line in capsys.readouterr().out
+
+    def test_inspects_one_spec(self, capsys):
+        assert main(["workloads", "hotspot:0.2,out=3"]) == 0
+        out = capsys.readouterr().out
+        assert "HotspotTraffic" in out and "hotspot:0.2,out=3" in out
+
+    def test_bad_spec_is_an_error(self, capsys):
+        assert main(["workloads", "hotspot:heat=1"]) == 2
+        assert "unknown argument" in capsys.readouterr().err
+
 
 class TestMachineReadableOutput:
     def test_experiment_json(self, capsys):
@@ -139,3 +194,13 @@ class TestBatchedOptions:
         assert main(["maspar", "--runs", "2", "--batch", "2"]) == 0
         out = capsys.readouterr().out
         assert "cycles to drain" in out
+
+    def test_experiment_traffic_override(self, capsys):
+        assert main(["experiment", "workload_matrix", "--traffic", "hotspot:0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot:0.3" in out
+        assert "bitrev" not in out  # the override narrows the sweep
+
+    def test_experiment_traffic_ignored_by_analytic(self, capsys):
+        assert main(["experiment", "fig2", "--traffic", "hotspot:0.3"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -245,12 +245,65 @@ class TestRegistry:
             "eq2_eq3_dilated", "cost_performance", "nuts",
             "ablation_priority", "ablation_wire_policy", "ablation_schedule",
             "fault_tolerance", "scaling", "buffered", "admissibility",
+            "workload_matrix",
         }
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_id_raises(self):
         with pytest.raises(KeyError):
             run_experiment("fig99")
+
+
+class TestWorkloadMatrix:
+    def test_grid_shape_and_bounds(self):
+        from repro.experiments import workload_matrix
+
+        result = workload_matrix.run(cycles=10, seed=0)
+        headers, rows = result.tables["PA by traffic x topology"]
+        assert headers == ["traffic"] + list(workload_matrix.TOPOLOGIES)
+        assert [row[0] for row in rows] == list(workload_matrix.TRAFFIC)
+        for row in rows:
+            assert all(0.0 <= value <= 1.0 for value in row[1:])
+
+    def test_every_engine_natively_batched(self):
+        from repro.experiments import workload_matrix
+
+        result = workload_matrix.run(cycles=5, seed=0)
+        _, rows = result.tables["engines"]
+        assert all(row[2] is True for row in rows)
+
+    def test_config_traffic_narrows_sweep(self):
+        from repro.api import RunConfig
+        from repro.experiments import workload_matrix
+
+        result = workload_matrix.run(
+            cycles=5, config=RunConfig(traffic="hotspot:0.3")
+        )
+        _, rows = result.tables["PA by traffic x topology"]
+        assert [row[0] for row in rows] == ["hotspot:0.3"]
+
+    def test_reproducible_across_job_counts(self):
+        from repro.experiments import workload_matrix
+
+        grid = ("edn:16,4,4,2", "omega:64")
+        one = workload_matrix.run(
+            topologies=grid, traffic=("uniform", "tornado"), cycles=10, jobs=1
+        )
+        two = workload_matrix.run(
+            topologies=grid, traffic=("uniform", "tornado"), cycles=10, jobs=2
+        )
+        assert one.tables == two.tables
+
+    def test_crossbar_bounds_the_ladder(self):
+        from repro.experiments import workload_matrix
+
+        result = workload_matrix.run(cycles=20, seed=0)
+        _, rows = result.tables["PA by traffic x topology"]
+        crossbar = {row[0]: row[-1] for row in rows}
+        delta = {row[0]: row[2] for row in rows}
+        # Output contention only vs internal blocking on unique paths.
+        for traffic in ("uniform", "hotspot:0.2", "bitrev", "shuffle"):
+            assert crossbar[traffic] >= delta[traffic]
 
     def test_render_smoke(self):
         text = run_experiment("fig2").render()

@@ -1,0 +1,81 @@
+"""The documentation stays true: links resolve, documented specs parse.
+
+Guards the contract stated in docs/WORKLOADS.md: every workload spec
+string the docs show is accepted by the registry, every registered
+workload is documented, and README links both documents.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import WORKLOADS, available_workloads, parse_workload
+from repro.workloads.registry import _ALIASES
+
+REPO = Path(__file__).resolve().parent.parent.parent
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+WORKLOADS_DOC = REPO / "docs" / "WORKLOADS.md"
+README = REPO / "README.md"
+
+#: A complete lowercase spec token: name[:args].  Uppercase placeholders
+#: (``trace:FILE.npy``, ``hotspot[:FRAC]``) are deliberately excluded.
+_SPEC_TOKEN = re.compile(r"^[a-z_]+(:[a-z0-9_.,=@+:/-]+)?$")
+
+_KNOWN_HEADS = set(available_workloads()) | set(_ALIASES)
+
+
+def _documented_specs(text: str) -> list[str]:
+    """Workload-spec candidates: inline code plus every ``--traffic`` value."""
+    tokens = re.findall(r"`([^`\n]+)`", text)
+    tokens += re.findall(r"--traffic\s+(\S+)", text)
+    return [
+        token
+        for token in tokens
+        if _SPEC_TOKEN.match(token) and token.split(":", 1)[0] in _KNOWN_HEADS
+    ]
+
+
+class TestDocsExist:
+    def test_architecture_and_workloads_docs_exist(self):
+        assert ARCHITECTURE.is_file()
+        assert WORKLOADS_DOC.is_file()
+
+    def test_readme_links_both(self):
+        readme = README.read_text()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/WORKLOADS.md" in readme
+
+    def test_readme_quickstart_shows_traffic_and_backend(self):
+        readme = README.read_text()
+        assert "--traffic" in readme and "--backend" in readme
+
+
+class TestDocumentedSpecsParse:
+    @pytest.mark.parametrize("path", [WORKLOADS_DOC, README, ARCHITECTURE],
+                             ids=lambda p: p.name)
+    def test_every_documented_spec_parses(self, path):
+        specs = _documented_specs(path.read_text())
+        for token in specs:
+            if ":" in token:
+                parse_workload(token)  # full spec: must parse cleanly
+            else:
+                assert token in _KNOWN_HEADS  # bare name: must be registered
+
+    def test_workloads_doc_is_substantive(self):
+        specs = _documented_specs(WORKLOADS_DOC.read_text())
+        with_args = {token for token in specs if ":" in token}
+        assert len(with_args) >= 10, f"only {sorted(with_args)} documented with args"
+
+    def test_every_registered_workload_documented(self):
+        text = WORKLOADS_DOC.read_text()
+        for name in available_workloads():
+            assert f"`{name}" in text, f"workload {name!r} missing from docs/WORKLOADS.md"
+
+    def test_doc_table_covers_registry_syntax(self):
+        # The CLI listing and the doc must agree on what exists.
+        text = WORKLOADS_DOC.read_text()
+        for entry in WORKLOADS.values():
+            assert entry.name in text

@@ -11,6 +11,8 @@ DOCUMENTED_MODULES = [
     "repro.api.spec",
     "repro.api.registry",
     "repro.api.measure",
+    "repro.workloads.models",
+    "repro.workloads.registry",
     "repro.core.labels",
     "repro.core.permutations",
     "repro.core.hyperbar",

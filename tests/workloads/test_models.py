@@ -1,0 +1,168 @@
+"""Unit tests for the new traffic models (bursty, mixture, trace, patterns)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads import (
+    BurstyTraffic,
+    FixedPattern,
+    HotspotTraffic,
+    MixtureTraffic,
+    TraceTraffic,
+    UniformTraffic,
+    structured_permutation,
+)
+
+
+class TestBurstyTraffic:
+    def test_duty_cycle_thins_load(self, rng):
+        gen = BurstyTraffic(256, 256, on=8, off=24)
+        batch = gen.generate_batch(rng, 200)
+        active = (batch != -1).mean()
+        assert gen.duty_cycle == pytest.approx(0.25)
+        assert 0.2 < active < 0.3
+
+    def test_bursts_are_contiguous(self, rng):
+        gen = BurstyTraffic(4, 4, on=5, off=11)
+        batch = gen.generate_batch(rng, 16)  # one full period per source
+        active = batch != -1
+        # Each column sees exactly `on` busy cycles per 16-cycle period.
+        assert (active.sum(axis=0) == 5).all()
+
+    def test_off_zero_always_active(self, rng):
+        batch = BurstyTraffic(32, 32, on=4, off=0).generate_batch(rng, 10)
+        assert (batch != -1).all()
+
+    def test_rate_composes_with_duty_cycle(self, rng):
+        gen = BurstyTraffic(512, 512, on=1, off=1, rate=0.5)
+        active = (gen.generate_batch(rng, 100) != -1).mean()
+        assert 0.2 < active < 0.3  # 0.5 duty * 0.5 rate
+
+    def test_single_cycle_marginal(self, rng):
+        gen = BurstyTraffic(2048, 64, on=8, off=8)
+        active = (gen.generate(rng) != -1).mean()
+        assert 0.4 < active < 0.6
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(8, 8, on=0)
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(8, 8, off=-1)
+
+
+class TestMixtureTraffic:
+    def test_blends_component_marginals(self, rng):
+        gen = MixtureTraffic(
+            [
+                (UniformTraffic(20_000, 64), 0.7),
+                (HotspotTraffic(20_000, 64, hot_fraction=1.0, hot_output=7), 0.3),
+            ]
+        )
+        dests = gen.generate(rng)
+        share = (dests == 7).mean()
+        # 0.3 from the all-hot component + 0.7/64 from uniform ~ 0.31.
+        assert 0.25 < share < 0.38
+
+    def test_weights_normalized(self):
+        gen = MixtureTraffic(
+            [(UniformTraffic(8, 8), 7.0), (UniformTraffic(8, 8), 3.0)]
+        )
+        assert gen.weights == pytest.approx((0.7, 0.3))
+
+    def test_batch_matches_shape(self, rng):
+        gen = MixtureTraffic(
+            [(UniformTraffic(32, 32), 0.5), (HotspotTraffic(32, 32), 0.5)]
+        )
+        assert gen.generate_batch(rng, 9).shape == (9, 32)
+        assert gen.generate_batch(rng, 0).shape == (0, 32)
+
+    def test_rejects_mismatched_components(self):
+        with pytest.raises(ConfigurationError, match="terminal counts"):
+            MixtureTraffic(
+                [(UniformTraffic(8, 8), 0.5), (UniformTraffic(16, 16), 0.5)]
+            )
+
+    def test_rejects_empty_and_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            MixtureTraffic([])
+        with pytest.raises(ConfigurationError, match="positive"):
+            MixtureTraffic([(UniformTraffic(8, 8), 0.0)])
+
+
+class TestTraceTraffic:
+    def test_replays_rows_in_order(self, rng):
+        trace = np.array([[0, 1], [2, 3], [1, 0]])
+        gen = TraceTraffic(trace, 4)
+        assert np.array_equal(gen.generate(rng), [0, 1])
+        assert np.array_equal(gen.generate(rng), [2, 3])
+
+    def test_wraps_around(self, rng):
+        trace = np.array([[0, 1], [2, 3]])
+        batch = TraceTraffic(trace, 4).generate_batch(rng, 5)
+        assert np.array_equal(batch[4], [0, 1])
+
+    def test_chunked_equals_per_cycle_sequence(self, rng):
+        trace = np.arange(12).reshape(4, 3) % 5
+        chunked = TraceTraffic(trace, 5).generate_batch(rng, 7)
+        per_cycle = TraceTraffic(trace, 5)
+        stacked = np.stack([per_cycle.generate(rng) for _ in range(7)])
+        assert np.array_equal(chunked, stacked)
+
+    def test_from_file_round_trip(self, rng, tmp_path):
+        trace = np.array([[3, 1, -1, 0], [0, 0, 2, 2]])
+        path = tmp_path / "demands.npy"
+        np.save(path, trace)
+        gen = TraceTraffic.from_file(str(path), n_inputs=4, n_outputs=4)
+        assert np.array_equal(gen.generate(rng), trace[0])
+        assert gen.describe() == f"trace:{path}"
+
+    def test_from_file_rejects_wrong_width(self, tmp_path):
+        path = tmp_path / "demands.npy"
+        np.save(path, np.zeros((3, 8), dtype=np.int64))
+        with pytest.raises(ConfigurationError, match="inputs"):
+            TraceTraffic.from_file(str(path), n_inputs=4)
+
+    def test_missing_file_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="cannot load"):
+            TraceTraffic.from_file("no/such/trace.npy")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out-of-range"):
+            TraceTraffic(np.array([[9]]), 4)
+
+
+class TestNewPatterns:
+    def test_complement_inverts_bits(self, rng):
+        dests = structured_permutation("complement", 16).generate(rng)
+        assert all(dests[i] == (i ^ 15) for i in range(16))
+
+    def test_tornado_is_a_rotation(self, rng):
+        dests = structured_permutation("tornado", 8).generate(rng)
+        assert all(dests[i] == (i + 3) % 8 for i in range(8))
+
+    def test_pattern_rate_thins(self, rng):
+        gen = structured_permutation("shuffle", 1024, rate=0.25)
+        active = (gen.generate(rng) != -1).mean()
+        assert 0.15 < active < 0.35
+
+    def test_fixed_pattern_rate(self, rng):
+        gen = FixedPattern(np.arange(2048), 2048, rate=0.5)
+        batch = gen.generate_batch(rng, 4)
+        live = batch != -1
+        assert 0.4 < live.mean() < 0.6
+        assert (batch[live] == np.broadcast_to(np.arange(2048), (4, 2048))[live]).all()
+
+
+class TestDescribe:
+    def test_hand_built_generator_has_no_spec(self):
+        with pytest.raises(ConfigurationError, match="no workload spec"):
+            FixedPattern([0, 1], 2).describe()
+
+    def test_structured_label_parses(self):
+        from repro.workloads import parse_workload
+
+        gen = structured_permutation("bit_reversal", 16, rate=0.5)
+        assert parse_workload(gen.describe()).name == "bitrev"

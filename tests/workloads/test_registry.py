@@ -1,0 +1,165 @@
+"""Registry semantics: parsing, aliases, building, errors, the catalog."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads import (
+    WORKLOADS,
+    BurstyTraffic,
+    HotspotTraffic,
+    MixtureTraffic,
+    TraceTraffic,
+    UniformTraffic,
+    WorkloadSpec,
+    available_workloads,
+    make_traffic,
+    parse_workload,
+    workload_catalog,
+)
+
+
+class TestParse:
+    def test_bare_name(self):
+        spec = parse_workload("uniform")
+        assert (spec.name, spec.args, spec.label) == ("uniform", "", "uniform")
+
+    def test_args_preserved(self):
+        assert parse_workload("hotspot:0.2,out=3").label == "hotspot:0.2,out=3"
+
+    def test_whitespace_and_case_normalized(self):
+        assert parse_workload("  Uniform : 0.5 ").name == "uniform"
+
+    def test_aliases_resolve(self):
+        assert parse_workload("perm").name == "permutation"
+        assert parse_workload("nuts:0.2").name == "hotspot"
+        assert parse_workload("bit_reversal").name == "bitrev"
+        assert parse_workload("mix:uniform@1").name == "mixture"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            parse_workload("zipf")
+
+    def test_unknown_argument_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown argument"):
+            parse_workload("hotspot:heat=0.2")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot parse"):
+            parse_workload("uniform:fast")
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_workload("bursty:on=3,on=4")
+
+    def test_positional_after_keyword_rejected(self):
+        with pytest.raises(ConfigurationError, match="positional"):
+            parse_workload("bursty:on=3,12")
+
+    def test_excess_positionals_rejected(self):
+        with pytest.raises(ConfigurationError, match="positional"):
+            parse_workload("uniform:0.5,0.7")
+
+    def test_mixture_components_validated_at_parse_time(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            parse_workload("mixture:zipf@0.5+uniform@0.5")
+        with pytest.raises(ConfigurationError, match="SPEC@WEIGHT"):
+            parse_workload("mixture:uniform")
+        with pytest.raises(ConfigurationError, match="weight"):
+            parse_workload("mixture:uniform@heavy")
+        with pytest.raises(ConfigurationError, match="nest|cannot themselves"):
+            parse_workload("mixture:mixture:uniform@1@1")
+
+    def test_trace_requires_path(self):
+        with pytest.raises(ConfigurationError, match="file path"):
+            parse_workload("trace")
+        # Path existence is a build-time concern, not a parse-time one.
+        assert parse_workload("trace:missing.npy").args == "missing.npy"
+
+    def test_spec_passthrough(self):
+        spec = WorkloadSpec("uniform", "0.5")
+        assert parse_workload(spec) is spec
+
+
+class TestBuild:
+    def test_classes(self):
+        cases = {
+            "uniform:0.75": UniformTraffic,
+            "hotspot:0.2": HotspotTraffic,
+            "bursty:on=4,off=4": BurstyTraffic,
+            "mixture:uniform@0.5+hotspot:0.1@0.5": MixtureTraffic,
+        }
+        for text, cls in cases.items():
+            assert isinstance(make_traffic(text, 64, 64), cls), text
+
+    def test_hotspot_arguments_land(self):
+        gen = make_traffic("hotspot:0.3,out=5,rate=0.9", 64, 64)
+        assert (gen.hot_fraction, gen.hot_output, gen.rate) == (0.3, 5, 0.9)
+
+    def test_pattern_requires_square(self):
+        with pytest.raises(ConfigurationError, match="square"):
+            make_traffic("bitrev", 32, 64)
+
+    def test_pattern_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            make_traffic("shuffle", 12, 12)
+
+    def test_generator_passthrough_checks_size(self):
+        gen = UniformTraffic(32, 32)
+        assert make_traffic(gen, 32, 32) is gen
+        with pytest.raises(ConfigurationError, match="inputs"):
+            make_traffic(gen, 64, 64)
+
+    def test_trace_build(self, tmp_path, rng):
+        path = tmp_path / "t.npy"
+        np.save(path, np.zeros((2, 16), dtype=np.int64))
+        gen = make_traffic(f"trace:{path}", 16, 16)
+        assert isinstance(gen, TraceTraffic)
+        assert gen.generate(rng).shape == (16,)
+
+    def test_trace_with_rate_round_trips(self, tmp_path):
+        path = tmp_path / "t.npy"
+        np.save(path, np.zeros((2, 16), dtype=np.int64))
+        gen = make_traffic(f"trace:{path},rate=0.5", 16, 16)
+        assert gen.rate == 0.5
+        rebuilt = parse_workload(gen.describe()).build(16, 16)
+        assert rebuilt.rate == 0.5 and rebuilt.describe() == gen.describe()
+
+    def test_trace_bad_rate_rejected_at_parse_time(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            parse_workload("trace:t.npy,rate=fast")
+
+
+class TestRegistryShape:
+    def test_expected_workloads_registered(self):
+        expected = {
+            "uniform", "permutation", "hotspot", "bursty", "mixture", "trace",
+            "identity", "reversal", "bitrev", "shuffle", "transpose",
+            "butterfly", "complement", "tornado",
+        }
+        assert expected == set(available_workloads())
+
+    def test_catalog_has_syntax_and_summary(self):
+        for entry in workload_catalog():
+            assert entry.syntax.startswith(entry.name)
+            assert entry.summary, f"{entry.name} lost its description"
+
+    def test_catalog_summaries_come_from_model_docstrings(self):
+        summaries = {entry.name: entry.summary for entry in workload_catalog()}
+        assert summaries["uniform"] == UniformTraffic.__doc__.strip().splitlines()[0]
+        assert summaries["bursty"] == BurstyTraffic.__doc__.strip().splitlines()[0]
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads import register_workload
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_workload("uniform", syntax="uniform", summary="dup")(lambda *a: None)
+
+    def test_specs_pickle_and_hash(self):
+        spec = parse_workload("hotspot:0.2,out=3")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, parse_workload("hotspot:0.2,out=3")}) == 1
