@@ -12,6 +12,7 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/perf_smoke.py
     PYTHONPATH=src python benchmarks/perf_smoke.py --backend-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --workload-matrix
+    PYTHONPATH=src python benchmarks/perf_smoke.py --plan-cache
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -57,6 +58,23 @@ MATRIX_CYCLES = {"batched": 200, "vectorized": 200, "reference": 2}
 
 WORKLOAD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_workload_matrix.json"
 WORKLOAD_CYCLES = 200
+
+PLAN_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
+#: Fixed-budget cycles per repeated call in the plan-cache comparison —
+#: sized like an adaptive refinement probe, the regime repeated-call
+#: sweeps actually run in (setup cost matters at this scale).
+PLAN_CALL_CYCLES = 8
+#: Best-of repetitions for the plan-cache benchmark (short calls need
+#: more samples for a stable best).
+PLAN_REPEATS = 9
+#: Warm-call speedup floor asserted by --plan-cache (merge criterion).
+PLAN_SPEEDUP_FLOOR = 1.5
+#: Relative half-width target of the matched-precision adaptive sweep.
+PLAN_SWEEP_REL_ERR = 0.005
+#: Cycle-savings floor of adaptive vs fixed budgeting at equal CI width.
+PLAN_SAVINGS_FLOOR = 0.30
+#: End-to-end sweep speedup floor (plan cache + adaptive, warm vs seed).
+PLAN_SWEEP_SPEEDUP_FLOOR = 2.0
 
 
 def _best_of(repeats: int, fn) -> tuple[float, object]:
@@ -232,6 +250,232 @@ def run_workload_matrix(output: Path = WORKLOAD_OUTPUT) -> dict:
     return report
 
 
+def run_plan_cache(output: Path = PLAN_OUTPUT) -> tuple[dict, list[str]]:
+    """Measure what plan compilation + adaptive stopping buy; write JSON.
+
+    Three honestly-separated comparisons at ``N = 16384``
+    (``EDN(16,4,4,6)``, uniform traffic at full load):
+
+    * **repeated fixed-budget calls** — ``measure_acceptance`` called
+      repeatedly at :data:`PLAN_CALL_CYCLES` cycles per call.  ``seed_path``
+      builds a plan-less engine per call (exactly the pre-plan behavior:
+      per-call table recompute, per-call scratch allocation, generic
+      kernel); ``cold`` compiles a plan per call (cache cleared each
+      time); ``warm`` hits the plan cache.  Acceptance must be
+      bit-identical across all three.
+    * **matched-precision sweep** — the family sweep ``EDN(16,4,4,l)``,
+      ``l`` in {4, 5, 6}, at rates {1.0, 0.75}, measured to equal
+      confidence-interval width two ways: fixed budgeting (every cell gets
+      the cycle budget the *worst* cell needs to reach
+      :data:`PLAN_SWEEP_REL_ERR`, on the seed path — a priori budgeting
+      cannot size per cell) versus warm adaptive stopping (each cell stops
+      at its own convergence).  Both designs guarantee half-width <=
+      rel_err * PA in every cell; the recorded savings are the cycles and
+      wall-clock the adaptive design does not spend.
+
+    Returns ``(report, failures)``.
+    """
+    from repro.sim.plan import clear_plan_cache, plan_cache_info
+
+    params = EDNParams(16, 4, 4, 6)
+    spec = NetworkSpec.edn(16, 4, 4, 6)
+    assert spec.n_inputs == 16_384
+    traffic = UniformTraffic(spec.n_inputs, spec.n_inputs, 1.0)
+
+    # Warm numpy's dispatch on an unrelated small network so first-call
+    # interpreter costs do not pollute the seed-path column.
+    measure_acceptance(
+        BatchedEDN(EDNParams(16, 4, 4, 2)),
+        UniformTraffic(64, 64, 1.0),
+        cycles=32,
+        seed=0,
+    )
+
+    def _seed_call():
+        engine = BatchedEDN(params, plan=None)
+        return measure_acceptance(engine, traffic, cycles=PLAN_CALL_CYCLES, seed=SEED)
+
+    def _cold_call():
+        clear_plan_cache()
+        router = build_router(spec, "batched")
+        return measure_acceptance(router, traffic, cycles=PLAN_CALL_CYCLES, seed=SEED)
+
+    def _warm_call():
+        router = build_router(spec, "batched")
+        return measure_acceptance(router, traffic, cycles=PLAN_CALL_CYCLES, seed=SEED)
+
+    seed_s, seed_m = _best_of(PLAN_REPEATS, _seed_call)
+    cold_s, cold_m = _best_of(PLAN_REPEATS, _cold_call)
+    clear_plan_cache()
+    _warm_call()  # prime the cache
+    warm_s, warm_m = _best_of(PLAN_REPEATS, _warm_call)
+    cache = plan_cache_info()
+    assert seed_m.point == cold_m.point == warm_m.point, "plan changed routing"
+
+    warm_vs_seed = seed_s / warm_s
+    warm_vs_cold = cold_s / warm_s
+    print(
+        f"repeated {PLAN_CALL_CYCLES}-cycle calls @ N=16384: "
+        f"seed-path {seed_s * 1000:.1f}ms  cold-compile {cold_s * 1000:.1f}ms  "
+        f"warm {warm_s * 1000:.1f}ms  ({warm_vs_seed:.2f}x vs seed path)"
+    )
+
+    # ------------------------------------------------------------------
+    # Matched-precision sweep: fixed budget sized for the worst cell vs
+    # warm adaptive stopping, both guaranteeing half-width <= rel_err*PA.
+    # ------------------------------------------------------------------
+    cells = [
+        (EDNParams(16, 4, 4, stages), rate)
+        for stages in (4, 5, 6)
+        for rate in (1.0, 0.75)
+    ]
+    budget_ceiling = 4096
+    adaptive_cells = []
+    adaptive_s = 0.0
+    clear_plan_cache()
+    for cell_params, rate in cells:
+        cell_traffic = UniformTraffic(
+            cell_params.num_inputs, cell_params.num_inputs, rate
+        )
+
+        def _adaptive_call():
+            router = build_router(
+                NetworkSpec.edn(*map(int, (cell_params.a, cell_params.b,
+                                           cell_params.c, cell_params.l))),
+                "batched",
+            )
+            return measure_acceptance(
+                router,
+                cell_traffic,
+                cycles=budget_ceiling,
+                seed=SEED,
+                rel_err=PLAN_SWEEP_REL_ERR,
+            )
+
+        _adaptive_call()  # prime plan + workspace for this shape
+        elapsed, measurement = _best_of(REPEATS, _adaptive_call)
+        adaptive_s += elapsed
+        assert measurement.converged, f"{cell_params} did not converge"
+        adaptive_cells.append(
+            {
+                "network": str(cell_params),
+                "n_inputs": cell_params.num_inputs,
+                "rate": rate,
+                "cycles": measurement.cycles,
+                "seconds": round(elapsed, 4),
+                "pa": round(measurement.point, 6),
+                "rel_halfwidth": round(
+                    measurement.acceptance.halfwidth / measurement.point, 6
+                ),
+            }
+        )
+
+    # A fixed design must hand EVERY cell the worst cell's budget.
+    fixed_budget = max(cell["cycles"] for cell in adaptive_cells)
+    fixed_cells = []
+    fixed_s = 0.0
+    for cell_params, rate in cells:
+        cell_traffic = UniformTraffic(
+            cell_params.num_inputs, cell_params.num_inputs, rate
+        )
+
+        def _fixed_call():
+            engine = BatchedEDN(cell_params, plan=None)  # the seed path
+            return measure_acceptance(
+                engine, cell_traffic, cycles=fixed_budget, seed=SEED
+            )
+
+        elapsed, measurement = _best_of(REPEATS, _fixed_call)
+        fixed_s += elapsed
+        fixed_cells.append(
+            {
+                "network": str(cell_params),
+                "n_inputs": cell_params.num_inputs,
+                "rate": rate,
+                "cycles": measurement.cycles,
+                "seconds": round(elapsed, 4),
+                "pa": round(measurement.point, 6),
+                "rel_halfwidth": round(
+                    measurement.acceptance.halfwidth / measurement.point, 6
+                ),
+            }
+        )
+
+    adaptive_cycles = sum(cell["cycles"] for cell in adaptive_cells)
+    fixed_cycles = fixed_budget * len(cells)
+    cycle_savings = 1.0 - adaptive_cycles / fixed_cycles
+    sweep_speedup = fixed_s / adaptive_s
+    print(
+        f"matched-precision sweep (rel half-width <= {PLAN_SWEEP_REL_ERR:g}): "
+        f"fixed {fixed_cycles} cycles / {fixed_s:.3f}s  adaptive "
+        f"{adaptive_cycles} cycles / {adaptive_s:.3f}s  "
+        f"(cycle savings {cycle_savings:.0%}, end-to-end {sweep_speedup:.2f}x)"
+    )
+
+    report = {
+        "benchmark": "plan_cache",
+        "workload": (
+            "measure_acceptance, uniform traffic, seed 0; repeated calls at "
+            "N=16384 plus the EDN(16,4,4,l) x rate matched-precision sweep"
+        ),
+        "modes": {
+            "seed_path": "fresh plan-less engine per call (pre-plan behavior)",
+            "cold": "plan compiled per call (cache cleared each call)",
+            "warm": "plan-cache hit (shared tables + thread-local workspace)",
+        },
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "repeated_calls": {
+            "network": str(params),
+            "n_inputs": spec.n_inputs,
+            "cycles_per_call": PLAN_CALL_CYCLES,
+            "seed_path_seconds": round(seed_s, 4),
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup_warm_vs_seed_path": round(warm_vs_seed, 2),
+            "speedup_warm_vs_cold": round(warm_vs_cold, 2),
+            "pa_bit_identical": True,
+            "pa": round(warm_m.point, 6),
+            "plan_cache": cache,
+        },
+        "matched_precision_sweep": {
+            "target_rel_halfwidth": PLAN_SWEEP_REL_ERR,
+            "confidence": 0.95,
+            "fixed_budget_per_cell": fixed_budget,
+            "fixed_total_cycles": fixed_cycles,
+            "adaptive_total_cycles": adaptive_cycles,
+            "cycle_savings": round(cycle_savings, 4),
+            "fixed_seconds": round(fixed_s, 4),
+            "adaptive_seconds": round(adaptive_s, 4),
+            "end_to_end_speedup": round(sweep_speedup, 2),
+            "fixed_cells": fixed_cells,
+            "adaptive_cells": adaptive_cells,
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    failures = []
+    if warm_vs_seed < PLAN_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm-call speedup {warm_vs_seed:.2f}x below the "
+            f"{PLAN_SPEEDUP_FLOOR:.1f}x floor"
+        )
+    if cycle_savings < PLAN_SAVINGS_FLOOR:
+        failures.append(
+            f"adaptive cycle savings {cycle_savings:.0%} below the "
+            f"{PLAN_SAVINGS_FLOOR:.0%} floor"
+        )
+    if sweep_speedup < PLAN_SWEEP_SPEEDUP_FLOOR:
+        failures.append(
+            f"end-to-end sweep speedup {sweep_speedup:.2f}x below the "
+            f"{PLAN_SWEEP_SPEEDUP_FLOOR:.1f}x floor"
+        )
+    return report, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -244,6 +488,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="sweep the workload_matrix topology x traffic grid on the batched backend",
     )
+    parser.add_argument(
+        "--plan-cache",
+        action="store_true",
+        help="record plan-cache warm/cold calls and the adaptive-vs-fixed sweep",
+    )
     args = parser.parse_args(argv)
     if args.backend_matrix:
         run_backend_matrix()
@@ -251,6 +500,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.workload_matrix:
         run_workload_matrix()
         return 0
+    if args.plan_cache:
+        _report, failures = run_plan_cache()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     report = run()
     at_4096 = next(r for r in report["results"] if r["n_inputs"] == 4_096)
     if at_4096["speedup"] < SPEEDUP_FLOOR:

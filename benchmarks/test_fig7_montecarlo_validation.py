@@ -20,10 +20,11 @@ def test_fig7_montecarlo_validation(benchmark, io_size):
     emit(result)
     rows = result.tables["Eq.4 vs simulation"][1]
     assert rows
-    for _net, _inputs, analytic, simulated, gap in rows:
+    for _net, _inputs, analytic, simulated, gap, cycles in rows:
         # The analytic curve must track simulation closely...
         assert abs(gap) < 0.08
         assert 0.0 < simulated <= 1.0
+        assert cycles == 40  # fixed budget: every point spends all cycles
     # ... and its independence approximation biases it optimistic on the
     # deeper (multi-stage) members overall.
     deep = [row for row in rows if row[1] > io_size]

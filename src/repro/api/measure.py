@@ -37,6 +37,12 @@ def measure(
     combining it with an explicit workload is rejected rather than
     silently ignored (encode rates inside the spec: ``"uniform:0.5"``).
 
+    Repeated calls for equal specs are cheap: ``build_router`` constructs
+    engines that share compiled :class:`~repro.sim.plan.RoutingPlan`
+    tables through the keyed plan cache, and ``config.rel_err`` turns the
+    cycle budget into a ceiling with adaptive early stopping (see
+    ``docs/PERFORMANCE.md``).
+
     >>> m = measure(NetworkSpec.edn(16, 4, 4, 2), RunConfig(cycles=20, seed=0))
     >>> 0.0 < m.point <= 1.0
     True

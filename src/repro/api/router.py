@@ -75,7 +75,10 @@ class _BatchByLoop:
     cycle separately with the same generator threaded through in row
     order, so per-cycle and batched paths of a wrapped engine agree
     bit for bit (deterministic disciplines) or draw identically-ordered
-    streams (random priority).
+    streams (random priority).  ``rng`` also accepts a sequence of one
+    generator per cycle (the :class:`~repro.sim.batched.BatchedEDN`
+    convention the Monte-Carlo harness uses for chunk-size-invariant
+    random-priority streams); row ``i`` then routes with ``rng[i]``.
     """
 
     def route_batch(
@@ -84,7 +87,19 @@ class _BatchByLoop:
         dests, _flat, _live = validate_demand_matrix(
             dests, self.n_inputs, self.n_outputs
         )
-        results = [self.route(row, rng) for row in dests]
+        if rng is None or isinstance(rng, np.random.Generator):
+            results = [self.route(row, rng) for row in dests]
+        else:
+            cycle_rngs = list(rng)
+            if len(cycle_rngs) != dests.shape[0]:
+                raise RoutingError(
+                    f"need one generator per cycle: got {len(cycle_rngs)} "
+                    f"for batch {dests.shape[0]}"
+                )
+            results = [
+                self.route(row, cycle_rng)
+                for row, cycle_rng in zip(dests, cycle_rngs)
+            ]
         if results:
             output = np.stack([r.output for r in results])
             blocked = np.stack([r.blocked_stage for r in results])
@@ -219,6 +234,22 @@ class BatchedOmegaRouter:
             output=inner.output[:, shuffle],
             blocked_stage=inner.blocked_stage[:, shuffle],
         )
+
+    def route_batch_counts(self, dests: np.ndarray, rng=None):
+        """Acceptance counts for a batch, via the inner engine's kernel.
+
+        The omega input shuffle relabels sources but moves no message
+        between cycles or stages, so per-cycle offered/delivered counts
+        and the blocked-stage histogram equal the inner EDN's exactly —
+        the counts-only fast path applies unchanged.
+        """
+        dests, _flat, _live = validate_demand_matrix(
+            dests, self.n_inputs, self.n_outputs
+        )
+        shuffle = self._omega._shuffle
+        shuffled = np.full_like(dests, IDLE)
+        shuffled[:, shuffle] = dests
+        return self._engine.route_batch_counts(shuffled, rng)
 
     def __repr__(self) -> str:
         return f"BatchedOmegaRouter({self._omega!r})"

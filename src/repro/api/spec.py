@@ -258,6 +258,13 @@ class RunConfig:
         per-cycle fallback) — see :func:`repro.api.build_router`.
     confidence:
         Confidence level of reported intervals.
+    rel_err:
+        Adaptive early-stopping target: when set, ``cycles`` becomes a
+        budget and each measurement stops as soon as its interval
+        half-width (at ``confidence``) falls to ``rel_err`` times the
+        acceptance estimate — see
+        :func:`repro.sim.montecarlo.measure_acceptance` and
+        ``docs/PERFORMANCE.md``.  Unset means fixed-budget measurement.
     traffic:
         Workload spec string (``"uniform:0.75"``, ``"hotspot:0.1"``,
         ``"bitrev"``, ...) naming the demand model — parsed and
@@ -275,9 +282,14 @@ class RunConfig:
     batch: Optional[int] = None
     backend: str = "auto"
     confidence: Optional[float] = None
+    rel_err: Optional[float] = None
     traffic: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.rel_err is not None and not 0 < self.rel_err < 1:
+            raise ConfigurationError(
+                f"rel_err must lie in (0, 1), got {self.rel_err}"
+            )
         if self.traffic is not None:
             # Validate eagerly (typos surface at construction, like
             # NetworkSpec shapes) and store the canonical spec string so

@@ -154,17 +154,32 @@ class CrossbarNetwork:
         ``offered_per_cycle`` / ``delivered_per_cycle``).  Cycle ``i``
         resolves exactly like ``route(dests[i])``: the output index is
         folded into the contention key with a per-cycle offset, so one
-        sort settles every cycle's output contention at once.
+        sort settles every cycle's output contention at once.  Under
+        random priority ``rng`` also accepts one generator per cycle (the
+        batched-EDN convention); cycle ``i`` then draws its tie-break
+        permutation from ``rng[i]``, reproducing ``route(dests[i],
+        rng[i])`` bit for bit regardless of chunk size.
         """
         dests, flat, live = validate_demand_matrix(
             dests, self.n_inputs, self.n_outputs
         )
         batch, n = dests.shape
-        rng = as_generator(rng) if rng is not None else self._rng
-        if self.priority == "random" and rng is None:
-            raise ConfigurationError(
-                "random priority requires an rng (constructor seed or route argument)"
-            )
+        cycle_rngs = None
+        if rng is not None and not isinstance(rng, (int, np.integer)) and not (
+            isinstance(rng, (np.random.Generator, np.random.SeedSequence))
+        ):
+            cycle_rngs = [as_generator(r) for r in rng]
+            if len(cycle_rngs) != batch:
+                raise ConfigurationError(
+                    f"need one generator per cycle: got {len(cycle_rngs)} "
+                    f"for batch {batch}"
+                )
+        else:
+            rng = as_generator(rng) if rng is not None else self._rng
+            if self.priority == "random" and rng is None:
+                raise ConfigurationError(
+                    "random priority requires an rng (constructor seed or route argument)"
+                )
 
         output = np.full(batch * n, IDLE, dtype=np.int64)
         blocked_stage = np.full(batch * n, IDLE, dtype=np.int64)
@@ -176,6 +191,18 @@ class CrossbarNetwork:
                 # a stable sort on the composite key alone realizes label
                 # priority within every (cycle, output) group.
                 order = np.argsort(key, kind="stable")
+            elif cycle_rngs is not None:
+                # Per-cycle tie-break streams: each cycle's contiguous
+                # slice of the live frontier draws its own permutation,
+                # exactly as the single-cycle path would.
+                tie = np.empty(idx.size, dtype=np.int64)
+                cyc = idx // n
+                boundaries = np.flatnonzero(np.diff(cyc)) + 1
+                starts = np.concatenate(([0], boundaries))
+                stops = np.concatenate((boundaries, [idx.size]))
+                for start, stop in zip(starts, stops):
+                    tie[start:stop] = cycle_rngs[cyc[start]].permutation(stop - start)
+                order = np.lexsort((tie, key))
             else:
                 order = np.lexsort((rng.permutation(idx.size), key))
             sorted_key = key[order]

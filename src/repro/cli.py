@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--priority", default="label", choices=["label", "random"],
         help="contention discipline (default: label)",
     )
+    route.add_argument(
+        "--rel-err", type=float, default=None, metavar="FRAC",
+        help="adaptive early stopping: treat --cycles as a budget and stop "
+             "each measurement once its CI half-width falls to FRAC of the "
+             "acceptance estimate (e.g. 0.01)",
+    )
 
     workloads = sub.add_parser(
         "workloads",
@@ -140,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--traffic", default=None, metavar="SPEC",
         help="workload spec override for experiments that honor config "
              "traffic (e.g. workload_matrix; see `repro workloads`)",
+    )
+    experiment.add_argument(
+        "--rel-err", type=float, default=None, metavar="FRAC",
+        help="adaptive early stopping for Monte-Carlo experiments: cycle "
+             "budgets become ceilings, each grid point stops when its CI "
+             "half-width falls to FRAC of its estimate",
     )
     output = experiment.add_mutually_exclusive_group()
     output.add_argument(
@@ -214,7 +226,11 @@ def _cmd_route(args: argparse.Namespace) -> int:
     from repro.workloads import parse_workload
 
     config = RunConfig(
-        cycles=args.cycles, seed=args.seed, batch=args.batch, backend=args.backend
+        cycles=args.cycles,
+        seed=args.seed,
+        batch=args.batch,
+        backend=args.backend,
+        rel_err=args.rel_err,
     )
     if args.traffic:
         traffics = args.traffic
@@ -242,16 +258,22 @@ def _cmd_route(args: argparse.Namespace) -> int:
                         backend.name,
                         f"{interval.point:.6f}",
                         f"[{interval.low:.4f}, {interval.high:.4f}]",
+                        measurement.cycles,
                     ]
                 )
         except EDNError as exc:
             print(f"error: {text}: {exc}", file=sys.stderr)
             return 2
+    budget = (
+        f"adaptive (rel-err {args.rel_err:g}, budget {args.cycles})"
+        if args.rel_err is not None
+        else f"{args.cycles} cycles"
+    )
     print(
         format_table(
-            ["topology", "traffic", "inputs", "backend", "PA", "95% CI"],
+            ["topology", "traffic", "inputs", "backend", "PA", "95% CI", "cycles"],
             rows,
-            title=f"Monte-Carlo acceptance, {args.cycles} cycles, seed {args.seed}",
+            title=f"Monte-Carlo acceptance, {budget}, seed {args.seed}",
         )
     )
     return 0
@@ -323,7 +345,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         results = [
             run_experiment(
-                experiment_id, jobs=args.jobs, batch=args.batch, traffic=args.traffic
+                experiment_id,
+                jobs=args.jobs,
+                batch=args.batch,
+                traffic=args.traffic,
+                rel_err=args.rel_err,
             )
             for experiment_id in ids
         ]
@@ -331,7 +357,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.csv:
         for experiment_id in ids:
             result = run_experiment(
-                experiment_id, jobs=args.jobs, batch=args.batch, traffic=args.traffic
+                experiment_id,
+                jobs=args.jobs,
+                batch=args.batch,
+                traffic=args.traffic,
+                rel_err=args.rel_err,
             )
             if result.series:
                 print(f"# {result.experiment_id}: series")
@@ -342,7 +372,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         from repro.experiments.registry import main as run_all
 
-        run_all(args.ids or None, jobs=args.jobs, batch=args.batch, traffic=args.traffic)
+        run_all(
+            args.ids or None,
+            jobs=args.jobs,
+            batch=args.batch,
+            traffic=args.traffic,
+            rel_err=args.rel_err,
+        )
     return 0
 
 

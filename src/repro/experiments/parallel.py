@@ -14,6 +14,15 @@ reproducible:
 Workers must be module-level callables (picklability is what the fork/
 spawn boundary requires); ``jobs=1`` short-circuits to an in-process loop,
 which is also the fallback wherever a pool cannot be created.
+
+Workers interact with two per-process optimizations transparently: each
+process has its own :mod:`repro.sim.plan` cache, so a worker sweeping
+many grid cells of one topology compiles its routing tables once (fork
+workers additionally inherit plans the parent already compiled); and
+``RunConfig.rel_err`` threads adaptive early stopping into the cells, so
+every grid point spends cycles only until its own estimate converges —
+results stay deterministic because child seeds are positional and
+stopping decisions depend only on each cell's own stream.
 """
 
 from __future__ import annotations

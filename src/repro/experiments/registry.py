@@ -72,14 +72,17 @@ def run_experiment(
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
     traffic: Optional[str] = None,
+    rel_err: Optional[float] = None,
 ) -> ExperimentResult:
     """Run one experiment by its DESIGN.md ID.
 
     ``config`` carries the execution overrides; the ``jobs``/``batch``/
-    ``traffic`` keywords are CLI-flag shims layered on top of it (explicit
-    values win).  Analytic experiments ignore whatever does not apply to
-    them, and runners whose workload *is* the figure (fig7_mc, nuts, ...)
-    ignore ``traffic`` too — ``workload_matrix`` honors it.
+    ``traffic``/``rel_err`` keywords are CLI-flag shims layered on top of
+    it (explicit values win).  Analytic experiments ignore whatever does
+    not apply to them, and runners whose workload *is* the figure
+    (fig7_mc, nuts, ...) ignore ``traffic`` too — ``workload_matrix``
+    honors it.  ``rel_err`` switches Monte-Carlo runners to adaptive
+    early stopping (the cycle budget becomes a ceiling).
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -88,7 +91,7 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
     cfg = (config if config is not None else RunConfig()).override(
-        jobs=jobs, batch=batch, traffic=traffic
+        jobs=jobs, batch=batch, traffic=traffic, rel_err=rel_err
     )
     return runner(config=cfg)
 
@@ -100,11 +103,17 @@ def main(
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
     traffic: Optional[str] = None,
+    rel_err: Optional[float] = None,
 ) -> None:
     """Run the requested (default: all) experiments and print their reports."""
     for experiment_id in ids if ids is not None else sorted(EXPERIMENTS):
         result = run_experiment(
-            experiment_id, config=config, jobs=jobs, batch=batch, traffic=traffic
+            experiment_id,
+            config=config,
+            jobs=jobs,
+            batch=batch,
+            traffic=traffic,
+            rel_err=rel_err,
         )
         print(result.render())
         print()

@@ -56,13 +56,22 @@ TRAFFIC = (
 
 
 def _matrix_cell(task, seed_key) -> float:
-    """One (topology, traffic) grid cell (ParallelSweep worker)."""
-    topology, traffic, cycles, batch, backend = task
+    """One (topology, traffic) grid cell (ParallelSweep worker).
+
+    ``build_router`` consults the plan cache, so a worker sweeping many
+    traffic cells of one topology compiles its routing tables once.
+    """
+    topology, traffic, cycles, batch, backend, rel_err = task
     spec = NetworkSpec.parse(topology)
     router = build_router(spec, backend)
     generator = make_traffic(traffic, router.n_inputs, router.n_outputs)
     return measure_acceptance(
-        router, generator, cycles=cycles, seed=seed_key, batch=batch
+        router,
+        generator,
+        cycles=cycles,
+        seed=seed_key,
+        batch=batch,
+        rel_err=rel_err,
     ).point
 
 
@@ -81,8 +90,10 @@ def run(
     The grid fans out over ``jobs`` processes; every cell routes batched
     chunks under its own positionally spawned child of ``seed``, so the
     table is identical at any job count.  A :class:`RunConfig` may supply
-    cycles/seed/batch/jobs as usual; a set ``config.traffic`` narrows the
-    sweep to that single workload (the CLI's ``experiment --traffic``).
+    cycles/seed/batch/jobs/rel_err as usual; a set ``config.traffic``
+    narrows the sweep to that single workload (the CLI's ``experiment
+    --traffic``) and a set ``config.rel_err`` lets every cell stop as
+    soon as its own acceptance estimate converges.
     """
     cfg = (config if config is not None else RunConfig()).resolve(
         cycles=cycles, seed=seed, batch=batch, jobs=jobs
@@ -94,7 +105,7 @@ def run(
     backends = [resolve_backend(spec, cfg.backend) for spec in specs]
 
     tasks = [
-        (spec.label, workload.label, cfg.cycles, cfg.batch, cfg.backend)
+        (spec.label, workload.label, cfg.cycles, cfg.batch, cfg.backend, cfg.rel_err)
         for workload in workloads
         for spec in specs
     ]

@@ -10,7 +10,12 @@ runners.
 
 * :mod:`repro.sim.engine` — discrete-event kernel and cycle driver;
 * :mod:`repro.sim.rng` — reproducible independent random streams;
-* :mod:`repro.sim.stats` — online statistics and confidence intervals;
+* :mod:`repro.sim.stats` — online statistics and confidence intervals
+  (streaming ratio-of-sums estimator with a delta-method interval);
+* :mod:`repro.sim.plan` — compiled :class:`RoutingPlan` tables behind a
+  keyed LRU cache plus reusable :class:`ChunkWorkspace` scratch, so
+  repeated engine construction and chunk routing skip all topology
+  setup and steady-state allocation (see ``docs/PERFORMANCE.md``);
 * :mod:`repro.sim.traffic` — compatibility alias of the traffic models,
   which live in the :mod:`repro.workloads` subsystem (registry-backed
   ``name[:args]`` specs: uniform, permutation, hot-spot/NUTS, bursty,
@@ -20,7 +25,10 @@ runners.
   matrices: many independent cycles per call, bit-identical per message to
   the single-cycle engine;
 * :mod:`repro.sim.montecarlo` — acceptance-probability measurement,
-  routed in batched chunks wherever the router supports it.
+  routed in batched chunks wherever the router supports it, with
+  optional adaptive early stopping (``rel_err=``: the cycle budget
+  becomes a ceiling and each run stops once its confidence interval is
+  tight enough).
 
 Batched-engine semantics
 ------------------------
@@ -48,6 +56,14 @@ into ``BENCH_batched_routing.json``):
 
 from repro.sim.batched import BatchAcceptanceCounts, BatchCycleResult, BatchedEDN
 from repro.sim.engine import CycleDriver, EventHandle, Simulator
+from repro.sim.plan import (
+    ChunkWorkspace,
+    RoutingPlan,
+    clear_plan_cache,
+    compile_plan,
+    plan_cache_info,
+    plan_for,
+)
 from repro.sim.montecarlo import (
     AcceptanceMeasurement,
     ReferenceRouterAdapter,
@@ -86,6 +102,12 @@ __all__ = [
     "BatchedEDN",
     "BatchCycleResult",
     "BatchAcceptanceCounts",
+    "RoutingPlan",
+    "ChunkWorkspace",
+    "plan_for",
+    "compile_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
     "RunningStats",
     "RatioStats",
     "Interval",

@@ -54,6 +54,29 @@ __all__ = [
 BatchRng = Union[np.random.Generator, Sequence[np.random.Generator], None]
 
 
+def _check_demand_shape(dests: np.ndarray, n_inputs: int) -> np.ndarray:
+    """Coerce to contiguous int64 and check the ``(batch, n_inputs)`` shape."""
+    dests = np.ascontiguousarray(dests, dtype=np.int64)
+    if dests.ndim != 2 or dests.shape[1] != n_inputs:
+        raise LabelError(
+            f"expected demand matrix of shape (batch, {n_inputs}), "
+            f"got {dests.shape}"
+        )
+    return dests
+
+
+def _check_destination_bounds(flat: np.ndarray, n_outputs: int) -> None:
+    """Reject destinations outside ``[0, n_outputs)`` (``-1`` = idle).
+
+    Idle entries are exactly ``IDLE``, so two full-array reductions cover
+    the live-entry bounds check without materializing a compressed copy.
+    """
+    if flat.size:
+        lo, hi = int(flat.min()), int(flat.max())
+        if lo < IDLE or hi >= n_outputs:
+            raise LabelError("demand matrix contains out-of-range destinations")
+
+
 def validate_demand_matrix(
     dests: np.ndarray, n_inputs: int, n_outputs: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -64,18 +87,10 @@ def validate_demand_matrix(
     engines.  Returns ``(dests, flat, live0)``: the matrix as contiguous
     ``int64``, its flat view, and the flat liveness mask.
     """
-    dests = np.ascontiguousarray(dests, dtype=np.int64)
-    if dests.ndim != 2 or dests.shape[1] != n_inputs:
-        raise LabelError(
-            f"expected demand matrix of shape (batch, {n_inputs}), "
-            f"got {dests.shape}"
-        )
+    dests = _check_demand_shape(dests, n_inputs)
     flat = dests.reshape(-1)
+    _check_destination_bounds(flat, n_outputs)
     live0 = flat != IDLE
-    if live0.any():
-        lo, hi = int(flat[live0].min()), int(flat[live0].max())
-        if lo < 0 or hi >= n_outputs:
-            raise LabelError("demand matrix contains out-of-range destinations")
     return dests, flat, live0
 
 
@@ -174,12 +189,16 @@ class BatchedEDN(VectorizedEDN):
         self._scratch: dict = {}
 
     def _gamma_table(self, stage: int, dtype) -> np.ndarray:
-        """Cached lookup table of the interstage gamma after ``stage``.
+        """Lookup table of the interstage gamma after ``stage``.
 
         The gamma is a fixed permutation of the stage's wire labels;
         gathering through a precomputed table replaces the ~8 elementwise
-        ops of :meth:`VectorizedEDN._gamma_vec` per batch with one.
+        ops of :meth:`VectorizedEDN._gamma_vec` per batch with one.  With
+        a compiled plan the table is shared by every engine on the plan;
+        without one it is cached per instance (the seed behavior).
         """
+        if self._plan is not None:
+            return self._plan.gamma_table(stage, dtype)
         n_bits = ilog2(self.params.wires_after_stage(stage))
         key = (n_bits, np.dtype(dtype).str)
         table = self._gamma_tables.get(key)
@@ -196,27 +215,45 @@ class BatchedEDN(VectorizedEDN):
         The dense kernels stream ~10 arrays of ``batch * wires`` entries
         per stage; beyond the L2 cache the scatters dominate, so large
         networks want *smaller* chunks.  Measured sweet spot: about
-        ``2**17`` frontier entries per chunk, at least 16 cycles.
+        ``2**17`` frontier entries per chunk, at least 16 cycles.  The
+        formula lives on the plan (one copy); plan-less engines restate
+        it.
         """
+        if self._plan is not None:
+            return self._plan.preferred_batch()
         return max(16, min(64, (1 << 17) // self.params.num_inputs))
 
-    def route_batch(self, dests: np.ndarray, rng: BatchRng = None) -> BatchCycleResult:
+    def _workspace(self, override):
+        """The scratch provider for one call: explicit > plan-thread-local."""
+        if override is not None:
+            return override
+        if self._plan is not None:
+            return self._plan.workspace()
+        return None
+
+    def route_batch(
+        self, dests: np.ndarray, rng: BatchRng = None, *, workspace=None
+    ) -> BatchCycleResult:
         """Route ``batch`` independent cycles (``dests[i, s]`` = output or ``-1``).
 
         ``rng`` is only consumed under ``random`` priority.  A single
         generator draws the tie-break keys for the whole batch (the fast
         path); a sequence of ``batch`` generators draws each cycle's keys
         from its own stream, reproducing ``VectorizedEDN.route(dests[i],
-        rng_i)`` bit for bit (used by equivalence tests).
+        rng_i)`` bit for bit (used by equivalence tests and the
+        chunk-size-invariant Monte-Carlo harness).  ``workspace``
+        optionally overrides the scratch buffers (default: the compiled
+        plan's per-thread :class:`~repro.sim.plan.ChunkWorkspace`).
         """
         p = self.params
         dests, flat, live0 = validate_demand_matrix(
             dests, p.num_inputs, p.num_outputs
         )
         batch, n = dests.shape
+        ws = self._workspace(workspace)
 
         if self.priority == "label":
-            output, blocked_stage = self._route_batch_dense(flat, live0, batch)
+            output, blocked_stage = self._route_batch_dense(flat, live0, batch, ws)
         else:
             output, blocked_stage = self._route_batch_sparse(flat, live0, batch, rng)
         return BatchCycleResult(
@@ -232,15 +269,20 @@ class BatchedEDN(VectorizedEDN):
     _LANE_BITS = 8
     _LANE_MASK = (1 << _LANE_BITS) - 1
 
-    def _scratch_array(self, name: str, size: int, dtype) -> np.ndarray:
+    def _scratch_array(self, name: str, size: int, dtype, ws=None) -> np.ndarray:
         """A reusable uninitialized work buffer, keyed by role, size, dtype.
 
         Chunked Monte-Carlo runs call the dense kernels thousands of times
         with identical shapes; recycling the stage buffers (instead of
         allocating ~10 arrays per stage) removes most allocator traffic
-        from the hot loop.  Contents are never assumed to survive between
-        stages.
+        from the hot loop.  ``ws`` (a plan-provided
+        :class:`~repro.sim.plan.ChunkWorkspace`) carries the buffers
+        across engine instances; without one they are cached per instance
+        (the seed behavior).  Contents are never assumed to survive
+        between stages.
         """
+        if ws is not None:
+            return ws.array(name, size, dtype)
         key = (name, size, np.dtype(dtype).char)
         arr = self._scratch.get(key)
         if arr is None:
@@ -255,6 +297,8 @@ class BatchedEDN(VectorizedEDN):
         bucket wire offsets, so the bucket-wire computation in the counts
         kernel is two adds.
         """
+        if self._plan is not None:
+            return self._plan.switch_base(width, dtype)
         p = self.params
         key = (width, np.dtype(dtype).char)
         row = self._swbase.get(key)
@@ -272,6 +316,8 @@ class BatchedEDN(VectorizedEDN):
         digit_bits: int,
         shift: int,
         capacity: int,
+        ws=None,
+        rank_dtype=None,
     ) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
         """Dense in-bucket ranking for one stage (the sort-free core).
 
@@ -308,14 +354,14 @@ class BatchedEDN(VectorizedEDN):
             # Fused digit-times-8 extraction: ((dest >> shift) & m) << 3
             # == (dest >> (shift - 3)) & (m << 3), one temp fewer.
             mask3 = (radix - 1) << 3
-            lane_shift = self._scratch_array("lane_shift", size, dest.dtype)
+            lane_shift = self._scratch_array("lane_shift", size, dest.dtype, ws)
             if shift >= 3:
                 np.right_shift(dest, shift - 3, out=lane_shift)
             else:
                 np.left_shift(dest, 3 - shift, out=lane_shift)
             np.bitwise_and(lane_shift, mask3, out=lane_shift)
             lane_dtype = np.int32 if lane_width <= 32 else np.int64
-            lanes = self._scratch_array("lanes", size, lane_dtype)
+            lanes = self._scratch_array("lanes", size, lane_dtype, ws)
             # dtype= pins the ufunc loop itself to the lane width — with
             # out= alone the shift would run in the promoted input dtype
             # (int32) and overflow for high lanes.
@@ -325,14 +371,23 @@ class BatchedEDN(VectorizedEDN):
             view = lanes.reshape(-1, fan_in)
             for j in range(1, fan_in):
                 view[:, j] += view[:, j - 1]
-            np.right_shift(lanes, lane_shift, out=lanes)
-            np.bitwise_and(lanes, self._LANE_MASK, out=lanes)
-            rank_incl, digit = lanes, None
+            if rank_dtype is not None and rank_dtype != lane_dtype:
+                # Unshift straight into the caller's narrow dtype so the
+                # downstream bucket-wire arithmetic runs pure-dtype SIMD
+                # loops (mixed-dtype ufuncs cost ~5x per pass).
+                rank_incl = self._scratch_array("rank", size, rank_dtype, ws)
+                np.right_shift(lanes, lane_shift, out=rank_incl, casting="unsafe")
+                np.bitwise_and(rank_incl, self._LANE_MASK, out=rank_incl)
+            else:
+                np.right_shift(lanes, lane_shift, out=lanes)
+                np.bitwise_and(lanes, self._LANE_MASK, out=lanes)
+                rank_incl = lanes
+            digit = None
         else:
             digit = (dest >> shift) & (radix - 1) if radix > 1 else np.zeros_like(dest)
             rank_incl = self._onehot_rank(digit, live, fan_in, radix)
             lane_shift = None
-        accepted = self._scratch_array("accepted", size, bool)
+        accepted = self._scratch_array("accepted", size, bool, ws)
         np.less_equal(rank_incl, capacity, out=accepted, casting="unsafe")
         np.logical_and(accepted, live, out=accepted)
         return rank_incl, accepted, lane_shift, digit
@@ -357,7 +412,7 @@ class BatchedEDN(VectorizedEDN):
         ].reshape(-1)
 
     def _route_batch_dense(
-        self, flat: np.ndarray, live0: np.ndarray, batch: int
+        self, flat: np.ndarray, live0: np.ndarray, batch: int, ws=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-message batch routing with dense per-wire frontier arrays.
 
@@ -385,10 +440,10 @@ class BatchedEDN(VectorizedEDN):
 
         for stage in range(1, p.l + 1):
             width = p.wires_after_stage(stage - 1)
-            live = self._scratch_array("live", dest.size, bool)
+            live = self._scratch_array("live", dest.size, bool, ws)
             np.greater_equal(dest, 0, out=live)
             rank_incl, accepted, lane_shift, digit = self._dense_rank(
-                dest, live, p.a, p.digit_bits, self._stage_shifts[stage - 1], p.c
+                dest, live, p.a, p.digit_bits, self._stage_shifts[stage - 1], p.c, ws
             )
             np.logical_xor(live, accepted, out=live)  # live becomes the loser mask
             blocked_stage[src[np.flatnonzero(live)]] = stage
@@ -416,10 +471,10 @@ class BatchedEDN(VectorizedEDN):
 
         if src.size:
             width = p.wires_after_stage(p.l)
-            live = self._scratch_array("live", dest.size, bool)
+            live = self._scratch_array("live", dest.size, bool, ws)
             np.greater_equal(dest, 0, out=live)
             _rank, accepted, lane_shift, digit = self._dense_rank(
-                dest, live, p.c, p.capacity_bits, 0, 1
+                dest, live, p.c, p.capacity_bits, 0, 1, ws
             )
             np.logical_xor(live, accepted, out=live)
             blocked_stage[src[np.flatnonzero(live)]] = p.l + 1
@@ -434,7 +489,7 @@ class BatchedEDN(VectorizedEDN):
         return output, blocked_stage
 
     def route_batch_counts(
-        self, dests: np.ndarray, rng: BatchRng = None
+        self, dests: np.ndarray, rng: BatchRng = None, *, workspace=None
     ) -> "BatchAcceptanceCounts":
         """Route a batch but return only acceptance *counts*, maximally fast.
 
@@ -446,16 +501,28 @@ class BatchedEDN(VectorizedEDN):
         slot).  Routing decisions are identical to :meth:`route_batch`,
         message for message; only the bookkeeping differs.
 
+        With a compiled plan (the default) and packed-lane-capable switch
+        shapes, the plan-specialized kernel runs instead: same routing
+        decisions and counts, but computing in the plan's narrow wire
+        dtype with precompiled tables and zero chunk-sized allocations.
+
         Falls back to :meth:`route_batch` under ``random`` priority, where
         contention is resolved by sort anyway.
         """
         if self.priority != "label":
-            result = self.route_batch(dests, rng)  # validates internally
+            result = self.route_batch(dests, rng, workspace=workspace)
             return BatchAcceptanceCounts(
                 offered_per_cycle=result.offered_per_cycle,
                 delivered_per_cycle=result.delivered_per_cycle,
                 blocked_by_stage=result.blocked_stage_histogram(),
             )
+        ws = self._workspace(workspace)
+        if self._plan is not None and self._plan.all_packed:
+            return self._route_counts_planned(dests, ws)
+        return self._route_counts_generic(dests, ws)
+
+    def _route_counts_generic(self, dests: np.ndarray, ws=None) -> "BatchAcceptanceCounts":
+        """The dtype-generic counts kernel (any switch shape, any size)."""
         p = self.params
         dests, flat, live0 = validate_demand_matrix(
             dests, p.num_inputs, p.num_outputs
@@ -475,10 +542,10 @@ class BatchedEDN(VectorizedEDN):
                 break
             width = p.wires_after_stage(stage - 1)
             size = batch * width
-            live = self._scratch_array("live", size, bool)
+            live = self._scratch_array("live", size, bool, ws)
             np.greater_equal(dest, 0, out=live)
             rank_incl, accepted, lane_shift, digit = self._dense_rank(
-                dest, live, p.a, p.digit_bits, self._stage_shifts[stage - 1], p.c
+                dest, live, p.a, p.digit_bits, self._stage_shifts[stage - 1], p.c, ws
             )
             surviving = int(accepted.sum())
             if surviving != alive:
@@ -488,13 +555,13 @@ class BatchedEDN(VectorizedEDN):
                 break
             # Bucket wire for everyone (junk at dead/blocked wires):
             # y = (switch * b * c - 1) + digit * c + rank_incl.
-            y = self._scratch_array("y", size, idx_dtype)
+            y = self._scratch_array("y", size, idx_dtype, ws)
             cshift = 3 - ilog2(p.c)
             if digit is None:
                 if cshift >= 0:
-                    np.right_shift(lane_shift, cshift, out=y)
+                    np.right_shift(lane_shift, cshift, out=y, casting="unsafe")
                 else:
-                    np.left_shift(lane_shift, -cshift, out=y)
+                    np.left_shift(lane_shift, -cshift, out=y, casting="unsafe")
             else:
                 np.left_shift(digit, ilog2(p.c), out=y, casting="unsafe")
             np.add(y, rank_incl, out=y, casting="unsafe")
@@ -504,7 +571,7 @@ class BatchedEDN(VectorizedEDN):
             if stage < p.l:
                 # Junk entries may index anywhere in [-1, width + 255]:
                 # clip-mode gathering keeps them harmless until trashed.
-                target = self._scratch_array("target", size, idx_dtype)
+                target = self._scratch_array("target", size, idx_dtype, ws)
                 np.take(self._gamma_table(stage, idx_dtype), y, out=target, mode="clip")
             else:
                 target = y
@@ -518,19 +585,138 @@ class BatchedEDN(VectorizedEDN):
             np.logical_not(accepted, out=live)  # live becomes the reject mask
             target[live] = trash
             name = "dest_even" if stage % 2 == 0 else "dest_odd"
-            next_dest = self._scratch_array(name, trash + 1, idx_dtype)
+            next_dest = self._scratch_array(name, trash + 1, idx_dtype, ws)
             next_dest.fill(IDLE)
             next_dest[target] = dest
             dest = next_dest[:trash]
 
         if alive:
             width = p.wires_after_stage(p.l)
-            live = self._scratch_array("live", dest.size, bool)
+            live = self._scratch_array("live", dest.size, bool, ws)
             np.greater_equal(dest, 0, out=live)
             _rank, accepted, _ls, _digit = self._dense_rank(
-                dest, live, p.c, p.capacity_bits, 0, 1
+                dest, live, p.c, p.capacity_bits, 0, 1, ws
             )
             delivered = accepted.reshape(batch, width).sum(axis=1)
+            final = int(delivered.sum())
+            if final != alive:
+                blocked[p.l + 1] = alive - final
+        return BatchAcceptanceCounts(
+            offered_per_cycle=offered,
+            delivered_per_cycle=delivered,
+            blocked_by_stage=dict(sorted(blocked.items())),
+        )
+
+    def _route_counts_planned(
+        self, dests: np.ndarray, ws
+    ) -> "BatchAcceptanceCounts":
+        """Plan-specialized counts kernel: narrow dtypes, zero allocations.
+
+        Routing decisions are identical to :meth:`_route_counts_generic`
+        (pinned by the plan-equivalence tests); the wins are mechanical:
+
+        * all frontier/wire arithmetic runs in the plan's compiled
+          ``wire_dtype`` (``int16`` whenever every stage width and the
+          output space fit 15 bits), halving memory traffic;
+        * gamma tables, switch bases, and per-cycle row offsets come
+          precompiled from the plan — no per-call ``arange``/table builds;
+        * losers are parked on the trash slot with a masked ``copyto``
+          instead of boolean fancy indexing (no index-list materialization);
+        * every chunk-sized buffer comes from the reusable workspace, so
+          the steady state allocates only O(batch) counter arrays.
+        """
+        plan, p = self._plan, self.params
+        n = p.num_inputs
+        dests = _check_demand_shape(dests, n)
+        batch = dests.shape[0]
+        total = batch * n
+        flat = dests.reshape(-1)
+        _check_destination_bounds(flat, p.num_outputs)
+        # The liveness mask lives in the workspace (the shared validator
+        # would allocate a fresh one per chunk).
+        live0 = ws.array("live0", total, bool)
+        np.not_equal(flat, IDLE, out=live0)
+        offered = np.count_nonzero(live0.reshape(batch, n), axis=1)
+
+        wire = plan.wire_dtype
+        dest = ws.array("dest0", total, wire)
+        np.copyto(dest, flat, casting="unsafe")
+        blocked: dict[int, int] = {}
+        alive = int(offered.sum())
+        delivered = np.zeros(batch, dtype=np.int64)
+        cshift = 3 - ilog2(p.c)
+
+        for stage in range(1, p.l + 1):
+            if alive == 0:
+                break
+            width = plan.stage_widths[stage - 1]
+            size = batch * width
+            live = ws.array("live", size, bool)
+            np.greater_equal(dest, 0, out=live)
+            rank_incl, accepted, lane_shift, _digit = self._dense_rank(
+                dest,
+                live,
+                p.a,
+                p.digit_bits,
+                plan.stage_shifts[stage - 1],
+                p.c,
+                ws,
+                rank_dtype=wire,
+            )
+            surviving = int(np.count_nonzero(accepted))
+            if surviving != alive:
+                blocked[stage] = alive - surviving
+            alive = surviving
+            if alive == 0:
+                break
+            # Bucket wire for everyone (junk at dead/blocked wires):
+            # y = (switch * b * c - 1) + digit * c + rank_incl.
+            y = ws.array("y", size, wire)
+            if cshift >= 0:
+                np.right_shift(lane_shift, cshift, out=y, casting="unsafe")
+            else:
+                np.left_shift(lane_shift, -cshift, out=y, casting="unsafe")
+            np.add(y, rank_incl, out=y, casting="unsafe")
+            y2 = y.reshape(batch, width)
+            np.add(y2, plan.switch_base(width, wire), out=y2)
+            next_width = plan.stage_widths[stage]
+            trash = batch * next_width
+            index = plan.index_dtype(trash + 1)
+            if stage < p.l:
+                # Junk entries may index anywhere in [-1, width + 255]:
+                # clip-mode gathering keeps them harmless until trashed.
+                src_w = ws.array("target_w", size, wire)
+                np.take(plan.gamma_table(stage, wire), y, out=src_w, mode="clip")
+            else:
+                src_w = y  # buckets feed the crossbars directly
+            # Widen to global scatter indices (1 + cycle * width + wire) in
+            # the same pass that applies the per-cycle row offsets.  The
+            # +1 bias reserves flat index 0 as the trash slot, so parking
+            # losers and dead wires is a single streaming multiply by the
+            # acceptance mask — several-fold cheaper than a masked write,
+            # whose random-bit mask defeats dense write-combining.
+            target = ws.array("target", size, index)
+            np.add(
+                src_w.reshape(batch, width),
+                plan.row_offsets(batch, ilog2(next_width), index, bias=1),
+                out=target.reshape(batch, width),
+                casting="unsafe",
+            )
+            np.multiply(target, accepted, out=target, casting="unsafe")
+            name = "dest_even" if stage % 2 == 0 else "dest_odd"
+            next_dest = ws.array(name, trash + 1, wire)
+            next_dest.fill(IDLE)
+            next_dest[target] = dest
+            dest = next_dest[1 : trash + 1]
+
+        if alive:
+            width = plan.stage_widths[p.l]
+            live = ws.array("live", dest.size, bool)
+            np.greater_equal(dest, 0, out=live)
+            _rank, accepted, _ls, _digit = self._dense_rank(
+                dest, live, p.c, p.capacity_bits, 0, 1, ws
+            )
+            delivered = np.count_nonzero(accepted.reshape(batch, width), axis=1)
             final = int(delivered.sum())
             if final != alive:
                 blocked[p.l + 1] = alive - final

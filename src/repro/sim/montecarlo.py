@@ -17,7 +17,21 @@ measured speedups in ``BENCH_batched_routing.json``.
 Reproducibility: a fixed ``(seed, batch)`` pair always reproduces a
 measurement exactly.  The per-cycle (``batch=1``) and chunked paths draw
 traffic in different stream orders, so their point estimates differ by
-Monte-Carlo noise while sharing the same distribution.
+Monte-Carlo noise while sharing the same distribution.  Within the
+chunked path (``batch >= 2``), routing randomness is drawn from
+*positionally spawned per-cycle streams* (cycle ``i`` always gets child
+``i`` of the master seed), so random-priority measurements are
+bit-identical regardless of chunk size — ``batch=16`` and ``batch=64``
+agree exactly — provided the traffic model draws a chunk in one vectorized
+call per stream (all built-in single-draw models do at full rate).
+
+Adaptive early stopping: pass ``rel_err`` (or set ``RunConfig.rel_err``)
+to turn ``cycles`` into a *budget*.  The harness then accumulates
+streaming Welford moments per chunk and stops at the first chunk boundary
+(after ``min_cycles``) where the delta-method confidence interval's
+half-width falls to ``rel_err * acceptance``, so sweeps spend cycles only
+where the estimator is still noisy — see ``docs/PERFORMANCE.md`` for the
+stopping-rule math and measured cycle savings.
 """
 
 from __future__ import annotations
@@ -50,8 +64,41 @@ __all__ = [
 #: Default chunk size for routers that support batched routing.
 DEFAULT_BATCH = 64
 
+#: Cycles the adaptive stopping rule must observe before it may stop.
+DEFAULT_MIN_CYCLES = 32
+
 #: Distinguishes "argument not passed" from an explicit ``None`` seed.
 _UNSET = object()
+
+
+def _contention_priority(router: "CycleRouter") -> Optional[str]:
+    """The router's contention discipline, peeking through adapters."""
+    for obj in (
+        router,
+        getattr(router, "engine", None),
+        getattr(router, "network", None),
+        getattr(router, "_engine", None),
+        getattr(router, "_omega", None),
+    ):
+        priority = getattr(obj, "priority", None)
+        if isinstance(priority, str):
+            return priority
+    return None
+
+
+def _spawn_source(seed: SeedLike, rng: np.random.Generator):
+    """Where per-cycle routing streams are spawned from, positionally.
+
+    Ints and ``None`` root a fresh ``SeedSequence``; a caller-provided
+    ``SeedSequence`` or ``Generator`` is spawned from directly (successive
+    ``spawn`` calls hand out successive children, so chunked spawning is
+    identical to spawning everything up front).
+    """
+    if isinstance(seed, np.random.Generator):
+        return rng
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
 
 
 class CycleRouter(Protocol):
@@ -81,7 +128,11 @@ class AcceptanceMeasurement:
     ``acceptance`` is the ratio-of-sums estimator of ``PA`` (matching the
     paper's expected-delivered / expected-generated definition) with a
     delta-method confidence interval; ``blocked_by_stage`` aggregates where
-    requests died across all cycles.
+    requests died across all cycles.  ``cycles`` counts the cycles
+    actually routed; under adaptive early stopping that may be less than
+    ``budget``, and ``converged`` records whether the ``target_rel_err``
+    stopping rule was met within the budget (``None`` for fixed-budget
+    runs).
     """
 
     cycles: int
@@ -89,6 +140,9 @@ class AcceptanceMeasurement:
     delivered: int
     acceptance: Interval
     blocked_by_stage: dict[int, int] = field(default_factory=dict)
+    budget: Optional[int] = None
+    target_rel_err: Optional[float] = None
+    converged: Optional[bool] = None
 
     @property
     def point(self) -> float:
@@ -103,6 +157,8 @@ def measure_acceptance(
     seed: SeedLike = _UNSET,
     confidence: float | None = None,
     batch: int | None = None,
+    rel_err: float | None = None,
+    min_cycles: int | None = None,
     config: "RunConfig | None" = None,
 ) -> AcceptanceMeasurement:
     """Estimate the probability of acceptance of ``router`` under ``traffic``.
@@ -132,11 +188,23 @@ def measure_acceptance(
     ``route_batch`` still accept ``batch > 1`` — traffic is drawn in chunks
     (so two routers measured at the same ``(seed, batch)`` see identical
     demands) and routed cycle by cycle.
+
+    Under ``random`` contention priority, the chunked path gives cycle
+    ``i`` its own positionally spawned child stream of the master seed for
+    tie-breaking (traffic keeps the master stream), so measurements are
+    independent of chunk size and bit-identical across routers that make
+    identical routing decisions.
+
+    ``rel_err`` turns ``cycles`` into a budget: the run stops at the first
+    chunk boundary — after ``min_cycles`` (default
+    :data:`DEFAULT_MIN_CYCLES`) — where the interval half-width at
+    ``confidence`` is at most ``rel_err`` times the acceptance estimate.
     """
     if config is not None:
         cycles = config.cycles if config.cycles is not None else cycles
         confidence = config.confidence if config.confidence is not None else confidence
         batch = config.batch if config.batch is not None else batch
+        rel_err = config.rel_err if config.rel_err is not None else rel_err
         if config.seed is not None:
             seed = config.seed
         if traffic is None:
@@ -162,6 +230,11 @@ def measure_acceptance(
             batch = 1
     if batch < 1:
         raise ValueError(f"batch size must be >= 1, got {batch}")
+    if rel_err is not None and not 0 < rel_err < 1:
+        raise ValueError(f"rel_err must lie in (0, 1), got {rel_err}")
+    adaptive = rel_err is not None
+    floor = DEFAULT_MIN_CYCLES if min_cycles is None else min_cycles
+    floor = max(2, min(floor, cycles))
     rng = make_rng(seed)
     ratio = RatioStats()
     offered_total = 0
@@ -174,6 +247,15 @@ def measure_acceptance(
             for stage, count in histogram().items():
                 blocked[stage] = blocked.get(stage, 0) + count
 
+    def _converged() -> bool:
+        """The stopping rule, checked at cycle/chunk boundaries only."""
+        if not adaptive or ratio.n < floor:
+            return False
+        interval = ratio.confidence_interval(confidence)
+        point = abs(interval.point)
+        return interval.halfwidth <= rel_err * (point if point > 0 else 1.0)
+
+    stopped = False
     if batch == 1:
         for _ in range(cycles):
             dests = traffic.generate(rng)
@@ -182,44 +264,64 @@ def measure_acceptance(
             offered_total += result.num_offered
             delivered_total += result.num_delivered
             _absorb_histogram(result)
+            if _converged():
+                stopped = True
+                break
     else:
         counting = hasattr(router, "route_batch_counts")
         batched = hasattr(router, "route_batch")
+        # Random contention draws per-cycle tie-break streams spawned
+        # positionally from the master seed (chunk-size invariant); the
+        # master stream stays dedicated to traffic.  Deterministic
+        # disciplines never consume routing randomness, so the seed-path
+        # streams are untouched.
+        per_cycle_streams = _contention_priority(router) == "random"
+        spawner = _spawn_source(seed, rng) if per_cycle_streams else None
         remaining = cycles
-        while remaining > 0:
+        while remaining > 0 and not stopped:
             chunk = min(batch, remaining)
             remaining -= chunk
             dests = traffic.generate_batch(rng, chunk)
+            chunk_rng = (
+                [make_rng(key) for key in spawner.spawn(chunk)]
+                if per_cycle_streams
+                else rng
+            )
             if counting or batched:
                 if counting:
                     # Counts-only kernel: identical routing decisions,
                     # no per-message outcome arrays to materialize.
-                    result = router.route_batch_counts(dests, rng)
+                    result = router.route_batch_counts(dests, chunk_rng)
                     for stage, count in result.blocked_by_stage.items():
                         blocked[stage] = blocked.get(stage, 0) + count
                 else:
-                    result = router.route_batch(dests, rng)
+                    result = router.route_batch(dests, chunk_rng)
                     _absorb_histogram(result)
                 offered = result.offered_per_cycle
                 delivered = result.delivered_per_cycle
-                for num, den in zip(delivered.tolist(), offered.tolist()):
-                    ratio.push(num, den)
+                ratio.push_many(delivered, offered)
                 offered_total += int(offered.sum())
                 delivered_total += int(delivered.sum())
             else:
                 for i in range(chunk):
-                    result = router.route(dests[i], rng)
+                    cycle_rng = chunk_rng[i] if per_cycle_streams else rng
+                    result = router.route(dests[i], cycle_rng)
                     ratio.push(result.num_delivered, result.num_offered)
                     offered_total += result.num_offered
                     delivered_total += result.num_delivered
                     _absorb_histogram(result)
+            if _converged():
+                stopped = True
 
     return AcceptanceMeasurement(
-        cycles=cycles,
+        cycles=ratio.n,
         offered=offered_total,
         delivered=delivered_total,
         acceptance=ratio.confidence_interval(confidence),
         blocked_by_stage=dict(sorted(blocked.items())),
+        budget=cycles if adaptive else None,
+        target_rel_err=rel_err,
+        converged=stopped if adaptive else None,
     )
 
 

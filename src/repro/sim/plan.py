@@ -1,0 +1,380 @@
+"""Compiled routing plans, reusable chunk workspaces, and the plan cache.
+
+Monte-Carlo throughput is bound by how fast a *chunk* of cycles moves
+through the array engines, and profiling the pre-plan engines showed two
+fixed costs repeated on every ``measure_acceptance`` call: every freshly
+built engine recomputed the stage wiring tables (interstage gamma lookup
+tables, per-wire switch bases, digit shift constants) and reallocated
+every chunk-sized scratch array from a cold heap.  Sweeps rebuild routers
+per grid cell, so that setup tax was paid thousands of times per figure.
+
+This module compiles all of it **once per topology**:
+
+* :class:`RoutingPlan` — everything about an ``EDN(a, b, c, l)`` under a
+  contention discipline that does not depend on the demand data: per-stage
+  digit shifts, stage widths, gamma lookup tables, switch-base rows,
+  cycle-row offsets, packed-lane feasibility, and the narrow dtypes the
+  kernels may safely compute in (``int16`` wire labels when every stage
+  width and the output space fit in 15 bits).  Plans are immutable after
+  compilation and safely shared by any number of engines.
+* :class:`ChunkWorkspace` — named scratch buffers grown monotonically and
+  recycled across calls, so steady-state chunk routing performs no
+  chunk-sized heap allocations.  Workspaces are mutable and therefore
+  **per-thread**: :meth:`RoutingPlan.workspace` hands each thread its own.
+* :func:`plan_for` — the keyed LRU plan cache.  Engines built from equal
+  ``(params, priority, retirement order)`` keys share one compiled plan,
+  so repeated ``build_router``/``measure`` calls skip all topology setup.
+  :func:`plan_cache_info` / :func:`clear_plan_cache` expose the cache to
+  tests and benchmarks.
+
+Plan keys deliberately cover *exactly* the inputs that determine array-
+engine routing.  Spec features the array engines do not implement (wire
+faults, non-first-free wire policies) route through the per-message
+reference backend, which never consults this cache — differing fault sets
+or wire policies can therefore never alias to one plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.labels import ilog2
+from repro.core.tags import RetirementOrder
+
+__all__ = [
+    "ChunkWorkspace",
+    "RoutingPlan",
+    "gamma_permutation",
+    "plan_for",
+    "compile_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "PLAN_CACHE_MAXSIZE",
+]
+
+
+def gamma_permutation(
+    y: np.ndarray, n_bits: int, capacity_bits: int, fan_in_bits: int
+) -> np.ndarray:
+    """``gamma_{log2(c), log2(a/c)}`` applied to ``n_bits``-bit labels.
+
+    The single closed form of the interstage wiring permutation, shared
+    by the per-cycle engine (:meth:`VectorizedEDN._gamma_vec`) and the
+    compiled lookup tables below, so the two can never drift apart.
+    """
+    j, k = capacity_bits, fan_in_bits
+    upper_width = n_bits - j
+    if upper_width == 0 or k % upper_width == 0:
+        return y
+    shift = k % upper_width
+    low = y & ((1 << j) - 1)
+    upper = y >> j
+    mask = (1 << upper_width) - 1
+    rotated = ((upper << shift) | (upper >> (upper_width - shift))) & mask
+    return (rotated << j) | low
+
+#: Compiled plans kept by the LRU cache (each may hold a few MB of tables
+#: plus per-thread workspaces, so the cache is bounded).
+PLAN_CACHE_MAXSIZE = 32
+
+#: Bits per packed bucket counter (mirrors the batched engine's lanes).
+_LANE_BITS = 8
+_LANE_MASK = (1 << _LANE_BITS) - 1
+
+
+class ChunkWorkspace:
+    """Named scratch buffers, grown monotonically and reused across calls.
+
+    ``array(name, size, dtype)`` returns an *uninitialized* length-``size``
+    view of a buffer dedicated to ``(name, dtype)``; the backing buffer
+    only ever grows, so a steady-state sequence of equally-shaped chunk
+    routings allocates nothing.  Contents never survive between requests —
+    callers must write before they read (all kernel consumers fill their
+    buffers with ``out=`` ufuncs or explicit fills).
+
+    A workspace is cheap to create and holds no topology state, but it is
+    **not** safe to share across threads routing concurrently; use
+    :meth:`RoutingPlan.workspace` for a per-thread instance.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+
+    def array(self, name: str, size: int, dtype) -> np.ndarray:
+        """An uninitialized ``size``-element view of the named buffer."""
+        key = (name, np.dtype(dtype).char)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            buf = np.empty(size, dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:size]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the backing buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every backing buffer (they regrow on demand)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChunkWorkspace({len(self._buffers)} buffers, {self.nbytes} bytes)"
+
+
+class RoutingPlan:
+    """Everything data-independent about routing one EDN, compiled once.
+
+    Instances are produced by :func:`plan_for` (cached) or
+    :func:`compile_plan` (always fresh) and treated as immutable: the
+    lazily-added dtype variants of the lookup tables are idempotent, so
+    concurrent readers are safe.  Mutable scratch lives in per-thread
+    :class:`ChunkWorkspace` instances obtained via :meth:`workspace`.
+    """
+
+    __slots__ = (
+        "params",
+        "priority",
+        "retirement",
+        "stage_shifts",
+        "stage_widths",
+        "wire_dtype",
+        "all_packed",
+        "_tables",
+        "_local",
+    )
+
+    def __init__(
+        self,
+        params: EDNParams,
+        priority: str = "label",
+        retirement_order: Optional[RetirementOrder] = None,
+    ):
+        if priority not in ("label", "random"):
+            raise ConfigurationError(f"unknown priority discipline {priority!r}")
+        if retirement_order is None:
+            retirement_order = RetirementOrder.canonical(params.l)
+        elif retirement_order.l != params.l:
+            raise ConfigurationError(
+                f"retirement order covers {retirement_order.l} digits, "
+                f"network has l={params.l}"
+            )
+        self.params = params
+        self.priority = priority
+        self.retirement = tuple(
+            retirement_order.position_for_stage(i) for i in range(1, params.l + 1)
+        )
+        # Stage i consumes digit index retirement[i-1] (0 = most
+        # significant), at bit offset c_bits + (l - 1 - index) * b_bits.
+        self.stage_shifts = tuple(
+            params.capacity_bits + (params.l - 1 - position) * params.digit_bits
+            for position in self.retirement
+        )
+        #: wires entering stage i+1 (index 0 = network inputs, index l =
+        #: crossbar-stage wires).
+        self.stage_widths = tuple(
+            params.wires_after_stage(i) for i in range(params.l + 1)
+        )
+        # Narrowest dtype that can hold every within-cycle wire label and
+        # destination label at any stage (the "narrow-dtype scratch
+        # layout" the specialized kernels compute in).
+        peak = max(max(self.stage_widths), params.num_outputs)
+        if peak < 2**15:
+            self.wire_dtype = np.dtype(np.int16)
+        elif peak < 2**31:
+            self.wire_dtype = np.dtype(np.int32)
+        else:  # pragma: no cover - astronomical networks
+            self.wire_dtype = np.dtype(np.int64)
+        self.all_packed = self._packed_ok(params.a, 1 << params.digit_bits) and (
+            self._packed_ok(params.c, 1 << params.capacity_bits)
+        )
+        self._tables: dict[tuple, np.ndarray] = {}
+        self._local = threading.local()
+
+    @staticmethod
+    def _packed_ok(fan_in: int, radix: int) -> bool:
+        """Whether one stage's rank can use packed 8-bit counter lanes."""
+        return fan_in <= _LANE_MASK >> 1 and radix * _LANE_BITS <= 64
+
+    # ------------------------------------------------------------------
+    # Compiled index tables (immutable, shared across engines)
+    # ------------------------------------------------------------------
+    # Tables build lazily on first access and are cached forever on the
+    # plan: a per-cycle engine that only needs the stage shifts never pays
+    # for them, while batched engines compile each table exactly once per
+    # cached plan.  Concurrent first accesses are a benign idempotent race
+    # (both threads compute the same array; one dict write wins).
+
+    def gamma_table(self, stage: int, dtype) -> np.ndarray:
+        """Lookup table of the interstage gamma permutation after ``stage``.
+
+        One gather through this table replaces the ~8 elementwise ops of
+        the closed-form gamma per stage per chunk.
+        """
+        p = self.params
+        n_bits = ilog2(p.wires_after_stage(stage))
+        key = ("gamma", n_bits, np.dtype(dtype).char)
+        table = self._tables.get(key)
+        if table is None:
+            labels = np.arange(1 << n_bits, dtype=np.int64)
+            table = gamma_permutation(
+                labels, n_bits, p.capacity_bits, p.fan_in_bits
+            ).astype(dtype)
+            self._tables[key] = table
+        return table
+
+    def switch_base(self, width: int, dtype) -> np.ndarray:
+        """Per-wire ``switch * b * c - 1`` row for one stage width.
+
+        The ``- 1`` pre-folds the conversion of inclusive in-bucket ranks
+        to 0-based bucket-wire offsets.
+        """
+        p = self.params
+        key = ("swbase", width, np.dtype(dtype).char)
+        row = self._tables.get(key)
+        if row is None:
+            switch = np.arange(width, dtype=dtype) >> ilog2(p.a)
+            row = (switch << ilog2(p.b * p.c)) - 1
+            self._tables[key] = row
+        return row
+
+    def row_offsets(self, batch: int, width_bits: int, dtype, bias: int = 0) -> np.ndarray:
+        """``(batch, 1)`` column of per-cycle flat-frontier offsets.
+
+        Adding this column to a ``(batch, width)`` matrix of within-cycle
+        wire labels produces global scatter indices (``cycle * width +
+        wire + bias``) in one broadcast pass; the counts kernel uses
+        ``bias=1`` to reserve flat index 0 as its trash slot.
+        """
+        key = ("rows", batch, width_bits, bias, np.dtype(dtype).char)
+        column = self._tables.get(key)
+        if column is None:
+            column = ((np.arange(batch, dtype=dtype) << width_bits) + bias)[:, None]
+            self._tables[key] = column
+        return column
+
+    # ------------------------------------------------------------------
+    # Derived execution parameters
+    # ------------------------------------------------------------------
+
+    def index_dtype(self, total: int) -> np.dtype:
+        """Dtype for flat ``(batch * width)`` scatter/gather indices."""
+        return np.dtype(np.int32) if total < 2**31 - 1 else np.dtype(np.int64)
+
+    def preferred_batch(self) -> int:
+        """Cycles per chunk keeping a stage's working set cache-resident.
+
+        Matches the historical ``BatchedEDN.preferred_batch`` sizing —
+        about ``2**17`` frontier entries per chunk, at least 16 cycles —
+        so default-batch measurements reproduce the pre-plan chunking
+        (and therefore its traffic streams) exactly.
+        """
+        return max(16, min(64, (1 << 17) // self.params.num_inputs))
+
+    def workspace(self) -> ChunkWorkspace:
+        """This thread's scratch workspace for engines sharing the plan."""
+        ws = getattr(self._local, "ws", None)
+        if ws is None:
+            ws = ChunkWorkspace()
+            self._local.ws = ws
+        return ws
+
+    @property
+    def key(self) -> tuple:
+        """The cache key this plan is stored under."""
+        return (self.params, self.priority, self.retirement)
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingPlan({self.params}, priority={self.priority!r}, "
+            f"wire_dtype={self.wire_dtype.name}, packed={self.all_packed})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The keyed LRU plan cache
+# ----------------------------------------------------------------------
+
+_cache: "OrderedDict[tuple, RoutingPlan]" = OrderedDict()
+_cache_lock = threading.Lock()
+_hits = 0
+_misses = 0
+
+
+def compile_plan(
+    params: EDNParams,
+    priority: str = "label",
+    retirement_order: Optional[RetirementOrder] = None,
+) -> RoutingPlan:
+    """Compile a fresh plan, bypassing the cache (tests, benchmarks)."""
+    return RoutingPlan(params, priority, retirement_order)
+
+
+def plan_for(
+    params: EDNParams,
+    priority: str = "label",
+    retirement_order: Optional[RetirementOrder] = None,
+) -> RoutingPlan:
+    """The shared compiled plan for one routing key, LRU-cached.
+
+    Two engines whose ``(params, priority, retirement order)`` agree get
+    the *same* plan object; anything that changes routing semantics
+    changes the key and therefore misses.  Thread-safe.
+    """
+    order = (
+        RetirementOrder.canonical(params.l)
+        if retirement_order is None
+        else retirement_order
+    )
+    key = (
+        params,
+        priority,
+        tuple(order.position_for_stage(i) for i in range(1, params.l + 1)),
+    )
+    global _hits, _misses
+    with _cache_lock:
+        plan = _cache.get(key)
+        if plan is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return plan
+        _misses += 1
+    # Compile outside the lock (compilation touches only local state);
+    # a concurrent duplicate compile is wasted work, not a hazard.
+    plan = RoutingPlan(params, priority, order)
+    with _cache_lock:
+        existing = _cache.get(key)
+        if existing is not None:
+            return existing
+        _cache[key] = plan
+        while len(_cache) > PLAN_CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    global _hits, _misses
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def plan_cache_info() -> dict:
+    """Cache observability: ``{hits, misses, size, maxsize}``."""
+    with _cache_lock:
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "size": len(_cache),
+            "maxsize": PLAN_CACHE_MAXSIZE,
+        }

@@ -26,6 +26,7 @@ from repro.core.config import EDNParams
 from repro.core.exceptions import ConfigurationError, LabelError
 from repro.core.labels import ilog2
 from repro.core.tags import RetirementOrder
+from repro.sim.plan import gamma_permutation, plan_for
 
 __all__ = ["VectorizedEDN", "VectorCycleResult"]
 
@@ -85,6 +86,7 @@ class VectorizedEDN:
         *,
         priority: str = "label",
         retirement_order: Optional[RetirementOrder] = None,
+        plan: "object | str | None" = "auto",
     ):
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
@@ -97,14 +99,26 @@ class VectorizedEDN:
                 f"retirement order covers {retirement_order.l} digits, network has l={params.l}"
             )
         self.retirement_order = retirement_order
-        p = params
-        # Per-stage tag shifts: stage i consumes digit index order[i-1]
-        # (0 = most significant), located at bit offset
-        # c_bits + (l - 1 - index) * b_bits of the destination label.
-        self._stage_shifts = [
-            p.capacity_bits + (p.l - 1 - retirement_order.position_for_stage(i)) * p.digit_bits
-            for i in range(1, p.l + 1)
-        ]
+        # Stage wiring constants come from a compiled RoutingPlan shared
+        # through the keyed plan cache (repro.sim.plan), so repeated engine
+        # construction for one topology skips all setup.  ``plan=None``
+        # opts out (self-contained setup, no sharing) — the reference mode
+        # the plan-equivalence tests and benchmarks compare against.
+        if plan == "auto":
+            plan = plan_for(params, priority, retirement_order)
+        self._plan = plan
+        if plan is not None:
+            self._stage_shifts = list(plan.stage_shifts)
+        else:
+            p = params
+            # Per-stage tag shifts: stage i consumes digit index order[i-1]
+            # (0 = most significant), located at bit offset
+            # c_bits + (l - 1 - index) * b_bits of the destination label.
+            self._stage_shifts = [
+                p.capacity_bits
+                + (p.l - 1 - retirement_order.position_for_stage(i)) * p.digit_bits
+                for i in range(1, p.l + 1)
+            ]
 
     @property
     def n_inputs(self) -> int:
@@ -219,13 +233,4 @@ class VectorizedEDN:
     def _gamma_vec(self, y: np.ndarray, n_bits: int) -> np.ndarray:
         """Vectorized ``gamma_{log2(c), log2(a/c)}`` on ``n_bits``-bit labels."""
         p = self.params
-        j, k = p.capacity_bits, p.fan_in_bits
-        upper_width = n_bits - j
-        if upper_width == 0 or k % upper_width == 0:
-            return y
-        shift = k % upper_width
-        low = y & ((1 << j) - 1)
-        upper = y >> j
-        mask = (1 << upper_width) - 1
-        rotated = ((upper << shift) | (upper >> (upper_width - shift))) & mask
-        return (rotated << j) | low
+        return gamma_permutation(y, n_bits, p.capacity_bits, p.fan_in_bits)

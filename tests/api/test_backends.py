@@ -243,3 +243,100 @@ class TestRearrangeableSemantics:
         result = router.route(demands)
         assert result.output[3] == 5 and result.blocked_stage[3] == 0
         assert result.blocked_stage[9] == 1
+
+
+class TestPlanCacheCorrectness:
+    """The plan cache is invisible semantically, for every backend.
+
+    Satellite contract of the plan-compilation PR: a cache *hit* routes
+    bit-identically to a cold compile for every registered backend; specs
+    whose features the array engines cannot serve (faults, non-default
+    wire policies) never alias onto cached plans; and fanned-out
+    ParallelSweep workers each obtain usable plans.
+    """
+
+    def setup_method(self):
+        from repro.sim.plan import clear_plan_cache
+
+        clear_plan_cache()
+
+    @pytest.mark.parametrize(
+        "spec,backend", CASES, ids=[f"{s}-{b}" for s, b in CASES]
+    )
+    def test_cache_hit_matches_cold_compile(self, spec, backend):
+        from repro.sim.plan import clear_plan_cache
+
+        demands = shared_demands(spec)
+        clear_plan_cache()
+        cold = build_router(spec, backend).route_batch(demands)
+        warm = build_router(spec, backend).route_batch(demands)  # cache hit
+        np.testing.assert_array_equal(cold.output, warm.output)
+        np.testing.assert_array_equal(cold.blocked_stage, warm.blocked_stage)
+
+    def test_measurements_identical_cold_vs_warm(self):
+        from repro.api import RunConfig, measure
+        from repro.sim.plan import clear_plan_cache, plan_cache_info
+
+        spec = NetworkSpec.edn(16, 4, 4, 2)
+        config = RunConfig(cycles=40, seed=2)
+        clear_plan_cache()
+        cold = measure(spec, config)
+        assert plan_cache_info()["misses"] >= 1
+        warm = measure(spec, config)
+        assert plan_cache_info()["hits"] >= 1
+        assert cold.point == warm.point
+        assert cold.blocked_by_stage == warm.blocked_by_stage
+
+    def test_faulty_specs_bypass_and_never_alias(self):
+        from repro.api import measure, RunConfig
+        from repro.sim.plan import plan_cache_info
+
+        pristine = NetworkSpec.edn(8, 2, 4, 2)
+        faulty = NetworkSpec.edn(
+            8, 2, 4, 2, faults=(WireFault(stage=1, switch=0, local_wire=0),)
+        )
+        config = RunConfig(cycles=25, seed=3)
+        baseline_faulty = measure(faulty, config)
+        # Warm the cache with the pristine spec, then re-measure the
+        # faulty one: the cached plan must not leak into the fault path.
+        info_before = plan_cache_info()
+        measure(pristine, config)
+        again_faulty = measure(faulty, config)
+        assert again_faulty.point == baseline_faulty.point
+        assert again_faulty.blocked_by_stage == baseline_faulty.blocked_by_stage
+        # The faulty measurements themselves never consulted the cache.
+        assert resolve_backend(faulty).name == "reference"
+        assert plan_cache_info()["misses"] >= info_before["misses"]
+
+    def test_wire_policy_routes_outside_the_cache(self):
+        from repro.api import measure, RunConfig
+        from repro.sim.plan import clear_plan_cache
+
+        spec = NetworkSpec.edn(8, 2, 4, 2, wire_policy="random")
+        assert resolve_backend(spec).name == "reference"
+        config = RunConfig(cycles=20, seed=4)
+        cold = measure(spec, config)
+        clear_plan_cache()
+        # Warm an array-engine plan for the same shape, then re-measure.
+        measure(NetworkSpec.edn(8, 2, 4, 2), config)
+        warm = measure(spec, config)
+        assert cold.point == warm.point
+
+    def test_priority_disciplines_get_distinct_plans(self):
+        from repro.sim.plan import plan_for
+        from repro.core.config import EDNParams
+
+        params = EDNParams(16, 4, 4, 2)
+        assert plan_for(params, "label") is not plan_for(params, "random")
+
+    def test_parallel_sweep_workers_share_usable_plans(self):
+        from repro.api import RunConfig
+        from repro.experiments.workload_matrix import run
+
+        config = RunConfig(cycles=10, seed=0)
+        inline = run(config=config.override(jobs=1))
+        fanned = run(config=config.override(jobs=2))
+        assert (
+            inline.tables["PA by traffic x topology"]
+            == fanned.tables["PA by traffic x topology"]
+        )

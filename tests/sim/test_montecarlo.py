@@ -175,6 +175,171 @@ class TestBatchedMeasurement:
             )
 
 
+class TestChunkSizeInvariantRandomPriority:
+    """Regression: chunked random-priority seeding is chunk-size independent.
+
+    Cycle ``i`` draws its tie-break keys from child ``i`` of the master
+    seed (spawned positionally), never from the shared traffic stream, so
+    ``measure_acceptance(batch=16)`` and ``batch=64`` are bit-identical at
+    equal seed — and so are different engines making identical per-message
+    routing decisions.
+    """
+
+    def test_batched_bit_identical_across_chunk_sizes(self):
+        p = EDNParams(16, 4, 4, 2)
+        net = BatchedEDN(p, priority="random")
+        traffic = UniformTraffic(p.num_inputs, p.num_outputs, 1.0)
+        results = [
+            measure_acceptance(net, traffic, cycles=64, seed=11, batch=batch)
+            for batch in (8, 16, 64)
+        ]
+        for other in results[1:]:
+            assert other.point == results[0].point
+            assert other.blocked_by_stage == results[0].blocked_by_stage
+            assert other.offered == results[0].offered
+
+    def test_partial_final_chunk_agrees(self):
+        p = EDNParams(16, 4, 4, 2)
+        net = BatchedEDN(p, priority="random")
+        traffic = UniformTraffic(p.num_inputs, p.num_outputs, 1.0)
+        a = measure_acceptance(net, traffic, cycles=50, seed=4, batch=16)
+        b = measure_acceptance(net, traffic, cycles=50, seed=4, batch=50)
+        assert a.point == b.point
+
+    def test_batched_and_per_cycle_router_agree(self):
+        from repro.api.router import PerCycleRouter
+
+        p = EDNParams(16, 4, 4, 2)
+        traffic = UniformTraffic(p.num_inputs, p.num_outputs, 1.0)
+        batched = measure_acceptance(
+            BatchedEDN(p, priority="random"), traffic, cycles=32, seed=5, batch=8
+        )
+        looped = measure_acceptance(
+            PerCycleRouter(VectorizedEDN(p, priority="random")),
+            traffic,
+            cycles=32,
+            seed=5,
+            batch=8,
+        )
+        assert batched.point == looped.point
+        assert batched.blocked_by_stage == looped.blocked_by_stage
+
+    def test_crossbar_random_priority_chunk_invariant(self):
+        n = 64
+        net = CrossbarNetwork(n, priority="random")
+        traffic = UniformTraffic(n, n, 1.0)
+        a = measure_acceptance(net, traffic, cycles=48, seed=9, batch=12)
+        b = measure_acceptance(net, traffic, cycles=48, seed=9, batch=48)
+        assert a.point == b.point
+        assert a.blocked_by_stage == b.blocked_by_stage
+
+    def test_label_priority_streams_untouched_by_fix(self):
+        # Deterministic disciplines draw no routing randomness, so the
+        # per-cycle stream spawner must never engage (traffic streams stay
+        # bit-compatible with the historical seed path).
+        p = EDNParams(16, 4, 4, 2)
+        traffic = UniformTraffic(p.num_inputs, p.num_outputs, 1.0)
+        label = measure_acceptance(BatchedEDN(p), traffic, cycles=32, seed=7, batch=8)
+        random = measure_acceptance(
+            BatchedEDN(p, priority="random"), traffic, cycles=32, seed=7, batch=8
+        )
+        # same seed + same chunking -> same demands -> same offered count
+        assert label.offered == random.offered
+
+
+class TestAdaptiveEarlyStopping:
+    def _setup(self):
+        p = EDNParams(16, 4, 4, 2)
+        return BatchedEDN(p), UniformTraffic(p.num_inputs, p.num_outputs, 1.0)
+
+    def test_stops_before_budget_when_converged(self):
+        router, traffic = self._setup()
+        measurement = measure_acceptance(
+            router, traffic, cycles=5000, seed=0, rel_err=0.02
+        )
+        assert measurement.converged is True
+        assert measurement.cycles < 5000
+        assert measurement.budget == 5000
+        assert measurement.target_rel_err == 0.02
+        # The stopping promise: half-width within rel_err of the point.
+        assert measurement.acceptance.halfwidth <= 0.02 * measurement.point
+
+    def test_respects_budget_when_target_unreachable(self):
+        router, traffic = self._setup()
+        measurement = measure_acceptance(
+            router, traffic, cycles=40, seed=0, rel_err=0.0001
+        )
+        assert measurement.cycles == 40
+        assert measurement.converged is False
+
+    def test_honors_min_cycles_floor(self):
+        router, traffic = self._setup()
+        measurement = measure_acceptance(
+            router, traffic, cycles=5000, seed=0, rel_err=0.5, min_cycles=64, batch=16
+        )
+        assert measurement.cycles >= 64
+
+    def test_reproducible(self):
+        router, traffic = self._setup()
+        a = measure_acceptance(router, traffic, cycles=2000, seed=3, rel_err=0.02, batch=16)
+        b = measure_acceptance(router, traffic, cycles=2000, seed=3, rel_err=0.02, batch=16)
+        assert a.cycles == b.cycles
+        assert a.point == b.point
+
+    def test_works_on_per_cycle_path(self):
+        p = EDNParams(16, 4, 4, 2)
+        measurement = measure_acceptance(
+            VectorizedEDN(p),
+            UniformTraffic(p.num_inputs, p.num_outputs, 1.0),
+            cycles=3000,
+            seed=1,
+            batch=1,
+            rel_err=0.02,
+        )
+        assert measurement.converged is True
+        assert measurement.cycles < 3000
+
+    def test_fixed_budget_reports_no_adaptive_fields(self):
+        router, traffic = self._setup()
+        measurement = measure_acceptance(router, traffic, cycles=30, seed=0)
+        assert measurement.budget is None
+        assert measurement.converged is None
+        assert measurement.target_rel_err is None
+        assert measurement.cycles == 30
+
+    def test_rejects_bad_rel_err(self):
+        router, traffic = self._setup()
+        with pytest.raises(ValueError):
+            measure_acceptance(router, traffic, cycles=10, rel_err=1.5)
+        with pytest.raises(ValueError):
+            measure_acceptance(router, traffic, cycles=10, rel_err=0.0)
+
+    def test_config_carries_rel_err(self):
+        from repro.api.spec import RunConfig
+
+        router, traffic = self._setup()
+        via_config = measure_acceptance(
+            router, traffic, config=RunConfig(cycles=5000, seed=0, rel_err=0.02)
+        )
+        direct = measure_acceptance(
+            router, traffic, cycles=5000, seed=0, rel_err=0.02
+        )
+        assert via_config.cycles == direct.cycles
+        assert via_config.point == direct.point
+
+    def test_adaptive_estimate_matches_fixed_distribution(self):
+        # The early-stopped estimate is the same estimator on a prefix of
+        # the same stream: at matched cycle counts it is identical.
+        router, traffic = self._setup()
+        adaptive = measure_acceptance(
+            router, traffic, cycles=5000, seed=6, rel_err=0.02, batch=16
+        )
+        fixed = measure_acceptance(
+            router, traffic, cycles=adaptive.cycles, seed=6, batch=16
+        )
+        assert adaptive.point == fixed.point
+
+
 class TestRunConfigPrecedence:
     """The facade-wide rule: set config fields beat keyword arguments."""
 
