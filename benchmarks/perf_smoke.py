@@ -13,6 +13,7 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/perf_smoke.py --backend-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --workload-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --plan-cache
+    PYTHONPATH=src python benchmarks/perf_smoke.py --baseline-matrix
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -58,6 +59,14 @@ MATRIX_CYCLES = {"batched": 200, "vectorized": 200, "reference": 2}
 
 WORKLOAD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_workload_matrix.json"
 WORKLOAD_CYCLES = 200
+
+BASELINE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_baseline_matrix.json"
+#: The compiled delta-family baselines timed by --baseline-matrix.
+BASELINE_TOPOLOGIES = ("delta:{n},4", "omega:{n}", "dilated:{n},4,2")
+BASELINE_SIZES = (1_024, 4_096)
+BASELINE_CYCLES = 100
+#: Compiled-vs-loop speedup floor asserted at N = 4096 (merge criterion).
+BASELINE_SPEEDUP_FLOOR = 3.0
 
 PLAN_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
 #: Fixed-budget cycles per repeated call in the plan-cache comparison —
@@ -248,6 +257,99 @@ def run_workload_matrix(output: Path = WORKLOAD_OUTPUT) -> dict:
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")
     return report
+
+
+def run_baseline_matrix(output: Path = BASELINE_OUTPUT) -> tuple[dict, list[str]]:
+    """Compiled delta-family baselines vs the per-cycle loop path; write JSON.
+
+    For every baseline topology (``delta``/``omega``/``dilated``) at
+    :data:`BASELINE_SIZES` terminals, time ``measure_acceptance`` through
+    the ``batched`` backend (the compiled stage-graph kernels) and the
+    ``vectorized`` backend (the sort-based per-cycle interpreter behind
+    ``_BatchByLoop`` — exactly the path every baseline routed through
+    before the stage-graph refactor), under identical ``(seed, cycles)``.
+    Label priority is deterministic, so both paths must report
+    *bit-identical* acceptance counts — asserted per cell — and the
+    compiled path must beat the loop path by at least
+    :data:`BASELINE_SPEEDUP_FLOOR` x at ``N = 4096`` (the merge
+    criterion).
+
+    Returns ``(report, failures)``.
+    """
+    results = []
+    failures: list[str] = []
+    for n_inputs in BASELINE_SIZES:
+        for template in BASELINE_TOPOLOGIES:
+            text = template.format(n=n_inputs)
+            spec = NetworkSpec.parse(text)
+            assert spec.n_inputs == n_inputs
+            traffic = UniformTraffic(spec.n_inputs, spec.n_outputs, 1.0)
+            compiled = build_router(spec, "batched")
+            loop = build_router(spec, "vectorized")
+            compiled_s, compiled_m = _best_of(
+                REPEATS,
+                lambda: measure_acceptance(
+                    compiled, traffic, cycles=BASELINE_CYCLES, seed=SEED
+                ),
+            )
+            loop_s, loop_m = _best_of(
+                REPEATS,
+                lambda: measure_acceptance(
+                    loop, traffic, cycles=BASELINE_CYCLES, seed=SEED
+                ),
+            )
+            identical = (
+                compiled_m.offered == loop_m.offered
+                and compiled_m.delivered == loop_m.delivered
+                and compiled_m.blocked_by_stage == loop_m.blocked_by_stage
+            )
+            if not identical:
+                failures.append(f"{text}: compiled and loop counts diverge")
+            speedup = loop_s / compiled_s
+            entry = {
+                "topology": spec.label,
+                "n_inputs": n_inputs,
+                "cycles": BASELINE_CYCLES,
+                "compiled_seconds": round(compiled_s, 4),
+                "loop_seconds": round(loop_s, 4),
+                "speedup": round(speedup, 2),
+                "pa": round(compiled_m.point, 6),
+                "counts_bit_identical": identical,
+            }
+            results.append(entry)
+            print(
+                f"N={n_inputs:>6} {spec.label:<16}: compiled {compiled_s:.3f}s  "
+                f"loop {loop_s:.3f}s  speedup {speedup:.1f}x  "
+                f"identical={identical}"
+            )
+            if n_inputs == 4_096 and speedup < BASELINE_SPEEDUP_FLOOR:
+                failures.append(
+                    f"{text}: speedup {speedup:.1f}x below the "
+                    f"{BASELINE_SPEEDUP_FLOOR:.0f}x floor"
+                )
+    report = {
+        "benchmark": "baseline_matrix",
+        "workload": (
+            f"measure_acceptance, uniform traffic r=1.0, {BASELINE_CYCLES} "
+            f"cycles, seed {SEED}"
+        ),
+        "engines": {
+            "compiled": "CompiledStageRouter via backend=batched (plan-cached stage-graph kernels)",
+            "loop": "StageGraphReference via backend=vectorized (_BatchByLoop per-cycle path)",
+        },
+        "floor": {
+            "speedup_at_4096": BASELINE_SPEEDUP_FLOOR,
+            "counts": "bit-identical per cell",
+        },
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report, failures
 
 
 def run_plan_cache(output: Path = PLAN_OUTPUT) -> tuple[dict, list[str]]:
@@ -493,6 +595,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="record plan-cache warm/cold calls and the adaptive-vs-fixed sweep",
     )
+    parser.add_argument(
+        "--baseline-matrix",
+        action="store_true",
+        help="time the compiled delta/omega/dilated baselines against the "
+             "per-cycle loop path (>=3x floor at N=4096, bit-identical counts)",
+    )
     args = parser.parse_args(argv)
     if args.backend_matrix:
         run_backend_matrix()
@@ -500,6 +608,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.workload_matrix:
         run_workload_matrix()
         return 0
+    if args.baseline_matrix:
+        _report, failures = run_baseline_matrix()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     if args.plan_cache:
         _report, failures = run_plan_cache()
         for failure in failures:

@@ -9,7 +9,7 @@ from repro.core.analysis import acceptance_probability, permutation_acceptance
 from repro.core.config import EDNParams
 from repro.experiments.base import ExperimentResult
 from repro.sim.montecarlo import measure_acceptance
-from repro.sim.traffic import PermutationTraffic
+from repro.workloads import PermutationTraffic
 from repro.sim.vectorized import VectorizedEDN
 
 CONFIGS = [(16, 4, 4, 1), (16, 4, 4, 2), (16, 4, 4, 3), (8, 2, 4, 3), (64, 16, 4, 2)]

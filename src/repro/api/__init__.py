@@ -49,7 +49,6 @@ _EXPORTS = {
     "Router": "router",
     "PerCycleRouter": "router",
     "ReferenceEDNRouter": "router",
-    "BatchedOmegaRouter": "router",
     "RearrangeableRouter": "router",
     "Backend": "registry",
     "BACKENDS": "registry",
@@ -83,7 +82,6 @@ __all__ = [
     "Router",
     "PerCycleRouter",
     "ReferenceEDNRouter",
-    "BatchedOmegaRouter",
     "RearrangeableRouter",
     "Backend",
     "BACKENDS",

@@ -10,11 +10,18 @@ Registered backends:
 =============  =======================================  =================
 name           engine                                   kinds
 =============  =======================================  =================
-``batched``    native ``(batch, N)`` array engines      edn, delta,
-               (:class:`BatchedEDN`, batched omega,     omega, crossbar
-               batched crossbar)
+``batched``    native ``(batch, N)`` array engines —    edn, delta,
+               :class:`BatchedEDN` plus the compiled    omega, dilated,
+               stage-graph router every delta-family    crossbar
+               baseline compiles to
+               (:class:`CompiledStageRouter`), and
+               the batched crossbar
 ``vectorized`` per-cycle array engines behind the       edn, delta,
-               automatic batch loop                     omega, crossbar
+               automatic batch loop — the independent   omega, dilated,
+               cross-check path (the stage-graph        crossbar
+               kinds use the sort-based
+               :class:`StageGraphReference`
+               interpreter)
 ``reference``  the per-message reference engine         edn
                (also the only fault-capable backend)
 ``matching``   Clos matching decomposition              clos
@@ -34,7 +41,6 @@ from typing import Callable
 
 from repro.core.exceptions import ConfigurationError
 from repro.api.router import (
-    BatchedOmegaRouter,
     PerCycleRouter,
     RearrangeableRouter,
     ReferenceEDNRouter,
@@ -186,42 +192,45 @@ def _label_only(spec: NetworkSpec) -> bool:
 @register_backend(
     "batched",
     description="native (batch, N) array engines — the Monte-Carlo fast path",
-    kinds={"edn", "delta", "omega", "crossbar"},
+    kinds={"edn", "delta", "omega", "dilated", "crossbar"},
     batched=True,
     accepts=_array_engine_ok,
 )
 def _build_batched(spec: NetworkSpec) -> Router:
     from repro.baselines.crossbar_network import CrossbarNetwork
-    from repro.sim.batched import BatchedEDN
+    from repro.sim.batched import BatchedEDN, CompiledStageRouter
 
-    if spec.kind in ("edn", "delta"):
+    if spec.kind == "edn":
         return BatchedEDN(spec.edn_params, priority=spec.priority)
-    if spec.kind == "omega":
-        return BatchedOmegaRouter(spec.shape[0], priority=spec.priority)
-    return CrossbarNetwork(*spec.shape, priority=spec.priority)
+    if spec.kind == "crossbar":
+        return CrossbarNetwork(*spec.shape, priority=spec.priority)
+    # Every delta-family baseline compiles to the same plan-cached
+    # stage-graph kernels; the spec carries the topology as data.
+    return CompiledStageRouter(spec.stage_graph(), priority=spec.priority)
 
 
 @register_backend(
     "vectorized",
     description="per-cycle array engines behind the automatic batch loop",
-    kinds={"edn", "delta", "omega", "crossbar"},
+    kinds={"edn", "delta", "omega", "dilated", "crossbar"},
     batched=False,
     accepts=_array_engine_ok,
 )
 def _build_vectorized(spec: NetworkSpec) -> Router:
     from repro.baselines.crossbar_network import CrossbarNetwork
-    from repro.baselines.delta import DeltaNetwork
-    from repro.baselines.omega import OmegaNetwork
+    from repro.sim.stagegraph import StageGraphReference
     from repro.sim.vectorized import VectorizedEDN
 
     if spec.kind == "edn":
         return PerCycleRouter(VectorizedEDN(spec.edn_params, priority=spec.priority))
-    if spec.kind == "delta":
-        a, b, l = spec.shape
-        return PerCycleRouter(DeltaNetwork(a, b, l, priority=spec.priority))
-    if spec.kind == "omega":
-        return PerCycleRouter(OmegaNetwork(spec.shape[0], priority=spec.priority))
-    return PerCycleRouter(CrossbarNetwork(*spec.shape, priority=spec.priority))
+    if spec.kind == "crossbar":
+        return PerCycleRouter(CrossbarNetwork(*spec.shape, priority=spec.priority))
+    # The sort-based per-cycle interpreter behind the generic batch loop:
+    # deliberately independent of the compiled kernels, so cross-backend
+    # equivalence tests exercise two implementations of the semantics.
+    return PerCycleRouter(
+        StageGraphReference(spec.stage_graph(), priority=spec.priority)
+    )
 
 
 def _reference_ok(spec: NetworkSpec) -> bool:

@@ -14,11 +14,18 @@ wrapped here:
 * :class:`ReferenceEDNRouter` — the reference engine
   (:class:`~repro.core.network.EDNetwork`) and its fault-injected sibling,
   converted from per-message objects to outcome arrays;
-* :class:`BatchedOmegaRouter` — the omega input shuffle composed with the
-  batched EDN engine;
 * :class:`RearrangeableRouter` — globally-controlled Clos/Beneš fabrics:
   output conflicts resolve in label order, the surviving partial
   permutation is extended to a full one and routed conflict-free.
+
+The delta-family baselines (``delta``/``omega``/``dilated``) need no
+adapter at all: their specs compile to
+:class:`~repro.sim.stagegraph.StageGraph` descriptors routed natively by
+:class:`~repro.sim.batched.CompiledStageRouter` (the ``batched``
+backend), with the per-cycle
+:class:`~repro.sim.stagegraph.StageGraphReference` interpreter behind
+:class:`PerCycleRouter` as the cross-check path (the ``vectorized``
+backend).
 
 Outcome conventions everywhere: ``output[..., s]`` is the terminal reached
 (``-1`` idle/blocked); ``blocked_stage[..., s]`` is ``0`` delivered, the
@@ -33,7 +40,6 @@ import numpy as np
 
 from repro.baselines.benes import BenesNetwork
 from repro.baselines.clos import ClosNetwork
-from repro.baselines.omega import OmegaNetwork
 from repro.core.exceptions import RoutingError
 from repro.core.network import EDNetwork, Message
 from repro.core.faults import FaultyEDNetwork
@@ -44,7 +50,6 @@ __all__ = [
     "Router",
     "PerCycleRouter",
     "ReferenceEDNRouter",
-    "BatchedOmegaRouter",
     "RearrangeableRouter",
 ]
 
@@ -189,70 +194,6 @@ class ReferenceEDNRouter(_BatchByLoop):
 
     def __repr__(self) -> str:
         return f"ReferenceEDNRouter({self.network!r})"
-
-
-class BatchedOmegaRouter:
-    """Omega network on the batched EDN engine (native ``route_batch``).
-
-    The omega is the ``EDN(2,2,1,n)`` engine behind a perfect input
-    shuffle; here whole demand matrices are shuffled column-wise, routed
-    by :class:`~repro.sim.batched.BatchedEDN`, and re-indexed back —
-    cycle ``i`` equals :meth:`OmegaNetwork.route` on ``dests[i]``.
-    """
-
-    def __init__(self, n: int, *, priority: str = "label"):
-        from repro.sim.batched import BatchedEDN
-
-        self._omega = OmegaNetwork(n, priority=priority)
-        self._engine = BatchedEDN(self._omega.params, priority=priority)
-
-    @property
-    def n_inputs(self) -> int:
-        return self._omega.n_inputs
-
-    @property
-    def n_outputs(self) -> int:
-        return self._omega.n_outputs
-
-    def preferred_batch(self) -> int:
-        return self._engine.preferred_batch()
-
-    def route(
-        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
-    ) -> VectorCycleResult:
-        return self._omega.route(dests, rng)
-
-    def route_batch(self, dests: np.ndarray, rng=None) -> BatchCycleResult:
-        dests, _flat, _live = validate_demand_matrix(
-            dests, self.n_inputs, self.n_outputs
-        )
-        shuffle = self._omega._shuffle
-        shuffled = np.full_like(dests, IDLE)
-        shuffled[:, shuffle] = dests
-        inner = self._engine.route_batch(shuffled, rng)
-        return BatchCycleResult(
-            output=inner.output[:, shuffle],
-            blocked_stage=inner.blocked_stage[:, shuffle],
-        )
-
-    def route_batch_counts(self, dests: np.ndarray, rng=None):
-        """Acceptance counts for a batch, via the inner engine's kernel.
-
-        The omega input shuffle relabels sources but moves no message
-        between cycles or stages, so per-cycle offered/delivered counts
-        and the blocked-stage histogram equal the inner EDN's exactly —
-        the counts-only fast path applies unchanged.
-        """
-        dests, _flat, _live = validate_demand_matrix(
-            dests, self.n_inputs, self.n_outputs
-        )
-        shuffle = self._omega._shuffle
-        shuffled = np.full_like(dests, IDLE)
-        shuffled[:, shuffle] = dests
-        return self._engine.route_batch_counts(shuffled, rng)
-
-    def __repr__(self) -> str:
-        return f"BatchedOmegaRouter({self._omega!r})"
 
 
 class RearrangeableRouter(_BatchByLoop):

@@ -32,12 +32,29 @@ __all__ = ["NetworkSpec", "RunConfig", "TOPOLOGY_KINDS"]
 #: kind -> (accepted shape arities, human-readable shape signature).
 TOPOLOGY_KINDS: dict[str, tuple[tuple[int, ...], str]] = {
     "edn": ((4,), "a,b,c,l"),
-    "delta": ((3,), "a,b,l"),
+    "delta": ((2, 3), "N,b | a,b,l"),
     "omega": ((1,), "n"),
+    "dilated": ((3, 4), "N,b,d | a,b,l,d"),
     "crossbar": ((1, 2), "n[,m]"),
     "clos": ((2, 3), "n,r[,m]"),
     "benes": ((1,), "n"),
 }
+
+
+def _square_depth(n: int, b: int, kind: str) -> int:
+    """The ``l`` with ``b^l == n`` for the square ``N,b`` shape forms."""
+    if b < 2:
+        raise ConfigurationError(f"{kind} switch radix must be >= 2, got b={b}")
+    l = 0
+    size = 1
+    while size < n:
+        size *= b
+        l += 1
+    if size != n or l < 1:
+        raise ConfigurationError(
+            f"{kind} size {n} is not a power of the switch radix {b}"
+        )
+    return l
 
 
 @dataclass(frozen=True)
@@ -48,10 +65,13 @@ class NetworkSpec:
     ----------
     kind:
         One of :data:`TOPOLOGY_KINDS`: ``edn``, ``delta``, ``omega``,
-        ``crossbar``, ``clos``, ``benes``.
+        ``dilated``, ``crossbar``, ``clos``, ``benes``.
     shape:
         The kind's shape parameters in canonical order (see the classmethod
         constructors, or :data:`TOPOLOGY_KINDS` for the signatures).
+        ``delta`` and ``dilated`` also accept the square ``N,b[,d]`` form
+        (``delta:4096,4`` = the 4096-terminal delta of 4x4 switches,
+        ``dilated:4096,4,2`` its 2-dilated sibling).
     priority:
         Contention discipline, ``label`` (default) or ``random``.
         Globally-controlled kinds (``clos``, ``benes``) resolve output
@@ -110,6 +130,10 @@ class NetworkSpec:
                 from repro.core.faults import FaultSet
 
                 FaultSet(self.faults).validate(params)
+        elif self.kind == "dilated":
+            from repro.baselines.dilated import DilatedDelta
+
+            DilatedDelta(*self.dilated_shape)
         elif self.kind == "omega":
             from repro.core.labels import is_power_of_two
 
@@ -151,6 +175,11 @@ class NetworkSpec:
     def omega(cls, n: int, **kwargs) -> "NetworkSpec":
         """Lawrie's ``N x N`` omega network (shuffle + 2x2 switches)."""
         return cls("omega", (n,), **kwargs)
+
+    @classmethod
+    def dilated(cls, a: int, b: int, l: int, d: int, **kwargs) -> "NetworkSpec":
+        """A ``d``-dilated ``a^l x b^l`` delta (paper references [28, 29])."""
+        return cls("dilated", (a, b, l, d), **kwargs)
 
     @classmethod
     def crossbar(cls, n_inputs: int, n_outputs: Optional[int] = None, **kwargs) -> "NetworkSpec":
@@ -196,20 +225,62 @@ class NetworkSpec:
     # ------------------------------------------------------------------
 
     @property
+    def delta_shape(self) -> tuple[int, int, int]:
+        """The canonical ``(a, b, l)`` of a ``delta`` spec (either shape form)."""
+        if self.kind != "delta":
+            raise ConfigurationError(f"{self.kind} specs have no delta shape")
+        if len(self.shape) == 3:
+            return self.shape
+        n, b = self.shape
+        return (b, b, _square_depth(n, b, "delta"))
+
+    @property
+    def dilated_shape(self) -> tuple[int, int, int, int]:
+        """The canonical ``(a, b, l, d)`` of a ``dilated`` spec (either form)."""
+        if self.kind != "dilated":
+            raise ConfigurationError(f"{self.kind} specs have no dilation shape")
+        if len(self.shape) == 4:
+            return self.shape
+        n, b, d = self.shape
+        return (b, b, _square_depth(n, b, "dilated"), d)
+
+    @property
     def edn_params(self) -> EDNParams:
         """The underlying :class:`EDNParams` (``edn`` and ``delta`` kinds)."""
         if self.kind == "edn":
             return EDNParams(*self.shape)
         if self.kind == "delta":
-            a, b, l = self.shape
+            a, b, l = self.delta_shape
             return EDNParams(a, b, 1, l)
         raise ConfigurationError(f"{self.kind} networks have no EDN parameterization")
+
+    def stage_graph(self):
+        """The compiled-routing :class:`~repro.sim.stagegraph.StageGraph`.
+
+        Available for every unidirectional multistage kind (``edn``,
+        ``delta``, ``omega``, ``dilated``) — the descriptor the batched
+        backend compiles and caches a plan for.
+        """
+        from repro.sim import stagegraph
+
+        if self.kind == "edn":
+            return stagegraph.edn_graph(self.edn_params)
+        if self.kind == "delta":
+            return stagegraph.delta_graph(*self.delta_shape)
+        if self.kind == "omega":
+            return stagegraph.omega_graph(self.shape[0])
+        if self.kind == "dilated":
+            return stagegraph.dilated_graph(*self.dilated_shape)
+        raise ConfigurationError(f"{self.kind} networks have no stage graph")
 
     @property
     def n_inputs(self) -> int:
         """Input terminals of the specified network."""
         if self.kind in ("edn", "delta"):
             return self.edn_params.num_inputs
+        if self.kind == "dilated":
+            a, _b, l, _d = self.dilated_shape
+            return a**l
         if self.kind in ("omega", "benes"):
             return self.shape[0]
         if self.kind == "crossbar":
@@ -221,6 +292,9 @@ class NetworkSpec:
         """Output terminals of the specified network."""
         if self.kind in ("edn", "delta"):
             return self.edn_params.num_outputs
+        if self.kind == "dilated":
+            _a, b, l, _d = self.dilated_shape
+            return b**l
         if self.kind == "crossbar":
             return self.shape[-1]
         return self.n_inputs  # omega, benes, clos are square

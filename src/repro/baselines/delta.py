@@ -7,11 +7,12 @@ paper's whole pitch is that EDNs keep delta-like cost while recovering
 crossbar-like performance, so the delta is the baseline every benchmark
 compares against.
 
-Implemented two ways, both pinned together in the test suite:
-
-* structurally, as ``EDN(a, b, 1, l)`` via the shared engines;
-* analytically, via Patel's recursion ``r_{i+1} = 1 - (1 - r_i/b)^a``
-  (:func:`repro.core.analysis.delta_acceptance`).
+The class is a thin topology descriptor: the delta's structure is a
+compiled :func:`~repro.sim.stagegraph.delta_graph` routed by the shared
+batched kernels (:class:`~repro.sim.batched.CompiledStageRouter`), its
+analytics Patel's recursion ``r_{i+1} = 1 - (1 - r_i/b)^a``
+(:func:`repro.core.analysis.delta_acceptance`).  Routing is pinned
+bit-identical to the per-cycle reference paths in the test suite.
 """
 
 from __future__ import annotations
@@ -21,8 +22,10 @@ import numpy as np
 from repro.core.analysis import delta_acceptance
 from repro.core.config import EDNParams
 from repro.core.cost import crosspoint_cost, wire_cost
+from repro.sim.batched import BatchAcceptanceCounts, BatchCycleResult, CompiledStageRouter
 from repro.sim.rng import SeedLike, as_generator
-from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
+from repro.sim.stagegraph import StageGraph, delta_graph
+from repro.sim.vectorized import VectorCycleResult
 
 __all__ = ["DeltaNetwork"]
 
@@ -43,7 +46,9 @@ class DeltaNetwork:
         self, a: int, b: int, l: int, *, priority: str = "label", seed: SeedLike = None
     ):
         self.params = EDNParams(a, b, 1, l)
-        self._engine = VectorizedEDN(self.params, priority=priority)
+        self.graph: StageGraph = delta_graph(a, b, l)
+        self.priority = priority
+        self._router = CompiledStageRouter(self.graph, priority=priority)
         # Default stream for route calls that pass no rng (random priority).
         self._rng = as_generator(seed)
 
@@ -75,7 +80,20 @@ class DeltaNetwork:
         stream.
         """
         generator = as_generator(rng) if rng is not None else self._rng
-        return self._engine.route(dests, generator)
+        return self._router.route(dests, generator)
+
+    def route_batch(self, dests: np.ndarray, rng=None) -> BatchCycleResult:
+        """Route a ``(batch, N)`` demand matrix on the compiled kernels."""
+        return self._router.route_batch(dests, rng if rng is not None else self._rng)
+
+    def route_batch_counts(self, dests: np.ndarray, rng=None) -> BatchAcceptanceCounts:
+        """Acceptance counts for a batch via the counts-only fast path."""
+        return self._router.route_batch_counts(
+            dests, rng if rng is not None else self._rng
+        )
+
+    def preferred_batch(self) -> int:
+        return self._router.preferred_batch()
 
     def analytic_acceptance(self, r: float) -> float:
         """Patel's ``PA(r)`` recursion for this network."""

@@ -9,11 +9,16 @@ multipath; the paper's Section 1 objection is purely structural:
     the number of wires of the equivalent stage of an EDN with the same
     number of inputs, resulting in a much less space efficient network."
 
-This module implements the dilated network's wire/crosspoint accounting and
+This module implements the dilated network's wire/crosspoint accounting,
 its analytic acceptance (same hyperbar ``E(r)`` machinery as the EDN, with
 the conventional assumption that all messages surviving to an output bundle
-are delivered — each output terminal is a ``d``-wire port).  The
-``eq2_eq3`` benchmark reproduces the d-times-the-wires comparison.
+are delivered — each output terminal is a ``d``-wire port), and — via
+:meth:`DilatedDelta.stage_graph` / :meth:`DilatedDelta.router` — its
+cycle-level simulation on the shared compiled batched kernels, so the
+paper's structural objection can be weighed against *measured* acceptance
+(the test suite cross-checks the analytic chain against Monte-Carlo at
+matched rates).  The ``eq2_eq3`` benchmark reproduces the
+d-times-the-wires comparison.
 """
 
 from __future__ import annotations
@@ -93,6 +98,27 @@ class DilatedDelta:
         for i in range(2, self.l + 1):
             total += self.switches_in_stage(i) * (self.a * self.d) * self.b * self.d
         return total
+
+    # ------------------------------------------------------------------
+    # Simulation (the compiled stage-graph core)
+    # ------------------------------------------------------------------
+
+    def stage_graph(self):
+        """This topology as a :class:`~repro.sim.stagegraph.StageGraph`.
+
+        Stage 1 is ``H(a -> b x d)``, deeper stages ``H(a*d -> b x d)``,
+        interstage wiring the base delta's permutation lifted over the
+        ``d`` lane bits, and every output terminal a ``d``-wide port.
+        """
+        from repro.sim.stagegraph import dilated_graph
+
+        return dilated_graph(self.a, self.b, self.l, self.d)
+
+    def router(self, *, priority: str = "label"):
+        """A batched router over this topology (plan-cached compiled kernels)."""
+        from repro.sim.batched import CompiledStageRouter
+
+        return CompiledStageRouter(self.stage_graph(), priority=priority)
 
     # ------------------------------------------------------------------
     # Performance

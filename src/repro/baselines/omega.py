@@ -4,10 +4,12 @@ The omega network on ``N = 2^n`` terminals is ``n`` stages of ``2 x 2``
 switches, each stage preceded by a perfect shuffle of the wires — including
 a shuffle *before* the first stage, which is where it differs structurally
 from our delta construction (whose inputs feed stage 1 directly).  Patel
-showed omega is a delta network; here we realize it as the ``EDN(2,2,1,n)``
-engine composed with an input shuffle, which doubles as a working example
-of the paper's Corollary 1: permuting the inputs of an EDN changes which
-source owns a path but never destroys connectivity.
+showed omega is a delta network; here the whole topology — including the
+input shuffle — is expressed as a compiled
+:func:`~repro.sim.stagegraph.omega_graph` routed by the shared batched
+kernels, which doubles as a working example of the paper's Corollary 1:
+permuting the inputs of an EDN changes which source owns a path but never
+destroys connectivity.
 """
 
 from __future__ import annotations
@@ -18,8 +20,10 @@ from repro.core.analysis import delta_acceptance
 from repro.core.config import EDNParams
 from repro.core.exceptions import ConfigurationError
 from repro.core.labels import ilog2, is_power_of_two
+from repro.sim.batched import BatchAcceptanceCounts, BatchCycleResult, CompiledStageRouter
 from repro.sim.rng import SeedLike, as_generator
-from repro.sim.vectorized import VectorCycleResult, VectorizedEDN
+from repro.sim.stagegraph import StageGraph, omega_graph
+from repro.sim.vectorized import VectorCycleResult
 
 __all__ = ["OmegaNetwork"]
 
@@ -42,13 +46,11 @@ class OmegaNetwork:
         self.n = n
         self.stages = ilog2(n)
         self.params = EDNParams(2, 2, 1, self.stages)
-        self._engine = VectorizedEDN(self.params, priority=priority)
+        self.graph: StageGraph = omega_graph(n)
+        self.priority = priority
+        self._router = CompiledStageRouter(self.graph, priority=priority)
         # Default stream for route calls that pass no rng (random priority).
         self._rng = as_generator(seed)
-        # Input shuffle: source s enters the switch column on wire shuffle(s)
-        # (one-bit left rotation of the n-bit label).
-        idx = np.arange(n, dtype=np.int64)
-        self._shuffle = (((idx << 1) | (idx >> (self.stages - 1))) & (n - 1)).astype(np.int64)
 
     @property
     def n_inputs(self) -> int:
@@ -68,15 +70,26 @@ class OmegaNetwork:
         dests = np.asarray(dests, dtype=np.int64)
         if dests.shape != (self.n,):
             raise ConfigurationError(f"expected demand vector of shape ({self.n},)")
-        shuffled = np.full(self.n, IDLE, dtype=np.int64)
-        shuffled[self._shuffle] = dests
         generator = as_generator(rng) if rng is not None else self._rng
-        inner = self._engine.route(shuffled, generator)
-        # Re-index outcomes back to original source labels.
-        return VectorCycleResult(
-            output=inner.output[self._shuffle],
-            blocked_stage=inner.blocked_stage[self._shuffle],
+        return self._router.route(dests, generator)
+
+    def route_batch(self, dests: np.ndarray, rng=None) -> BatchCycleResult:
+        """Route a ``(batch, N)`` demand matrix on the compiled kernels."""
+        return self._router.route_batch(dests, rng if rng is not None else self._rng)
+
+    def route_batch_counts(self, dests: np.ndarray, rng=None) -> BatchAcceptanceCounts:
+        """Acceptance counts for a batch via the counts-only fast path.
+
+        The omega input shuffle relabels sources but moves no message
+        between cycles or stages, so per-cycle offered/delivered counts
+        and the blocked-stage histogram equal the inner delta's exactly.
+        """
+        return self._router.route_batch_counts(
+            dests, rng if rng is not None else self._rng
         )
+
+    def preferred_batch(self) -> int:
+        return self._router.preferred_batch()
 
     def analytic_acceptance(self, r: float) -> float:
         """Patel's delta recursion with ``a = b = 2`` (input shuffles don't matter)."""

@@ -67,15 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Monte-Carlo acceptance of one or more topologies under one or "
             "more workloads.  Topologies are KIND:P1,P2,... specs — e.g. "
-            "edn:16,4,4,2  delta:8,8,2  omega:64  crossbar:64  clos:8,8  "
-            "benes:64 — and workloads are NAME[:ARGS] specs (see `repro "
-            "workloads`), so cross-network and cross-workload comparisons "
-            "are one-liners."
+            "edn:16,4,4,2  delta:4096,4  omega:64  dilated:4096,4,2  "
+            "crossbar:64  clos:8,8  benes:64 — and workloads are "
+            "NAME[:ARGS] specs (see `repro workloads`), so cross-network "
+            "and cross-workload comparisons are one-liners.  The whole "
+            "delta family (delta/omega/dilated) compiles to the batched "
+            "stage-graph kernels, so baseline sweeps run on the fast path."
         ),
     )
     route.add_argument(
         "-t", "--topology", action="append", required=True, metavar="KIND:SHAPE",
-        help="topology spec (repeatable; e.g. edn:16,4,4,2, clos:8,8)",
+        help="topology spec (repeatable; e.g. edn:16,4,4,2, delta:4096,4, "
+             "dilated:4096,4,2, clos:8,8)",
     )
     route.add_argument(
         "--backend", default="auto", metavar="NAME",

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.api.spec import RunConfig
 
+from repro.core.analysis import acceptance_probability, delta_acceptance
 from repro.core.config import EDNParams
 from repro.core.cost import (
     crosspoint_cost,
@@ -26,6 +27,64 @@ from repro.experiments.base import ExperimentResult
 from repro.viz.ascii_art import render_network
 
 __all__ = ["run"]
+
+
+def _baseline_rows(params: EDNParams) -> list[list]:
+    """Same-input-count delta-family baselines, on the stage-graph core.
+
+    One row per baseline the paper compares against: the plain delta (the
+    EDN's own radix when it tiles ``N``, 2x2 switches otherwise), the
+    omega (its shuffled 2x2 sibling), and the dilated delta at the EDN's
+    multiplicity (``d = c``, or 2 for degenerate ``c = 1`` networks).
+    Structure and costs come from the baseline descriptors; the "columns"
+    column counts the compiled stage graph's switch columns.
+    """
+    from repro.api.spec import _square_depth
+    from repro.baselines.dilated import DilatedDelta
+    from repro.core.exceptions import ConfigurationError
+    from repro.core.labels import ilog2
+    from repro.sim.stagegraph import delta_graph, dilated_graph, edn_graph, omega_graph
+
+    n = params.num_inputs
+    radix = params.b
+    try:
+        depth = _square_depth(n, radix, "delta")
+    except ConfigurationError:
+        radix, depth = 2, ilog2(n)
+    d = params.c if params.c > 1 else 2
+    delta = EDNParams(radix, radix, 1, depth)
+    omega = EDNParams(2, 2, 1, ilog2(n))
+    dilated = DilatedDelta(a=radix, b=radix, l=depth, d=d)
+    return [
+        [
+            str(params),
+            edn_graph(params).num_stages,
+            crosspoint_cost(params),
+            wire_cost(params),
+            acceptance_probability(params, 1.0),
+        ],
+        [
+            f"delta:{n},{radix}",
+            delta_graph(radix, radix, depth).num_stages,
+            crosspoint_cost(delta),
+            wire_cost(delta),
+            delta_acceptance(radix, radix, depth, 1.0),
+        ],
+        [
+            f"omega:{n}",
+            omega_graph(n).num_stages,
+            crosspoint_cost(omega),
+            wire_cost(omega),
+            delta_acceptance(2, 2, ilog2(n), 1.0),
+        ],
+        [
+            f"dilated:{n},{radix},{d}",
+            dilated_graph(radix, radix, depth, d).num_stages,
+            dilated.crosspoint_cost(),
+            dilated.wire_cost(),
+            dilated.analytic_acceptance(1.0),
+        ],
+    ]
 
 
 def run(
@@ -68,5 +127,14 @@ def run(
             ["wires (enumerated)", topo.count_wires()],
         ],
     )
+    result.tables["delta-family baselines (stage-graph core)"] = (
+        ["network", "switch columns", "crosspoints", "wires", "PA(1)"],
+        _baseline_rows(params),
+    )
     result.notes.append(render_network(params))
+    result.notes.append(
+        "baseline rows share the EDN's input count; all four topologies "
+        "compile to the same plan-cached stage-graph kernels (repro route "
+        "-t ... --backend batched measures any of them)"
+    )
     return result

@@ -31,10 +31,13 @@ from repro.workloads import make_traffic, parse_workload
 __all__ = ["TOPOLOGIES", "TRAFFIC", "run"]
 
 #: 64-terminal, batched-backend-capable topologies (comparable columns).
+#: Every multistage column — including the dilated baseline — compiles to
+#: the plan-cached stage-graph kernels, so the whole grid runs batched.
 TOPOLOGIES = (
     "edn:16,4,4,2",
     "delta:8,8,2",
     "omega:64",
+    "dilated:64,4,2",
     "crossbar:64",
 )
 

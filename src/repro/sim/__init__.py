@@ -12,18 +12,24 @@ runners.
 * :mod:`repro.sim.rng` — reproducible independent random streams;
 * :mod:`repro.sim.stats` — online statistics and confidence intervals
   (streaming ratio-of-sums estimator with a delta-method interval);
-* :mod:`repro.sim.plan` — compiled :class:`RoutingPlan` tables behind a
-  keyed LRU cache plus reusable :class:`ChunkWorkspace` scratch, so
-  repeated engine construction and chunk routing skip all topology
-  setup and steady-state allocation (see ``docs/PERFORMANCE.md``);
+* :mod:`repro.sim.stagegraph` — the topology-agnostic stage-graph core:
+  every unidirectional multistage network (EDN, delta, omega, dilated
+  delta) as a :class:`StageGraph` descriptor, plus the per-cycle
+  reference interpreter used as the cross-check path;
+* :mod:`repro.sim.plan` — compiled :class:`StagePlan`/:class:`RoutingPlan`
+  tables behind a keyed LRU cache plus reusable :class:`ChunkWorkspace`
+  scratch, so repeated engine construction and chunk routing skip all
+  topology setup and steady-state allocation (see ``docs/PERFORMANCE.md``);
 * :mod:`repro.sim.traffic` — compatibility alias of the traffic models,
   which live in the :mod:`repro.workloads` subsystem (registry-backed
   ``name[:args]`` specs: uniform, permutation, hot-spot/NUTS, bursty,
   mixture, trace replay, structured patterns), single-cycle or batched;
 * :mod:`repro.sim.vectorized` — numpy EDN router, one cycle per call;
-* :mod:`repro.sim.batched` — numpy EDN router over ``(batch, N)`` demand
-  matrices: many independent cycles per call, bit-identical per message to
-  the single-cycle engine;
+* :mod:`repro.sim.batched` — numpy routers over ``(batch, N)`` demand
+  matrices (:class:`BatchedEDN` and the graph-driven
+  :class:`CompiledStageRouter` the delta-family baselines compile to):
+  many independent cycles per call, bit-identical per message to the
+  single-cycle engines;
 * :mod:`repro.sim.montecarlo` — acceptance-probability measurement,
   routed in batched chunks wherever the router supports it, with
   optional adaptive early stopping (``rel_err=``: the cycle budget
@@ -54,15 +60,32 @@ into ``BENCH_batched_routing.json``):
 ===========  ==============  ============  ========
 """
 
-from repro.sim.batched import BatchAcceptanceCounts, BatchCycleResult, BatchedEDN
+from repro.sim.batched import (
+    BatchAcceptanceCounts,
+    BatchCycleResult,
+    BatchedEDN,
+    CompiledStageRouter,
+)
 from repro.sim.engine import CycleDriver, EventHandle, Simulator
 from repro.sim.plan import (
     ChunkWorkspace,
     RoutingPlan,
+    StagePlan,
     clear_plan_cache,
     compile_plan,
+    compile_stage_plan,
     plan_cache_info,
     plan_for,
+    stage_plan_for,
+)
+from repro.sim.stagegraph import (
+    GraphStage,
+    StageGraph,
+    StageGraphReference,
+    delta_graph,
+    dilated_graph,
+    edn_graph,
+    omega_graph,
 )
 from repro.sim.montecarlo import (
     AcceptanceMeasurement,
@@ -100,12 +123,23 @@ __all__ = [
     "spawn_keys",
     "stream_for",
     "BatchedEDN",
+    "CompiledStageRouter",
     "BatchCycleResult",
     "BatchAcceptanceCounts",
     "RoutingPlan",
+    "StagePlan",
+    "GraphStage",
+    "StageGraph",
+    "StageGraphReference",
+    "edn_graph",
+    "delta_graph",
+    "omega_graph",
+    "dilated_graph",
     "ChunkWorkspace",
     "plan_for",
     "compile_plan",
+    "stage_plan_for",
+    "compile_stage_plan",
     "clear_plan_cache",
     "plan_cache_info",
     "RunningStats",

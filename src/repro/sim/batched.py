@@ -45,6 +45,7 @@ from repro.sim.vectorized import IDLE, VectorCycleResult, VectorizedEDN
 
 __all__ = [
     "BatchedEDN",
+    "CompiledStageRouter",
     "BatchCycleResult",
     "BatchAcceptanceCounts",
     "validate_demand_matrix",
@@ -55,14 +56,24 @@ BatchRng = Union[np.random.Generator, Sequence[np.random.Generator], None]
 
 
 def _check_demand_shape(dests: np.ndarray, n_inputs: int) -> np.ndarray:
-    """Coerce to contiguous int64 and check the ``(batch, n_inputs)`` shape."""
-    dests = np.ascontiguousarray(dests, dtype=np.int64)
-    if dests.ndim != 2 or dests.shape[1] != n_inputs:
+    """Coerce to contiguous int64 and check dtype + ``(batch, n_inputs)`` shape.
+
+    Dtype and shape are rejected *here*, before any routing starts, so a
+    malformed matrix fails with one clear message instead of a numpy cast
+    error (or a silent float truncation) deep inside a stage loop.
+    """
+    arr = np.asanyarray(dests)
+    if arr.dtype.kind not in "iu":
+        raise LabelError(
+            "demand matrix must have an integer dtype (output labels, with "
+            f"-1 marking idle inputs); got dtype {arr.dtype}"
+        )
+    if arr.ndim != 2 or arr.shape[1] != n_inputs:
         raise LabelError(
             f"expected demand matrix of shape (batch, {n_inputs}), "
-            f"got {dests.shape}"
+            f"got {arr.shape}"
         )
-    return dests
+    return np.ascontiguousarray(arr, dtype=np.int64)
 
 
 def _check_destination_bounds(flat: np.ndarray, n_outputs: int) -> None:
@@ -167,103 +178,20 @@ class BatchAcceptanceCounts:
     blocked_by_stage: dict[int, int]
 
 
-class BatchedEDN(VectorizedEDN):
-    """Array-based ``EDN(a, b, c, l)`` router over batches of cycles.
+class _DenseRankKernels:
+    """Shared contention-resolution kernels of the batched array engines.
 
-    Construction mirrors :class:`~repro.sim.vectorized.VectorizedEDN`
-    (whose single-cycle ``route`` it inherits); :meth:`route_batch` routes
-    many independent cycles at once.
+    Everything here is topology-agnostic: dense packed-lane in-bucket
+    ranking (label priority), the one-hot fallback for unpackable switch
+    shapes, the batch-folded grouped sort (random priority), and the
+    per-call scratch-buffer provider.  :class:`BatchedEDN` and
+    :class:`CompiledStageRouter` both mix these in, so the EDN engine and
+    every compiled baseline resolve contention through literally the same
+    code.
 
-    >>> import numpy as np
-    >>> from repro.core.config import EDNParams
-    >>> net = BatchedEDN(EDNParams(16, 4, 4, 2))
-    >>> res = net.route_batch(np.tile(np.arange(64), (3, 1)))
-    >>> res.output.shape
-    (3, 64)
+    Consumers must provide a ``self._scratch`` dict (the per-instance
+    scratch fallback when no plan workspace is in play).
     """
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self._gamma_tables: dict = {}
-        self._swbase: dict = {}
-        self._scratch: dict = {}
-
-    def _gamma_table(self, stage: int, dtype) -> np.ndarray:
-        """Lookup table of the interstage gamma after ``stage``.
-
-        The gamma is a fixed permutation of the stage's wire labels;
-        gathering through a precomputed table replaces the ~8 elementwise
-        ops of :meth:`VectorizedEDN._gamma_vec` per batch with one.  With
-        a compiled plan the table is shared by every engine on the plan;
-        without one it is cached per instance (the seed behavior).
-        """
-        if self._plan is not None:
-            return self._plan.gamma_table(stage, dtype)
-        n_bits = ilog2(self.params.wires_after_stage(stage))
-        key = (n_bits, np.dtype(dtype).str)
-        table = self._gamma_tables.get(key)
-        if table is None:
-            table = self._gamma_vec(
-                np.arange(1 << n_bits, dtype=dtype), n_bits
-            ).astype(dtype)
-            self._gamma_tables[key] = table
-        return table
-
-    def preferred_batch(self) -> int:
-        """Cycles per chunk that keep a stage's working set cache-resident.
-
-        The dense kernels stream ~10 arrays of ``batch * wires`` entries
-        per stage; beyond the L2 cache the scatters dominate, so large
-        networks want *smaller* chunks.  Measured sweet spot: about
-        ``2**17`` frontier entries per chunk, at least 16 cycles.  The
-        formula lives on the plan (one copy); plan-less engines restate
-        it.
-        """
-        if self._plan is not None:
-            return self._plan.preferred_batch()
-        return max(16, min(64, (1 << 17) // self.params.num_inputs))
-
-    def _workspace(self, override):
-        """The scratch provider for one call: explicit > plan-thread-local."""
-        if override is not None:
-            return override
-        if self._plan is not None:
-            return self._plan.workspace()
-        return None
-
-    def route_batch(
-        self, dests: np.ndarray, rng: BatchRng = None, *, workspace=None
-    ) -> BatchCycleResult:
-        """Route ``batch`` independent cycles (``dests[i, s]`` = output or ``-1``).
-
-        ``rng`` is only consumed under ``random`` priority.  A single
-        generator draws the tie-break keys for the whole batch (the fast
-        path); a sequence of ``batch`` generators draws each cycle's keys
-        from its own stream, reproducing ``VectorizedEDN.route(dests[i],
-        rng_i)`` bit for bit (used by equivalence tests and the
-        chunk-size-invariant Monte-Carlo harness).  ``workspace``
-        optionally overrides the scratch buffers (default: the compiled
-        plan's per-thread :class:`~repro.sim.plan.ChunkWorkspace`).
-        """
-        p = self.params
-        dests, flat, live0 = validate_demand_matrix(
-            dests, p.num_inputs, p.num_outputs
-        )
-        batch, n = dests.shape
-        ws = self._workspace(workspace)
-
-        if self.priority == "label":
-            output, blocked_stage = self._route_batch_dense(flat, live0, batch, ws)
-        else:
-            output, blocked_stage = self._route_batch_sparse(flat, live0, batch, rng)
-        return BatchCycleResult(
-            output=output.reshape(batch, n),
-            blocked_stage=blocked_stage.reshape(batch, n),
-        )
-
-    # ------------------------------------------------------------------
-    # Dense, sort-free path (label priority)
-    # ------------------------------------------------------------------
 
     #: Bits per packed bucket counter; holds counts up to a = 64 wires.
     _LANE_BITS = 8
@@ -289,24 +217,6 @@ class BatchedEDN(VectorizedEDN):
             arr = np.empty(size, dtype=dtype)
             self._scratch[key] = arr
         return arr
-
-    def _switch_base(self, width: int, dtype) -> np.ndarray:
-        """Per-wire ``switch * b * c - 1`` row for one stage width (cached).
-
-        The ``- 1`` pre-folds the conversion of inclusive ranks to 0-based
-        bucket wire offsets, so the bucket-wire computation in the counts
-        kernel is two adds.
-        """
-        if self._plan is not None:
-            return self._plan.switch_base(width, dtype)
-        p = self.params
-        key = (width, np.dtype(dtype).char)
-        row = self._swbase.get(key)
-        if row is None:
-            switch = np.arange(width, dtype=dtype) >> ilog2(p.a)
-            row = (switch << ilog2(p.b * p.c)) - 1
-            self._swbase[key] = row
-        return row
 
     def _dense_rank(
         self,
@@ -410,6 +320,208 @@ class BatchedEDN(VectorizedEDN):
         return np.take_along_axis(cum, lookup.astype(count_dtype), axis=2)[
             ..., 0
         ].reshape(-1)
+
+    def _resolve_sparse(
+        self,
+        cyc: np.ndarray,
+        local_key: np.ndarray,
+        span: int,
+        cycle_rngs: Optional[Sequence[np.random.Generator]],
+        rng: BatchRng,
+        capacity: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch-wide grouped resolution under random priority.
+
+        ``local_key`` identifies the ``(switch, bucket)`` group *within* a
+        cycle (values in ``[0, span)``); folding in ``cyc`` makes groups
+        globally distinct.  Returns ``(accept_mask, winner_ranks)`` with
+        the same conventions as the single-cycle resolver
+        (:meth:`repro.sim.vectorized.VectorizedEDN._resolve`).
+        """
+        count = local_key.size
+        if count == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        key = cyc * span + local_key
+        tie = self._random_tiebreak(cyc, count, rng, cycle_rngs)
+        max_combined = (int(cyc[-1]) + 1) * span * count
+        if max_combined < (1 << 62):
+            # (key, tie) pairs are unique, so an unstable argsort of the
+            # combined integer realizes the grouped priority order.
+            order = np.argsort(key * count + tie)
+        else:
+            order = np.lexsort((tie, key))  # overflow fallback: astronomical sizes
+        sorted_key = key[order]
+        new_group = np.empty(count, dtype=bool)
+        new_group[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=new_group[1:])
+        group_ids = np.cumsum(new_group) - 1
+        group_starts = np.flatnonzero(new_group)
+        rank_sorted = np.arange(count) - group_starts[group_ids]
+        accept_sorted = rank_sorted < capacity
+
+        accept_mask = np.zeros(count, dtype=bool)
+        accept_mask[order[accept_sorted]] = True
+        rank_by_pos = np.empty(count, dtype=np.int64)
+        rank_by_pos[order] = rank_sorted
+        return accept_mask, rank_by_pos[accept_mask]
+
+    @staticmethod
+    def _random_tiebreak(
+        cyc: np.ndarray,
+        count: int,
+        rng: BatchRng,
+        cycle_rngs: Optional[Sequence[np.random.Generator]],
+    ) -> np.ndarray:
+        """Random-priority sub-keys, batch-wide or per-cycle.
+
+        With per-cycle generators each cycle's contiguous slice of the
+        frontier receives ``rngs[i].permutation(slice_len)`` — the exact
+        draw (size, order, and position) the single-cycle engine makes, so
+        tie-break decisions match it bit for bit.
+        """
+        if cycle_rngs is None:
+            return rng.permutation(count)
+        tie = np.empty(count, dtype=np.int64)
+        boundaries = np.flatnonzero(np.diff(cyc)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [count]))
+        for start, stop in zip(starts, stops):
+            tie[start:stop] = cycle_rngs[cyc[start]].permutation(stop - start)
+        return tie
+
+    @staticmethod
+    def _cycle_rngs(rng: BatchRng, batch: int) -> Optional[list]:
+        """Normalize ``rng``: ``None`` for a single generator, else a list."""
+        if rng is None:
+            raise ConfigurationError(
+                "random priority requires a numpy Generator (or one per cycle)"
+            )
+        if isinstance(rng, np.random.Generator):
+            return None
+        cycle_rngs = list(rng)
+        if len(cycle_rngs) != batch:
+            raise ConfigurationError(
+                f"need one generator per cycle: got {len(cycle_rngs)} "
+                f"for batch {batch}"
+            )
+        return cycle_rngs
+
+
+class BatchedEDN(VectorizedEDN, _DenseRankKernels):
+    """Array-based ``EDN(a, b, c, l)`` router over batches of cycles.
+
+    Construction mirrors :class:`~repro.sim.vectorized.VectorizedEDN`
+    (whose single-cycle ``route`` it inherits); :meth:`route_batch` routes
+    many independent cycles at once.
+
+    >>> import numpy as np
+    >>> from repro.core.config import EDNParams
+    >>> net = BatchedEDN(EDNParams(16, 4, 4, 2))
+    >>> res = net.route_batch(np.tile(np.arange(64), (3, 1)))
+    >>> res.output.shape
+    (3, 64)
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._gamma_tables: dict = {}
+        self._swbase: dict = {}
+        self._scratch: dict = {}
+
+    def _gamma_table(self, stage: int, dtype) -> np.ndarray:
+        """Lookup table of the interstage gamma after ``stage``.
+
+        The gamma is a fixed permutation of the stage's wire labels;
+        gathering through a precomputed table replaces the ~8 elementwise
+        ops of :meth:`VectorizedEDN._gamma_vec` per batch with one.  With
+        a compiled plan the table is shared by every engine on the plan;
+        without one it is cached per instance (the seed behavior).
+        """
+        if self._plan is not None:
+            return self._plan.gamma_table(stage, dtype)
+        n_bits = ilog2(self.params.wires_after_stage(stage))
+        key = (n_bits, np.dtype(dtype).str)
+        table = self._gamma_tables.get(key)
+        if table is None:
+            table = self._gamma_vec(
+                np.arange(1 << n_bits, dtype=dtype), n_bits
+            ).astype(dtype)
+            self._gamma_tables[key] = table
+        return table
+
+    def preferred_batch(self) -> int:
+        """Cycles per chunk that keep a stage's working set cache-resident.
+
+        The dense kernels stream ~10 arrays of ``batch * wires`` entries
+        per stage; beyond the L2 cache the scatters dominate, so large
+        networks want *smaller* chunks.  Measured sweet spot: about
+        ``2**17`` frontier entries per chunk, at least 16 cycles.  The
+        formula lives on the plan (one copy); plan-less engines restate
+        it.
+        """
+        if self._plan is not None:
+            return self._plan.preferred_batch()
+        return max(16, min(64, (1 << 17) // self.params.num_inputs))
+
+    def _workspace(self, override):
+        """The scratch provider for one call: explicit > plan-thread-local."""
+        if override is not None:
+            return override
+        if self._plan is not None:
+            return self._plan.workspace()
+        return None
+
+    def route_batch(
+        self, dests: np.ndarray, rng: BatchRng = None, *, workspace=None
+    ) -> BatchCycleResult:
+        """Route ``batch`` independent cycles (``dests[i, s]`` = output or ``-1``).
+
+        ``rng`` is only consumed under ``random`` priority.  A single
+        generator draws the tie-break keys for the whole batch (the fast
+        path); a sequence of ``batch`` generators draws each cycle's keys
+        from its own stream, reproducing ``VectorizedEDN.route(dests[i],
+        rng_i)`` bit for bit (used by equivalence tests and the
+        chunk-size-invariant Monte-Carlo harness).  ``workspace``
+        optionally overrides the scratch buffers (default: the compiled
+        plan's per-thread :class:`~repro.sim.plan.ChunkWorkspace`).
+        """
+        p = self.params
+        dests, flat, live0 = validate_demand_matrix(
+            dests, p.num_inputs, p.num_outputs
+        )
+        batch, n = dests.shape
+        ws = self._workspace(workspace)
+
+        if self.priority == "label":
+            output, blocked_stage = self._route_batch_dense(flat, live0, batch, ws)
+        else:
+            output, blocked_stage = self._route_batch_sparse(flat, live0, batch, rng)
+        return BatchCycleResult(
+            output=output.reshape(batch, n),
+            blocked_stage=blocked_stage.reshape(batch, n),
+        )
+
+    # ------------------------------------------------------------------
+    # Dense, sort-free path (label priority)
+    # ------------------------------------------------------------------
+
+    def _switch_base(self, width: int, dtype) -> np.ndarray:
+        """Per-wire ``switch * b * c - 1`` row for one stage width (cached).
+
+        The ``- 1`` pre-folds the conversion of inclusive ranks to 0-based
+        bucket wire offsets, so the bucket-wire computation in the counts
+        kernel is two adds.
+        """
+        if self._plan is not None:
+            return self._plan.switch_base(width, dtype)
+        p = self.params
+        key = (width, np.dtype(dtype).char)
+        row = self._swbase.get(key)
+        if row is None:
+            switch = np.arange(width, dtype=dtype) >> ilog2(p.a)
+            row = (switch << ilog2(p.b * p.c)) - 1
+            self._swbase[key] = row
+        return row
 
     def _route_batch_dense(
         self, flat: np.ndarray, live0: np.ndarray, batch: int, ws=None
@@ -743,18 +855,7 @@ class BatchedEDN(VectorizedEDN):
         """
         p = self.params
         n = p.num_inputs
-        if rng is None:
-            raise ConfigurationError(
-                "random priority requires a numpy Generator (or one per cycle)"
-            )
-        cycle_rngs: Optional[Sequence[np.random.Generator]] = None
-        if not isinstance(rng, np.random.Generator):
-            cycle_rngs = list(rng)
-            if len(cycle_rngs) != batch:
-                raise ConfigurationError(
-                    f"need one generator per cycle: got {len(cycle_rngs)} "
-                    f"for batch {batch}"
-                )
+        cycle_rngs = self._cycle_rngs(rng, batch)
 
         output = np.full(batch * n, IDLE, dtype=np.int64)
         blocked_stage = np.full(batch * n, IDLE, dtype=np.int64)
@@ -776,7 +877,9 @@ class BatchedEDN(VectorizedEDN):
             digit = (flat[sources] >> self._stage_shifts[stage - 1]) & (p.b - 1)
             local_key = switch * p.b + digit
             span = (width // p.a) * p.b
-            accept_mask, rank = self._resolve_sparse(cyc, local_key, span, cycle_rngs, rng)
+            accept_mask, rank = self._resolve_sparse(
+                cyc, local_key, span, cycle_rngs, rng, capacity=p.c
+            )
             blocked_stage[sources[~accept_mask]] = stage
             sources = sources[accept_mask]
             cyc = cyc[accept_mask]
@@ -797,71 +900,369 @@ class BatchedEDN(VectorizedEDN):
             output[sources[accept_mask]] = local_key[accept_mask]
         return output, blocked_stage
 
-    def _resolve_sparse(
-        self,
-        cyc: np.ndarray,
-        local_key: np.ndarray,
-        span: int,
-        cycle_rngs: Optional[Sequence[np.random.Generator]],
-        rng: BatchRng,
-        capacity: Optional[int] = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Batch-wide analogue of :meth:`VectorizedEDN._resolve` (random priority).
 
-        ``local_key`` identifies the ``(switch, bucket)`` group *within* a
-        cycle (values in ``[0, span)``); folding in ``cyc`` makes groups
-        globally distinct.  Returns ``(accept_mask, winner_ranks)`` with
-        the same conventions as the single-cycle resolver.
+class CompiledStageRouter(_DenseRankKernels):
+    """Any :class:`~repro.sim.stagegraph.StageGraph` on the batched kernels.
+
+    The unified fast path of the delta-family baselines: a topology is
+    handed over as *data* (a stage graph), compiled once into a cached
+    :class:`~repro.sim.plan.StagePlan` (link-permutation tables,
+    switch-base rows, narrow dtypes, per-thread workspaces), and routed
+    by the same dense packed-lane / batch-folded-sort kernels the EDN
+    engine uses.  ``delta``, ``omega``, and ``dilated`` specs all resolve
+    here under ``backend="auto"``; the per-cycle
+    :class:`~repro.sim.stagegraph.StageGraphReference` interpreter behind
+    the generic batch loop remains as the independent cross-check path.
+
+    Graphs with an input permutation (omega) are routed in wire space:
+    the demand matrix is permuted column-wise, routed, and the outcome
+    arrays gathered back — identical to composing the permutation by
+    hand, and bit-identical per message to the per-cycle interpreter.
+
+    >>> import numpy as np
+    >>> from repro.sim.stagegraph import delta_graph
+    >>> net = CompiledStageRouter(delta_graph(4, 4, 3))
+    >>> res = net.route_batch(np.tile(np.arange(64), (3, 1)))
+    >>> res.output.shape
+    (3, 64)
+    """
+
+    def __init__(self, graph, *, priority: str = "label", plan="auto"):
+        from repro.sim.plan import compile_stage_plan, stage_plan_for
+
+        if priority not in ("label", "random"):
+            raise ConfigurationError(f"unknown priority discipline {priority!r}")
+        self.graph = graph
+        self.priority = priority
+        if plan == "auto":
+            plan = stage_plan_for(graph, priority)
+        elif plan is None:
+            plan = compile_stage_plan(graph, priority)
+        self._plan = plan
+        self._scratch: dict = {}
+
+    @property
+    def n_inputs(self) -> int:
+        return self.graph.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.graph.n_outputs
+
+    def preferred_batch(self) -> int:
+        """Cycles per chunk keeping a stage's working set cache-resident."""
+        return self._plan.preferred_batch()
+
+    # ------------------------------------------------------------------
+    # Routing entry points
+    # ------------------------------------------------------------------
+
+    def route(self, dests: np.ndarray, rng: BatchRng = None):
+        """Route one cycle (``dests[s]`` = output terminal or ``-1``).
+
+        Semantics equal ``route_batch(dests[None])[0]`` by construction,
+        so the per-cycle and batched views of a compiled topology can
+        never drift apart; under random priority ``rng`` draws exactly
+        the per-cycle stream the reference interpreter would.
         """
-        if capacity is None:
-            capacity = self.params.c
-        count = local_key.size
-        if count == 0:
-            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
-        key = cyc * span + local_key
-        tie = self._random_tiebreak(cyc, count, rng, cycle_rngs)
-        max_combined = (int(cyc[-1]) + 1) * span * count
-        if max_combined < (1 << 62):
-            # (key, tie) pairs are unique, so an unstable argsort of the
-            # combined integer realizes the grouped priority order.
-            order = np.argsort(key * count + tie)
+        g = self.graph
+        dests = np.asarray(dests)
+        if dests.shape != (g.n_inputs,):
+            raise LabelError(
+                f"expected demand vector of shape ({g.n_inputs},), got {dests.shape}"
+            )
+        result = self.route_batch(
+            np.ascontiguousarray(dests, dtype=np.int64)[None, :], rng
+        )
+        return VectorCycleResult(
+            output=result.output[0], blocked_stage=result.blocked_stage[0]
+        )
+
+    def _shuffled(self, dests: np.ndarray) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Apply the graph's input permutation to a validated demand matrix."""
+        perm = self._plan.input_perm_table(np.int64)
+        if perm is None:
+            return dests, None
+        shuffled = np.full_like(dests, IDLE)
+        shuffled[:, perm] = dests
+        return shuffled, perm
+
+    def route_batch(
+        self, dests: np.ndarray, rng: BatchRng = None, *, workspace=None
+    ) -> BatchCycleResult:
+        """Route ``batch`` independent cycles (``dests[i, s]`` = output or ``-1``).
+
+        ``rng`` is only consumed under ``random`` priority; as with
+        :class:`BatchedEDN`, a sequence of per-cycle generators reproduces
+        the per-cycle engine's draws bit for bit regardless of chunking.
+        """
+        g = self.graph
+        dests, flat, live0 = validate_demand_matrix(dests, g.n_inputs, g.n_outputs)
+        batch, n = dests.shape
+        inner, perm = self._shuffled(dests)
+        if perm is not None:
+            flat = inner.reshape(-1)
+            live0 = flat != IDLE
+        if self.priority == "label":
+            ws = workspace if workspace is not None else self._plan.workspace()
+            output, blocked = self._route_batch_dense(flat, live0, batch, ws)
         else:
-            order = np.lexsort((tie, key))  # overflow fallback: astronomical sizes
-        sorted_key = key[order]
-        new_group = np.empty(count, dtype=bool)
-        new_group[0] = True
-        np.not_equal(sorted_key[1:], sorted_key[:-1], out=new_group[1:])
-        group_ids = np.cumsum(new_group) - 1
-        group_starts = np.flatnonzero(new_group)
-        rank_sorted = np.arange(count) - group_starts[group_ids]
-        accept_sorted = rank_sorted < capacity
+            output, blocked = self._route_batch_sparse(flat, live0, batch, rng)
+        output = output.reshape(batch, n)
+        blocked = blocked.reshape(batch, n)
+        if perm is not None:
+            output = output[:, perm]
+            blocked = blocked[:, perm]
+        return BatchCycleResult(output=output, blocked_stage=blocked)
 
-        accept_mask = np.zeros(count, dtype=bool)
-        accept_mask[order[accept_sorted]] = True
-        rank_by_pos = np.empty(count, dtype=np.int64)
-        rank_by_pos[order] = rank_sorted
-        return accept_mask, rank_by_pos[accept_mask]
+    def route_batch_counts(
+        self, dests: np.ndarray, rng: BatchRng = None, *, workspace=None
+    ) -> BatchAcceptanceCounts:
+        """Route a batch but return only acceptance *counts*, maximally fast.
 
-    @staticmethod
-    def _random_tiebreak(
-        cyc: np.ndarray,
-        count: int,
-        rng: BatchRng,
-        cycle_rngs: Optional[Sequence[np.random.Generator]],
-    ) -> np.ndarray:
-        """Random-priority sub-keys, batch-wide or per-cycle.
-
-        With per-cycle generators each cycle's contiguous slice of the
-        frontier receives ``rngs[i].permutation(slice_len)`` — the exact
-        draw (size, order, and position) the single-cycle engine makes, so
-        tie-break decisions match it bit for bit.
+        Routing decisions are identical to :meth:`route_batch`, message
+        for message; dropping source attribution keeps every stage dense
+        (one scatter per stage, losers parked on a trash slot, all
+        arithmetic in the plan's narrow wire dtype, zero chunk-sized
+        allocations).  The input permutation relabels sources but moves
+        no message between cycles or stages, so counts need no gather
+        back.  Falls back to :meth:`route_batch` under ``random``
+        priority, where contention is resolved by sort anyway.
         """
-        if cycle_rngs is None:
-            return rng.permutation(count)
-        tie = np.empty(count, dtype=np.int64)
-        boundaries = np.flatnonzero(np.diff(cyc)) + 1
-        starts = np.concatenate(([0], boundaries))
-        stops = np.concatenate((boundaries, [count]))
-        for start, stop in zip(starts, stops):
-            tie[start:stop] = cycle_rngs[cyc[start]].permutation(stop - start)
-        return tie
+        if self.priority != "label":
+            result = self.route_batch(dests, rng, workspace=workspace)
+            return BatchAcceptanceCounts(
+                offered_per_cycle=result.offered_per_cycle,
+                delivered_per_cycle=result.delivered_per_cycle,
+                blocked_by_stage=result.blocked_stage_histogram(),
+            )
+        g = self.graph
+        dests = _check_demand_shape(dests, g.n_inputs)
+        flat = dests.reshape(-1)
+        _check_destination_bounds(flat, g.n_outputs)
+        inner, _perm = self._shuffled(dests)
+        ws = workspace if workspace is not None else self._plan.workspace()
+        return self._route_counts(inner, ws)
+
+    # ------------------------------------------------------------------
+    # Dense per-message kernel (label priority)
+    # ------------------------------------------------------------------
+
+    def _route_batch_dense(
+        self, flat: np.ndarray, live0: np.ndarray, batch: int, ws
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-message batch routing with dense per-wire frontier arrays.
+
+        The graph-driven generalization of the EDN dense kernel: the
+        frontier after each stage is two ``(batch * width,)`` arrays —
+        destination and source id (``-1`` marking dead wires) — indexed
+        by ``cycle * width + wire``.  Winners take bucket wire ``rank``
+        (first-free), pass through the stage's compiled link-permutation
+        table, and scatter into the next column's arrays; survivors of
+        the final column deliver to ``bucket_wire >> out_shift``.
+        """
+        plan, g = self._plan, self.graph
+        n = g.n_inputs
+        total = batch * n
+        peak = batch * max(plan.stage_widths)
+        idx_dtype = np.int32 if peak < 2**31 and g.n_outputs < 2**31 else np.int64
+
+        output = np.full(total, IDLE, dtype=np.int64)
+        blocked_stage = np.full(total, IDLE, dtype=np.int64)
+        blocked_stage[live0] = 0  # provisional: delivered unless marked
+
+        dest = flat.astype(idx_dtype)
+        src = np.arange(total, dtype=idx_dtype)
+        src[~live0] = -1
+        last = g.num_stages - 1
+
+        for i, stage in enumerate(g.stages):
+            width = plan.stage_widths[i]
+            live = self._scratch_array("live", dest.size, bool, ws)
+            np.greater_equal(dest, 0, out=live)
+            rank_incl, accepted, lane_shift, digit = self._dense_rank(
+                dest, live, stage.fan_in, stage.digit_bits, stage.shift,
+                stage.capacity, ws,
+            )
+            np.logical_xor(live, accepted, out=live)  # live becomes the loser mask
+            blocked_stage[src[np.flatnonzero(live)]] = i + 1
+            accept_idx = np.flatnonzero(accepted)
+            if accept_idx.size == 0:
+                break
+            accept_idx = accept_idx.astype(idx_dtype)
+            rank = rank_incl[accept_idx].astype(idx_dtype) - 1
+            if digit is None:
+                digit_w = lane_shift[accept_idx] >> 3
+            else:
+                digit_w = digit[accept_idx]
+            switch = (accept_idx & (width - 1)) >> ilog2(stage.fan_in)
+            y = (
+                (switch << ilog2(stage.bucket_wires))
+                + (digit_w << ilog2(stage.capacity))
+                + rank
+            )
+            if i == last:
+                output[src[accept_idx]] = y >> g.out_shift
+                break
+            table = plan.perm_table(i, idx_dtype)
+            if table is not None:
+                y = table[y]
+            next_width = plan.stage_widths[i + 1]
+            next_idx = ((accept_idx >> ilog2(width)) << ilog2(next_width)) + y
+            next_dest = np.full(batch * next_width, IDLE, dtype=idx_dtype)
+            next_src = np.full(batch * next_width, -1, dtype=idx_dtype)
+            next_dest[next_idx] = dest[accept_idx]
+            next_src[next_idx] = src[accept_idx]
+            dest, src = next_dest, next_src
+        return output, blocked_stage
+
+    # ------------------------------------------------------------------
+    # Dense counts-only kernel (label priority)
+    # ------------------------------------------------------------------
+
+    def _route_counts(self, dests: np.ndarray, ws) -> BatchAcceptanceCounts:
+        """Counts kernel over the compiled stage list: narrow dtypes, no allocs.
+
+        The graph-driven generalization of the plan-specialized EDN
+        counts kernel, with the generic kernel's one-hot fallback for
+        stages whose switch shapes cannot pack.
+        """
+        plan, g = self._plan, self.graph
+        n = g.n_inputs
+        batch = dests.shape[0]
+        total = batch * n
+        flat = dests.reshape(-1)
+        live0 = ws.array("live0", total, bool)
+        np.not_equal(flat, IDLE, out=live0)
+        offered = np.count_nonzero(live0.reshape(batch, n), axis=1)
+
+        wire = plan.wire_dtype
+        dest = ws.array("dest0", total, wire)
+        np.copyto(dest, flat, casting="unsafe")
+        blocked: dict[int, int] = {}
+        alive = int(offered.sum())
+        delivered = np.zeros(batch, dtype=np.int64)
+        last = g.num_stages - 1
+
+        for i, stage in enumerate(g.stages):
+            if alive == 0:
+                break
+            width = plan.stage_widths[i]
+            size = batch * width
+            live = ws.array("live", size, bool)
+            np.greater_equal(dest, 0, out=live)
+            rank_incl, accepted, lane_shift, digit = self._dense_rank(
+                dest, live, stage.fan_in, stage.digit_bits, stage.shift,
+                stage.capacity, ws, rank_dtype=wire,
+            )
+            surviving = int(np.count_nonzero(accepted))
+            if surviving != alive:
+                blocked[i + 1] = alive - surviving
+            alive = surviving
+            if i == last:
+                delivered = np.count_nonzero(
+                    accepted.reshape(batch, width), axis=1
+                )
+                break
+            if alive == 0:
+                break
+            # Bucket wire for everyone (junk at dead/blocked wires):
+            # y = (switch * radix * capacity - 1) + digit * capacity + rank_incl.
+            y = ws.array("y", size, wire)
+            cshift = 3 - ilog2(stage.capacity)
+            if digit is None:
+                if cshift >= 0:
+                    np.right_shift(lane_shift, cshift, out=y, casting="unsafe")
+                else:
+                    np.left_shift(lane_shift, -cshift, out=y, casting="unsafe")
+            else:
+                np.left_shift(digit, ilog2(stage.capacity), out=y, casting="unsafe")
+            np.add(y, rank_incl, out=y, casting="unsafe")
+            y2 = y.reshape(batch, width)
+            np.add(y2, plan.stage_base(i, wire), out=y2)
+            next_width = plan.stage_widths[i + 1]
+            trash = batch * next_width
+            index = plan.index_dtype(trash + 1)
+            table = plan.perm_table(i, wire)
+            if table is not None:
+                # Junk entries may index anywhere in [-1, width + 255]:
+                # clip-mode gathering keeps them harmless until trashed.
+                src_w = ws.array("target_w", size, wire)
+                np.take(table, y, out=src_w, mode="clip")
+            else:
+                src_w = y
+            # Widen to global scatter indices (1 + cycle * width + wire) in
+            # the same pass that applies the per-cycle row offsets.  The
+            # +1 bias reserves flat index 0 as the trash slot, so parking
+            # losers and dead wires is a single streaming multiply by the
+            # acceptance mask.
+            target = ws.array("target", size, index)
+            np.add(
+                src_w.reshape(batch, width),
+                plan.row_offsets(batch, ilog2(next_width), index, bias=1),
+                out=target.reshape(batch, width),
+                casting="unsafe",
+            )
+            np.multiply(target, accepted, out=target, casting="unsafe")
+            name = "dest_even" if i % 2 else "dest_odd"
+            next_dest = ws.array(name, trash + 1, wire)
+            next_dest.fill(IDLE)
+            next_dest[target] = dest
+            dest = next_dest[1 : trash + 1]
+        return BatchAcceptanceCounts(
+            offered_per_cycle=offered,
+            delivered_per_cycle=delivered,
+            blocked_by_stage=dict(sorted(blocked.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # Sparse, sort-based path (random priority)
+    # ------------------------------------------------------------------
+
+    def _route_batch_sparse(
+        self, flat: np.ndarray, live0: np.ndarray, batch: int, rng: BatchRng
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve a whole batch by folding the cycle index into the sort key."""
+        plan, g = self._plan, self.graph
+        n = g.n_inputs
+        cycle_rngs = self._cycle_rngs(rng, batch)
+
+        output = np.full(batch * n, IDLE, dtype=np.int64)
+        blocked_stage = np.full(batch * n, IDLE, dtype=np.int64)
+        blocked_stage[live0] = 0
+
+        sources = np.flatnonzero(live0)
+        cyc = sources // n
+        wires = sources - cyc * n
+        last = g.num_stages - 1
+
+        for i, stage in enumerate(g.stages):
+            if sources.size == 0:
+                break
+            width = plan.stage_widths[i]
+            switch = wires >> ilog2(stage.fan_in)
+            digit = (flat[sources] >> stage.shift) & (stage.radix - 1)
+            local_key = switch * stage.radix + digit
+            span = (width // stage.fan_in) * stage.radix
+            accept_mask, rank = self._resolve_sparse(
+                cyc, local_key, span, cycle_rngs, rng, capacity=stage.capacity
+            )
+            blocked_stage[sources[~accept_mask]] = i + 1
+            sources = sources[accept_mask]
+            cyc = cyc[accept_mask]
+            y = (
+                switch[accept_mask] * stage.bucket_wires
+                + digit[accept_mask] * stage.capacity
+                + rank
+            )
+            if i == last:
+                output[sources] = y >> g.out_shift
+                break
+            table = plan.perm_table(i, np.int64)
+            wires = table[y] if table is not None else y
+        return output, blocked_stage
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledStageRouter({self.graph.label}, priority={self.priority!r})"
+        )

@@ -10,22 +10,29 @@ per grid cell, so that setup tax was paid thousands of times per figure.
 
 This module compiles all of it **once per topology**:
 
-* :class:`RoutingPlan` — everything about an ``EDN(a, b, c, l)`` under a
-  contention discipline that does not depend on the demand data: per-stage
-  digit shifts, stage widths, gamma lookup tables, switch-base rows,
-  cycle-row offsets, packed-lane feasibility, and the narrow dtypes the
-  kernels may safely compute in (``int16`` wire labels when every stage
-  width and the output space fit in 15 bits).  Plans are immutable after
-  compilation and safely shared by any number of engines.
+* :class:`StagePlan` — everything about a
+  :class:`~repro.sim.stagegraph.StageGraph` under a contention discipline
+  that does not depend on the demand data: stage widths, link-permutation
+  lookup tables, switch-base rows, cycle-row offsets, packed-lane
+  feasibility, and the narrow dtypes the kernels may safely compute in
+  (``int16`` wire labels when every stage width and the output space fit
+  in 15 bits).  Plans are immutable after compilation and safely shared
+  by any number of engines; every unidirectional multistage topology in
+  the repository (EDN, delta, omega, dilated delta) compiles to one.
+* :class:`RoutingPlan` — the ``EDN(a, b, c, l)`` specialization of
+  :class:`StagePlan`, keeping the EDN-specific views (``params``, digit
+  shifts, gamma tables by stage number) the dedicated EDN engines
+  consume.
 * :class:`ChunkWorkspace` — named scratch buffers grown monotonically and
   recycled across calls, so steady-state chunk routing performs no
   chunk-sized heap allocations.  Workspaces are mutable and therefore
-  **per-thread**: :meth:`RoutingPlan.workspace` hands each thread its own.
-* :func:`plan_for` — the keyed LRU plan cache.  Engines built from equal
-  ``(params, priority, retirement order)`` keys share one compiled plan,
-  so repeated ``build_router``/``measure`` calls skip all topology setup.
-  :func:`plan_cache_info` / :func:`clear_plan_cache` expose the cache to
-  tests and benchmarks.
+  **per-thread**: :meth:`StagePlan.workspace` hands each thread its own.
+* :func:`plan_for` / :func:`stage_plan_for` — the keyed LRU plan cache.
+  Engines built from equal ``(params, priority, retirement order)`` keys
+  (EDN) or equal ``(graph, priority)`` keys (stage graphs) share one
+  compiled plan, so repeated ``build_router``/``measure`` calls skip all
+  topology setup.  :func:`plan_cache_info` / :func:`clear_plan_cache`
+  expose the cache to tests and benchmarks.
 
 Plan keys deliberately cover *exactly* the inputs that determine array-
 engine routing.  Spec features the array engines do not implement (wire
@@ -38,7 +45,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -47,12 +54,18 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.labels import ilog2
 from repro.core.tags import RetirementOrder
 
+if TYPE_CHECKING:  # repro.sim.stagegraph imports gamma_permutation lazily
+    from repro.sim.stagegraph import StageGraph
+
 __all__ = [
     "ChunkWorkspace",
+    "StagePlan",
     "RoutingPlan",
     "gamma_permutation",
     "plan_for",
     "compile_plan",
+    "stage_plan_for",
+    "compile_stage_plan",
     "clear_plan_cache",
     "plan_cache_info",
     "PLAN_CACHE_MAXSIZE",
@@ -130,21 +143,24 @@ class ChunkWorkspace:
         return f"ChunkWorkspace({len(self._buffers)} buffers, {self.nbytes} bytes)"
 
 
-class RoutingPlan:
-    """Everything data-independent about routing one EDN, compiled once.
+class StagePlan:
+    """Everything data-independent about routing one stage graph, compiled once.
 
-    Instances are produced by :func:`plan_for` (cached) or
-    :func:`compile_plan` (always fresh) and treated as immutable: the
-    lazily-added dtype variants of the lookup tables are idempotent, so
-    concurrent readers are safe.  Mutable scratch lives in per-thread
+    Instances are produced by :func:`stage_plan_for` (cached) or
+    :func:`compile_stage_plan` (always fresh) and treated as immutable:
+    the lazily-added dtype variants of the lookup tables are idempotent,
+    so concurrent readers are safe.  Mutable scratch lives in per-thread
     :class:`ChunkWorkspace` instances obtained via :meth:`workspace`.
+
+    :class:`RoutingPlan` specializes this class for the dedicated EDN
+    engines; every other compiled topology (delta, omega, dilated delta)
+    consumes a plain ``StagePlan`` through
+    :class:`~repro.sim.batched.CompiledStageRouter`.
     """
 
     __slots__ = (
-        "params",
+        "graph",
         "priority",
-        "retirement",
-        "stage_shifts",
         "stage_widths",
         "wire_dtype",
         "all_packed",
@@ -152,49 +168,26 @@ class RoutingPlan:
         "_local",
     )
 
-    def __init__(
-        self,
-        params: EDNParams,
-        priority: str = "label",
-        retirement_order: Optional[RetirementOrder] = None,
-    ):
+    def __init__(self, graph: "StageGraph", priority: str = "label"):
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
-        if retirement_order is None:
-            retirement_order = RetirementOrder.canonical(params.l)
-        elif retirement_order.l != params.l:
-            raise ConfigurationError(
-                f"retirement order covers {retirement_order.l} digits, "
-                f"network has l={params.l}"
-            )
-        self.params = params
+        self.graph = graph
         self.priority = priority
-        self.retirement = tuple(
-            retirement_order.position_for_stage(i) for i in range(1, params.l + 1)
-        )
-        # Stage i consumes digit index retirement[i-1] (0 = most
-        # significant), at bit offset c_bits + (l - 1 - index) * b_bits.
-        self.stage_shifts = tuple(
-            params.capacity_bits + (params.l - 1 - position) * params.digit_bits
-            for position in self.retirement
-        )
-        #: wires entering stage i+1 (index 0 = network inputs, index l =
-        #: crossbar-stage wires).
-        self.stage_widths = tuple(
-            params.wires_after_stage(i) for i in range(params.l + 1)
-        )
-        # Narrowest dtype that can hold every within-cycle wire label and
-        # destination label at any stage (the "narrow-dtype scratch
-        # layout" the specialized kernels compute in).
-        peak = max(max(self.stage_widths), params.num_outputs)
+        #: wires entering each stage (index 0 = network inputs).
+        self.stage_widths = graph.stage_widths
+        # Narrowest dtype that can hold every within-cycle wire label,
+        # bucket-wire label, and destination label at any stage (the
+        # "narrow-dtype scratch layout" the specialized kernels compute in).
+        final_space = graph.n_outputs << graph.out_shift
+        peak = max(max(self.stage_widths), final_space, graph.n_outputs)
         if peak < 2**15:
             self.wire_dtype = np.dtype(np.int16)
         elif peak < 2**31:
             self.wire_dtype = np.dtype(np.int32)
         else:  # pragma: no cover - astronomical networks
             self.wire_dtype = np.dtype(np.int64)
-        self.all_packed = self._packed_ok(params.a, 1 << params.digit_bits) and (
-            self._packed_ok(params.c, 1 << params.capacity_bits)
+        self.all_packed = all(
+            self._packed_ok(stage.fan_in, stage.radix) for stage in graph.stages
         )
         self._tables: dict[tuple, np.ndarray] = {}
         self._local = threading.local()
@@ -213,36 +206,50 @@ class RoutingPlan:
     # cached plan.  Concurrent first accesses are a benign idempotent race
     # (both threads compute the same array; one dict write wins).
 
-    def gamma_table(self, stage: int, dtype) -> np.ndarray:
-        """Lookup table of the interstage gamma permutation after ``stage``.
+    def _perm(self, spec, dtype) -> np.ndarray:
+        """The lookup table of one permutation spec, per requested dtype."""
+        from repro.sim.stagegraph import materialize_permutation
 
-        One gather through this table replaces the ~8 elementwise ops of
-        the closed-form gamma per stage per chunk.
-        """
-        p = self.params
-        n_bits = ilog2(p.wires_after_stage(stage))
-        key = ("gamma", n_bits, np.dtype(dtype).char)
+        key = ("perm", spec, np.dtype(dtype).char)
         table = self._tables.get(key)
         if table is None:
-            labels = np.arange(1 << n_bits, dtype=np.int64)
-            table = gamma_permutation(
-                labels, n_bits, p.capacity_bits, p.fan_in_bits
-            ).astype(dtype)
+            table = materialize_permutation(spec).astype(dtype)
             self._tables[key] = table
         return table
 
-    def switch_base(self, width: int, dtype) -> np.ndarray:
-        """Per-wire ``switch * b * c - 1`` row for one stage width.
+    def perm_table(self, stage_index: int, dtype) -> Optional[np.ndarray]:
+        """Link-permutation table leaving stage ``stage_index`` (0-based).
+
+        ``None`` means identity wiring (the final stage, and any interior
+        boundary the topology wires straight through).  One gather through
+        this table replaces the ~8 elementwise ops of the closed-form
+        permutation per stage per chunk.
+        """
+        spec = self.graph.stages[stage_index].link_perm
+        if spec is None:
+            return None
+        return self._perm(spec, dtype)
+
+    def input_perm_table(self, dtype) -> Optional[np.ndarray]:
+        """Source -> first-column-wire table, or ``None`` for identity."""
+        spec = self.graph.input_perm
+        if spec is None:
+            return None
+        return self._perm(spec, dtype)
+
+    def stage_base(self, stage_index: int, dtype) -> np.ndarray:
+        """Per-wire ``switch * radix * capacity - 1`` row for one stage.
 
         The ``- 1`` pre-folds the conversion of inclusive in-bucket ranks
         to 0-based bucket-wire offsets.
         """
-        p = self.params
-        key = ("swbase", width, np.dtype(dtype).char)
+        stage = self.graph.stages[stage_index]
+        width = self.stage_widths[stage_index]
+        key = ("stbase", stage.fan_in, stage.bucket_wires, width, np.dtype(dtype).char)
         row = self._tables.get(key)
         if row is None:
-            switch = np.arange(width, dtype=dtype) >> ilog2(p.a)
-            row = (switch << ilog2(p.b * p.c)) - 1
+            switch = np.arange(width, dtype=dtype) >> ilog2(stage.fan_in)
+            row = (switch << ilog2(stage.bucket_wires)) - 1
             self._tables[key] = row
         return row
 
@@ -277,7 +284,7 @@ class RoutingPlan:
         so default-batch measurements reproduce the pre-plan chunking
         (and therefore its traffic streams) exactly.
         """
-        return max(16, min(64, (1 << 17) // self.params.num_inputs))
+        return max(16, min(64, (1 << 17) // self.graph.n_inputs))
 
     def workspace(self) -> ChunkWorkspace:
         """This thread's scratch workspace for engines sharing the plan."""
@@ -286,6 +293,83 @@ class RoutingPlan:
             ws = ChunkWorkspace()
             self._local.ws = ws
         return ws
+
+    @property
+    def key(self) -> tuple:
+        """The cache key this plan is stored under."""
+        return (self.graph, self.priority)
+
+    def __repr__(self) -> str:
+        return (
+            f"StagePlan({self.graph.label}, priority={self.priority!r}, "
+            f"wire_dtype={self.wire_dtype.name}, packed={self.all_packed})"
+        )
+
+
+class RoutingPlan(StagePlan):
+    """The ``EDN(a, b, c, l)`` specialization of :class:`StagePlan`.
+
+    Compiles the EDN's stage graph (``l`` hyperbar columns + the crossbar
+    column under a retirement order) and keeps the EDN-specific views the
+    dedicated engines consume: ``params``, per-stage digit ``shifts``,
+    and the historical ``gamma_table``/``switch_base`` accessors keyed
+    the way :class:`~repro.sim.batched.BatchedEDN` requests them.  Cache
+    keys remain ``(params, priority, retirement)``, so EDN plans and
+    generic stage plans coexist in one LRU without aliasing.
+    """
+
+    __slots__ = ("params", "retirement", "stage_shifts")
+
+    def __init__(
+        self,
+        params: EDNParams,
+        priority: str = "label",
+        retirement_order: Optional[RetirementOrder] = None,
+    ):
+        from repro.sim.stagegraph import edn_graph
+
+        if retirement_order is None:
+            retirement_order = RetirementOrder.canonical(params.l)
+        elif retirement_order.l != params.l:
+            raise ConfigurationError(
+                f"retirement order covers {retirement_order.l} digits, "
+                f"network has l={params.l}"
+            )
+        super().__init__(edn_graph(params, retirement_order), priority)
+        self.params = params
+        self.retirement = tuple(
+            retirement_order.position_for_stage(i) for i in range(1, params.l + 1)
+        )
+        # Stage i consumes digit index retirement[i-1] (0 = most
+        # significant), at bit offset c_bits + (l - 1 - index) * b_bits —
+        # exactly the compiled graph's hyperbar-column shifts.
+        self.stage_shifts = tuple(
+            stage.shift for stage in self.graph.stages[: params.l]
+        )
+
+    def gamma_table(self, stage: int, dtype) -> np.ndarray:
+        """Lookup table of the interstage gamma permutation after ``stage``.
+
+        One gather through this table replaces the ~8 elementwise ops of
+        the closed-form gamma per stage per chunk.  (Unlike
+        :meth:`perm_table`, this accessor compiles a table for *any*
+        hyperbar stage, including the identity boundary into the
+        crossbars — the historical EDN-engine contract.)
+        """
+        p = self.params
+        n_bits = ilog2(p.wires_after_stage(stage))
+        return self._perm(("gamma", n_bits, p.capacity_bits, p.fan_in_bits), dtype)
+
+    def switch_base(self, width: int, dtype) -> np.ndarray:
+        """Per-wire ``switch * b * c - 1`` row for one hyperbar-stage width."""
+        p = self.params
+        key = ("swbase", width, np.dtype(dtype).char)
+        row = self._tables.get(key)
+        if row is None:
+            switch = np.arange(width, dtype=dtype) >> ilog2(p.a)
+            row = (switch << ilog2(p.b * p.c)) - 1
+            self._tables[key] = row
+        return row
 
     @property
     def key(self) -> tuple:
@@ -303,7 +387,7 @@ class RoutingPlan:
 # The keyed LRU plan cache
 # ----------------------------------------------------------------------
 
-_cache: "OrderedDict[tuple, RoutingPlan]" = OrderedDict()
+_cache: "OrderedDict[tuple, StagePlan]" = OrderedDict()
 _cache_lock = threading.Lock()
 _hits = 0
 _misses = 0
@@ -316,6 +400,46 @@ def compile_plan(
 ) -> RoutingPlan:
     """Compile a fresh plan, bypassing the cache (tests, benchmarks)."""
     return RoutingPlan(params, priority, retirement_order)
+
+
+def compile_stage_plan(graph: "StageGraph", priority: str = "label") -> StagePlan:
+    """Compile a fresh stage plan, bypassing the cache (tests, benchmarks)."""
+    return StagePlan(graph, priority)
+
+
+def _cached(key: tuple, compile_fn) -> StagePlan:
+    """Shared LRU lookup for EDN and stage-graph plan keys."""
+    global _hits, _misses
+    with _cache_lock:
+        plan = _cache.get(key)
+        if plan is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return plan
+        _misses += 1
+    # Compile outside the lock (compilation touches only local state);
+    # a concurrent duplicate compile is wasted work, not a hazard.
+    plan = compile_fn()
+    with _cache_lock:
+        existing = _cache.get(key)
+        if existing is not None:
+            return existing
+        _cache[key] = plan
+        while len(_cache) > PLAN_CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    return plan
+
+
+def stage_plan_for(graph: "StageGraph", priority: str = "label") -> StagePlan:
+    """The shared compiled plan for one stage graph, LRU-cached.
+
+    Two routers whose ``(graph, priority)`` agree get the *same* plan
+    object; graphs hash over every semantic field (stages, permutations,
+    output layout), so anything that changes routing semantics changes
+    the key and therefore misses.  Thread-safe; shares the cache (and
+    :func:`plan_cache_info` counters) with the EDN :func:`plan_for`.
+    """
+    return _cached((graph, priority), lambda: StagePlan(graph, priority))
 
 
 def plan_for(
@@ -339,25 +463,7 @@ def plan_for(
         priority,
         tuple(order.position_for_stage(i) for i in range(1, params.l + 1)),
     )
-    global _hits, _misses
-    with _cache_lock:
-        plan = _cache.get(key)
-        if plan is not None:
-            _cache.move_to_end(key)
-            _hits += 1
-            return plan
-        _misses += 1
-    # Compile outside the lock (compilation touches only local state);
-    # a concurrent duplicate compile is wasted work, not a hazard.
-    plan = RoutingPlan(params, priority, order)
-    with _cache_lock:
-        existing = _cache.get(key)
-        if existing is not None:
-            return existing
-        _cache[key] = plan
-        while len(_cache) > PLAN_CACHE_MAXSIZE:
-            _cache.popitem(last=False)
-    return plan
+    return _cached(key, lambda: RoutingPlan(params, priority, order))
 
 
 def clear_plan_cache() -> None:

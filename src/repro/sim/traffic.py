@@ -1,12 +1,24 @@
 """Backwards-compatible alias of :mod:`repro.workloads.models`.
 
-The traffic models grew into the pluggable :mod:`repro.workloads`
-subsystem (registry, ``name[:args]`` spec parsing, CLI ``--traffic``);
-this module remains so existing ``repro.sim.traffic`` imports keep
-working.  New code should import from :mod:`repro.workloads`.
+.. deprecated::
+    The traffic models grew into the pluggable :mod:`repro.workloads`
+    subsystem (registry, ``name[:args]`` spec parsing, CLI ``--traffic``);
+    this module remains so existing ``repro.sim.traffic`` imports keep
+    working, but emits a :class:`DeprecationWarning` on import (once per
+    process — Python caches the module).  Import from
+    :mod:`repro.workloads` instead.
 """
 
-from repro.workloads.models import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.sim.traffic is deprecated; import the traffic models from "
+    "repro.workloads instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.workloads.models import (  # noqa: E402,F401
     IDLE,
     STRUCTURED_PATTERNS,
     BurstyTraffic,

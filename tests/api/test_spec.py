@@ -40,6 +40,7 @@ class TestNetworkSpecConstruction:
             "edn": NetworkSpec.edn(16, 4, 4, 2),
             "delta": NetworkSpec.delta(8, 8, 2),
             "omega": NetworkSpec.omega(8),
+            "dilated": NetworkSpec.dilated(4, 4, 2, 2),
             "crossbar": NetworkSpec.crossbar(8),
             "clos": NetworkSpec.clos(2, 4),
             "benes": NetworkSpec.benes(8),

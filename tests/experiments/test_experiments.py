@@ -148,12 +148,17 @@ class TestCosts:
             assert row[-1] == pytest.approx(4.0)   # d = c = 4
 
     def test_cost_performance_positioning(self):
-        result = costs.run_cost_performance()
+        from repro.api import RunConfig
+
+        result = costs.run_cost_performance(config=RunConfig(cycles=20, seed=0))
         rows = result.tables["1024-terminal networks, PA(1)"][1]
-        crossbar, edn, delta = rows
+        crossbar, edn, delta, dilated = rows
         assert edn[1] < crossbar[1] / 5         # EDN far cheaper than crossbar
         assert edn[2] > delta[2]                # EDN outperforms delta
         assert crossbar[2] > edn[2]             # crossbar still the bound
+        assert dilated[2] > delta[2]            # multipath beats unique-path
+        for row in rows:                        # measured PA tracks analytic
+            assert abs(row[3] - row[2]) < 0.08
 
 
 class TestHotspot:

@@ -16,7 +16,7 @@ from repro.core.paths import count_paths, enumerate_paths
 from repro.core.tags import DestinationTag, RetirementOrder
 from repro.core.topology import EDNTopology
 from repro.sim.montecarlo import measure_acceptance
-from repro.sim.traffic import PermutationTraffic
+from repro.workloads import PermutationTraffic
 from repro.sim.vectorized import VectorizedEDN
 from repro.simd.analytic import expected_permutation_time
 from repro.simd.maspar import maspar_mp1

@@ -10,7 +10,7 @@ from repro.core.config import EDNParams
 from repro.core.network import EDNetwork
 from repro.sim.batched import BatchedEDN
 from repro.sim.montecarlo import ReferenceRouterAdapter, measure_acceptance
-from repro.sim.traffic import PermutationTraffic, UniformTraffic
+from repro.workloads import PermutationTraffic, UniformTraffic
 from repro.sim.vectorized import VectorizedEDN
 
 

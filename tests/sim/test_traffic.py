@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.exceptions import ConfigurationError
-from repro.sim.traffic import (
+from repro.workloads import (
     STRUCTURED_PATTERNS,
     FixedPattern,
     HotspotTraffic,

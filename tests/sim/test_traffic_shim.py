@@ -1,0 +1,42 @@
+"""The deprecated ``repro.sim.traffic`` compat shim warns, once."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+
+def _fresh_import():
+    """(Re)execute the shim module, collecting the warnings it emits."""
+    sys.modules.pop("repro.sim.traffic", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.sim.traffic")
+    return module, [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+class TestDeprecationWarning:
+    def test_import_warns_exactly_once(self):
+        module, deprecations = _fresh_import()
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "repro.sim.traffic is deprecated" in message
+        assert "repro.workloads" in message  # the warning names the successor
+        # The module is now cached: importing again re-executes nothing,
+        # so the warning cannot fire a second time in this process.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            again = importlib.import_module("repro.sim.traffic")
+        assert again is module
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_shim_still_reexports_the_models(self):
+        module, _ = _fresh_import()
+        models = importlib.import_module("repro.workloads.models")
+        for name in module.__all__:
+            assert getattr(module, name) is getattr(models, name)
