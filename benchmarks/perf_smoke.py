@@ -14,6 +14,7 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/perf_smoke.py --workload-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --plan-cache
     PYTHONPATH=src python benchmarks/perf_smoke.py --baseline-matrix
+    PYTHONPATH=src python benchmarks/perf_smoke.py --fault-matrix
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -26,6 +27,12 @@ per cycle so backends stay comparable).  ``--workload-matrix`` sweeps the
 batched backend and records per-cell wall-clock and acceptance into
 ``BENCH_workload_matrix.json``, asserting every built-in workload keeps
 the fast path (vectorized ``generate_batch``, natively batched router).
+``--fault-matrix`` draws a seeded wire-fault pattern on every family's
+stage graph and times faulted Monte-Carlo through the compiled masked
+plans against the per-cycle loop reference (bit-identical counts
+asserted per cell) and, on EDN, the per-message grant-semantics
+reference (>=10x per-cycle floor at N=4096), recording
+``BENCH_fault_matrix.json``.
 """
 
 from __future__ import annotations
@@ -67,6 +74,20 @@ BASELINE_SIZES = (1_024, 4_096)
 BASELINE_CYCLES = 100
 #: Compiled-vs-loop speedup floor asserted at N = 4096 (merge criterion).
 BASELINE_SPEEDUP_FLOOR = 3.0
+
+FAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fault_matrix.json"
+#: All four stage-graph families route faulted fabrics on the compiled
+#: kernels; EDN(16,4,4,l) reaches 1K/4K inputs at l = 4/5.
+FAULT_TOPOLOGIES = ("edn:16,4,4,{l}", "delta:{n},4", "omega:{n}", "dilated:{n},4,2")
+FAULT_SIZES = {1_024: 4, 4_096: 5}
+FAULT_RATE = 0.01
+FAULT_SEED = 7
+FAULT_CYCLES = 100
+#: Cycle budget of the per-message reference engine (Python, per message).
+FAULT_REFERENCE_CYCLES = 2
+#: Faulted Monte-Carlo speedup floor vs the per-message fault reference,
+#: asserted at N = 4096 (merge criterion of the fault-lowering PR).
+FAULT_SPEEDUP_FLOOR = 10.0
 
 PLAN_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
 #: Fixed-budget cycles per repeated call in the plan-cache comparison —
@@ -352,6 +373,147 @@ def run_baseline_matrix(output: Path = BASELINE_OUTPUT) -> tuple[dict, list[str]
     return report, failures
 
 
+def run_fault_matrix(output: Path = FAULT_OUTPUT) -> tuple[dict, list[str]]:
+    """Faulted Monte-Carlo: compiled masked plans vs the references; write JSON.
+
+    Every family in :data:`FAULT_TOPOLOGIES` at :data:`FAULT_SIZES`
+    terminals gets a seeded ~:data:`FAULT_RATE` wire-fault pattern drawn
+    on its stage graph, then times ``measure_acceptance`` through the
+    ``batched`` backend (fault masks lowered into the compiled
+    :class:`~repro.sim.plan.StagePlan`) and the ``vectorized`` backend
+    (:class:`~repro.sim.stagegraph.StageGraphReference`, the per-cycle
+    loop path) under identical ``(seed, cycles)``; acceptance counts must
+    be *bit-identical* per cell.  EDN cells additionally route the same
+    faulted fabric through the ``reference`` backend — the per-message
+    :class:`~repro.core.faults.FaultyEDNetwork` grant semantics, under a
+    reduced cycle budget — asserting bit-identical counts at matched
+    cycles and a per-cycle speedup of at least
+    :data:`FAULT_SPEEDUP_FLOOR` x at ``N = 4096`` (the merge criterion
+    of the fault-lowering PR).
+
+    Returns ``(report, failures)``.
+    """
+    from dataclasses import replace
+
+    from repro.core.faults import random_graph_faults
+    from repro.sim.rng import make_rng
+
+    results = []
+    failures: list[str] = []
+    for n_inputs, edn_stages in FAULT_SIZES.items():
+        for template in FAULT_TOPOLOGIES:
+            text = template.format(n=n_inputs, l=edn_stages)
+            pristine = NetworkSpec.parse(text)
+            assert pristine.n_inputs == n_inputs
+            faults = random_graph_faults(
+                pristine.stage_graph(), FAULT_RATE, make_rng(FAULT_SEED)
+            ).canonical()
+            spec = replace(pristine, faults=faults)
+            traffic = UniformTraffic(spec.n_inputs, spec.n_outputs, 1.0)
+            compiled = build_router(spec, "batched")
+            loop = build_router(spec, "vectorized")
+            compiled_s, compiled_m = _best_of(
+                REPEATS,
+                lambda: measure_acceptance(
+                    compiled, traffic, cycles=FAULT_CYCLES, seed=SEED
+                ),
+            )
+            loop_s, loop_m = _best_of(
+                REPEATS,
+                lambda: measure_acceptance(
+                    loop, traffic, cycles=FAULT_CYCLES, seed=SEED
+                ),
+            )
+            identical = (
+                compiled_m.offered == loop_m.offered
+                and compiled_m.delivered == loop_m.delivered
+                and compiled_m.blocked_by_stage == loop_m.blocked_by_stage
+            )
+            if not identical:
+                failures.append(f"{text}: compiled and loop counts diverge")
+            entry = {
+                "topology": spec.label,
+                "n_inputs": n_inputs,
+                "n_faults": len(faults),
+                "cycles": FAULT_CYCLES,
+                "compiled_seconds": round(compiled_s, 4),
+                "loop_seconds": round(loop_s, 4),
+                "speedup_vs_loop": round(loop_s / compiled_s, 2),
+                "pa": round(compiled_m.point, 6),
+                "counts_bit_identical": identical,
+            }
+            line = (
+                f"N={n_inputs:>6} {spec.label:<16} ({len(faults):>3} faults): "
+                f"compiled {compiled_s:.3f}s  loop {loop_s:.3f}s  "
+                f"{entry['speedup_vs_loop']:.1f}x vs loop"
+            )
+            if spec.kind == "edn":
+                # The per-message grant-semantics reference exists for
+                # EDN only; time it per cycle under a budget it can pay.
+                reference = build_router(spec, "reference")
+                reference_s, reference_m = _best_of(
+                    REPEATS,
+                    lambda: measure_acceptance(
+                        reference, traffic, cycles=FAULT_REFERENCE_CYCLES, seed=SEED
+                    ),
+                )
+                matched = measure_acceptance(
+                    compiled, traffic, cycles=FAULT_REFERENCE_CYCLES, seed=SEED
+                )
+                reference_identical = (
+                    matched.offered == reference_m.offered
+                    and matched.delivered == reference_m.delivered
+                    and matched.blocked_by_stage == reference_m.blocked_by_stage
+                )
+                if not reference_identical:
+                    failures.append(
+                        f"{text}: compiled and per-message reference counts diverge"
+                    )
+                speedup = (reference_s / FAULT_REFERENCE_CYCLES) / (
+                    compiled_s / FAULT_CYCLES
+                )
+                entry.update(
+                    {
+                        "reference_cycles": FAULT_REFERENCE_CYCLES,
+                        "reference_seconds": round(reference_s, 4),
+                        "speedup_vs_reference": round(speedup, 1),
+                        "reference_counts_bit_identical": reference_identical,
+                    }
+                )
+                line += f"  {speedup:.0f}x vs per-message reference"
+                if n_inputs == 4_096 and speedup < FAULT_SPEEDUP_FLOOR:
+                    failures.append(
+                        f"{text}: faulted speedup {speedup:.1f}x below the "
+                        f"{FAULT_SPEEDUP_FLOOR:.0f}x floor"
+                    )
+            results.append(entry)
+            print(line)
+    report = {
+        "benchmark": "fault_matrix",
+        "workload": (
+            f"measure_acceptance, uniform traffic r=1.0, seed {SEED}, "
+            f"~{FAULT_RATE:g} wire faults drawn at seed {FAULT_SEED} per topology"
+        ),
+        "engines": {
+            "compiled": "CompiledStageRouter via backend=batched (fault masks lowered into the plan)",
+            "loop": "StageGraphReference via backend=vectorized (per-cycle loop path)",
+            "reference": "FaultyEDNetwork via backend=reference (per-message grant semantics, EDN only)",
+        },
+        "floor": {
+            "speedup_vs_reference_at_4096": FAULT_SPEEDUP_FLOOR,
+            "counts": "bit-identical per cell (loop always, reference on EDN)",
+        },
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report, failures
+
+
 def run_plan_cache(output: Path = PLAN_OUTPUT) -> tuple[dict, list[str]]:
     """Measure what plan compilation + adaptive stopping buy; write JSON.
 
@@ -601,6 +763,13 @@ def main(argv: list[str] | None = None) -> int:
         help="time the compiled delta/omega/dilated baselines against the "
              "per-cycle loop path (>=3x floor at N=4096, bit-identical counts)",
     )
+    parser.add_argument(
+        "--fault-matrix",
+        action="store_true",
+        help="time faulted Monte-Carlo on all four families: compiled masked "
+             "plans vs the loop and per-message references (>=10x floor at "
+             "N=4096, bit-identical counts)",
+    )
     args = parser.parse_args(argv)
     if args.backend_matrix:
         run_backend_matrix()
@@ -610,6 +779,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.baseline_matrix:
         _report, failures = run_baseline_matrix()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    if args.fault_matrix:
+        _report, failures = run_fault_matrix()
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0

@@ -23,7 +23,8 @@ name           engine                                   kinds
                :class:`StageGraphReference`
                interpreter)
 ``reference``  the per-message reference engine         edn
-               (also the only fault-capable backend)
+               (non-default wire policies; faulted
+               EDNs via :class:`FaultyEDNetwork`)
 ``matching``   Clos matching decomposition              clos
 ``looping``    Beneš looping algorithm                  benes
 =============  =======================================  =================
@@ -152,6 +153,18 @@ def resolve_backend(spec: NetworkSpec, backend: str = "auto") -> Backend:
             f"unknown backend {backend!r}; registered: {sorted(BACKENDS)}"
         ) from None
     if not entry.supports(spec):
+        if spec.faults:
+            from dataclasses import replace
+
+            if entry.supports(replace(spec, faults=())):
+                # The backend handles the topology but not its faults:
+                # say so, and name the fault-capable alternatives.
+                capable = available_backends(spec)
+                raise ConfigurationError(
+                    f"backend {backend!r} does not support fault injection "
+                    f"on {spec} ({len(spec.faults)} wire fault(s)); "
+                    f"fault-capable backends for this spec: {capable}"
+                )
         raise ConfigurationError(
             f"backend {backend!r} does not support {spec} "
             f"(available: {available_backends(spec)})"
@@ -181,7 +194,9 @@ def _no_faults(spec: NetworkSpec) -> bool:
 
 def _array_engine_ok(spec: NetworkSpec) -> bool:
     # Array engines fix first-free wire assignment (acceptance-equivalent).
-    return not spec.faults and spec.wire_policy == "first_free"
+    # Faults are fine: spec validation restricts them to the stage-graph
+    # kinds, where they lower into the compiled plan's dead masks.
+    return spec.wire_policy == "first_free"
 
 
 def _label_only(spec: NetworkSpec) -> bool:
@@ -200,13 +215,18 @@ def _build_batched(spec: NetworkSpec) -> Router:
     from repro.baselines.crossbar_network import CrossbarNetwork
     from repro.sim.batched import BatchedEDN, CompiledStageRouter
 
-    if spec.kind == "edn":
+    if spec.kind == "edn" and not spec.faults:
         return BatchedEDN(spec.edn_params, priority=spec.priority)
     if spec.kind == "crossbar":
         return CrossbarNetwork(*spec.shape, priority=spec.priority)
     # Every delta-family baseline compiles to the same plan-cached
-    # stage-graph kernels; the spec carries the topology as data.
-    return CompiledStageRouter(spec.stage_graph(), priority=spec.priority)
+    # stage-graph kernels; the spec carries the topology as data.  A
+    # faulted EDN also routes here: the graph kernels are where the
+    # fault masks are lowered, and the EDN-specialized engine stays
+    # fault-free.
+    return CompiledStageRouter(
+        spec.stage_graph(), priority=spec.priority, faults=spec.faults
+    )
 
 
 @register_backend(
@@ -221,15 +241,19 @@ def _build_vectorized(spec: NetworkSpec) -> Router:
     from repro.sim.stagegraph import StageGraphReference
     from repro.sim.vectorized import VectorizedEDN
 
-    if spec.kind == "edn":
+    if spec.kind == "edn" and not spec.faults:
         return PerCycleRouter(VectorizedEDN(spec.edn_params, priority=spec.priority))
     if spec.kind == "crossbar":
         return PerCycleRouter(CrossbarNetwork(*spec.shape, priority=spec.priority))
     # The sort-based per-cycle interpreter behind the generic batch loop:
     # deliberately independent of the compiled kernels, so cross-backend
-    # equivalence tests exercise two implementations of the semantics.
+    # equivalence tests exercise two implementations of the semantics —
+    # including the fault masks, which this path builds from per-bucket
+    # live lists rather than the plan's argsort lowering.
     return PerCycleRouter(
-        StageGraphReference(spec.stage_graph(), priority=spec.priority)
+        StageGraphReference(
+            spec.stage_graph(), priority=spec.priority, faults=spec.faults
+        )
     )
 
 

@@ -81,8 +81,13 @@ class NetworkSpec:
         (``first_free``/``random``); array engines fix ``first_free``
         (the policies are acceptance-equivalent).
     faults:
-        Dead output wires (``edn`` only).  A non-empty fault set selects
-        the fault-capable reference backend under ``backend="auto"``.
+        Dead output wires, available on every stage-graph kind (``edn``,
+        ``delta``, ``omega``, ``dilated``).  Lowered into the compiled
+        routing plan as per-stage dead masks (see
+        :class:`~repro.sim.plan.StagePlan`), so faulted specs route on
+        the batched kernels; coordinates are
+        ``(stage, switch, local_wire)`` per
+        :class:`~repro.core.faults.WireFault`.
 
     >>> NetworkSpec.edn(16, 4, 4, 2).n_inputs
     64
@@ -112,9 +117,12 @@ class NetworkSpec:
             raise ConfigurationError(f"unknown priority discipline {self.priority!r}")
         if self.wire_policy not in ("first_free", "random"):
             raise ConfigurationError(f"unknown wire policy {self.wire_policy!r}")
-        object.__setattr__(self, "faults", tuple(sorted(self.faults)))
-        if self.faults and self.kind != "edn":
-            raise ConfigurationError(f"wire faults only apply to EDNs, not {self.kind}")
+        object.__setattr__(self, "faults", tuple(sorted(set(self.faults))))
+        if self.faults and self.kind not in ("edn", "delta", "omega", "dilated"):
+            raise ConfigurationError(
+                f"wire faults apply to stage-graph kinds "
+                f"(edn, delta, omega, dilated), not {self.kind}"
+            )
         self._validate_shape()
 
     def _validate_shape(self) -> None:
@@ -126,7 +134,7 @@ class NetworkSpec:
         # so its power-of-two rule is restated here.
         if self.kind in ("edn", "delta"):
             params = self.edn_params  # EDNParams performs full validation
-            if self.faults:
+            if self.faults and self.kind == "edn":
                 from repro.core.faults import FaultSet
 
                 FaultSet(self.faults).validate(params)
@@ -156,6 +164,12 @@ class NetworkSpec:
             n, r = self.shape[0], self.shape[1]
             m = self.shape[2] if len(self.shape) == 3 else None
             ClosNetwork(n, r, m)
+        if self.faults and self.kind != "edn":
+            # EDN faults were validated in parameter space above; the
+            # other stage-graph kinds validate against the graph itself.
+            from repro.core.faults import FaultSet
+
+            FaultSet(self.faults).validate_graph(self.stage_graph())
 
     # ------------------------------------------------------------------
     # Constructors
@@ -345,6 +359,15 @@ class RunConfig:
         canonicalized against the :mod:`repro.workloads` registry, sized
         to the network at measurement time.  Unset means the consumer's
         default workload (uniform for :func:`repro.api.measure`).
+    retry:
+        Closed-loop retry policy
+        (:class:`~repro.sim.closedloop.RetryPolicy` or its
+        ``"ATTEMPTS[:BACKOFF[:FACTOR]]"`` spec string): blocked messages
+        retry until delivered, with bounded attempts and exponential
+        backoff, and the measurement reports per-message attempt and
+        latency statistics — see
+        :func:`repro.sim.montecarlo.measure_acceptance`.  Unset means
+        open-loop sources (every cycle draws fresh traffic).
 
     >>> RunConfig(traffic="bit_reversal").traffic  # aliases canonicalize
     'bitrev'
@@ -358,12 +381,25 @@ class RunConfig:
     confidence: Optional[float] = None
     rel_err: Optional[float] = None
     traffic: Optional[str] = None
+    retry: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.rel_err is not None and not 0 < self.rel_err < 1:
             raise ConfigurationError(
                 f"rel_err must lie in (0, 1), got {self.rel_err}"
             )
+        if self.retry is not None:
+            # Accept a RetryPolicy or its spec string; store the policy
+            # object (frozen, hashable) so equal configs hash equal.
+            from repro.sim.closedloop import RetryPolicy
+
+            if isinstance(self.retry, str):
+                object.__setattr__(self, "retry", RetryPolicy.parse(self.retry))
+            elif not isinstance(self.retry, RetryPolicy):
+                raise ConfigurationError(
+                    f"retry must be a RetryPolicy or spec string, "
+                    f"got {self.retry!r}"
+                )
         if self.traffic is not None:
             # Validate eagerly (typos surface at construction, like
             # NetworkSpec shapes) and store the canonical spec string so

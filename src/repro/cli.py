@@ -8,9 +8,11 @@ code:
   Monte-Carlo check;
 * ``route -t KIND:SHAPE ...`` — measure any topology through the
   :mod:`repro.api` facade; repeat ``-t`` for one-line EDN-vs-delta-vs-
-  crossbar-vs-Clos comparisons, ``--backend`` to pin an engine, and
-  repeat ``--traffic`` for per-workload comparisons
-  (``--traffic hotspot:0.1 --traffic bitrev``);
+  crossbar-vs-Clos comparisons, ``--backend`` to pin an engine, repeat
+  ``--traffic`` for per-workload comparisons
+  (``--traffic hotspot:0.1 --traffic bitrev``), ``--faults``/
+  ``--fault-rate`` to kill wires (routed on the compiled fault-masked
+  kernels), and ``--retry`` for closed-loop retrying sources;
 * ``workloads`` — list the registered traffic models and their spec
   syntax, or validate one spec (``repro workloads hotspot:0.2``);
 * ``experiment ID ...`` — regenerate paper figures (see ``experiment
@@ -111,6 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
              "each measurement once its CI half-width falls to FRAC of the "
              "acceptance estimate (e.g. 0.01)",
     )
+    route.add_argument(
+        "--faults", action="append", default=None, metavar="S:W:P[,S:W:P...]",
+        help="inject dead wires (repeatable): STAGE:SWITCH:WIRE triples, "
+             "comma-separated — e.g. --faults 1:0:3,2:5:0; stage-graph "
+             "kinds only (edn/delta/omega/dilated), routed on the compiled "
+             "fault-masked kernels",
+    )
+    route.add_argument(
+        "--fault-rate", default=None, metavar="P[@SEED]",
+        help="additionally kill each interior wire with probability P, "
+             "drawn reproducibly from SEED (default 0) — e.g. "
+             "--fault-rate 0.02@7",
+    )
+    route.add_argument(
+        "--retry", default=None, metavar="N[:BACKOFF[:FACTOR]]",
+        help="closed-loop sources: blocked messages retry until delivered, "
+             "up to N attempts, with optional exponential backoff — e.g. "
+             "--retry 8:1:2; adds per-message attempt/latency columns",
+    )
 
     workloads = sub.add_parser(
         "workloads",
@@ -209,7 +230,10 @@ def _cmd_pa(args: argparse.Namespace) -> int:
     print(f"{params}: PA({args.rate:g}) = {acceptance_probability(params, args.rate):.6f}  "
           f"PAp({args.rate:g}) = {permutation_acceptance(params, args.rate):.6f}")
     if args.simulate:
-        from repro.api import NetworkSpec, RunConfig, measure
+        # import from the leaf: the package attribute named ``measure`` is
+        # the submodule once anything has imported it, not the function
+        from repro.api import NetworkSpec, RunConfig
+        from repro.api.measure import measure
 
         measurement = measure(
             NetworkSpec.edn(args.a, args.b, args.c, args.l),
@@ -223,18 +247,31 @@ def _cmd_pa(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.api import NetworkSpec, RunConfig, resolve_backend
     from repro.core.exceptions import EDNError
+    from repro.core.faults import parse_fault_list, parse_fault_rate, random_graph_faults
     from repro.sim.montecarlo import measure_acceptance
+    from repro.sim.rng import make_rng
     from repro.workloads import parse_workload
 
-    config = RunConfig(
-        cycles=args.cycles,
-        seed=args.seed,
-        batch=args.batch,
-        backend=args.backend,
-        rel_err=args.rel_err,
-    )
+    try:
+        config = RunConfig(
+            cycles=args.cycles,
+            seed=args.seed,
+            batch=args.batch,
+            backend=args.backend,
+            rel_err=args.rel_err,
+            retry=args.retry,
+        )
+        explicit_faults = tuple(
+            fault for text in (args.faults or ()) for fault in parse_fault_list(text)
+        )
+        fault_rate = parse_fault_rate(args.fault_rate) if args.fault_rate else None
+    except EDNError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.traffic:
         traffics = args.traffic
     else:
@@ -243,6 +280,16 @@ def _cmd_route(args: argparse.Namespace) -> int:
     for text in args.topology:
         try:
             spec = NetworkSpec.parse(text, priority=args.priority)
+            if explicit_faults or fault_rate is not None:
+                faults = explicit_faults
+                if fault_rate is not None:
+                    # Each topology gets its own reproducible draw in its
+                    # own wire space; the spec validates the union.
+                    rate, fault_seed = fault_rate
+                    faults += random_graph_faults(
+                        spec.stage_graph(), rate, make_rng(fault_seed)
+                    ).canonical()
+                spec = replace(spec, faults=faults)
             # Resolve once, build once: the displayed backend is the
             # measured one by construction, and one router serves every
             # workload row (identical seeds -> comparable columns).
@@ -253,17 +300,24 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 traffic = workload.build(router.n_inputs, router.n_outputs)
                 measurement = measure_acceptance(router, traffic, config=config)
                 interval = measurement.acceptance
-                rows.append(
-                    [
-                        spec.label,
-                        workload.label,
-                        spec.n_inputs,
-                        backend.name,
-                        f"{interval.point:.6f}",
-                        f"[{interval.low:.4f}, {interval.high:.4f}]",
-                        measurement.cycles,
+                row = [
+                    spec.label,
+                    workload.label,
+                    spec.n_inputs,
+                    backend.name,
+                    f"{interval.point:.6f}",
+                    f"[{interval.low:.4f}, {interval.high:.4f}]",
+                    measurement.cycles,
+                ]
+                if explicit_faults or fault_rate is not None:
+                    row.insert(4, len(spec.faults))
+                if config.retry is not None:
+                    row += [
+                        f"{measurement.attempts.point:.3f}",
+                        f"{measurement.latency.point:.3f}",
+                        measurement.abandoned,
                     ]
-                )
+                rows.append(row)
         except EDNError as exc:
             print(f"error: {text}: {exc}", file=sys.stderr)
             return 2
@@ -272,13 +326,14 @@ def _cmd_route(args: argparse.Namespace) -> int:
         if args.rel_err is not None
         else f"{args.cycles} cycles"
     )
-    print(
-        format_table(
-            ["topology", "traffic", "inputs", "backend", "PA", "95% CI", "cycles"],
-            rows,
-            title=f"Monte-Carlo acceptance, {budget}, seed {args.seed}",
-        )
-    )
+    headers = ["topology", "traffic", "inputs", "backend", "PA", "95% CI", "cycles"]
+    if explicit_faults or fault_rate is not None:
+        headers.insert(4, "faults")
+    title = f"Monte-Carlo acceptance, {budget}, seed {args.seed}"
+    if config.retry is not None:
+        headers += ["attempts", "latency", "abandoned"]
+        title += f", retry {config.retry.label}"
+    print(format_table(headers, rows, title=title))
     return 0
 
 

@@ -16,18 +16,27 @@ any single fault on its unique path.  This module makes that concrete:
   reduction, non-uniform across the network).
 * :func:`connectivity_under_faults` — exhaustively checks which
   source/destination pairs remain connected (Theorem 1 under damage).
-* :func:`random_faults` — i.i.d. wire failures for injection studies.
+* :func:`random_faults` / :func:`random_graph_faults` — i.i.d. wire
+  failures for injection studies, on EDN parameters or on any
+  :class:`~repro.sim.stagegraph.StageGraph`.
+* :func:`parse_fault_list` / :func:`parse_fault_rate` — the CLI's fault
+  spec grammar (``STAGE:SWITCH:WIRE,...`` and ``P[@SEED]``).
 
-The ``ablation_faults`` benchmark measures delivered traffic and pair
-connectivity as the wire-failure rate grows, for a capacity ladder of
-equal-size networks.
+The same ``(stage, switch, local_wire)`` coordinates address every
+stage-graph topology (delta, omega, dilated delta): stage ``i``
+(1-indexed) is graph column ``i``, and ``local_wire`` indexes the
+switch's ``radix * capacity`` output bucket wires.  The compiled engines
+lower a fault set into per-stage dead masks on the routing plan (see
+:class:`~repro.sim.plan.StagePlan`); the ``ablation_faults`` and
+``degradation`` experiments measure delivered traffic and pair
+connectivity as the wire-failure rate grows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -37,10 +46,16 @@ from repro.core.network import CycleResult, Message, MessageOutcome
 from repro.core.tags import DestinationTag, RetirementOrder
 from repro.core.topology import EDNTopology
 
+if TYPE_CHECKING:  # stage graphs live a layer up; annotations only
+    from repro.sim.stagegraph import StageGraph
+
 __all__ = [
     "WireFault",
     "FaultSet",
     "random_faults",
+    "random_graph_faults",
+    "parse_fault_list",
+    "parse_fault_rate",
     "FaultyEDNetwork",
     "connectivity_under_faults",
 ]
@@ -86,6 +101,38 @@ class FaultSet:
             if not 0 <= fault.local_wire < wires:
                 raise ConfigurationError(f"{fault} names wire outside 0..{wires - 1}")
 
+    def validate_graph(self, graph: "StageGraph") -> None:
+        """Raise unless every fault names a real wire of ``graph``.
+
+        Stage-graph coordinates: ``stage`` is the 1-indexed graph column,
+        ``switch`` the column-local switch, ``local_wire`` an index into
+        the switch's ``radix * capacity`` output bucket wires.  On an
+        EDN's graph these coincide exactly with :meth:`validate`'s
+        parameter-space coordinates.
+        """
+        widths = graph.stage_widths
+        for fault in self._faults:
+            if not 1 <= fault.stage <= graph.num_stages:
+                raise ConfigurationError(
+                    f"{fault} names stage outside 1..{graph.num_stages} "
+                    f"of {graph.label}"
+                )
+            stage = graph.stages[fault.stage - 1]
+            switches = widths[fault.stage - 1] // stage.fan_in
+            if not 0 <= fault.switch < switches:
+                raise ConfigurationError(
+                    f"{fault} names switch outside 0..{switches - 1} of {graph.label}"
+                )
+            if not 0 <= fault.local_wire < stage.bucket_wires:
+                raise ConfigurationError(
+                    f"{fault} names wire outside 0..{stage.bucket_wires - 1} "
+                    f"of {graph.label}"
+                )
+
+    def canonical(self) -> tuple[WireFault, ...]:
+        """The deduplicated, sorted fault tuple (cache keys, spec storage)."""
+        return tuple(sorted(self._faults))
+
     def dead_wires(self, stage: int, switch: int) -> frozenset[int]:
         """Local output wires of ``switch`` in ``stage`` that are dead."""
         return self._by_switch.get((stage, switch), frozenset())
@@ -121,6 +168,84 @@ def random_faults(
             dead = np.flatnonzero(rng.random(per_switch) < failure_rate)
             faults.extend(WireFault(stage, switch, int(w)) for w in dead)
     return FaultSet(faults)
+
+
+def random_graph_faults(
+    graph: "StageGraph", failure_rate: float, rng: np.random.Generator
+) -> FaultSet:
+    """Fail each interior output wire of ``graph`` independently.
+
+    The generalization of :func:`random_faults` to any stage graph: every
+    bucket wire of every column except the last fails with
+    ``failure_rate``.  Final-column outputs are the network's terminal
+    pins and stay alive, for the same reason :func:`random_faults` spares
+    the crossbar outputs.  On an EDN graph the two samplers draw from
+    identically shaped spaces (``l`` hyperbar columns of ``b*c`` wires).
+    """
+    if not 0.0 <= failure_rate <= 1.0:
+        raise ConfigurationError(f"failure rate must lie in [0, 1], got {failure_rate}")
+    widths = graph.stage_widths
+    faults = []
+    for index, stage in enumerate(graph.stages[:-1]):
+        switches = widths[index] // stage.fan_in
+        for switch in range(switches):
+            dead = np.flatnonzero(rng.random(stage.bucket_wires) < failure_rate)
+            faults.extend(WireFault(index + 1, switch, int(w)) for w in dead)
+    return FaultSet(faults)
+
+
+def parse_fault_list(text: str) -> tuple[WireFault, ...]:
+    """Parse the CLI fault grammar: ``STAGE:SWITCH:WIRE[,STAGE:SWITCH:WIRE...]``.
+
+    >>> parse_fault_list("1:0:3,2:5:0")
+    (WireFault(stage=1, switch=0, local_wire=3), WireFault(stage=2, switch=5, local_wire=0))
+    """
+    faults = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"cannot parse wire fault {token!r}: expected STAGE:SWITCH:WIRE"
+            )
+        try:
+            stage, switch, wire = (int(part) for part in parts)
+        except ValueError:
+            raise ConfigurationError(
+                f"cannot parse wire fault {token!r}: fields must be integers"
+            ) from None
+        if stage < 1 or switch < 0 or wire < 0:
+            raise ConfigurationError(
+                f"wire fault {token!r} out of range: stage >= 1, switch/wire >= 0"
+            )
+        faults.append(WireFault(stage, switch, wire))
+    if not faults:
+        raise ConfigurationError(f"no wire faults in {text!r}")
+    return tuple(sorted(set(faults)))
+
+
+def parse_fault_rate(text: str) -> tuple[float, int]:
+    """Parse the CLI random-fault grammar ``P[@SEED]`` -> ``(rate, seed)``.
+
+    >>> parse_fault_rate("0.02@7")
+    (0.02, 7)
+    >>> parse_fault_rate("0.1")
+    (0.1, 0)
+    """
+    rate_text, _sep, seed_text = text.partition("@")
+    try:
+        rate = float(rate_text)
+        seed = int(seed_text) if seed_text else 0
+    except ValueError:
+        raise ConfigurationError(
+            f"cannot parse fault rate {text!r}: expected P[@SEED] "
+            f"(e.g. 0.02 or 0.02@7)"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"failure rate must lie in [0, 1], got {rate}")
+    return rate, seed
 
 
 class FaultyEDNetwork:

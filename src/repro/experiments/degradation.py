@@ -1,0 +1,149 @@
+"""Experiment ``degradation``: retry policies on damaged fabrics.
+
+The ``fault_tolerance`` experiment measures what damage does to the
+*topology* (pair connectivity); this one measures what it does to
+*service* once sources stop shrugging off blocked requests.  It crosses
+the same 16x16 capacity ladder with i.i.d. wire-failure rates and a
+ladder of closed-loop retry policies (open loop, bounded retry, retry
+with exponential backoff), routed on the compiled faulted kernels.
+
+Expected shape: retry recovers most of the acceptance a damaged fabric
+loses — a blocked message usually succeeds on a later try because EDN
+blocking is contention, not disconnection — but the recovery is paid in
+attempts and latency, and the price rises with damage.  Higher-capacity
+networks both lose less and pay less, compounding Theorem 2's multipath
+dividend.
+
+A second table follows one network through time under
+:class:`~repro.core.faultprocess.PermanentFaults`: exponential failure
+arrivals with repair, re-masking the compiled plan each window — the
+degradation *trajectory* rather than the steady-state cross-section.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.registry import build_router
+from repro.api.spec import NetworkSpec, RunConfig
+from repro.core.faults import random_faults
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fault_tolerance import LADDER
+from repro.sim.closedloop import RetryPolicy
+from repro.sim.montecarlo import measure_acceptance
+from repro.sim.rng import make_rng
+
+__all__ = ["POLICIES", "run"]
+
+#: (label, retry spec or None) — None is the paper's open-loop baseline.
+POLICIES = (
+    ("open loop", None),
+    ("retry 4", "4"),
+    ("retry 8 backoff 1x2", "8:1:2"),
+)
+
+
+def run(
+    *,
+    failure_rates: tuple[float, ...] = (0.0, 0.05, 0.1),
+    cycles: int = 512,
+    seed: int = 0,
+    config: Optional[RunConfig] = None,
+) -> ExperimentResult:
+    """Acceptance and retry cost vs wire-failure rate on the capacity ladder.
+
+    A :class:`RunConfig` may supply cycles/seed/traffic; the explicit
+    keywords act as its defaults.  ``config.retry`` is ignored — the
+    retry policy is the experiment's swept axis.
+    """
+    traffic = None
+    if config is not None:
+        if config.cycles is not None:
+            cycles = config.cycles
+        if config.seed is not None:
+            seed = config.seed
+        traffic = config.traffic
+    result = ExperimentResult(
+        experiment_id="degradation",
+        title="Closed-loop service under wire failures (16x16 capacity ladder)",
+    )
+    fault_rng = make_rng(seed)
+    acceptance_rows = []
+    cost_rows = []
+    worst = max(failure_rates)
+    for net_label, params in LADDER:
+        faults_at = {
+            rate: random_faults(params, rate, fault_rng).canonical()
+            for rate in failure_rates
+        }
+        for policy_label, retry in POLICIES:
+            points = []
+            for rate in failure_rates:
+                spec = NetworkSpec.edn(
+                    params.a, params.b, params.c, params.l, faults=faults_at[rate]
+                )
+                router = build_router(spec)
+                measurement = measure_acceptance(
+                    router,
+                    traffic,
+                    cycles=cycles,
+                    seed=seed,
+                    retry=retry,
+                )
+                points.append((rate, measurement.acceptance.point))
+                if retry is not None and rate == worst:
+                    cost_rows.append(
+                        [
+                            f"{net_label} / {policy_label}",
+                            measurement.attempts.point,
+                            measurement.latency.point,
+                            measurement.delivered_messages,
+                            measurement.abandoned,
+                        ]
+                    )
+            series_label = f"{net_label} / {policy_label}"
+            if retry is not None:
+                # 6 retry series keep the plot under the marker budget;
+                # the open-loop baseline still appears in the table.
+                result.series[series_label] = points
+            acceptance_rows.append([series_label] + [acc for _, acc in points])
+    result.tables["acceptance (delivered / offered)"] = (
+        ["network / sources"] + [f"f={rate:g}" for rate in failure_rates],
+        acceptance_rows,
+    )
+    result.tables[f"retry cost at f={worst:g}"] = (
+        ["network / sources", "attempts", "latency", "delivered", "abandoned"],
+        cost_rows,
+    )
+    result.tables["trajectory: EDN(8,2,4,2), permanent failures with repair"] = (
+        _trajectory_table(seed)
+    )
+    result.notes.append(
+        "retry converts contention blocking into latency: acceptance under "
+        "damage recovers toward the fault-free level while attempts per "
+        "delivered message rise with the failure rate"
+    )
+    result.notes.append(
+        "higher-capacity networks recover at lower retry cost — multipath "
+        "buys reliability in the closed loop too"
+    )
+    return result
+
+
+def _trajectory_table(seed: int):
+    """Delivered fraction / connectivity over time under PermanentFaults."""
+    from repro.core.faultprocess import PermanentFaults, degradation_trajectory
+    from repro.sim.stagegraph import edn_graph
+
+    _, params = LADDER[-1]
+    graph = edn_graph(params)
+    process = PermanentFaults(
+        graph, failure_rate=2e-4, repair_cycles=1024, seed=seed
+    )
+    points = degradation_trajectory(
+        graph, process, windows=8, cycles_per_window=256, seed=seed
+    )
+    rows = [
+        [p.cycle, p.n_faults, p.delivered_fraction, p.connectivity] for p in points
+    ]
+    return (["cycle", "dead wires", "delivered fraction", "connectivity"], rows)

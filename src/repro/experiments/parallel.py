@@ -15,6 +15,15 @@ Workers must be module-level callables (picklability is what the fork/
 spawn boundary requires); ``jobs=1`` short-circuits to an in-process loop,
 which is also the fallback wherever a pool cannot be created.
 
+The sweep survives worker death.  A shard whose process dies (OOM kill,
+segfault in a native extension) or exceeds ``shard_timeout`` is retried
+exactly once on a fresh pool after a short backoff — safe because shards
+are pure functions of ``(item, seed key)``, so a rerun reproduces the
+lost result bit-for-bit.  Retried shard indices are surfaced on
+``last_retried``; shards that fail twice raise.  Ordinary exceptions
+from the worker function are *not* retried — they are bugs, and
+propagate immediately.
+
 Workers interact with two per-process optimizations transparently: each
 process has its own :mod:`repro.sim.plan` cache, so a worker sweeping
 many grid cells of one topology compiles its routing tables once (fork
@@ -29,7 +38,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as ShardTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim.rng import SeedLike, spawn_keys
@@ -38,6 +51,9 @@ if TYPE_CHECKING:
     from repro.api.spec import RunConfig
 
 __all__ = ["ParallelSweep"]
+
+#: Seconds to wait before retrying lost shards on a fresh pool.
+RETRY_BACKOFF = 0.25
 
 
 def _call_seeded(payload):
@@ -57,12 +73,22 @@ class ParallelSweep:
 
     ``jobs=None`` uses every available core; ``jobs=1`` runs inline (no
     pool, no pickling — the default for tests and small grids).
+    ``shard_timeout`` bounds how long one shard's result may take
+    (seconds, ``None`` = forever); a shard that times out or loses its
+    worker process is retried once on a fresh pool, and ``last_retried``
+    records which shard indices needed it.
     """
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None, *, shard_timeout: Optional[float] = None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be > 0 seconds, got {shard_timeout}")
         self.jobs = jobs
+        self.shard_timeout = shard_timeout
+        #: Shard indices of the last ``map``/``map_seeded`` call that were
+        #: rerun after worker death or timeout (empty = clean run).
+        self.last_retried: tuple[int, ...] = ()
 
     @classmethod
     def from_config(
@@ -99,6 +125,7 @@ class ParallelSweep:
         )
 
     def _run(self, target: Callable, payloads: list) -> list:
+        self.last_retried = ()
         jobs = self.resolved_jobs(len(payloads))
         if jobs == 1 or len(payloads) <= 1:
             return [target(payload) for payload in payloads]
@@ -108,5 +135,48 @@ class ParallelSweep:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=jobs) as pool:
-            return pool.map(target, payloads, chunksize=1)
+        results: list = [None] * len(payloads)
+        lost = self._fan_out(target, payloads, range(len(payloads)), jobs, ctx, results)
+        if lost:
+            # A dead worker poisons its whole ProcessPoolExecutor, so the
+            # retry needs a fresh pool; reruns are deterministic (shards
+            # are pure in (item, seed key)), so results are unaffected.
+            self.last_retried = tuple(lost)
+            time.sleep(RETRY_BACKOFF)
+            lost = self._fan_out(
+                target, payloads, lost, min(jobs, len(lost)), ctx, results
+            )
+            if lost:
+                raise RuntimeError(
+                    f"sweep shards {list(lost)} failed twice "
+                    "(worker process died or shard timed out on both tries)"
+                )
+        return results
+
+    def _fan_out(self, target, payloads, indices, jobs, ctx, results) -> list[int]:
+        """Run ``indices`` on one pool, filling ``results``; return losses."""
+        lost: list[int] = []
+        timed_out = False
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+        try:
+            futures = {}
+            for index in indices:
+                try:
+                    futures[index] = pool.submit(target, payloads[index])
+                except BrokenProcessPool:
+                    break  # pool already poisoned: remaining shards are lost
+            lost.extend(index for index in indices if index not in futures)
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result(timeout=self.shard_timeout)
+                except BrokenProcessPool:
+                    lost.append(index)
+                except ShardTimeout:
+                    lost.append(index)
+                    timed_out = True
+        finally:
+            # After a timeout the stuck worker may never return; abandon it
+            # (cancel what has not started, do not wait) so the retry pool
+            # can proceed.  A broken pool has nothing left to wait for.
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return sorted(lost)

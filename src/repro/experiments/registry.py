@@ -22,6 +22,7 @@ from repro.api.spec import RunConfig
 from repro.experiments import (
     ablations,
     costs,
+    degradation,
     extensions,
     fault_tolerance,
     fig2_hyperbar,
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation_wire_policy": ablations.run_wire_policy,
     "ablation_schedule": ablations.run_schedules,
     "fault_tolerance": fault_tolerance.run,
+    "degradation": degradation.run,
     "scaling": scaling.run,
     "buffered": extensions.run_buffered,
     "admissibility": extensions.run_admissibility,

@@ -927,17 +927,23 @@ class CompiledStageRouter(_DenseRankKernels):
     (3, 64)
     """
 
-    def __init__(self, graph, *, priority: str = "label", plan="auto"):
+    def __init__(self, graph, *, priority: str = "label", plan="auto", faults=()):
         from repro.sim.plan import compile_stage_plan, stage_plan_for
 
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
         self.graph = graph
         self.priority = priority
+        self.faults = tuple(sorted(set(faults)))
         if plan == "auto":
-            plan = stage_plan_for(graph, priority)
+            plan = stage_plan_for(graph, priority, self.faults)
         elif plan is None:
-            plan = compile_stage_plan(graph, priority)
+            plan = compile_stage_plan(graph, priority, self.faults)
+        elif tuple(plan.faults) != self.faults:
+            raise ConfigurationError(
+                f"explicit plan carries faults {plan.faults}, router was "
+                f"given {self.faults}"
+            )
         self._plan = plan
         self._scratch: dict = {}
 
@@ -1101,10 +1107,24 @@ class CompiledStageRouter(_DenseRankKernels):
                 + (digit_w << ilog2(stage.capacity))
                 + rank
             )
+            falive = plan.fault_alive(i)
+            if falive is not None:
+                # Rank-k winners of buckets with <= k live wires are
+                # blocked here; survivors continue on their live wire.
+                ok = falive[y]
+                dead_idx = accept_idx[~ok]
+                if dead_idx.size:
+                    blocked_stage[src[dead_idx]] = i + 1
+                    accept_idx = accept_idx[ok]
+                    y = y[ok]
+                    if accept_idx.size == 0:
+                        break
             if i == last:
                 output[src[accept_idx]] = y >> g.out_shift
                 break
-            table = plan.perm_table(i, idx_dtype)
+            table = plan.fault_link_table(i, idx_dtype)
+            if table is None:
+                table = plan.perm_table(i, idx_dtype)
             if table is not None:
                 y = table[y]
             next_width = plan.stage_widths[i + 1]
@@ -1119,6 +1139,28 @@ class CompiledStageRouter(_DenseRankKernels):
     # ------------------------------------------------------------------
     # Dense counts-only kernel (label priority)
     # ------------------------------------------------------------------
+
+    def _counts_bucket_wire(
+        self, i, stage, batch, width, rank_incl, lane_shift, digit, ws
+    ):
+        """Virtual bucket wire per frontier slot (junk at dead/blocked wires):
+        ``y = (switch * radix * capacity - 1) + digit * capacity + rank_incl``.
+        """
+        plan = self._plan
+        wire = plan.wire_dtype
+        y = ws.array("y", batch * width, wire)
+        cshift = 3 - ilog2(stage.capacity)
+        if digit is None:
+            if cshift >= 0:
+                np.right_shift(lane_shift, cshift, out=y, casting="unsafe")
+            else:
+                np.left_shift(lane_shift, -cshift, out=y, casting="unsafe")
+        else:
+            np.left_shift(digit, ilog2(stage.capacity), out=y, casting="unsafe")
+        np.add(y, rank_incl, out=y, casting="unsafe")
+        y2 = y.reshape(batch, width)
+        np.add(y2, plan.stage_base(i, wire), out=y2)
+        return y
 
     def _route_counts(self, dests: np.ndarray, ws) -> BatchAcceptanceCounts:
         """Counts kernel over the compiled stage list: narrow dtypes, no allocs.
@@ -1155,6 +1197,19 @@ class CompiledStageRouter(_DenseRankKernels):
                 dest, live, stage.fan_in, stage.digit_bits, stage.shift,
                 stage.capacity, ws, rank_dtype=wire,
             )
+            y = None
+            falive = plan.fault_alive(i)
+            if falive is not None:
+                # Fault refinement: a provisional rank-k winner survives
+                # only if its bucket still has > k live wires.  Junk
+                # entries (already rejected) gather harmlessly in clip
+                # mode and stay rejected under the logical-and.
+                y = self._counts_bucket_wire(
+                    i, stage, batch, width, rank_incl, lane_shift, digit, ws
+                )
+                ok = ws.array("fok", size, bool)
+                np.take(falive, y, out=ok, mode="clip")
+                np.logical_and(accepted, ok, out=accepted)
             surviving = int(np.count_nonzero(accepted))
             if surviving != alive:
                 blocked[i + 1] = alive - surviving
@@ -1166,24 +1221,16 @@ class CompiledStageRouter(_DenseRankKernels):
                 break
             if alive == 0:
                 break
-            # Bucket wire for everyone (junk at dead/blocked wires):
-            # y = (switch * radix * capacity - 1) + digit * capacity + rank_incl.
-            y = ws.array("y", size, wire)
-            cshift = 3 - ilog2(stage.capacity)
-            if digit is None:
-                if cshift >= 0:
-                    np.right_shift(lane_shift, cshift, out=y, casting="unsafe")
-                else:
-                    np.left_shift(lane_shift, -cshift, out=y, casting="unsafe")
-            else:
-                np.left_shift(digit, ilog2(stage.capacity), out=y, casting="unsafe")
-            np.add(y, rank_incl, out=y, casting="unsafe")
-            y2 = y.reshape(batch, width)
-            np.add(y2, plan.stage_base(i, wire), out=y2)
+            if y is None:
+                y = self._counts_bucket_wire(
+                    i, stage, batch, width, rank_incl, lane_shift, digit, ws
+                )
             next_width = plan.stage_widths[i + 1]
             trash = batch * next_width
             index = plan.index_dtype(trash + 1)
-            table = plan.perm_table(i, wire)
+            table = plan.fault_link_table(i, wire)
+            if table is None:
+                table = plan.perm_table(i, wire)
             if table is not None:
                 # Junk entries may index anywhere in [-1, width + 255]:
                 # clip-mode gathering keeps them harmless until trashed.
@@ -1255,14 +1302,26 @@ class CompiledStageRouter(_DenseRankKernels):
                 + digit[accept_mask] * stage.capacity
                 + rank
             )
+            falive = plan.fault_alive(i)
+            if falive is not None:
+                ok = falive[y]
+                if not ok.all():
+                    blocked_stage[sources[~ok]] = i + 1
+                    sources = sources[ok]
+                    cyc = cyc[ok]
+                    y = y[ok]
             if i == last:
                 output[sources] = y >> g.out_shift
                 break
-            table = plan.perm_table(i, np.int64)
+            table = plan.fault_link_table(i, np.int64)
+            if table is None:
+                table = plan.perm_table(i, np.int64)
             wires = table[y] if table is not None else y
         return output, blocked_stage
 
     def __repr__(self) -> str:
+        faulted = f", faults={len(self.faults)}" if self.faults else ""
         return (
-            f"CompiledStageRouter({self.graph.label}, priority={self.priority!r})"
+            f"CompiledStageRouter({self.graph.label}, "
+            f"priority={self.priority!r}{faulted})"
         )

@@ -159,6 +159,7 @@ def measure_acceptance(
     batch: int | None = None,
     rel_err: float | None = None,
     min_cycles: int | None = None,
+    retry=None,
     config: "RunConfig | None" = None,
 ) -> AcceptanceMeasurement:
     """Estimate the probability of acceptance of ``router`` under ``traffic``.
@@ -199,12 +200,22 @@ def measure_acceptance(
     chunk boundary — after ``min_cycles`` (default
     :data:`DEFAULT_MIN_CYCLES`) — where the interval half-width at
     ``confidence`` is at most ``rel_err`` times the acceptance estimate.
+
+    ``retry`` (a :class:`~repro.sim.closedloop.RetryPolicy` or its spec
+    string, also settable via ``RunConfig.retry``) switches to
+    *closed-loop* sources: blocked messages are held and resubmitted
+    until delivered, abandoned, or out of budget, and the result is a
+    :class:`~repro.sim.closedloop.ClosedLoopMeasurement` carrying
+    per-message attempt/latency intervals.  The retry state couples
+    consecutive cycles, so the closed-loop driver routes cycle by cycle
+    (``batch`` is ignored).
     """
     if config is not None:
         cycles = config.cycles if config.cycles is not None else cycles
         confidence = config.confidence if config.confidence is not None else confidence
         batch = config.batch if config.batch is not None else batch
         rel_err = config.rel_err if config.rel_err is not None else rel_err
+        retry = config.retry if config.retry is not None else retry
         if config.seed is not None:
             seed = config.seed
         if traffic is None:
@@ -232,6 +243,21 @@ def measure_acceptance(
         raise ValueError(f"batch size must be >= 1, got {batch}")
     if rel_err is not None and not 0 < rel_err < 1:
         raise ValueError(f"rel_err must lie in (0, 1), got {rel_err}")
+    if retry is not None:
+        from repro.sim.closedloop import RetryPolicy, drive_closed_loop
+
+        if isinstance(retry, str):
+            retry = RetryPolicy.parse(retry)
+        return drive_closed_loop(
+            router,
+            traffic,
+            retry,
+            cycles=cycles,
+            rng=make_rng(seed),
+            confidence=confidence,
+            rel_err=rel_err,
+            min_cycles=DEFAULT_MIN_CYCLES if min_cycles is None else min_cycles,
+        )
     adaptive = rel_err is not None
     floor = DEFAULT_MIN_CYCLES if min_cycles is None else min_cycles
     floor = max(2, min(floor, cycles))

@@ -29,16 +29,21 @@ This module compiles all of it **once per topology**:
   **per-thread**: :meth:`StagePlan.workspace` hands each thread its own.
 * :func:`plan_for` / :func:`stage_plan_for` — the keyed LRU plan cache.
   Engines built from equal ``(params, priority, retirement order)`` keys
-  (EDN) or equal ``(graph, priority)`` keys (stage graphs) share one
-  compiled plan, so repeated ``build_router``/``measure`` calls skip all
-  topology setup.  :func:`plan_cache_info` / :func:`clear_plan_cache`
+  (EDN) or equal ``(graph, priority, faults)`` keys (stage graphs) share
+  one compiled plan, so repeated ``build_router``/``measure`` calls skip
+  all topology setup.  :func:`plan_cache_info` / :func:`clear_plan_cache`
   expose the cache to tests and benchmarks.
 
 Plan keys deliberately cover *exactly* the inputs that determine array-
-engine routing.  Spec features the array engines do not implement (wire
-faults, non-first-free wire policies) route through the per-message
-reference backend, which never consults this cache — differing fault sets
-or wire policies can therefore never alias to one plan.
+engine routing.  Wire faults are one of those inputs: a
+:class:`StagePlan` compiled with a non-empty fault set bakes per-stage
+dead-wire masks into its tables — a liveness mask over each column's
+virtual bucket-wire space (``fault_alive``) and a live-wire remap
+composed into the link-permutation tables (``fault_link_table``) — and
+the canonical fault tuple is folded into the cache key, so differing
+fault sets can never alias to one plan.  Spec features the array engines
+still do not implement (non-first-free wire policies) route through the
+per-message reference backend, which never consults this cache.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ import numpy as np
 
 from repro.core.config import EDNParams
 from repro.core.exceptions import ConfigurationError
+from repro.core.faults import FaultSet, WireFault
 from repro.core.labels import ilog2
 from repro.core.tags import RetirementOrder
 
@@ -161,6 +167,8 @@ class StagePlan:
     __slots__ = (
         "graph",
         "priority",
+        "faults",
+        "_fault_stages",
         "stage_widths",
         "wire_dtype",
         "all_packed",
@@ -168,11 +176,22 @@ class StagePlan:
         "_local",
     )
 
-    def __init__(self, graph: "StageGraph", priority: str = "label"):
+    def __init__(
+        self,
+        graph: "StageGraph",
+        priority: str = "label",
+        faults: tuple[WireFault, ...] = (),
+    ):
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
         self.graph = graph
         self.priority = priority
+        #: canonical (sorted, deduplicated) dead-wire tuple baked into the
+        #: plan's tables; part of the cache key, so fault sets never alias.
+        self.faults = tuple(sorted(set(faults)))
+        if self.faults:
+            FaultSet(self.faults).validate_graph(graph)
+        self._fault_stages = frozenset(fault.stage - 1 for fault in self.faults)
         #: wires entering each stage (index 0 = network inputs).
         self.stage_widths = graph.stage_widths
         # Narrowest dtype that can hold every within-cycle wire label,
@@ -269,6 +288,86 @@ class StagePlan:
         return column
 
     # ------------------------------------------------------------------
+    # Fault lowering (dead-wire masks baked into the compiled plan)
+    # ------------------------------------------------------------------
+    # Contention already ranks each bucket's arrivals; with w dead wires
+    # in a bucket the i-th ranked winner takes the i-th *live* wire and
+    # ranks >= capacity - w are blocked — exactly the reference engines'
+    # first-free-among-live grant.  Lowered, that is two tables per
+    # faulted stage over the stage's virtual bucket-wire space
+    # (switch * bucket_wires + digit * capacity + rank):
+    #
+    # * ``fault_alive``  — rank k survives iff its bucket has > k live
+    #   wires (a boolean refinement of the kernels' ``accepted`` mask);
+    # * ``fault_link_table`` — the stage's link permutation pre-composed
+    #   with the live-wire remap (stable argsort of the dead mask per
+    #   bucket), so surviving winners still route with a single gather.
+    #
+    # The final stage needs no remap: its output label is the virtual
+    # wire >> out_shift, and the remap permutes within one capacity
+    # block, which is exactly 2**out_shift wide.
+
+    def _fault_build(self, stage_index: int) -> tuple[np.ndarray, np.ndarray]:
+        stage = self.graph.stages[stage_index]
+        cap = stage.capacity
+        space = self.stage_widths[stage_index] // stage.fan_in * stage.bucket_wires
+        dead = np.zeros(space, dtype=bool)
+        for fault in self.faults:
+            if fault.stage == stage_index + 1:
+                dead[fault.switch * stage.bucket_wires + fault.local_wire] = True
+        buckets = dead.reshape(-1, cap)
+        live_count = cap - buckets.sum(axis=1)
+        alive = (np.arange(cap) < live_count[:, None]).reshape(-1)
+        order = np.argsort(buckets, axis=1, kind="stable")
+        base = np.arange(space // cap, dtype=np.int64)[:, None] * cap
+        remap = (base + order).reshape(-1)
+        return alive, remap
+
+    def _fault_tables(self, stage_index: int) -> tuple[np.ndarray, np.ndarray]:
+        alive = self._tables.get(("falive", stage_index))
+        remap = self._tables.get(("fremap", stage_index))
+        if alive is None or remap is None:
+            alive, remap = self._fault_build(stage_index)
+            self._tables[("falive", stage_index)] = alive
+            self._tables[("fremap", stage_index)] = remap
+        return alive, remap
+
+    def fault_alive(self, stage_index: int) -> Optional[np.ndarray]:
+        """Liveness of each ``(bucket, rank)`` winner of one faulted stage.
+
+        A boolean table over the stage's virtual bucket-wire space:
+        ``alive[switch * bucket_wires + digit * capacity + k]`` is true
+        iff the bucket has more than ``k`` live wires, i.e. the winner
+        holding 0-based rank ``k`` is granted a wire.  ``None`` means the
+        stage carries no faults (the kernels skip the refinement).
+        """
+        if stage_index not in self._fault_stages:
+            return None
+        return self._fault_tables(stage_index)[0]
+
+    def fault_link_table(self, stage_index: int, dtype) -> Optional[np.ndarray]:
+        """Link table of a faulted stage, pre-composed with the live remap.
+
+        Replaces :meth:`perm_table` for faulted interior stages: indexing
+        by a surviving winner's virtual wire yields the next-stage wire
+        its *live* physical wire feeds.  ``None`` when the stage carries
+        no faults.
+        """
+        if stage_index not in self._fault_stages:
+            return None
+        key = ("flink", stage_index, np.dtype(dtype).char)
+        table = self._tables.get(key)
+        if table is None:
+            remap = self._fault_tables(stage_index)[1]
+            spec = self.graph.stages[stage_index].link_perm
+            if spec is None:
+                table = remap.astype(dtype)
+            else:
+                table = self._perm(spec, dtype)[remap]
+            self._tables[key] = table
+        return table
+
+    # ------------------------------------------------------------------
     # Derived execution parameters
     # ------------------------------------------------------------------
 
@@ -297,12 +396,13 @@ class StagePlan:
     @property
     def key(self) -> tuple:
         """The cache key this plan is stored under."""
-        return (self.graph, self.priority)
+        return (self.graph, self.priority, self.faults)
 
     def __repr__(self) -> str:
+        faulted = f", faults={len(self.faults)}" if self.faults else ""
         return (
             f"StagePlan({self.graph.label}, priority={self.priority!r}, "
-            f"wire_dtype={self.wire_dtype.name}, packed={self.all_packed})"
+            f"wire_dtype={self.wire_dtype.name}, packed={self.all_packed}{faulted})"
         )
 
 
@@ -402,9 +502,13 @@ def compile_plan(
     return RoutingPlan(params, priority, retirement_order)
 
 
-def compile_stage_plan(graph: "StageGraph", priority: str = "label") -> StagePlan:
+def compile_stage_plan(
+    graph: "StageGraph",
+    priority: str = "label",
+    faults: tuple[WireFault, ...] = (),
+) -> StagePlan:
     """Compile a fresh stage plan, bypassing the cache (tests, benchmarks)."""
-    return StagePlan(graph, priority)
+    return StagePlan(graph, priority, faults)
 
 
 def _cached(key: tuple, compile_fn) -> StagePlan:
@@ -430,16 +534,26 @@ def _cached(key: tuple, compile_fn) -> StagePlan:
     return plan
 
 
-def stage_plan_for(graph: "StageGraph", priority: str = "label") -> StagePlan:
+def stage_plan_for(
+    graph: "StageGraph",
+    priority: str = "label",
+    faults: tuple[WireFault, ...] = (),
+) -> StagePlan:
     """The shared compiled plan for one stage graph, LRU-cached.
 
-    Two routers whose ``(graph, priority)`` agree get the *same* plan
-    object; graphs hash over every semantic field (stages, permutations,
-    output layout), so anything that changes routing semantics changes
-    the key and therefore misses.  Thread-safe; shares the cache (and
+    Two routers whose ``(graph, priority, faults)`` agree get the *same*
+    plan object; graphs hash over every semantic field (stages,
+    permutations, output layout) and the fault tuple is canonicalized
+    (sorted, deduplicated) before keying, so anything that changes
+    routing semantics — including which wires are dead — changes the key
+    and therefore misses.  Thread-safe; shares the cache (and
     :func:`plan_cache_info` counters) with the EDN :func:`plan_for`.
     """
-    return _cached((graph, priority), lambda: StagePlan(graph, priority))
+    canonical = tuple(sorted(set(faults)))
+    return _cached(
+        (graph, priority, canonical),
+        lambda: StagePlan(graph, priority, canonical),
+    )
 
 
 def plan_for(

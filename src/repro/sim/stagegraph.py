@@ -385,9 +385,19 @@ class StageGraphReference:
     permutation tables, plain index arrays.  The ``vectorized`` backend
     wraps this class behind the generic batch loop, making it the
     reference path every compiled baseline is cross-checked against.
+
+    ``faults`` (a tuple of :class:`~repro.core.faults.WireFault`) masks
+    dead bucket wires: the rank-``k`` winner of a bucket is granted the
+    bucket's ``k``-th *live* wire, or blocked at that column when fewer
+    than ``k + 1`` wires survive — the same first-free-among-live grant
+    :class:`~repro.core.faults.FaultyEDNetwork` implements, built here
+    with plain per-bucket live lists so the compiled fault lowering has
+    an independent cross-check on every family.
     """
 
-    def __init__(self, graph: StageGraph, *, priority: str = "label"):
+    def __init__(
+        self, graph: StageGraph, *, priority: str = "label", faults=()
+    ):
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
         self.graph = graph
@@ -404,6 +414,32 @@ class StageGraphReference:
             else None
             for stage in graph.stages
         ]
+        self.faults = tuple(sorted(set(faults)))
+        self._fault_alive: dict[int, np.ndarray] = {}
+        self._fault_remap: dict[int, np.ndarray] = {}
+        if self.faults:
+            from repro.core.faults import FaultSet
+
+            FaultSet(self.faults).validate_graph(graph)
+            dead_by_stage: dict[int, set[int]] = {}
+            for fault in self.faults:
+                stage = graph.stages[fault.stage - 1]
+                wire = fault.switch * stage.bucket_wires + fault.local_wire
+                dead_by_stage.setdefault(fault.stage - 1, set()).add(wire)
+            for i, dead in dead_by_stage.items():
+                stage = graph.stages[i]
+                cap = stage.capacity
+                space = self._widths[i] // stage.fan_in * stage.bucket_wires
+                alive = np.zeros(space, dtype=bool)
+                remap = np.arange(space, dtype=np.int64)
+                for bucket in range(space // cap):
+                    base = bucket * cap
+                    live = [base + k for k in range(cap) if base + k not in dead]
+                    for slot, wire in enumerate(live):
+                        alive[base + slot] = True
+                        remap[base + slot] = wire
+                self._fault_alive[i] = alive
+                self._fault_remap[i] = remap
 
     @property
     def n_inputs(self) -> int:
@@ -464,6 +500,12 @@ class StageGraphReference:
                 + digit[accept] * stage.capacity
                 + rank
             )
+            alive = self._fault_alive.get(i)
+            if alive is not None:
+                ok = alive[y]
+                blocked[sources[~ok]] = i + 1
+                sources = sources[ok]
+                y = self._fault_remap[i][y[ok]]
             if i == last:
                 output[sources] = y >> g.out_shift
                 break
@@ -475,7 +517,11 @@ class StageGraphReference:
         return VectorCycleResult(output=output, blocked_stage=blocked)
 
     def __repr__(self) -> str:
-        return f"StageGraphReference({self.graph.label}, priority={self.priority!r})"
+        faulted = f", faults={len(self.faults)}" if self.faults else ""
+        return (
+            f"StageGraphReference({self.graph.label}, "
+            f"priority={self.priority!r}{faulted})"
+        )
 
 
 def _resolve_grouped(

@@ -20,7 +20,14 @@ from collections.abc import Sequence
 
 from scipy import stats as _scipy_stats
 
-__all__ = ["RunningStats", "RatioStats", "batch_means", "proportion_ci", "Interval"]
+__all__ = [
+    "RunningStats",
+    "RatioStats",
+    "RetryStats",
+    "batch_means",
+    "proportion_ci",
+    "Interval",
+]
 
 
 @dataclass(frozen=True)
@@ -256,6 +263,60 @@ class RatioStats:
         se = self.standard_error()
         t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
         return Interval(point, point - t * se, point + t * se)
+
+
+class RetryStats(RatioStats):
+    """Per-message closed-loop statistics: attempts and latency per delivery.
+
+    Extends :class:`RatioStats` for the retry-until-delivered sources:
+    the inherited ratio machinery estimates *attempts per delivered
+    message* (each delivery pushes its attempt count against a unit
+    denominator, so ``ratio`` is total attempts / deliveries with the
+    delta-method interval), and a nested :class:`RatioStats` does the
+    same for delivery latency in cycles (1 = delivered on the first
+    try).  ``abandoned`` counts messages that exhausted their attempt
+    bound and were dropped.
+
+    >>> acc = RetryStats()
+    >>> acc.record_delivery(attempts=3, latency=5)
+    >>> acc.record_delivery(attempts=1, latency=1)
+    >>> (acc.ratio, acc.latency.ratio, acc.delivered)
+    (2.0, 3.0, 2)
+    """
+
+    __slots__ = ("latency", "_abandoned")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.latency = RatioStats()
+        self._abandoned = 0
+
+    def record_delivery(self, attempts: int, latency: int) -> None:
+        self.push(attempts, 1)
+        self.latency.push(latency, 1)
+
+    def record_deliveries(self, attempts, latencies) -> None:
+        """Absorb whole delivered-message arrays (one cycle) at once."""
+        import numpy as np
+
+        attempts = np.asarray(attempts, dtype=np.float64)
+        latencies = np.asarray(latencies, dtype=np.float64)
+        ones = np.ones_like(attempts)
+        self.push_many(attempts, ones)
+        self.latency.push_many(latencies, ones)
+
+    def record_abandoned(self, count: int = 1) -> None:
+        self._abandoned += count
+
+    @property
+    def delivered(self) -> int:
+        """Messages delivered (observations behind both ratios)."""
+        return self.n
+
+    @property
+    def abandoned(self) -> int:
+        """Messages dropped after exhausting their attempt bound."""
+        return self._abandoned
 
 
 def batch_means(series: Sequence[float], n_batches: int = 20) -> RunningStats:

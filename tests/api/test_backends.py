@@ -157,10 +157,33 @@ class TestBackendSelection:
         assert resolve_backend(NetworkSpec.clos(4, 4)).name == "matching"
         assert resolve_backend(NetworkSpec.benes(16)).name == "looping"
 
-    def test_faults_select_the_reference_engine(self):
+    def test_faults_stay_on_the_compiled_engines(self):
+        # Fault sets lower into the compiled plan, so faulted specs keep
+        # the batched fast path; the per-message reference remains as the
+        # independent cross-check.
         spec = NetworkSpec.edn(16, 4, 4, 2, faults=(WireFault(1, 0, 0),))
-        assert available_backends(spec) == ["reference"]
-        assert resolve_backend(spec).name == "reference"
+        assert available_backends(spec) == ["batched", "vectorized", "reference"]
+        assert resolve_backend(spec).name == "batched"
+
+    def test_faults_available_on_every_stage_graph_kind(self):
+        for spec in (
+            NetworkSpec.delta(4, 4, 2, faults=(WireFault(1, 0, 1),)),
+            NetworkSpec.omega(16, faults=(WireFault(1, 0, 1),)),
+            NetworkSpec.dilated(4, 4, 2, 2, faults=(WireFault(1, 0, 1),)),
+        ):
+            assert available_backends(spec) == ["batched", "vectorized"]
+
+    def test_explicit_non_fault_capable_backend_names_alternatives(self):
+        # Requesting a backend that handles the topology but not its
+        # faults must say so and name the fault-capable backends.
+        spec = NetworkSpec.edn(
+            16, 4, 4, 2, priority="random", faults=(WireFault(1, 0, 0),)
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r"fault injection.*fault-capable backends.*batched",
+        ):
+            build_router(spec, "reference")  # FaultyEDNetwork is label-only
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown backend"):
@@ -287,7 +310,7 @@ class TestPlanCacheCorrectness:
         assert cold.point == warm.point
         assert cold.blocked_by_stage == warm.blocked_by_stage
 
-    def test_faulty_specs_bypass_and_never_alias(self):
+    def test_faulty_specs_key_the_cache_and_never_alias(self):
         from repro.api import measure, RunConfig
         from repro.sim.plan import plan_cache_info
 
@@ -296,17 +319,23 @@ class TestPlanCacheCorrectness:
             8, 2, 4, 2, faults=(WireFault(stage=1, switch=0, local_wire=0),)
         )
         config = RunConfig(cycles=25, seed=3)
+        baseline_pristine = measure(pristine, config)
         baseline_faulty = measure(faulty, config)
-        # Warm the cache with the pristine spec, then re-measure the
-        # faulty one: the cached plan must not leak into the fault path.
-        info_before = plan_cache_info()
-        measure(pristine, config)
+        # The fault tuple is part of the plan key, so the two specs must
+        # compile distinct plans...
+        assert plan_cache_info()["misses"] >= 2
+        # ...and warming the cache with either spec must not leak the
+        # other's plan: re-measuring reproduces both baselines exactly.
         again_faulty = measure(faulty, config)
+        again_pristine = measure(pristine, config)
+        assert plan_cache_info()["hits"] >= 2
         assert again_faulty.point == baseline_faulty.point
         assert again_faulty.blocked_by_stage == baseline_faulty.blocked_by_stage
-        # The faulty measurements themselves never consulted the cache.
-        assert resolve_backend(faulty).name == "reference"
-        assert plan_cache_info()["misses"] >= info_before["misses"]
+        assert again_pristine.point == baseline_pristine.point
+        # The damage is real: the faulty plan routes strictly less traffic.
+        assert baseline_faulty.delivered < baseline_pristine.delivered
+        # Faulted specs ride the compiled backend, keyed by their faults.
+        assert resolve_backend(faulty).name == "batched"
 
     def test_wire_policy_routes_outside_the_cache(self):
         from repro.api import measure, RunConfig

@@ -121,6 +121,75 @@ class TestRouteCommand:
         assert "unknown workload" in capsys.readouterr().err
 
 
+class TestRouteFaultFlags:
+    def test_explicit_faults_add_a_column(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--cycles", "20",
+            "--faults", "1:0:3,2:1:0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert out.count("edn:16,4,4,2") == 1
+        assert " 2 " in out  # two dead wires reported
+        assert "batched" in out  # faulted routing stays on the compiled path
+
+    def test_fault_flags_repeat_and_dedup(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--cycles", "10",
+            "--faults", "1:0:3", "--faults", "2:1:0,1:0:3",
+        ]) == 0
+        assert " 2 " in capsys.readouterr().out  # 1:0:3 counted once
+
+    def test_fault_rate_draws_per_topology(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "-t", "delta:256,4",
+            "--cycles", "10", "--fault-rate", "0.02@7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and out.count("batched") == 2
+
+    def test_fault_rate_seed_is_reproducible(self, capsys):
+        argv = ["route", "-t", "delta:256,4", "--cycles", "10",
+                "--fault-rate", "0.05@3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_fault_spec_is_an_error(self, capsys):
+        assert main(["route", "-t", "edn:16,4,4,2", "--faults", "bogus"]) == 2
+        assert "STAGE:SWITCH:WIRE" in capsys.readouterr().err
+
+    def test_out_of_range_fault_is_an_error(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--faults", "9:0:0",
+        ]) == 2
+        assert "stage" in capsys.readouterr().err
+
+    def test_faults_on_global_topologies_are_an_error(self, capsys):
+        assert main(["route", "-t", "clos:8,8", "--faults", "1:0:0"]) == 2
+        assert "stage-graph kinds" in capsys.readouterr().err
+
+    def test_retry_adds_closed_loop_columns(self, capsys):
+        assert main([
+            "route", "-t", "edn:4,2,2,2", "--cycles", "50", "--retry", "4:1:2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retry 4:1:2" in out
+        for column in ("attempts", "latency", "abandoned"):
+            assert column in out
+
+    def test_bad_retry_spec_is_an_error(self, capsys):
+        assert main([
+            "route", "-t", "edn:4,2,2,2", "--retry", "many",
+        ]) == 2
+        assert "retry" in capsys.readouterr().err
+
+    def test_degradation_experiment_is_reachable(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        assert "degradation" in capsys.readouterr().out
+
+
 class TestWorkloadsCommand:
     def test_lists_registry(self, capsys):
         assert main(["workloads", "--list"]) == 0

@@ -1,0 +1,194 @@
+"""Property tests for fault-set canonicalization and connectivity.
+
+Two halves:
+
+* hypothesis properties over :class:`FaultSet` construction and the CLI
+  fault grammar — canonical form is sorted, deduplicated, and invariant
+  to input order/multiplicity;
+* an independent brute-force path enumerator over the stage graph that
+  :func:`connectivity_under_faults` must agree with exactly at small N.
+  (They *should* agree: the ``c`` wires of a bucket all land on the same
+  next-stage switch, so a lone message's switch-level path is unique and
+  greedy first-live-wire routing cannot dead-end where another wire
+  choice would have survived.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import (
+    FaultSet,
+    WireFault,
+    connectivity_under_faults,
+    parse_fault_list,
+    parse_fault_rate,
+    random_faults,
+)
+from repro.core.labels import ilog2
+from repro.sim.stagegraph import edn_graph, materialize_permutation
+
+_faults = st.lists(
+    st.builds(
+        WireFault,
+        st.integers(1, 4),
+        st.integers(0, 7),
+        st.integers(0, 7),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestCanonicalization:
+    @given(_faults)
+    def test_canonical_is_sorted_and_deduped(self, faults):
+        canon = FaultSet(faults).canonical()
+        assert list(canon) == sorted(set(faults))
+
+    @given(_faults)
+    def test_construction_order_invariant(self, faults):
+        assert (
+            FaultSet(reversed(faults)).canonical() == FaultSet(faults).canonical()
+        )
+
+    @given(_faults)
+    def test_duplicates_collapse(self, faults):
+        assert FaultSet(faults + faults).canonical() == FaultSet(faults).canonical()
+
+    @given(_faults)
+    def test_canonical_idempotent(self, faults):
+        canon = FaultSet(faults).canonical()
+        assert FaultSet(canon).canonical() == canon
+
+    @given(_faults)
+    def test_membership_matches_input(self, faults):
+        fault_set = FaultSet(faults)
+        assert all(fault in fault_set for fault in faults)
+        assert len(fault_set) == len(set(faults))
+
+
+class TestFaultGrammar:
+    @given(_faults)
+    def test_parse_round_trips_canonical_text(self, faults):
+        text = ",".join(f"{f.stage}:{f.switch}:{f.local_wire}" for f in faults)
+        assert parse_fault_list(text) == tuple(sorted(set(faults)))
+
+    @given(_faults, st.randoms())
+    def test_parse_is_order_and_dup_invariant(self, faults, random):
+        shuffled = list(faults) + [random.choice(faults)]
+        random.shuffle(shuffled)
+        text = ",".join(f"{f.stage}:{f.switch}:{f.local_wire}" for f in shuffled)
+        assert parse_fault_list(text) == tuple(sorted(set(faults)))
+
+    @given(st.floats(0, 1, allow_nan=False), st.integers(0, 10**6))
+    def test_fault_rate_round_trips(self, rate, seed):
+        parsed_rate, parsed_seed = parse_fault_rate(f"{rate!r}@{seed}")
+        assert parsed_rate == rate and parsed_seed == seed
+
+    def test_fault_rate_seed_defaults_to_zero(self):
+        assert parse_fault_rate("0.25") == (0.25, 0)
+
+    @pytest.mark.parametrize("bad", ["", "1:2", "1:2:3:4", "a:b:c", "0:0:0", "-1:0:0"])
+    def test_rejects_malformed_faults(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_fault_list(bad)
+
+    @pytest.mark.parametrize("bad", ["fast", "1.5", "-0.1", "0.1@x"])
+    def test_rejects_malformed_rates(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_fault_rate(bad)
+
+
+# ----------------------------------------------------------------------
+# Brute-force connectivity oracle
+# ----------------------------------------------------------------------
+
+
+def _brute_force_connectivity(params: EDNParams, faults: FaultSet) -> float:
+    """Exhaustive path enumeration over the stage graph, no routing."""
+    graph = edn_graph(params)
+    links = [
+        materialize_permutation(stage.link_perm)
+        if stage.link_perm is not None
+        else None
+        for stage in graph.stages
+    ]
+    input_perm = (
+        materialize_permutation(graph.input_perm)
+        if graph.input_perm is not None
+        else None
+    )
+    dead: dict[int, set[int]] = {}
+    for fault in faults:
+        stage = graph.stages[fault.stage - 1]
+        dead.setdefault(fault.stage - 1, set()).add(
+            fault.switch * stage.bucket_wires + fault.local_wire
+        )
+    last = graph.num_stages - 1
+
+    def survives(i: int, wire: int, dest: int) -> bool:
+        stage = graph.stages[i]
+        switch = wire >> ilog2(stage.fan_in)
+        digit = (dest >> stage.shift) & (stage.radix - 1)
+        base = switch * stage.bucket_wires + digit * stage.capacity
+        for rank in range(stage.capacity):
+            y = base + rank
+            if y in dead.get(i, ()):
+                continue
+            if i == last:
+                assert y >> graph.out_shift == dest
+                return True
+            nxt = int(links[i][y]) if links[i] is not None else y
+            if survives(i + 1, nxt, dest):
+                return True
+        return False
+
+    n, m = graph.n_inputs, graph.n_outputs
+    connected = sum(
+        survives(0, int(input_perm[s]) if input_perm is not None else s, d)
+        for s in range(n)
+        for d in range(m)
+    )
+    return connected / (n * m)
+
+
+class TestConnectivityOracle:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            EDNParams(4, 4, 1, 2),  # pure delta: one path
+            EDNParams(4, 2, 2, 2),  # 4 paths
+            EDNParams(8, 2, 4, 2),  # 16 paths
+            EDNParams(4, 2, 2, 3),  # deeper
+        ],
+        ids=str,
+    )
+    @pytest.mark.parametrize("rate", [0.05, 0.2, 0.5])
+    def test_matches_brute_force_enumeration(self, params, rate):
+        rng = np.random.default_rng(hash((params.a, params.b, params.c, rate)) % 2**32)
+        for _ in range(5):
+            faults = random_faults(params, rate, rng)
+            assert connectivity_under_faults(params, faults) == pytest.approx(
+                _brute_force_connectivity(params, faults), abs=1e-12
+            )
+
+    def test_fully_dead_bucket_on_one_branch(self):
+        # All c wires of a bucket feed the same next-stage switch, so a
+        # fully-dead downstream bucket kills every path through it — the
+        # structural fact that makes greedy routing an exact connectivity
+        # probe.  Both measures must agree on this adversarial pattern.
+        params = EDNParams(4, 2, 2, 2)
+        faults = FaultSet([WireFault(2, 0, 0), WireFault(2, 0, 1)])
+        assert connectivity_under_faults(params, faults) == pytest.approx(
+            _brute_force_connectivity(params, faults), abs=1e-12
+        )
+
+    def test_pristine_network_fully_connected(self):
+        params = EDNParams(4, 2, 2, 2)
+        assert _brute_force_connectivity(params, FaultSet.none()) == 1.0

@@ -1,0 +1,176 @@
+"""Tests for dynamic fault processes and the degradation trajectory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.faultprocess import (
+    PermanentFaults,
+    TransientFaults,
+    TrajectoryPoint,
+    degradation_trajectory,
+)
+from repro.core.faults import FaultSet
+from repro.sim.stagegraph import delta_graph, edn_graph
+
+PARAMS = EDNParams(8, 2, 4, 2)
+
+
+class TestTransientFaults:
+    def test_zero_rate_draws_nothing(self):
+        process = TransientFaults(edn_graph(PARAMS), 0.0)
+        assert all(len(process.advance(64)) == 0 for _ in range(4))
+
+    def test_deterministic_given_seed(self):
+        graph = edn_graph(PARAMS)
+        a = [TransientFaults(graph, 0.1, seed=3).advance(32).canonical()
+             for _ in range(1)]
+        b = [TransientFaults(graph, 0.1, seed=3).advance(32).canonical()
+             for _ in range(1)]
+        assert a == b
+
+    def test_windows_are_independent_redraws(self):
+        process = TransientFaults(edn_graph(PARAMS), 0.3, seed=1)
+        patterns = {process.advance(16).canonical() for _ in range(6)}
+        assert len(patterns) > 1  # glitches clear; the pattern moves
+
+    def test_validates_rate_and_window(self):
+        graph = edn_graph(PARAMS)
+        with pytest.raises(ConfigurationError):
+            TransientFaults(graph, 1.5)
+        with pytest.raises(ConfigurationError):
+            TransientFaults(graph, 0.1).advance(0)
+
+    def test_spares_terminal_pins(self):
+        graph = edn_graph(PARAMS)
+        process = TransientFaults(graph, 1.0, seed=0)
+        faults = process.advance(8)
+        assert len(faults) > 0
+        assert all(f.stage < graph.num_stages for f in faults)
+
+
+class TestPermanentFaults:
+    def test_zero_rate_stays_pristine(self):
+        process = PermanentFaults(edn_graph(PARAMS), 0.0)
+        assert all(len(process.advance(128)) == 0 for _ in range(3))
+
+    def test_damage_accumulates_without_repair(self):
+        process = PermanentFaults(edn_graph(PARAMS), 5e-3, seed=2)
+        previous: set = set()
+        for _ in range(6):
+            current = set(process.advance(64).canonical())
+            assert previous <= current  # dead wires never resurrect
+            previous = current
+        assert previous  # the rate is high enough that something died
+
+    def test_repair_brings_wires_back(self):
+        process = PermanentFaults(
+            edn_graph(PARAMS), 5e-3, repair_cycles=32, seed=2
+        )
+        sizes = [len(process.advance(64)) for _ in range(30)]
+        assert max(sizes) > 0
+        # With short repairs the damage level fluctuates instead of
+        # climbing monotonically to saturation.
+        assert any(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_clock_advances(self):
+        process = PermanentFaults(edn_graph(PARAMS), 1e-4)
+        process.advance(100)
+        process.advance(28)
+        assert process.time == 128.0
+
+    def test_deterministic_given_seed(self):
+        graph = edn_graph(PARAMS)
+        a = PermanentFaults(graph, 3e-3, repair_cycles=100, seed=9)
+        b = PermanentFaults(graph, 3e-3, repair_cycles=100, seed=9)
+        for _ in range(5):
+            assert a.advance(50).canonical() == b.advance(50).canonical()
+
+    def test_validates_parameters(self):
+        graph = edn_graph(PARAMS)
+        with pytest.raises(ConfigurationError):
+            PermanentFaults(graph, -0.1)
+        with pytest.raises(ConfigurationError):
+            PermanentFaults(graph, 0.1, repair_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            PermanentFaults(graph, 0.1).advance(0)
+
+
+class TestDegradationTrajectory:
+    def test_trajectory_shape_and_ranges(self):
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            PermanentFaults(graph, 2e-3, seed=1),
+            windows=5,
+            cycles_per_window=32,
+            seed=0,
+        )
+        assert len(points) == 5
+        assert [p.cycle for p in points] == [32, 64, 96, 128, 160]
+        for p in points:
+            assert isinstance(p, TrajectoryPoint)
+            assert 0.0 <= p.delivered_fraction <= 1.0
+            assert 0.0 <= p.connectivity <= 1.0
+
+    def test_pristine_process_keeps_full_connectivity(self):
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            TransientFaults(graph, 0.0),
+            windows=3,
+            cycles_per_window=16,
+            seed=4,
+        )
+        assert all(p.n_faults == 0 and p.connectivity == 1.0 for p in points)
+
+    def test_heavy_damage_disconnects_pairs(self):
+        # The single-path delta loses pairs as soon as buckets die.
+        graph = delta_graph(4, 4, 2)
+        points = degradation_trajectory(
+            graph,
+            TransientFaults(graph, 0.3, seed=5),
+            windows=4,
+            cycles_per_window=16,
+            seed=4,
+        )
+        assert any(p.connectivity < 1.0 for p in points if p.n_faults)
+
+    def test_deterministic_given_seeds(self):
+        graph = edn_graph(PARAMS)
+
+        def run():
+            return degradation_trajectory(
+                graph,
+                PermanentFaults(graph, 2e-3, repair_cycles=64, seed=7),
+                windows=4,
+                cycles_per_window=32,
+                seed=2,
+            )
+
+        assert run() == run()
+
+    def test_accepts_traffic_spec(self):
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            TransientFaults(graph, 0.05, seed=0),
+            windows=2,
+            cycles_per_window=16,
+            traffic="hotspot:0.2",
+            seed=1,
+        )
+        assert len(points) == 2
+
+    def test_validates_windows(self):
+        graph = edn_graph(PARAMS)
+        with pytest.raises(ConfigurationError):
+            degradation_trajectory(
+                graph,
+                TransientFaults(graph, 0.1),
+                windows=0,
+                cycles_per_window=16,
+            )

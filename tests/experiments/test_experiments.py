@@ -186,6 +186,44 @@ class TestFaultTolerance:
         assert sixteen[-1] > delta[-1]
 
 
+class TestDegradation:
+    def test_grid_covers_ladder_and_policies(self):
+        from repro.experiments import degradation
+
+        result = degradation.run(failure_rates=(0.0, 0.1), cycles=64, seed=0)
+        headers, rows = result.tables["acceptance (delivered / offered)"]
+        assert headers == ["network / sources", "f=0", "f=0.1"]
+        assert len(rows) == 3 * len(degradation.POLICIES)  # ladder x policies
+        for row in rows:
+            assert all(0.0 <= value <= 1.0 for value in row[1:])
+
+    def test_retry_cost_rows_have_attempt_stats(self):
+        from repro.experiments import degradation
+
+        result = degradation.run(failure_rates=(0.0, 0.1), cycles=64, seed=0)
+        headers, rows = result.tables["retry cost at f=0.1"]
+        assert "attempts" in headers and "abandoned" in headers
+        assert rows and all(row[1] >= 1.0 for row in rows)
+
+    def test_trajectory_table_tracks_time(self):
+        from repro.experiments import degradation
+
+        result = degradation.run(failure_rates=(0.0,), cycles=32, seed=1)
+        name = "trajectory: EDN(8,2,4,2), permanent failures with repair"
+        _headers, rows = result.tables[name]
+        cycles = [row[0] for row in rows]
+        assert cycles == sorted(cycles) and len(cycles) == 8
+
+    def test_config_overrides_cycles_and_seed(self):
+        from repro.api.spec import RunConfig
+        from repro.experiments import degradation
+
+        a = degradation.run(failure_rates=(0.1,), cycles=999, seed=999,
+                            config=RunConfig(cycles=48, seed=3))
+        b = degradation.run(failure_rates=(0.1,), cycles=48, seed=3)
+        assert a.tables == b.tables
+
+
 class TestScaling:
     def test_family_table(self):
         from repro.experiments import scaling
@@ -249,8 +287,8 @@ class TestRegistry:
             "fig11", "fig11_sim", "sec5_example", "sec5_sim", "eq2_eq3",
             "eq2_eq3_dilated", "cost_performance", "nuts",
             "ablation_priority", "ablation_wire_policy", "ablation_schedule",
-            "fault_tolerance", "scaling", "buffered", "admissibility",
-            "workload_matrix",
+            "fault_tolerance", "degradation", "scaling", "buffered",
+            "admissibility", "workload_matrix",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+import signal
+import time
+
 import numpy as np
 import pytest
 
 from repro.experiments.parallel import ParallelSweep
 from repro.experiments.registry import run_experiment
 from repro.sim.rng import make_rng
+
+#: Env var pointing workers at the per-test scratch directory (env vars
+#: survive the fork into pool workers; test-local state does not).
+_SCRATCH = "REPRO_TEST_SWEEP_SCRATCH"
 
 
 def _square(x):
@@ -16,6 +25,43 @@ def _square(x):
 
 def _draw(item, seed_key):
     return (item, float(make_rng(seed_key).random()))
+
+
+def _die_once(item, seed_key):
+    # SIGKILL our own worker process the first time shard 3 runs: the
+    # marker file persists across the retry, so the rerun succeeds.
+    marker = pathlib.Path(os.environ[_SCRATCH]) / f"died-{item}"
+    if item == 3 and not marker.exists():
+        marker.write_text("killed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _draw(item, seed_key)
+
+
+def _die_always(item, seed_key):
+    if item == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _draw(item, seed_key)
+
+
+def _stall_once(item, seed_key):
+    # Overrun the shard timeout the first time shard 2 runs; spin on a
+    # stop file (written by the test) so the abandoned worker exits
+    # promptly once the sweep has finished.
+    base = pathlib.Path(os.environ[_SCRATCH])
+    marker = base / f"stalled-{item}"
+    if item == 2 and not marker.exists():
+        marker.write_text("stalled")
+        for _ in range(200):
+            if (base / "stop").exists():
+                break
+            time.sleep(0.05)
+    return _draw(item, seed_key)
+
+
+def _raise_on(item, seed_key):
+    if item == 2:
+        raise ValueError(f"bad shard {item}")
+    return _draw(item, seed_key)
 
 
 class TestParallelSweep:
@@ -54,6 +100,57 @@ class TestParallelSweep:
     def test_resolved_jobs_clamps_to_items(self):
         assert ParallelSweep(jobs=8).resolved_jobs(3) == 3
         assert ParallelSweep(jobs=2).resolved_jobs(10) == 2
+
+    def test_rejects_bad_shard_timeout(self):
+        with pytest.raises(ValueError):
+            ParallelSweep(jobs=2, shard_timeout=0)
+
+
+class TestWorkerFaults:
+    """The sweep must survive dead workers without changing results."""
+
+    def test_survives_sigkilled_worker(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+        items = list(range(6))
+        sweep = ParallelSweep(jobs=2)
+        results = sweep.map_seeded(_die_once, items, seed=7)
+        # The rerun is bit-identical to an undisturbed inline sweep: shards
+        # are pure functions of (item, positional seed key).
+        assert results == ParallelSweep(jobs=1).map_seeded(_draw, items, seed=7)
+        assert 3 in sweep.last_retried  # the killed shard was retried
+        assert (tmp_path / "died-3").exists()
+
+    def test_retried_indices_reset_on_clean_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+        items = list(range(6))
+        sweep = ParallelSweep(jobs=2)
+        sweep.map_seeded(_die_once, items, seed=7)
+        assert sweep.last_retried
+        sweep.map_seeded(_draw, items, seed=7)
+        assert sweep.last_retried == ()
+
+    def test_twice_dead_shard_raises(self):
+        sweep = ParallelSweep(jobs=2)
+        with pytest.raises(RuntimeError, match=r"failed twice"):
+            sweep.map_seeded(_die_always, [0, 1, 4], seed=0)
+
+    def test_shard_timeout_triggers_retry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+        items = list(range(4))
+        sweep = ParallelSweep(jobs=2, shard_timeout=1.0)
+        try:
+            results = sweep.map_seeded(_stall_once, items, seed=5)
+        finally:
+            (tmp_path / "stop").write_text("done")  # release the stalled worker
+        assert results == ParallelSweep(jobs=1).map_seeded(_draw, items, seed=5)
+        assert 2 in sweep.last_retried
+
+    def test_worker_exceptions_propagate_unretried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+        sweep = ParallelSweep(jobs=2)
+        with pytest.raises(ValueError, match="bad shard 2"):
+            sweep.map_seeded(_raise_on, list(range(4)), seed=0)
+        assert sweep.last_retried == ()
 
 
 class TestRegistryOverrides:

@@ -1,0 +1,164 @@
+"""Bit-identity of the compiled faulted kernels against the references.
+
+The fault masks are lowered into :class:`StagePlan` tables and executed
+by three compiled kernels (dense, counts-only, sparse random-priority);
+:class:`StageGraphReference` builds per-bucket live lists independently,
+and :class:`FaultyEDNetwork` implements the grant semantics per message.
+Every pair must agree wire-for-wire on every family, priority, seed, and
+batch size — these tests are the contract that lets the Monte-Carlo
+harness run damaged fabrics on the fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.faults import FaultSet, FaultyEDNetwork, WireFault, random_graph_faults
+from repro.sim.batched import CompiledStageRouter
+from repro.sim.plan import stage_plan_for
+from repro.sim.rng import make_rng, spawn_keys
+from repro.sim.stagegraph import (
+    StageGraphReference,
+    delta_graph,
+    dilated_graph,
+    edn_graph,
+    omega_graph,
+)
+
+IDLE = -1
+
+FAMILIES = [
+    ("edn", lambda: edn_graph(EDNParams(8, 2, 4, 2))),
+    ("delta", lambda: delta_graph(4, 4, 3)),
+    ("omega", lambda: omega_graph(32)),
+    ("dilated", lambda: dilated_graph(4, 4, 2, 2)),
+]
+
+
+def _demands(graph, batch, seed, rate=0.9):
+    rng = make_rng(seed)
+    dests = rng.integers(0, graph.n_outputs, size=(batch, graph.n_inputs))
+    dests[rng.random((batch, graph.n_inputs)) > rate] = IDLE
+    return dests
+
+
+def _draw_faults(graph, seed, rate=0.06):
+    faults = random_graph_faults(graph, rate, make_rng(seed)).canonical()
+    if not faults:  # tiny graphs can draw empty; pin one interior wire
+        faults = (WireFault(1, 0, 0),)
+    return faults
+
+
+@pytest.mark.parametrize("family,build", FAMILIES, ids=[f[0] for f in FAMILIES])
+@pytest.mark.parametrize("priority", ["label", "random"])
+@pytest.mark.parametrize("batch", [1, 7, 32])
+def test_compiled_matches_stagegraph_reference(family, build, priority, batch):
+    graph = build()
+    faults = _draw_faults(graph, seed=3)
+    compiled = CompiledStageRouter(graph, priority=priority, faults=faults)
+    reference = StageGraphReference(graph, priority=priority, faults=faults)
+    for seed in (0, 11):
+        dests = _demands(graph, batch, seed)
+        # One tie-break generator per cycle: route_batch with a list of
+        # generators matches route(dests[i], rng_i) bit for bit.
+        keys = spawn_keys(seed, batch)
+        got = compiled.route_batch(dests, [make_rng(key) for key in keys])
+        for i in range(batch):
+            want = reference.route(dests[i], make_rng(keys[i]))
+            np.testing.assert_array_equal(got.output[i], want.output)
+            np.testing.assert_array_equal(got.blocked_stage[i], want.blocked_stage)
+
+
+@pytest.mark.parametrize("family,build", FAMILIES, ids=[f[0] for f in FAMILIES])
+@pytest.mark.parametrize("priority", ["label", "random"])
+def test_counts_kernel_matches_dense_kernel(family, build, priority):
+    graph = build()
+    faults = _draw_faults(graph, seed=5)
+    router = CompiledStageRouter(graph, priority=priority, faults=faults)
+    dests = _demands(graph, 16, seed=2)
+    dense = router.route_batch(dests, make_rng(9))
+    counts = router.route_batch_counts(dests, make_rng(9))
+    np.testing.assert_array_equal(
+        (dense.output != IDLE).sum(axis=1), counts.delivered_per_cycle
+    )
+    np.testing.assert_array_equal(
+        (dests != IDLE).sum(axis=1), counts.offered_per_cycle
+    )
+
+
+class TestAgainstFaultyEDNetwork:
+    """Per-message reference semantics, including crossbar-column faults."""
+
+    PARAMS = EDNParams(8, 2, 4, 2)
+
+    @pytest.mark.parametrize("seed", [0, 4, 21])
+    @pytest.mark.parametrize("batch", [1, 5, 24])
+    def test_bit_identical_outcomes(self, seed, batch):
+        params = self.PARAMS
+        graph = edn_graph(params)
+        faults = _draw_faults(graph, seed=seed + 100)
+        compiled = CompiledStageRouter(graph, faults=faults)
+        network = FaultyEDNetwork(params, FaultSet(faults))
+        dests = _demands(graph, batch, seed)
+        got = compiled.route_batch(dests)
+        for i, row in enumerate(dests):
+            result = network.route_destinations(
+                {int(s): int(d) for s, d in enumerate(row) if d != IDLE}
+            )
+            for outcome in result.outcomes:
+                s = outcome.message.source
+                if outcome.delivered:
+                    assert got.output[i, s] == outcome.output
+                    assert got.blocked_stage[i, s] == 0
+                else:
+                    assert got.output[i, s] == IDLE
+                    assert got.blocked_stage[i, s] == outcome.blocked_stage
+
+    def test_crossbar_column_fault(self):
+        # A dead wire in the final c x c crossbar column blocks at stage
+        # l + 1; the compiled plan masks it with the same stage index.
+        params = self.PARAMS
+        graph = edn_graph(params)
+        faults = (WireFault(params.l + 1, 0, 0), WireFault(params.l + 1, 1, 3))
+        compiled = CompiledStageRouter(graph, faults=faults)
+        network = FaultyEDNetwork(params, FaultSet(faults))
+        dests = _demands(graph, 12, seed=6, rate=1.0)
+        got = compiled.route_batch(dests)
+        blocked_at_crossbar = 0
+        for i, row in enumerate(dests):
+            result = network.route_destinations(
+                {int(s): int(d) for s, d in enumerate(row)}
+            )
+            for outcome in result.outcomes:
+                s = outcome.message.source
+                expected = 0 if outcome.delivered else outcome.blocked_stage
+                assert got.blocked_stage[i, s] == expected
+                if expected == params.l + 1:
+                    blocked_at_crossbar += 1
+        assert blocked_at_crossbar > 0  # the fault actually bit
+
+
+class TestFaultedPlanCache:
+    def test_fault_sets_key_distinct_plans(self):
+        graph = delta_graph(4, 4, 2)
+        pristine = stage_plan_for(graph, "label")
+        faulted = stage_plan_for(graph, "label", (WireFault(1, 0, 0),))
+        assert pristine is not faulted
+        assert faulted.faults == (WireFault(1, 0, 0),)
+        assert pristine.faults == ()
+
+    def test_same_faults_share_one_plan(self):
+        graph = delta_graph(4, 4, 2)
+        faults = (WireFault(2, 1, 0), WireFault(1, 0, 3))
+        a = stage_plan_for(graph, "label", faults)
+        b = stage_plan_for(graph, "label", tuple(reversed(faults)))
+        assert a is b  # canonicalized before keying
+
+    def test_routers_with_same_faults_share_plan(self):
+        graph = omega_graph(16)
+        faults = (WireFault(1, 2, 0),)
+        a = CompiledStageRouter(graph, faults=faults)
+        b = CompiledStageRouter(graph, faults=faults)
+        assert a._plan is b._plan
