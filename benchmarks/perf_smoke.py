@@ -15,6 +15,7 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/perf_smoke.py --plan-cache
     PYTHONPATH=src python benchmarks/perf_smoke.py --baseline-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --fault-matrix
+    PYTHONPATH=src python benchmarks/perf_smoke.py --serve-matrix
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -32,7 +33,12 @@ stage graph and times faulted Monte-Carlo through the compiled masked
 plans against the per-cycle loop reference (bit-identical counts
 asserted per cell) and, on EDN, the per-message grant-semantics
 reference (>=10x per-cycle floor at N=4096), recording
-``BENCH_fault_matrix.json``.
+``BENCH_fault_matrix.json``.  ``--serve-matrix`` benchmarks the
+``repro.serve`` simulation service end to end — cells/sec against worker
+count (>=3x 1->4 workers asserted on >=4-core hosts), four concurrent
+clients pushing >=1000 overlapping cells through one instance (server
+dedupe rate floor 0.5), per-worker plan-cache hit rates, streaming
+partials, and service-vs-inline bit-identity — into ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -88,6 +94,26 @@ FAULT_REFERENCE_CYCLES = 2
 #: Faulted Monte-Carlo speedup floor vs the per-message fault reference,
 #: asserted at N = 4096 (merge criterion of the fault-lowering PR).
 FAULT_SPEEDUP_FLOOR = 10.0
+
+SERVE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+#: Worker counts swept by the serve scaling phase (fresh server each).
+SERVE_SCALING_WORKERS = (1, 2, 4)
+#: Unique cells per scaling run (seeds 0..N-1 of one EDN topology).
+SERVE_SCALING_CELLS = 64
+SERVE_SCALING_CYCLES = 200
+#: 1 -> 4 worker speedup floor, asserted when the host has >= 4 cores
+#: (worker processes cannot scale past the physical core count).
+SERVE_SCALING_FLOOR = 3.0
+#: Concurrent clients x cells each in the dedupe/throughput phase; the
+#: total submitted stream must clear SERVE_MIN_CELLS.
+SERVE_CLIENTS = 4
+SERVE_CELLS_PER_CLIENT = 300
+SERVE_MIN_CELLS = 1_000
+#: Server-reported dedupe-rate floor for the overlapping client streams
+#: (4 identical grids -> 3/4 of submissions are dupes; floor at 1/2).
+SERVE_DEDUPE_FLOOR = 0.5
+#: Cells sampled for the service-vs-inline bit-identity check.
+SERVE_IDENTITY_SAMPLE = 5
 
 PLAN_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
 #: Fixed-budget cycles per repeated call in the plan-cache comparison —
@@ -740,6 +766,229 @@ def run_plan_cache(output: Path = PLAN_OUTPUT) -> tuple[dict, list[str]]:
     return report, failures
 
 
+def run_serve_matrix(output: Path = SERVE_OUTPUT) -> tuple[dict, list[str]]:
+    """Throughput, scaling, and dedupe of the simulation service; write JSON.
+
+    Four phases against real servers on ephemeral ports:
+
+    * **scaling** — one client submits :data:`SERVE_SCALING_CELLS` unique
+      cells to a fresh server at each worker count in
+      :data:`SERVE_SCALING_WORKERS` (pool pre-forked by an off-the-clock
+      warmup cell); records cells/sec and asserts the
+      :data:`SERVE_SCALING_FLOOR` x speedup from 1 to 4 workers whenever
+      the host has >= 4 cores.
+    * **dedupe / sustained load** — :data:`SERVE_CLIENTS` concurrent
+      clients each submit the same :data:`SERVE_CELLS_PER_CLIENT`-cell
+      grid (rotated per client so the streams interleave on different
+      cells) to one 4-worker server: >= :data:`SERVE_MIN_CELLS` cells
+      through a single instance, each unique cell computed once and the
+      rest answered from the result cache or coalesced in flight.
+      Asserts the server-reported dedupe rate against
+      :data:`SERVE_DEDUPE_FLOOR` and records per-worker plan-cache hit
+      rates from the stats endpoint.
+    * **streaming** — one slow-converging adaptive cell must surface
+      partial results while it runs.
+    * **bit-identity** — :data:`SERVE_IDENTITY_SAMPLE` cells of the
+      dedupe grid are recomputed inline through ``measure_cell`` and must
+      equal the service's answers exactly.
+
+    Returns ``(report, failures)``.
+    """
+    import os
+    import threading
+
+    from repro.api.jobs import SweepCell, measure_cell
+    from repro.api.spec import RunConfig
+    from repro.serve.client import ServiceClient
+    from repro.serve.server import start_server_thread
+
+    cores = os.cpu_count() or 1
+    failures: list[str] = []
+
+    scaling_spec = NetworkSpec.edn(16, 4, 4, 4)
+    scaling_cells = [
+        SweepCell(scaling_spec, RunConfig(cycles=SERVE_SCALING_CYCLES, seed=seed))
+        for seed in range(SERVE_SCALING_CELLS)
+    ]
+    warmup = [SweepCell(scaling_spec, RunConfig(cycles=8, seed=10_000))]
+
+    scaling_rows = []
+    walls: dict[int, float] = {}
+    for workers in SERVE_SCALING_WORKERS:
+        handle = start_server_thread(workers=workers)
+        try:
+            with ServiceClient(handle.address) as client:
+                client.run(warmup)  # fork + prime the pool off the clock
+                start = time.perf_counter()
+                client.run(scaling_cells)
+                wall = time.perf_counter() - start
+                stats = client.status()
+        finally:
+            handle.stop()
+        walls[workers] = wall
+        row = {
+            "workers": workers,
+            "cells": len(scaling_cells),
+            "seconds": round(wall, 4),
+            "cells_per_second": round(len(scaling_cells) / wall, 2),
+            "speedup_vs_1_worker": round(walls[SERVE_SCALING_WORKERS[0]] / wall, 2),
+            "plan_cache_per_worker": stats["plan_cache"]["per_worker"],
+        }
+        scaling_rows.append(row)
+        print(
+            f"serve scaling: {workers} worker(s)  {wall:.3f}s  "
+            f"{row['cells_per_second']:.1f} cells/s  "
+            f"{row['speedup_vs_1_worker']:.2f}x vs 1 worker"
+        )
+    scaling_speedup = walls[SERVE_SCALING_WORKERS[0]] / walls[SERVE_SCALING_WORKERS[-1]]
+    scaling_enforced = cores >= SERVE_SCALING_WORKERS[-1]
+    if scaling_enforced and scaling_speedup < SERVE_SCALING_FLOOR:
+        failures.append(
+            f"serve 1->{SERVE_SCALING_WORKERS[-1]}-worker speedup "
+            f"{scaling_speedup:.2f}x below the {SERVE_SCALING_FLOOR:.1f}x floor"
+        )
+    if not scaling_enforced:
+        print(
+            f"serve scaling floor not enforced: host has {cores} core(s), "
+            f"needs >= {SERVE_SCALING_WORKERS[-1]}"
+        )
+
+    # ------------------------------------------------------------------
+    # Dedupe / sustained load: concurrent clients, overlapping grids.
+    # ------------------------------------------------------------------
+    dedupe_grid = [
+        SweepCell(NetworkSpec.parse(topology), RunConfig(
+            cycles=SERVE_SCALING_CYCLES, seed=seed, traffic=traffic,
+        ))
+        for topology in ("edn:16,4,4,4", "delta:8,8,2")
+        for traffic in ("uniform", "hotspot:0.1", "bitrev")
+        for seed in range(SERVE_CELLS_PER_CLIENT // 6)
+    ]
+    assert len(dedupe_grid) == SERVE_CELLS_PER_CLIENT
+    submitted_total = SERVE_CLIENTS * SERVE_CELLS_PER_CLIENT
+    assert submitted_total >= SERVE_MIN_CELLS
+
+    handle = start_server_thread(workers=SERVE_SCALING_WORKERS[-1])
+    client_errors: list[str] = []
+    try:
+        with ServiceClient(handle.address) as client:
+            client.run(warmup)
+        barrier = threading.Barrier(SERVE_CLIENTS)
+
+        def submit(rank: int) -> None:
+            rotated = dedupe_grid[rank * 75:] + dedupe_grid[:rank * 75]
+            try:
+                with ServiceClient(handle.address) as client:
+                    barrier.wait()
+                    client.run(rotated)
+            except Exception as exc:  # surfaced as a bench failure below
+                client_errors.append(f"client {rank}: {exc}")
+
+        threads = [
+            threading.Thread(target=submit, args=(rank,))
+            for rank in range(SERVE_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        with ServiceClient(handle.address) as client:
+            stats = client.status()
+
+            # Bit-identity spot check: every SERVE_IDENTITY_SAMPLE-th cell,
+            # service answer (cache hit) vs a fresh inline computation.
+            step = len(dedupe_grid) // SERVE_IDENTITY_SAMPLE
+            sample = dedupe_grid[::step][:SERVE_IDENTITY_SAMPLE]
+            served = client.run(sample)
+        inline = [measure_cell(cell) for cell in sample]
+        identical = served == inline
+    finally:
+        handle.stop()
+    failures.extend(client_errors)
+    if not identical:
+        failures.append("service results diverge from inline measure_cell")
+    dedupe_rate = stats["dedupe_rate"]
+    if dedupe_rate < SERVE_DEDUPE_FLOOR:
+        failures.append(
+            f"serve dedupe rate {dedupe_rate:.2f} below the "
+            f"{SERVE_DEDUPE_FLOOR:.2f} floor"
+        )
+    plan_hit_rates = {
+        pid: round(info["hits"] / max(1, info["hits"] + info["misses"]), 4)
+        for pid, info in stats["plan_cache"]["per_worker"].items()
+    }
+    print(
+        f"serve dedupe: {SERVE_CLIENTS} clients x {SERVE_CELLS_PER_CLIENT} cells "
+        f"= {submitted_total} submitted  {wall:.3f}s  "
+        f"{submitted_total / wall:.1f} cells/s  dedupe {dedupe_rate:.2f}  "
+        f"computed {stats['cells']['computed']}  identical={identical}"
+    )
+
+    # ------------------------------------------------------------------
+    # Streaming: a slow-converging adaptive cell must emit partials.
+    # ------------------------------------------------------------------
+    partials: list[dict] = []
+    handle = start_server_thread(workers=1)
+    try:
+        with ServiceClient(handle.address) as client:
+            client.submit(
+                [SweepCell(
+                    NetworkSpec.edn(16, 4, 4, 2),
+                    RunConfig(cycles=60_000, seed=0, batch=16, rel_err=0.002),
+                )],
+                on_partial=partials.append,
+            )
+    finally:
+        handle.stop()
+    if not partials:
+        failures.append("adaptive cell streamed no partial results")
+    print(f"serve streaming: {len(partials)} partial(s) from one adaptive cell")
+
+    report = {
+        "benchmark": "serve",
+        "workload": (
+            "SimulationServer on ephemeral TCP ports; measure_cell grids of "
+            "EDN(16,4,4,4) and delta:8,8,2 cells, "
+            f"{SERVE_SCALING_CYCLES} cycles, uniform/hotspot/bitrev traffic"
+        ),
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cores": cores,
+        },
+        "scaling": {
+            "cells": len(scaling_cells),
+            "results": scaling_rows,
+            "speedup_1_to_4": round(scaling_speedup, 2),
+            "floor": SERVE_SCALING_FLOOR,
+            "floor_enforced": scaling_enforced,
+        },
+        "dedupe": {
+            "clients": SERVE_CLIENTS,
+            "cells_per_client": SERVE_CELLS_PER_CLIENT,
+            "cells_submitted": submitted_total,
+            "unique_cells": len(dedupe_grid),
+            "seconds": round(wall, 4),
+            "cells_per_second": round(submitted_total / wall, 2),
+            "dedupe_rate": dedupe_rate,
+            "floor": SERVE_DEDUPE_FLOOR,
+            "cells": stats["cells"],
+            "result_cache": stats["result_cache"],
+            "plan_cache_hit_rate_per_worker": plan_hit_rates,
+        },
+        "streaming": {"partials_from_one_adaptive_cell": len(partials)},
+        "bit_identity": {
+            "sampled_cells": SERVE_IDENTITY_SAMPLE,
+            "identical_to_inline": identical,
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -770,7 +1019,20 @@ def main(argv: list[str] | None = None) -> int:
              "plans vs the loop and per-message references (>=10x floor at "
              "N=4096, bit-identical counts)",
     )
+    parser.add_argument(
+        "--serve-matrix",
+        action="store_true",
+        help="benchmark the simulation service: cells/sec vs worker count "
+             "(>=3x floor 1->4 workers on >=4 cores), concurrent-client "
+             "dedupe (>=0.5 floor over >=1000 cells), streaming partials, "
+             "and service-vs-inline bit-identity",
+    )
     args = parser.parse_args(argv)
+    if args.serve_matrix:
+        _report, failures = run_serve_matrix()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     if args.backend_matrix:
         run_backend_matrix()
         return 0

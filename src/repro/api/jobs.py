@@ -1,0 +1,291 @@
+"""Job and result dataclasses for the simulation service.
+
+The service layer (:mod:`repro.serve`) moves *measurement cells* between
+processes and machines: one cell is "measure this :class:`NetworkSpec`
+under this :class:`RunConfig`" — exactly the unit every Monte-Carlo
+experiment grid is built from.  This module defines that unit next to the
+specs themselves so the API layer owns the contract:
+
+* :class:`SweepCell` — a frozen ``(spec, config)`` pair with a canonical
+  JSON payload (:meth:`SweepCell.payload` / :meth:`SweepCell.from_payload`)
+  and a *content key* (:meth:`SweepCell.key`): a SHA-256 digest over every
+  field that determines the measurement's numbers (topology kind, shape,
+  disciplines, fault set, cycles, seed, batch, confidence, rel_err,
+  traffic, retry, backend).  Equal submissions — from any client, in any
+  order — hash equal, which is what the server's result cache and
+  in-flight coalescing key on.
+* :class:`CellResult` — the measurement plus service metadata (content
+  key, whether it was a cache hit, the worker pid that computed it).
+* :func:`measure_cell` — the one executable definition of a cell, used
+  identically by the inline path (:meth:`ParallelSweep.map_cells`), the
+  service workers, and the bit-identity tests, so "service == inline"
+  holds by construction.
+
+Seeds cross the wire losslessly: ``int``/``None`` directly, and
+``numpy.random.SeedSequence`` via its ``(entropy, spawn_key)`` pair — the
+positional spawn scheme every sweep uses (:mod:`repro.sim.rng`), so a
+service-backed grid reproduces the inline grid bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.api.spec import NetworkSpec, RunConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import WireFault
+
+if TYPE_CHECKING:
+    from repro.sim.montecarlo import AcceptanceMeasurement
+
+__all__ = [
+    "SweepCell",
+    "CellResult",
+    "measure_cell",
+    "measurement_to_payload",
+    "measurement_from_payload",
+    "seed_to_payload",
+    "seed_from_payload",
+]
+
+#: RunConfig fields folded into the content key — exactly the inputs that
+#: determine a measurement's numbers.  Execution-only knobs (``jobs``,
+#: ``shard_timeout``, ``service``) are deliberately absent: they change
+#: where a cell runs, never what it returns.
+_KEYED_CONFIG_FIELDS = (
+    "cycles",
+    "seed",
+    "batch",
+    "backend",
+    "confidence",
+    "rel_err",
+    "traffic",
+    "retry",
+)
+
+
+def seed_to_payload(seed) -> object:
+    """A JSON-safe encoding of a :data:`~repro.sim.rng.SeedLike` seed.
+
+    ``int`` and ``None`` pass through; a ``SeedSequence`` becomes its
+    ``{"entropy", "spawn_key"}`` pair (the values that fully determine its
+    stream and all positional children).  Generators carry hidden mutable
+    state and are rejected — spawn keys from the master seed instead.
+    """
+    if seed is None or isinstance(seed, int):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, np.integer):
+            entropy = int(entropy)
+        elif entropy is not None and not isinstance(entropy, int):
+            entropy = [int(v) for v in entropy]
+        return {"entropy": entropy, "spawn_key": [int(v) for v in seed.spawn_key]}
+    raise ConfigurationError(
+        f"cannot serialize seed of type {type(seed).__name__} for the service; "
+        "use an int, None, or a SeedSequence (e.g. from spawn_keys)"
+    )
+
+
+def seed_from_payload(payload) -> object:
+    """Invert :func:`seed_to_payload`."""
+    if payload is None or isinstance(payload, int):
+        return payload
+    entropy = payload["entropy"]
+    if isinstance(entropy, list):
+        entropy = [int(v) for v in entropy]
+    return np.random.SeedSequence(
+        entropy=entropy, spawn_key=tuple(int(v) for v in payload["spawn_key"])
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of service work: measure ``spec`` under ``config``.
+
+    >>> cell = SweepCell(NetworkSpec.edn(16, 4, 4, 2),
+    ...                  RunConfig(cycles=20, seed=0))
+    >>> cell == SweepCell.from_payload(cell.payload())
+    True
+    >>> len(cell.key())
+    64
+    """
+
+    spec: NetworkSpec
+    config: RunConfig
+
+    def payload(self) -> dict:
+        """The canonical JSON-safe dict (round-trips via :meth:`from_payload`)."""
+        retry = self.config.retry
+        return {
+            "spec": {
+                "kind": self.spec.kind,
+                "shape": list(self.spec.shape),
+                "priority": self.spec.priority,
+                "wire_policy": self.spec.wire_policy,
+                "faults": [
+                    [f.stage, f.switch, f.local_wire] for f in self.spec.faults
+                ],
+            },
+            "config": {
+                "cycles": self.config.cycles,
+                "seed": seed_to_payload(self.config.seed),
+                "batch": self.config.batch,
+                "backend": self.config.backend,
+                "confidence": self.config.confidence,
+                "rel_err": self.config.rel_err,
+                "traffic": self.config.traffic,
+                "retry": retry.label if retry is not None else None,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SweepCell":
+        spec = payload["spec"]
+        config = payload["config"]
+        return cls(
+            spec=NetworkSpec(
+                kind=spec["kind"],
+                shape=tuple(spec["shape"]),
+                priority=spec.get("priority", "label"),
+                wire_policy=spec.get("wire_policy", "first_free"),
+                faults=tuple(WireFault(*f) for f in spec.get("faults", ())),
+            ),
+            config=RunConfig(
+                cycles=config.get("cycles"),
+                seed=seed_from_payload(config.get("seed")),
+                batch=config.get("batch"),
+                backend=config.get("backend", "auto"),
+                confidence=config.get("confidence"),
+                rel_err=config.get("rel_err"),
+                traffic=config.get("traffic"),
+                retry=config.get("retry"),
+            ),
+        )
+
+    def key(self) -> str:
+        """The content key: SHA-256 over the canonical payload.
+
+        Covers the spec (including the canonical fault tuple — the same
+        canonicalization the plan cache keys on) and every
+        result-determining config field; two cells agree on their key iff
+        they would produce identical measurements.
+        """
+        payload = self.payload()
+        payload["config"] = {
+            name: payload["config"][name] for name in _KEYED_CONFIG_FIELDS
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def measurement_to_payload(measurement: "AcceptanceMeasurement") -> dict:
+    """A JSON-safe dict of a measurement (closed-loop fields included).
+
+    Floats serialize via ``repr`` (Python's ``json``), which round-trips
+    every finite double exactly — the payload is bit-identical to the
+    in-process numbers.
+    """
+    acceptance = measurement.acceptance
+    payload = {
+        "cycles": measurement.cycles,
+        "offered": measurement.offered,
+        "delivered": measurement.delivered,
+        "acceptance": [acceptance.point, acceptance.low, acceptance.high],
+        "blocked_by_stage": {
+            str(stage): count
+            for stage, count in measurement.blocked_by_stage.items()
+        },
+        "budget": measurement.budget,
+        "target_rel_err": measurement.target_rel_err,
+        "converged": measurement.converged,
+    }
+    if getattr(measurement, "policy", None) is not None:
+        payload["closed_loop"] = {
+            "attempts": [
+                measurement.attempts.point,
+                measurement.attempts.low,
+                measurement.attempts.high,
+            ],
+            "latency": [
+                measurement.latency.point,
+                measurement.latency.low,
+                measurement.latency.high,
+            ],
+            "delivered_messages": measurement.delivered_messages,
+            "abandoned": measurement.abandoned,
+            "policy": measurement.policy.label,
+        }
+    return payload
+
+
+def measurement_from_payload(payload: dict) -> "AcceptanceMeasurement":
+    """Invert :func:`measurement_to_payload`."""
+    from repro.sim.stats import Interval
+
+    common = {
+        "cycles": payload["cycles"],
+        "offered": payload["offered"],
+        "delivered": payload["delivered"],
+        "acceptance": Interval(*payload["acceptance"]),
+        "blocked_by_stage": {
+            int(stage): count
+            for stage, count in payload["blocked_by_stage"].items()
+        },
+        "budget": payload["budget"],
+        "target_rel_err": payload["target_rel_err"],
+        "converged": payload["converged"],
+    }
+    closed = payload.get("closed_loop")
+    if closed is not None:
+        from repro.sim.closedloop import ClosedLoopMeasurement, RetryPolicy
+        from repro.sim.stats import Interval as _I
+
+        return ClosedLoopMeasurement(
+            **common,
+            attempts=_I(*closed["attempts"]),
+            latency=_I(*closed["latency"]),
+            delivered_messages=closed["delivered_messages"],
+            abandoned=closed["abandoned"],
+            policy=RetryPolicy.parse(closed["policy"]),
+        )
+    from repro.sim.montecarlo import AcceptanceMeasurement
+
+    return AcceptanceMeasurement(**common)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """A measured cell plus its service metadata.
+
+    ``cached`` distinguishes a dedupe hit from fresh compute; ``worker``
+    is the pid that ran the measurement (``None`` for cache hits).
+    """
+
+    key: str
+    measurement: "AcceptanceMeasurement"
+    cached: bool = False
+    worker: Optional[int] = None
+
+
+def measure_cell(cell: SweepCell, *, progress=None) -> "AcceptanceMeasurement":
+    """Execute one cell — the single definition of cell semantics.
+
+    Builds the router through the backend registry (consulting the
+    per-process plan cache) and hands off to
+    :func:`~repro.sim.montecarlo.measure_acceptance` with the cell's
+    config; the service workers, :meth:`ParallelSweep.map_cells`, and the
+    bit-identity tests all call exactly this function.  ``progress`` is
+    forwarded to the harness (chunk-boundary streaming callback); it
+    observes only, so results are identical with or without it.
+    """
+    from repro.api.registry import build_router
+    from repro.sim.montecarlo import measure_acceptance
+
+    router = build_router(cell.spec, cell.config.backend)
+    return measure_acceptance(router, config=cell.config, progress=progress)

@@ -368,6 +368,19 @@ class RunConfig:
         latency statistics — see
         :func:`repro.sim.montecarlo.measure_acceptance`.  Unset means
         open-loop sources (every cycle draws fresh traffic).
+    shard_timeout:
+        Seconds one sweep shard's result may take before its worker is
+        declared lost and the shard is resubmitted
+        (:class:`~repro.experiments.parallel.ParallelSweep`, and the
+        per-cell timeout of ``repro serve``).  Unset means no deadline.
+    service:
+        Address of a running ``repro serve`` instance
+        (``HOST:PORT`` or ``unix:/PATH``).  When set, sweeps that fan out
+        measurement cells (:meth:`ParallelSweep.map_cells`) submit them to
+        the service — sharing its warm plan caches and content-keyed
+        result cache — instead of spawning a local pool.  Execution-only:
+        results are bit-identical either way, so ``service`` (like
+        ``jobs``) never enters result cache keys.
 
     >>> RunConfig(traffic="bit_reversal").traffic  # aliases canonicalize
     'bitrev'
@@ -382,11 +395,17 @@ class RunConfig:
     rel_err: Optional[float] = None
     traffic: Optional[str] = None
     retry: Optional[object] = None
+    shard_timeout: Optional[float] = None
+    service: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rel_err is not None and not 0 < self.rel_err < 1:
             raise ConfigurationError(
                 f"rel_err must lie in (0, 1), got {self.rel_err}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be > 0 seconds, got {self.shard_timeout}"
             )
         if self.retry is not None:
             # Accept a RetryPolicy or its spec string; store the policy

@@ -18,7 +18,14 @@ code:
 * ``experiment ID ...`` — regenerate paper figures (see ``experiment
   --list``); ``--json``/``--csv`` emit machine-readable figure data;
 * ``maspar`` — the Section 5 MasPar MP-1 drain, model and simulation;
-* ``mimd A B C L -r RATE`` — Section 4 resubmission analysis.
+* ``mimd A B C L -r RATE`` — Section 4 resubmission analysis;
+* ``serve`` — run the sharded simulation service (:mod:`repro.serve`):
+  content-keyed result cache, supervised worker pool, streaming partials;
+* ``submit`` — send a topology x workload grid to a running service and
+  print the results (``--partials`` streams convergence checkpoints);
+* ``status`` — a running service's stats (queue depth, worker
+  utilization, dedupe rate, per-worker plan-cache hit rates);
+* ``cache`` — the in-process routing-plan cache counters.
 """
 
 from __future__ import annotations
@@ -132,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
              "up to N attempts, with optional exponential backoff — e.g. "
              "--retry 8:1:2; adds per-message attempt/latency columns",
     )
+    route.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per parallel sweep shard / service cell (execution "
+             "knob only: never changes results or cache keys)",
+    )
+    route.add_argument(
+        "--cache-stats", action="store_true",
+        help="print routing-plan cache hit/miss counters after the run",
+    )
 
     workloads = sub.add_parser(
         "workloads",
@@ -177,6 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
              "budgets become ceilings, each grid point stops when its CI "
              "half-width falls to FRAC of its estimate",
     )
+    experiment.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per parallel sweep shard (the shard is retried once "
+             "on a fresh pool, then the sweep fails)",
+    )
+    experiment.add_argument(
+        "--service", default=None, metavar="ADDR",
+        help="route cell-based experiment grids (e.g. workload_matrix) to "
+             "a running `repro serve` instance at HOST:PORT or unix:/PATH",
+    )
     output = experiment.add_mutually_exclusive_group()
     output.add_argument(
         "--json", action="store_true",
@@ -200,6 +226,111 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("a", "b", "c", "l"):
         mimd.add_argument(name, type=int)
     mimd.add_argument("-r", "--rate", type=float, default=0.5)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded simulation service",
+        description=(
+            "Long-running simulation-as-a-service: accepts measurement "
+            "cells from concurrent clients over JSON lines (TCP or Unix "
+            "socket), dedupes them through a content-keyed result cache, "
+            "shards misses across a supervised worker pool with warm "
+            "per-worker routing-plan caches, and streams partial results "
+            "at adaptive-stopping chunk boundaries.  Stop with Ctrl-C or "
+            "a client 'shutdown' message."
+        ),
+    )
+    serve.add_argument(
+        "--address", default=None, metavar="ADDR",
+        help="listen address: HOST:PORT (port 0 = ephemeral) or "
+             "unix:/PATH (default 127.0.0.1:8753)",
+    )
+    serve.add_argument(
+        "-w", "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=None, metavar="CELLS",
+        help="result-cache capacity in cells (default 65536)",
+    )
+    serve.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per cell before its worker is declared stuck and "
+             "the cell resubmitted (default: none)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="send a topology x workload grid to a running service",
+        description=(
+            "Builds the same measurement cells `repro route` would run "
+            "inline — one per (topology, traffic) pair, seeded "
+            "positionally from --seed — submits them to a running "
+            "`repro serve` instance, and prints the result table.  "
+            "Results are bit-identical to the inline path; repeated "
+            "submissions hit the service's result cache."
+        ),
+    )
+    submit.add_argument(
+        "-t", "--topology", action="append", required=True, metavar="KIND:SHAPE",
+        help="topology spec (repeatable; see `repro route`)",
+    )
+    submit.add_argument(
+        "--traffic", action="append", metavar="SPEC", default=None,
+        help="workload spec (repeatable; default: uniform)",
+    )
+    submit.add_argument(
+        "--address", default=None, metavar="ADDR",
+        help="service address, HOST:PORT or unix:/PATH (default 127.0.0.1:8753)",
+    )
+    submit.add_argument("--cycles", type=int, default=200, help="Monte-Carlo cycles (default 200)")
+    submit.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    submit.add_argument(
+        "--batch", type=int, default=None, metavar="CYCLES",
+        help="cycles routed per batched chunk (default: auto)",
+    )
+    submit.add_argument(
+        "--backend", default="auto", metavar="NAME",
+        help="router backend (default: auto)",
+    )
+    submit.add_argument(
+        "--rel-err", type=float, default=None, metavar="FRAC",
+        help="adaptive early stopping target (see `repro route`)",
+    )
+    submit.add_argument(
+        "--partials", action="store_true",
+        help="print streamed partial results (convergence checkpoints) "
+             "as they arrive",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="stats of a running simulation service",
+        description=(
+            "Queue depth, worker utilization, dedupe rate, result-cache "
+            "and per-worker routing-plan-cache counters of a running "
+            "`repro serve` instance."
+        ),
+    )
+    status.add_argument(
+        "--address", default=None, metavar="ADDR",
+        help="service address, HOST:PORT or unix:/PATH (default 127.0.0.1:8753)",
+    )
+    status.add_argument(
+        "--json", action="store_true", help="emit the raw stats JSON",
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="in-process routing-plan cache counters",
+        description=(
+            "Hits, misses, and size of this process's routing-plan cache "
+            "(repro.sim.plan) — the same counters the service's stats "
+            "endpoint reports per worker.  Mostly useful after "
+            "`repro route --cache-stats` or from code; a fresh CLI "
+            "process naturally starts empty."
+        ),
+    )
 
     return parser
 
@@ -264,6 +395,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             backend=args.backend,
             rel_err=args.rel_err,
             retry=args.retry,
+            shard_timeout=args.shard_timeout,
         )
         explicit_faults = tuple(
             fault for text in (args.faults or ()) for fault in parse_fault_list(text)
@@ -334,7 +466,22 @@ def _cmd_route(args: argparse.Namespace) -> int:
         headers += ["attempts", "latency", "abandoned"]
         title += f", retry {config.retry.label}"
     print(format_table(headers, rows, title=title))
+    if args.cache_stats:
+        print()
+        print(_plan_cache_table())
     return 0
+
+
+def _plan_cache_table() -> str:
+    """The routing-plan cache counters as a rendered table."""
+    from repro.sim.plan import plan_cache_info
+
+    info = plan_cache_info()
+    return format_table(
+        ["counter", "value"],
+        [[name, info[name]] for name in ("hits", "misses", "size", "maxsize")],
+        title="routing-plan cache (repro.sim.plan)",
+    )
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -408,6 +555,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 batch=args.batch,
                 traffic=args.traffic,
                 rel_err=args.rel_err,
+                shard_timeout=args.shard_timeout,
+                service=args.service,
             )
             for experiment_id in ids
         ]
@@ -420,6 +569,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 batch=args.batch,
                 traffic=args.traffic,
                 rel_err=args.rel_err,
+                shard_timeout=args.shard_timeout,
+                service=args.service,
             )
             if result.series:
                 print(f"# {result.experiment_id}: series")
@@ -436,6 +587,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             batch=args.batch,
             traffic=args.traffic,
             rel_err=args.rel_err,
+            shard_timeout=args.shard_timeout,
+            service=args.service,
         )
     return 0
 
@@ -471,6 +624,195 @@ def _cmd_mimd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.protocol import DEFAULT_ADDRESS
+    from repro.serve.server import serve_forever
+
+    address = args.address if args.address is not None else DEFAULT_ADDRESS
+
+    def _announce(server) -> None:
+        print(
+            f"repro serve: listening on {server.bound_address} "
+            f"({server.workers} workers, cache {server.cache.maxsize} cells"
+            + (
+                f", shard timeout {server.shard_timeout:g}s"
+                if server.shard_timeout is not None
+                else ""
+            )
+            + ")",
+            flush=True,
+        )
+
+    kwargs = {}
+    if args.cache_size is not None:
+        kwargs["cache_size"] = args.cache_size
+    try:
+        asyncio.run(
+            serve_forever(
+                address,
+                workers=args.workers,
+                shard_timeout=args.shard_timeout,
+                ready=_announce,
+                **kwargs,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _build_submit_cells(args: argparse.Namespace):
+    """The (cell, labels) grid `repro submit` sends — seeded like a sweep.
+
+    One cell per (topology, traffic) pair; each gets the positional child
+    of the master seed (the :func:`~repro.sim.rng.spawn_keys` convention),
+    so a resubmission — or the same grid run inline — reproduces the
+    numbers bit for bit.
+    """
+    from repro.api import NetworkSpec, RunConfig
+    from repro.api.jobs import SweepCell
+    from repro.sim.rng import spawn_keys
+    from repro.workloads import parse_workload
+
+    traffics = args.traffic or ["uniform"]
+    pairs = [
+        (NetworkSpec.parse(text), parse_workload(traffic_text))
+        for text in args.topology
+        for traffic_text in traffics
+    ]
+    cells = [
+        SweepCell(
+            spec=spec,
+            config=RunConfig(
+                cycles=args.cycles,
+                seed=key,
+                batch=args.batch,
+                backend=args.backend,
+                rel_err=args.rel_err,
+                traffic=workload.label,
+            ),
+        )
+        for (spec, workload), key in zip(pairs, spawn_keys(args.seed, len(pairs)))
+    ]
+    labels = [(spec.label, workload.label) for spec, workload in pairs]
+    return cells, labels
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import EDNError
+    from repro.serve.client import ServiceClient, ServiceError
+    from repro.serve.protocol import DEFAULT_ADDRESS
+
+    address = args.address if args.address is not None else DEFAULT_ADDRESS
+    try:
+        cells, labels = _build_submit_cells(args)
+    except EDNError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    key_to_label = {cell.key(): label for cell, label in zip(cells, labels)}
+
+    def _print_partial(message: dict) -> None:
+        topology, traffic = key_to_label.get(message["key"], ("?", "?"))
+        point, low, high = message["acceptance"]
+        print(
+            f"partial: {topology} x {traffic}: PA={point:.6f} "
+            f"[{low:.4f}, {high:.4f}] after {message['cycles']} cycles",
+            flush=True,
+        )
+
+    try:
+        with ServiceClient(address) as client:
+            results = client.submit(
+                cells, on_partial=_print_partial if args.partials else None
+            )
+    except (ServiceError, OSError) as exc:
+        print(f"error: service at {address}: {exc}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for (topology, traffic), cell, result in zip(labels, cells, results):
+        interval = result.measurement.acceptance
+        rows.append([
+            topology,
+            traffic,
+            cell.spec.n_inputs,
+            f"{interval.point:.6f}",
+            f"[{interval.low:.4f}, {interval.high:.4f}]",
+            result.measurement.cycles,
+            "hit" if result.cached else f"pid {result.worker}",
+        ])
+    budget = (
+        f"adaptive (rel-err {args.rel_err:g}, budget {args.cycles})"
+        if args.rel_err is not None
+        else f"{args.cycles} cycles"
+    )
+    print(
+        format_table(
+            ["topology", "traffic", "inputs", "PA", "95% CI", "cycles", "served by"],
+            rows,
+            title=f"service {address}, {budget}, seed {args.seed}",
+        )
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClient, ServiceError
+    from repro.serve.protocol import DEFAULT_ADDRESS
+
+    address = args.address if args.address is not None else DEFAULT_ADDRESS
+    try:
+        with ServiceClient(address, timeout=10.0) as client:
+            stats = client.status()
+    except (ServiceError, OSError) as exc:
+        print(f"error: service at {address}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    workers = stats["workers"]
+    cells = stats["cells"]
+    result_cache = stats["result_cache"]
+    rows = [
+        ["address", stats["address"]],
+        ["uptime", f"{stats['uptime_s']:.1f}s"],
+        ["workers busy/configured", f"{workers['busy']}/{workers['configured']}"],
+        ["worker utilization", f"{workers['utilization']:.0%}"],
+        ["queue depth", stats["queue_depth"]],
+        ["pool rebuilds", workers["pool_rebuilds"]],
+        ["jobs completed/submitted",
+         f"{stats['jobs']['completed']}/{stats['jobs']['submitted']}"],
+        ["cells completed/submitted",
+         f"{cells['completed']}/{cells['submitted']}"],
+        ["cells computed", cells["computed"]],
+        ["cells deduped (cache/coalesce/in-job)",
+         f"{cells['cached']}/{cells['coalesced']}/{cells['deduped_in_job']}"],
+        ["cells resubmitted", cells["resubmitted"]],
+        ["cells failed", cells["failed"]],
+        ["dedupe rate", f"{stats['dedupe_rate']:.1%}"],
+        ["partials streamed", stats["partials_streamed"]],
+        ["result cache hits/misses/size",
+         f"{result_cache['hits']}/{result_cache['misses']}/{result_cache['size']}"],
+    ]
+    for pid, info in stats["plan_cache"]["per_worker"].items():
+        rows.append([
+            f"plan cache (worker {pid}) hits/misses/size",
+            f"{info['hits']}/{info['misses']}/{info['size']}",
+        ])
+    print(format_table(["stat", "value"], rows, title="simulation service status"))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    print(_plan_cache_table())
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "pa": _cmd_pa,
@@ -479,6 +821,10 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "maspar": _cmd_maspar,
     "mimd": _cmd_mimd,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "cache": _cmd_cache,
 }
 
 

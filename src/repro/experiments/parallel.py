@@ -22,7 +22,17 @@ are pure functions of ``(item, seed key)``, so a rerun reproduces the
 lost result bit-for-bit.  Retried shard indices are surfaced on
 ``last_retried``; shards that fail twice raise.  Ordinary exceptions
 from the worker function are *not* retried — they are bugs, and
-propagate immediately.
+propagate immediately.  The supervision machinery itself (deadline-based
+collection, fresh-pool retry, attempt ledger) lives in
+:mod:`repro.serve.supervisor`, shared with the simulation service's
+worker pool; ``shard_timeout`` deadlines are *per shard from the moment
+it starts running*, so one slow shard never extends another's clock.
+
+Grids expressed as measurement cells (:class:`~repro.api.jobs.SweepCell`)
+can additionally be routed to a running simulation service with
+``service="HOST:PORT"`` — :meth:`map_cells` then submits the cells over
+the wire (gaining the service's result cache and cross-client dedupe)
+instead of forking a local pool, with bit-identical results.
 
 Workers interact with two per-process optimizations transparently: each
 process has its own :mod:`repro.sim.plan` cache, so a worker sweeping
@@ -36,24 +46,18 @@ stopping decisions depend only on each cell's own stream.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as ShardTimeout
-from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Optional
 
+from repro.serve.supervisor import RETRY_BACKOFF, supervised_map
 from repro.sim.rng import SeedLike, spawn_keys
 
 if TYPE_CHECKING:
+    from repro.api.jobs import SweepCell
     from repro.api.spec import RunConfig
 
 __all__ = ["ParallelSweep"]
-
-#: Seconds to wait before retrying lost shards on a fresh pool.
-RETRY_BACKOFF = 0.25
 
 
 def _call_seeded(payload):
@@ -68,24 +72,40 @@ def _call_plain(payload):
     return fn(item)
 
 
+def _call_cell(payload):
+    """Top-level pool target: measure one serialized SweepCell."""
+    from repro.api.jobs import SweepCell, measure_cell
+
+    return measure_cell(SweepCell.from_payload(payload))
+
+
 class ParallelSweep:
     """Map experiment workers over a grid, optionally across processes.
 
     ``jobs=None`` uses every available core; ``jobs=1`` runs inline (no
     pool, no pickling — the default for tests and small grids).
-    ``shard_timeout`` bounds how long one shard's result may take
-    (seconds, ``None`` = forever); a shard that times out or loses its
-    worker process is retried once on a fresh pool, and ``last_retried``
-    records which shard indices needed it.
+    ``shard_timeout`` bounds how long one shard may *run* (seconds,
+    ``None`` = forever; the clock starts when the shard's worker picks it
+    up, not at submission); a shard that times out or loses its worker
+    process is retried once on a fresh pool, and ``last_retried`` records
+    which shard indices needed it.  ``service`` routes :meth:`map_cells`
+    grids to a running simulation service instead of a local pool.
     """
 
-    def __init__(self, jobs: Optional[int] = None, *, shard_timeout: Optional[float] = None):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        shard_timeout: Optional[float] = None,
+        service: Optional[str] = None,
+    ):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError(f"shard_timeout must be > 0 seconds, got {shard_timeout}")
         self.jobs = jobs
         self.shard_timeout = shard_timeout
+        self.service = service
         #: Shard indices of the last ``map``/``map_seeded`` call that were
         #: rerun after worker death or timeout (empty = clean run).
         self.last_retried: tuple[int, ...] = ()
@@ -94,14 +114,18 @@ class ParallelSweep:
     def from_config(
         cls, config: "RunConfig | None", *, default_jobs: Optional[int] = 1
     ) -> "ParallelSweep":
-        """A sweep sized by ``config.jobs`` (``default_jobs`` when unset).
+        """A sweep sized and tuned by ``config`` (``default_jobs`` when unset).
 
-        The experiment-runner convention defaults to ``jobs=1`` (inline,
-        no pool) rather than all-cores, so analytic grids and tests never
-        pay process start-up unless fan-out was requested.
+        Threads ``config.jobs``, ``config.shard_timeout``, and
+        ``config.service`` through.  The experiment-runner convention
+        defaults to ``jobs=1`` (inline, no pool) rather than all-cores,
+        so analytic grids and tests never pay process start-up unless
+        fan-out was requested.
         """
         jobs = config.jobs if config is not None and config.jobs is not None else default_jobs
-        return cls(jobs)
+        shard_timeout = config.shard_timeout if config is not None else None
+        service = config.service if config is not None else None
+        return cls(jobs, shard_timeout=shard_timeout, service=service)
 
     def resolved_jobs(self, n_items: int) -> int:
         """Worker processes that would actually be used for ``n_items``."""
@@ -124,59 +148,33 @@ class ParallelSweep:
             _call_seeded, [(fn, item, key) for item, key in zip(items, keys)]
         )
 
+    def map_cells(self, cells: "Sequence[SweepCell]") -> list:
+        """Measure a grid of :class:`~repro.api.jobs.SweepCell` cells.
+
+        With ``service`` set, submits the whole grid to the running
+        simulation service in one job (the server dedupes identical cells
+        against its content-keyed result cache and across concurrent
+        clients, and shards misses over its own worker pool); otherwise
+        runs locally through :func:`~repro.api.jobs.measure_cell` with
+        the usual process fan-out.  Both paths execute exactly
+        ``measure_cell``, so results are bit-identical.
+        """
+        cells = list(cells)
+        if self.service is not None:
+            from repro.serve.client import ServiceClient
+
+            self.last_retried = ()
+            with ServiceClient(self.service) as client:
+                return client.run(cells)
+        return self._run(_call_cell, [cell.payload() for cell in cells])
+
     def _run(self, target: Callable, payloads: list) -> list:
         self.last_retried = ()
         jobs = self.resolved_jobs(len(payloads))
         if jobs == 1 or len(payloads) <= 1:
             return [target(payload) for payload in payloads]
-        # fork shares the loaded numpy/scipy state with zero import cost;
-        # fall back to the platform default where fork is unavailable.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        results: list = [None] * len(payloads)
-        lost = self._fan_out(target, payloads, range(len(payloads)), jobs, ctx, results)
-        if lost:
-            # A dead worker poisons its whole ProcessPoolExecutor, so the
-            # retry needs a fresh pool; reruns are deterministic (shards
-            # are pure in (item, seed key)), so results are unaffected.
-            self.last_retried = tuple(lost)
-            time.sleep(RETRY_BACKOFF)
-            lost = self._fan_out(
-                target, payloads, lost, min(jobs, len(lost)), ctx, results
-            )
-            if lost:
-                raise RuntimeError(
-                    f"sweep shards {list(lost)} failed twice "
-                    "(worker process died or shard timed out on both tries)"
-                )
+        results, retried = supervised_map(
+            target, payloads, jobs=jobs, timeout=self.shard_timeout
+        )
+        self.last_retried = retried
         return results
-
-    def _fan_out(self, target, payloads, indices, jobs, ctx, results) -> list[int]:
-        """Run ``indices`` on one pool, filling ``results``; return losses."""
-        lost: list[int] = []
-        timed_out = False
-        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
-        try:
-            futures = {}
-            for index in indices:
-                try:
-                    futures[index] = pool.submit(target, payloads[index])
-                except BrokenProcessPool:
-                    break  # pool already poisoned: remaining shards are lost
-            lost.extend(index for index in indices if index not in futures)
-            for index, future in futures.items():
-                try:
-                    results[index] = future.result(timeout=self.shard_timeout)
-                except BrokenProcessPool:
-                    lost.append(index)
-                except ShardTimeout:
-                    lost.append(index)
-                    timed_out = True
-        finally:
-            # After a timeout the stuck worker may never return; abandon it
-            # (cancel what has not started, do not wait) so the retry pool
-            # can proceed.  A broken pool has nothing left to wait for.
-            pool.shutdown(wait=not timed_out, cancel_futures=True)
-        return sorted(lost)

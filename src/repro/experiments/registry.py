@@ -75,16 +75,20 @@ def run_experiment(
     batch: Optional[int] = None,
     traffic: Optional[str] = None,
     rel_err: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
+    service: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by its DESIGN.md ID.
 
     ``config`` carries the execution overrides; the ``jobs``/``batch``/
-    ``traffic``/``rel_err`` keywords are CLI-flag shims layered on top of
-    it (explicit values win).  Analytic experiments ignore whatever does
-    not apply to them, and runners whose workload *is* the figure
-    (fig7_mc, nuts, ...) ignore ``traffic`` too — ``workload_matrix``
-    honors it.  ``rel_err`` switches Monte-Carlo runners to adaptive
-    early stopping (the cycle budget becomes a ceiling).
+    ``traffic``/``rel_err``/``shard_timeout``/``service`` keywords are
+    CLI-flag shims layered on top of it (explicit values win).  Analytic
+    experiments ignore whatever does not apply to them, and runners whose
+    workload *is* the figure (fig7_mc, nuts, ...) ignore ``traffic`` too —
+    ``workload_matrix`` honors it.  ``rel_err`` switches Monte-Carlo
+    runners to adaptive early stopping (the cycle budget becomes a
+    ceiling); ``shard_timeout`` bounds each sweep shard's running time;
+    ``service`` routes cell-based grids to a simulation service.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -93,7 +97,12 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
     cfg = (config if config is not None else RunConfig()).override(
-        jobs=jobs, batch=batch, traffic=traffic, rel_err=rel_err
+        jobs=jobs,
+        batch=batch,
+        traffic=traffic,
+        rel_err=rel_err,
+        shard_timeout=shard_timeout,
+        service=service,
     )
     return runner(config=cfg)
 
@@ -106,6 +115,8 @@ def main(
     batch: Optional[int] = None,
     traffic: Optional[str] = None,
     rel_err: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
+    service: Optional[str] = None,
 ) -> None:
     """Run the requested (default: all) experiments and print their reports."""
     for experiment_id in ids if ids is not None else sorted(EXPERIMENTS):
@@ -116,6 +127,8 @@ def main(
             batch=batch,
             traffic=traffic,
             rel_err=rel_err,
+            shard_timeout=shard_timeout,
+            service=service,
         )
         print(result.render())
         print()

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api.registry import build_router, resolve_backend
+from repro.api.jobs import SweepCell
+from repro.api.registry import resolve_backend
 from repro.api.spec import NetworkSpec, RunConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.parallel import ParallelSweep
-from repro.sim.montecarlo import measure_acceptance
-from repro.workloads import make_traffic, parse_workload
+from repro.sim.rng import spawn_keys
+from repro.workloads import parse_workload
 
 __all__ = ["TOPOLOGIES", "TRAFFIC", "run"]
 
@@ -58,26 +59,6 @@ TRAFFIC = (
 )
 
 
-def _matrix_cell(task, seed_key) -> float:
-    """One (topology, traffic) grid cell (ParallelSweep worker).
-
-    ``build_router`` consults the plan cache, so a worker sweeping many
-    traffic cells of one topology compiles its routing tables once.
-    """
-    topology, traffic, cycles, batch, backend, rel_err = task
-    spec = NetworkSpec.parse(topology)
-    router = build_router(spec, backend)
-    generator = make_traffic(traffic, router.n_inputs, router.n_outputs)
-    return measure_acceptance(
-        router,
-        generator,
-        cycles=cycles,
-        seed=seed_key,
-        batch=batch,
-        rel_err=rel_err,
-    ).point
-
-
 def run(
     *,
     topologies: tuple[str, ...] = TOPOLOGIES,
@@ -97,6 +78,14 @@ def run(
     narrows the sweep to that single workload (the CLI's ``experiment
     --traffic``) and a set ``config.rel_err`` lets every cell stop as
     soon as its own acceptance estimate converges.
+
+    The grid is expressed as :class:`~repro.api.jobs.SweepCell` cells —
+    each a ``(spec, config-with-positional-child-seed)`` pair — so the
+    same grid runs through the local pool, inline, or (via
+    ``config.service``) a running simulation service, bit-identically:
+    all three paths execute :func:`~repro.api.jobs.measure_cell`, and
+    each worker's per-process plan cache still compiles one topology's
+    routing tables once across its traffic cells.
     """
     cfg = (config if config is not None else RunConfig()).resolve(
         cycles=cycles, seed=seed, batch=batch, jobs=jobs
@@ -107,12 +96,23 @@ def run(
     specs = [NetworkSpec.parse(text) for text in topologies]
     backends = [resolve_backend(spec, cfg.backend) for spec in specs]
 
-    tasks = [
-        (spec.label, workload.label, cfg.cycles, cfg.batch, cfg.backend, cfg.rel_err)
-        for workload in workloads
-        for spec in specs
+    pairs = [(spec, workload) for workload in workloads for spec in specs]
+    cells = [
+        SweepCell(
+            spec=spec,
+            config=RunConfig(
+                cycles=cfg.cycles,
+                seed=key,
+                batch=cfg.batch,
+                backend=cfg.backend,
+                rel_err=cfg.rel_err,
+                traffic=workload.label,
+            ),
+        )
+        for (spec, workload), key in zip(pairs, spawn_keys(cfg.seed, len(pairs)))
     ]
-    points = ParallelSweep.from_config(cfg).map_seeded(_matrix_cell, tasks, cfg.seed)
+    measurements = ParallelSweep.from_config(cfg).map_cells(cells)
+    points = [measurement.point for measurement in measurements]
 
     result = ExperimentResult(
         experiment_id="workload_matrix",

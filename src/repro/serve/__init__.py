@@ -1,0 +1,72 @@
+"""repro.serve — the sharded async simulation service.
+
+The long-running "simulation-as-a-service" layer: a stdlib-only
+(``asyncio`` + ``concurrent.futures``, JSON lines over TCP or a Unix
+socket) server that accepts measurement cells —
+:class:`~repro.api.jobs.SweepCell` ``(spec, config)`` pairs — from many
+concurrent clients, dedupes them through a content-keyed result cache,
+shards cache misses across a supervised worker-process pool with warm
+per-worker plan caches, streams partial results at adaptive-stopping
+chunk boundaries, and survives worker death by resubmitting lost cells.
+
+Modules
+-------
+:mod:`repro.serve.protocol`
+    Wire protocol: message framing, job/result envelopes, addresses.
+:mod:`repro.serve.cache`
+    The content-keyed result cache (LRU over canonical payload bytes).
+:mod:`repro.serve.supervisor`
+    Shared worker-pool supervision: deadline-based shard collection and
+    retry-once resubmission — used by both the server's pool and
+    :class:`~repro.experiments.parallel.ParallelSweep`.
+:mod:`repro.serve.server`
+    The asyncio server: job scheduling, dedupe, streaming, stats.
+:mod:`repro.serve.client`
+    The blocking client: submit cells, stream events, query stats.
+
+Quickstart (see README for the CLI flavor)::
+
+    # terminal 1
+    repro serve --address 127.0.0.1:8753 --workers 4
+
+    # terminal 2, or from code:
+    from repro.api import NetworkSpec, RunConfig
+    from repro.api.jobs import SweepCell
+    from repro.serve.client import ServiceClient
+
+    cells = [SweepCell(NetworkSpec.parse("edn:16,4,4,2"),
+                       RunConfig(cycles=100, seed=s)) for s in range(32)]
+    with ServiceClient("127.0.0.1:8753") as client:
+        results = client.run(cells)          # AcceptanceMeasurements, in order
+        print(client.status()["result_cache"])
+"""
+
+import importlib
+
+_EXPORTS = {
+    "ServiceClient": "client",
+    "ServiceError": "client",
+    "ServerHandle": "server",
+    "SimulationServer": "server",
+    "serve_forever": "server",
+    "start_server_thread": "server",
+    "ResultCache": "cache",
+    "DEFAULT_ADDRESS": "protocol",
+    "parse_address": "protocol",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(f"repro.serve.{module_name}"), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,87 @@
+"""Content-keyed result cache: the service's dedupe memory.
+
+The server keys every cell by :meth:`repro.api.jobs.SweepCell.key` — a
+digest over exactly the inputs that determine the measurement — and
+caches the cell's *canonically encoded* result payload.  Storing the
+encoded JSON (not the object) makes the dedupe contract literal: every
+hit returns byte-identical bytes to the first computation, no matter
+which worker produced it or which client asks.
+
+Mirrors the plan cache's shape (:mod:`repro.sim.plan`): bounded LRU,
+thread-safe, ``info()`` counters — one design for both cache layers, per
+the "many small caches composed behind one interface" sharding story.
+A result payload is a few hundred bytes, so the default capacity holds
+every cell of a large figure sweep comfortably.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_SIZE"]
+
+#: Default bound on cached cell results.
+DEFAULT_CACHE_SIZE = 65536
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of ``content key -> encoded payload``.
+
+    >>> cache = ResultCache(maxsize=2)
+    >>> cache.put("a", b'{"pa":1}')
+    >>> cache.get("a")
+    b'{"pa":1}'
+    >>> cache.get("b") is None
+    True
+    >>> cache.info()["hits"], cache.info()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached payload bytes, or ``None`` (counted as a miss)."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Store ``payload`` under ``key`` (idempotent: first write wins,
+        so a racing duplicate compute can never change what hits return)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = payload
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> dict:
+        """``{hits, misses, size, maxsize}`` — the plan-cache counter shape."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }

@@ -1,0 +1,179 @@
+"""Blocking client for the simulation service.
+
+:class:`ServiceClient` speaks the JSON-lines protocol
+(:mod:`repro.serve.protocol`) over one socket and exposes the service as
+ordinary synchronous calls — the shape :meth:`ParallelSweep.map_cells`
+and the CLI need.  One client owns one connection; connections are cheap,
+so concurrent submitters simply open one client each (the server
+multiplexes internally).
+
+>>> with ServiceClient("127.0.0.1:8753") as client:        # doctest: +SKIP
+...     results = client.submit(cells)                     # doctest: +SKIP
+...     measurements = [r.measurement for r in results]    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Optional, Sequence
+
+from repro.api.jobs import CellResult, SweepCell, measurement_from_payload
+from repro.serve.protocol import (
+    DEFAULT_ADDRESS,
+    MAX_MESSAGE_BYTES,
+    TcpAddress,
+    UnixAddress,
+    decode_message,
+    encode_message,
+    parse_address,
+)
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server reported a failure (malformed job, or a cell that
+    exhausted its retry attempts)."""
+
+
+class ServiceClient:
+    """A synchronous connection to a :class:`SimulationServer`.
+
+    Parameters
+    ----------
+    address:
+        ``HOST:PORT`` or ``unix:/PATH``; defaults to the server default.
+    timeout:
+        Socket timeout in seconds for connect and for each awaited
+        message (``None`` = block forever).  Cells can legitimately take
+        long; this guards against a dead server, not slow cells.
+    """
+
+    def __init__(self, address: str = DEFAULT_ADDRESS, *, timeout: Optional[float] = None):
+        self.address = parse_address(address)
+        if isinstance(self.address, UnixAddress):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(self.address.path)
+        else:
+            self._sock = socket.create_connection(
+                (self.address.host, self.address.port), timeout=timeout
+            )
+        self._reader = self._sock.makefile("rb")
+        self._jobs = 0
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    # ------------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        self._sock.sendall(encode_message(message))
+
+    def _recv(self) -> dict:
+        line = self._reader.readline(MAX_MESSAGE_BYTES)
+        if not line:
+            raise ServiceError("server closed the connection")
+        return decode_message(line)
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        cells: Sequence[SweepCell],
+        *,
+        on_partial: Optional[Callable[[dict], None]] = None,
+    ) -> list[CellResult]:
+        """Submit ``cells`` and block until all are answered.
+
+        Returns one :class:`CellResult` per submitted cell, in submission
+        order (duplicate cells in the job share one computation but each
+        gets its own result entry).  ``on_partial``, when given, is called
+        with every streaming ``partial`` message for this job as it
+        arrives: ``{"key", "indices", "cycles", "acceptance"}``.
+
+        A cell the server could not complete (invalid payload, or its
+        workers died/stalled twice) raises :exc:`ServiceError` after the
+        job drains, naming the failed indices.
+        """
+        if not cells:
+            return []
+        self._jobs += 1
+        job_id = f"client-{id(self):x}-{self._jobs}"
+        self._send({
+            "type": "submit",
+            "job_id": job_id,
+            "cells": [cell.payload() for cell in cells],
+        })
+        results: dict[int, CellResult] = {}
+        failures: list[tuple[list[int], str]] = []
+        while True:
+            message = self._recv()
+            kind = message["type"]
+            if message.get("job_id") != job_id:
+                if kind == "error" and "job_id" not in message:
+                    raise ServiceError(message.get("message", "protocol error"))
+                continue  # stray message from another interleaved use
+            if kind == "accepted":
+                continue
+            if kind == "partial":
+                if on_partial is not None:
+                    on_partial(message)
+                continue
+            if kind == "result":
+                measurement = measurement_from_payload(message["payload"])
+                for index in message["indices"]:
+                    results[index] = CellResult(
+                        key=message["key"],
+                        measurement=measurement,
+                        cached=bool(message["cached"]),
+                        worker=message["worker"],
+                    )
+                continue
+            if kind == "error":
+                failures.append(
+                    (message.get("indices", []), message.get("message", "unknown"))
+                )
+                continue
+            if kind == "done":
+                break
+        if failures:
+            detail = "; ".join(
+                f"cells {indices}: {reason}" for indices, reason in failures
+            )
+            raise ServiceError(f"job {job_id} had failed cells: {detail}")
+        return [results[index] for index in range(len(cells))]
+
+    def run(self, cells: Sequence[SweepCell]) -> list:
+        """:meth:`submit`, returning just the measurements in order."""
+        return [result.measurement for result in self.submit(cells)]
+
+    def status(self) -> dict:
+        """The server's ``stats`` snapshot (see ``SimulationServer.stats``)."""
+        self._send({"type": "status"})
+        while True:
+            message = self._recv()
+            if message["type"] == "stats":
+                return message
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (it replies ``bye`` first)."""
+        self._send({"type": "shutdown"})
+        while True:
+            try:
+                message = self._recv()
+            except (ServiceError, OSError):
+                return  # connection torn down by the stopping server
+            if message["type"] == "bye":
+                return

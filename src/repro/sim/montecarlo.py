@@ -161,6 +161,7 @@ def measure_acceptance(
     min_cycles: int | None = None,
     retry=None,
     config: "RunConfig | None" = None,
+    progress=None,
 ) -> AcceptanceMeasurement:
     """Estimate the probability of acceptance of ``router`` under ``traffic``.
 
@@ -200,6 +201,14 @@ def measure_acceptance(
     chunk boundary — after ``min_cycles`` (default
     :data:`DEFAULT_MIN_CYCLES`) — where the interval half-width at
     ``confidence`` is at most ``rel_err`` times the acceptance estimate.
+
+    ``progress`` is an optional callback invoked at every cycle/chunk
+    boundary (the same boundaries the stopping rule checks) with
+    ``(cycles_routed_so_far, current_acceptance_interval)`` — the hook
+    the simulation service (:mod:`repro.serve`) streams partial results
+    through.  It observes, never steers: measurements are bit-identical
+    with or without it.  Ignored on the closed-loop path (whose driver
+    owns its cycle loop).
 
     ``retry`` (a :class:`~repro.sim.closedloop.RetryPolicy` or its spec
     string, also settable via ``RunConfig.retry``) switches to
@@ -281,6 +290,10 @@ def measure_acceptance(
         point = abs(interval.point)
         return interval.halfwidth <= rel_err * (point if point > 0 else 1.0)
 
+    def _report() -> None:
+        if progress is not None:
+            progress(ratio.n, ratio.confidence_interval(confidence))
+
     stopped = False
     if batch == 1:
         for _ in range(cycles):
@@ -290,6 +303,7 @@ def measure_acceptance(
             offered_total += result.num_offered
             delivered_total += result.num_delivered
             _absorb_histogram(result)
+            _report()
             if _converged():
                 stopped = True
                 break
@@ -336,6 +350,7 @@ def measure_acceptance(
                     offered_total += result.num_offered
                     delivered_total += result.num_delivered
                     _absorb_histogram(result)
+            _report()
             if _converged():
                 stopped = True
 

@@ -1,0 +1,58 @@
+"""Result-cache unit tests: LRU bounds, idempotent writes, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+class TestResultCache:
+    def test_get_put_round_trip(self):
+        cache = ResultCache()
+        cache.put("k", b"payload")
+        assert cache.get("k") == b"payload"
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get("absent") is None
+        assert cache.info()["misses"] == 1
+
+    def test_first_write_wins(self):
+        # Byte-identity of hits depends on a racing duplicate compute
+        # never replacing the first stored payload.
+        cache = ResultCache()
+        cache.put("k", b"first")
+        cache.put("k", b"second")
+        assert cache.get("k") == b"first"
+
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        assert cache.get("a") == b"1"  # refresh a
+        cache.put("c", b"3")  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+
+    def test_info_counters(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("nope")
+        assert cache.info() == {"hits": 1, "misses": 1, "size": 1, "maxsize": 4}
+
+    def test_clear_resets(self):
+        cache = ResultCache()
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.info() == {
+            "hits": 0, "misses": 1, "size": 0, "maxsize": cache.maxsize,
+        }
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)

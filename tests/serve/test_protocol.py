@@ -1,0 +1,65 @@
+"""Wire-protocol unit tests: addresses, framing, canonical encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve.protocol import (
+    TcpAddress,
+    UnixAddress,
+    decode_message,
+    encode_message,
+    parse_address,
+)
+
+
+class TestParseAddress:
+    def test_tcp(self):
+        assert parse_address("127.0.0.1:8753") == TcpAddress("127.0.0.1", 8753)
+
+    def test_tcp_label_round_trips(self):
+        address = parse_address("0.0.0.0:80")
+        assert parse_address(address.label) == address
+
+    def test_unix(self):
+        address = parse_address("unix:/tmp/repro.sock")
+        assert address == UnixAddress("/tmp/repro.sock")
+        assert address.label == "unix:/tmp/repro.sock"
+
+    def test_whitespace_tolerated(self):
+        assert parse_address(" 127.0.0.1:1 ") == TcpAddress("127.0.0.1", 1)
+
+    @pytest.mark.parametrize("bad", ["", "justahost", ":1234", "host:notaport", "unix:"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_address(bad)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "result", "key": "k", "payload": {"pa": 0.5}}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert decode_message(line) == message
+
+    def test_encoding_is_canonical(self):
+        # Key order never changes the bytes — the property the result
+        # cache's byte-identity contract rests on.
+        a = encode_message({"x": 1, "y": 2})
+        b = encode_message({"y": 2, "x": 1})
+        assert a == b
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1 + 0.2  # not representable prettily; repr round-trips
+        decoded = decode_message(encode_message({"type": "t", "v": value}))
+        assert decoded["v"] == value
+
+    def test_decode_accepts_str(self):
+        assert decode_message('{"type": "status"}') == {"type": "status"}
+
+    @pytest.mark.parametrize("bad", [b"[1, 2]\n", b'{"no": "type"}\n', b"garbage\n"])
+    def test_decode_rejects_non_messages(self, bad):
+        with pytest.raises(ValueError):
+            decode_message(bad)

@@ -1,0 +1,137 @@
+"""Supervision-machinery tests: deadline accounting, ledger, retry policy.
+
+The deadline regression tests pin the fix for the old
+``ParallelSweep._fan_out`` accounting bug: results were collected in
+submission order with ``future.result(timeout=shard_timeout)``, so one
+slow shard extended every later shard's effective deadline and the total
+wall could reach ``n x timeout``.  :func:`run_shards` instead starts each
+shard's clock when the shard is observed *running*.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+import pytest
+
+from repro.serve.supervisor import RetryLedger, supervised_map
+
+#: Env var pointing forked workers at the per-test scratch directory.
+_SCRATCH = "REPRO_TEST_SUPERVISOR_SCRATCH"
+
+#: Per-shard deadline used by the stall tests (generous for slow CI).
+_TIMEOUT = 1.0
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _sleep_then_square(payload):
+    time.sleep(0.25)
+    return payload * payload
+
+
+def _kill_self(payload):
+    if payload == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload
+
+
+def _stall_front_once(payload):
+    # Payloads 0 and 1 (the two a 2-worker pool picks up first) stall past
+    # the deadline on their first attempt, spinning on a stop file so the
+    # abandoned workers exit promptly once the test finishes.  Retries and
+    # the queued payloads return immediately.
+    base = pathlib.Path(os.environ[_SCRATCH])
+    marker = base / f"stalled-{payload}"
+    if payload < 2 and not marker.exists():
+        marker.write_text("stalled")
+        for _ in range(600):
+            if (base / "stop").exists():
+                break
+            time.sleep(0.05)
+    return payload + 100
+
+
+class TestRetryLedger:
+    def test_charge_until_exhausted(self):
+        ledger = RetryLedger(max_attempts=3)
+        assert ledger.charge("k")
+        assert ledger.charge("k")
+        assert not ledger.charge("k")
+
+    def test_forgive_clears_history(self):
+        ledger = RetryLedger(max_attempts=2)
+        ledger.charge("k")
+        ledger.forgive("k")
+        assert ledger.retried == ()
+        assert ledger.charge("k")  # a fresh first loss again
+
+    def test_retried_preserves_first_loss_order(self):
+        ledger = RetryLedger(max_attempts=9)
+        for key in ("c", "a", "c", "b"):
+            ledger.charge(key)
+        assert ledger.retried == ("c", "a", "b")
+
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            RetryLedger(max_attempts=0)
+
+
+class TestSupervisedMap:
+    def test_results_in_payload_order(self):
+        results, retried = supervised_map(_double, [3, 1, 2], jobs=2)
+        assert results == [6, 2, 4]
+        assert retried == ()
+
+    def test_twice_lost_shard_raises(self):
+        # _kill_self dies on every attempt, so the resubmission also
+        # dies and the ledger must give up after MAX_ATTEMPTS.
+        with pytest.raises(RuntimeError, match="failed twice"):
+            supervised_map(_kill_self, [0, 1, 2], jobs=2)
+
+
+class TestDeadlineAccounting:
+    def test_queue_time_is_not_charged(self):
+        # 6 shards x 0.25s on ONE worker: total wall (~1.5s) exceeds the
+        # 1.25s deadline, so charging queue time would lose the tail of
+        # the grid.  Deadlines start when a shard is observed running, so
+        # nothing may be lost or retried.  (The executor marks a future
+        # "running" when it enters the prefetch call queue — one item
+        # deep — so a shard's observed window can span two executions;
+        # the deadline comfortably covers that, but not the whole queue.)
+        results, retried = supervised_map(
+            _sleep_then_square, [0, 1, 2, 3, 4, 5], jobs=1, timeout=1.25,
+        )
+        assert results == [0, 1, 4, 9, 16, 25]
+        assert retried == ()
+
+    def test_stalled_shards_expire_in_parallel(self, tmp_path, monkeypatch):
+        # THE n x timeout regression: both running shards stall behind a
+        # 2-worker pool with two more shards queued.  Old submission-order
+        # collection charged each stalled shard a FULL timeout serially
+        # (~4 x timeout before the retry started); deadline-based
+        # collection expires both running shards after ONE timeout,
+        # declares the queued pair (whose slots are pinned by abandoned
+        # workers) lost wholesale, and retries all four at once.
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+        start = time.monotonic()
+        try:
+            results, retried = supervised_map(
+                _stall_front_once, [0, 1, 2, 3], jobs=2, timeout=_TIMEOUT,
+            )
+        finally:
+            (tmp_path / "stop").write_text("done")  # release abandoned spinners
+        elapsed = time.monotonic() - start
+        assert results == [100, 101, 102, 103]
+        assert sorted(retried) == [0, 1, 2, 3]
+        # One deadline + backoff + fast retry, with slack for slow CI —
+        # well under the old worst case of ~4 x timeout + retry.
+        assert elapsed < 3 * _TIMEOUT, (
+            f"stalled shards were collected serially: {elapsed:.2f}s "
+            f"for timeout={_TIMEOUT}s"
+        )
