@@ -16,6 +16,7 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/perf_smoke.py --baseline-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --fault-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --serve-matrix
+    PYTHONPATH=src python benchmarks/perf_smoke.py --saturation
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -39,6 +40,10 @@ count (>=3x 1->4 workers asserted on >=4-core hosts), four concurrent
 clients pushing >=1000 overlapping cells through one instance (server
 dedupe rate floor 0.5), per-worker plan-cache hit rates, streaming
 partials, and service-vs-inline bit-identity — into ``BENCH_serve.json``.
+``--saturation`` times buffered stepping at N=4096 — the compiled
+per-wire FIFO kernels against the legacy per-packet deque engine (>=5x
+floor, throughput agreement asserted) — and records the ``saturation``
+experiment's detected knees at N=64 into ``BENCH_saturation.json``.
 """
 
 from __future__ import annotations
@@ -114,6 +119,22 @@ SERVE_MIN_CELLS = 1_000
 SERVE_DEDUPE_FLOOR = 0.5
 #: Cells sampled for the service-vs-inline bit-identity check.
 SERVE_IDENTITY_SAMPLE = 5
+
+SATURATION_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_saturation.json"
+#: EDN(16,4,4,5) puts the buffered comparison at N = 4096 terminals.
+SATURATION_STAGES = 5
+SATURATION_DEPTH = 2
+#: Cycle budget of the timed buffered runs (the legacy deque engine pays
+#: ~50 ms/cycle at N = 4096 — it walks every FIFO in Python).
+SATURATION_CYCLES = 40
+SATURATION_WARMUP = 10
+#: Compiled-vs-legacy-deque speedup floor asserted at N = 4096 (the
+#: merge criterion of the buffered stage-graph PR).
+SATURATION_SPEEDUP_FLOOR = 5.0
+#: Knee curves are swept at N = 64 (EDN(16,4,4,2) and kin) where the
+#: full rate ladder stays cheap.
+SATURATION_KNEE_CYCLES = 200
+SATURATION_KNEE_WARMUP = 50
 
 PLAN_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
 #: Fixed-budget cycles per repeated call in the plan-cache comparison —
@@ -766,6 +787,151 @@ def run_plan_cache(output: Path = PLAN_OUTPUT) -> tuple[dict, list[str]]:
     return report, failures
 
 
+def run_saturation(output: Path = SATURATION_OUTPUT) -> tuple[dict, list[str]]:
+    """Buffered stepping: compiled kernels vs the legacy deque engine; write JSON.
+
+    Times one buffered run of ``EDN(16,4,4,5)`` (N = 4096) at full
+    offered load, depth :data:`SATURATION_DEPTH`, through the compiled
+    buffered stage-graph path (:func:`repro.sim.buffered.measure_buffered`)
+    and the original per-packet deque engine
+    (:class:`repro.ext.buffered.DequeBufferedEDN`), under identical
+    ``(rate, cycles, warmup, seed)``.  The engines share no code and
+    consume randomness in different orders, so throughput is checked for
+    statistical agreement (not bit-identity — that cross-check lives in
+    ``tests/sim/test_buffered_core.py`` against
+    :class:`~repro.sim.stagegraph.BufferedStageReference`).  Asserts the
+    :data:`SATURATION_SPEEDUP_FLOOR` x per-cycle speedup at N = 4096
+    (the merge criterion of the buffered stage-graph PR) and records the
+    ``saturation`` experiment's detected knees at N = 64 so the bench
+    file documents the physics alongside the wall-clock.
+
+    Returns ``(report, failures)``.
+    """
+    import warnings as _warnings
+
+    from repro.sim.buffered import measure_buffered
+    from repro.sim.stagegraph import edn_graph
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.ext.buffered import DequeBufferedEDN
+
+    failures: list[str] = []
+    params = EDNParams(16, 4, 4, SATURATION_STAGES)
+    n_inputs = params.num_inputs
+    assert n_inputs == 4_096
+    graph = edn_graph(params)
+
+    compiled_s, compiled_m = _best_of(
+        REPEATS,
+        lambda: measure_buffered(
+            graph,
+            traffic="uniform:1",
+            depth=SATURATION_DEPTH,
+            cycles=SATURATION_CYCLES,
+            warmup=SATURATION_WARMUP,
+            seed=SEED,
+        ),
+    )
+    legacy_s, legacy_m = _best_of(
+        2,  # ~50 ms/cycle in Python; two repeats bound the noise
+        lambda: DequeBufferedEDN(params, depth=SATURATION_DEPTH).run(
+            rate=1.0,
+            cycles=SATURATION_CYCLES,
+            warmup=SATURATION_WARMUP,
+            seed=SEED,
+        ),
+    )
+    total_cycles = SATURATION_CYCLES + SATURATION_WARMUP
+    speedup = legacy_s / compiled_s
+    agree = abs(compiled_m.throughput - legacy_m.throughput) < 0.05
+    if not agree:
+        failures.append(
+            f"compiled throughput {compiled_m.throughput:.4f} vs legacy "
+            f"{legacy_m.throughput:.4f}: outside the 0.05 agreement band"
+        )
+    if speedup < SATURATION_SPEEDUP_FLOOR:
+        failures.append(
+            f"buffered speedup {speedup:.1f}x below the "
+            f"{SATURATION_SPEEDUP_FLOOR:.0f}x floor"
+        )
+    print(
+        f"N={n_inputs:>6} buffered depth {SATURATION_DEPTH}: compiled "
+        f"{compiled_s:.3f}s  legacy deque {legacy_s:.3f}s  speedup "
+        f"{speedup:.1f}x  thr {compiled_m.throughput:.4f}/{legacy_m.throughput:.4f}"
+    )
+
+    # Saturation knees at N = 64: the physics the wall-clock buys.
+    from repro.experiments.saturation import run as run_saturation_experiment
+
+    knees = run_saturation_experiment(
+        workloads=("uniform",),
+        cycles=SATURATION_KNEE_CYCLES,
+        warmup=SATURATION_KNEE_WARMUP,
+        seed=SEED,
+    ).tables["saturation knees"][1]
+    knee_rows = [
+        {
+            "family": family,
+            "workload": workload,
+            "knee_rate": round(knee, 4),
+            "throughput_at_knee": round(thr, 4),
+        }
+        for family, workload, knee, thr in knees
+    ]
+    for row in knee_rows:
+        print(
+            f"knee {row['family']:<8} {row['workload']:<10} "
+            f"rate {row['knee_rate']:.2f}  thr {row['throughput_at_knee']:.4f}"
+        )
+
+    report = {
+        "benchmark": "saturation",
+        "workload": (
+            f"buffered stepping, uniform traffic r=1.0, depth "
+            f"{SATURATION_DEPTH}, {SATURATION_CYCLES} measured cycles after "
+            f"{SATURATION_WARMUP} warmup, seed {SEED}"
+        ),
+        "engines": {
+            "compiled": "CompiledStageRouter.step via measure_buffered (per-wire FIFO state on the compiled plan)",
+            "legacy": "DequeBufferedEDN (per-packet Python deques, the pre-core engine)",
+        },
+        "floor": {
+            "speedup_at_4096": SATURATION_SPEEDUP_FLOOR,
+            "throughput_agreement": 0.05,
+        },
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": [
+            {
+                "network": str(params),
+                "n_inputs": n_inputs,
+                "depth": SATURATION_DEPTH,
+                "cycles": SATURATION_CYCLES,
+                "compiled_seconds": round(compiled_s, 4),
+                "legacy_seconds": round(legacy_s, 4),
+                "compiled_seconds_per_cycle": round(compiled_s / total_cycles, 6),
+                "legacy_seconds_per_cycle": round(legacy_s / total_cycles, 6),
+                "speedup": round(speedup, 2),
+                "throughput_compiled": round(compiled_m.throughput, 6),
+                "throughput_legacy": round(legacy_m.throughput, 6),
+                "mean_latency_compiled": round(compiled_m.mean_latency, 4),
+                "p99_latency_compiled": compiled_m.latency.p99,
+                "throughput_agrees": agree,
+            }
+        ],
+        "knees_at_64": {
+            "cycles": SATURATION_KNEE_CYCLES,
+            "results": knee_rows,
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report, failures
+
+
 def run_serve_matrix(output: Path = SERVE_OUTPUT) -> tuple[dict, list[str]]:
     """Throughput, scaling, and dedupe of the simulation service; write JSON.
 
@@ -1020,6 +1186,12 @@ def main(argv: list[str] | None = None) -> int:
              "N=4096, bit-identical counts)",
     )
     parser.add_argument(
+        "--saturation",
+        action="store_true",
+        help="time buffered stepping at N=4096: compiled kernels vs the "
+             "legacy deque engine (>=5x floor), recording saturation knees",
+    )
+    parser.add_argument(
         "--serve-matrix",
         action="store_true",
         help="benchmark the simulation service: cells/sec vs worker count "
@@ -1028,6 +1200,11 @@ def main(argv: list[str] | None = None) -> int:
              "and service-vs-inline bit-identity",
     )
     args = parser.parse_args(argv)
+    if args.saturation:
+        _report, failures = run_saturation()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     if args.serve_matrix:
         _report, failures = run_serve_matrix()
         for failure in failures:

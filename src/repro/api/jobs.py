@@ -221,6 +221,9 @@ def measurement_to_payload(measurement: "AcceptanceMeasurement") -> dict:
             "abandoned": measurement.abandoned,
             "policy": measurement.policy.label,
         }
+        histogram = getattr(measurement, "latency_histogram", None)
+        if histogram is not None:
+            payload["closed_loop"]["latency_histogram"] = histogram.to_payload()
     return payload
 
 
@@ -245,7 +248,9 @@ def measurement_from_payload(payload: dict) -> "AcceptanceMeasurement":
     if closed is not None:
         from repro.sim.closedloop import ClosedLoopMeasurement, RetryPolicy
         from repro.sim.stats import Interval as _I
+        from repro.sim.stats import LatencyStats
 
+        histogram = closed.get("latency_histogram")
         return ClosedLoopMeasurement(
             **common,
             attempts=_I(*closed["attempts"]),
@@ -253,6 +258,9 @@ def measurement_from_payload(payload: dict) -> "AcceptanceMeasurement":
             delivered_messages=closed["delivered_messages"],
             abandoned=closed["abandoned"],
             policy=RetryPolicy.parse(closed["policy"]),
+            latency_histogram=(
+                LatencyStats.from_payload(histogram) if histogram is not None else None
+            ),
         )
     from repro.sim.montecarlo import AcceptanceMeasurement
 

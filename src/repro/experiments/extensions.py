@@ -23,7 +23,8 @@ from repro.core.analysis import acceptance_probability
 from repro.core.config import EDNParams
 from repro.experiments.base import ExperimentResult
 from repro.ext.admissibility import admissible_fraction
-from repro.ext.buffered import BufferedEDN
+from repro.sim.buffered import measure_buffered
+from repro.sim.stagegraph import edn_graph
 from repro.sim.vectorized import VectorizedEDN
 
 __all__ = ["run_buffered", "run_admissibility"]
@@ -46,6 +47,7 @@ def run_buffered(
     cfg = (config if config is not None else RunConfig()).resolve(cycles=cycles, seed=seed)
     cycles, seed = cfg.cycles, cfg.seed
     params = EDNParams(16, 4, 4, 2)
+    graph = edn_graph(params)
     result = ExperimentResult(
         experiment_id="buffered",
         title=f"Buffered packet switching on {params} (extension)",
@@ -54,8 +56,13 @@ def run_buffered(
     for depth in depths:
         points = []
         for rate in rates:
-            metrics = BufferedEDN(params, depth=depth).run(
-                rate=rate, cycles=cycles, warmup=warmup, seed=seed
+            metrics = measure_buffered(
+                graph,
+                traffic=f"uniform:{rate:g}",
+                depth=depth,
+                cycles=cycles,
+                warmup=warmup,
+                seed=seed,
             )
             points.append((rate, metrics.throughput))
             rows.append(

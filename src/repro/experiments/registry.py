@@ -31,6 +31,7 @@ from repro.experiments import (
     fig7_families,
     fig11_resubmission,
     hotspot,
+    saturation,
     scaling,
     sec5_raedn,
     workload_matrix,
@@ -63,6 +64,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "scaling": scaling.run,
     "buffered": extensions.run_buffered,
     "admissibility": extensions.run_admissibility,
+    "saturation": saturation.run,
     "workload_matrix": workload_matrix.run,
 }
 

@@ -7,14 +7,15 @@ era's standard follow-ups on top of the same topology:
 
 * :mod:`repro.ext.buffered` — synchronous packet switching with per-wire
   FIFO buffers and back-pressure (Dias & Jump / Jenq style), measuring
-  throughput and latency where the paper measures acceptance;
+  throughput and latency where the paper measures acceptance.  Now a
+  deprecated compat shim: the discipline lives in the compiled core
+  (:mod:`repro.sim.buffered`), and importing the shim warns;
 * :mod:`repro.ext.admissibility` — exhaustive censuses of which
   permutations route conflict-free in a single pass, quantifying how
   capacity enlarges the admissible set (Lemma 2's combinatorial shadow).
 """
 
 from repro.ext.admissibility import admissible_fraction, is_admissible
-from repro.ext.buffered import BufferedEDN, BufferedMetrics
 
 __all__ = [
     "BufferedEDN",
@@ -22,3 +23,14 @@ __all__ = [
     "is_admissible",
     "admissible_fraction",
 ]
+
+
+def __getattr__(name: str):
+    # ``repro.ext.buffered`` is a deprecated compat shim that warns on
+    # import; resolve its re-exports lazily so merely importing this
+    # package (e.g. for admissibility) stays silent.
+    if name in ("BufferedEDN", "BufferedMetrics"):
+        from repro.ext import buffered
+
+        return getattr(buffered, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

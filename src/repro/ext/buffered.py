@@ -1,29 +1,28 @@
-"""Packet-switched EDN with per-wire FIFO buffers and back-pressure.
+"""Buffered packet-switched EDN — compat shim over the compiled core.
 
-The paper's circuit-switched model discards blocked requests; buffered
-multistage networks instead *hold* packets in switch output buffers until
-the next stage can accept them.  This module implements the classical
-synchronous single/multi-buffered discipline on the EDN topology:
+.. deprecated::
+    The per-packet deque simulator that lived here grew into the buffered
+    stage-graph path of the core: per-wire FIFO state on the compiled
+    plans (:class:`repro.sim.batched.CompiledStageRouter` with a
+    ``buffer_depth``), the :func:`repro.sim.buffered.measure_buffered`
+    driver with workload-registry traffic and streaming latency
+    histograms, and the :class:`repro.sim.stagegraph.BufferedStageReference`
+    cross-check interpreter.  :class:`BufferedEDN` remains as a thin
+    wrapper so existing imports keep working, but emits a
+    :class:`DeprecationWarning` on import (once per process — Python
+    caches the module).  Use ``repro.sim.buffered.measure_buffered``
+    instead.
 
-* every wire at every stage boundary owns a FIFO of ``depth`` packets;
-* each cycle, stages are serviced output-side-first: delivered packets
-  leave, then every hyperbar moves up to (free wires in the target bucket)
-  packets forward — contention resolved by input-wire label as in the
-  paper — and losers simply stay buffered (no loss);
-* fresh packets are injected at an input whenever its entry buffer has
-  room, with probability ``rate``.
-
-Measured quantities: steady-state **throughput** (delivered packets per
-output per cycle) and mean **latency** (cycles from injection to delivery),
-the standard packet-switched counterparts of the paper's ``PA``.
-Buffering converts losses into queueing delay: with depth 1 the saturation
-throughput lands *near* the bufferless ``PA(1)`` (head-of-line blocking
-idles some wires), and deeper FIFOs push past it while latency grows —
-the ``buffered`` benchmark quantifies both on the paper's networks.
+The original deque engine survives as :class:`DequeBufferedEDN` — it is
+the independent legacy implementation the equivalence tests and the
+``perf_smoke.py --saturation`` benchmark compare the compiled kernels
+against, and is not deprecated *as a test oracle* (only as the
+measurement path).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 
@@ -34,7 +33,14 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.topology import EDNTopology
 from repro.sim.rng import make_rng
 
-__all__ = ["BufferedEDN", "BufferedMetrics"]
+warnings.warn(
+    "repro.ext.buffered is deprecated; use repro.sim.buffered.measure_buffered "
+    "on a stage graph (repro.sim.stagegraph.edn_graph) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+__all__ = ["BufferedEDN", "DequeBufferedEDN", "BufferedMetrics"]
 
 
 @dataclass
@@ -55,19 +61,88 @@ class BufferedMetrics:
         return self.throughput
 
 
+class BufferedEDN:
+    """Synchronous buffered packet switching over an ``EDN(a, b, c, l)``.
+
+    Compat wrapper: the historical ``run(rate, cycles, warmup, seed)``
+    contract, executed on the compiled buffered stage-graph core
+    (:func:`repro.sim.buffered.measure_buffered` over
+    :func:`repro.sim.stagegraph.edn_graph` with uniform traffic).
+    Semantics are the classical single/multi-buffered discipline the
+    deque engine implemented — output-side-first service, label-priority
+    contention, back-pressure, inject-if-room — so measurements agree
+    with :class:`DequeBufferedEDN` up to the traffic stream's RNG
+    consumption order.
+
+    >>> net = BufferedEDN(EDNParams(16, 4, 4, 2), depth=1)
+    >>> metrics = net.run(rate=1.0, cycles=200, warmup=50, seed=0)
+    >>> 0.0 < metrics.throughput <= 1.0
+    True
+    """
+
+    def __init__(self, params: EDNParams, *, depth: int = 1):
+        if depth < 1:
+            raise ConfigurationError(f"buffer depth must be >= 1, got {depth}")
+        self.params = params
+        self.depth = depth
+
+    def run(
+        self, *, rate: float, cycles: int, warmup: int = 0, seed: int | None = 0
+    ) -> BufferedMetrics:
+        """Simulate ``warmup + cycles`` cycles; measure the last ``cycles``."""
+        from repro.sim.buffered import measure_buffered
+        from repro.sim.stagegraph import edn_graph
+
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must lie in [0, 1], got {rate}")
+        if cycles < 1:
+            raise ConfigurationError("need at least one measured cycle")
+        result = measure_buffered(
+            edn_graph(self.params),
+            traffic=f"uniform:{rate:g}",
+            depth=self.depth,
+            cycles=cycles,
+            warmup=warmup,
+            seed=seed,
+        )
+        return BufferedMetrics(
+            cycles=result.cycles,
+            warmup=result.warmup,
+            injected=result.injected,
+            delivered=result.delivered,
+            throughput=result.throughput,
+            mean_latency=result.mean_latency,
+            mean_occupancy=result.mean_occupancy,
+        )
+
+    def __repr__(self) -> str:
+        return f"BufferedEDN({self.params}, depth={self.depth})"
+
+
 @dataclass
 class _Packet:
     destination: int
     injected_at: int
 
 
-class BufferedEDN:
-    """Synchronous buffered packet switching over an ``EDN(a, b, c, l)``.
+class DequeBufferedEDN:
+    """The original per-packet deque engine, kept as the legacy oracle.
 
-    >>> net = BufferedEDN(EDNParams(16, 4, 4, 2), depth=1)
-    >>> metrics = net.run(rate=1.0, cycles=200, warmup=50, seed=0)
-    >>> 0.0 < metrics.throughput <= 1.0
-    True
+    Implements the classical synchronous single/multi-buffered discipline
+    on the EDN topology with plain Python deques:
+
+    * every wire at every stage boundary owns a FIFO of ``depth`` packets;
+    * each cycle, stages are serviced output-side-first: delivered packets
+      leave, then every hyperbar moves up to (free wires in the target
+      bucket) packets forward — contention resolved by input-wire label as
+      in the paper — and losers simply stay buffered (no loss);
+    * fresh packets are injected at an input whenever its entry buffer has
+      room, with probability ``rate``.
+
+    Shares no machinery with the compiled buffered kernels, which makes
+    it the independent slow path ``tests/core/test_buffered.py`` checks
+    packet conservation on and ``perf_smoke.py --saturation`` benchmarks
+    the compiled path against.
     """
 
     def __init__(self, params: EDNParams, *, depth: int = 1):
@@ -203,4 +278,4 @@ class BufferedEDN:
         return (destination >> shift) & (p.b - 1)
 
     def __repr__(self) -> str:
-        return f"BufferedEDN({self.params}, depth={self.depth})"
+        return f"DequeBufferedEDN({self.params}, depth={self.depth})"

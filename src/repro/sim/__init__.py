@@ -34,7 +34,13 @@ runners.
   routed in batched chunks wherever the router supports it, with
   optional adaptive early stopping (``rel_err=``: the cycle budget
   becomes a ceiling and each run stops once its confidence interval is
-  tight enough).
+  tight enough);
+* :mod:`repro.sim.buffered` — buffered packet switching on the compiled
+  core: per-wire FIFO state with back-pressure on any stage graph
+  (:class:`CompiledStageRouter` with a ``buffer_depth``, cross-checked
+  by :class:`BufferedStageReference`), measured by
+  :func:`measure_buffered` with streaming :class:`LatencyStats`
+  histograms (mean/p50/p95/p99 + delta-method CI).
 
 Batched-engine semantics
 ------------------------
@@ -66,8 +72,10 @@ from repro.sim.batched import (
     BatchedEDN,
     CompiledStageRouter,
 )
+from repro.sim.buffered import BufferedMeasurement, measure_buffered
 from repro.sim.engine import CycleDriver, EventHandle, Simulator
 from repro.sim.plan import (
+    BufferedState,
     ChunkWorkspace,
     RoutingPlan,
     StagePlan,
@@ -79,6 +87,8 @@ from repro.sim.plan import (
     stage_plan_for,
 )
 from repro.sim.stagegraph import (
+    BufferedCycleOutcome,
+    BufferedStageReference,
     GraphStage,
     StageGraph,
     StageGraphReference,
@@ -95,7 +105,9 @@ from repro.sim.montecarlo import (
 from repro.sim.rng import make_rng, spawn, spawn_keys, stream_for
 from repro.sim.stats import (
     Interval,
+    LatencyStats,
     RatioStats,
+    RetryStats,
     RunningStats,
     batch_means,
     proportion_ci,
@@ -131,6 +143,11 @@ __all__ = [
     "GraphStage",
     "StageGraph",
     "StageGraphReference",
+    "BufferedState",
+    "BufferedCycleOutcome",
+    "BufferedStageReference",
+    "BufferedMeasurement",
+    "measure_buffered",
     "edn_graph",
     "delta_graph",
     "omega_graph",
@@ -144,6 +161,8 @@ __all__ = [
     "plan_cache_info",
     "RunningStats",
     "RatioStats",
+    "LatencyStats",
+    "RetryStats",
     "Interval",
     "batch_means",
     "proportion_ci",

@@ -927,7 +927,15 @@ class CompiledStageRouter(_DenseRankKernels):
     (3, 64)
     """
 
-    def __init__(self, graph, *, priority: str = "label", plan="auto", faults=()):
+    def __init__(
+        self,
+        graph,
+        *,
+        priority: str = "label",
+        plan="auto",
+        faults=(),
+        buffer_depth: Optional[int] = None,
+    ):
         from repro.sim.plan import compile_stage_plan, stage_plan_for
 
         if priority not in ("label", "random"):
@@ -936,16 +944,26 @@ class CompiledStageRouter(_DenseRankKernels):
         self.priority = priority
         self.faults = tuple(sorted(set(faults)))
         if plan == "auto":
-            plan = stage_plan_for(graph, priority, self.faults)
+            plan = stage_plan_for(graph, priority, self.faults, buffer_depth)
         elif plan is None:
-            plan = compile_stage_plan(graph, priority, self.faults)
-        elif tuple(plan.faults) != self.faults:
-            raise ConfigurationError(
-                f"explicit plan carries faults {plan.faults}, router was "
-                f"given {self.faults}"
-            )
+            plan = compile_stage_plan(graph, priority, self.faults, buffer_depth)
+        else:
+            if tuple(plan.faults) != self.faults:
+                raise ConfigurationError(
+                    f"explicit plan carries faults {plan.faults}, router was "
+                    f"given {self.faults}"
+                )
+            if buffer_depth is not None and plan.buffer_depth != int(buffer_depth):
+                raise ConfigurationError(
+                    f"explicit plan carries buffer depth {plan.buffer_depth}, "
+                    f"router was given {buffer_depth}"
+                )
         self._plan = plan
         self._scratch: dict = {}
+        self._buffers = (
+            plan.buffered_state() if plan.buffer_depth is not None else None
+        )
+        self._cycle = 0
 
     @property
     def n_inputs(self) -> int:
@@ -954,6 +972,11 @@ class CompiledStageRouter(_DenseRankKernels):
     @property
     def n_outputs(self) -> int:
         return self.graph.n_outputs
+
+    @property
+    def buffer_depth(self) -> Optional[int]:
+        """Per-wire FIFO depth, or ``None`` for the unbuffered discipline."""
+        return self._plan.buffer_depth
 
     def preferred_batch(self) -> int:
         """Cycles per chunk keeping a stage's working set cache-resident."""
@@ -1049,6 +1072,165 @@ class CompiledStageRouter(_DenseRankKernels):
         inner, _perm = self._shuffled(dests)
         ws = workspace if workspace is not None else self._plan.workspace()
         return self._route_counts(inner, ws)
+
+    # ------------------------------------------------------------------
+    # Buffered stepping (per-wire FIFOs + back-pressure)
+    # ------------------------------------------------------------------
+    # One step() = one cycle of buffered packet switching on the compiled
+    # plan's tables: stages are serviced output side first, a bucket's
+    # rank-r contender advances iff r next-queue slots still have room
+    # (taking the r-th roomy slot in slot order), losers stay queued, and
+    # offered packets enter their source's entry FIFO if it has room.
+    # The per-packet cross-check path is
+    # :class:`repro.sim.stagegraph.BufferedStageReference`; the two are
+    # bit-identical per cycle (see tests/sim/test_buffered_core.py).
+
+    def reset_buffers(self) -> None:
+        """Drop all queued packets and restart the cycle counter."""
+        self._require_buffered()
+        self._buffers = self._plan.buffered_state()
+        self._cycle = 0
+
+    def total_occupancy(self) -> int:
+        """Packets currently queued anywhere in the network."""
+        self._require_buffered()
+        return self._buffers.total_occupancy()
+
+    def _require_buffered(self) -> None:
+        if self._buffers is None:
+            raise ConfigurationError(
+                "router was compiled without buffer_depth; "
+                "buffered stepping is unavailable"
+            )
+
+    def step(self, dests: np.ndarray, rng: BatchRng = None):
+        """Advance the buffered network one cycle under demand ``dests``.
+
+        Returns a :class:`~repro.sim.stagegraph.BufferedCycleOutcome`
+        whose delivery arrays are canonically sorted, so a compiled run
+        and a :class:`~repro.sim.stagegraph.BufferedStageReference` run
+        under the same seed compare bit for bit.  Random priority draws
+        one ``rng.permutation`` per stage with live contenders, stages
+        serviced last column first — the reference draw protocol.
+        """
+        from repro.sim.stagegraph import BufferedCycleOutcome
+
+        self._require_buffered()
+        plan, g = self._plan, self.graph
+        state = self._buffers
+        depth = state.depth
+        dests = np.asarray(dests, dtype=np.int64)
+        if dests.shape != (g.n_inputs,):
+            raise LabelError(
+                f"expected demand vector of shape ({g.n_inputs},), got {dests.shape}"
+            )
+        live0 = dests != IDLE
+        if live0.any():
+            lo, hi = int(dests[live0].min()), int(dests[live0].max())
+            if lo < 0 or hi >= g.n_outputs:
+                raise LabelError("demand vector contains out-of-range destinations")
+        if self.priority == "random" and rng is None:
+            raise ConfigurationError(
+                "random priority requires an explicit numpy Generator"
+            )
+
+        t = self._cycle
+        out_arr = lat_arr = None
+        last = g.num_stages - 1
+        for i in range(last, -1, -1):
+            stage = g.stages[i]
+            occ = state.occupancy[i]
+            contenders = np.flatnonzero(occ > 0)
+            ncon = contenders.size
+            if ncon == 0:
+                continue
+            heads = state.dests[i][contenders, 0].astype(np.int64)
+            switch = contenders >> ilog2(stage.fan_in)
+            digit = (heads >> stage.shift) & (stage.radix - 1)
+            bucket = switch * stage.radix + digit
+            if self.priority == "random":
+                order = np.lexsort((rng.permutation(ncon), bucket))
+            else:
+                order = np.argsort(bucket, kind="stable")
+            bucket_s = bucket[order]
+            wires_s = contenders[order]
+            new_group = np.empty(ncon, dtype=bool)
+            new_group[0] = True
+            np.not_equal(bucket_s[1:], bucket_s[:-1], out=new_group[1:])
+            group_ids = np.cumsum(new_group) - 1
+            group_starts = np.flatnonzero(new_group)
+            rank = np.arange(ncon) - group_starts[group_ids]
+            cap = stage.capacity
+            if i == last:
+                accept = rank < cap
+                winners = wires_s[accept]
+                y = bucket_s[accept] * cap + rank[accept]
+                out_arr = y >> g.out_shift
+                lat_arr = t - state.stamps[i][winners, 0]
+                self._buffered_pop(i, winners)
+            else:
+                occ_next = state.occupancy[i + 1]
+                link = plan.perm_table(i, np.int64)
+                # Room per virtual slot (bucket * capacity + k): whether
+                # the next-boundary queue that slot feeds still has room.
+                if link is None:
+                    roomy = occ_next < depth
+                else:
+                    roomy = occ_next[link] < depth
+                room2 = roomy.reshape(-1, cap)
+                room_count = room2.sum(axis=1)
+                # Roomy slots first, in slot order (stable argsort of the
+                # negated mask): the rank-r winner takes the r-th one.
+                order_slots = np.argsort(~room2, axis=1, kind="stable")
+                accept = rank < room_count[bucket_s]
+                b_acc = bucket_s[accept]
+                y = b_acc * cap + order_slots[b_acc, rank[accept]]
+                winners = wires_s[accept]
+                if winners.size == 0:
+                    continue
+                next_wires = link[y] if link is not None else y
+                moved_dest = state.dests[i][winners, 0].copy()
+                moved_stamp = state.stamps[i][winners, 0].copy()
+                self._buffered_pop(i, winners)
+                pos = occ_next[next_wires]
+                state.dests[i + 1][next_wires, pos] = moved_dest
+                state.stamps[i + 1][next_wires, pos] = moved_stamp
+                occ_next[next_wires] += 1
+
+        sources = np.flatnonzero(live0)
+        offered = int(sources.size)
+        perm = plan.input_perm_table(np.int64)
+        wires = perm[sources] if perm is not None else sources
+        occ0 = state.occupancy[0]
+        has_room = occ0[wires] < depth
+        w_ok = wires[has_room]
+        pos = occ0[w_ok]
+        state.dests[0][w_ok, pos] = dests[sources[has_room]]
+        state.stamps[0][w_ok, pos] = t
+        occ0[w_ok] += 1
+        injected = int(w_ok.size)
+        self._cycle = t + 1
+
+        if out_arr is None:
+            out_arr = np.zeros(0, dtype=np.int64)
+            lat_arr = np.zeros(0, dtype=np.int64)
+        out_arr = np.asarray(out_arr, dtype=np.int64)
+        lat_arr = np.asarray(lat_arr, dtype=np.int64)
+        sort = np.lexsort((lat_arr, out_arr))
+        return BufferedCycleOutcome(
+            outputs=out_arr[sort],
+            latencies=lat_arr[sort],
+            offered=offered,
+            injected=injected,
+        )
+
+    def _buffered_pop(self, i: int, winners: np.ndarray) -> None:
+        """Shift the winning wires' FIFOs left by one (head removal)."""
+        state = self._buffers
+        dq, st = state.dests[i], state.stamps[i]
+        dq[winners, :-1] = dq[winners, 1:]
+        st[winners, :-1] = st[winners, 1:]
+        state.occupancy[i][winners] -= 1
 
     # ------------------------------------------------------------------
     # Dense per-message kernel (label priority)

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.sim.montecarlo import AcceptanceMeasurement
-from repro.sim.stats import Interval, RatioStats, RetryStats
+from repro.sim.stats import Interval, LatencyStats, RatioStats, RetryStats
 
 if TYPE_CHECKING:
     from repro.sim.montecarlo import CycleRouter
@@ -125,7 +125,10 @@ class ClosedLoopMeasurement(AcceptanceMeasurement):
     outcomes: ``attempts`` and ``latency`` are delta-method intervals
     over delivered messages, ``delivered_messages`` counts them (each
     message counts once however many tries it took), and ``abandoned``
-    counts messages dropped at the attempt bound.
+    counts messages dropped at the attempt bound.  ``latency_histogram``
+    is the full :class:`~repro.sim.stats.LatencyStats` behind the
+    ``latency`` interval — exact integer bins, so p50/p95/p99 tails and
+    shard merging come for free.
     """
 
     attempts: Interval = None  # type: ignore[assignment]
@@ -133,6 +136,7 @@ class ClosedLoopMeasurement(AcceptanceMeasurement):
     delivered_messages: int = 0
     abandoned: int = 0
     policy: Optional[RetryPolicy] = None
+    latency_histogram: Optional[LatencyStats] = None
 
 
 def drive_closed_loop(
@@ -244,6 +248,7 @@ def drive_closed_loop(
         delivered_messages=retry_stats.delivered,
         abandoned=retry_stats.abandoned,
         policy=policy,
+        latency_histogram=retry_stats.latency,
     )
 
 

@@ -66,6 +66,7 @@ if TYPE_CHECKING:  # repro.sim.stagegraph imports gamma_permutation lazily
 __all__ = [
     "ChunkWorkspace",
     "StagePlan",
+    "BufferedState",
     "RoutingPlan",
     "gamma_permutation",
     "plan_for",
@@ -168,6 +169,7 @@ class StagePlan:
         "graph",
         "priority",
         "faults",
+        "buffer_depth",
         "_fault_stages",
         "stage_widths",
         "wire_dtype",
@@ -181,6 +183,7 @@ class StagePlan:
         graph: "StageGraph",
         priority: str = "label",
         faults: tuple[WireFault, ...] = (),
+        buffer_depth: Optional[int] = None,
     ):
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
@@ -191,6 +194,21 @@ class StagePlan:
         self.faults = tuple(sorted(set(faults)))
         if self.faults:
             FaultSet(self.faults).validate_graph(graph)
+        #: per-wire FIFO depth for the buffered back-pressure pass, or
+        #: ``None`` for the classic unbuffered (drop-on-loss) discipline.
+        #: Folded into the cache key only when set, so unbuffered plan
+        #: keys are unchanged.
+        if buffer_depth is not None:
+            buffer_depth = int(buffer_depth)
+            if buffer_depth < 1:
+                raise ConfigurationError(
+                    f"buffer depth must be >= 1, got {buffer_depth}"
+                )
+            if self.faults:
+                raise ConfigurationError(
+                    "wire faults are not supported on the buffered path yet"
+                )
+        self.buffer_depth = buffer_depth
         self._fault_stages = frozenset(fault.stage - 1 for fault in self.faults)
         #: wires entering each stage (index 0 = network inputs).
         self.stage_widths = graph.stage_widths
@@ -393,17 +411,72 @@ class StagePlan:
             self._local.ws = ws
         return ws
 
+    def buffered_state(self) -> "BufferedState":
+        """A fresh mutable queue state for one buffered run of this plan."""
+        if self.buffer_depth is None:
+            raise ConfigurationError(
+                "plan was compiled without a buffer depth; "
+                "pass buffer_depth= to get a buffered plan"
+            )
+        return BufferedState(self)
+
     @property
     def key(self) -> tuple:
         """The cache key this plan is stored under."""
+        if self.buffer_depth is not None:
+            return (self.graph, self.priority, self.faults, self.buffer_depth)
         return (self.graph, self.priority, self.faults)
 
     def __repr__(self) -> str:
         faulted = f", faults={len(self.faults)}" if self.faults else ""
+        buffered = (
+            f", buffer_depth={self.buffer_depth}"
+            if self.buffer_depth is not None
+            else ""
+        )
         return (
             f"StagePlan({self.graph.label}, priority={self.priority!r}, "
-            f"wire_dtype={self.wire_dtype.name}, packed={self.all_packed}{faulted})"
+            f"wire_dtype={self.wire_dtype.name}, packed={self.all_packed}"
+            f"{faulted}{buffered})"
         )
+
+
+class BufferedState:
+    """Mutable per-wire FIFO state for one buffered run of a :class:`StagePlan`.
+
+    One queue per wire entering each stage (boundary ``i`` feeds stage
+    ``i``; boundary 0 is the post-input-permutation entry column).  Each
+    queue is a dense shift-register slice of three parallel arrays —
+    destination labels, injection-cycle stamps, and an occupancy count —
+    which is exactly the layout the vectorized back-pressure kernels
+    want: head reads are column 0, pops are one slice copy, pushes index
+    ``[wire, occupancy]``.  Unlike the immutable plan this state is
+    per-run and single-threaded; :meth:`StagePlan.buffered_state` hands
+    every run a fresh instance.
+    """
+
+    __slots__ = ("plan", "depth", "occupancy", "dests", "stamps")
+
+    def __init__(self, plan: StagePlan) -> None:
+        if plan.buffer_depth is None:
+            raise ConfigurationError("plan has no buffer depth")
+        self.plan = plan
+        self.depth = plan.buffer_depth
+        widths = plan.stage_widths
+        self.occupancy = [np.zeros(w, dtype=np.int64) for w in widths]
+        self.dests = [
+            np.full((w, self.depth), -1, dtype=plan.wire_dtype) for w in widths
+        ]
+        self.stamps = [np.zeros((w, self.depth), dtype=np.int64) for w in widths]
+
+    @property
+    def num_queues(self) -> int:
+        """Total FIFO queues across all stage boundaries."""
+        return sum(occ.size for occ in self.occupancy)
+
+    def total_occupancy(self) -> int:
+        """Packets currently queued anywhere in the network."""
+        return int(sum(int(occ.sum()) for occ in self.occupancy))
 
 
 class RoutingPlan(StagePlan):
@@ -506,9 +579,10 @@ def compile_stage_plan(
     graph: "StageGraph",
     priority: str = "label",
     faults: tuple[WireFault, ...] = (),
+    buffer_depth: Optional[int] = None,
 ) -> StagePlan:
     """Compile a fresh stage plan, bypassing the cache (tests, benchmarks)."""
-    return StagePlan(graph, priority, faults)
+    return StagePlan(graph, priority, faults, buffer_depth)
 
 
 def _cached(key: tuple, compile_fn) -> StagePlan:
@@ -538,6 +612,7 @@ def stage_plan_for(
     graph: "StageGraph",
     priority: str = "label",
     faults: tuple[WireFault, ...] = (),
+    buffer_depth: Optional[int] = None,
 ) -> StagePlan:
     """The shared compiled plan for one stage graph, LRU-cached.
 
@@ -546,13 +621,19 @@ def stage_plan_for(
     permutations, output layout) and the fault tuple is canonicalized
     (sorted, deduplicated) before keying, so anything that changes
     routing semantics — including which wires are dead — changes the key
-    and therefore misses.  Thread-safe; shares the cache (and
-    :func:`plan_cache_info` counters) with the EDN :func:`plan_for`.
+    and therefore misses.  A buffered plan (``buffer_depth`` set) folds
+    the depth into its key, so buffered and unbuffered plans over the
+    same graph coexist without aliasing.  Thread-safe; shares the cache
+    (and :func:`plan_cache_info` counters) with the EDN :func:`plan_for`.
     """
     canonical = tuple(sorted(set(faults)))
+    if buffer_depth is not None:
+        key = (graph, priority, canonical, int(buffer_depth))
+    else:
+        key = (graph, priority, canonical)
     return _cached(
-        (graph, priority, canonical),
-        lambda: StagePlan(graph, priority, canonical),
+        key,
+        lambda: StagePlan(graph, priority, canonical, buffer_depth),
     )
 
 

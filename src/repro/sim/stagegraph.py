@@ -76,6 +76,8 @@ __all__ = [
     "omega_graph",
     "dilated_graph",
     "StageGraphReference",
+    "BufferedCycleOutcome",
+    "BufferedStageReference",
 ]
 
 IDLE = -1
@@ -521,6 +523,219 @@ class StageGraphReference:
         return (
             f"StageGraphReference({self.graph.label}, "
             f"priority={self.priority!r}{faulted})"
+        )
+
+
+@dataclass(frozen=True)
+class BufferedCycleOutcome:
+    """Deliveries and injection accounting of one buffered cycle.
+
+    ``outputs``/``latencies`` are parallel arrays, one entry per packet
+    delivered this cycle, canonically sorted by ``(output, latency)`` so
+    two semantically equivalent engines produce bit-identical arrays.
+    Latency is delivery cycle minus injection cycle: a packet that
+    crosses an ``S``-stage network without ever queueing takes exactly
+    ``S`` cycles (one stage traversal per cycle).
+    """
+
+    outputs: np.ndarray
+    latencies: np.ndarray
+    offered: int
+    injected: int
+
+    @property
+    def delivered(self) -> int:
+        return int(self.outputs.size)
+
+    @property
+    def refused(self) -> int:
+        """Offered packets turned away by a full entry queue."""
+        return self.offered - self.injected
+
+
+class BufferedStageReference:
+    """Per-packet buffered interpreter of any :class:`StageGraph`.
+
+    The independent cross-check path for the compiled buffered kernels
+    (:class:`~repro.sim.batched.CompiledStageRouter` with a
+    ``buffer_depth``), mirroring what :class:`StageGraphReference` is to
+    the unbuffered kernels: plain Python list queues and per-switch
+    loops, sharing none of the plan/array machinery.
+
+    Semantics (one :meth:`step` = one network cycle):
+
+    * Every wire entering a stage carries a ``depth``-deep FIFO; heads
+      contend for their ``(switch, digit)`` bucket under the usual
+      priority discipline.
+    * Stages are serviced **output side first** (last column down to the
+      first): a bucket's rank-``r`` contender advances iff the bucket
+      still has at least ``r`` next-queue slots with room *after* the
+      downstream column was serviced, and it takes the ``r``-th roomy
+      slot in slot order.  Losers simply stay queued — back-pressure,
+      not loss.
+    * The final column always has room (delivery is unconditional);
+      each delivery records ``cycle - injection_cycle`` as its latency.
+    * After servicing, each offered packet enters its source's entry
+      queue if there is room, else it is refused (counted, not queued).
+
+    Random priority draws one ``rng.permutation`` per stage with live
+    contenders, over contender wires in ascending wire order — the exact
+    draw protocol of the compiled engine, so per-cycle outcomes can be
+    compared bit for bit under both disciplines.
+    """
+
+    def __init__(
+        self,
+        graph: StageGraph,
+        *,
+        depth: int = 1,
+        priority: str = "label",
+    ):
+        if priority not in ("label", "random"):
+            raise ConfigurationError(f"unknown priority discipline {priority!r}")
+        depth = int(depth)
+        if depth < 1:
+            raise ConfigurationError(f"buffer depth must be >= 1, got {depth}")
+        self.graph = graph
+        self.depth = depth
+        self.priority = priority
+        self._widths = graph.stage_widths
+        self._input_perm = (
+            [int(v) for v in materialize_permutation(graph.input_perm)]
+            if graph.input_perm is not None
+            else None
+        )
+        self._links = [
+            [int(v) for v in materialize_permutation(stage.link_perm)]
+            if stage.link_perm is not None
+            else None
+            for stage in graph.stages
+        ]
+        #: queues[i][wire] = FIFO of (dest, injection_cycle), head first.
+        self.queues: list[list[list]] = [
+            [[] for _ in range(w)] for w in self._widths
+        ]
+        self.cycle = 0
+
+    @property
+    def n_inputs(self) -> int:
+        return self.graph.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.graph.n_outputs
+
+    def total_occupancy(self) -> int:
+        """Packets currently queued anywhere in the network."""
+        return sum(len(q) for column in self.queues for q in column)
+
+    def step(
+        self, dests: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> BufferedCycleOutcome:
+        """Advance the network one cycle under demand vector ``dests``."""
+        from repro.core.exceptions import LabelError
+
+        g = self.graph
+        dests = np.asarray(dests, dtype=np.int64)
+        if dests.shape != (g.n_inputs,):
+            raise LabelError(
+                f"expected demand vector of shape ({g.n_inputs},), got {dests.shape}"
+            )
+        live0 = dests != IDLE
+        if live0.any():
+            lo, hi = int(dests[live0].min()), int(dests[live0].max())
+            if lo < 0 or hi >= g.n_outputs:
+                raise LabelError("demand vector contains out-of-range destinations")
+        if self.priority == "random" and rng is None:
+            raise ConfigurationError(
+                "random priority requires an explicit numpy Generator"
+            )
+
+        t = self.cycle
+        delivered_out: list[int] = []
+        delivered_lat: list[int] = []
+        last = g.num_stages - 1
+        for i in range(last, -1, -1):
+            stage = g.stages[i]
+            column = self.queues[i]
+            contenders = [w for w in range(len(column)) if column[w]]
+            if not contenders:
+                continue
+            if self.priority == "random":
+                sub = rng.permutation(len(contenders))
+            else:
+                sub = range(len(contenders))
+            fan_bits = ilog2(stage.fan_in)
+            cap = stage.capacity
+            entries = []
+            for j, w in enumerate(contenders):
+                dest = column[w][0][0]
+                switch = w >> fan_bits
+                digit = (dest >> stage.shift) & (stage.radix - 1)
+                entries.append((switch * stage.radix + digit, int(sub[j]), w))
+            entries.sort()
+            link = self._links[i]
+            next_column = self.queues[i + 1] if i < last else None
+            idx = 0
+            while idx < len(entries):
+                bucket = entries[idx][0]
+                group = []
+                while idx < len(entries) and entries[idx][0] == bucket:
+                    group.append(entries[idx][2])
+                    idx += 1
+                base = bucket * cap  # == switch * bucket_wires + digit * cap
+                if i == last:
+                    roomy = list(range(cap))
+                else:
+                    roomy = [
+                        k
+                        for k in range(cap)
+                        if len(
+                            next_column[
+                                link[base + k] if link is not None else base + k
+                            ]
+                        )
+                        < self.depth
+                    ]
+                for r, w in enumerate(group):
+                    if r >= len(roomy):
+                        break  # remaining contenders of the bucket stay queued
+                    y = base + roomy[r]
+                    dest, stamp = column[w].pop(0)
+                    if i == last:
+                        delivered_out.append(y >> g.out_shift)
+                        delivered_lat.append(t - stamp)
+                    else:
+                        nw = link[y] if link is not None else y
+                        next_column[nw].append((dest, stamp))
+
+        offered = injected = 0
+        entry = self.queues[0]
+        for s in range(g.n_inputs):
+            dest = int(dests[s])
+            if dest == IDLE:
+                continue
+            offered += 1
+            w = self._input_perm[s] if self._input_perm is not None else s
+            if len(entry[w]) < self.depth:
+                entry[w].append((dest, t))
+                injected += 1
+        self.cycle = t + 1
+
+        outputs = np.asarray(delivered_out, dtype=np.int64)
+        latencies = np.asarray(delivered_lat, dtype=np.int64)
+        order = np.lexsort((latencies, outputs))
+        return BufferedCycleOutcome(
+            outputs=outputs[order],
+            latencies=latencies[order],
+            offered=offered,
+            injected=injected,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferedStageReference({self.graph.label}, depth={self.depth}, "
+            f"priority={self.priority!r})"
         )
 
 

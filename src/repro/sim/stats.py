@@ -6,6 +6,11 @@ Small, dependency-light estimators used by the Monte-Carlo harnesses:
   confidence intervals;
 * :class:`RatioStats` — ratio-of-sums estimator (e.g. accepted/offered
   across cycles, which is *not* the mean of per-cycle ratios);
+* :class:`LatencyStats` — a fixed-bin streaming latency histogram on top
+  of :class:`RatioStats`: exact mean via the ratio sums, p50/p95/p99 from
+  integer-cycle bins, and an exact order-independent :meth:`~LatencyStats.merge`
+  for combining :class:`~repro.experiments.parallel.ParallelSweep` /
+  ``repro.serve`` shards;
 * :func:`batch_means` — batch-means variance reduction for autocorrelated
   cycle series (the MIMD resubmission simulator produces such series:
   a blocked processor's state couples consecutive cycles);
@@ -15,7 +20,7 @@ Small, dependency-light estimators used by the Monte-Carlo harnesses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import sqrt
+from math import ceil, sqrt
 from collections.abc import Sequence
 
 from scipy import stats as _scipy_stats
@@ -24,6 +29,7 @@ __all__ = [
     "RunningStats",
     "RatioStats",
     "RetryStats",
+    "LatencyStats",
     "batch_means",
     "proportion_ci",
     "Interval",
@@ -230,6 +236,39 @@ class RatioStats:
         self._mean_den += delta_den * m / total
         self._n = total
 
+    def merge(self, other: "RatioStats") -> None:
+        """Absorb another accumulator's stream into this one.
+
+        Chan-style parallel combination of the Welford co-moments, the
+        same algebra :meth:`push_many` uses for a chunk — so merging two
+        shard accumulators is equivalent (up to float rounding of the
+        interval moments; the point estimate's plain sums are exact) to
+        having pushed both streams into one accumulator.  This is the
+        primitive ``ParallelSweep`` and ``repro.serve`` shards use to
+        combine per-shard latency statistics.
+        """
+        if other._n == 0:
+            return
+        self._sum_num += other._sum_num
+        self._sum_den += other._sum_den
+        if self._n == 0:
+            self._n = other._n
+            self._mean_num, self._mean_den = other._mean_num, other._mean_den
+            self._m2_num, self._m2_den = other._m2_num, other._m2_den
+            self._c_nd = other._c_nd
+            return
+        n, m = self._n, other._n
+        total = n + m
+        delta_num = other._mean_num - self._mean_num
+        delta_den = other._mean_den - self._mean_den
+        scale = n * m / total
+        self._m2_num += other._m2_num + delta_num * delta_num * scale
+        self._m2_den += other._m2_den + delta_den * delta_den * scale
+        self._c_nd += other._c_nd + delta_num * delta_den * scale
+        self._mean_num += delta_num * m / total
+        self._mean_den += delta_den * m / total
+        self._n = total
+
     @property
     def n(self) -> int:
         return self._n
@@ -265,6 +304,189 @@ class RatioStats:
         return Interval(point, point - t * se, point + t * se)
 
 
+class LatencyStats(RatioStats):
+    """Streaming fixed-bin latency histogram with exact mean and percentiles.
+
+    Latencies are integer cycle counts, so a fixed array of unit-width
+    bins ``[0, bound]`` is an *exact* histogram, not an approximation:
+    bin ``v`` counts messages delivered in exactly ``v`` cycles, and the
+    final bin absorbs the (rare, saturated-run) overflow tail, so every
+    percentile at or past the overflow mass is reported as ``bound`` —
+    a conservative floor, never an overstatement.
+
+    The inherited :class:`RatioStats` machinery (each latency pushed
+    against a unit denominator) supplies the exact mean — integer sums
+    stay exact in float64 far beyond any feasible run length — plus the
+    delta-method confidence interval.  :meth:`merge` adds histograms and
+    combines moments, making shard aggregation order-independent: counts
+    and therefore percentiles are exactly identical to single-stream
+    accumulation, and the mean is exact because the point estimate rides
+    on plain sums.
+
+    >>> acc = LatencyStats()
+    >>> acc.record([3, 5, 5, 9])
+    >>> (acc.count, acc.mean, acc.p50, acc.p95)
+    (4, 5.5, 5, 9)
+    """
+
+    __slots__ = ("bound", "_counts")
+
+    #: Default histogram bound: latencies above this land in the overflow bin.
+    DEFAULT_BOUND = 1 << 14
+
+    def __init__(self, bound: int = DEFAULT_BOUND) -> None:
+        super().__init__()
+        if bound < 1:
+            raise ValueError(f"histogram bound must be >= 1, got {bound}")
+        self.bound = int(bound)
+        self._counts = None  # lazily allocated int64[bound + 1]
+
+    def _ensure_counts(self):
+        if self._counts is None:
+            import numpy as np
+
+            self._counts = np.zeros(self.bound + 1, dtype=np.int64)
+        return self._counts
+
+    def record(self, latencies) -> None:
+        """Absorb an array of integer delivery latencies (cycles)."""
+        import numpy as np
+
+        lat = np.asarray(latencies)
+        if lat.size == 0:
+            return
+        if lat.ndim != 1:
+            raise ValueError("record needs a 1-D latency array")
+        clipped = np.minimum(lat.astype(np.int64, copy=False), self.bound)
+        if clipped.min() < 0:
+            raise ValueError("latencies must be non-negative")
+        counts = self._ensure_counts()
+        counts += np.bincount(clipped, minlength=self.bound + 1)
+        self.push_many(lat.astype(np.float64, copy=False), np.ones(lat.size))
+
+    def record_one(self, latency: int) -> None:
+        lat = int(latency)
+        if lat < 0:
+            raise ValueError("latencies must be non-negative")
+        self._ensure_counts()[min(lat, self.bound)] += 1
+        self.push(lat, 1)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded latencies."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Exact mean latency (0.0 when empty)."""
+        if self._n == 0:
+            return 0.0
+        return self._sum_num / self._n
+
+    def percentile(self, q: float) -> int:
+        """Smallest latency ``v`` with at least ``ceil(q * count)`` mass at or below it."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {q}")
+        if self._n == 0:
+            return 0
+        import numpy as np
+
+        cum = np.cumsum(self._counts)
+        target = ceil(q * self._n)
+        return int(np.searchsorted(cum, target))
+
+    @property
+    def p50(self) -> int:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> int:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(0.99)
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Add another histogram's counts and combine the moment stream."""
+        if not isinstance(other, LatencyStats):
+            raise TypeError("can only merge another LatencyStats")
+        if other.bound != self.bound:
+            raise ValueError(
+                f"histogram bounds differ: {self.bound} vs {other.bound}"
+            )
+        if other._counts is not None:
+            self._ensure_counts()
+            self._counts += other._counts
+        super().merge(other)
+
+    def __eq__(self, other) -> bool:
+        """Value equality: same bound, same bins, same moment stream.
+
+        Lets dataclasses carrying a histogram field (e.g.
+        ``ClosedLoopMeasurement``) keep their generated ``==``, so
+        payload round-trips stay bit-checkable.
+        """
+        if not isinstance(other, LatencyStats):
+            return NotImplemented
+        import numpy as np
+
+        a = self._counts if self._counts is not None else ()
+        b = other._counts if other._counts is not None else ()
+        return (
+            self.bound == other.bound
+            and self._n == other._n
+            and bool(np.array_equal(a, b) or (np.sum(a) == 0 and np.sum(b) == 0))
+            and self.to_payload()["moments"] == other.to_payload()["moments"]
+        )
+
+    __hash__ = None  # mutable accumulator
+
+    def to_payload(self) -> dict:
+        """JSON-safe snapshot: sparse non-zero bins plus the raw moments."""
+        bins = {}
+        if self._counts is not None:
+            import numpy as np
+
+            nz = np.flatnonzero(self._counts)
+            bins = {int(v): int(self._counts[v]) for v in nz}
+        return {
+            "bound": self.bound,
+            "bins": bins,
+            "moments": [
+                self._n,
+                self._sum_num,
+                self._sum_den,
+                self._mean_num,
+                self._mean_den,
+                self._m2_num,
+                self._m2_den,
+                self._c_nd,
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LatencyStats":
+        acc = cls(bound=int(payload["bound"]))
+        bins = payload.get("bins") or {}
+        if bins:
+            counts = acc._ensure_counts()
+            for value, count in bins.items():
+                counts[int(value)] += int(count)
+        moments = payload["moments"]
+        acc._n = int(moments[0])
+        (
+            acc._sum_num,
+            acc._sum_den,
+            acc._mean_num,
+            acc._mean_den,
+            acc._m2_num,
+            acc._m2_den,
+            acc._c_nd,
+        ) = (float(v) for v in moments[1:])
+        return acc
+
+
 class RetryStats(RatioStats):
     """Per-message closed-loop statistics: attempts and latency per delivery.
 
@@ -272,10 +494,11 @@ class RetryStats(RatioStats):
     the inherited ratio machinery estimates *attempts per delivered
     message* (each delivery pushes its attempt count against a unit
     denominator, so ``ratio`` is total attempts / deliveries with the
-    delta-method interval), and a nested :class:`RatioStats` does the
+    delta-method interval), and a nested :class:`LatencyStats` does the
     same for delivery latency in cycles (1 = delivered on the first
-    try).  ``abandoned`` counts messages that exhausted their attempt
-    bound and were dropped.
+    try) while also binning each latency for p50/p95/p99 tail readout.
+    ``abandoned`` counts messages that exhausted their attempt bound
+    and were dropped.
 
     >>> acc = RetryStats()
     >>> acc.record_delivery(attempts=3, latency=5)
@@ -288,22 +511,21 @@ class RetryStats(RatioStats):
 
     def __init__(self) -> None:
         super().__init__()
-        self.latency = RatioStats()
+        self.latency = LatencyStats()
         self._abandoned = 0
 
     def record_delivery(self, attempts: int, latency: int) -> None:
         self.push(attempts, 1)
-        self.latency.push(latency, 1)
+        self.latency.record_one(latency)
 
     def record_deliveries(self, attempts, latencies) -> None:
         """Absorb whole delivered-message arrays (one cycle) at once."""
         import numpy as np
 
         attempts = np.asarray(attempts, dtype=np.float64)
-        latencies = np.asarray(latencies, dtype=np.float64)
         ones = np.ones_like(attempts)
         self.push_many(attempts, ones)
-        self.latency.push_many(latencies, ones)
+        self.latency.record(np.asarray(latencies))
 
     def record_abandoned(self, count: int = 1) -> None:
         self._abandoned += count

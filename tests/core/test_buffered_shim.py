@@ -1,0 +1,100 @@
+"""The deprecated ``repro.ext.buffered`` compat shim warns, once, and works."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.core.config import EDNParams
+
+
+def _fresh_import():
+    """(Re)execute the shim module, collecting the warnings it emits."""
+    sys.modules.pop("repro.ext.buffered", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.ext.buffered")
+    return module, [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+class TestDeprecationWarning:
+    def test_import_warns_exactly_once(self):
+        module, deprecations = _fresh_import()
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "repro.ext.buffered is deprecated" in message
+        # The warning names the successor path.
+        assert "repro.sim.buffered.measure_buffered" in message
+        # The module is now cached: importing again re-executes nothing,
+        # so the warning cannot fire a second time in this process.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            again = importlib.import_module("repro.ext.buffered")
+        assert again is module
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_package_import_stays_silent(self):
+        # Importing the parent package (e.g. for admissibility) must not
+        # trigger the shim's warning; only touching the shim does.
+        sys.modules.pop("repro.ext.buffered", None)
+        sys.modules.pop("repro.ext", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            package = importlib.import_module("repro.ext")
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        # The lazy re-export still resolves (and now warns).
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert package.BufferedEDN is not None
+        assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestShimStillWorks:
+    def test_run_contract_matches_core(self):
+        module, _ = _fresh_import()
+        metrics = module.BufferedEDN(EDNParams(4, 2, 2, 2), depth=2).run(
+            rate=0.8, cycles=120, warmup=30, seed=0
+        )
+        from repro.sim.buffered import measure_buffered
+        from repro.sim.stagegraph import edn_graph
+
+        core = measure_buffered(
+            edn_graph(EDNParams(4, 2, 2, 2)),
+            traffic="uniform:0.8",
+            depth=2,
+            cycles=120,
+            warmup=30,
+            seed=0,
+        )
+        assert metrics.injected == core.injected
+        assert metrics.delivered == core.delivered
+        assert metrics.throughput == core.throughput
+        assert metrics.mean_latency == core.mean_latency
+        assert metrics.mean_occupancy == core.mean_occupancy
+
+    def test_shim_validation_preserved(self):
+        module, _ = _fresh_import()
+        from repro.core.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            module.BufferedEDN(EDNParams(4, 2, 2, 2), depth=0)
+        with pytest.raises(ConfigurationError):
+            module.BufferedEDN(EDNParams(4, 2, 2, 2)).run(rate=1.5, cycles=10)
+        with pytest.raises(ConfigurationError):
+            module.BufferedEDN(EDNParams(4, 2, 2, 2)).run(rate=0.5, cycles=0)
+
+    def test_zero_rate_runs_idle(self):
+        module, _ = _fresh_import()
+        metrics = module.BufferedEDN(EDNParams(4, 2, 2, 2)).run(
+            rate=0.0, cycles=30, seed=1
+        )
+        assert metrics.injected == 0 and metrics.delivered == 0

@@ -288,7 +288,7 @@ class TestRegistry:
             "eq2_eq3_dilated", "cost_performance", "nuts",
             "ablation_priority", "ablation_wire_policy", "ablation_schedule",
             "fault_tolerance", "degradation", "scaling", "buffered",
-            "admissibility", "workload_matrix",
+            "admissibility", "saturation", "workload_matrix",
         }
         assert expected == set(EXPERIMENTS)
 

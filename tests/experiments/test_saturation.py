@@ -1,0 +1,89 @@
+"""The ``saturation`` experiment: registration, shape, and overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import RunConfig
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.saturation import (
+    DEFAULT_WORKLOADS,
+    FAMILIES,
+    run,
+)
+
+SMALL = dict(rates=(0.2, 0.6, 1.0), cycles=60, warmup=20)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "saturation" in EXPERIMENTS
+
+    def test_runs_through_registry_dispatch(self):
+        result = run_experiment(
+            "saturation", config=RunConfig(cycles=40, traffic="uniform")
+        )
+        assert result.experiment_id == "saturation"
+
+
+class TestResultShape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(**SMALL)
+
+    def test_curve_table_covers_every_point(self, result):
+        header, rows = result.tables["latency & throughput"]
+        assert header[:3] == ["family", "workload", "offered rate"]
+        families = [name for name, _ in FAMILIES()]
+        assert len(rows) == len(families) * len(DEFAULT_WORKLOADS) * 3
+        assert {row[0] for row in rows} == set(families)
+        assert {row[1] for row in rows} == set(DEFAULT_WORKLOADS)
+
+    def test_latency_columns_ordered(self, result):
+        _, rows = result.tables["latency & throughput"]
+        for row in rows:
+            mean, p50, p95, p99 = row[5], row[6], row[7], row[8]
+            if p50 == 0:
+                continue  # no deliveries at this point
+            assert p50 <= p95 <= p99
+            # Latency floor: a packet crosses at least the stage count.
+            assert mean >= 2.0
+
+    def test_knee_table_one_row_per_curve(self, result):
+        _, rows = result.tables["saturation knees"]
+        families = [name for name, _ in FAMILIES()]
+        assert len(rows) == len(families) * len(DEFAULT_WORKLOADS)
+        for _, _, knee, thr_at_knee in rows:
+            assert 0.2 <= knee <= 1.0
+            assert 0.0 <= thr_at_knee <= 1.0
+
+    def test_series_fit_the_renderer(self, result):
+        # The ASCII renderer caps at 8 series; the experiment must stay
+        # renderable from `repro experiment` (which prints every result).
+        assert 0 < len(result.series) <= 8
+        result.render()  # must not raise
+
+    def test_throughput_monotone_under_uniform_low_load(self, result):
+        _, rows = result.tables["latency & throughput"]
+        for family, _ in FAMILIES():
+            uniform = [r for r in rows if r[0] == family and r[1] == "uniform"]
+            # Delivered throughput grows (weakly) from rate 0.2 to 0.6.
+            assert uniform[0][4] <= uniform[1][4] + 0.02
+
+
+class TestOverrides:
+    def test_traffic_override_narrows_workloads(self):
+        result = run(
+            rates=(0.3, 0.9),
+            cycles=40,
+            warmup=10,
+            config=RunConfig(traffic="uniform"),
+        )
+        _, rows = result.tables["latency & throughput"]
+        assert {row[1] for row in rows} == {"uniform"}
+
+    def test_config_cycles_and_seed_flow_through(self):
+        a = run(rates=(0.5,), workloads=("uniform",), config=RunConfig(cycles=30, seed=7))
+        b = run(rates=(0.5,), workloads=("uniform",), config=RunConfig(cycles=30, seed=7))
+        assert a.tables["latency & throughput"][1] == b.tables["latency & throughput"][1]
+        assert "30 measured cycles" in a.notes[0]

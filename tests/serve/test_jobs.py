@@ -156,6 +156,22 @@ class TestMeasurementPayloads:
         assert restored == measurement
         assert restored.policy.label == "4:1:2"
 
+    def test_closed_loop_histogram_round_trips(self):
+        # The streaming latency histogram rides inside the closed-loop
+        # payload so shard merges keep their percentiles.
+        measurement = measure_cell(
+            SweepCell(SPEC, RunConfig(cycles=30, seed=5, retry="4"))
+        )
+        histogram = measurement.latency_histogram
+        assert histogram is not None and histogram.count > 0
+        restored = measurement_from_payload(measurement_to_payload(measurement))
+        assert restored.latency_histogram == histogram
+        assert (
+            restored.latency_histogram.p50,
+            restored.latency_histogram.p95,
+            restored.latency_histogram.p99,
+        ) == (histogram.p50, histogram.p95, histogram.p99)
+
     def test_payload_survives_json_bit_identically(self):
         import json
 
