@@ -17,6 +17,7 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/perf_smoke.py --fault-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --serve-matrix
     PYTHONPATH=src python benchmarks/perf_smoke.py --saturation
+    PYTHONPATH=src python benchmarks/perf_smoke.py --fault-buffered
 
 Default mode exits non-zero if the N=4096 point falls below the 5x speedup
 floor this optimization was merged under (the recorded acceptance
@@ -44,6 +45,10 @@ partials, and service-vs-inline bit-identity — into ``BENCH_serve.json``.
 per-wire FIFO kernels against the legacy per-packet deque engine (>=5x
 floor, throughput agreement asserted) — and records the ``saturation``
 experiment's detected knees at N=64 into ``BENCH_saturation.json``.
+``--fault-buffered`` times faulty vs fault-free buffered stepping at
+N=4096 through the same compiled FIFO kernels (fault-overhead ceiling
+1.5x asserted, whole-run packet conservation and ``apply_faults`` drop
+accounting checked) into ``BENCH_fault_buffered.json``.
 """
 
 from __future__ import annotations
@@ -135,6 +140,20 @@ SATURATION_SPEEDUP_FLOOR = 5.0
 #: full rate ladder stays cheap.
 SATURATION_KNEE_CYCLES = 200
 SATURATION_KNEE_WARMUP = 50
+
+FAULT_BUFFERED_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fault_buffered.json"
+#: EDN(16,4,4,l) reaches 1K/4K inputs at l = 4/5 for the faulty-buffered
+#: comparison; depth and cycle budget mirror --saturation.
+FAULT_BUFFERED_SIZES = {1_024: 4, 4_096: 5}
+FAULT_BUFFERED_DEPTH = 2
+#: warmup=0 so the whole-run conservation identity
+#: (injected == delivered + in_flight + dropped) is checked exactly.
+FAULT_BUFFERED_CYCLES = 50
+#: Fault masks ride the same compiled FIFO kernels as pristine plans, so
+#: a faulted buffered run may cost at most this multiple of the
+#: fault-free run at N = 4096 (merge criterion of the faulty-buffered
+#: PR: damage must not fall off the fast path).
+FAULT_BUFFERED_OVERHEAD_CEILING = 1.5
 
 PLAN_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
 #: Fixed-budget cycles per repeated call in the plan-cache comparison —
@@ -550,6 +569,144 @@ def run_fault_matrix(output: Path = FAULT_OUTPUT) -> tuple[dict, list[str]]:
             "speedup_vs_reference_at_4096": FAULT_SPEEDUP_FLOOR,
             "counts": "bit-identical per cell (loop always, reference on EDN)",
         },
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report, failures
+
+
+def run_fault_buffered(output: Path = FAULT_BUFFERED_OUTPUT) -> tuple[dict, list[str]]:
+    """Faulty vs fault-free buffered stepping on the compiled kernels.
+
+    For EDN(16,4,4,l) at :data:`FAULT_BUFFERED_SIZES` terminals, times
+    ``measure_buffered`` at depth :data:`FAULT_BUFFERED_DEPTH` under full
+    offered load twice — once pristine, once with a seeded
+    ~:data:`FAULT_RATE` wire-fault pattern lowered into the same plan —
+    under identical ``(seed, cycles)``.  Asserts, per cell: the
+    whole-run conservation identity ``injected == delivered + in_flight
+    + dropped``, zero drops for static damage (dead wires back-pressure,
+    they do not eat), engine agreement (compiled vs the per-packet
+    ``BufferedStageReference`` at the small size), and a faulted/pristine
+    wall-clock ratio of at most
+    :data:`FAULT_BUFFERED_OVERHEAD_CEILING` x at ``N = 4096`` (the merge
+    criterion: damaged fabrics must not fall off the buffered fast
+    path).  Also exercises ``apply_faults`` drop accounting mid-run.
+
+    Returns ``(report, failures)``.
+    """
+    from repro.core.faults import random_graph_faults
+    from repro.sim.batched import CompiledStageRouter
+    from repro.sim.buffered import measure_buffered
+    from repro.sim.rng import make_rng
+    from repro.sim.stagegraph import edn_graph
+
+    results = []
+    failures: list[str] = []
+    for n_inputs, edn_stages in FAULT_BUFFERED_SIZES.items():
+        params = EDNParams(16, 4, 4, edn_stages)
+        graph = edn_graph(params)
+        faults = random_graph_faults(graph, FAULT_RATE, make_rng(FAULT_SEED)).canonical()
+        kw = dict(
+            traffic="uniform:1",
+            depth=FAULT_BUFFERED_DEPTH,
+            cycles=FAULT_BUFFERED_CYCLES,
+            warmup=0,
+            seed=SEED,
+        )
+        pristine_s, pristine_m = _best_of(
+            REPEATS, lambda: measure_buffered(graph, **kw)
+        )
+        faulted_s, faulted_m = _best_of(
+            REPEATS, lambda: measure_buffered(graph, faults=faults, **kw)
+        )
+        conserved = True
+        for label, m in (("pristine", pristine_m), ("faulted", faulted_m)):
+            if m.injected != m.delivered + m.in_flight + m.dropped:
+                failures.append(f"N={n_inputs} {label}: conservation violated")
+                conserved = False
+        if faulted_m.dropped != 0:
+            failures.append(
+                f"N={n_inputs}: static faults dropped {faulted_m.dropped} packets "
+                "(dead wires must back-pressure, not eat)"
+            )
+        overhead = faulted_s / pristine_s
+        entry = {
+            "topology": f"edn:16,4,4,{edn_stages}",
+            "n_inputs": n_inputs,
+            "n_faults": len(faults),
+            "buffer_depth": FAULT_BUFFERED_DEPTH,
+            "cycles": FAULT_BUFFERED_CYCLES,
+            "pristine_seconds": round(pristine_s, 4),
+            "faulted_seconds": round(faulted_s, 4),
+            "fault_overhead": round(overhead, 3),
+            "pristine_throughput": round(pristine_m.throughput, 6),
+            "faulted_throughput": round(faulted_m.throughput, 6),
+            "conserved": conserved,
+        }
+        results.append(entry)
+        print(
+            f"N={n_inputs:>6} edn:16,4,4,{edn_stages} ({len(faults):>3} faults, "
+            f"depth {FAULT_BUFFERED_DEPTH}): pristine {pristine_s:.3f}s  "
+            f"faulted {faulted_s:.3f}s  {overhead:.2f}x overhead"
+        )
+        if n_inputs == 4_096 and overhead > FAULT_BUFFERED_OVERHEAD_CEILING:
+            failures.append(
+                f"edn:16,4,4,{edn_stages}: faulted buffered overhead "
+                f"{overhead:.2f}x above the "
+                f"{FAULT_BUFFERED_OVERHEAD_CEILING:.1f}x ceiling"
+            )
+    # Engine agreement at the small size: the compiled faulted FIFO
+    # kernels must match the per-packet reference measurement exactly.
+    small = edn_graph(EDNParams(16, 4, 4, FAULT_BUFFERED_SIZES[1_024]))
+    small_faults = random_graph_faults(small, FAULT_RATE, make_rng(FAULT_SEED)).canonical()
+    small_kw = dict(
+        traffic="uniform:1", depth=FAULT_BUFFERED_DEPTH, cycles=10, warmup=0,
+        seed=SEED, faults=small_faults,
+    )
+    engines_agree = measure_buffered(small, engine="compiled", **small_kw) == (
+        measure_buffered(small, engine="reference", **small_kw)
+    )
+    if not engines_agree:
+        failures.append("compiled and per-packet buffered engines diverge under faults")
+    # Mid-run damage drops stranded packets with exact accounting.
+    router = CompiledStageRouter(
+        small, buffer_depth=FAULT_BUFFERED_DEPTH, faults=()
+    )
+    rng = make_rng(SEED)
+    demands = make_rng(SEED + 977).integers(
+        0, small.n_outputs, size=(20, small.n_inputs)
+    )
+    injected = delivered = 0
+    for cycle in range(20):
+        outcome = router.step(demands[cycle], rng)
+        injected += outcome.injected
+        delivered += outcome.delivered
+    dropped = router.apply_faults(small_faults)
+    drops_conserved = (
+        dropped == router.dropped_packets
+        and injected == delivered + router.total_occupancy() + router.dropped_packets
+    )
+    if not drops_conserved:
+        failures.append("apply_faults drop accounting broke conservation")
+    report = {
+        "benchmark": "fault_buffered",
+        "workload": (
+            f"measure_buffered, uniform traffic r=1.0, depth "
+            f"{FAULT_BUFFERED_DEPTH}, seed {SEED}, ~{FAULT_RATE:g} wire "
+            f"faults drawn at seed {FAULT_SEED}"
+        ),
+        "floor": {
+            "fault_overhead_ceiling_at_4096": FAULT_BUFFERED_OVERHEAD_CEILING,
+            "conservation": "injected == delivered + in_flight + dropped, every run",
+            "static_faults": "never drop (back-pressure only)",
+        },
+        "engines_agree_under_faults": engines_agree,
+        "mid_run_drop_accounting_conserved": drops_conserved,
         "host": {
             "machine": platform.machine(),
             "python": platform.python_version(),
@@ -1186,6 +1343,13 @@ def main(argv: list[str] | None = None) -> int:
              "N=4096, bit-identical counts)",
     )
     parser.add_argument(
+        "--fault-buffered",
+        action="store_true",
+        help="time faulty vs fault-free buffered stepping at N=4096 "
+             "(<=1.5x overhead ceiling, conservation + drop accounting "
+             "asserted)",
+    )
+    parser.add_argument(
         "--saturation",
         action="store_true",
         help="time buffered stepping at N=4096: compiled kernels vs the "
@@ -1218,6 +1382,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.baseline_matrix:
         _report, failures = run_baseline_matrix()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    if args.fault_buffered:
+        _report, failures = run_fault_buffered()
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0

@@ -66,6 +66,7 @@ _KEYED_CONFIG_FIELDS = (
     "rel_err",
     "traffic",
     "retry",
+    "buffer_depth",
 )
 
 
@@ -141,6 +142,7 @@ class SweepCell:
                 "rel_err": self.config.rel_err,
                 "traffic": self.config.traffic,
                 "retry": retry.label if retry is not None else None,
+                "buffer_depth": self.config.buffer_depth,
             },
         }
 
@@ -165,6 +167,7 @@ class SweepCell:
                 rel_err=config.get("rel_err"),
                 traffic=config.get("traffic"),
                 retry=config.get("retry"),
+                buffer_depth=config.get("buffer_depth"),
             ),
         )
 
@@ -174,23 +177,59 @@ class SweepCell:
         Covers the spec (including the canonical fault tuple — the same
         canonicalization the plan cache keys on) and every
         result-determining config field; two cells agree on their key iff
-        they would produce identical measurements.
+        they would produce identical measurements.  ``buffer_depth``
+        enters the key only when set, so unbuffered cells keep the keys
+        they have always had.
         """
         payload = self.payload()
         payload["config"] = {
             name: payload["config"][name] for name in _KEYED_CONFIG_FIELDS
         }
+        if payload["config"]["buffer_depth"] is None:
+            del payload["config"]["buffer_depth"]
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def measurement_to_payload(measurement: "AcceptanceMeasurement") -> dict:
+def measurement_to_payload(measurement) -> dict:
     """A JSON-safe dict of a measurement (closed-loop fields included).
 
     Floats serialize via ``repr`` (Python's ``json``), which round-trips
     every finite double exactly — the payload is bit-identical to the
-    in-process numbers.
+    in-process numbers.  Buffered measurements
+    (:class:`~repro.sim.buffered.BufferedMeasurement`, produced by cells
+    with a ``buffer_depth``) serialize under a ``"buffered"`` envelope.
     """
+    from repro.sim.buffered import BufferedMeasurement
+
+    if isinstance(measurement, BufferedMeasurement):
+        return {
+            "buffered": {
+                "graph_label": measurement.graph_label,
+                "traffic": measurement.traffic,
+                "depth": measurement.depth,
+                "priority": measurement.priority,
+                "cycles": measurement.cycles,
+                "warmup": measurement.warmup,
+                "seed": seed_to_payload(measurement.seed),
+                "offered": measurement.offered,
+                "injected": measurement.injected,
+                "delivered": measurement.delivered,
+                "throughput": measurement.throughput,
+                "latency": measurement.latency.to_payload(),
+                "mean_occupancy": measurement.mean_occupancy,
+                "total_occupancy": measurement.total_occupancy,
+                "num_queues": measurement.num_queues,
+                "in_flight": measurement.in_flight,
+                "n_inputs": measurement.n_inputs,
+                "n_outputs": measurement.n_outputs,
+                "faults": [
+                    [f.stage, f.switch, f.local_wire]
+                    for f in measurement.faults
+                ],
+                "dropped": measurement.dropped,
+            }
+        }
     acceptance = measurement.acceptance
     payload = {
         "cycles": measurement.cycles,
@@ -227,9 +266,37 @@ def measurement_to_payload(measurement: "AcceptanceMeasurement") -> dict:
     return payload
 
 
-def measurement_from_payload(payload: dict) -> "AcceptanceMeasurement":
+def measurement_from_payload(payload: dict):
     """Invert :func:`measurement_to_payload`."""
     from repro.sim.stats import Interval
+
+    buffered = payload.get("buffered")
+    if buffered is not None:
+        from repro.sim.buffered import BufferedMeasurement
+        from repro.sim.stats import LatencyStats
+
+        return BufferedMeasurement(
+            graph_label=buffered["graph_label"],
+            traffic=buffered["traffic"],
+            depth=buffered["depth"],
+            priority=buffered["priority"],
+            cycles=buffered["cycles"],
+            warmup=buffered["warmup"],
+            seed=seed_from_payload(buffered["seed"]),
+            offered=buffered["offered"],
+            injected=buffered["injected"],
+            delivered=buffered["delivered"],
+            throughput=buffered["throughput"],
+            latency=LatencyStats.from_payload(buffered["latency"]),
+            mean_occupancy=buffered["mean_occupancy"],
+            total_occupancy=buffered["total_occupancy"],
+            num_queues=buffered["num_queues"],
+            in_flight=buffered["in_flight"],
+            n_inputs=buffered["n_inputs"],
+            n_outputs=buffered["n_outputs"],
+            faults=tuple(WireFault(*f) for f in buffered.get("faults", ())),
+            dropped=buffered.get("dropped", 0),
+        )
 
     common = {
         "cycles": payload["cycles"],
@@ -272,16 +339,22 @@ class CellResult:
     """A measured cell plus its service metadata.
 
     ``cached`` distinguishes a dedupe hit from fresh compute; ``worker``
-    is the pid that ran the measurement (``None`` for cache hits).
+    is the pid that ran the measurement (``None`` for cache hits).  A
+    cell the service could not complete (when the caller opted into
+    ``tolerate_failures``) carries ``measurement=None`` plus the
+    structured ``error`` message, with ``quarantined`` set when the
+    server gave up on the cell as poison.
     """
 
     key: str
-    measurement: "AcceptanceMeasurement"
+    measurement: Optional["AcceptanceMeasurement"]
     cached: bool = False
     worker: Optional[int] = None
+    error: Optional[str] = None
+    quarantined: bool = False
 
 
-def measure_cell(cell: SweepCell, *, progress=None) -> "AcceptanceMeasurement":
+def measure_cell(cell: SweepCell, *, progress=None):
     """Execute one cell — the single definition of cell semantics.
 
     Builds the router through the backend registry (consulting the
@@ -291,9 +364,45 @@ def measure_cell(cell: SweepCell, *, progress=None) -> "AcceptanceMeasurement":
     bit-identity tests all call exactly this function.  ``progress`` is
     forwarded to the harness (chunk-boundary streaming callback); it
     observes only, so results are identical with or without it.
+
+    A cell whose config sets ``buffer_depth`` runs the buffered
+    packet-switched discipline instead
+    (:func:`~repro.sim.buffered.measure_buffered`, warmup fixed at
+    ``cycles // 4``): ``backend`` ``auto``/``batched`` select the
+    compiled kernels, ``reference``/``vectorized`` the per-packet
+    interpreter — bit-identical either way, so the content key's
+    ``backend`` field stays honest.
     """
     from repro.api.registry import build_router
     from repro.sim.montecarlo import measure_acceptance
 
+    config = cell.config
+    if config.buffer_depth is not None:
+        from repro.sim.buffered import measure_buffered
+
+        engines = {
+            "auto": "compiled",
+            "batched": "compiled",
+            "reference": "reference",
+            "vectorized": "reference",
+        }
+        engine = engines.get(config.backend)
+        if engine is None:
+            raise ConfigurationError(
+                f"buffered cells support backends {sorted(engines)}, "
+                f"got {config.backend!r}"
+            )
+        cycles = config.cycles if config.cycles is not None else 400
+        return measure_buffered(
+            cell.spec.stage_graph(),
+            traffic=config.traffic if config.traffic is not None else "uniform",
+            depth=config.buffer_depth,
+            priority=cell.spec.priority,
+            cycles=cycles,
+            warmup=cycles // 4,
+            seed=config.seed if config.seed is not None else 0,
+            engine=engine,
+            faults=cell.spec.faults,
+        )
     router = build_router(cell.spec, cell.config.backend)
     return measure_acceptance(router, config=cell.config, progress=progress)

@@ -381,6 +381,13 @@ class RunConfig:
         result cache — instead of spawning a local pool.  Execution-only:
         results are bit-identical either way, so ``service`` (like
         ``jobs``) never enters result cache keys.
+    buffer_depth:
+        Per-wire FIFO depth: when set, measurements run the *buffered*
+        packet-switched discipline (back-pressure, latency histograms —
+        :func:`repro.sim.buffered.measure_buffered`) instead of the
+        paper's drop-on-loss circuit switching.  Semantic: it changes
+        results, so it is content-keyed into
+        :meth:`~repro.api.jobs.SweepCell.key`.  Unset means unbuffered.
 
     >>> RunConfig(traffic="bit_reversal").traffic  # aliases canonicalize
     'bitrev'
@@ -397,12 +404,20 @@ class RunConfig:
     retry: Optional[object] = None
     shard_timeout: Optional[float] = None
     service: Optional[str] = None
+    buffer_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rel_err is not None and not 0 < self.rel_err < 1:
             raise ConfigurationError(
                 f"rel_err must lie in (0, 1), got {self.rel_err}"
             )
+        if self.buffer_depth is not None:
+            depth = int(self.buffer_depth)
+            if depth < 1:
+                raise ConfigurationError(
+                    f"buffer_depth must be >= 1, got {self.buffer_depth}"
+                )
+            object.__setattr__(self, "buffer_depth", depth)
         if self.shard_timeout is not None and self.shard_timeout <= 0:
             raise ConfigurationError(
                 f"shard_timeout must be > 0 seconds, got {self.shard_timeout}"

@@ -31,6 +31,7 @@ code:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.core.analysis import acceptance_probability, permutation_acceptance
@@ -132,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally kill each interior wire with probability P, "
              "drawn reproducibly from SEED (default 0) — e.g. "
              "--fault-rate 0.02@7",
+    )
+    route.add_argument(
+        "--buffer-depth", type=int, default=None, metavar="DEPTH",
+        help="buffered packet switching: per-wire FIFOs of DEPTH packets "
+             "with back-pressure instead of drop-on-loss; reports "
+             "throughput, latency percentiles, occupancy, and fault "
+             "drops (stage-graph kinds only; composes with --faults / "
+             "--fault-rate)",
     )
     route.add_argument(
         "--retry", default=None, metavar="N[:BACKOFF[:FACTOR]]",
@@ -258,6 +267,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline per cell before its worker is declared stuck and "
              "the cell resubmitted (default: none)",
     )
+    serve.add_argument(
+        "--max-poison-attempts", type=int, default=None, metavar="N",
+        help="pool-killing attempts before a cell is quarantined with a "
+             "structured error (default: the supervisor retry bound)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-shutdown wait for in-flight cells (default 5)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection smoke against the service",
+        description=(
+            "Runs a chaos scenario against a live in-process simulation "
+            "service: worker kills, stalls past the shard timeout, a "
+            "connection dropped mid-stream, a malformed frame, and a "
+            "poison cell that must be quarantined.  Verifies the "
+            "robustness invariants — zero lost cells, byte-identical "
+            "results vs an undisturbed run, bounded resubmissions — and "
+            "exits non-zero on any violation.  Scenarios are JSON "
+            "(see docs/ROBUSTNESS.md); the built-in smoke runs by default."
+        ),
+    )
+    chaos.add_argument(
+        "--scenario", default=None, metavar="PATH",
+        help="JSON scenario file (default: the built-in smoke scenario)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="chaos seed: pins backoff jitter and the scenario seed (default 0)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the raw report JSON",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -381,7 +425,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.api import NetworkSpec, RunConfig, resolve_backend
-    from repro.core.exceptions import EDNError
+    from repro.core.exceptions import ConfigurationError, EDNError
     from repro.core.faults import parse_fault_list, parse_fault_rate, random_graph_faults
     from repro.sim.montecarlo import measure_acceptance
     from repro.sim.rng import make_rng
@@ -396,11 +440,17 @@ def _cmd_route(args: argparse.Namespace) -> int:
             rel_err=args.rel_err,
             retry=args.retry,
             shard_timeout=args.shard_timeout,
+            buffer_depth=args.buffer_depth,
         )
         explicit_faults = tuple(
             fault for text in (args.faults or ()) for fault in parse_fault_list(text)
         )
         fault_rate = parse_fault_rate(args.fault_rate) if args.fault_rate else None
+        if config.buffer_depth is not None and config.retry is not None:
+            raise ConfigurationError(
+                "--buffer-depth and --retry are different latency models; "
+                "pick one"
+            )
     except EDNError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -408,6 +458,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         traffics = args.traffic
     else:
         traffics = ["uniform" if args.rate >= 1.0 else f"uniform:{args.rate:g}"]
+    if config.buffer_depth is not None:
+        return _route_buffered(args, config, traffics, explicit_faults, fault_rate)
     rows = []
     for text in args.topology:
         try:
@@ -465,6 +517,78 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if config.retry is not None:
         headers += ["attempts", "latency", "abandoned"]
         title += f", retry {config.retry.label}"
+    print(format_table(headers, rows, title=title))
+    if args.cache_stats:
+        print()
+        print(_plan_cache_table())
+    return 0
+
+
+def _route_buffered(args, config, traffics, explicit_faults, fault_rate) -> int:
+    """The buffered branch of ``repro route`` (``--buffer-depth``).
+
+    Cells go through :func:`~repro.api.jobs.measure_cell` — the same
+    single definition the service workers and ``ParallelSweep`` execute —
+    so a CLI row, a served cell, and an inline sweep cell are bit-identical
+    by construction.
+    """
+    from dataclasses import replace
+
+    from repro.api import NetworkSpec
+    from repro.api.jobs import SweepCell, measure_cell
+    from repro.core.exceptions import EDNError
+    from repro.core.faults import random_graph_faults
+    from repro.sim.rng import make_rng
+    from repro.workloads import parse_workload
+
+    faulted = bool(explicit_faults) or fault_rate is not None
+    rows = []
+    for text in args.topology:
+        try:
+            spec = NetworkSpec.parse(text, priority=args.priority)
+            if faulted:
+                faults = explicit_faults
+                if fault_rate is not None:
+                    rate, fault_seed = fault_rate
+                    faults += random_graph_faults(
+                        spec.stage_graph(), rate, make_rng(fault_seed)
+                    ).canonical()
+                spec = replace(spec, faults=faults)
+            for traffic_text in traffics:
+                workload = parse_workload(traffic_text)
+                cell = SweepCell(spec, replace(config, traffic=workload.label))
+                m = measure_cell(cell)
+                row = [
+                    spec.label,
+                    workload.label,
+                    spec.n_inputs,
+                    m.depth,
+                    f"{m.throughput:.6f}",
+                    f"{m.mean_latency:.2f}",
+                    m.latency.percentile(0.50),
+                    m.latency.percentile(0.95),
+                    m.latency.percentile(0.99),
+                    f"{m.mean_occupancy:.3f}",
+                    m.in_flight,
+                ]
+                if faulted:
+                    row.insert(4, len(spec.faults))
+                    row.append(m.dropped)
+                rows.append(row)
+        except EDNError as exc:
+            print(f"error: {text}: {exc}", file=sys.stderr)
+            return 2
+    headers = [
+        "topology", "traffic", "inputs", "depth", "throughput",
+        "latency", "p50", "p95", "p99", "occupancy", "in-flight",
+    ]
+    if faulted:
+        headers.insert(4, "faults")
+        headers.append("dropped")
+    title = (
+        f"Buffered packet switching, depth {config.buffer_depth}, "
+        f"{args.cycles} cycles (warmup {args.cycles // 4}), seed {args.seed}"
+    )
     print(format_table(headers, rows, title=title))
     if args.cache_stats:
         print()
@@ -654,6 +778,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 address,
                 workers=args.workers,
                 shard_timeout=args.shard_timeout,
+                max_poison_attempts=args.max_poison_attempts,
+                drain_timeout=args.drain_timeout,
                 ready=_announce,
                 **kwargs,
             )
@@ -661,6 +787,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("repro serve: stopped", file=sys.stderr)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.serve.chaos import ChaosScenario, run_scenario, smoke_cells, smoke_scenario
+
+    if args.scenario is not None:
+        with open(args.scenario) as handle:
+            scenario = ChaosScenario.from_payload(json.load(handle))
+        if args.seed:
+            scenario = dataclasses.replace(scenario, seed=args.seed)
+    else:
+        scenario = smoke_scenario(seed=args.seed)
+    cells = smoke_cells()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as chaos_dir:
+        report = run_scenario(scenario, cells, chaos_dir)
+    payload = report.to_payload()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"chaos scenario {report.scenario!r}: "
+            f"{report.measured}/{report.total_cells} cells measured "
+            f"byte-identically, {len(report.quarantined)} quarantined, "
+            f"{report.reconnects} reconnect(s), "
+            f"{report.resubmissions} resubmission(s), "
+            f"{report.pool_rebuilds} pool rebuild(s)"
+        )
+        if report.violations:
+            for violation in report.violations:
+                print(f"  VIOLATION: {violation}")
+        else:
+            print("  all robustness invariants held")
+    return 0 if report.ok else 1
 
 
 def _build_submit_cells(args: argparse.Namespace):
@@ -794,6 +956,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
          f"{cells['cached']}/{cells['coalesced']}/{cells['deduped_in_job']}"],
         ["cells resubmitted", cells["resubmitted"]],
         ["cells failed", cells["failed"]],
+        ["cells quarantined",
+         f"{cells['quarantined']} ({stats['quarantine']['size']} keys held)"],
         ["dedupe rate", f"{stats['dedupe_rate']:.1%}"],
         ["partials streamed", stats["partials_streamed"]],
         ["result cache hits/misses/size",
@@ -822,6 +986,7 @@ _COMMANDS = {
     "maspar": _cmd_maspar,
     "mimd": _cmd_mimd,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "cache": _cmd_cache,

@@ -160,12 +160,26 @@ class PermanentFaults:
 
 @dataclass(frozen=True)
 class TrajectoryPoint:
-    """One window of a degradation trajectory."""
+    """One window of a degradation trajectory.
+
+    The last six fields are populated only by *buffered* trajectories
+    (``degradation_trajectory(..., buffer_depth=)``), where queueing
+    makes latency and occupancy meaningful; unbuffered trajectories
+    leave them at their defaults so existing consumers are unaffected.
+    """
 
     cycle: int  #: cycle count at the window's end
     n_faults: int  #: dead wires in force during the window
     delivered_fraction: float  #: delivered / offered over the window
     connectivity: float  #: sampled fraction of routable (src, dst) pairs
+    dropped: int = 0  #: packets lost to wires that died this window
+    in_flight: int = 0  #: packets queued network-wide at window end
+    throughput: Optional[float] = None  #: delivered / output / cycle
+    mean_latency: Optional[float] = None  #: cycles, window deliveries
+    latency_p50: Optional[float] = None
+    latency_p95: Optional[float] = None
+    latency_p99: Optional[float] = None
+    mean_occupancy: Optional[float] = None  #: packets per FIFO, cycle-end mean
 
 
 def degradation_trajectory(
@@ -178,6 +192,7 @@ def degradation_trajectory(
     seed: int = 0,
     priority: str = "label",
     connectivity_samples: int = 256,
+    buffer_depth: Optional[int] = None,
 ) -> list[TrajectoryPoint]:
     """Route ``windows`` windows under ``process``; record degradation.
 
@@ -188,9 +203,20 @@ def degradation_trajectory(
     records the delivered fraction plus pair connectivity sampled over
     ``connectivity_samples`` random lone messages (one per batched
     cycle, so the whole probe is one kernel call).
+
+    With ``buffer_depth`` set the run becomes *latency under
+    degradation*: one persistent buffered router carries its per-wire
+    FIFO state across windows, each boundary swaps the live network onto
+    the new fault set via
+    :meth:`~repro.sim.batched.CompiledStageRouter.apply_faults` (packets
+    stranded on dying wires are dropped with accounting), and every
+    point additionally reports the window's latency histogram
+    (mean/p50/p95/p99), mean FIFO occupancy, throughput, drops, and
+    packets in flight.
     """
     from repro.sim.batched import CompiledStageRouter
     from repro.sim.rng import make_rng
+    from repro.sim.stats import LatencyStats
     from repro.workloads.models import TrafficGenerator
     from repro.workloads.registry import make_traffic
 
@@ -203,13 +229,46 @@ def degradation_trajectory(
     rng = make_rng(seed)
     points = []
     elapsed = 0
+    buffered = None
+    if buffer_depth is not None:
+        buffered = CompiledStageRouter(
+            graph, priority=priority, buffer_depth=buffer_depth
+        )
     for _ in range(windows):
         faults = process.advance(cycles_per_window).canonical()
         router = CompiledStageRouter(graph, priority=priority, faults=faults)
-        dests = traffic.generate_batch(rng, cycles_per_window)
-        counts = router.route_batch_counts(dests, rng)
-        offered = int(counts.offered_per_cycle.sum())
-        delivered = int(counts.delivered_per_cycle.sum())
+        extras: dict = {}
+        if buffered is None:
+            dests = traffic.generate_batch(rng, cycles_per_window)
+            counts = router.route_batch_counts(dests, rng)
+            offered = int(counts.offered_per_cycle.sum())
+            delivered = int(counts.delivered_per_cycle.sum())
+        else:
+            dropped = buffered.apply_faults(faults)
+            dests = traffic.generate_batch(rng, cycles_per_window)
+            offered = delivered = 0
+            occupancy_total = 0.0
+            latency = LatencyStats()
+            for row in range(cycles_per_window):
+                outcome = buffered.step(dests[row], rng)
+                offered += outcome.offered
+                delivered += outcome.delivered
+                latency.record(outcome.latencies)
+                occupancy_total += buffered.total_occupancy()
+            extras = dict(
+                dropped=dropped,
+                in_flight=buffered.total_occupancy(),
+                throughput=delivered / (cycles_per_window * graph.n_outputs),
+                mean_latency=latency.mean if latency.count else None,
+                latency_p50=latency.percentile(0.50) if latency.count else None,
+                latency_p95=latency.percentile(0.95) if latency.count else None,
+                latency_p99=latency.percentile(0.99) if latency.count else None,
+                mean_occupancy=(
+                    occupancy_total
+                    / cycles_per_window
+                    / buffered._buffers.num_queues
+                ),
+            )
         elapsed += cycles_per_window
         points.append(
             TrajectoryPoint(
@@ -219,6 +278,7 @@ def degradation_trajectory(
                 connectivity=_sampled_connectivity(
                     router, rng, connectivity_samples
                 ),
+                **extras,
             )
         )
     return points

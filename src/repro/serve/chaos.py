@@ -1,0 +1,475 @@
+"""Deterministic chaos harness for the simulation service.
+
+Reliability claims about :mod:`repro.serve` — workers may die, stall or
+start slowly; connections may drop mid-stream; frames may be garbage;
+poison cells must be quarantined — are only worth anything if they are
+*tested*, and chaos tests are only worth anything if they are
+deterministic.  This module injects faults from a declarative
+:class:`ChaosScenario` using the same fork-inheritance trick the serve
+test suite uses (the injector wraps ``measure_cell`` in the parent
+before the pool forks its workers) with ``O_EXCL`` marker files bounding
+how often each event fires, so a scenario replays the same injected
+faults every run regardless of scheduling.
+
+Pieces
+------
+* :class:`ChaosEvent` / :class:`ChaosScenario` — the declarative spec,
+  JSON round-trippable (``to_payload`` / ``from_payload``) so scenarios
+  can live in files and ride the CLI.
+* :func:`chaos_session` — context manager installing the worker-side
+  injector around a server's lifetime.
+* :class:`DroppingClient` — a :class:`ServiceClient` that severs its own
+  connection mid-stream after a fixed number of messages (once per
+  allowance), exercising reconnect-with-resume.
+* :func:`run_scenario` — the oracle: runs a cell list through a chaotic
+  server and checks the invariants (zero lost cells, byte-identical
+  results vs an undisturbed inline run, bounded resubmissions, poison
+  cells quarantined, every scheduled fault actually fired), returning a
+  :class:`ChaosReport`.
+* :func:`smoke_scenario` / :func:`smoke_cells` — the CI smoke: one
+  worker kill, one stall past ``shard_timeout``, one connection drop,
+  one malformed frame, one poison cell, plus a buffered cell riding
+  along.
+
+Event kinds
+-----------
+``kill_worker``
+    SIGKILL the worker the first ``times`` times the matching cell
+    (``cell_seed``) arrives; later attempts compute normally.
+``stall_worker``
+    Sleep ``stall_s`` seconds (set it past the server's
+    ``shard_timeout``) the first ``times`` times the matching cell
+    arrives; the server abandons the worker and retries.
+``slow_start``
+    Sleep ``stall_s`` (set it *below* ``shard_timeout``) — a slow
+    worker that must still succeed.
+``poison``
+    SIGKILL on *every* arrival of the matching cell: the server must
+    quarantine it after ``max_poison_attempts`` instead of retrying
+    forever.
+``drop_connection``
+    Client-side: sever the socket after ``after_messages`` received
+    messages, ``times`` times; the client must resume on a fresh
+    connection without losing or duplicating results.
+``malformed_frame``
+    Client-side: send one garbage line before the job; the server must
+    answer with a structured error and keep the connection usable.
+
+Cache pressure rides on the scenario itself: set ``cache_size`` to a
+value smaller than the job to force evictions mid-run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve.cache import DEFAULT_CACHE_SIZE
+from repro.serve.client import ConnectionLost, ServiceClient
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosScenario",
+    "ChaosReport",
+    "DroppingClient",
+    "chaos_session",
+    "run_scenario",
+    "smoke_scenario",
+    "smoke_cells",
+]
+
+#: Faults injected inside worker processes (matched by ``cell_seed``).
+WORKER_KINDS = frozenset({"kill_worker", "stall_worker", "slow_start", "poison"})
+#: Faults injected on the client side of the socket.
+CLIENT_KINDS = frozenset({"drop_connection", "malformed_frame"})
+EVENT_KINDS = WORKER_KINDS | CLIENT_KINDS
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault (see the module docstring for kind semantics)."""
+
+    kind: str
+    cell_seed: Optional[int] = None  #: worker faults target cells by seed
+    times: int = 1  #: firing allowance (``poison`` ignores it: always)
+    stall_s: float = 3.0  #: sleep for stall_worker / slow_start
+    after_messages: int = 4  #: drop_connection trigger point
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos event kind {self.kind!r}; "
+                f"expected one of {sorted(EVENT_KINDS)}"
+            )
+        if self.kind in WORKER_KINDS and self.cell_seed is None:
+            raise ConfigurationError(
+                f"{self.kind} events target cells by seed; set cell_seed"
+            )
+        if self.times < 1:
+            raise ConfigurationError(f"times must be >= 1, got {self.times}")
+        if self.stall_s <= 0:
+            raise ConfigurationError(f"stall_s must be > 0, got {self.stall_s}")
+        if self.after_messages < 1:
+            raise ConfigurationError(
+                f"after_messages must be >= 1, got {self.after_messages}"
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind, "cell_seed": self.cell_seed, "times": self.times,
+            "stall_s": self.stall_s, "after_messages": self.after_messages,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ChaosEvent":
+        return cls(
+            kind=payload["kind"],
+            cell_seed=payload.get("cell_seed"),
+            times=payload.get("times", 1),
+            stall_s=payload.get("stall_s", 3.0),
+            after_messages=payload.get("after_messages", 4),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, seeded fault schedule plus the server shape it runs on."""
+
+    name: str
+    events: tuple = ()
+    seed: int = 0  #: pins the server's rebuild-backoff jitter
+    workers: int = 2
+    shard_timeout: float = 1.5
+    max_poison_attempts: int = 3
+    cache_size: int = DEFAULT_CACHE_SIZE
+    max_reconnects: int = 3
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}"
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name, "seed": self.seed, "workers": self.workers,
+            "shard_timeout": self.shard_timeout,
+            "max_poison_attempts": self.max_poison_attempts,
+            "cache_size": self.cache_size,
+            "max_reconnects": self.max_reconnects,
+            "events": [event.to_payload() for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ChaosScenario":
+        return cls(
+            name=payload["name"],
+            events=tuple(
+                ChaosEvent.from_payload(event) for event in payload.get("events", ())
+            ),
+            seed=payload.get("seed", 0),
+            workers=payload.get("workers", 2),
+            shard_timeout=payload.get("shard_timeout", 1.5),
+            max_poison_attempts=payload.get("max_poison_attempts", 3),
+            cache_size=payload.get("cache_size", DEFAULT_CACHE_SIZE),
+            max_reconnects=payload.get("max_reconnects", 3),
+        )
+
+    def poison_seeds(self) -> set:
+        return {e.cell_seed for e in self.events if e.kind == "poison"}
+
+
+# ----------------------------------------------------------------------
+# Worker-side injector
+# ----------------------------------------------------------------------
+
+
+def _claim(chaos_dir: str, tag: str, times: int) -> bool:
+    """Atomically claim one of ``times`` firing slots for an event.
+
+    ``O_CREAT|O_EXCL`` marker files make the allowance race-free across
+    worker processes and pool rebuilds: exactly ``times`` claims succeed
+    over the scenario's whole lifetime, whatever the interleaving.
+    """
+    for slot in range(times):
+        path = os.path.join(chaos_dir, f"{tag}.{slot}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+@contextlib.contextmanager
+def chaos_session(scenario: ChaosScenario, chaos_dir: str):
+    """Install the worker-side fault injector for the scenario's duration.
+
+    Must wrap server startup (or at least the first job submission):
+    pool workers fork lazily and inherit the wrapped ``measure_cell``,
+    exactly like the serve test suite's monkeypatching.  The marker
+    directory ``chaos_dir`` must be empty per run — stale markers would
+    count as already-fired allowances.
+    """
+    import repro.serve.server as server_mod
+
+    os.makedirs(chaos_dir, exist_ok=True)
+    real = server_mod.measure_cell
+
+    def chaos_measure_cell(cell, *, progress=None):
+        seed = cell.config.seed
+        for index, event in enumerate(scenario.events):
+            if event.kind not in WORKER_KINDS or event.cell_seed != seed:
+                continue
+            if event.kind == "poison":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif event.kind == "kill_worker":
+                if _claim(chaos_dir, f"kill_worker.{index}", event.times):
+                    os.kill(os.getpid(), signal.SIGKILL)
+            elif event.kind in ("stall_worker", "slow_start"):
+                if _claim(chaos_dir, f"{event.kind}.{index}", event.times):
+                    time.sleep(event.stall_s)
+        return real(cell, progress=progress)
+
+    server_mod.measure_cell = chaos_measure_cell
+    try:
+        yield
+    finally:
+        server_mod.measure_cell = real
+
+
+# ----------------------------------------------------------------------
+# Client-side injector
+# ----------------------------------------------------------------------
+
+
+class DroppingClient(ServiceClient):
+    """A client whose connection dies mid-stream, deterministically.
+
+    After ``drop_after`` received messages the socket is severed (the
+    just-received message is discarded, so the drop genuinely loses
+    data), up to ``times`` total drops.  Recovery is the production
+    reconnect-with-resume path — nothing chaos-specific.
+    """
+
+    def __init__(self, address, *, drop_after: int, times: int = 1, **kwargs):
+        self._drop_after = drop_after
+        self._drops_left = times
+        self._seen = 0
+        super().__init__(address, **kwargs)
+
+    def _recv(self) -> dict:
+        message = super()._recv()
+        self._seen += 1
+        if self._drops_left > 0 and self._seen >= self._drop_after:
+            self._drops_left -= 1
+            self._seen = 0
+            with contextlib.suppress(OSError):
+                self._sock.shutdown(2)  # SHUT_RDWR: sever both directions
+            self.close()
+            raise ConnectionLost("chaos: connection dropped mid-stream")
+        return message
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """What a chaotic run produced, and whether the invariants held."""
+
+    scenario: str
+    total_cells: int
+    measured: int
+    quarantined: list = field(default_factory=list)  #: quarantined indices
+    resubmissions: int = 0
+    reconnects: int = 0
+    pool_rebuilds: int = 0
+    cells_resubmitted: int = 0
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_payload(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "total_cells": self.total_cells,
+            "measured": self.measured,
+            "quarantined": list(self.quarantined),
+            "resubmissions": self.resubmissions,
+            "reconnects": self.reconnects,
+            "pool_rebuilds": self.pool_rebuilds,
+            "cells_resubmitted": self.cells_resubmitted,
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+def run_scenario(
+    scenario: ChaosScenario, cells: Sequence, chaos_dir: str
+) -> ChaosReport:
+    """Run ``cells`` through a chaotic server and check the invariants.
+
+    The oracle: (1) an undisturbed inline baseline is computed first with
+    the *real* ``measure_cell``; (2) the scenario's faults are injected
+    around a live server; (3) the job is submitted with
+    ``tolerate_failures`` through a (possibly dropping) resuming client;
+    (4) invariants are checked — no lost cells, every non-poison result
+    byte-identical to the baseline, poison cells quarantined,
+    resubmissions within the reconnect bound, and every bounded fault
+    allowance actually spent.  Violations are collected, not raised:
+    the report is the verdict.
+    """
+    from repro.api.jobs import measure_cell, measurement_to_payload
+    from repro.serve.protocol import encode_message
+    from repro.serve.server import start_server_thread
+
+    poison_seeds = scenario.poison_seeds()
+    poison_indices = {
+        i for i, cell in enumerate(cells) if cell.config.seed in poison_seeds
+    }
+    baseline = {
+        i: encode_message(measurement_to_payload(measure_cell(cell)))
+        for i, cell in enumerate(cells)
+        if i not in poison_indices
+    }
+
+    drop = next((e for e in scenario.events if e.kind == "drop_connection"), None)
+    malformed = any(e.kind == "malformed_frame" for e in scenario.events)
+    violations: list = []
+
+    with chaos_session(scenario, chaos_dir):
+        handle = start_server_thread(
+            workers=scenario.workers,
+            cache_size=scenario.cache_size,
+            shard_timeout=scenario.shard_timeout,
+            max_poison_attempts=scenario.max_poison_attempts,
+            backoff_seed=scenario.seed,
+        )
+        try:
+            if drop is not None:
+                client = DroppingClient(
+                    handle.address, drop_after=drop.after_messages,
+                    times=drop.times, max_reconnects=scenario.max_reconnects,
+                )
+            else:
+                client = ServiceClient(
+                    handle.address, max_reconnects=scenario.max_reconnects
+                )
+            with client:
+                if malformed:
+                    client._sock.sendall(b'{"malformed: yes\n')
+                    reply = client._recv()
+                    if reply.get("type") != "error":
+                        violations.append(
+                            "malformed frame did not draw a structured error "
+                            f"(got {reply.get('type')!r})"
+                        )
+                results = client.submit(cells, tolerate_failures=True)
+                stats = client.status()
+        finally:
+            handle.stop()
+
+    # ---- invariants ---------------------------------------------------
+    if len(results) != len(cells):
+        violations.append(
+            f"lost cells: {len(cells)} submitted, {len(results)} answered"
+        )
+    quarantined = [i for i, r in enumerate(results) if r.quarantined]
+    measured = 0
+    for index, result in enumerate(results):
+        if index in poison_indices:
+            if not result.quarantined:
+                violations.append(
+                    f"cell {index} is poison but was not quarantined "
+                    f"(error={result.error!r})"
+                )
+            continue
+        if result.measurement is None:
+            violations.append(f"cell {index} lost to chaos: {result.error!r}")
+            continue
+        measured += 1
+        if encode_message(measurement_to_payload(result.measurement)) != baseline[index]:
+            violations.append(
+                f"cell {index} result differs from the undisturbed run"
+            )
+    bound = scenario.max_reconnects * len(cells)
+    if client.resubmissions > bound:
+        violations.append(
+            f"resubmissions {client.resubmissions} exceed bound {bound}"
+        )
+    if drop is not None and client.reconnects < 1:
+        violations.append("drop_connection event scheduled but never fired")
+    cell_seeds = {cell.config.seed for cell in cells}
+    for index, event in enumerate(scenario.events):
+        if event.kind in ("kill_worker", "stall_worker", "slow_start"):
+            if event.cell_seed not in cell_seeds:
+                continue  # no matching cell submitted; nothing to fire
+            marker = os.path.join(chaos_dir, f"{event.kind}.{index}.0")
+            if not os.path.exists(marker):
+                violations.append(
+                    f"{event.kind} event for seed {event.cell_seed} never fired"
+                )
+
+    return ChaosReport(
+        scenario=scenario.name,
+        total_cells=len(cells),
+        measured=measured,
+        quarantined=quarantined,
+        resubmissions=client.resubmissions,
+        reconnects=client.reconnects,
+        pool_rebuilds=stats["workers"]["pool_rebuilds"],
+        cells_resubmitted=stats["cells"]["resubmitted"],
+        violations=violations,
+    )
+
+
+# ----------------------------------------------------------------------
+# The CI smoke
+# ----------------------------------------------------------------------
+
+
+def smoke_scenario(seed: int = 0) -> ChaosScenario:
+    """The standard smoke: kill + stall + drop + garbage + poison."""
+    return ChaosScenario(
+        name="smoke",
+        seed=seed,
+        workers=2,
+        shard_timeout=1.5,
+        max_poison_attempts=3,
+        max_reconnects=3,
+        events=(
+            ChaosEvent("kill_worker", cell_seed=3),
+            ChaosEvent("stall_worker", cell_seed=2, stall_s=3.0),
+            ChaosEvent("drop_connection", after_messages=4),
+            ChaosEvent("malformed_frame"),
+            ChaosEvent("poison", cell_seed=13),
+        ),
+    )
+
+
+def smoke_cells() -> list:
+    """Cells the smoke scenario runs: six healthy (one buffered), one poison."""
+    from repro.api.jobs import SweepCell
+    from repro.api.spec import NetworkSpec, RunConfig
+
+    spec = NetworkSpec.edn(16, 4, 4, 2)
+    cells = [
+        SweepCell(spec, RunConfig(cycles=40, seed=seed)) for seed in range(5)
+    ]
+    cells.append(SweepCell(spec, RunConfig(cycles=40, seed=5, buffer_depth=2)))
+    cells.append(SweepCell(spec, RunConfig(cycles=40, seed=13)))  # poison
+    return cells

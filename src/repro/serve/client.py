@@ -7,6 +7,12 @@ and the CLI need.  One client owns one connection; connections are cheap,
 so concurrent submitters simply open one client each (the server
 multiplexes internally).
 
+With ``max_reconnects > 0`` the client also *resumes*: if the connection
+drops mid-job it reconnects and resubmits only the cells that have not
+been answered yet (the server's content-keyed cache makes already-computed
+resubmissions free), so a flaky link costs bounded resubmissions, never
+lost or duplicated results.
+
 >>> with ServiceClient("127.0.0.1:8753") as client:        # doctest: +SKIP
 ...     results = client.submit(cells)                     # doctest: +SKIP
 ...     measurements = [r.measurement for r in results]    # doctest: +SKIP
@@ -28,12 +34,17 @@ from repro.serve.protocol import (
     parse_address,
 )
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "ConnectionLost"]
 
 
 class ServiceError(RuntimeError):
     """The server reported a failure (malformed job, or a cell that
     exhausted its retry attempts)."""
+
+
+class ConnectionLost(ServiceError):
+    """The connection died mid-conversation (recoverable when the client
+    was built with ``max_reconnects > 0``)."""
 
 
 class ServiceClient:
@@ -47,20 +58,47 @@ class ServiceClient:
         Socket timeout in seconds for connect and for each awaited
         message (``None`` = block forever).  Cells can legitimately take
         long; this guards against a dead server, not slow cells.
+    max_reconnects:
+        Times a dropped connection may be re-established *per submit*
+        before :exc:`ConnectionLost` propagates (default ``0`` — any
+        drop raises immediately).  Each reconnect resubmits only the
+        cells still unanswered, so total resubmissions are bounded by
+        ``max_reconnects * len(cells)`` and in practice far lower.
     """
 
-    def __init__(self, address: str = DEFAULT_ADDRESS, *, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        address: str = DEFAULT_ADDRESS,
+        *,
+        timeout: Optional[float] = None,
+        max_reconnects: int = 0,
+    ):
+        if max_reconnects < 0:
+            raise ValueError(f"max_reconnects must be >= 0, got {max_reconnects}")
         self.address = parse_address(address)
-        if isinstance(self.address, UnixAddress):
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(self.address.path)
-        else:
-            self._sock = socket.create_connection(
-                (self.address.host, self.address.port), timeout=timeout
-            )
-        self._reader = self._sock.makefile("rb")
+        self.timeout = timeout
+        self.max_reconnects = max_reconnects
+        #: Cells resubmitted across reconnects (observability; chaos
+        #: invariants assert it stays bounded).
+        self.resubmissions = 0
+        #: Reconnects performed across the client's lifetime.
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
         self._jobs = 0
+
+    def _connect(self) -> None:
+        if isinstance(self.address, UnixAddress):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address.path)
+        else:
+            sock = socket.create_connection(
+                (self.address.host, self.address.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
 
     # ------------------------------------------------------------------
 
@@ -72,19 +110,32 @@ class ServiceClient:
 
     def close(self) -> None:
         try:
-            self._reader.close()
+            if self._reader is not None:
+                self._reader.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.reconnects += 1
 
     # ------------------------------------------------------------------
 
     def _send(self, message: dict) -> None:
-        self._sock.sendall(encode_message(message))
+        try:
+            self._sock.sendall(encode_message(message))
+        except (BrokenPipeError, ConnectionError) as exc:
+            raise ConnectionLost(f"connection lost while sending: {exc}") from exc
 
     def _recv(self) -> dict:
-        line = self._reader.readline(MAX_MESSAGE_BYTES)
+        try:
+            line = self._reader.readline(MAX_MESSAGE_BYTES)
+        except ConnectionError as exc:
+            raise ConnectionLost(f"connection lost while receiving: {exc}") from exc
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ConnectionLost("server closed the connection")
         return decode_message(line)
 
     # ------------------------------------------------------------------
@@ -94,6 +145,7 @@ class ServiceClient:
         cells: Sequence[SweepCell],
         *,
         on_partial: Optional[Callable[[dict], None]] = None,
+        tolerate_failures: bool = False,
     ) -> list[CellResult]:
         """Submit ``cells`` and block until all are answered.
 
@@ -103,21 +155,75 @@ class ServiceClient:
         with every streaming ``partial`` message for this job as it
         arrives: ``{"key", "indices", "cycles", "acceptance"}``.
 
-        A cell the server could not complete (invalid payload, or its
-        workers died/stalled twice) raises :exc:`ServiceError` after the
-        job drains, naming the failed indices.
+        A cell the server could not complete (invalid payload, exhausted
+        retries, quarantined as poison) raises :exc:`ServiceError` after
+        the job drains, naming the failed indices — unless
+        ``tolerate_failures`` is set, in which case those indices come
+        back as :class:`CellResult` entries with ``measurement=None`` and
+        the structured ``error``/``quarantined`` fields filled in.
+
+        If the connection drops mid-job and the client allows reconnects,
+        the remaining cells are resubmitted on a fresh connection; cells
+        already answered are never resubmitted, and resubmitted cells that
+        the server already computed replay byte-identically from its cache.
         """
         if not cells:
             return []
+        results: dict[int, CellResult] = {}
+        failed: dict[int, tuple[str, str, bool]] = {}  # index -> (key, msg, quarantined)
+        pending = list(range(len(cells)))
+        reconnects_left = self.max_reconnects
+        first_round = True
+        while pending:
+            if not first_round:
+                self.resubmissions += len(pending)
+            first_round = False
+            mapping = pending  # job-local index -> original index
+            try:
+                pending = self._run_job(cells, mapping, results, failed, on_partial)
+            except ConnectionLost:
+                if reconnects_left <= 0:
+                    raise
+                reconnects_left -= 1
+                self._reconnect()
+                pending = [
+                    index for index in mapping
+                    if index not in results and index not in failed
+                ]
+        if failed and not tolerate_failures:
+            detail = "; ".join(
+                f"cells [{index}]: {reason}"
+                for index, (_, reason, _) in sorted(failed.items())
+            )
+            raise ServiceError(f"job had failed cells: {detail}")
+        out = []
+        for index in range(len(cells)):
+            if index in results:
+                out.append(results[index])
+            else:
+                key, reason, quarantined = failed[index]
+                out.append(CellResult(
+                    key=key, measurement=None,
+                    error=reason, quarantined=quarantined,
+                ))
+        return out
+
+    def _run_job(
+        self,
+        cells: Sequence[SweepCell],
+        mapping: list[int],
+        results: dict[int, CellResult],
+        failed: dict[int, tuple[str, str, bool]],
+        on_partial: Optional[Callable[[dict], None]],
+    ) -> list[int]:
+        """One submit/drain round over ``mapping``; returns still-pending."""
         self._jobs += 1
         job_id = f"client-{id(self):x}-{self._jobs}"
         self._send({
             "type": "submit",
             "job_id": job_id,
-            "cells": [cell.payload() for cell in cells],
+            "cells": [cells[index].payload() for index in mapping],
         })
-        results: dict[int, CellResult] = {}
-        failures: list[tuple[list[int], str]] = []
         while True:
             message = self._recv()
             kind = message["type"]
@@ -133,8 +239,8 @@ class ServiceClient:
                 continue
             if kind == "result":
                 measurement = measurement_from_payload(message["payload"])
-                for index in message["indices"]:
-                    results[index] = CellResult(
+                for local in message["indices"]:
+                    results[mapping[local]] = CellResult(
                         key=message["key"],
                         measurement=measurement,
                         cached=bool(message["cached"]),
@@ -142,18 +248,19 @@ class ServiceClient:
                     )
                 continue
             if kind == "error":
-                failures.append(
-                    (message.get("indices", []), message.get("message", "unknown"))
+                record = (
+                    message.get("key", ""),
+                    message.get("message", "unknown"),
+                    bool(message.get("quarantined", False)),
                 )
+                for local in message.get("indices", []):
+                    failed[mapping[local]] = record
                 continue
             if kind == "done":
-                break
-        if failures:
-            detail = "; ".join(
-                f"cells {indices}: {reason}" for indices, reason in failures
-            )
-            raise ServiceError(f"job {job_id} had failed cells: {detail}")
-        return [results[index] for index in range(len(cells))]
+                return [
+                    index for index in mapping
+                    if index not in results and index not in failed
+                ]
 
     def run(self, cells: Sequence[SweepCell]) -> list:
         """:meth:`submit`, returning just the measurements in order."""

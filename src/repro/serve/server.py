@@ -37,6 +37,7 @@ import asyncio
 import contextlib
 import os
 import queue as _queue
+import random
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -64,6 +65,13 @@ __all__ = ["SimulationServer", "serve_forever", "start_server_thread", "ServerHa
 #: (workers throttle at the source so a tight chunk loop cannot flood the
 #: progress queue).
 PROGRESS_INTERVAL = 0.05
+
+#: Base/cap seconds of the exponential pool-rebuild backoff.  Consecutive
+#: rebuilds without an intervening successful cell double the delay
+#: (jittered deterministically) up to the cap, so a crash-looping fleet
+#: of workers cannot saturate the host with fork storms.
+REBUILD_BACKOFF = 0.05
+REBUILD_BACKOFF_CAP = 2.0
 
 # ----------------------------------------------------------------------
 # Worker-process side.  ``_PROGRESS_QUEUE`` is assigned in the parent
@@ -146,6 +154,18 @@ class SimulationServer:
     shard_timeout:
         Seconds one cell may run before its worker is declared stuck and
         the cell is resubmitted on a rebuilt pool (``None`` = forever).
+    max_poison_attempts:
+        Pool-killing attempts one cell may burn before it is
+        *quarantined*: further (and pending) submissions of that key get
+        a structured ``error`` event with ``"quarantined": true`` instead
+        of killing workers forever (default: the supervisor's
+        ``MAX_ATTEMPTS``).
+    drain_timeout:
+        Seconds :meth:`aclose` waits for in-flight cells to finish before
+        tearing the pool down (graceful drain; ``0`` = drop them).
+    backoff_seed:
+        Seed of the deterministic jitter applied to pool-rebuild
+        backoff delays (chaos runs pin it for reproducibility).
     """
 
     def __init__(
@@ -155,14 +175,27 @@ class SimulationServer:
         workers: Optional[int] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         shard_timeout: Optional[float] = None,
+        max_poison_attempts: Optional[int] = None,
+        drain_timeout: float = 5.0,
+        backoff_seed: int = 0,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError(f"shard_timeout must be > 0, got {shard_timeout}")
+        if max_poison_attempts is not None and max_poison_attempts < 1:
+            raise ValueError(
+                f"max_poison_attempts must be >= 1, got {max_poison_attempts}"
+            )
+        if drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.address = parse_address(address) if isinstance(address, str) else address
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.shard_timeout = shard_timeout
+        self.max_poison_attempts = (
+            max_poison_attempts if max_poison_attempts is not None else MAX_ATTEMPTS
+        )
+        self.drain_timeout = drain_timeout
         self.cache = ResultCache(cache_size)
         self.bound_address: Optional[str] = None
 
@@ -170,7 +203,11 @@ class SimulationServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._ctx = fork_context()
-        self._ledger = RetryLedger(MAX_ATTEMPTS)
+        self._ledger = RetryLedger(self.max_poison_attempts)
+        self._quarantined: dict[str, str] = {}
+        self._rebuild_lock: Optional[asyncio.Lock] = None
+        self._rebuild_streak = 0
+        self._jitter = random.Random(backoff_seed)
         self._inflight: dict[str, _InFlight] = {}
         #: Bounds futures inside the executor to 2x workers: keeps every
         #: worker busy (pipelining) while a worker death can only poison
@@ -194,6 +231,7 @@ class SimulationServer:
             "cells_deduped_in_job": 0,
             "cells_resubmitted": 0,
             "cells_failed": 0,
+            "cells_quarantined": 0,
             "pool_rebuilds": 0,
             "partials_streamed": 0,
         }
@@ -206,6 +244,7 @@ class SimulationServer:
         """Bind the socket, start the pool and the progress drain."""
         global _PROGRESS_QUEUE
         self._loop = asyncio.get_running_loop()
+        self._rebuild_lock = asyncio.Lock()
         _PROGRESS_QUEUE = self._ctx.Queue()
         self._progress_queue = _PROGRESS_QUEUE
         self._pool = ProcessPoolExecutor(
@@ -241,7 +280,13 @@ class SimulationServer:
         self._stop.set()
 
     async def aclose(self) -> None:
-        """Tear down the socket, pool, and progress drain."""
+        """Tear down gracefully: stop accepting, drain in-flight cells, close.
+
+        New connections and jobs are refused the moment :attr:`_stop` is
+        set; cells already computing get up to :attr:`drain_timeout`
+        seconds to finish (and stream their results to still-connected
+        clients) before the pool is torn down under them.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -249,6 +294,9 @@ class SimulationServer:
         if isinstance(self.address, UnixAddress):
             with contextlib.suppress(OSError):
                 os.unlink(self.address.path)
+        deadline = time.monotonic() + self.drain_timeout
+        while self._inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
         self._drain_stop.set()
         if self._drain_thread is not None:
             self._drain_thread.join(timeout=2.0)
@@ -362,6 +410,13 @@ class SimulationServer:
 
     def _accept_job(self, message: dict, outbox: asyncio.Queue) -> None:
         job_id = str(message.get("job_id", f"job-{self._counters['jobs_submitted']}"))
+        if self._stop.is_set():
+            # Draining: in-flight work finishes, new work is refused.
+            outbox.put_nowait({
+                "type": "error", "job_id": job_id,
+                "message": "server is draining; not accepting new jobs",
+            })
+            return
         cells = message.get("cells")
         if not isinstance(cells, list) or not cells:
             outbox.put_nowait({
@@ -421,6 +476,19 @@ class SimulationServer:
             self._emit_result(job, key, indices, cached, cached_hit=True, worker=None)
             self._cell_answered(job)
             return
+        reason = self._quarantined.get(key)
+        if reason is not None:
+            # Poisoned key: answer instantly with the structured error it
+            # earned instead of burning another round of workers.
+            job.failed += 1
+            self._counters["cells_failed"] += 1
+            self._post(job, {
+                "type": "error", "job_id": job.job_id, "key": key,
+                "indices": indices, "quarantined": True,
+                "message": f"cell quarantined: {reason}",
+            })
+            self._cell_answered(job)
+            return
         flight = self._inflight.get(key)
         if flight is not None:
             # Identical cell already computing for someone else: subscribe.
@@ -446,10 +514,12 @@ class SimulationServer:
                 try:
                     future = pool.submit(_run_cell, (flight.key, flight.payload))
                 except BrokenProcessPool:
-                    self._rebuild_pool(pool)
+                    await self._rebuild_pool(pool)
                     if self._charge(flight.key):
                         continue
-                    self._finish_error(flight, "worker pool lost the cell twice")
+                    if await self._probe_and_deliver(flight):
+                        return
+                    self._quarantine(flight, "worker pool kept losing the cell")
                     return
                 self._busy += 1
                 try:
@@ -461,21 +531,27 @@ class SimulationServer:
                     # break the whole executor, cancelling queued futures).
                     if isinstance(exc, asyncio.CancelledError) and not future.cancelled():
                         raise  # genuine task cancellation, not pool death
-                    self._rebuild_pool(pool)
+                    await self._rebuild_pool(pool)
                     if self._charge(flight.key):
                         continue
-                    self._finish_error(flight, "worker process died twice running this cell")
+                    if await self._probe_and_deliver(flight):
+                        return
+                    self._quarantine(
+                        flight, "worker process kept dying running this cell"
+                    )
                     return
                 except asyncio.TimeoutError:
                     # The worker is presumed stuck mid-cell; it cannot be
                     # reclaimed individually, so the pool is rebuilt and
                     # the stalled worker abandoned.
-                    self._rebuild_pool(pool)
+                    await self._rebuild_pool(pool)
                     if self._charge(flight.key):
                         continue
-                    self._finish_error(
+                    if await self._probe_and_deliver(flight):
+                        return
+                    self._quarantine(
                         flight,
-                        f"cell exceeded shard_timeout={self.shard_timeout}s twice",
+                        f"cell kept exceeding shard_timeout={self.shard_timeout}s",
                     )
                     return
                 except EDNError as exc:
@@ -486,6 +562,7 @@ class SimulationServer:
                 key, payload, pid, plan_info = result
                 self._plan_info_by_pid[pid] = plan_info
                 self._ledger.forgive(key)
+                self._rebuild_streak = 0  # healthy again: backoff resets
                 encoded = encode_message(payload)
                 self.cache.put(key, encoded)
                 self._finish_result(flight, encoded, worker=pid)
@@ -497,13 +574,85 @@ class SimulationServer:
             self._counters["cells_resubmitted"] += 1
         return may_retry
 
-    def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
-        """Replace the pool once, however many cells saw it break."""
-        if self._pool is not broken or self._pool is None:
-            return
-        broken.shutdown(wait=False, cancel_futures=True)
-        self._pool = ProcessPoolExecutor(max_workers=self.workers, mp_context=self._ctx)
-        self._counters["pool_rebuilds"] += 1
+    async def _probe_and_deliver(self, flight: _InFlight) -> bool:
+        """Last chance before quarantine: run the suspect alone.
+
+        Pool-level deaths cannot be attributed — a poison sibling's
+        SIGKILL breaks every in-flight future, so an innocent cell can
+        exhaust its retry budget as collateral.  Before quarantining, the
+        cell gets one attempt on a dedicated single-worker pool where
+        blame is unambiguous: success proves innocence (the result is
+        delivered and cached as usual, returns True); death or stall on
+        the probe convicts (returns False and the caller quarantines).
+        """
+        probe = ProcessPoolExecutor(max_workers=1, mp_context=self._ctx)
+        try:
+            future = probe.submit(_run_cell, (flight.key, flight.payload))
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=self.shard_timeout
+                )
+            except (BrokenProcessPool, asyncio.TimeoutError):
+                return False
+            except asyncio.CancelledError:
+                if not future.cancelled():
+                    raise  # genuine task cancellation, not probe death
+                return False
+            except EDNError as exc:
+                self._finish_error(flight, f"cell failed: {exc}")
+                return True  # answered (as a plain error), not quarantined
+        finally:
+            probe.shutdown(wait=False, cancel_futures=True)
+        key, payload, pid, plan_info = result
+        self._plan_info_by_pid[pid] = plan_info
+        self._ledger.forgive(key)
+        self._rebuild_streak = 0
+        encoded = encode_message(payload)
+        self.cache.put(key, encoded)
+        self._finish_result(flight, encoded, worker=pid)
+        return True
+
+    def _quarantine(self, flight: _InFlight, reason: str) -> None:
+        """Stop resubmitting a poison cell: structured error now and forever."""
+        message = (
+            f"cell quarantined after {self.max_poison_attempts} attempts: {reason}"
+        )
+        self._quarantined[flight.key] = message
+        self._counters["cells_quarantined"] += 1
+        self._finish_error(flight, message, quarantined=True)
+
+    async def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace the pool once, however many cells saw it break.
+
+        Consecutive rebuilds without an intervening healthy cell back off
+        exponentially (base :data:`REBUILD_BACKOFF`, cap
+        :data:`REBUILD_BACKOFF_CAP`) with deterministic jitter, so a
+        crash loop cannot fork-storm the host; one successful cell
+        resets the streak.
+        """
+        async with self._rebuild_lock:
+            if self._pool is not broken or self._pool is None:
+                return
+            broken.shutdown(wait=False, cancel_futures=True)
+            self._rebuild_streak += 1
+            delay = min(
+                REBUILD_BACKOFF_CAP,
+                REBUILD_BACKOFF * 2 ** (self._rebuild_streak - 1),
+            )
+            delay *= 0.5 + self._jitter.random()  # jitter in [0.5x, 1.5x)
+            await asyncio.sleep(delay)
+            if self._pool is not broken:
+                return  # torn down (or replaced) while backing off
+            if self._stop.is_set():
+                # Shutting down mid-backoff: leave no pool rather than
+                # fork a new one; retrying cells see "server shutting
+                # down" at the top of their loop.
+                self._pool = None
+                return
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._ctx
+            )
+            self._counters["pool_rebuilds"] += 1
 
     # ------------------------------------------------------------------
     # Completion fan-out
@@ -520,15 +669,20 @@ class SimulationServer:
             )
             self._cell_answered(job)
 
-    def _finish_error(self, flight: _InFlight, message: str) -> None:
+    def _finish_error(
+        self, flight: _InFlight, message: str, *, quarantined: bool = False
+    ) -> None:
         del self._inflight[flight.key]
         self._counters["cells_failed"] += 1
         for job, indices in flight.subscribers:
             job.failed += 1
-            self._post(job, {
+            event = {
                 "type": "error", "job_id": job.job_id, "key": flight.key,
                 "indices": indices, "message": message,
-            })
+            }
+            if quarantined:
+                event["quarantined"] = True
+            self._post(job, event)
             self._cell_answered(job)
 
     def _emit_result(
@@ -587,8 +741,13 @@ class SimulationServer:
                 for name in (
                     "cells_submitted", "cells_completed", "cells_computed",
                     "cells_cached", "cells_coalesced", "cells_deduped_in_job",
-                    "cells_resubmitted", "cells_failed",
+                    "cells_resubmitted", "cells_failed", "cells_quarantined",
                 )
+            },
+            "quarantine": {
+                "size": len(self._quarantined),
+                "keys": sorted(self._quarantined),
+                "max_poison_attempts": self.max_poison_attempts,
             },
             "jobs": {
                 "submitted": counters["jobs_submitted"],
@@ -620,6 +779,9 @@ async def serve_forever(
     workers: Optional[int] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     shard_timeout: Optional[float] = None,
+    max_poison_attempts: Optional[int] = None,
+    drain_timeout: float = 5.0,
+    backoff_seed: int = 0,
     ready=None,
 ) -> None:
     """Run a :class:`SimulationServer` until stopped (the CLI entry point).
@@ -628,7 +790,9 @@ async def serve_forever(
     how tests and the bench learn the ephemeral port.
     """
     server = SimulationServer(
-        address, workers=workers, cache_size=cache_size, shard_timeout=shard_timeout
+        address, workers=workers, cache_size=cache_size,
+        shard_timeout=shard_timeout, max_poison_attempts=max_poison_attempts,
+        drain_timeout=drain_timeout, backoff_seed=backoff_seed,
     )
     await server.start()
     if ready is not None:
@@ -660,6 +824,9 @@ def start_server_thread(
     workers: Optional[int] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     shard_timeout: Optional[float] = None,
+    max_poison_attempts: Optional[int] = None,
+    drain_timeout: float = 5.0,
+    backoff_seed: int = 0,
     start_timeout: float = 10.0,
 ) -> ServerHandle:
     """Start a server on a daemon thread and wait until it is bound.
@@ -675,6 +842,8 @@ def start_server_thread(
             server = SimulationServer(
                 address, workers=workers, cache_size=cache_size,
                 shard_timeout=shard_timeout,
+                max_poison_attempts=max_poison_attempts,
+                drain_timeout=drain_timeout, backoff_seed=backoff_seed,
             )
             await server.start()
             box["server"] = server

@@ -964,6 +964,7 @@ class CompiledStageRouter(_DenseRankKernels):
             plan.buffered_state() if plan.buffer_depth is not None else None
         )
         self._cycle = 0
+        self._dropped = 0
 
     @property
     def n_inputs(self) -> int:
@@ -1090,11 +1091,63 @@ class CompiledStageRouter(_DenseRankKernels):
         self._require_buffered()
         self._buffers = self._plan.buffered_state()
         self._cycle = 0
+        self._dropped = 0
 
     def total_occupancy(self) -> int:
         """Packets currently queued anywhere in the network."""
         self._require_buffered()
         return self._buffers.total_occupancy()
+
+    @property
+    def dropped_packets(self) -> int:
+        """Packets dropped by wire failures so far (see :meth:`apply_faults`)."""
+        return self._dropped
+
+    def apply_faults(self, faults=()) -> int:
+        """Swap the live buffered network onto a new fault set mid-run.
+
+        Models links dying (or healing) under a running network: the
+        router re-keys onto the plan compiled for ``faults`` (a cache hit
+        after the first window of a fault process) while the per-wire
+        FIFO state — queued packets, stamps, the cycle clock — carries
+        over untouched.  Packets already queued on a wire that just died
+        are *dropped with accounting*: each interior dead wire's
+        downstream FIFO is emptied, the loss added to
+        :attr:`dropped_packets`, and the number dropped by this call
+        returned.  Dead wires never grant afterwards, so the drop is
+        idempotent; conservation becomes
+        ``injected == delivered + in_flight + dropped``.
+        """
+        from repro.sim.plan import stage_plan_for
+
+        self._require_buffered()
+        canonical = tuple(sorted(set(faults)))
+        state = self._buffers
+        if canonical != self._plan.faults:
+            plan = stage_plan_for(
+                self.graph, self.priority, canonical, self._plan.buffer_depth
+            )
+            # Same graph + depth means identically shaped queue arrays,
+            # so the state simply re-binds to the sibling plan.
+            self._plan = plan
+            self.faults = canonical
+            state.plan = plan
+        plan = self._plan
+        dropped = 0
+        # Final-stage wires feed output terminals directly — no
+        # downstream queue exists, so nothing can be stranded there.
+        for i in range(self.graph.num_stages - 1):
+            dead = plan.fault_dead_slots(i)
+            if dead is None:
+                continue
+            slots = np.flatnonzero(dead)
+            link = plan.perm_table(i, np.int64)
+            wires = link[slots] if link is not None else slots
+            occ = state.occupancy[i + 1]
+            dropped += int(occ[wires].sum())
+            occ[wires] = 0
+        self._dropped += dropped
+        return dropped
 
     def _require_buffered(self) -> None:
         if self._buffers is None:
@@ -1161,10 +1214,23 @@ class CompiledStageRouter(_DenseRankKernels):
             group_starts = np.flatnonzero(new_group)
             rank = np.arange(ncon) - group_starts[group_ids]
             cap = stage.capacity
+            dead = plan.fault_dead_slots(i)
             if i == last:
-                accept = rank < cap
-                winners = wires_s[accept]
-                y = bucket_s[accept] * cap + rank[accept]
+                if dead is None:
+                    accept = rank < cap
+                    winners = wires_s[accept]
+                    y = bucket_s[accept] * cap + rank[accept]
+                else:
+                    # Only live output wires deliver: the rank-r winner
+                    # takes the bucket's r-th live slot in slot order.
+                    live2 = (~dead).reshape(-1, cap)
+                    live_count = live2.sum(axis=1)
+                    order_slots = np.argsort(dead.reshape(-1, cap), axis=1,
+                                             kind="stable")
+                    accept = rank < live_count[bucket_s]
+                    b_acc = bucket_s[accept]
+                    y = b_acc * cap + order_slots[b_acc, rank[accept]]
+                    winners = wires_s[accept]
                 out_arr = y >> g.out_shift
                 lat_arr = t - state.stamps[i][winners, 0]
                 self._buffered_pop(i, winners)
@@ -1177,6 +1243,9 @@ class CompiledStageRouter(_DenseRankKernels):
                     roomy = occ_next < depth
                 else:
                     roomy = occ_next[link] < depth
+                if dead is not None:
+                    # A dead wire never grants: available = roomy ∧ live.
+                    roomy &= ~dead
                 room2 = roomy.reshape(-1, cap)
                 room_count = room2.sum(axis=1)
                 # Roomy slots first, in slot order (stable argsort of the

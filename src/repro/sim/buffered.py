@@ -61,6 +61,8 @@ class BufferedMeasurement:
     in_flight: int             # packets still queued when measurement ended
     n_inputs: int
     n_outputs: int
+    faults: tuple = ()         # canonical dead-wire tuple the run routed under
+    dropped: int = 0           # packets lost to wire failures (apply_faults)
 
     @property
     def mean_latency(self) -> float:
@@ -87,6 +89,7 @@ def measure_buffered(
     warmup: int = 100,
     seed: Optional[int] = 0,
     engine: str = "compiled",
+    faults=(),
     latency_bound: int = LatencyStats.DEFAULT_BOUND,
 ) -> BufferedMeasurement:
     """Run ``warmup + cycles`` buffered cycles; measure the last ``cycles``.
@@ -98,6 +101,9 @@ def measure_buffered(
     network backs up.  ``engine`` selects the compiled kernels
     (``"compiled"``) or the per-packet reference interpreter
     (``"reference"``) — identical results, wildly different speed.
+    ``faults`` routes the whole run under a static dead-wire set (both
+    engines honor it bit-identically); the returned measurement then
+    conserves ``injected == delivered + in_flight + dropped``.
     """
     from repro.sim.batched import CompiledStageRouter
     from repro.sim.rng import make_rng
@@ -111,13 +117,18 @@ def measure_buffered(
     if engine not in ("compiled", "reference"):
         raise ConfigurationError(f"unknown buffered engine {engine!r}")
 
+    faults = tuple(sorted(set(faults)))
     gen = make_traffic(traffic, graph.n_inputs, graph.n_outputs)
     if engine == "compiled":
-        router = CompiledStageRouter(graph, priority=priority, buffer_depth=depth)
+        router = CompiledStageRouter(
+            graph, priority=priority, buffer_depth=depth, faults=faults
+        )
         router.reset_buffers()
         num_queues = router._buffers.num_queues
     else:
-        router = BufferedStageReference(graph, depth=depth, priority=priority)
+        router = BufferedStageReference(
+            graph, depth=depth, priority=priority, faults=faults
+        )
         num_queues = sum(graph.stage_widths)
     rng = make_rng(seed)
 
@@ -153,4 +164,6 @@ def measure_buffered(
         in_flight=router.total_occupancy(),
         n_inputs=graph.n_inputs,
         n_outputs=graph.n_outputs,
+        faults=faults,
+        dropped=int(router.dropped_packets),
     )

@@ -204,10 +204,6 @@ class StagePlan:
                 raise ConfigurationError(
                     f"buffer depth must be >= 1, got {buffer_depth}"
                 )
-            if self.faults:
-                raise ConfigurationError(
-                    "wire faults are not supported on the buffered path yet"
-                )
         self.buffer_depth = buffer_depth
         self._fault_stages = frozenset(fault.stage - 1 for fault in self.faults)
         #: wires entering each stage (index 0 = network inputs).
@@ -324,8 +320,15 @@ class StagePlan:
     # The final stage needs no remap: its output label is the virtual
     # wire >> out_shift, and the remap permutes within one capacity
     # block, which is exactly 2**out_shift wide.
+    #
+    # The buffered FIFO kernels use a third view, ``fault_dead_slots``:
+    # they grant *physical* slots (a slot is available iff its downstream
+    # queue has room), so the dead mask folds directly into the per-slot
+    # availability instead of refining ranks.
 
-    def _fault_build(self, stage_index: int) -> tuple[np.ndarray, np.ndarray]:
+    def _fault_build(
+        self, stage_index: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         stage = self.graph.stages[stage_index]
         cap = stage.capacity
         space = self.stage_widths[stage_index] // stage.fan_in * stage.bucket_wires
@@ -339,15 +342,16 @@ class StagePlan:
         order = np.argsort(buckets, axis=1, kind="stable")
         base = np.arange(space // cap, dtype=np.int64)[:, None] * cap
         remap = (base + order).reshape(-1)
-        return alive, remap
+        return alive, remap, dead
 
     def _fault_tables(self, stage_index: int) -> tuple[np.ndarray, np.ndarray]:
         alive = self._tables.get(("falive", stage_index))
         remap = self._tables.get(("fremap", stage_index))
         if alive is None or remap is None:
-            alive, remap = self._fault_build(stage_index)
+            alive, remap, dead = self._fault_build(stage_index)
             self._tables[("falive", stage_index)] = alive
             self._tables[("fremap", stage_index)] = remap
+            self._tables[("fdead", stage_index)] = dead
         return alive, remap
 
     def fault_alive(self, stage_index: int) -> Optional[np.ndarray]:
@@ -362,6 +366,22 @@ class StagePlan:
         if stage_index not in self._fault_stages:
             return None
         return self._fault_tables(stage_index)[0]
+
+    def fault_dead_slots(self, stage_index: int) -> Optional[np.ndarray]:
+        """Dead physical slots of one stage, over virtual bucket-wire space.
+
+        A boolean table indexed by physical slot
+        ``switch * bucket_wires + digit * capacity + local`` — true where
+        the slot's wire is dead.  This is the *physical* companion to the
+        rank-space :meth:`fault_alive` mask: the buffered FIFO kernels
+        grant physical slots directly (slot availability = has queue room
+        ∧ not dead), so they consume this mask instead of the rank
+        refinement.  ``None`` when the stage carries no faults.
+        """
+        if stage_index not in self._fault_stages:
+            return None
+        self._fault_tables(stage_index)
+        return self._tables[("fdead", stage_index)]
 
     def fault_link_table(self, stage_index: int, dtype) -> Optional[np.ndarray]:
         """Link table of a faulted stage, pre-composed with the live remap.

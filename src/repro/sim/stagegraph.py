@@ -582,6 +582,11 @@ class BufferedStageReference:
     contenders, over contender wires in ascending wire order — the exact
     draw protocol of the compiled engine, so per-cycle outcomes can be
     compared bit for bit under both disciplines.
+
+    Wire faults (``faults=`` or a mid-run :meth:`apply_faults`) remove
+    slots from the grant: a dead wire never has room, dead final-column
+    wires never deliver, and packets stranded in a dead wire's
+    downstream FIFO are dropped and counted in :attr:`dropped_packets`.
     """
 
     def __init__(
@@ -590,6 +595,7 @@ class BufferedStageReference:
         *,
         depth: int = 1,
         priority: str = "label",
+        faults=(),
     ):
         if priority not in ("label", "random"):
             raise ConfigurationError(f"unknown priority discipline {priority!r}")
@@ -616,6 +622,47 @@ class BufferedStageReference:
             [[] for _ in range(w)] for w in self._widths
         ]
         self.cycle = 0
+        self.faults: tuple = ()
+        #: per-stage set of dead physical slots (switch * bucket_wires +
+        #: local), matching the plan's ``fault_dead_slots`` view.
+        self._dead: list[set] = [set() for _ in graph.stages]
+        self.dropped_packets = 0
+        if faults:
+            self.apply_faults(faults)
+
+    def apply_faults(self, faults=()) -> int:
+        """Swap the network onto a new fault set mid-run, dropping strandees.
+
+        The per-packet mirror of
+        :meth:`repro.sim.batched.CompiledStageRouter.apply_faults`: dead
+        wires stop granting, and any packets already queued in an
+        interior dead wire's downstream FIFO are dropped and counted
+        into :attr:`dropped_packets`.  Returns the number dropped by
+        this call.
+        """
+        from repro.core.faults import FaultSet
+
+        canonical = tuple(sorted(set(faults)))
+        if canonical:
+            FaultSet(canonical).validate_graph(self.graph)
+        self.faults = canonical
+        dead: list[set] = [set() for _ in self.graph.stages]
+        for fault in canonical:
+            stage = self.graph.stages[fault.stage - 1]
+            dead[fault.stage - 1].add(
+                fault.switch * stage.bucket_wires + fault.local_wire
+            )
+        self._dead = dead
+        dropped = 0
+        last = self.graph.num_stages - 1
+        for i, slots in enumerate(dead[:last]):
+            link = self._links[i]
+            for slot in slots:
+                queue = self.queues[i + 1][link[slot] if link is not None else slot]
+                dropped += len(queue)
+                queue.clear()
+        self.dropped_packets += dropped
+        return dropped
 
     @property
     def n_inputs(self) -> int:
@@ -684,13 +731,15 @@ class BufferedStageReference:
                     group.append(entries[idx][2])
                     idx += 1
                 base = bucket * cap  # == switch * bucket_wires + digit * cap
+                dead = self._dead[i]
                 if i == last:
-                    roomy = list(range(cap))
+                    roomy = [k for k in range(cap) if base + k not in dead]
                 else:
                     roomy = [
                         k
                         for k in range(cap)
-                        if len(
+                        if base + k not in dead
+                        and len(
                             next_column[
                                 link[base + k] if link is not None else base + k
                             ]

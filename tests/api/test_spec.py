@@ -200,3 +200,27 @@ class TestRunConfigTraffic:
         router = build_router(NetworkSpec.edn(16, 4, 4, 2))
         m = measure_acceptance(router, "identity", cycles=5, seed=0)
         assert m.point < 1.0  # Figure 5: the identity blocks in one pass
+
+
+class TestRunConfigBufferDepth:
+    def test_unset_by_default(self):
+        assert RunConfig().buffer_depth is None
+
+    def test_validated_at_construction(self):
+        assert RunConfig(buffer_depth=2).buffer_depth == 2
+        assert RunConfig(buffer_depth=1.0).buffer_depth == 1  # int-coerced
+        with pytest.raises(ConfigurationError, match="buffer_depth"):
+            RunConfig(buffer_depth=0)
+        with pytest.raises(ConfigurationError, match="buffer_depth"):
+            RunConfig(buffer_depth=-3)
+
+    def test_threads_through_override_and_resolve(self):
+        cfg = RunConfig(cycles=10)
+        assert cfg.override(buffer_depth=4).buffer_depth == 4
+        assert cfg.resolve(buffer_depth=2).buffer_depth == 2
+        assert RunConfig(buffer_depth=1).resolve(buffer_depth=8).buffer_depth == 1
+
+    def test_hashable_and_picklable(self):
+        cfg = RunConfig(cycles=5, buffer_depth=2)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+        assert cfg in {cfg}

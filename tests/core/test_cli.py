@@ -273,3 +273,45 @@ class TestBatchedOptions:
     def test_experiment_traffic_ignored_by_analytic(self, capsys):
         assert main(["experiment", "fig2", "--traffic", "hotspot:0.3"]) == 0
         assert "Figure 2" in capsys.readouterr().out
+
+
+class TestBufferedRoute:
+    def test_buffer_depth_prints_latency_table(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--cycles", "80",
+            "--buffer-depth", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Buffered packet switching" in out
+        assert "depth" in out
+        for column in ("p50", "p95", "p99", "occupancy"):
+            assert column in out
+
+    def test_buffered_route_with_faults_reports_drops(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--cycles", "80",
+            "--buffer-depth", "2", "--faults", "1:0:3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "dropped" in out
+
+    def test_buffered_route_is_reproducible(self, capsys):
+        argv = ["route", "-t", "edn:16,4,4,2", "--cycles", "40",
+                "--buffer-depth", "2", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_buffer_depth_rejects_retry(self, capsys):
+        assert main([
+            "route", "-t", "edn:16,4,4,2", "--buffer-depth", "2",
+            "--retry", "4",
+        ]) == 2
+        assert "retry" in capsys.readouterr().err
+
+    def test_chaos_command_is_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["chaos", "--json", "--seed", "3"])
+        assert args.command == "chaos" and args.seed == 3

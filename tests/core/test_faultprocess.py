@@ -174,3 +174,90 @@ class TestDegradationTrajectory:
                 windows=0,
                 cycles_per_window=16,
             )
+
+
+class TestBufferedTrajectory:
+    """Latency under degradation: the buffered closed-loop trajectory."""
+
+    def test_buffered_points_carry_latency_and_occupancy(self):
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            PermanentFaults(graph, 2e-3, seed=1),
+            windows=4,
+            cycles_per_window=32,
+            seed=0,
+            buffer_depth=2,
+        )
+        assert len(points) == 4
+        for p in points:
+            assert p.throughput is not None and 0.0 <= p.throughput <= 1.0
+            assert p.mean_occupancy is not None and p.mean_occupancy >= 0.0
+            assert p.dropped >= 0 and p.in_flight >= 0
+            if p.latency_p50 is not None:
+                # Percentiles are ordered and at least the stage count.
+                assert (
+                    len(graph.stages)
+                    <= p.latency_p50
+                    <= p.latency_p95
+                    <= p.latency_p99
+                )
+
+    def test_unbuffered_points_leave_buffered_fields_unset(self):
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            PermanentFaults(graph, 2e-3, seed=1),
+            windows=2,
+            cycles_per_window=32,
+            seed=0,
+        )
+        for p in points:
+            assert p.throughput is None and p.latency_p99 is None
+            assert p.dropped == 0 and p.in_flight == 0
+
+    def test_deterministic_given_seeds(self):
+        graph = edn_graph(PARAMS)
+
+        def run():
+            return degradation_trajectory(
+                graph,
+                PermanentFaults(graph, 2e-3, repair_cycles=64, seed=7),
+                windows=4,
+                cycles_per_window=32,
+                seed=2,
+                buffer_depth=2,
+            )
+
+        assert run() == run()
+
+    def test_dying_wires_drop_queued_packets_with_accounting(self):
+        # Full-rate traffic on a heavily failing fabric: some window must
+        # kill a wire with packets queued behind it.
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            PermanentFaults(graph, 5e-3, seed=3),
+            windows=6,
+            cycles_per_window=64,
+            seed=1,
+            buffer_depth=4,
+        )
+        assert any(p.dropped > 0 for p in points)
+        assert all(p.dropped >= 0 for p in points)
+
+    def test_degradation_raises_tail_latency(self):
+        # Accumulating permanent damage shows up as queueing: the p99 of
+        # a late, damaged window exceeds the first, pristine-ish window.
+        graph = edn_graph(PARAMS)
+        points = degradation_trajectory(
+            graph,
+            PermanentFaults(graph, 4e-3, seed=5),
+            windows=6,
+            cycles_per_window=64,
+            seed=0,
+            buffer_depth=2,
+        )
+        assert points[-1].n_faults > points[0].n_faults
+        measured = [p for p in points if p.latency_p99 is not None]
+        assert measured[-1].latency_p99 >= measured[0].latency_p50

@@ -1,0 +1,89 @@
+"""Chaos harness tests: scenario spec, deterministic injection, invariants.
+
+The expensive end-to-end scenario (worker killed mid-job, another
+stalled past the shard timeout, one client connection dropped
+mid-stream, a malformed frame, and a poison cell) runs once per module;
+every invariant assertion reads the same report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve.chaos import (
+    ChaosEvent,
+    ChaosScenario,
+    run_scenario,
+    smoke_cells,
+    smoke_scenario,
+)
+
+
+class TestScenarioSpec:
+    def test_payload_round_trips_through_json(self):
+        scenario = smoke_scenario(seed=7)
+        restored = ChaosScenario.from_payload(
+            json.loads(json.dumps(scenario.to_payload()))
+        )
+        assert restored == scenario
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ChaosEvent("set_on_fire")
+
+    def test_worker_events_require_a_target(self):
+        with pytest.raises(ConfigurationError, match="cell_seed"):
+            ChaosEvent("kill_worker")
+
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosEvent("kill_worker", cell_seed=1, times=0)
+        with pytest.raises(ConfigurationError):
+            ChaosEvent("drop_connection", after_messages=0)
+        with pytest.raises(ConfigurationError):
+            ChaosScenario("bad", workers=0)
+
+    def test_smoke_scenario_covers_the_required_faults(self):
+        kinds = {event.kind for event in smoke_scenario().events}
+        assert {"kill_worker", "stall_worker", "drop_connection", "poison"} <= kinds
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    scenario = smoke_scenario(seed=0)
+    chaos_dir = tmp_path_factory.mktemp("chaos")
+    return scenario, run_scenario(scenario, smoke_cells(), str(chaos_dir))
+
+
+class TestSmokeInvariants:
+    def test_all_invariants_hold(self, smoke_report):
+        _, report = smoke_report
+        assert report.ok, report.violations
+
+    def test_zero_lost_cells(self, smoke_report):
+        _, report = smoke_report
+        # Every cell is accounted for: measured byte-identically or
+        # quarantined with a structured error — nothing vanished.
+        assert report.measured + len(report.quarantined) == report.total_cells
+
+    def test_only_the_poison_cell_is_quarantined(self, smoke_report):
+        scenario, report = smoke_report
+        cells = smoke_cells()
+        poison = {
+            i for i, cell in enumerate(cells)
+            if cell.config.seed in scenario.poison_seeds()
+        }
+        assert set(report.quarantined) == poison
+
+    def test_connection_actually_dropped_and_resumed(self, smoke_report):
+        scenario, report = smoke_report
+        assert report.reconnects >= 1
+        assert 0 < report.resubmissions <= scenario.max_reconnects * report.total_cells
+
+    def test_chaos_actually_killed_and_rebuilt_workers(self, smoke_report):
+        _, report = smoke_report
+        assert report.pool_rebuilds >= 1
+        assert report.cells_resubmitted >= 1

@@ -189,3 +189,69 @@ class TestMeasureCell:
         via_cell = measure_cell(SweepCell(SPEC, config))
         inline = measure_acceptance(build_router(SPEC, "auto"), config=config)
         assert via_cell == inline
+
+
+class TestBufferedCells:
+    """buffer_depth rides the cell: keys, payloads, measure_cell semantics."""
+
+    def test_buffer_depth_changes_the_key(self):
+        base = SweepCell(SPEC, RunConfig(cycles=50, seed=1))
+        buffered = SweepCell(SPEC, RunConfig(cycles=50, seed=1, buffer_depth=2))
+        deeper = SweepCell(SPEC, RunConfig(cycles=50, seed=1, buffer_depth=4))
+        assert len({base.key(), buffered.key(), deeper.key()}) == 3
+
+    def test_unbuffered_keys_are_unchanged_by_the_new_field(self):
+        # buffer_depth enters the key only when set: a pre-buffer_depth
+        # payload (the field absent entirely) keys identically to a new
+        # unbuffered cell, so cached unbuffered results stay reachable.
+        cell = SweepCell(SPEC, RunConfig(cycles=50, seed=1))
+        legacy = cell.payload()
+        del legacy["config"]["buffer_depth"]
+        assert SweepCell.from_payload(legacy).key() == cell.key()
+
+    def test_round_trip_with_buffer_depth(self):
+        import json
+
+        cell = SweepCell(SPEC, RunConfig(cycles=50, seed=1, buffer_depth=2))
+        rewired = SweepCell.from_payload(json.loads(json.dumps(cell.payload())))
+        assert rewired == cell
+        assert rewired.config.buffer_depth == 2
+
+    def test_buffered_measurement_round_trips_bit_identically(self):
+        import json
+
+        cell = SweepCell(SPEC, RunConfig(cycles=60, seed=4, buffer_depth=2))
+        measurement = measure_cell(cell)
+        payload = json.loads(json.dumps(measurement_to_payload(measurement)))
+        assert measurement_from_payload(payload) == measurement
+
+    def test_faulted_buffered_measurement_round_trips(self):
+        import json
+
+        spec = NetworkSpec.edn(16, 4, 4, 2, faults=(WireFault(1, 0, 2),))
+        cell = SweepCell(spec, RunConfig(cycles=60, seed=4, buffer_depth=2))
+        measurement = measure_cell(cell)
+        assert measurement.faults == spec.faults
+        payload = json.loads(json.dumps(measurement_to_payload(measurement)))
+        assert measurement_from_payload(payload) == measurement
+
+    def test_measure_cell_backends_map_to_engines(self):
+        fast = measure_cell(
+            SweepCell(SPEC, RunConfig(cycles=60, seed=4, buffer_depth=2))
+        )
+        slow = measure_cell(
+            SweepCell(
+                SPEC,
+                RunConfig(cycles=60, seed=4, buffer_depth=2, backend="reference"),
+            )
+        )
+        assert fast.injected == slow.injected
+        assert fast.delivered == slow.delivered
+        assert fast.throughput == slow.throughput
+        with pytest.raises(ConfigurationError, match="buffered"):
+            measure_cell(
+                SweepCell(
+                    SPEC,
+                    RunConfig(cycles=60, seed=4, buffer_depth=2, backend="gpu"),
+                )
+            )

@@ -246,8 +246,9 @@ class TestProtocolEdges:
         assert done["failed"] == 1 and done["computed"] == 1
 
     def test_failed_cells_raise_service_error_after_drain(self, tmp_path, monkeypatch):
-        # Kill-every-attempt cell: the ledger gives up after MAX_ATTEMPTS
-        # and the client raises, but only after the healthy cells land.
+        # Kill-every-attempt cell: the ledger gives up after
+        # max_poison_attempts, the cell is quarantined, and the client
+        # raises — but only after the healthy cells land.
         monkeypatch.setenv(_SCRATCH, str(tmp_path / "never-written"))
 
         def kill_always(cell, *, progress=None):
@@ -260,7 +261,7 @@ class TestProtocolEdges:
         handle = start_server_thread(workers=1)
         try:
             with ServiceClient(handle.address) as client:
-                with pytest.raises(ServiceError, match="died twice"):
+                with pytest.raises(ServiceError, match="quarantined"):
                     client.submit(cells)
         finally:
             handle.stop()
@@ -337,3 +338,130 @@ class TestParallelSweepIntegration:
         assert sweep.shard_timeout == 60.0
         cells = [SweepCell(SPEC, RunConfig(cycles=40, seed=9))]
         assert sweep.map_cells(cells) == [measure_cell(cells[0])]
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantined_siblings_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # The poison cell (kill on every attempt, including the solo
+        # probe) must be quarantined after max_poison_attempts while its
+        # sibling cells — whose workers die as collateral — still land
+        # byte-identically to the inline run.
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+
+        def kill_always(cell, *, progress=None):
+            if cell.config.seed == 13:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return _REAL_MEASURE_CELL(cell, progress=progress)
+
+        monkeypatch.setattr(server_mod, "measure_cell", kill_always)
+        siblings = [
+            SweepCell(SPEC, RunConfig(cycles=40, seed=seed)) for seed in (0, 1, 2)
+        ]
+        poison = SweepCell(SPEC, RunConfig(cycles=40, seed=13))
+        expected = [_REAL_MEASURE_CELL(cell) for cell in siblings]
+        handle = start_server_thread(workers=2, max_poison_attempts=2)
+        try:
+            with ServiceClient(handle.address) as client:
+                results = client.submit(
+                    siblings + [poison], tolerate_failures=True
+                )
+                stats = client.status()
+        finally:
+            handle.stop()
+        assert [r.measurement for r in results[:3]] == expected
+        assert all(not r.quarantined for r in results[:3])
+        bad = results[3]
+        assert bad.quarantined and bad.measurement is None
+        assert "quarantined after 2 attempts" in bad.error
+        assert stats["cells"]["quarantined"] == 1
+        assert stats["quarantine"]["size"] == 1
+        assert stats["quarantine"]["max_poison_attempts"] == 2
+
+    def test_quarantined_key_answers_instantly_on_resubmit(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+
+        def kill_always(cell, *, progress=None):
+            if cell.config.seed == 13:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return _REAL_MEASURE_CELL(cell, progress=progress)
+
+        monkeypatch.setattr(server_mod, "measure_cell", kill_always)
+        poison = SweepCell(SPEC, RunConfig(cycles=40, seed=13))
+        handle = start_server_thread(workers=1, max_poison_attempts=2)
+        try:
+            with ServiceClient(handle.address) as client:
+                first = client.submit([poison], tolerate_failures=True)
+                rebuilds_after_first = client.status()["workers"]["pool_rebuilds"]
+                second = client.submit([poison], tolerate_failures=True)
+                stats = client.status()
+        finally:
+            handle.stop()
+        assert first[0].quarantined and second[0].quarantined
+        # The resubmission burned zero additional workers.
+        assert stats["workers"]["pool_rebuilds"] == rebuilds_after_first
+        assert stats["cells"]["quarantined"] == 1  # quarantined once, not twice
+
+    def test_innocent_cell_survives_collateral_charges(
+        self, tmp_path, monkeypatch
+    ):
+        # A healthy cell whose retry budget is exhausted purely by pool
+        # deaths it did not cause must pass the solo probe and deliver,
+        # not be quarantined.
+        monkeypatch.setenv(_SCRATCH, str(tmp_path))
+
+        def kill_often(cell, *, progress=None):
+            if cell.config.seed == 13:
+                marker = pathlib.Path(os.environ[_SCRATCH])
+                for slot in range(2):
+                    path = marker / f"kill.{slot}"
+                    try:
+                        path.touch(exist_ok=False)
+                    except FileExistsError:
+                        continue
+                    os.kill(os.getpid(), signal.SIGKILL)
+            return _REAL_MEASURE_CELL(cell, progress=progress)
+
+        monkeypatch.setattr(server_mod, "measure_cell", kill_often)
+        innocent = SweepCell(SPEC, RunConfig(cycles=40, seed=0))
+        killer = SweepCell(SPEC, RunConfig(cycles=40, seed=13))
+        expected = _REAL_MEASURE_CELL(innocent)
+        handle = start_server_thread(workers=1, max_poison_attempts=2)
+        try:
+            with ServiceClient(handle.address) as client:
+                results = client.submit([innocent, killer], tolerate_failures=True)
+        finally:
+            handle.stop()
+        assert results[0].measurement == expected
+        assert not results[0].quarantined
+        # The killer only dies twice, so it recovers too (on pool or probe).
+        assert results[1].measurement == expected or results[1].measurement is not None
+
+
+class TestReconnectResume:
+    def test_client_resumes_after_connection_drop(self, server):
+        from repro.serve.chaos import DroppingClient
+
+        cells = _grid()
+        expected = [measure_cell(cell) for cell in cells]
+        client = DroppingClient(
+            server.address, drop_after=3, times=1, max_reconnects=2
+        )
+        with client:
+            results = client.submit(cells)
+        assert [r.measurement for r in results] == expected
+        assert client.reconnects == 1
+        assert 0 < client.resubmissions <= len(cells)
+
+    def test_drop_without_reconnect_budget_raises(self, server):
+        from repro.serve.chaos import DroppingClient
+        from repro.serve.client import ConnectionLost
+
+        cells = _grid()
+        client = DroppingClient(server.address, drop_after=2, times=1)
+        with pytest.raises(ConnectionLost):
+            with client:
+                client.submit(cells)

@@ -182,10 +182,15 @@ class TestGuards:
         with pytest.raises(ConfigurationError):
             StagePlan(delta_graph(2, 2, 3), buffer_depth=0)
 
-    def test_rejects_buffered_faults(self):
+    def test_buffered_faults_compile_and_validate_up_front(self):
+        # Buffered fault masks are supported (tests/sim/test_faulted_buffered
+        # pins the semantics); a fault naming a wire the graph does not
+        # have still fails loudly at plan-construction time.
         graph = edn_graph(EDNParams(4, 2, 2, 2))
-        with pytest.raises(ConfigurationError, match="buffered"):
-            StagePlan(graph, faults=(WireFault(1, 0, 0),), buffer_depth=2)
+        plan = StagePlan(graph, faults=(WireFault(1, 0, 0),), buffer_depth=2)
+        assert plan.fault_dead_slots(0) is not None
+        with pytest.raises(ConfigurationError):
+            StagePlan(graph, faults=(WireFault(99, 0, 0),), buffer_depth=2)
 
     def test_step_requires_buffered_router(self):
         router = CompiledStageRouter(delta_graph(2, 2, 3))

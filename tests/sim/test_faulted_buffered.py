@@ -1,0 +1,250 @@
+"""Faults on the buffered path: bit-identity, conservation, drop accounting.
+
+The robustness contract for buffered routing under damage:
+
+* **bit-identity** — a faulted :class:`CompiledStageRouter` with FIFOs
+  agrees cycle for cycle with the independent per-packet
+  :class:`BufferedStageReference` across every topology family, priority
+  discipline, depth, and seed — including mid-run fault swaps via
+  ``apply_faults``;
+* **conservation** — every faulty buffered run satisfies
+  ``injected == delivered + in_flight + dropped`` exactly (at
+  ``warmup=0``; the measured-window identity is the whole-run one);
+* **drop semantics** — a *static* faulted run never drops (dead wires
+  refuse grants: pure back-pressure), drops happen only when
+  ``apply_faults`` kills a wire with packets already queued downstream
+  of it, and the count is exact and idempotent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EDNParams
+from repro.core.exceptions import ConfigurationError
+from repro.core.faults import WireFault, random_graph_faults
+from repro.sim.batched import CompiledStageRouter
+from repro.sim.buffered import measure_buffered
+from repro.sim.rng import make_rng
+from repro.sim.stagegraph import (
+    BufferedStageReference,
+    delta_graph,
+    dilated_graph,
+    edn_graph,
+    omega_graph,
+)
+
+FAMILIES = [
+    ("edn", edn_graph(EDNParams(4, 2, 2, 2))),
+    ("delta", delta_graph(2, 2, 3)),
+    ("omega", omega_graph(8)),
+    ("dilated", dilated_graph(2, 2, 3, d=2)),
+]
+
+
+def _demand_stream(n_inputs, n_outputs, cycles, rate, seed):
+    rng = np.random.default_rng(seed + 977)
+    dests = rng.integers(0, n_outputs, size=(cycles, n_inputs))
+    live = rng.random((cycles, n_inputs)) < rate
+    return np.where(live, dests, -1)
+
+
+def _some_faults(graph, seed, rate=0.15):
+    return random_graph_faults(
+        graph, rate, np.random.default_rng(seed + 4242)
+    ).canonical()
+
+
+def _assert_conserved(router, injected, delivered):
+    """Whole-run ledger: injected == delivered + queued + dropped."""
+    assert injected == delivered + router.total_occupancy() + router.dropped_packets
+
+
+class TestFaultedBitIdentity:
+    @pytest.mark.parametrize("family,graph", FAMILIES, ids=[f[0] for f in FAMILIES])
+    @pytest.mark.parametrize("priority", ["label", "random"])
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reference_matches_compiled_under_faults(
+        self, family, graph, priority, depth, seed
+    ):
+        cycles = 40
+        faults = _some_faults(graph, seed)
+        demands = _demand_stream(graph.n_inputs, graph.n_outputs, cycles, 0.7, seed)
+        reference = BufferedStageReference(
+            graph, depth=depth, priority=priority, faults=faults
+        )
+        compiled = CompiledStageRouter(
+            graph, priority=priority, buffer_depth=depth, faults=faults
+        )
+        rng_ref, rng_cmp = make_rng(seed), make_rng(seed)
+        injected = delivered = 0
+        for cycle in range(cycles):
+            a = reference.step(demands[cycle], rng_ref)
+            b = compiled.step(demands[cycle], rng_cmp)
+            np.testing.assert_array_equal(a.outputs, b.outputs)
+            np.testing.assert_array_equal(a.latencies, b.latencies)
+            assert (a.offered, a.injected) == (b.offered, b.injected)
+            assert reference.total_occupancy() == compiled.total_occupancy()
+            injected += a.injected
+            delivered += a.delivered
+        # Conservation holds on every faulty run, both engines.
+        _assert_conserved(reference, injected, delivered)
+        _assert_conserved(compiled, injected, delivered)
+        # Static damage never drops: dead wires refuse, they do not eat.
+        assert reference.dropped_packets == compiled.dropped_packets == 0
+
+    @pytest.mark.parametrize("family,graph", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_mid_run_fault_swap_stays_bit_identical(self, family, graph):
+        cycles, depth, seed = 30, 2, 0
+        demands = _demand_stream(graph.n_inputs, graph.n_outputs, 2 * cycles, 0.9, seed)
+        reference = BufferedStageReference(graph, depth=depth)
+        compiled = CompiledStageRouter(graph, buffer_depth=depth)
+        rng_ref, rng_cmp = make_rng(seed), make_rng(seed)
+        injected = delivered = 0
+        for cycle in range(cycles):
+            a = reference.step(demands[cycle], rng_ref)
+            compiled.step(demands[cycle], rng_cmp)
+            injected += a.injected
+            delivered += a.delivered
+        faults = _some_faults(graph, seed, rate=0.2)
+        dropped_ref = reference.apply_faults(faults)
+        dropped_cmp = compiled.apply_faults(faults)
+        assert dropped_ref == dropped_cmp
+        # Idempotent: re-applying the same pattern finds nothing to drop.
+        assert reference.apply_faults(faults) == 0
+        assert compiled.apply_faults(faults) == 0
+        for cycle in range(cycles, 2 * cycles):
+            a = reference.step(demands[cycle], rng_ref)
+            b = compiled.step(demands[cycle], rng_cmp)
+            np.testing.assert_array_equal(a.outputs, b.outputs)
+            np.testing.assert_array_equal(a.latencies, b.latencies)
+            assert reference.total_occupancy() == compiled.total_occupancy()
+            injected += a.injected
+            delivered += a.delivered
+        assert reference.dropped_packets == compiled.dropped_packets
+        _assert_conserved(reference, injected, delivered)
+        _assert_conserved(compiled, injected, delivered)
+
+    def test_fault_recovery_swaps_back(self):
+        # Healing (apply_faults(())) restores full service on both engines.
+        graph = edn_graph(EDNParams(4, 2, 2, 2))
+        faults = _some_faults(graph, 7)
+        reference = BufferedStageReference(graph, depth=2, faults=faults)
+        compiled = CompiledStageRouter(graph, buffer_depth=2, faults=faults)
+        demands = _demand_stream(graph.n_inputs, graph.n_outputs, 40, 0.8, 7)
+        rng_ref, rng_cmp = make_rng(7), make_rng(7)
+        injected = delivered = 0
+        for cycle in range(20):
+            a = reference.step(demands[cycle], rng_ref)
+            compiled.step(demands[cycle], rng_cmp)
+            injected += a.injected
+            delivered += a.delivered
+        assert reference.apply_faults(()) == compiled.apply_faults(()) == 0
+        assert reference.faults == compiled.faults == ()
+        for cycle in range(20, 40):
+            a = reference.step(demands[cycle], rng_ref)
+            b = compiled.step(demands[cycle], rng_cmp)
+            np.testing.assert_array_equal(a.outputs, b.outputs)
+            injected += a.injected
+            delivered += a.delivered
+        _assert_conserved(reference, injected, delivered)
+        _assert_conserved(compiled, injected, delivered)
+
+
+class TestConservationProperty:
+    """injected == accepted(delivered) + queued + dropped, always."""
+
+    @pytest.mark.parametrize("family,graph", FAMILIES, ids=[f[0] for f in FAMILIES])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_measure_buffered_conserves_under_faults(self, family, graph, seed):
+        faults = _some_faults(graph, seed)
+        m = measure_buffered(
+            graph, traffic="uniform:0.9", depth=2, cycles=120, warmup=0,
+            seed=seed, faults=faults,
+        )
+        assert m.faults == faults
+        assert m.injected == m.delivered + m.in_flight + m.dropped
+        assert 0 <= m.injected <= m.offered
+        assert m.dropped == 0  # static faults: back-pressure, not loss
+
+    def test_engines_agree_on_faulty_measurements(self):
+        graph = edn_graph(EDNParams(4, 2, 2, 2))
+        faults = _some_faults(graph, 5)
+        kw = dict(
+            traffic="uniform:0.8", depth=2, cycles=120, warmup=30, seed=3,
+            faults=faults,
+        )
+        fast = measure_buffered(graph, engine="compiled", **kw)
+        slow = measure_buffered(graph, engine="reference", **kw)
+        assert fast == slow
+
+
+class TestDropAccounting:
+    def test_drops_count_exactly_the_stranded_packets(self):
+        # Saturate a single-path delta network so FIFOs fill, then kill
+        # every stage-1 wire: the packets queued downstream of dead wires
+        # are dropped, and the ledger matches the occupancy they held.
+        graph = delta_graph(2, 2, 3)
+        compiled = CompiledStageRouter(graph, buffer_depth=4)
+        reference = BufferedStageReference(graph, depth=4)
+        demands = _demand_stream(graph.n_inputs, graph.n_outputs, 20, 1.0, 11)
+        rng_a, rng_b = make_rng(11), make_rng(11)
+        injected = delivered = 0
+        for cycle in range(20):
+            a = compiled.step(demands[cycle], rng_a)
+            reference.step(demands[cycle], rng_b)
+            injected += a.injected
+            delivered += a.delivered
+        before = compiled.total_occupancy()
+        assert before > 0
+        stage = graph.stages[0]
+        faults = tuple(
+            WireFault(1, switch, local)
+            for switch in range(graph.stage_widths[0] // stage.fan_in)
+            for local in range(stage.bucket_wires)
+        )
+        dropped_cmp = compiled.apply_faults(faults)
+        dropped_ref = reference.apply_faults(faults)
+        assert dropped_cmp == dropped_ref > 0
+        assert compiled.total_occupancy() == reference.total_occupancy()
+        assert compiled.dropped_packets == dropped_cmp
+        _assert_conserved(compiled, injected, delivered)
+        _assert_conserved(reference, injected, delivered)
+
+    def test_reset_buffers_clears_drop_ledger(self):
+        graph = delta_graph(2, 2, 3)
+        compiled = CompiledStageRouter(graph, buffer_depth=4)
+        demands = _demand_stream(graph.n_inputs, graph.n_outputs, 20, 1.0, 11)
+        rng = make_rng(11)
+        for cycle in range(20):
+            compiled.step(demands[cycle], rng)
+        compiled.apply_faults((WireFault(1, 0, 0),))
+        compiled.reset_buffers()
+        assert compiled.dropped_packets == 0
+        assert compiled.total_occupancy() == 0
+
+
+class TestValidation:
+    def test_invalid_faults_rejected_up_front_compiled(self):
+        graph = edn_graph(EDNParams(4, 2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            CompiledStageRouter(
+                graph, buffer_depth=2, faults=(WireFault(99, 0, 0),)
+            )
+
+    def test_invalid_faults_rejected_up_front_reference(self):
+        graph = edn_graph(EDNParams(4, 2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            BufferedStageReference(graph, depth=2, faults=(WireFault(99, 0, 0),))
+        router = BufferedStageReference(graph, depth=2)
+        with pytest.raises(ConfigurationError):
+            router.apply_faults((WireFault(1, 0, 999),))
+
+    @pytest.mark.parametrize("family,graph", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_validation_covers_all_families(self, family, graph):
+        # Stage index past the last column is invalid everywhere.
+        bad = (WireFault(graph.num_stages + 1, 0, 0),)
+        with pytest.raises(ConfigurationError):
+            CompiledStageRouter(graph, buffer_depth=1, faults=bad)
