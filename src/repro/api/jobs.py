@@ -383,6 +383,7 @@ def measure_cell(cell: SweepCell, *, progress=None):
         engines = {
             "auto": "compiled",
             "batched": "compiled",
+            "native": "compiled",
             "reference": "reference",
             "vectorized": "reference",
         }

@@ -10,6 +10,13 @@ Registered backends:
 =============  =======================================  =================
 name           engine                                   kinds
 =============  =======================================  =================
+``native``     :class:`StagePlan` lowered to            edn, delta,
+               JIT-compiled per-stage loops             omega, dilated
+               (:class:`NativeStageRouter`; numba or
+               a runtime-compiled C kernel); needs
+               ``pip install repro[native]`` or a C
+               toolchain, and drops out of the
+               registry when neither is present
 ``batched``    native ``(batch, N)`` array engines —    edn, delta,
                :class:`BatchedEDN` plus the compiled    omega, dilated,
                stage-graph router every delta-family    crossbar
@@ -27,12 +34,16 @@ name           engine                                   kinds
                EDNs via :class:`FaultyEDNetwork`)
 ``matching``   Clos matching decomposition              clos
 ``looping``    Beneš looping algorithm                  benes
+``native:gpu`` Array-API counts-only kernel (CuPy       edn, delta,
+               when importable, NumPy otherwise);       omega, dilated
+               explicit opt-in, never picked by
+               ``auto``
 =============  =======================================  =================
 
 ``auto`` picks the first supporting backend in :data:`AUTO_PREFERENCE`
-order — batched engines first, the per-cycle loop as fallback — mirroring
-how the Monte-Carlo harness has always dispatched on ``route_batch``
-availability.
+order — the JIT backend when its dependencies are present, then batched
+engines, then the per-cycle loop — mirroring how the Monte-Carlo harness
+has always dispatched on ``route_batch`` availability.
 """
 
 from __future__ import annotations
@@ -68,6 +79,11 @@ class Backend:
     refines kind membership with feature checks (faults, disciplines).
     ``batched`` records whether routing is natively batched (drives
     ``auto`` preference and lets tooling report engine class).
+    ``availability`` reports a host-environment problem (missing
+    optional dependency, no toolchain) as a message, or ``None`` when
+    the backend can run here; ``auto_ok`` additionally gates whether
+    ``auto`` may pick the backend (an available backend can still opt
+    out of automatic selection, e.g. the GPU path).
     """
 
     name: str
@@ -76,16 +92,23 @@ class Backend:
     batched: bool
     builder: Callable[[NetworkSpec], Router]
     accepts: Callable[[NetworkSpec], bool]
+    availability: Callable[[], str | None]
+    auto_ok: Callable[[], bool]
 
     def supports(self, spec: NetworkSpec) -> bool:
         return spec.kind in self.kinds and self.accepts(spec)
+
+    def runnable(self) -> bool:
+        return self.availability() is None
 
 
 #: name -> Backend, in registration order.
 BACKENDS: dict[str, Backend] = {}
 
 #: ``auto`` tries these in order and takes the first that supports the spec.
-AUTO_PREFERENCE = ("batched", "matching", "looping", "vectorized", "reference")
+AUTO_PREFERENCE = (
+    "native", "batched", "matching", "looping", "vectorized", "reference"
+)
 
 
 def register_backend(
@@ -95,6 +118,8 @@ def register_backend(
     kinds: frozenset[str] | set[str],
     batched: bool,
     accepts: Callable[[NetworkSpec], bool] | None = None,
+    availability: Callable[[], str | None] | None = None,
+    auto_ok: Callable[[], bool] | None = None,
 ):
     """Register ``fn`` as the builder of backend ``name`` (decorator)."""
 
@@ -108,6 +133,8 @@ def register_backend(
             batched=batched,
             builder=fn,
             accepts=accepts if accepts is not None else (lambda spec: True),
+            availability=availability if availability is not None else (lambda: None),
+            auto_ok=auto_ok if auto_ok is not None else (lambda: True),
         )
         return fn
 
@@ -115,31 +142,44 @@ def register_backend(
 
 
 def available_backends(spec: NetworkSpec) -> list[str]:
-    """Backend names able to build ``spec``, ``auto``-preference first.
+    """Backends able to build ``spec`` *on this host*, preference first.
 
-    >>> available_backends(NetworkSpec.edn(16, 4, 4, 2))
-    ['batched', 'vectorized', 'reference']
+    Environment-gated backends (``native`` needs numba or a C toolchain)
+    drop out of the list when their dependency is missing, so the
+    doctests below pin specs the gated backends never serve.
+
+    >>> available_backends(NetworkSpec.crossbar(8))
+    ['batched', 'vectorized']
     >>> available_backends(NetworkSpec.benes(16))
     ['looping']
     """
     ordered = list(AUTO_PREFERENCE) + [n for n in BACKENDS if n not in AUTO_PREFERENCE]
-    return [name for name in ordered if name in BACKENDS and BACKENDS[name].supports(spec)]
+    return [
+        name
+        for name in ordered
+        if name in BACKENDS
+        and BACKENDS[name].supports(spec)
+        and BACKENDS[name].runnable()
+    ]
 
 
 def resolve_backend(spec: NetworkSpec, backend: str = "auto") -> Backend:
     """The :class:`Backend` that ``backend`` selects for ``spec``.
 
-    ``auto`` walks :data:`AUTO_PREFERENCE`; an explicit name must both
-    exist and support the spec, with the error naming the alternatives.
+    ``auto`` walks :data:`AUTO_PREFERENCE`, skipping backends that opted
+    out of automatic selection; an explicit name must exist, be runnable
+    on this host, and support the spec, with the error naming the
+    alternatives.
 
-    >>> resolve_backend(NetworkSpec.edn(16, 4, 4, 2)).name
+    >>> resolve_backend(NetworkSpec.crossbar(8)).name
     'batched'
     >>> resolve_backend(NetworkSpec.clos(8, 8)).name
     'matching'
     """
     if backend == "auto":
         for name in available_backends(spec):
-            return BACKENDS[name]
+            if BACKENDS[name].auto_ok():
+                return BACKENDS[name]
         raise ConfigurationError(
             f"no registered backend supports {spec} with "
             f"priority={spec.priority!r}, wire_policy={spec.wire_policy!r}, "
@@ -152,6 +192,11 @@ def resolve_backend(spec: NetworkSpec, backend: str = "auto") -> Backend:
         raise ConfigurationError(
             f"unknown backend {backend!r}; registered: {sorted(BACKENDS)}"
         ) from None
+    # Environment availability first: "you asked for native but numba is
+    # missing" beats "native does not support this spec".
+    reason = entry.availability()
+    if reason is not None:
+        raise ConfigurationError(f"backend {backend!r} is unavailable: {reason}")
     if not entry.supports(spec):
         if spec.faults:
             from dataclasses import replace
@@ -312,3 +357,60 @@ def _build_benes(spec: NetworkSpec) -> Router:
     from repro.baselines.benes import BenesNetwork
 
     return RearrangeableRouter(BenesNetwork(spec.shape[0]))
+
+
+def _native_availability() -> str | None:
+    # Late import + module-attribute call so tests can monkeypatch the
+    # probe, and so importing the registry never triggers a JIT probe.
+    from repro.sim import native
+
+    return native.unavailable_reason()
+
+
+def _native_auto_ok() -> bool:
+    from repro.sim import native
+
+    return bool(native.available_tiers())
+
+
+@register_backend(
+    "native",
+    description="StagePlan lowered to JIT-compiled per-stage loops",
+    kinds={"edn", "delta", "omega", "dilated"},
+    batched=True,
+    accepts=_array_engine_ok,
+    availability=_native_availability,
+    auto_ok=_native_auto_ok,
+)
+def _build_native(spec: NetworkSpec) -> Router:
+    from repro.sim.native import NativeStageRouter
+
+    # Every stage-graph kind (a faulted EDN included) compiles to the
+    # same plan; the native router swaps in the fused counts kernel and
+    # inherits the full batched capability surface for everything else.
+    return NativeStageRouter(
+        spec.stage_graph(), priority=spec.priority, faults=spec.faults
+    )
+
+
+def _native_gpu_ok(spec: NetworkSpec) -> bool:
+    # The Array-API counts path lowers neither fault masks nor random
+    # priority yet; keep the capability gate explicit so the resolver's
+    # error names the fault-capable alternatives.
+    return _array_engine_ok(spec) and spec.priority == "label" and not spec.faults
+
+
+@register_backend(
+    "native:gpu",
+    description="Array-API counts kernel (CuPy when present, NumPy otherwise)",
+    kinds={"edn", "delta", "omega", "dilated"},
+    batched=True,
+    accepts=_native_gpu_ok,
+    auto_ok=lambda: False,
+)
+def _build_native_gpu(spec: NetworkSpec) -> Router:
+    from repro.sim.native import NativeStageRouter
+
+    return NativeStageRouter(
+        spec.stage_graph(), priority=spec.priority, device="gpu"
+    )

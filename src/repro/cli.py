@@ -92,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument(
         "--backend", default="auto", metavar="NAME",
-        help="router backend: auto, batched, vectorized, reference, matching, looping",
+        help="router backend: auto, native, batched, vectorized, reference, "
+             "matching, looping (native needs numba or a C toolchain)",
     )
     route.add_argument(
         "--traffic", action="append", metavar="SPEC", default=None,

@@ -30,6 +30,11 @@ runners.
   :class:`CompiledStageRouter` the delta-family baselines compile to):
   many independent cycles per call, bit-identical per message to the
   single-cycle engines;
+* :mod:`repro.sim.native` — the JIT kernel backend: every
+  :class:`StagePlan` lowered to fused per-stage loops compiled with
+  numba or as plan-specialized C (``backend="native"``; counts-only
+  Monte-Carlo, bit-identical to the batched kernels), plus the
+  Array-API counts path behind ``backend="native:gpu"``;
 * :mod:`repro.sim.montecarlo` — acceptance-probability measurement,
   routed in batched chunks wherever the router supports it, with
   optional adaptive early stopping (``rel_err=``: the cycle budget
@@ -97,6 +102,7 @@ from repro.sim.stagegraph import (
     edn_graph,
     omega_graph,
 )
+from repro.sim.native import NativeStageRouter, available_tiers
 from repro.sim.montecarlo import (
     AcceptanceMeasurement,
     ReferenceRouterAdapter,
@@ -136,6 +142,8 @@ __all__ = [
     "stream_for",
     "BatchedEDN",
     "CompiledStageRouter",
+    "NativeStageRouter",
+    "available_tiers",
     "BatchCycleResult",
     "BatchAcceptanceCounts",
     "RoutingPlan",

@@ -294,32 +294,60 @@ class _DenseRankKernels:
                 rank_incl = lanes
             digit = None
         else:
-            digit = (dest >> shift) & (radix - 1) if radix > 1 else np.zeros_like(dest)
-            rank_incl = self._onehot_rank(digit, live, fan_in, radix)
+            digit = self._scratch_array("digit", size, dest.dtype, ws)
+            if radix > 1:
+                np.right_shift(dest, shift, out=digit)
+                np.bitwise_and(digit, radix - 1, out=digit)
+            else:
+                digit.fill(0)
+            rank_incl = self._onehot_rank(digit, live, fan_in, radix, ws)
             lane_shift = None
         accepted = self._scratch_array("accepted", size, bool, ws)
         np.less_equal(rank_incl, capacity, out=accepted, casting="unsafe")
         np.logical_and(accepted, live, out=accepted)
         return rank_incl, accepted, lane_shift, digit
 
-    @staticmethod
     def _onehot_rank(
-        digit: np.ndarray, live: np.ndarray, fan_in: int, radix: int
+        self,
+        digit: np.ndarray,
+        live: np.ndarray,
+        fan_in: int,
+        radix: int,
+        ws=None,
     ) -> np.ndarray:
         """Inclusive in-bucket rank via an explicit one-hot tensor.
 
         Fallback for switch shapes too wide for packed lanes: one boolean
         channel per bucket, cumulated along the switch axis.  Idle wires
         are aimed at channel ``radix``, which no real request occupies.
+        Runs entirely in scratch buffers — wide-radix graphs stay on the
+        zero-allocation chunk path just like the packed-lane shapes.
         """
-        channels = np.where(live, digit, radix).reshape(-1, fan_in)
-        onehot = channels[..., None] == np.arange(radix, dtype=digit.dtype)
+        size = digit.size
+        channels = self._scratch_array("oh_channels", size, digit.dtype, ws)
+        dead = self._scratch_array("oh_dead", size, bool, ws)
+        np.copyto(channels, digit)
+        np.logical_not(live, out=dead)
+        np.copyto(channels, radix, where=dead, casting="unsafe")
+        ch2 = channels.reshape(-1, fan_in)
         count_dtype = np.int16 if fan_in > 127 else np.int8
-        cum = np.cumsum(onehot, axis=1, dtype=count_dtype)
-        lookup = np.minimum(channels, radix - 1)[..., None]
-        return np.take_along_axis(cum, lookup.astype(count_dtype), axis=2)[
-            ..., 0
-        ].reshape(-1)
+        onehot = self._scratch_array("oh_onehot", size * radix, bool, ws)
+        onehot3 = onehot.reshape(-1, fan_in, radix)
+        np.equal(ch2[..., None], np.arange(radix, dtype=digit.dtype), out=onehot3)
+        cum = self._scratch_array("oh_cum", size * radix, count_dtype, ws)
+        cum3 = cum.reshape(-1, fan_in, radix)
+        np.cumsum(onehot3, axis=1, dtype=count_dtype, out=cum3)
+        # Gather each wire's own channel out of the cumulated tensor one
+        # channel at a time: radix masked copies instead of the fancy
+        # gather ``take_along_axis`` would allocate for.
+        rank = self._scratch_array("oh_rank", size, count_dtype, ws)
+        sel = self._scratch_array("oh_sel", size, bool, ws)
+        rank2 = rank.reshape(-1, fan_in)
+        sel2 = sel.reshape(-1, fan_in)
+        for r in range(radix):
+            np.equal(ch2, r, out=sel2)
+            np.copyto(rank2, cum3[:, :, r], where=sel2)
+        return rank
 
     def _resolve_sparse(
         self,

@@ -34,10 +34,20 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.faults import FaultSet, FaultyEDNetwork, WireFault
 from repro.core.network import EDNetwork
 from repro.sim.batched import BatchCycleResult
+from repro.sim.native import available_tiers
 from repro.sim.rng import make_rng
 
 IDLE = -1
 BATCH = 6
+
+#: Whether the environment-gated native backend participates here.
+NATIVE = bool(available_tiers())
+AUTO_COMPILED = "native" if NATIVE else "batched"
+
+
+def with_native(names: list[str]) -> list[str]:
+    """The expected backend list, prefixed by ``native`` when runnable."""
+    return (["native"] if NATIVE else []) + names
 
 SPECS = [
     NetworkSpec.edn(16, 4, 4, 2),
@@ -150,8 +160,10 @@ class TestCrossBackendEquivalence:
 class TestBackendSelection:
     def test_auto_prefers_batched_engines(self):
         for spec in (NetworkSpec.edn(16, 4, 4, 2), NetworkSpec.delta(4, 4, 2),
-                     NetworkSpec.omega(16), NetworkSpec.crossbar(32)):
-            assert resolve_backend(spec).name == "batched"
+                     NetworkSpec.omega(16)):
+            assert resolve_backend(spec).name == AUTO_COMPILED
+        # The crossbar has no stage plan, so native never serves it.
+        assert resolve_backend(NetworkSpec.crossbar(32)).name == "batched"
 
     def test_auto_falls_back_per_kind(self):
         assert resolve_backend(NetworkSpec.clos(4, 4)).name == "matching"
@@ -162,8 +174,10 @@ class TestBackendSelection:
         # the batched fast path; the per-message reference remains as the
         # independent cross-check.
         spec = NetworkSpec.edn(16, 4, 4, 2, faults=(WireFault(1, 0, 0),))
-        assert available_backends(spec) == ["batched", "vectorized", "reference"]
-        assert resolve_backend(spec).name == "batched"
+        assert available_backends(spec) == with_native(
+            ["batched", "vectorized", "reference"]
+        )
+        assert resolve_backend(spec).name == AUTO_COMPILED
 
     def test_faults_available_on_every_stage_graph_kind(self):
         for spec in (
@@ -171,7 +185,7 @@ class TestBackendSelection:
             NetworkSpec.omega(16, faults=(WireFault(1, 0, 1),)),
             NetworkSpec.dilated(4, 4, 2, 2, faults=(WireFault(1, 0, 1),)),
         ):
-            assert available_backends(spec) == ["batched", "vectorized"]
+            assert available_backends(spec) == with_native(["batched", "vectorized"])
 
     def test_explicit_non_fault_capable_backend_names_alternatives(self):
         # Requesting a backend that handles the topology but not its
@@ -195,7 +209,8 @@ class TestBackendSelection:
 
     def test_registry_names_are_stable(self):
         assert set(BACKENDS) == {
-            "batched", "vectorized", "reference", "matching", "looping"
+            "batched", "vectorized", "reference", "matching", "looping",
+            "native", "native:gpu",
         }
 
 
@@ -334,8 +349,8 @@ class TestPlanCacheCorrectness:
         assert again_pristine.point == baseline_pristine.point
         # The damage is real: the faulty plan routes strictly less traffic.
         assert baseline_faulty.delivered < baseline_pristine.delivered
-        # Faulted specs ride the compiled backend, keyed by their faults.
-        assert resolve_backend(faulty).name == "batched"
+        # Faulted specs ride the compiled backends, keyed by their faults.
+        assert resolve_backend(faulty).name == AUTO_COMPILED
 
     def test_wire_policy_routes_outside_the_cache(self):
         from repro.api import measure, RunConfig

@@ -222,8 +222,11 @@ class TestBackendAgreement:
     """Compiled (batched) vs loop (vectorized) paths: identical measurements."""
 
     @pytest.mark.parametrize("text", BASELINES)
-    def test_auto_resolves_to_batched(self, text):
-        assert resolve_backend(NetworkSpec.parse(text)).name == "batched"
+    def test_auto_resolves_to_a_compiled_backend(self, text):
+        from repro.sim.native import available_tiers
+
+        expected = "native" if available_tiers() else "batched"
+        assert resolve_backend(NetworkSpec.parse(text)).name == expected
 
     @pytest.mark.parametrize("text", BASELINES)
     @pytest.mark.parametrize("priority", ["label", "random"])

@@ -5,6 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.sim.native import available_tiers
+
+#: The compiled backend ``auto`` resolves to on this host: the JIT
+#: backend when a native tier (numba or a C toolchain) is runnable,
+#: the batched NumPy kernels otherwise.
+AUTO_COMPILED = "native" if available_tiers() else "batched"
 
 
 class TestParser:
@@ -67,7 +73,7 @@ class TestRouteCommand:
         assert main(["route", "-t", "edn:16,4,4,2", "--cycles", "20"]) == 0
         out = capsys.readouterr().out
         assert "edn:16,4,4,2" in out
-        assert "batched" in out
+        assert AUTO_COMPILED in out
 
     def test_multi_topology_comparison_one_liner(self, capsys):
         argv = ["route", "--cycles", "10"]
@@ -76,7 +82,7 @@ class TestRouteCommand:
             argv += ["-t", topology]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        for topology, backend in (("delta:8,8,2", "batched"),
+        for topology, backend in (("delta:8,8,2", AUTO_COMPILED),
                                   ("clos:8,8", "matching"),
                                   ("benes:64", "looping")):
             assert topology in out and backend in out
@@ -131,7 +137,7 @@ class TestRouteFaultFlags:
         assert "faults" in out
         assert out.count("edn:16,4,4,2") == 1
         assert " 2 " in out  # two dead wires reported
-        assert "batched" in out  # faulted routing stays on the compiled path
+        assert AUTO_COMPILED in out  # faulted routing stays compiled
 
     def test_fault_flags_repeat_and_dedup(self, capsys):
         assert main([
@@ -146,7 +152,7 @@ class TestRouteFaultFlags:
             "--cycles", "10", "--fault-rate", "0.02@7",
         ]) == 0
         out = capsys.readouterr().out
-        assert "faults" in out and out.count("batched") == 2
+        assert "faults" in out and out.count(AUTO_COMPILED) == 2
 
     def test_fault_rate_seed_is_reproducible(self, capsys):
         argv = ["route", "-t", "delta:256,4", "--cycles", "10",
